@@ -1,0 +1,108 @@
+//! Variable assignments: partial maps from [`Var`] to algebra elements.
+
+use std::collections::BTreeMap;
+
+use scq_boolean::Var;
+
+/// A partial assignment of algebra elements to variables.
+///
+/// Used both for *known* query inputs (e.g. the country `C` and target
+/// area `A` in the paper's smuggler example) and for the growing partial
+/// solution tuples of the incremental evaluation strategy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Assignment<E> {
+    map: BTreeMap<Var, E>,
+}
+
+impl<E> Default for Assignment<E> {
+    fn default() -> Self {
+        Assignment { map: BTreeMap::new() }
+    }
+}
+
+impl<E: Clone> Assignment<E> {
+    /// The empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `v` to `e`, replacing any previous binding.
+    pub fn bind(&mut self, v: Var, e: E) -> &mut Self {
+        self.map.insert(v, e);
+        self
+    }
+
+    /// Builder-style binding.
+    pub fn with(mut self, v: Var, e: E) -> Self {
+        self.map.insert(v, e);
+        self
+    }
+
+    /// Removes a binding.
+    pub fn unbind(&mut self, v: Var) -> Option<E> {
+        self.map.remove(&v)
+    }
+
+    /// Looks up the element bound to `v`.
+    pub fn get(&self, v: Var) -> Option<&E> {
+        self.map.get(&v)
+    }
+
+    /// Whether `v` is bound.
+    pub fn is_bound(&self, v: Var) -> bool {
+        self.map.contains_key(&v)
+    }
+
+    /// The bound variables in order.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Iterates over bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, &E)> + '_ {
+        self.map.iter().map(|(&v, e)| (v, e))
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether there are no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_get_unbind() {
+        let mut a: Assignment<u64> = Assignment::new();
+        a.bind(Var(0), 5).bind(Var(1), 7);
+        assert_eq!(a.get(Var(0)), Some(&5));
+        assert!(a.is_bound(Var(1)));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.unbind(Var(0)), Some(5));
+        assert!(!a.is_bound(Var(0)));
+    }
+
+    #[test]
+    fn with_builder_and_iter() {
+        let a = Assignment::new().with(Var(2), "x").with(Var(0), "y");
+        let vars: Vec<Var> = a.vars().collect();
+        assert_eq!(vars, vec![Var(0), Var(2)], "iteration in variable order");
+        assert_eq!(a.iter().count(), 2);
+    }
+
+    #[test]
+    fn rebinding_replaces() {
+        let mut a: Assignment<i32> = Assignment::new();
+        a.bind(Var(0), 1);
+        a.bind(Var(0), 2);
+        assert_eq!(a.get(Var(0)), Some(&2));
+        assert_eq!(a.len(), 1);
+    }
+}

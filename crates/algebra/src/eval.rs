@@ -1,0 +1,160 @@
+//! Algebra-generic evaluation of symbolic formulas.
+
+use scq_boolean::cube::Sop;
+use scq_boolean::{Formula, Var};
+
+use crate::assignment::Assignment;
+use crate::traits::BooleanAlgebra;
+
+/// Error for evaluation under an incomplete assignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnboundVar(pub Var);
+
+impl std::fmt::Display for UnboundVar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "variable {} is not bound", self.0)
+    }
+}
+
+impl std::error::Error for UnboundVar {}
+
+/// Evaluates `f` in `alg` under `assign`.
+///
+/// Every variable occurring in `f` must be bound; otherwise the first
+/// unbound variable is reported.
+pub fn eval_formula<A: BooleanAlgebra>(
+    alg: &A,
+    f: &Formula,
+    assign: &Assignment<A::Elem>,
+) -> Result<A::Elem, UnboundVar> {
+    match f {
+        Formula::Zero => Ok(alg.zero()),
+        Formula::One => Ok(alg.one()),
+        Formula::Var(v) => assign.get(*v).cloned().ok_or(UnboundVar(*v)),
+        Formula::Not(g) => Ok(alg.complement(&eval_formula(alg, g, assign)?)),
+        Formula::And(a, b) => {
+            let x = eval_formula(alg, a, assign)?;
+            if alg.is_zero(&x) {
+                return Ok(alg.zero()); // short-circuit: 0 ∧ _ = 0
+            }
+            let y = eval_formula(alg, b, assign)?;
+            Ok(alg.meet(&x, &y))
+        }
+        Formula::Or(a, b) => {
+            let x = eval_formula(alg, a, assign)?;
+            let y = eval_formula(alg, b, assign)?;
+            Ok(alg.join(&x, &y))
+        }
+    }
+}
+
+/// Evaluates a sum-of-products form in `alg` under `assign`.
+pub fn eval_sop<A: BooleanAlgebra>(
+    alg: &A,
+    s: &Sop,
+    assign: &Assignment<A::Elem>,
+) -> Result<A::Elem, UnboundVar> {
+    let mut acc = alg.zero();
+    for cube in s.cubes() {
+        let mut term = alg.one();
+        for lit in cube.literals() {
+            let e = assign.get(lit.var).cloned().ok_or(UnboundVar(lit.var))?;
+            let e = if lit.positive { e } else { alg.complement(&e) };
+            term = alg.meet(&term, &e);
+            if alg.is_zero(&term) {
+                break;
+            }
+        }
+        acc = alg.join(&acc, &term);
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitset::BitsetAlgebra;
+    use crate::bool2::Bool2;
+    use scq_boolean::formula_to_sop;
+
+    fn v(i: u32) -> Formula {
+        Formula::var(Var(i))
+    }
+
+    #[test]
+    fn matches_two_valued_eval() {
+        let f = Formula::or(Formula::and(v(0), Formula::not(v(1))), v(2));
+        for bits in 0u32..8 {
+            let mut assign = Assignment::new();
+            for i in 0..3 {
+                assign.bind(Var(i), bits >> i & 1 == 1);
+            }
+            let got = eval_formula(&Bool2, &f, &assign).unwrap();
+            assert_eq!(got, f.eval2(|x| bits >> x.0 & 1 == 1));
+        }
+    }
+
+    #[test]
+    fn unbound_variable_is_reported() {
+        let f = Formula::and(v(0), v(7));
+        let assign = Assignment::new().with(Var(0), true);
+        assert_eq!(eval_formula(&Bool2, &f, &assign), Err(UnboundVar(Var(7))));
+    }
+
+    #[test]
+    fn short_circuit_skips_unbound_branch() {
+        // 0 ∧ x7 with x7 unbound: fine, because the meet is already 0.
+        let f = Formula::And(
+            std::sync::Arc::new(Formula::Zero),
+            std::sync::Arc::new(v(7)),
+        );
+        let assign: Assignment<bool> = Assignment::new();
+        assert_eq!(eval_formula(&Bool2, &f, &assign), Ok(false));
+    }
+
+    #[test]
+    fn bitset_evaluation() {
+        let alg = BitsetAlgebra::new(8);
+        // f = (x ∧ ¬y) ∨ z over concrete sets
+        let f = Formula::or(Formula::and(v(0), Formula::not(v(1))), v(2));
+        let assign = Assignment::new()
+            .with(Var(0), 0b1111_0000u64)
+            .with(Var(1), 0b1100_0000u64)
+            .with(Var(2), 0b0000_0011u64);
+        let got = eval_formula(&alg, &f, &assign).unwrap();
+        assert_eq!(got, 0b0011_0011);
+    }
+
+    #[test]
+    fn sop_eval_agrees_with_formula_eval() {
+        let alg = BitsetAlgebra::new(6);
+        let f = Formula::or(
+            Formula::and(v(0), Formula::not(v(1))),
+            Formula::and(v(1), v(2)),
+        );
+        let s = formula_to_sop(&f);
+        let assign = Assignment::new()
+            .with(Var(0), 0b10_1010u64)
+            .with(Var(1), 0b11_0011u64)
+            .with(Var(2), 0b01_0110u64);
+        let via_f = eval_formula(&alg, &f, &assign).unwrap();
+        let via_s = eval_sop(&alg, &s, &assign).unwrap();
+        assert!(alg.eq_elem(&via_f, &via_s));
+    }
+
+    #[test]
+    fn sop_eval_reports_unbound() {
+        let alg = BitsetAlgebra::new(4);
+        let s = formula_to_sop(&Formula::and(v(0), v(3)));
+        let assign = Assignment::new().with(Var(0), 0b1u64);
+        assert_eq!(eval_sop(&alg, &s, &assign), Err(UnboundVar(Var(3))));
+    }
+
+    #[test]
+    fn constants_need_no_bindings() {
+        let alg = BitsetAlgebra::new(4);
+        let assign: Assignment<u64> = Assignment::new();
+        assert_eq!(eval_formula(&alg, &Formula::One, &assign), Ok(alg.one()));
+        assert_eq!(eval_formula(&alg, &Formula::Zero, &assign), Ok(0));
+    }
+}

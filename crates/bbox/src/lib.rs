@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! The bounding-box lattice of the paper's Section 4, bounding-box
+//! *functions*, and the corner transform behind Figure 3.
+//!
+//! Bounding boxes are closed axis-aligned rectangles `[lo, hi]` in `ℝᵏ`,
+//! extended with a bottom element `∅`. They form a complete lattice under
+//! containment `⊑`, with meet `⊓` (ordinary intersection) and join `⊔`
+//! (the *minimal enclosing* box of the union — not set union!). The paper
+//! approximates Boolean functions over regions by monotone functions built
+//! from `⊓`, `⊔` and constants; those are [`BboxExpr`] here.
+//!
+//! The corner transform ([`corner`]) represents a box in `Xᵏ` as a point
+//! in `X²ᵏ`, turning the three constraint shapes supported by spatial
+//! indexes (`⌈x⌉ ⊑ a`, `b ⊑ ⌈x⌉`, `⌈x⌉ ⊓ c ≠ ∅`) — and any conjunction of
+//! them — into a single range query (Figure 3 of the paper).
+
+pub mod corner;
+pub mod expr;
+pub mod lattice;
+
+pub use corner::{corner_point, CornerQuery};
+pub use expr::BboxExpr;
+pub use lattice::Bbox;

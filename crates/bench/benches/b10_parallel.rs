@@ -1,0 +1,120 @@
+//! B10 — engine extensions: parallel execution speedup over the
+//! sequential bbox executor, and the z-order index as a fourth range
+//! query backend (the paper's closing remark).
+
+use criterion::{BenchmarkId, Criterion};
+use scq_bbox::CornerQuery;
+use scq_bench::{quick_criterion, random_bboxes};
+use scq_engine::{bbox_execute, bbox_execute_parallel, ExecOptions, IndexKind};
+use scq_index::{RTree, SpatialIndex, SplitStrategy};
+use scq_zorder::ZOrderIndex;
+use std::hint::black_box;
+
+/// A wide overlay join: thousands of top-level candidates with real
+/// region work per candidate — the shape that parallelizes.
+fn overlay_workload() -> (scq_engine::SpatialDatabase<2>, scq_engine::Query<2>) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scq_engine::workload::clustered_boxes;
+    use scq_region::{AaBox, Region};
+    let universe = AaBox::new([0.0, 0.0], [1000.0, 1000.0]);
+    let mut db = scq_engine::SpatialDatabase::new(universe);
+    let mut rng = StdRng::seed_from_u64(777);
+    let xs = db.collection("xs");
+    let ys = db.collection("ys");
+    for r in clustered_boxes(&mut rng, 30, 60, &universe, 60.0, 14.0) {
+        db.insert(xs, r);
+    }
+    for r in clustered_boxes(&mut rng, 30, 60, &universe, 60.0, 14.0) {
+        db.insert(ys, r);
+    }
+    let sys = scq_core::parse_system("X & Y != 0; X & K != 0").unwrap();
+    let q = scq_engine::Query::new(sys)
+        .known("K", Region::from_box(AaBox::new([100.0, 100.0], [900.0, 900.0])))
+        .from_collection("X", xs)
+        .from_collection("Y", ys);
+    (db, q)
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b10_parallel");
+    let (db, q) = overlay_workload();
+    let seq = bbox_execute(&db, &q, IndexKind::RTree).unwrap();
+    println!(
+        "B10: {} solutions over {} × {} objects; host has {} CPU(s) — speedup \
+is only observable with >1",
+        seq.stats.solutions,
+        1800,
+        1800,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(bbox_execute(&db, &q, IndexKind::RTree).unwrap().stats.solutions))
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    black_box(
+                        bbox_execute_parallel(&db, &q, IndexKind::RTree, t, ExecOptions::all())
+                            .unwrap()
+                            .stats
+                            .solutions,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_zindex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b10_zindex");
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let items = random_bboxes(5, n, 3.0);
+        let universe = scq_bbox::Bbox::new([0.0, 0.0], [100.0, 100.0]);
+        let z = ZOrderIndex::from_items(universe, 10, items.iter().copied());
+        let rt = RTree::from_items(SplitStrategy::Quadratic, items.iter().copied());
+        let queries: Vec<CornerQuery<2>> = (0..16)
+            .map(|i| {
+                let x = (i * 6) as f64;
+                CornerQuery::unconstrained()
+                    .and_overlaps(&scq_bbox::Bbox::new([x, x], [x + 8.0, x + 8.0]))
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("zorder", n), &n, |b, _| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                let mut total = 0;
+                for q in &queries {
+                    out.clear();
+                    z.query_corner(q, &mut out);
+                    total += out.len();
+                }
+                black_box(total)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rtree", n), &n, |b, _| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                let mut total = 0;
+                for q in &queries {
+                    out.clear();
+                    rt.query_corner(q, &mut out);
+                    total += out.len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench_parallel(&mut c);
+    bench_zindex(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,72 @@
+//! B2 — the paper's §4 complexity remark: Algorithm 1 is exponential in
+//! the number of variables but runs at query-compilation time, where
+//! systems are small.
+//!
+//! Series: triangularization time vs number of variables for chained
+//! constraint systems (the worst realistic shape: every variable
+//! interacts with its neighbours).
+
+use criterion::{BenchmarkId, Criterion};
+use scq_bench::quick_criterion;
+use scq_boolean::{Formula, Var};
+use scq_core::{triangularize, NormalSystem};
+use std::hint::black_box;
+
+/// A chain system over n variables:
+/// eq = ⋁ᵢ (xᵢ ∧ ¬xᵢ₊₁)  (containment chain x₁ ⊆ x₂ ⊆ …)
+/// neqs: overlap of consecutive pairs.
+fn chain_system(n: u32) -> NormalSystem {
+    let mut eq = Formula::Zero;
+    let mut neqs = Vec::new();
+    for i in 0..n.saturating_sub(1) {
+        eq = Formula::or(
+            eq,
+            Formula::diff(Formula::var(Var(i)), Formula::var(Var(i + 1))),
+        );
+        neqs.push(Formula::and(Formula::var(Var(i)), Formula::var(Var(i + 1))));
+    }
+    NormalSystem { eq, neqs }
+}
+
+/// A dense system: every pair interacts (worst case).
+fn dense_system(n: u32) -> NormalSystem {
+    let mut eq = Formula::Zero;
+    let mut neqs = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            eq = Formula::or(
+                eq,
+                Formula::and(Formula::var(Var(i)), Formula::not(Formula::var(Var(j)))),
+            );
+            if (i + j) % 3 == 0 {
+                neqs.push(Formula::and(Formula::var(Var(i)), Formula::var(Var(j))));
+            }
+        }
+    }
+    NormalSystem { eq, neqs }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b2_triangular");
+    for n in [2u32, 4, 6, 8, 10] {
+        let sys = chain_system(n);
+        let order: Vec<Var> = (0..n).map(Var).collect();
+        group.bench_with_input(BenchmarkId::new("chain", n), &n, |b, _| {
+            b.iter(|| black_box(triangularize(&sys, &order).rows.len()))
+        });
+    }
+    for n in [2u32, 3, 4, 5, 6] {
+        let sys = dense_system(n);
+        let order: Vec<Var> = (0..n).map(Var).collect();
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            b.iter(|| black_box(triangularize(&sys, &order).rows.len()))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

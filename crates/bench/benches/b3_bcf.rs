@@ -1,0 +1,58 @@
+//! B3 — the paper's §4 remark: computing the Blake canonical form is
+//! exponential in the number of variables ("in practice this will not
+//! be a problem since both algorithms are executed during query
+//! compilation").
+//!
+//! Series: BCF time vs variable count on random sum-of-products inputs,
+//! plus the classic worst-ish case of chained consensus.
+
+use criterion::{BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scq_bench::quick_criterion;
+use scq_boolean::bcf::bcf_of_sop;
+use scq_boolean::random::random_sop;
+use scq_boolean::{blake_canonical_form, Formula, Var};
+use std::hint::black_box;
+
+/// Chained consensus ladder: (x0∧y) ∨ (¬x0∧x1∧y) ∨ (¬x1∧x2∧y) ∨ …
+/// produces a quadratic number of prime implicants.
+fn ladder(n: u32) -> Formula {
+    let y = Formula::var(Var(100));
+    let mut f = Formula::and(Formula::var(Var(0)), y.clone());
+    for i in 1..n {
+        f = Formula::or(
+            f,
+            Formula::and_all([
+                Formula::not(Formula::var(Var(i - 1))),
+                Formula::var(Var(i)),
+                y.clone(),
+            ]),
+        );
+    }
+    f
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b3_bcf");
+    for nvars in [4u32, 6, 8, 10, 12] {
+        let mut rng = StdRng::seed_from_u64(42 + nvars as u64);
+        let sop = random_sop(&mut rng, nvars, nvars * 2, 3);
+        group.bench_with_input(BenchmarkId::new("random_sop", nvars), &nvars, |b, _| {
+            b.iter(|| black_box(bcf_of_sop(sop.clone()).len()))
+        });
+    }
+    for n in [4u32, 8, 12, 16] {
+        let f = ladder(n);
+        group.bench_with_input(BenchmarkId::new("ladder", n), &n, |b, _| {
+            b.iter(|| black_box(blake_canonical_form(&f).len()))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

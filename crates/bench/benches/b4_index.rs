@@ -1,0 +1,79 @@
+//! B4 — substrate cost: range queries on the R-tree (linear and
+//! quadratic splits), the corner-space grid file, and the scan baseline.
+//!
+//! Series: query latency vs database size for overlap, containment and
+//! combined Figure-3 queries.
+
+use criterion::{BenchmarkId, Criterion};
+use scq_bbox::{Bbox, CornerQuery};
+use scq_bench::{quick_criterion, random_bboxes};
+use scq_index::{GridFile, RTree, ScanIndex, SpatialIndex, SplitStrategy};
+use std::hint::black_box;
+
+fn probe_queries() -> Vec<CornerQuery<2>> {
+    (0..16)
+        .map(|i| {
+            let x = (i * 6) as f64;
+            let probe = Bbox::new([x, x], [x + 8.0, x + 8.0]);
+            let inner = Bbox::new([x + 2.0, x + 2.0], [x + 3.0, x + 3.0]);
+            match i % 3 {
+                0 => CornerQuery::unconstrained().and_overlaps(&probe),
+                1 => CornerQuery::unconstrained().and_contained_in(&probe),
+                _ => CornerQuery::unconstrained()
+                    .and_contained_in(&probe)
+                    .and_contains(&inner)
+                    .and_overlaps(&inner),
+            }
+        })
+        .collect()
+}
+
+fn run_all<I: SpatialIndex<2>>(idx: &I, queries: &[CornerQuery<2>], out: &mut Vec<u64>) -> usize {
+    let mut total = 0;
+    for q in queries {
+        out.clear();
+        idx.query_corner(q, out);
+        total += out.len();
+    }
+    total
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b4_index");
+    let queries = probe_queries();
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let items = random_bboxes(7, n, 3.0);
+        let rt_lin = RTree::from_items(SplitStrategy::Linear, items.iter().copied());
+        let rt_quad = RTree::from_items(SplitStrategy::Quadratic, items.iter().copied());
+        let grid = GridFile::bulk_load(32, items.iter().copied());
+        let scan = ScanIndex::from_items(items.iter().copied());
+
+        let mut out = Vec::new();
+        let hits = run_all(&scan, &queries, &mut out);
+        println!("B4 n={n}: {hits} total hits over {} queries", queries.len());
+
+        group.bench_with_input(BenchmarkId::new("rtree_linear", n), &n, |b, _| {
+            let mut out = Vec::new();
+            b.iter(|| black_box(run_all(&rt_lin, &queries, &mut out)))
+        });
+        group.bench_with_input(BenchmarkId::new("rtree_quadratic", n), &n, |b, _| {
+            let mut out = Vec::new();
+            b.iter(|| black_box(run_all(&rt_quad, &queries, &mut out)))
+        });
+        group.bench_with_input(BenchmarkId::new("gridfile", n), &n, |b, _| {
+            let mut out = Vec::new();
+            b.iter(|| black_box(run_all(&grid, &queries, &mut out)))
+        });
+        group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            let mut out = Vec::new();
+            b.iter(|| black_box(run_all(&scan, &queries, &mut out)))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

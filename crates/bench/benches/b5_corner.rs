@@ -1,0 +1,95 @@
+//! B5 — Figure 3 ablation: answering the combined constraint
+//! `a ⊑ ⌈x⌉ ⊑ b ∧ ⌈x⌉ ⊓ c ≠ ∅` with ONE corner-transform range query
+//! versus three separate single-constraint queries intersected
+//! afterwards.
+
+use criterion::{BenchmarkId, Criterion};
+use scq_bbox::{Bbox, CornerQuery};
+use scq_bench::{quick_criterion, random_bboxes};
+use scq_index::{GridFile, RTree, SpatialIndex, SplitStrategy};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+struct Scenario {
+    a: Bbox<2>,
+    b: Bbox<2>,
+    c: Bbox<2>,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    (0..8)
+        .map(|i| {
+            let base = (i * 11) as f64;
+            Scenario {
+                a: Bbox::new([base + 3.0, base + 3.0], [base + 4.0, base + 4.0]),
+                b: Bbox::new([base, base], [base + 20.0, base + 20.0]),
+                c: Bbox::new([base + 8.0, base + 8.0], [base + 12.0, base + 12.0]),
+            }
+        })
+        .collect()
+}
+
+fn combined<I: SpatialIndex<2>>(idx: &I, s: &Scenario, out: &mut Vec<u64>) -> usize {
+    out.clear();
+    let q = CornerQuery::unconstrained()
+        .and_contains(&s.a)
+        .and_contained_in(&s.b)
+        .and_overlaps(&s.c);
+    idx.query_corner(&q, out);
+    out.len()
+}
+
+fn three_pass<I: SpatialIndex<2>>(idx: &I, s: &Scenario) -> usize {
+    let mut q1 = Vec::new();
+    idx.query_corner(&CornerQuery::unconstrained().and_contains(&s.a), &mut q1);
+    let mut q2 = Vec::new();
+    idx.query_corner(&CornerQuery::unconstrained().and_contained_in(&s.b), &mut q2);
+    let mut q3 = Vec::new();
+    idx.query_corner(&CornerQuery::unconstrained().and_overlaps(&s.c), &mut q3);
+    let s1: HashSet<u64> = q1.into_iter().collect();
+    let s2: HashSet<u64> = q2.into_iter().collect();
+    q3.into_iter().filter(|id| s1.contains(id) && s2.contains(id)).count()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b5_corner");
+    let ss = scenarios();
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let items = random_bboxes(21, n, 4.0);
+        let rtree = RTree::from_items(SplitStrategy::Quadratic, items.iter().copied());
+        let grid = GridFile::bulk_load(32, items.iter().copied());
+
+        // correctness cross-check + printed row
+        let mut out = Vec::new();
+        let single: usize = ss.iter().map(|s| combined(&rtree, s, &mut out)).sum();
+        let multi: usize = ss.iter().map(|s| three_pass(&rtree, s)).sum();
+        assert_eq!(single, multi);
+        println!("B5 n={n}: combined hits={single}");
+
+        group.bench_with_input(BenchmarkId::new("one_query_rtree", n), &n, |b, _| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                black_box(ss.iter().map(|s| combined(&rtree, s, &mut out)).sum::<usize>())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("three_pass_rtree", n), &n, |b, _| {
+            b.iter(|| black_box(ss.iter().map(|s| three_pass(&rtree, s)).sum::<usize>()))
+        });
+        group.bench_with_input(BenchmarkId::new("one_query_grid", n), &n, |b, _| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                black_box(ss.iter().map(|s| combined(&grid, s, &mut out)).sum::<usize>())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("three_pass_grid", n), &n, |b, _| {
+            b.iter(|| black_box(ss.iter().map(|s| three_pass(&grid, s)).sum::<usize>()))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

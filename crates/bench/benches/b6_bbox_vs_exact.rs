@@ -1,0 +1,153 @@
+//! B6 — the paper's §4 motivation for compile-time bounding-box
+//! functions: evaluating `L/U` on boxes is much cheaper than evaluating
+//! the Boolean functions on exact regions, at the price of false
+//! positives that the exact verification then rejects.
+//!
+//! Measures per-candidate filter cost (bbox-function filter vs exact
+//! region row check) and prints the observed false-positive rate of the
+//! bbox filter for increasingly fragmented regions.
+
+use criterion::{BenchmarkId, Criterion};
+use scq_algebra::Assignment;
+use scq_bbox::Bbox;
+use scq_bench::quick_criterion;
+use scq_core::plan::BboxPlan;
+use scq_core::{parse_system, triangularize};
+use scq_region::{AaBox, Region, RegionAlgebra};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+/// Regions made of `frags` fragments each.
+fn fragmented_regions(seed: u64, n: usize, frags: usize) -> Vec<Region<2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Region::from_boxes((0..frags).map(|_| {
+                let lo = [rng.random_range(0.0..90.0), rng.random_range(0.0..90.0)];
+                let w = [rng.random_range(1.0..8.0), rng.random_range(1.0..8.0)];
+                AaBox::new(lo, [lo[0] + w[0], lo[1] + w[1]])
+            }))
+        })
+        .collect()
+}
+
+/// Candidate X regions stratified by outcome: one third are shrunken
+/// sub-boxes of B fragments (exact passes), one third are jittered
+/// fragment copies (mostly bbox-only passes — false positives), one
+/// third are uniform noise (mostly misses).
+fn candidates_near(a: &Region<2>, b: &Region<2>, seed: u64, n: usize) -> Vec<Region<2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool: Vec<AaBox<2>> = a.boxes().iter().chain(b.boxes().iter()).copied().collect();
+    let b_frags: Vec<AaBox<2>> = b.boxes().to_vec();
+    (0..n)
+        .map(|i| match i % 3 {
+            0 => {
+                // sub-box of a B fragment: X ⊆ B ⊆ A∪B and X∩B ≠ ∅.
+                let src = b_frags[rng.random_range(0..b_frags.len())];
+                let (lo, hi) = (src.lo(), src.hi());
+                let cx = [lo[0] / 2.0 + hi[0] / 2.0, lo[1] / 2.0 + hi[1] / 2.0];
+                Region::from_box(AaBox::new(
+                    [lo[0] / 2.0 + cx[0] / 2.0, lo[1] / 2.0 + cx[1] / 2.0],
+                    [hi[0] / 2.0 + cx[0] / 2.0, hi[1] / 2.0 + cx[1] / 2.0],
+                ))
+            }
+            1 => {
+                // jittered fragment copy: bbox often still fits, region
+                // usually does not.
+                let src = pool[rng.random_range(0..pool.len())];
+                let (lo, hi) = (src.lo(), src.hi());
+                let jit = rng.random_range(0.5..4.0);
+                Region::from_box(AaBox::new(
+                    [lo[0] + jit * 0.5, lo[1] + jit],
+                    [hi[0] + jit, hi[1] + jit * 1.5],
+                ))
+            }
+            _ => {
+                let lo = [rng.random_range(0.0..90.0), rng.random_range(0.0..90.0)];
+                let w = [rng.random_range(1.0..8.0), rng.random_range(1.0..8.0)];
+                Region::from_box(AaBox::new(lo, [lo[0] + w[0], lo[1] + w[1]]))
+            }
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b6_bbox_vs_exact");
+    // Row: X ⊆ A ∪ B, X ∩ B ≠ ∅ — upper bound is a real bbox function.
+    let sys = parse_system("X <= A | B; X & B != 0").unwrap();
+    let (a, b, x) = (
+        sys.table.get("A").unwrap(),
+        sys.table.get("B").unwrap(),
+        sys.table.get("X").unwrap(),
+    );
+    let tri = triangularize(&sys.normalize(), &[a, b, x]);
+    let plan: BboxPlan<2> = BboxPlan::compile(&tri);
+    let row = plan.row_for(x).unwrap();
+    let alg = RegionAlgebra::new(AaBox::new([0.0, 0.0], [100.0, 100.0]));
+
+    for &frags in &[1usize, 4, 16] {
+        let known = fragmented_regions(5, 2, frags);
+        let candidates = candidates_near(&known[0], &known[1], 77, 400);
+        let mut var_boxes = [Bbox::Empty; 3];
+        var_boxes[a.index()] = known[0].bbox();
+        var_boxes[b.index()] = known[1].bbox();
+        let lookup = move |i: usize| var_boxes.get(i).copied().unwrap_or(Bbox::Empty);
+
+        // Printed row: false-positive rate of the bbox filter.
+        let q = row.corner_query(lookup);
+        let mut assign = Assignment::new();
+        assign.bind(a, known[0].clone());
+        assign.bind(b, known[1].clone());
+        let mut pass_bbox = 0usize;
+        let mut pass_exact = 0usize;
+        for cand in &candidates {
+            if q.matches(&cand.bbox()) {
+                pass_bbox += 1;
+                assign.bind(x, cand.clone());
+                if row.exact.check(&alg, &assign).unwrap() {
+                    pass_exact += 1;
+                }
+            }
+        }
+        println!(
+            "B6 frags={frags}: bbox passes {pass_bbox}/400, exact {pass_exact} (fp rate {:.1}%)",
+            100.0 * (pass_bbox - pass_exact) as f64 / pass_bbox.max(1) as f64
+        );
+
+        group.bench_with_input(BenchmarkId::new("bbox_filter", frags), &frags, |bch, _| {
+            bch.iter(|| {
+                let q = row.corner_query(lookup);
+                let mut n = 0;
+                for cand in &candidates {
+                    if q.matches(&cand.bbox()) {
+                        n += 1;
+                    }
+                }
+                black_box(n)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exact_rows", frags), &frags, |bch, _| {
+            let mut assign = Assignment::new();
+            assign.bind(a, known[0].clone());
+            assign.bind(b, known[1].clone());
+            bch.iter(|| {
+                let mut n = 0;
+                for cand in &candidates {
+                    assign.bind(x, cand.clone());
+                    if row.exact.check(&alg, &assign).unwrap() {
+                        n += 1;
+                    }
+                }
+                black_box(n)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

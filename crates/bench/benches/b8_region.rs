@@ -1,0 +1,57 @@
+//! B8 — substrate cost: exact region-algebra operations (union,
+//! intersection, complement, symmetric difference) as a function of
+//! fragment count. This is the cost the paper's compile-time bbox
+//! functions avoid at query time (see B6 for the head-to-head).
+
+use criterion::{BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use scq_bench::quick_criterion;
+use scq_region::{AaBox, Region, RegionAlgebra};
+use scq_algebra::BooleanAlgebra;
+use std::hint::black_box;
+
+fn region_with_fragments(seed: u64, frags: usize) -> Region<2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Region::from_boxes((0..frags).map(|_| {
+        let lo = [rng.random_range(0.0..90.0), rng.random_range(0.0..90.0)];
+        let w = [rng.random_range(0.5..6.0), rng.random_range(0.5..6.0)];
+        AaBox::new(lo, [lo[0] + w[0], lo[1] + w[1]])
+    }))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b8_region");
+    let alg = RegionAlgebra::new(AaBox::new([0.0, 0.0], [100.0, 100.0]));
+    for &frags in &[4usize, 16, 64, 256] {
+        let a = region_with_fragments(1, frags);
+        let b = region_with_fragments(2, frags);
+        println!(
+            "B8 frags={frags}: |a|={} |b|={} (stored fragments)",
+            a.fragment_count(),
+            b.fragment_count()
+        );
+        group.bench_with_input(BenchmarkId::new("union", frags), &frags, |bch, _| {
+            bch.iter(|| black_box(a.union(&b).fragment_count()))
+        });
+        group.bench_with_input(BenchmarkId::new("intersection", frags), &frags, |bch, _| {
+            bch.iter(|| black_box(a.intersection(&b).fragment_count()))
+        });
+        group.bench_with_input(BenchmarkId::new("complement", frags), &frags, |bch, _| {
+            bch.iter(|| black_box(alg.complement(&a).fragment_count()))
+        });
+        group.bench_with_input(BenchmarkId::new("sym_diff", frags), &frags, |bch, _| {
+            bch.iter(|| black_box(a.sym_diff(&b).fragment_count()))
+        });
+        group.bench_with_input(BenchmarkId::new("bbox", frags), &frags, |bch, _| {
+            bch.iter(|| black_box(a.bbox()))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,72 @@
+//! B9 — the constructive solver (Theorem 7 made executable): cost of
+//! synthesizing region assignments for chain systems of growing length,
+//! and of rejecting unsatisfiable inputs.
+
+use criterion::{BenchmarkId, Criterion};
+use scq_algebra::Assignment;
+use scq_bench::quick_criterion;
+use scq_boolean::{Formula, Var};
+use scq_core::constraint::{normalize, Constraint};
+use scq_core::{solve, triangularize};
+use scq_region::{AaBox, Region, RegionAlgebra};
+use std::hint::black_box;
+
+fn v(i: u32) -> Formula {
+    Formula::var(Var(i))
+}
+
+/// x0 ⊂ x1 ⊂ … ⊂ x_{n-1}, x0 ≠ ∅, all inside a known envelope.
+fn chain(n: u32) -> Vec<Constraint> {
+    let mut cs = vec![Constraint::NotSubset(v(0), Formula::Zero)];
+    for i in 0..n - 1 {
+        cs.push(Constraint::ProperSubset(v(i), v(i + 1)));
+    }
+    cs.push(Constraint::Subset(v(n - 1), v(n))); // envelope var
+    cs
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b9_solver");
+    let alg = RegionAlgebra::new(AaBox::new([0.0, 0.0], [100.0, 100.0]));
+    for n in [2u32, 4, 6, 8] {
+        let sys = normalize(&chain(n));
+        let mut order: Vec<Var> = vec![Var(n)];
+        order.extend((0..n).rev().map(Var));
+        let tri = triangularize(&sys, &order);
+        let knowns = Assignment::new().with(
+            Var(n),
+            Region::from_box(AaBox::new([10.0, 10.0], [90.0, 90.0])),
+        );
+        // sanity: it solves
+        assert!(solve(&tri, &alg, &knowns).unwrap().is_some());
+        group.bench_with_input(BenchmarkId::new("chain_solve", n), &n, |b, _| {
+            b.iter(|| black_box(solve(&tri, &alg, &knowns).unwrap().is_some()))
+        });
+        // compilation separately
+        group.bench_with_input(BenchmarkId::new("chain_compile", n), &n, |b, _| {
+            b.iter(|| black_box(triangularize(&sys, &order).rows.len()))
+        });
+    }
+    // unsat detection cost: contradictory chain
+    let mut cs = chain(5);
+    cs.push(Constraint::Subset(v(4), Formula::Zero)); // top of chain empty
+    let sys = normalize(&cs);
+    let mut order: Vec<Var> = vec![Var(5)];
+    order.extend((0..5).rev().map(Var));
+    let tri = triangularize(&sys, &order);
+    let knowns = Assignment::new().with(
+        Var(5),
+        Region::from_box(AaBox::new([10.0, 10.0], [90.0, 90.0])),
+    );
+    assert!(solve(&tri, &alg, &knowns).unwrap().is_none());
+    group.bench_function("unsat_detection", |b| {
+        b.iter(|| black_box(solve(&tri, &alg, &knowns).unwrap().is_none()))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,436 @@
+//! Regenerates the EXPERIMENTS.md summary table: one row per experiment
+//! with the qualitative quantity the paper's claim is about (speedups,
+//! pruning factors, false-positive rates, result counts), measured on
+//! this machine.
+//!
+//! ```sh
+//! cargo run --release -p scq-bench --bin experiments
+//! ```
+//!
+//! Criterion (`cargo bench`) produces the detailed latency
+//! distributions; this binary produces the compact paper-vs-measured
+//! table.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use scq_algebra::{Assignment, BooleanAlgebra};
+use scq_bbox::Bbox;
+use scq_bench::{random_bboxes, smuggler_setup};
+use scq_boolean::{Formula, Var};
+use scq_core::plan::BboxPlan;
+use scq_core::{parse_system, triangularize, NormalSystem};
+use scq_engine::{bbox_execute, naive_execute, triangular_execute, IndexKind};
+use scq_index::{GridFile, RTree, ScanIndex, SpatialIndex, SplitStrategy};
+use scq_region::{AaBox, Region, RegionAlgebra};
+use scq_zorder::{zorder_join, ZCurve};
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed().as_secs_f64() * 1e3)
+}
+
+fn b1() {
+    println!("## B1 — join executors (smuggler query)");
+    println!("| n_roads | naive ms | triangular ms | bbox(R-tree) ms | bad-order ms | first-only ms | solutions | naive partials | bbox partials |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for n in [40usize, 120, 360] {
+        let (db, q) = smuggler_setup(1000 + n as u64, n);
+        let (rb, tb) = time(|| bbox_execute(&db, &q, IndexKind::RTree).unwrap());
+        let (_rt, tt) = time(|| triangular_execute(&db, &q).unwrap());
+        let q_bad = q.clone().with_order(&["B", "R", "T"]);
+        let (_rbad, tbad) = time(|| bbox_execute(&db, &q_bad, IndexKind::RTree).unwrap());
+        let (_rf, tf) = time(|| {
+            scq_engine::bbox_execute_opts(&db, &q, IndexKind::RTree, scq_engine::ExecOptions::first())
+                .unwrap()
+        });
+        let (naive_str, naive_partials) = if n <= 120 {
+            let (rn, tn) = time(|| naive_execute(&db, &q).unwrap());
+            (format!("{tn:.2}"), rn.stats.partial_tuples.to_string())
+        } else {
+            ("—".into(), "—".into())
+        };
+        println!(
+            "| {n} | {naive_str} | {tt:.2} | {tb:.2} | {tbad:.2} | {tf:.2} | {} | {naive_partials} | {} |",
+            rb.stats.solutions, rb.stats.partial_tuples
+        );
+    }
+}
+
+fn b2() {
+    println!("\n## B2 — Algorithm 1 compile time vs #vars (chain systems)");
+    println!("| n vars | time ms |");
+    println!("|---|---|");
+    for n in [2u32, 4, 6, 8, 10] {
+        let mut eq = Formula::Zero;
+        let mut neqs = Vec::new();
+        for i in 0..n - 1 {
+            eq = Formula::or(eq, Formula::diff(Formula::var(Var(i)), Formula::var(Var(i + 1))));
+            neqs.push(Formula::and(Formula::var(Var(i)), Formula::var(Var(i + 1))));
+        }
+        let sys = NormalSystem { eq, neqs };
+        let order: Vec<Var> = (0..n).map(Var).collect();
+        let (_, t) = time(|| triangularize(&sys, &order));
+        println!("| {n} | {t:.3} |");
+    }
+}
+
+fn b3() {
+    println!("\n## B3 — Blake canonical form vs #vars (random SOP, 2n cubes)");
+    println!("| n vars | time ms | prime implicants |");
+    println!("|---|---|---|");
+    for n in [4u32, 6, 8, 10, 12] {
+        let mut rng = StdRng::seed_from_u64(42 + n as u64);
+        let sop = scq_boolean::random::random_sop(&mut rng, n, n * 2, 3);
+        let (bcf, t) = time(|| scq_boolean::bcf::bcf_of_sop(sop));
+        println!("| {n} | {t:.3} | {} |", bcf.len());
+    }
+}
+
+fn b4() {
+    println!("\n## B4 — range-query latency (16 mixed queries, total ms)");
+    println!("| n | rtree-lin | rtree-quad | gridfile | scan |");
+    println!("|---|---|---|---|---|");
+    for n in [1_000usize, 10_000, 50_000] {
+        let items = random_bboxes(7, n, 3.0);
+        let rt_lin = RTree::from_items(SplitStrategy::Linear, items.iter().copied());
+        let rt_quad = RTree::from_items(SplitStrategy::Quadratic, items.iter().copied());
+        let grid = GridFile::bulk_load(32, items.iter().copied());
+        let scan = ScanIndex::from_items(items.iter().copied());
+        let queries: Vec<_> = (0..16)
+            .map(|i| {
+                let x = (i * 6) as f64;
+                scq_bbox::CornerQuery::unconstrained()
+                    .and_overlaps(&Bbox::new([x, x], [x + 8.0, x + 8.0]))
+            })
+            .collect();
+        let run = |idx: &dyn Fn(&scq_bbox::CornerQuery<2>, &mut Vec<u64>)| {
+            let mut out = Vec::new();
+            let t = Instant::now();
+            for _ in 0..10 {
+                for q in &queries {
+                    out.clear();
+                    idx(q, &mut out);
+                }
+            }
+            t.elapsed().as_secs_f64() * 1e3 / 10.0
+        };
+        let t1 = run(&|q, out| rt_lin.query_corner(q, out));
+        let t2 = run(&|q, out| rt_quad.query_corner(q, out));
+        let t3 = run(&|q, out| grid.query_corner(q, out));
+        let t4 = run(&|q, out| scan.query_corner(q, out));
+        println!("| {n} | {t1:.3} | {t2:.3} | {t3:.3} | {t4:.3} |");
+    }
+}
+
+fn b5() {
+    println!("\n## B5 — one corner query vs three passes (R-tree, total ms)");
+    println!("| n | one query | three passes |");
+    println!("|---|---|---|");
+    for n in [1_000usize, 10_000, 50_000] {
+        let items = random_bboxes(21, n, 4.0);
+        let rtree = RTree::from_items(SplitStrategy::Quadratic, items.iter().copied());
+        let a = Bbox::new([33.0, 33.0], [34.0, 34.0]);
+        let b = Bbox::new([30.0, 30.0], [50.0, 50.0]);
+        let c = Bbox::new([38.0, 38.0], [42.0, 42.0]);
+        let (_, t_one) = time(|| {
+            let mut out = Vec::new();
+            for _ in 0..50 {
+                out.clear();
+                let q = scq_bbox::CornerQuery::unconstrained()
+                    .and_contains(&a)
+                    .and_contained_in(&b)
+                    .and_overlaps(&c);
+                rtree.query_corner(&q, &mut out);
+            }
+            out.len()
+        });
+        let (_, t_three) = time(|| {
+            let mut total = 0;
+            for _ in 0..50 {
+                let mut q1 = Vec::new();
+                rtree.query_corner(&scq_bbox::CornerQuery::unconstrained().and_contains(&a), &mut q1);
+                let mut q2 = Vec::new();
+                rtree.query_corner(&scq_bbox::CornerQuery::unconstrained().and_contained_in(&b), &mut q2);
+                let mut q3 = Vec::new();
+                rtree.query_corner(&scq_bbox::CornerQuery::unconstrained().and_overlaps(&c), &mut q3);
+                let s1: std::collections::HashSet<u64> = q1.into_iter().collect();
+                let s2: std::collections::HashSet<u64> = q2.into_iter().collect();
+                total += q3.into_iter().filter(|id| s1.contains(id) && s2.contains(id)).count();
+            }
+            total
+        });
+        println!("| {n} | {t_one:.3} | {t_three:.3} |");
+    }
+}
+
+fn b6() {
+    println!("\n## B6 — bbox filter vs exact region check (400 candidates)");
+    println!("| frags | bbox ms | exact ms | bbox passes | exact passes | fp rate |");
+    println!("|---|---|---|---|---|---|");
+    let sys = parse_system("X <= A | B; X & B != 0").unwrap();
+    let (a, b, x) = (
+        sys.table.get("A").unwrap(),
+        sys.table.get("B").unwrap(),
+        sys.table.get("X").unwrap(),
+    );
+    let tri = triangularize(&sys.normalize(), &[a, b, x]);
+    let plan: BboxPlan<2> = BboxPlan::compile(&tri);
+    let row = plan.row_for(x).unwrap();
+    let alg = RegionAlgebra::new(AaBox::new([0.0, 0.0], [100.0, 100.0]));
+    for frags in [1usize, 4, 16] {
+        let mk = |seed: u64, n: usize| -> Vec<Region<2>> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..n)
+                .map(|_| {
+                    Region::from_boxes((0..frags).map(|_| {
+                        let lo = [rng.random_range(0.0..90.0), rng.random_range(0.0..90.0)];
+                        let w = [rng.random_range(1.0..8.0), rng.random_range(1.0..8.0)];
+                        AaBox::new(lo, [lo[0] + w[0], lo[1] + w[1]])
+                    }))
+                })
+                .collect()
+        };
+        let known = mk(5, 2);
+        // Stratified candidates: sub-boxes of B fragments (exact pass),
+        // jittered fragment copies (bbox-only), uniform noise (miss).
+        let candidates: Vec<Region<2>> = {
+            let mut rng = StdRng::seed_from_u64(77);
+            let pool: Vec<AaBox<2>> =
+                known.iter().flat_map(|r| r.boxes().iter().copied()).collect();
+            let b_frags: Vec<AaBox<2>> = known[1].boxes().to_vec();
+            (0..400usize)
+                .map(|i| match i % 3 {
+                    0 => {
+                        let src = b_frags[rng.random_range(0..b_frags.len())];
+                        let (lo, hi) = (src.lo(), src.hi());
+                        let cx = [lo[0] / 2.0 + hi[0] / 2.0, lo[1] / 2.0 + hi[1] / 2.0];
+                        Region::from_box(AaBox::new(
+                            [lo[0] / 2.0 + cx[0] / 2.0, lo[1] / 2.0 + cx[1] / 2.0],
+                            [hi[0] / 2.0 + cx[0] / 2.0, hi[1] / 2.0 + cx[1] / 2.0],
+                        ))
+                    }
+                    1 => {
+                        let src = pool[rng.random_range(0..pool.len())];
+                        let (lo, hi) = (src.lo(), src.hi());
+                        let jit = rng.random_range(0.5..4.0);
+                        Region::from_box(AaBox::new(
+                            [lo[0] + jit * 0.5, lo[1] + jit],
+                            [hi[0] + jit, hi[1] + jit * 1.5],
+                        ))
+                    }
+                    _ => {
+                        let lo =
+                            [rng.random_range(0.0..90.0), rng.random_range(0.0..90.0)];
+                        let w = [rng.random_range(1.0..8.0), rng.random_range(1.0..8.0)];
+                        Region::from_box(AaBox::new(lo, [lo[0] + w[0], lo[1] + w[1]]))
+                    }
+                })
+                .collect()
+        };
+        let mut var_boxes = [Bbox::Empty; 3];
+        var_boxes[a.index()] = known[0].bbox();
+        var_boxes[b.index()] = known[1].bbox();
+        let lookup = |i: usize| var_boxes.get(i).copied().unwrap_or(Bbox::Empty);
+        let q = row.corner_query(lookup);
+        let (n_bbox, t_bbox) = time(|| candidates.iter().filter(|r| q.matches(&r.bbox())).count());
+        let mut assign = Assignment::new();
+        assign.bind(a, known[0].clone());
+        assign.bind(b, known[1].clone());
+        let (n_exact, t_exact) = time(|| {
+            candidates
+                .iter()
+                .filter(|r| {
+                    assign.bind(x, (*r).clone());
+                    row.exact.check(&alg, &assign).unwrap()
+                })
+                .count()
+        });
+        println!(
+            "| {frags} | {t_bbox:.3} | {t_exact:.3} | {n_bbox} | {n_exact} | {:.1}% |",
+            100.0 * (n_bbox.saturating_sub(n_exact)) as f64 / n_bbox.max(1) as f64
+        );
+    }
+}
+
+fn b7() {
+    println!("\n## B7 — overlay join: z-order vs engine vs nested loop");
+    println!("| n per side | zorder ms | engine ms | nested ms | pairs |");
+    println!("|---|---|---|---|---|");
+    for n in [500usize, 2_000, 8_000] {
+        let left = random_bboxes(100, n, 2.0);
+        let right = random_bboxes(200, n, 2.0);
+        let l_items: Vec<_> = left.iter().map(|&(id, b)| (b, id)).collect();
+        let r_items: Vec<_> = right.iter().map(|&(id, b)| (b, id)).collect();
+        let curve = ZCurve::new(Bbox::new([0.0, 0.0], [100.0, 100.0]), 10);
+        let (pairs, t_z) = time(|| zorder_join(&curve, &l_items, &r_items).len());
+        let mut db = scq_engine::SpatialDatabase::new(AaBox::new([0.0, 0.0], [100.0, 100.0]));
+        let cx = db.collection("X");
+        let cy = db.collection("Y");
+        for (_, bx) in &left {
+            db.insert(cx, Region::from_box(AaBox::new(bx.lo().unwrap(), bx.hi().unwrap())));
+        }
+        for (_, bx) in &right {
+            db.insert(cy, Region::from_box(AaBox::new(bx.lo().unwrap(), bx.hi().unwrap())));
+        }
+        let sys = parse_system("X & Y != 0").unwrap();
+        let q = scq_engine::Query::new(sys).from_collection("X", cx).from_collection("Y", cy);
+        let (_, t_e) = time(|| bbox_execute(&db, &q, IndexKind::RTree).unwrap());
+        let t_n = if n <= 2_000 {
+            let (_, t) = time(|| {
+                l_items
+                    .iter()
+                    .map(|(lb, _)| r_items.iter().filter(|(rb, _)| lb.overlaps(rb)).count())
+                    .sum::<usize>()
+            });
+            format!("{t:.2}")
+        } else {
+            "—".into()
+        };
+        println!("| {n} | {t_z:.2} | {t_e:.2} | {t_n} | {pairs} |");
+    }
+}
+
+fn b8() {
+    println!("\n## B8 — region-algebra operation cost vs fragments (ms)");
+    println!("| frags | union | intersection | complement | bbox |");
+    println!("|---|---|---|---|---|");
+    let alg = RegionAlgebra::new(AaBox::new([0.0, 0.0], [100.0, 100.0]));
+    for frags in [4usize, 16, 64, 256] {
+        let mk = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Region::from_boxes((0..frags).map(|_| {
+                let lo = [rng.random_range(0.0..90.0), rng.random_range(0.0..90.0)];
+                let w = [rng.random_range(0.5..6.0), rng.random_range(0.5..6.0)];
+                AaBox::new(lo, [lo[0] + w[0], lo[1] + w[1]])
+            }))
+        };
+        let a = mk(1);
+        let b = mk(2);
+        let (_, tu) = time(|| a.union(&b));
+        let (_, ti) = time(|| a.intersection(&b));
+        let (_, tc) = time(|| alg.complement(&a));
+        let (_, tb) = time(|| a.bbox());
+        println!("| {frags} | {tu:.3} | {ti:.3} | {tc:.3} | {tb:.4} |");
+    }
+}
+
+fn b9() {
+    println!("\n## B9 — constructive solver (chain of proper subsets)");
+    println!("| n vars | compile ms | solve ms |");
+    println!("|---|---|---|");
+    use scq_core::constraint::{normalize, Constraint};
+    let alg = RegionAlgebra::new(AaBox::new([0.0, 0.0], [100.0, 100.0]));
+    for n in [2u32, 4, 6, 8] {
+        let mut cs = vec![Constraint::NotSubset(
+            Formula::var(Var(0)),
+            Formula::Zero,
+        )];
+        for i in 0..n - 1 {
+            cs.push(Constraint::ProperSubset(Formula::var(Var(i)), Formula::var(Var(i + 1))));
+        }
+        cs.push(Constraint::Subset(Formula::var(Var(n - 1)), Formula::var(Var(n))));
+        let sys = normalize(&cs);
+        let mut order: Vec<Var> = vec![Var(n)];
+        order.extend((0..n).rev().map(Var));
+        let (tri, t_compile) = time(|| triangularize(&sys, &order));
+        let knowns = Assignment::new().with(
+            Var(n),
+            Region::from_box(AaBox::new([10.0, 10.0], [90.0, 90.0])),
+        );
+        let (res, t_solve) = time(|| scq_core::solve(&tri, &alg, &knowns).unwrap());
+        assert!(res.is_some());
+        println!("| {n} | {t_compile:.3} | {t_solve:.3} |");
+    }
+}
+
+fn b10() {
+    println!("\n## B10 — parallel executor and z-order index");
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("host CPUs: {cpus} (speedup requires >1)");
+    println!("| threads | overlay join ms |");
+    println!("|---|---|");
+    let (db, q) = {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use scq_engine::workload::clustered_boxes;
+        let universe = AaBox::new([0.0, 0.0], [1000.0, 1000.0]);
+        let mut db = scq_engine::SpatialDatabase::new(universe);
+        let mut rng = StdRng::seed_from_u64(777);
+        let xs = db.collection("xs");
+        let ys = db.collection("ys");
+        for r in clustered_boxes(&mut rng, 30, 60, &universe, 60.0, 14.0) {
+            db.insert(xs, r);
+        }
+        for r in clustered_boxes(&mut rng, 30, 60, &universe, 60.0, 14.0) {
+            db.insert(ys, r);
+        }
+        let sys = parse_system("X & Y != 0; X & K != 0").unwrap();
+        let q = scq_engine::Query::new(sys)
+            .known("K", Region::from_box(AaBox::new([100.0, 100.0], [900.0, 900.0])))
+            .from_collection("X", xs)
+            .from_collection("Y", ys);
+        (db, q)
+    };
+    let (_, t_seq) = time(|| bbox_execute(&db, &q, IndexKind::RTree).unwrap());
+    println!("| 1 (sequential) | {t_seq:.2} |");
+    for t in [2usize, 4] {
+        let (_, ms) = time(|| {
+            scq_engine::bbox_execute_parallel(
+                &db,
+                &q,
+                IndexKind::RTree,
+                t,
+                scq_engine::ExecOptions::all(),
+            )
+            .unwrap()
+        });
+        println!("| {t} | {ms:.2} |");
+    }
+    println!("\n| n | z-order index ms | rtree ms | (16 overlap queries) |");
+    println!("|---|---|---|---|");
+    for n in [1_000usize, 10_000, 50_000] {
+        let items = random_bboxes(5, n, 3.0);
+        let z = scq_zorder::ZOrderIndex::from_items(
+            Bbox::new([0.0, 0.0], [100.0, 100.0]),
+            10,
+            items.iter().copied(),
+        );
+        let rt = RTree::from_items(SplitStrategy::Quadratic, items.iter().copied());
+        let queries: Vec<scq_bbox::CornerQuery<2>> = (0..16)
+            .map(|i| {
+                let x = (i * 6) as f64;
+                scq_bbox::CornerQuery::unconstrained()
+                    .and_overlaps(&Bbox::new([x, x], [x + 8.0, x + 8.0]))
+            })
+            .collect();
+        let run = |f: &dyn Fn(&scq_bbox::CornerQuery<2>, &mut Vec<u64>)| {
+            let mut out = Vec::new();
+            let t = Instant::now();
+            for q in &queries {
+                out.clear();
+                f(q, &mut out);
+            }
+            t.elapsed().as_secs_f64() * 1e3
+        };
+        let tz = run(&|q, out| z.query_corner(q, out));
+        let tr = run(&|q, out| rt.query_corner(q, out));
+        println!("| {n} | {tz:.3} | {tr:.3} | |");
+    }
+}
+
+fn main() {
+    println!("# Experiment summary (generated by `cargo run --release -p scq-bench --bin experiments`)\n");
+    b1();
+    b2();
+    b3();
+    b4();
+    b5();
+    b6();
+    b7();
+    b8();
+    b9();
+    b10();
+}

@@ -1,0 +1,92 @@
+//! Shared helpers for the experiment benches (B1–B8).
+//!
+//! Each bench in `benches/` regenerates one experiment row/series from
+//! EXPERIMENTS.md. The helpers here build deterministic databases and
+//! query sets so that criterion timings and the printed auxiliary
+//! statistics (solution counts, candidate counts, false-positive rates)
+//! are reproducible.
+
+use criterion::Criterion;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use scq_bbox::Bbox;
+use scq_engine::workload::{map_workload, MapParams};
+use scq_engine::{Query, SpatialDatabase};
+use scq_region::{AaBox, Region};
+
+/// Criterion tuned for a large suite: short warm-up, few samples. The
+/// shapes (who wins, scaling exponents) are robust to this; absolute
+/// numbers are machine-specific anyway.
+pub fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+        .configure_from_args()
+}
+
+/// Random boxes with the given count inside the 0..100 square.
+pub fn random_bboxes(seed: u64, n: usize, max_size: f64) -> Vec<(u64, Bbox<2>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n as u64)
+        .map(|id| {
+            let lo = [rng.random_range(0.0..95.0), rng.random_range(0.0..95.0)];
+            let w = [rng.random_range(0.1..max_size), rng.random_range(0.1..max_size)];
+            (id, Bbox::new(lo, [(lo[0] + w[0]).min(100.0), (lo[1] + w[1]).min(100.0)]))
+        })
+        .collect()
+}
+
+/// Random single-box regions.
+pub fn random_regions(seed: u64, n: usize, max_size: f64) -> Vec<Region<2>> {
+    random_bboxes(seed, n, max_size)
+        .into_iter()
+        .map(|(_, b)| {
+            Region::from_box(AaBox::new(b.lo().unwrap(), b.hi().unwrap()))
+        })
+        .collect()
+}
+
+/// The smuggler benchmark database at a given scale.
+pub fn smuggler_setup(seed: u64, n_roads: usize) -> (SpatialDatabase<2>, Query<2>) {
+    let mut db = SpatialDatabase::new(AaBox::new([0.0, 0.0], [1000.0, 1000.0]));
+    let w = map_workload(
+        &mut db,
+        seed,
+        &MapParams {
+            n_states: 8,
+            n_towns: n_roads / 4,
+            n_roads,
+            useful_road_fraction: 0.05,
+        },
+    );
+    let sys = scq_core::parse_system(
+        "A <= C; B <= C; R <= A | B | T; R & A != 0; R & T != 0; T < C",
+    )
+    .expect("parses");
+    let q = Query::new(sys)
+        .known("C", w.country.clone())
+        .known("A", w.area.clone())
+        .from_collection("T", w.towns)
+        .from_collection("R", w.roads)
+        .from_collection("B", w.states)
+        .with_order(&["T", "R", "B"]);
+    (db, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_are_deterministic() {
+        assert_eq!(random_bboxes(1, 10, 5.0), random_bboxes(1, 10, 5.0));
+        let (db1, _) = smuggler_setup(3, 40);
+        let (db2, _) = smuggler_setup(3, 40);
+        assert_eq!(
+            db1.collection_len(db1.collection_id("roads").unwrap()),
+            db2.collection_len(db2.collection_id("roads").unwrap())
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Product-of-sums forms and prime *implicates* — the duals of the SOP
+//! machinery, used by Blake's theorem in its dual form (the paper
+//! mentions "Blake canonical forms and their duals" before Theorem 19).
+//!
+//! A clause is a disjunction of literals; we reuse [`Cube`] as the
+//! literal container and interpret it disjunctively via [`Pos`].
+//! Consensus on clauses is propositional **resolution**, and the dual
+//! Blake canonical form is the conjunction of all prime implicates.
+
+use crate::bcf::bcf_of_sop;
+use crate::cube::{Cube, Sop};
+use crate::dnf::complement_to_sop;
+use crate::formula::Formula;
+use crate::var::Var;
+
+/// A product of sums: a conjunction of clauses.
+///
+/// Each [`Cube`] in `clauses` is read as the *disjunction* of its
+/// literals. The empty product is the constant `1`; a product containing
+/// the empty clause is `0`.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Pos {
+    clauses: Vec<Cube>,
+}
+
+impl Pos {
+    /// The constant `1` (empty conjunction).
+    pub fn one() -> Self {
+        Pos::default()
+    }
+
+    /// The constant `0` (contains the empty clause).
+    pub fn zero() -> Self {
+        Pos { clauses: vec![Cube::one()] }
+    }
+
+    /// The clauses (each cube read disjunctively).
+    pub fn clauses(&self) -> &[Cube] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether there are no clauses (the constant `1`).
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Whether this is syntactically the constant `1`.
+    pub fn is_one(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Whether the product contains the empty clause (constant `0`).
+    pub fn is_zero(&self) -> bool {
+        self.clauses.iter().any(Cube::is_one)
+    }
+
+    /// Two-valued evaluation (each clause is a disjunction).
+    pub fn eval2<F: Fn(Var) -> bool + Copy>(&self, assign: F) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.literals().any(|l| assign(l.var) == l.positive))
+    }
+
+    /// Converts to a formula: conjunction of clause disjunctions.
+    pub fn to_formula(&self) -> Formula {
+        Formula::and_all(self.clauses.iter().map(|c| {
+            Formula::or_all(c.literals().map(|l| l.to_formula()))
+        }))
+    }
+
+    /// Canonically ordered clause list.
+    pub fn sorted_clauses(&self) -> Vec<Cube> {
+        let mut v = self.clauses.clone();
+        v.sort();
+        v
+    }
+}
+
+/// Negates every literal of a cube (De Morgan bridge between cube and
+/// clause worlds: `¬(l₁ ∧ … ∧ lₙ) = ¬l₁ ∨ … ∨ ¬lₙ`).
+fn negate_literals(c: &Cube) -> Cube {
+    Cube::from_literals(c.literals().map(|l| l.complement()))
+        .expect("negating distinct literals cannot clash")
+}
+
+/// Converts a formula to product-of-sums form.
+///
+/// Via duality: the SOP of `¬f`, with every cube's literals negated,
+/// is a CNF of `f`.
+pub fn formula_to_pos(f: &Formula) -> Pos {
+    let not_f = complement_to_sop(f);
+    Pos { clauses: not_f.cubes().iter().map(negate_literals).collect() }
+}
+
+/// The dual Blake canonical form: the conjunction of all **prime
+/// implicates** of `f` (clauses `c` with `f ≤ c`, minimal under literal
+/// deletion). Computed by running iterated consensus on `¬f` (clause
+/// consensus = resolution, by duality) and negating back.
+pub fn dual_blake_canonical_form(f: &Formula) -> Pos {
+    let not_f_bcf: Sop = bcf_of_sop(complement_to_sop(f));
+    Pos { clauses: not_f_bcf.cubes().iter().map(negate_literals).collect() }
+}
+
+/// The prime implicates of `f` in canonical order.
+pub fn prime_implicates(f: &Formula) -> Vec<Cube> {
+    dual_blake_canonical_form(f).sorted_clauses()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::Literal;
+
+    fn v(i: u32) -> Formula {
+        Formula::var(Var(i))
+    }
+
+    fn equivalent(f: &Formula, p: &Pos, nvars: u32) {
+        for bits in 0u32..(1 << nvars) {
+            let assign = |x: Var| bits >> x.0 & 1 == 1;
+            assert_eq!(p.eval2(assign), f.eval2(assign), "bits = {bits:b}");
+        }
+    }
+
+    #[test]
+    fn cnf_preserves_semantics() {
+        let f = Formula::or(Formula::and(v(0), v(1)), Formula::and(Formula::not(v(1)), v(2)));
+        let p = formula_to_pos(&f);
+        equivalent(&f, &p, 3);
+        let g = p.to_formula();
+        let mut bdd = crate::bdd::Bdd::new();
+        assert!(bdd.equivalent(&f, &g));
+    }
+
+    #[test]
+    fn constants() {
+        assert!(formula_to_pos(&Formula::One).is_one());
+        assert!(formula_to_pos(&Formula::Zero).is_zero());
+        assert_eq!(Pos::one().to_formula(), Formula::One);
+        assert!(Pos::zero().is_zero());
+        assert!(!Pos::zero().eval2(|_| true));
+    }
+
+    #[test]
+    fn prime_implicates_are_implied_and_minimal() {
+        let f = Formula::and(Formula::or(v(0), v(1)), Formula::or(Formula::not(v(1)), v(2)));
+        let implicates = prime_implicates(&f);
+        assert!(!implicates.is_empty());
+        for clause in &implicates {
+            // f ⟹ clause on all assignments
+            for bits in 0u32..8 {
+                let assign = |x: Var| bits >> x.0 & 1 == 1;
+                if f.eval2(assign) {
+                    assert!(
+                        clause.literals().any(|l| assign(l.var) == l.positive),
+                        "clause {clause} not implied"
+                    );
+                }
+            }
+            // minimal: dropping any literal breaks implication
+            for l in clause.literals() {
+                let smaller: Vec<Literal> =
+                    clause.literals().filter(|&m| m != l).collect();
+                if smaller.is_empty() {
+                    continue;
+                }
+                let violated = (0u32..8).any(|bits| {
+                    let assign = |x: Var| bits >> x.0 & 1 == 1;
+                    f.eval2(assign)
+                        && !smaller.iter().any(|m| assign(m.var) == m.positive)
+                });
+                assert!(violated, "clause {clause} not prime");
+            }
+        }
+    }
+
+    #[test]
+    fn resolution_finds_derived_implicates() {
+        // (x ∨ y)(¬x ∨ z) has the resolvent (y ∨ z) as a prime implicate.
+        let f = Formula::and(Formula::or(v(0), v(1)), Formula::or(Formula::not(v(0)), v(2)));
+        let implicates = prime_implicates(&f);
+        let want = Cube::from_literals([Literal::pos(Var(1)), Literal::pos(Var(2))]).unwrap();
+        assert!(implicates.contains(&want), "resolvent y∨z missing: {implicates:?}");
+    }
+
+    #[test]
+    fn dual_blake_is_canonical() {
+        let f1 = Formula::and(Formula::or(v(0), v(1)), Formula::or(v(0), v(2)));
+        let f2 = Formula::or(v(0), Formula::and(v(1), v(2)));
+        assert_eq!(
+            dual_blake_canonical_form(&f1).sorted_clauses(),
+            dual_blake_canonical_form(&f2).sorted_clauses()
+        );
+        equivalent(&f1, &dual_blake_canonical_form(&f1), 3);
+    }
+
+    #[test]
+    fn duality_round_trip() {
+        // prime implicates of f = negated prime implicants of ¬f
+        let f = Formula::xor(v(0), v(1));
+        let implicates = prime_implicates(&f);
+        let not_f = Formula::not(f);
+        let implicants = crate::bcf::prime_implicants(&not_f);
+        let negated: Vec<Cube> = implicants.iter().map(negate_literals).collect();
+        let mut negated = negated;
+        negated.sort();
+        assert_eq!(implicates, negated);
+    }
+}

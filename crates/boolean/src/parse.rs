@@ -1,0 +1,299 @@
+//! A small recursive-descent parser for Boolean formulas.
+//!
+//! Grammar (precedence low → high; `|`/`+`/`\/` are synonyms, as are
+//! `&`/`*`/`/\` and `~`/`!`):
+//!
+//! ```text
+//! or    := xor ( ("|" | "+" | "\/") xor )*
+//! xor   := and ( "^" and )*
+//! and   := not ( ("&" | "*" | "/\") not )*
+//! not   := ("~" | "!") not | atom
+//! atom  := "0" | "1" | ident | "(" or ")"
+//! ident := [A-Za-z_][A-Za-z0-9_]*
+//! ```
+//!
+//! Identifiers are interned into the caller's [`VarTable`], so parsing the
+//! same name in two formulas yields the same [`crate::Var`].
+
+use std::fmt;
+
+use crate::formula::Formula;
+use crate::var::VarTable;
+
+/// Error produced by [`parse_formula`], with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte position of the offending token.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Zero,
+    One,
+    Ident(String),
+    Not,
+    And,
+    Or,
+    Xor,
+    LParen,
+    RParen,
+}
+
+fn lex(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '0' => {
+                toks.push((i, Tok::Zero));
+                i += 1;
+            }
+            '1' => {
+                toks.push((i, Tok::One));
+                i += 1;
+            }
+            '~' | '!' => {
+                toks.push((i, Tok::Not));
+                i += 1;
+            }
+            '&' | '*' => {
+                toks.push((i, Tok::And));
+                i += 1;
+            }
+            '|' | '+' => {
+                toks.push((i, Tok::Or));
+                i += 1;
+            }
+            '^' => {
+                toks.push((i, Tok::Xor));
+                i += 1;
+            }
+            '(' => {
+                toks.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                toks.push((i, Tok::RParen));
+                i += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'\\' => {
+                toks.push((i, Tok::And));
+                i += 2;
+            }
+            '\\' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                toks.push((i, Tok::Or));
+                i += 2;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push((start, Tok::Ident(input[start..i].to_owned())));
+            }
+            other => {
+                return Err(ParseError {
+                    position: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    table: &'a mut VarTable,
+    input_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks.get(self.pos).map(|&(p, _)| p).unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn or_expr(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.xor_expr()?;
+        while matches!(self.peek(), Some(Tok::Or)) {
+            self.bump();
+            let g = self.xor_expr()?;
+            f = Formula::or(f, g);
+        }
+        Ok(f)
+    }
+
+    fn xor_expr(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.and_expr()?;
+        while matches!(self.peek(), Some(Tok::Xor)) {
+            self.bump();
+            let g = self.and_expr()?;
+            f = Formula::xor(f, g);
+        }
+        Ok(f)
+    }
+
+    fn and_expr(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.not_expr()?;
+        while matches!(self.peek(), Some(Tok::And)) {
+            self.bump();
+            let g = self.not_expr()?;
+            f = Formula::and(f, g);
+        }
+        Ok(f)
+    }
+
+    fn not_expr(&mut self) -> Result<Formula, ParseError> {
+        if matches!(self.peek(), Some(Tok::Not)) {
+            self.bump();
+            let f = self.not_expr()?;
+            return Ok(Formula::not(f));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Formula, ParseError> {
+        let at = self.here();
+        match self.bump() {
+            Some(Tok::Zero) => Ok(Formula::Zero),
+            Some(Tok::One) => Ok(Formula::One),
+            Some(Tok::Ident(name)) => Ok(Formula::var(self.table.intern(&name))),
+            Some(Tok::LParen) => {
+                let f = self.or_expr()?;
+                match self.bump() {
+                    Some(Tok::RParen) => Ok(f),
+                    _ => Err(ParseError { position: at, message: "unclosed parenthesis".into() }),
+                }
+            }
+            Some(t) => {
+                Err(ParseError { position: at, message: format!("unexpected token {t:?}") })
+            }
+            None => Err(ParseError { position: at, message: "unexpected end of input".into() }),
+        }
+    }
+}
+
+/// Parses a formula, interning variable names into `table`.
+///
+/// ```
+/// use scq_boolean::{parse_formula, VarTable};
+/// let mut t = VarTable::new();
+/// let f = parse_formula("(A | B) & ~C", &mut t).unwrap();
+/// assert_eq!(f.display(&t).to_string(), "(A | B) & ~C");
+/// ```
+pub fn parse_formula(input: &str, table: &mut VarTable) -> Result<Formula, ParseError> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, pos: 0, table, input_len: input.len() };
+    let f = p.or_expr()?;
+    if p.pos != p.toks.len() {
+        return Err(ParseError { position: p.here(), message: "trailing input".into() });
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bdd::Bdd;
+    use crate::var::Var;
+
+    fn parse(s: &str) -> (Formula, VarTable) {
+        let mut t = VarTable::new();
+        let f = parse_formula(s, &mut t).unwrap();
+        (f, t)
+    }
+
+    #[test]
+    fn precedence() {
+        let (f, t) = parse("a | b & c");
+        let a = Formula::var(t.get("a").unwrap());
+        let b = Formula::var(t.get("b").unwrap());
+        let c = Formula::var(t.get("c").unwrap());
+        assert_eq!(f, Formula::or(a, Formula::and(b, c)));
+    }
+
+    #[test]
+    fn synonyms() {
+        let (f1, _) = parse("a /\\ b \\/ ~c");
+        let (f2, _) = parse("a & b | !c");
+        let (f3, _) = parse("a * b + ~c");
+        assert_eq!(f1, f2);
+        assert_eq!(f2, f3);
+    }
+
+    #[test]
+    fn xor_parses() {
+        let (f, _) = parse("a ^ b");
+        let mut bdd = Bdd::new();
+        let g = Formula::xor(Formula::var(Var(0)), Formula::var(Var(1)));
+        assert!(bdd.equivalent(&f, &g));
+    }
+
+    #[test]
+    fn constants_and_parens() {
+        let (f, _) = parse("(0 | 1) & (a)");
+        assert_eq!(f.to_string(), "x0");
+    }
+
+    #[test]
+    fn same_name_same_var() {
+        let mut t = VarTable::new();
+        let f = parse_formula("A & A", &mut t).unwrap();
+        assert_eq!(f, Formula::var(t.get("A").unwrap()));
+        let g = parse_formula("A | B", &mut t).unwrap();
+        assert!(g.mentions(t.get("A").unwrap()));
+    }
+
+    #[test]
+    fn errors() {
+        let mut t = VarTable::new();
+        assert!(parse_formula("", &mut t).is_err());
+        assert!(parse_formula("a &", &mut t).is_err());
+        assert!(parse_formula("(a", &mut t).is_err());
+        assert!(parse_formula("a b", &mut t).is_err());
+        assert!(parse_formula("a $ b", &mut t).is_err());
+        let e = parse_formula("a @", &mut t).unwrap_err();
+        assert_eq!(e.position, 2);
+        assert!(e.to_string().contains("byte 2"));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for src in ["a & b | ~c", "(a | b) & c", "~(a & b)", "a ^ b & c"] {
+            let mut t = VarTable::new();
+            let f = parse_formula(src, &mut t).unwrap();
+            let printed = f.display(&t).to_string();
+            let mut t2 = t.clone();
+            let g = parse_formula(&printed, &mut t2).unwrap();
+            let mut bdd = Bdd::new();
+            assert!(bdd.equivalent(&f, &g), "{src} -> {printed}");
+        }
+    }
+}

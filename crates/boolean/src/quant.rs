@@ -1,0 +1,98 @@
+//! The classical theorems of Boole and Schröder as executable rewrites.
+//!
+//! These are the formula-level building blocks of the paper's Section 3:
+//!
+//! * **Theorem 2 (Boole)** — `∃x (f = 0)  ⟺  f[x←0] · f[x←1] = 0`.
+//! * **Theorem 10 (Schröder)** — `f = 0  ⟺  f[x←0] ≤ x ≤ ¬f[x←1]`,
+//!   turning an equation into a *range constraint* on `x`.
+//! * **Theorem 11 (Boole expansion)** — `f = x·f[x←1] ∨ ¬x·f[x←0]`,
+//!   isolating `x` in disequations.
+
+use crate::formula::Formula;
+use crate::var::Var;
+
+/// Boole's elimination (Theorem 2): the formula `e` with
+/// `∃x (f = 0) ⟺ e = 0`, namely `e = f[x←0] ∧ f[x←1]`.
+pub fn exists_eq0(f: &Formula, x: Var) -> Formula {
+    Formula::and(f.cofactor(x, false), f.cofactor(x, true))
+}
+
+/// The range form of `f = 0` with respect to `x` (Schröder, Theorem 10):
+/// returns `(s, t)` such that `f = 0 ⟺ s ≤ x ≤ t` where `s = f[x←0]`
+/// and `t = ¬f[x←1]`.
+pub fn schroder_range(f: &Formula, x: Var) -> (Formula, Formula) {
+    (f.cofactor(x, false), Formula::not(f.cofactor(x, true)))
+}
+
+/// Boole's expansion (Theorem 11): returns `(p, q)` with
+/// `f ≡ x·p ∨ ¬x·q`, i.e. `p = f[x←1]`, `q = f[x←0]`.
+pub fn boole_expansion(f: &Formula, x: Var) -> (Formula, Formula) {
+    (f.cofactor(x, true), f.cofactor(x, false))
+}
+
+/// Reassembles Boole's expansion — useful for round-trip checks.
+pub fn expand(x: Var, p: &Formula, q: &Formula) -> Formula {
+    Formula::or(
+        Formula::and(Formula::var(x), p.clone()),
+        Formula::and(Formula::not(Formula::var(x)), q.clone()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bdd::Bdd;
+
+    fn v(i: u32) -> Formula {
+        Formula::var(Var(i))
+    }
+
+    #[test]
+    fn boole_expansion_round_trips() {
+        let mut bdd = Bdd::new();
+        let f = Formula::or(
+            Formula::and(v(0), Formula::not(v(1))),
+            Formula::and(v(2), v(0)),
+        );
+        let (p, q) = boole_expansion(&f, Var(0));
+        assert!(!p.mentions(Var(0)));
+        assert!(!q.mentions(Var(0)));
+        let back = expand(Var(0), &p, &q);
+        assert!(bdd.equivalent(&f, &back));
+    }
+
+    #[test]
+    fn exists_eq0_two_valued_semantics() {
+        // In the two-valued algebra ∃x f=0 means: some x∈{0,1} makes f
+        // evaluate to 0 under every assignment of the other vars.
+        let f = Formula::and(v(0), v(1)); // f=0 solvable for x0 always (x0:=0)
+        let e = exists_eq0(&f, Var(0));
+        let mut bdd = Bdd::new();
+        assert!(bdd.is_zero_formula(&e), "e = 0 identically");
+
+        let g = Formula::One; // never 0
+        let eg = exists_eq0(&g, Var(0));
+        assert!(bdd.is_one_formula(&eg), "unsolvable stays 1 ≠ 0");
+    }
+
+    #[test]
+    fn schroder_range_brackets_solutions() {
+        // f = x ⊕ y: f=0 iff x=y, so range should pin x to y: s=y, t=y.
+        let mut bdd = Bdd::new();
+        let f = Formula::xor(v(0), v(1));
+        let (s, t) = schroder_range(&f, Var(0));
+        assert!(bdd.equivalent(&s, &v(1)));
+        assert!(bdd.equivalent(&t, &v(1)));
+    }
+
+    #[test]
+    fn schroder_solvability_matches_boole() {
+        // s ≤ t is solvable iff s ∧ ¬t = 0 iff f0 ∧ f1 = 0 (Boole).
+        let mut bdd = Bdd::new();
+        let f = Formula::or(Formula::and(v(0), v(1)), Formula::and(Formula::not(v(0)), v(2)));
+        let (s, t) = schroder_range(&f, Var(0));
+        let s_not_t = Formula::diff(s, t);
+        let boole = exists_eq0(&f, Var(0));
+        assert!(bdd.equivalent(&s_not_t, &boole));
+    }
+}

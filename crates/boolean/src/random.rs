@@ -1,0 +1,113 @@
+//! Seeded random generators for formulas, cubes and SOPs.
+//!
+//! Used by property tests and by the benchmark workload generators; all
+//! functions take an external [`Rng`] so callers control seeding and
+//! reproducibility.
+
+use rand::{Rng, RngExt};
+
+use crate::cube::{Cube, Literal, Sop};
+use crate::formula::Formula;
+use crate::var::Var;
+
+/// Parameters for random formula generation.
+#[derive(Clone, Copy, Debug)]
+pub struct FormulaConfig {
+    /// Number of distinct variables `x0..x{nvars-1}`.
+    pub nvars: u32,
+    /// Maximum AST depth.
+    pub depth: u32,
+    /// Probability of generating a constant leaf instead of a variable.
+    pub const_prob: f64,
+}
+
+impl Default for FormulaConfig {
+    fn default() -> Self {
+        FormulaConfig { nvars: 4, depth: 5, const_prob: 0.05 }
+    }
+}
+
+/// Generates a random formula.
+pub fn random_formula<R: Rng + ?Sized>(rng: &mut R, cfg: &FormulaConfig) -> Formula {
+    if cfg.depth == 0 || rng.random_range(0..4) == 0 {
+        if rng.random_bool(cfg.const_prob) {
+            return if rng.random_bool(0.5) { Formula::Zero } else { Formula::One };
+        }
+        return Formula::var(Var(rng.random_range(0..cfg.nvars)));
+    }
+    let smaller = FormulaConfig { depth: cfg.depth - 1, ..*cfg };
+    match rng.random_range(0..3) {
+        0 => Formula::not(random_formula(rng, &smaller)),
+        1 => Formula::and(random_formula(rng, &smaller), random_formula(rng, &smaller)),
+        _ => Formula::or(random_formula(rng, &smaller), random_formula(rng, &smaller)),
+    }
+}
+
+/// Generates a random cube over `nvars` variables with roughly
+/// `literals` literals (duplicate picks are merged).
+pub fn random_cube<R: Rng + ?Sized>(rng: &mut R, nvars: u32, literals: u32) -> Cube {
+    let mut c = Cube::one();
+    for _ in 0..literals {
+        let var = Var(rng.random_range(0..nvars));
+        let lit = Literal { var, positive: rng.random_bool(0.5) };
+        // A clashing literal would zero the cube; flip it instead.
+        c = match c.and_literal(lit) {
+            Some(next) => next,
+            None => c.and_literal(lit.complement()).expect("complement cannot clash"),
+        };
+    }
+    c
+}
+
+/// Generates a random SOP with `ncubes` cubes of about `lits_per_cube`
+/// literals each.
+pub fn random_sop<R: Rng + ?Sized>(
+    rng: &mut R,
+    nvars: u32,
+    ncubes: u32,
+    lits_per_cube: u32,
+) -> Sop {
+    Sop::from_cubes((0..ncubes).map(|_| random_cube(rng, nvars, lits_per_cube)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = FormulaConfig { nvars: 5, depth: 6, const_prob: 0.1 };
+        let f1 = random_formula(&mut StdRng::seed_from_u64(42), &cfg);
+        let f2 = random_formula(&mut StdRng::seed_from_u64(42), &cfg);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn respects_variable_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = FormulaConfig { nvars: 3, depth: 8, const_prob: 0.0 };
+        for _ in 0..50 {
+            let f = random_formula(&mut rng, &cfg);
+            assert!(f.vars().iter().all(|v| v.0 < 3));
+        }
+    }
+
+    #[test]
+    fn random_cube_never_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let c = random_cube(&mut rng, 4, 6);
+            assert!(c.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn random_sop_has_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = random_sop(&mut rng, 6, 8, 3);
+        assert!(s.len() <= 8);
+        assert!(s.vars().iter().all(|v| v.0 < 6));
+    }
+}

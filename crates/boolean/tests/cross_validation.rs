@@ -1,0 +1,119 @@
+//! Cross-validation of the crate's three independent semantic engines:
+//! two-valued evaluation, the BDD, and the Blake canonical form with
+//! syllogistic reasoning. Any disagreement means a bug in one of them.
+
+use proptest::prelude::*;
+use scq_boolean::bcf;
+use scq_boolean::quant;
+use scq_boolean::{blake_canonical_form, formula_to_sop, Bdd, Formula, Var};
+
+fn formula_strategy(nvars: u32) -> BoxedStrategy<Formula> {
+    let leaf = prop_oneof![
+        4 => (0..nvars).prop_map(|i| Formula::var(Var(i))),
+        1 => Just(Formula::Zero),
+        1 => Just(Formula::One),
+    ];
+    leaf.prop_recursive(5, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Formula::or(a, b)),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// BDD agrees with brute-force truth tables.
+    #[test]
+    fn bdd_matches_truth_table(f in formula_strategy(4)) {
+        let mut bdd = Bdd::new();
+        let n = bdd.from_formula(&f);
+        let count = bdd.sat_count(n, 4);
+        let brute = (0u32..16)
+            .filter(|&bits| f.eval2(|v| bits >> v.0 & 1 == 1))
+            .count() as u64;
+        prop_assert_eq!(count, brute);
+    }
+
+    /// BCF preserves semantics and is canonical.
+    #[test]
+    fn bcf_semantics_and_canonicity(f in formula_strategy(4)) {
+        let cf = blake_canonical_form(&f);
+        for bits in 0u32..16 {
+            let assign = |v: Var| bits >> v.0 & 1 == 1;
+            prop_assert_eq!(cf.eval2(assign), f.eval2(assign));
+        }
+        // canonicity: BCF of a syntactic variant is identical
+        let variant = Formula::not(Formula::not(Formula::or(f.clone(), Formula::Zero)));
+        prop_assert_eq!(
+            blake_canonical_form(&variant).sorted_cubes(),
+            cf.sorted_cubes()
+        );
+    }
+
+    /// Syllogistic implication (via BCF) agrees with the BDD.
+    #[test]
+    fn implication_engines_agree(f in formula_strategy(3), g in formula_strategy(3)) {
+        let mut bdd = Bdd::new();
+        prop_assert_eq!(bcf::implies(&f, &g), bdd.implies(&f, &g));
+        prop_assert_eq!(bcf::equivalent(&f, &g), bdd.equivalent(&f, &g));
+    }
+
+    /// DNF conversion preserves semantics.
+    #[test]
+    fn dnf_preserves_semantics(f in formula_strategy(4)) {
+        let sop = formula_to_sop(&f);
+        for bits in 0u32..16 {
+            let assign = |v: Var| bits >> v.0 & 1 == 1;
+            prop_assert_eq!(sop.eval2(assign), f.eval2(assign));
+        }
+    }
+
+    /// Boole's quantification theorem checked through the BDD:
+    /// `∃x (f = 0)` over the two-valued algebra means some cofactor is
+    /// unsatisfiable pointwise: f0·f1 evaluates to 0.
+    #[test]
+    fn boole_elimination_agrees_with_bdd(f in formula_strategy(3)) {
+        let mut bdd = Bdd::new();
+        let e = quant::exists_eq0(&f, Var(0));
+        // for every assignment of the other vars: e = 0 iff some value
+        // of x0 makes f evaluate to 0.
+        for bits in 0u32..8 {
+            let assign = |v: Var| bits >> v.0 & 1 == 1;
+            let e_val = e.eval2(assign);
+            let exists = [false, true].iter().any(|&x0| {
+                !f.eval2(|v| if v == Var(0) { x0 } else { assign(v) })
+            });
+            prop_assert_eq!(!e_val, exists);
+        }
+        let _ = bdd.from_formula(&e); // exercise BDD path too
+    }
+
+    /// Schröder's range form is equivalent to the equation, pointwise.
+    #[test]
+    fn schroder_range_equivalence(f in formula_strategy(3)) {
+        let (s, t) = quant::schroder_range(&f, Var(0));
+        for bits in 0u32..8 {
+            let assign = |v: Var| bits >> v.0 & 1 == 1;
+            let f_zero = !f.eval2(assign);
+            let x = assign(Var(0));
+            let s_val = s.eval2(assign);
+            let t_val = t.eval2(assign);
+            // f = 0 ⟺ s ≤ x ≤ t  (in Bool2: s→x and x→t)
+            let in_range = (!s_val || x) && (!x || t_val);
+            prop_assert_eq!(f_zero, in_range);
+        }
+    }
+
+    /// Boole expansion is the identity.
+    #[test]
+    fn boole_expansion_identity(f in formula_strategy(3)) {
+        let (p, q) = quant::boole_expansion(&f, Var(1));
+        let back = quant::expand(Var(1), &p, &q);
+        let mut bdd = Bdd::new();
+        prop_assert!(bdd.equivalent(&f, &back));
+    }
+}

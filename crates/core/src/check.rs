@@ -1,0 +1,113 @@
+//! Algebra-generic exact evaluation of constraints and systems.
+
+use scq_algebra::eval::UnboundVar;
+use scq_algebra::{eval_formula, Assignment, BooleanAlgebra};
+
+use crate::constraint::{Constraint, NormalSystem};
+
+/// Whether a single surface constraint holds under `assign`.
+pub fn check_constraint<A: BooleanAlgebra>(
+    alg: &A,
+    c: &Constraint,
+    assign: &Assignment<A::Elem>,
+) -> Result<bool, UnboundVar> {
+    let ev = |f| eval_formula(alg, f, assign);
+    Ok(match c {
+        Constraint::Subset(f, g) => alg.le(&ev(f)?, &ev(g)?),
+        Constraint::NotSubset(f, g) => !alg.le(&ev(f)?, &ev(g)?),
+        Constraint::Eq(f, g) => alg.eq_elem(&ev(f)?, &ev(g)?),
+        Constraint::Neq(f, g) => !alg.eq_elem(&ev(f)?, &ev(g)?),
+        Constraint::ProperSubset(f, g) => {
+            let (a, b) = (ev(f)?, ev(g)?);
+            alg.le(&a, &b) && !alg.eq_elem(&a, &b)
+        }
+        Constraint::Disjoint(f, g) => alg.is_zero(&alg.meet(&ev(f)?, &ev(g)?)),
+        Constraint::Overlaps(f, g) => !alg.is_zero(&alg.meet(&ev(f)?, &ev(g)?)),
+    })
+}
+
+/// Whether every constraint of a system holds.
+pub fn check_system<A: BooleanAlgebra>(
+    alg: &A,
+    constraints: &[Constraint],
+    assign: &Assignment<A::Elem>,
+) -> Result<bool, UnboundVar> {
+    for c in constraints {
+        if !check_constraint(alg, c, assign)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Whether a Theorem-1 normal system holds.
+pub fn check_normal<A: BooleanAlgebra>(
+    alg: &A,
+    s: &NormalSystem,
+    assign: &Assignment<A::Elem>,
+) -> Result<bool, UnboundVar> {
+    if !alg.is_zero(&eval_formula(alg, &s.eq, assign)?) {
+        return Ok(false);
+    }
+    for g in &s.neqs {
+        if alg.is_zero(&eval_formula(alg, g, assign)?) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::normalize;
+    use scq_algebra::BitsetAlgebra;
+    use scq_boolean::{Formula, Var};
+
+    fn v(i: u32) -> Formula {
+        Formula::var(Var(i))
+    }
+
+    #[test]
+    fn surface_and_normal_agree() {
+        let alg = BitsetAlgebra::new(3);
+        let cs = vec![
+            Constraint::Subset(v(0), v(1)),
+            Constraint::Overlaps(v(0), v(2)),
+            Constraint::Neq(v(1), v(2)),
+        ];
+        let n = normalize(&cs);
+        for a in alg.elements() {
+            for b in alg.elements() {
+                for c in alg.elements() {
+                    let assign = Assignment::new()
+                        .with(Var(0), a)
+                        .with(Var(1), b)
+                        .with(Var(2), c);
+                    assert_eq!(
+                        check_system(&alg, &cs, &assign).unwrap(),
+                        check_normal(&alg, &n, &assign).unwrap(),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unbound_variables_error() {
+        let alg = BitsetAlgebra::new(2);
+        let c = Constraint::Subset(v(0), v(5));
+        let assign = Assignment::new().with(Var(0), 1u64);
+        assert_eq!(check_constraint(&alg, &c, &assign), Err(UnboundVar(Var(5))));
+    }
+
+    #[test]
+    fn proper_subset_strictness() {
+        let alg = BitsetAlgebra::new(2);
+        let c = Constraint::ProperSubset(v(0), v(1));
+        let strict = Assignment::new().with(Var(0), 0b01u64).with(Var(1), 0b11u64);
+        assert!(check_constraint(&alg, &c, &strict).unwrap());
+        let equal = Assignment::new().with(Var(0), 0b11u64).with(Var(1), 0b11u64);
+        assert!(!check_constraint(&alg, &c, &equal).unwrap());
+    }
+}

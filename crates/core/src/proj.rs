@@ -1,0 +1,282 @@
+//! The projection operator `proj(S, x)` — the best unquantified
+//! approximation of `∃x S` (paper, Theorem 4 and the Definition after
+//! it; Theorem 9 for optimality).
+//!
+//! With `S = (f = 0 ∧ g₁ ≠ 0 ∧ … ∧ gₘ ≠ 0)`, write `A = f[x←0]`,
+//! `B = f[x←1]`, `Cᵢ = gᵢ[x←0]`, `Dᵢ = gᵢ[x←1]`. Then
+//!
+//! ```text
+//! proj(S, x)  =  A·B = 0  ∧  ⋀ᵢ ( ¬B·Dᵢ ∨ ¬A·Cᵢ ≠ 0 )
+//! ```
+//!
+//! `∃x S ⟹ proj(S, x)` always (soundness, Theorem 4 + weak
+//! independence); on **atomless** algebras the converse holds too
+//! (Theorems 6–7), so projection is exact quantifier elimination there.
+//!
+//! The module also ships witness construction: given an assignment
+//! satisfying `proj(S, x)` in an atomless algebra, [`witness`] builds an
+//! element for `x` satisfying `S`, following the constructive proofs of
+//! Lemma 3 and Theorem 6.
+
+use scq_algebra::Atomless;
+use scq_boolean::{Formula, Var};
+
+use crate::constraint::NormalSystem;
+use crate::simplify::simplify;
+
+/// Computes `proj(S, x)`, with formulas simplified to Blake canonical
+/// form.
+pub fn proj(s: &NormalSystem, x: Var) -> NormalSystem {
+    let a = s.eq.cofactor(x, false);
+    let b = s.eq.cofactor(x, true);
+    let eq = simplify(&Formula::and(a.clone(), b.clone()));
+    let not_a = Formula::not(a);
+    let not_b = Formula::not(b);
+    let neqs = s
+        .neqs
+        .iter()
+        .map(|g| {
+            let c = g.cofactor(x, false);
+            let d = g.cofactor(x, true);
+            simplify(&Formula::or(
+                Formula::and(not_b.clone(), d),
+                Formula::and(not_a.clone(), c),
+            ))
+        })
+        .collect();
+    NormalSystem { eq, neqs }
+}
+
+/// Constructs a witness for `x` in an atomless algebra.
+///
+/// Given concrete values `a = f[x←0]`, `b̄ = ¬f[x←1]` (the Schröder range
+/// `a ≤ x ≤ b̄`) and disequation pairs `(pᵢ, qᵢ)` (meaning
+/// `x·pᵢ ∨ ¬x·qᵢ ≠ 0`), all evaluated in `alg`, finds an `x` satisfying
+/// the row — or `None` if the row is unsatisfiable.
+///
+/// Construction (following Lemma 3 / Theorem 6): start from the minimal
+/// solution `x = lower`. A disequation still unsatisfied at the minimum
+/// has `lower·pᵢ = 0` and `qᵢ ≤ lower`; it can only be fixed by growing
+/// `x` inside `pᵢ`'s available slack `pᵢ · upper · ¬x`. Two passes keep
+/// growth from breaking `¬x·qⱼ`-satisfied disequations: first a
+/// *reservation* pass sets aside a nonzero proper part of each needed
+/// `qⱼ ∧ ¬x` (a proper part exists because the algebra is atomless);
+/// then the growth pass only consumes slack outside the reservations.
+/// A final verification keeps the function sound even where the
+/// reservation heuristic would fall short of Theorem 6's full
+/// partition-refinement construction.
+pub fn witness<A: Atomless>(
+    alg: &A,
+    lower: &A::Elem,
+    upper: &A::Elem,
+    diseqs: &[(A::Elem, A::Elem)],
+) -> Option<A::Elem> {
+    if !alg.le(lower, upper) {
+        return None; // range empty: no solution to the equation
+    }
+    let mut x = lower.clone();
+
+    // Reservation pass: for every disequation currently satisfiable
+    // through its ¬x·q side, set aside a nonzero piece of `q ∧ ¬x` that
+    // later growth is forbidden to consume. Reserving only a *proper
+    // part* (atomlessness) keeps most of the space available to the
+    // growth pass.
+    let mut reserved = alg.zero();
+    for (p, q) in diseqs {
+        if !alg.is_zero(&alg.meet(&x, p)) {
+            continue; // already satisfied via the x side; growth keeps it
+        }
+        let q_avail = alg.diff(q, &x);
+        if !alg.is_zero(&q_avail) {
+            let piece = alg.proper_part(&q_avail).unwrap_or(q_avail);
+            reserved = alg.join(&reserved, &piece);
+        }
+    }
+
+    // Growth pass: disequations with no ¬x·q escape must be satisfied
+    // by growing x inside p's slack (minus reservations).
+    for (p, q) in diseqs {
+        if !alg.is_zero(&alg.meet(&x, p)) || !alg.is_zero(&alg.diff(q, &x)) {
+            continue;
+        }
+        let slack = alg.diff(&alg.meet(p, &alg.diff(upper, &x)), &reserved);
+        if alg.is_zero(&slack) {
+            return None; // cannot satisfy this disequation
+        }
+        let piece = alg.proper_part(&slack).unwrap_or(slack);
+        x = alg.join(&x, &piece);
+    }
+
+    // Defensive re-verification: the reservation discipline should make
+    // this a no-op, but soundness must not rest on the heuristic.
+    for (p, q) in diseqs {
+        if alg.is_zero(&alg.meet(&x, p)) && alg.is_zero(&alg.diff(q, &x)) {
+            return None;
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scq_algebra::{eval_formula, Assignment, BitsetAlgebra, BooleanAlgebra};
+
+    fn v(i: u32) -> Formula {
+        Formula::var(Var(i))
+    }
+
+    /// Evaluates a normal system over the bitset algebra.
+    fn holds(alg: &BitsetAlgebra, s: &NormalSystem, assign: &Assignment<u64>) -> bool {
+        if !alg.is_zero(&eval_formula(alg, &s.eq, assign).unwrap()) {
+            return false;
+        }
+        s.neqs.iter().all(|g| !alg.is_zero(&eval_formula(alg, g, assign).unwrap()))
+    }
+
+    #[test]
+    fn paper_example_1() {
+        // S = (x·y = 0 ∧ ¬x·y ≠ 0); proj(S, x) should be y ≠ 0.
+        let s = NormalSystem {
+            eq: Formula::and(v(0), v(1)),
+            neqs: vec![Formula::and(Formula::not(v(0)), v(1))],
+        };
+        let p = proj(&s, Var(0));
+        assert_eq!(p.eq, Formula::Zero);
+        assert_eq!(p.neqs, vec![v(1)]);
+    }
+
+    #[test]
+    fn boole_on_pure_equation() {
+        // proj of an equation-only system is Boole's theorem: f0 · f1 = 0.
+        let f = Formula::or(Formula::and(v(0), v(1)), Formula::and(Formula::not(v(0)), v(2)));
+        let s = NormalSystem { eq: f.clone(), neqs: vec![] };
+        let p = proj(&s, Var(0));
+        let boole = simplify(&Formula::and(f.cofactor(Var(0), false), f.cofactor(Var(0), true)));
+        assert_eq!(p.eq, boole);
+        assert!(p.neqs.is_empty());
+    }
+
+    #[test]
+    fn soundness_exhaustive_on_bitsets() {
+        // ∃x S ⟹ proj(S, x), checked exhaustively on 2^3 bitsets for a
+        // batch of random systems over 3 variables.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use scq_boolean::random::{random_formula, FormulaConfig};
+
+        let alg = BitsetAlgebra::new(3);
+        let mut rng = StdRng::seed_from_u64(2024);
+        let cfg = FormulaConfig { nvars: 3, depth: 4, const_prob: 0.1 };
+        for _ in 0..30 {
+            let s = NormalSystem {
+                eq: random_formula(&mut rng, &cfg),
+                neqs: vec![random_formula(&mut rng, &cfg), random_formula(&mut rng, &cfg)],
+            };
+            let p = proj(&s, Var(0));
+            for y in alg.elements() {
+                for z in alg.elements() {
+                    let base = Assignment::new().with(Var(1), y).with(Var(2), z);
+                    let exists = alg.elements().any(|x| {
+                        let a = base.clone().with(Var(0), x);
+                        holds(&alg, &s, &a)
+                    });
+                    if exists {
+                        assert!(holds(&alg, &p, &base), "proj must be implied; y={y:b} z={z:b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strictness_on_atomic_algebras() {
+        // The paper's non-closure example: x ⊆ y, x ≠ 0, y∖x ≠ 0 forces
+        // |y| ≥ 2. proj says y ≠ 0 — satisfiable by a singleton y in the
+        // powerset algebra even though no x exists. This demonstrates
+        // that proj is a strict over-approximation on ATOMIC algebras.
+        let s = NormalSystem {
+            eq: Formula::diff(v(0), v(1)), // x∖y = 0, i.e. x ⊆ y
+            neqs: vec![v(0), Formula::diff(v(1), v(0))],
+        };
+        let p = proj(&s, Var(0));
+        let alg = BitsetAlgebra::new(4);
+        let singleton = alg.singleton(2);
+        let base = Assignment::new().with(Var(1), singleton);
+        assert!(holds(&alg, &p, &base), "proj holds for singleton y");
+        let exists = alg.elements().any(|x| holds(&alg, &s, &base.clone().with(Var(0), x)));
+        assert!(!exists, "but no x exists: |y| = 1");
+        // ... and for |y| = 2 a witness exists, matching proj.
+        let doubleton = alg.singleton(0) | alg.singleton(1);
+        let base2 = Assignment::new().with(Var(1), doubleton);
+        assert!(holds(&alg, &p, &base2));
+        assert!(alg.elements().any(|x| holds(&alg, &s, &base2.clone().with(Var(0), x))));
+    }
+
+    #[test]
+    fn exactness_on_atomless_regions() {
+        // Same system, but in the (atomless) region algebra the proj
+        // verdict y ≠ 0 is EXACT: a witness x exists for every nonzero
+        // y, built by splitting y.
+        use scq_region::{AaBox, Region, RegionAlgebra};
+        let alg = RegionAlgebra::new(AaBox::new([0.0], [10.0]));
+        let y = Region::from_box(AaBox::new([2.0], [3.0]));
+        // S: x ⊆ y ∧ x ≠ 0 ∧ y∖x ≠ 0. Row for x: range 0 ≤ x ≤ y,
+        // diseqs (p=1 restricted): x·1 ≠ 0 → (p=1,q=0); ¬x·? for y∖x:
+        // y∖x = y·¬x → p' = 0? Expressed as pairs (p, q) for
+        // x·p ∨ ¬x·q ≠ 0: x ≠ 0 is (1, 0); y∖x ≠ 0 is (0, y).
+        let lower = Region::empty();
+        let upper = y.clone();
+        let one = Region::from_box(*alg.universe());
+        let diseqs = vec![(one.clone(), Region::empty()), (Region::empty(), y.clone())];
+        let x = witness(&alg, &lower, &upper, &diseqs).expect("atomless witness");
+        // verify: x ⊆ y, x ≠ 0, y∖x ≠ 0
+        assert!(x.subset_of(&y));
+        assert!(!x.is_empty());
+        assert!(!y.difference(&x).is_empty());
+    }
+
+    #[test]
+    fn witness_handles_unsatisfiable_rows() {
+        use scq_region::{AaBox, Region, RegionAlgebra};
+        let alg = RegionAlgebra::new(AaBox::new([0.0], [10.0]));
+        let a = Region::from_box(AaBox::new([0.0], [5.0]));
+        let b = Region::from_box(AaBox::new([6.0], [7.0]));
+        // range a ≤ x ≤ b with a ⊄ b: empty range
+        assert!(witness(&alg, &a, &b, &[]).is_none());
+        // x ≤ b but x·p ≠ 0 with p disjoint from b: impossible
+        let p = Region::from_box(AaBox::new([8.0], [9.0]));
+        assert!(witness(&alg, &Region::empty(), &b, &[(p, Region::empty())]).is_none());
+    }
+
+    #[test]
+    fn witness_multiple_diseqs_share_slack() {
+        use scq_region::{AaBox, Region, RegionAlgebra};
+        let alg = RegionAlgebra::new(AaBox::new([0.0], [10.0]));
+        let u = Region::from_box(AaBox::new([0.0], [10.0]));
+        let p = Region::from_box(AaBox::new([2.0], [4.0]));
+        // Three disequations all needing pieces: x·p ≠ 0, ¬x·p ≠ 0,
+        // x·u ≠ 0. Atomlessness lets x take only part of p.
+        let diseqs = vec![
+            (p.clone(), Region::empty()),
+            (Region::empty(), p.clone()),
+            (u.clone(), Region::empty()),
+        ];
+        let x = witness(&alg, &Region::empty(), &u, &diseqs).expect("witness");
+        assert!(!x.intersection(&p).is_empty());
+        assert!(!p.difference(&x).is_empty());
+    }
+
+    #[test]
+    fn proj_eliminates_variable() {
+        let s = NormalSystem {
+            eq: Formula::xor(v(0), v(1)),
+            neqs: vec![Formula::and(v(0), v(2))],
+        };
+        let p = proj(&s, Var(0));
+        assert!(!p.eq.mentions(Var(0)));
+        for g in &p.neqs {
+            assert!(!g.mentions(Var(0)));
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The object store: named collections of regions with per-collection
+//! spatial indexes.
+
+use std::collections::HashMap;
+
+use scq_bbox::CornerQuery;
+use scq_index::{GridFile, RTree, ScanIndex, SpatialIndex, SplitStrategy};
+use scq_region::{AaBox, Region, RegionAlgebra};
+
+use crate::query::IndexKind;
+
+/// Identifier of a collection within a database.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct CollectionId(pub usize);
+
+/// Reference to one object: collection plus position inside it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ObjectRef {
+    /// Owning collection.
+    pub collection: CollectionId,
+    /// Index within the collection.
+    pub index: usize,
+}
+
+struct Collection<const K: usize> {
+    name: String,
+    objects: Vec<Region<K>>,
+    rtree: RTree<K>,
+    grid: GridFile<K>,
+    scan: ScanIndex<K>,
+    /// Objects whose region (hence bounding box) is empty; corner
+    /// queries cannot return them, so executors re-add them as
+    /// candidates to stay exact.
+    empty_objects: Vec<usize>,
+}
+
+/// A spatial database over `K`-dimensional regions inside a universe
+/// box.
+///
+/// Every collection maintains all three index structures so executors
+/// can choose per query ([`IndexKind`]); real deployments would pick
+/// one, but the benchmarks compare them head-to-head on identical data.
+pub struct SpatialDatabase<const K: usize> {
+    universe: AaBox<K>,
+    collections: Vec<Collection<K>>,
+    by_name: HashMap<String, CollectionId>,
+}
+
+impl<const K: usize> SpatialDatabase<K> {
+    /// Creates a database with the given universe box.
+    ///
+    /// # Panics
+    /// If the universe is empty.
+    pub fn new(universe: AaBox<K>) -> Self {
+        assert!(!universe.is_empty(), "universe must be nonempty");
+        SpatialDatabase { universe, collections: Vec::new(), by_name: HashMap::new() }
+    }
+
+    /// The universe box.
+    pub fn universe(&self) -> &AaBox<K> {
+        &self.universe
+    }
+
+    /// The Boolean algebra of this database's regions.
+    pub fn algebra(&self) -> RegionAlgebra<K> {
+        RegionAlgebra::new(self.universe)
+    }
+
+    /// Creates (or returns) the collection with the given name.
+    pub fn collection(&mut self, name: &str) -> CollectionId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = CollectionId(self.collections.len());
+        self.collections.push(Collection {
+            name: name.to_owned(),
+            objects: Vec::new(),
+            rtree: RTree::new(SplitStrategy::Quadratic),
+            grid: GridFile::new(32),
+            scan: ScanIndex::new(),
+            empty_objects: Vec::new(),
+        });
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a collection by name.
+    pub fn collection_id(&self, name: &str) -> Option<CollectionId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The collection's name.
+    pub fn collection_name(&self, id: CollectionId) -> &str {
+        &self.collections[id.0].name
+    }
+
+    /// Number of objects in a collection.
+    pub fn collection_len(&self, id: CollectionId) -> usize {
+        self.collections[id.0].objects.len()
+    }
+
+    /// All collection ids.
+    pub fn collections(&self) -> impl Iterator<Item = CollectionId> {
+        (0..self.collections.len()).map(CollectionId)
+    }
+
+    /// Inserts an object, indexing its bounding box.
+    pub fn insert(&mut self, coll: CollectionId, region: Region<K>) -> ObjectRef {
+        let c = &mut self.collections[coll.0];
+        let index = c.objects.len();
+        let bbox = region.bbox();
+        if bbox.is_empty() {
+            c.empty_objects.push(index);
+        }
+        c.rtree.insert(index as u64, bbox);
+        c.grid.insert(index as u64, bbox);
+        c.scan.insert(index as u64, bbox);
+        c.objects.push(region);
+        ObjectRef { collection: coll, index }
+    }
+
+    /// The region of an object.
+    pub fn region(&self, obj: ObjectRef) -> &Region<K> {
+        &self.collections[obj.collection.0].objects[obj.index]
+    }
+
+    /// Runs a corner query against the chosen index of a collection,
+    /// appending matching object indices to `out`.
+    pub fn query_collection(
+        &self,
+        coll: CollectionId,
+        kind: IndexKind,
+        q: &CornerQuery<K>,
+        out: &mut Vec<u64>,
+    ) {
+        let c = &self.collections[coll.0];
+        match kind {
+            IndexKind::RTree => c.rtree.query_corner(q, out),
+            IndexKind::GridFile => c.grid.query_corner(q, out),
+            IndexKind::Scan => c.scan.query_corner(q, out),
+        }
+    }
+
+    /// Object indices in a collection whose regions are empty.
+    pub fn empty_objects(&self, coll: CollectionId) -> &[usize] {
+        &self.collections[coll.0].empty_objects
+    }
+
+    /// Iterates over all object indices of a collection.
+    pub fn object_indices(&self, coll: CollectionId) -> std::ops::Range<usize> {
+        0..self.collections[coll.0].objects.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scq_bbox::Bbox;
+
+    fn db() -> SpatialDatabase<2> {
+        SpatialDatabase::new(AaBox::new([0.0, 0.0], [100.0, 100.0]))
+    }
+
+    #[test]
+    fn collections_are_named_and_idempotent() {
+        let mut d = db();
+        let a = d.collection("towns");
+        let b = d.collection("roads");
+        assert_ne!(a, b);
+        assert_eq!(d.collection("towns"), a);
+        assert_eq!(d.collection_id("roads"), Some(b));
+        assert_eq!(d.collection_name(a), "towns");
+        assert_eq!(d.collections().count(), 2);
+    }
+
+    #[test]
+    fn insert_and_query_all_indexes() {
+        let mut d = db();
+        let c = d.collection("boxes");
+        for i in 0..50 {
+            let x = i as f64;
+            d.insert(c, Region::from_box(AaBox::new([x, 0.0], [x + 0.5, 1.0])));
+        }
+        let probe = Bbox::new([10.0, 0.0], [20.0, 2.0]);
+        let q = CornerQuery::unconstrained().and_contained_in(&probe);
+        let mut expected: Option<Vec<u64>> = None;
+        for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+            let mut out = Vec::new();
+            d.query_collection(c, kind, &q, &mut out);
+            out.sort_unstable();
+            match &expected {
+                None => expected = Some(out),
+                Some(e) => assert_eq!(&out, e, "{kind:?} disagrees"),
+            }
+        }
+        assert!(!expected.unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_regions_are_tracked() {
+        let mut d = db();
+        let c = d.collection("mixed");
+        d.insert(c, Region::from_box(AaBox::new([0.0, 0.0], [1.0, 1.0])));
+        let r = d.insert(c, Region::empty());
+        assert_eq!(d.empty_objects(c), &[1]);
+        assert!(d.region(r).is_empty());
+        assert_eq!(d.collection_len(c), 2);
+    }
+
+    #[test]
+    fn region_retrieval() {
+        let mut d = db();
+        let c = d.collection("x");
+        let reg = Region::from_box(AaBox::new([5.0, 5.0], [6.0, 6.0]));
+        let obj = d.insert(c, reg.clone());
+        assert!(d.region(obj).same_set(&reg));
+        assert_eq!(d.object_indices(c), 0..1);
+    }
+}

@@ -1,0 +1,589 @@
+//! The three executors: naive, triangular-exact, and bbox-filtered.
+//!
+//! All share one backtracking skeleton over the retrieval order; they
+//! differ in how a level's candidates are produced and which pruning
+//! runs before recursing:
+//!
+//! | executor | candidates | pruning |
+//! |---|---|---|
+//! | [`naive_execute`] | whole collection | none (full check at leaves) |
+//! | [`triangular_execute`] | whole collection | exact solved row `Cᵢ` |
+//! | [`bbox_execute`] | **index range query** | exact solved row `Cᵢ` |
+//!
+//! Because the triangular solved form is an *equivalence* for complete
+//! assignments (Schröder and Boole rewrites are equivalences, and
+//! projected residues are implied by the lower rows), checking every row
+//! exactly equals checking the original system — the executors return
+//! identical solution sets, which the tests assert.
+
+use std::collections::BTreeMap;
+
+use scq_algebra::eval::UnboundVar;
+use scq_algebra::Assignment;
+use scq_bbox::Bbox;
+use scq_boolean::Var;
+use scq_core::plan::BboxPlan;
+use scq_core::{check_system, triangularize, TriangularSystem};
+use scq_region::{Region, RegionAlgebra};
+
+use crate::database::{CollectionId, ObjectRef, SpatialDatabase};
+use crate::query::{IndexKind, Query};
+use crate::stats::ExecStats;
+
+/// One solution: an object per unknown variable.
+pub type Solution = BTreeMap<Var, ObjectRef>;
+
+/// Result of executing a query.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// All solutions, in retrieval (depth-first) order.
+    pub solutions: Vec<Solution>,
+    /// Work counters.
+    pub stats: ExecStats,
+}
+
+/// Errors surfaced by the executors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// The query failed validation (unbound variables, bad order…).
+    InvalidQuery(String),
+    /// Internal evaluation hit an unbound variable — indicates a planner
+    /// bug, surfaced rather than panicking.
+    Unbound(Var),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            ExecError::Unbound(v) => write!(f, "internal error: unbound variable {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<UnboundVar> for ExecError {
+    fn from(e: UnboundVar) -> Self {
+        ExecError::Unbound(e.0)
+    }
+}
+
+/// Tuning knobs shared by all executors.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecOptions {
+    /// Stop after this many solutions (existence queries set it to 1).
+    /// `None` enumerates everything.
+    pub max_solutions: Option<usize>,
+}
+
+impl ExecOptions {
+    /// Enumerate every solution (the default).
+    pub fn all() -> Self {
+        ExecOptions { max_solutions: None }
+    }
+
+    /// Stop at the first solution — "does a smuggling route exist?".
+    pub fn first() -> Self {
+        ExecOptions { max_solutions: Some(1) }
+    }
+}
+
+/// Shared execution context.
+struct Ctx<'a, const K: usize> {
+    db: &'a SpatialDatabase<K>,
+    alg: RegionAlgebra<K>,
+    unknowns: Vec<(Var, CollectionId)>, // in retrieval order
+    stats: ExecStats,
+    solutions: Vec<Solution>,
+    options: ExecOptions,
+}
+
+impl<const K: usize> Ctx<'_, K> {
+    fn done(&self) -> bool {
+        self.options
+            .max_solutions
+            .is_some_and(|max| self.solutions.len() >= max)
+    }
+}
+
+/// Validated query context: retrieval order, known bindings, unknowns.
+type Prepared<const K: usize> = (Vec<Var>, Assignment<Region<K>>, Vec<(Var, CollectionId)>);
+
+fn prepare<const K: usize>(
+    db: &SpatialDatabase<K>,
+    query: &Query<K>,
+) -> Result<Prepared<K>, ExecError> {
+    query.validate().map_err(ExecError::InvalidQuery)?;
+    let order = query.retrieval_order(db);
+    let alg = db.algebra();
+    let mut assign = Assignment::new();
+    for (v, r) in query.known_vars() {
+        assign.bind(v, alg.clamp(r));
+    }
+    let unknown_positions: BTreeMap<Var, CollectionId> =
+        query.unknown_vars().into_iter().collect();
+    let unknowns: Vec<(Var, CollectionId)> = order
+        .iter()
+        .filter_map(|v| unknown_positions.get(v).map(|&c| (*v, c)))
+        .collect();
+    Ok((order, assign, unknowns))
+}
+
+/// Cross product + full constraint check at the leaves. The baseline of
+/// benchmark B1: what a system without the optimizer must do.
+pub fn naive_execute<const K: usize>(
+    db: &SpatialDatabase<K>,
+    query: &Query<K>,
+) -> Result<QueryResult, ExecError> {
+    naive_execute_opts(db, query, ExecOptions::all())
+}
+
+/// [`naive_execute`] with tuning options.
+pub fn naive_execute_opts<const K: usize>(
+    db: &SpatialDatabase<K>,
+    query: &Query<K>,
+    options: ExecOptions,
+) -> Result<QueryResult, ExecError> {
+    let (_, mut assign, unknowns) = prepare(db, query)?;
+    let mut ctx = Ctx {
+        db,
+        alg: db.algebra(),
+        unknowns,
+        stats: ExecStats::default(),
+        solutions: Vec::new(),
+        options,
+    };
+    let mut tuple = BTreeMap::new();
+    naive_rec(&mut ctx, query, 0, &mut assign, &mut tuple)?;
+    Ok(QueryResult { solutions: ctx.solutions, stats: ctx.stats })
+}
+
+fn naive_rec<const K: usize>(
+    ctx: &mut Ctx<'_, K>,
+    query: &Query<K>,
+    level: usize,
+    assign: &mut Assignment<Region<K>>,
+    tuple: &mut Solution,
+) -> Result<(), ExecError> {
+    if level == ctx.unknowns.len() {
+        ctx.stats.full_system_checks += 1;
+        if check_system(&ctx.alg, &query.system.constraints, assign)? {
+            ctx.stats.solutions += 1;
+            ctx.solutions.push(tuple.clone());
+        }
+        return Ok(());
+    }
+    let (var, coll) = ctx.unknowns[level];
+    for index in ctx.db.object_indices(coll) {
+        if ctx.done() {
+            return Ok(());
+        }
+        ctx.stats.partial_tuples += 1;
+        ctx.stats.index_candidates += 1;
+        assign.bind(var, ctx.db.region(ObjectRef { collection: coll, index }).clone());
+        tuple.insert(var, ObjectRef { collection: coll, index });
+        naive_rec(ctx, query, level + 1, assign, tuple)?;
+        tuple.remove(&var);
+        assign.unbind(var);
+    }
+    Ok(())
+}
+
+/// Prepares the triangular system for a query (shared by the two
+/// optimized executors and exposed for benchmarks that want to time
+/// compilation separately).
+pub fn compile_triangular<const K: usize>(
+    db: &SpatialDatabase<K>,
+    query: &Query<K>,
+) -> Result<TriangularSystem, ExecError> {
+    let (order, _, _) = prepare(db, query)?;
+    let normal = query.system.normalize();
+    Ok(triangularize(&normal, &order))
+}
+
+/// Early pruning with exact solved rows, candidates from full collection
+/// scans (no spatial index). Isolates the benefit of the triangular form
+/// from the benefit of range queries.
+pub fn triangular_execute<const K: usize>(
+    db: &SpatialDatabase<K>,
+    query: &Query<K>,
+) -> Result<QueryResult, ExecError> {
+    run_optimized(db, query, None, ExecOptions::all())
+}
+
+/// [`triangular_execute`] with tuning options.
+pub fn triangular_execute_opts<const K: usize>(
+    db: &SpatialDatabase<K>,
+    query: &Query<K>,
+    options: ExecOptions,
+) -> Result<QueryResult, ExecError> {
+    run_optimized(db, query, None, options)
+}
+
+/// The paper's full pipeline: per-level corner-transform range query
+/// against the chosen index, then exact row verification.
+pub fn bbox_execute<const K: usize>(
+    db: &SpatialDatabase<K>,
+    query: &Query<K>,
+    kind: IndexKind,
+) -> Result<QueryResult, ExecError> {
+    run_optimized(db, query, Some(kind), ExecOptions::all())
+}
+
+/// [`bbox_execute`] with tuning options.
+pub fn bbox_execute_opts<const K: usize>(
+    db: &SpatialDatabase<K>,
+    query: &Query<K>,
+    kind: IndexKind,
+    options: ExecOptions,
+) -> Result<QueryResult, ExecError> {
+    run_optimized(db, query, Some(kind), options)
+}
+
+fn run_optimized<const K: usize>(
+    db: &SpatialDatabase<K>,
+    query: &Query<K>,
+    kind: Option<IndexKind>,
+    options: ExecOptions,
+) -> Result<QueryResult, ExecError> {
+    let (order, mut assign, unknowns) = prepare(db, query)?;
+    let normal = query.system.normalize();
+    let tri = triangularize(&normal, &order);
+    let plan: BboxPlan<K> = BboxPlan::compile(&tri);
+    let mut ctx = Ctx {
+        db,
+        alg: db.algebra(),
+        unknowns,
+        stats: ExecStats::default(),
+        solutions: Vec::new(),
+        options,
+    };
+    if !plan.satisfiable {
+        return Ok(QueryResult { solutions: ctx.solutions, stats: ctx.stats });
+    }
+    // Validate the known-variable rows once (the rows of known vars are
+    // the paper's integrity check on the query inputs).
+    let known: std::collections::BTreeSet<Var> =
+        query.known_vars().iter().map(|&(v, _)| v).collect();
+    for row in &tri.rows {
+        if known.contains(&row.var) {
+            ctx.stats.exact_row_checks += 1;
+            if !row.check(&ctx.alg, &assign)? {
+                ctx.stats.row_rejections += 1;
+                return Ok(QueryResult { solutions: ctx.solutions, stats: ctx.stats });
+            }
+        }
+    }
+    // Boxes of bound variables, indexed by Var::index, for plan eval.
+    let max_var = order.iter().map(|v| v.index()).max().map(|m| m + 1).unwrap_or(0);
+    let mut boxes: Vec<Bbox<K>> = vec![Bbox::Empty; max_var];
+    for (v, _) in query.known_vars() {
+        boxes[v.index()] = assign.get(v).expect("known bound").bbox();
+    }
+    let mut tuple = BTreeMap::new();
+    let mut candidates_buf = Vec::new();
+    opt_rec(
+        &mut ctx,
+        &plan,
+        kind,
+        0,
+        &mut assign,
+        &mut boxes,
+        &mut tuple,
+        &mut candidates_buf,
+    )?;
+    Ok(QueryResult { solutions: ctx.solutions, stats: ctx.stats })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn opt_rec<const K: usize>(
+    ctx: &mut Ctx<'_, K>,
+    plan: &BboxPlan<K>,
+    kind: Option<IndexKind>,
+    level: usize,
+    assign: &mut Assignment<Region<K>>,
+    boxes: &mut Vec<Bbox<K>>,
+    tuple: &mut Solution,
+    _buf: &mut Vec<u64>,
+) -> Result<(), ExecError> {
+    if level == ctx.unknowns.len() {
+        ctx.stats.solutions += 1;
+        ctx.solutions.push(tuple.clone());
+        return Ok(());
+    }
+    let (var, coll) = ctx.unknowns[level];
+    let row = plan.row_for(var).expect("plan has a row per variable");
+
+    // Candidate generation.
+    let mut candidates: Vec<usize> = Vec::new();
+    match kind {
+        Some(k) => {
+            let lookup = |i: usize| boxes.get(i).copied().unwrap_or(Bbox::Empty);
+            let q = row.corner_query(lookup);
+            let mut ids = Vec::new();
+            if !q.is_unsatisfiable() {
+                ctx.db.query_collection(coll, k, &q, &mut ids);
+            }
+            candidates.extend(ids.into_iter().map(|id| id as usize));
+            // Empty-region objects never appear in corner queries but
+            // may still satisfy the row; keep execution exact.
+            candidates.extend_from_slice(ctx.db.empty_objects(coll));
+        }
+        None => candidates.extend(ctx.db.object_indices(coll)),
+    }
+    ctx.stats.index_candidates += candidates.len();
+
+    for index in candidates {
+        if ctx.done() {
+            return Ok(());
+        }
+        ctx.stats.partial_tuples += 1;
+        let obj = ObjectRef { collection: coll, index };
+        assign.bind(var, ctx.db.region(obj).clone());
+        ctx.stats.exact_row_checks += 1;
+        let ok = row.exact.check(&ctx.alg, assign)?;
+        if ok {
+            boxes[var.index()] = ctx.db.region(obj).bbox();
+            tuple.insert(var, obj);
+            opt_rec(ctx, plan, kind, level + 1, assign, boxes, tuple, _buf)?;
+            tuple.remove(&var);
+            boxes[var.index()] = Bbox::Empty;
+        } else {
+            ctx.stats.row_rejections += 1;
+        }
+        assign.unbind(var);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::VarBinding;
+    use scq_core::parse_system;
+    use scq_region::AaBox;
+
+    /// A miniature smuggler scenario with known ground truth.
+    fn smuggler_db() -> (SpatialDatabase<2>, Query<2>) {
+        let mut db = SpatialDatabase::new(AaBox::new([0.0, 0.0], [100.0, 100.0]));
+        let towns = db.collection("towns");
+        let roads = db.collection("roads");
+        let states = db.collection("states");
+
+        // country: [10,90]²; border band is near x=10
+        let country = Region::from_box(AaBox::new([10.0, 10.0], [90.0, 90.0]));
+        // destination area A deep inside
+        let area = Region::from_box(AaBox::new([60.0, 40.0], [70.0, 50.0]));
+
+        // towns: two on the border strip, one outside the country
+        db.insert(towns, Region::from_box(AaBox::new([10.0, 42.0], [14.0, 46.0]))); // t0 ok
+        db.insert(towns, Region::from_box(AaBox::new([10.0, 70.0], [14.0, 74.0]))); // t1 wrong row
+        db.insert(towns, Region::from_box(AaBox::new([0.0, 0.0], [5.0, 5.0]))); // t2 outside C
+
+        // states: horizontal bands of the country
+        db.insert(states, Region::from_box(AaBox::new([10.0, 10.0], [90.0, 55.0]))); // s0 contains corridor
+        db.insert(states, Region::from_box(AaBox::new([10.0, 55.0], [90.0, 90.0]))); // s1 north
+
+        // roads: r0 connects t0 to A inside s0; r1 connects t1 heading
+        // south crossing both states; r2 unrelated
+        db.insert(roads, Region::from_box(AaBox::new([12.0, 43.0], [65.0, 45.0]))); // r0 good
+        db.insert(roads, Region::from_box(AaBox::new([12.0, 45.0], [14.0, 72.0]))); // r1 crosses bands, touches A? no
+        db.insert(roads, Region::from_box(AaBox::new([20.0, 80.0], [80.0, 82.0]))); // r2
+
+        let sys = parse_system(
+            "A <= C; B <= C; R <= A | B | T; R & A != 0; R & T != 0; T < C",
+        )
+        .unwrap();
+        let q = Query::new(sys)
+            .known("C", country)
+            .known("A", area)
+            .from_collection("T", towns)
+            .from_collection("R", roads)
+            .from_collection("B", states)
+            .with_order(&["T", "R", "B"]);
+        (db, q)
+    }
+
+    fn solution_names(db: &SpatialDatabase<2>, q: &Query<2>, r: &QueryResult) -> Vec<String> {
+        let _ = db;
+        let mut out: Vec<String> = r
+            .solutions
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .map(|(v, o)| format!("{}={}", q.system.table.display(*v), o.index))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn executors_agree_on_smuggler() {
+        let (db, q) = smuggler_db();
+        let naive = naive_execute(&db, &q).unwrap();
+        let tri = triangular_execute(&db, &q).unwrap();
+        for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+            let bbox = bbox_execute(&db, &q, kind).unwrap();
+            assert_eq!(
+                solution_names(&db, &q, &naive),
+                solution_names(&db, &q, &bbox),
+                "bbox({kind:?}) differs from naive"
+            );
+        }
+        assert_eq!(solution_names(&db, &q, &naive), solution_names(&db, &q, &tri));
+        // Ground truth: t0 with r0 entirely within s0 (and the corridor
+        // road overlaps both the town and the area).
+        let names = solution_names(&db, &q, &naive);
+        assert!(!names.is_empty(), "the smuggler has a route");
+        assert!(names.iter().all(|s| s.contains("T=0")), "only t0 works: {names:?}");
+    }
+
+    #[test]
+    fn optimizer_prunes_work() {
+        let (db, q) = smuggler_db();
+        let naive = naive_execute(&db, &q).unwrap();
+        let bbox = bbox_execute(&db, &q, IndexKind::RTree).unwrap();
+        assert!(
+            bbox.stats.partial_tuples < naive.stats.partial_tuples,
+            "range queries + row pruning must reduce the search tree: {} vs {}",
+            bbox.stats.partial_tuples,
+            naive.stats.partial_tuples
+        );
+        assert_eq!(bbox.stats.full_system_checks, 0, "no leaf-level full checks needed");
+    }
+
+    #[test]
+    fn unsatisfiable_inputs_yield_no_solutions() {
+        let (db, mut q) = smuggler_db();
+        // Destination area outside the country: A ≤ C fails.
+        let outside = Region::from_box(AaBox::new([95.0, 95.0], [99.0, 99.0]));
+        let v = q.system.table.get("A").unwrap();
+        q.bindings.insert(v, VarBinding::Known(outside));
+        let r = bbox_execute(&db, &q, IndexKind::RTree).unwrap();
+        assert!(r.solutions.is_empty());
+        let n = naive_execute(&db, &q).unwrap();
+        assert!(n.solutions.is_empty());
+    }
+
+    #[test]
+    fn empty_region_objects_are_handled() {
+        let mut db = SpatialDatabase::new(AaBox::new([0.0, 0.0], [10.0, 10.0]));
+        let xs = db.collection("xs");
+        db.insert(xs, Region::empty());
+        db.insert(xs, Region::from_box(AaBox::new([1.0, 1.0], [2.0, 2.0])));
+        // X ≤ A with A known: the empty region satisfies it.
+        let sys = parse_system("X <= A").unwrap();
+        let q = Query::new(sys)
+            .known("A", Region::from_box(AaBox::new([0.0, 0.0], [5.0, 5.0])))
+            .from_collection("X", xs);
+        let naive = naive_execute(&db, &q).unwrap();
+        let bbox = bbox_execute(&db, &q, IndexKind::GridFile).unwrap();
+        assert_eq!(naive.solutions.len(), 2, "both objects qualify");
+        assert_eq!(bbox.solutions.len(), 2, "empty-region object must not be lost");
+    }
+
+    #[test]
+    fn nonempty_constraint_excludes_empty_objects() {
+        let mut db = SpatialDatabase::new(AaBox::new([0.0, 0.0], [10.0, 10.0]));
+        let xs = db.collection("xs");
+        db.insert(xs, Region::empty());
+        db.insert(xs, Region::from_box(AaBox::new([1.0, 1.0], [2.0, 2.0])));
+        let sys = parse_system("X <= A; X != 0").unwrap();
+        let q = Query::new(sys)
+            .known("A", Region::from_box(AaBox::new([0.0, 0.0], [5.0, 5.0])))
+            .from_collection("X", xs);
+        for r in [
+            naive_execute(&db, &q).unwrap(),
+            triangular_execute(&db, &q).unwrap(),
+            bbox_execute(&db, &q, IndexKind::RTree).unwrap(),
+        ] {
+            assert_eq!(r.solutions.len(), 1);
+            assert_eq!(r.solutions[0].values().next().unwrap().index, 1);
+        }
+    }
+
+    /// A database where the overlay query has many solutions.
+    fn overlay_db() -> (SpatialDatabase<2>, Query<2>) {
+        let mut db = SpatialDatabase::new(AaBox::new([0.0, 0.0], [100.0, 100.0]));
+        let xs = db.collection("xs");
+        let ys = db.collection("ys");
+        for i in 0..10 {
+            let t = i as f64 * 8.0;
+            db.insert(xs, Region::from_box(AaBox::new([t, 0.0], [t + 10.0, 50.0])));
+            db.insert(ys, Region::from_box(AaBox::new([t + 4.0, 10.0], [t + 12.0, 40.0])));
+        }
+        let sys = parse_system("X & Y != 0").unwrap();
+        let q = Query::new(sys).from_collection("X", xs).from_collection("Y", ys);
+        (db, q)
+    }
+
+    #[test]
+    fn first_solution_stops_early() {
+        let (db, q) = overlay_db();
+        let full = bbox_execute(&db, &q, IndexKind::RTree).unwrap();
+        assert!(full.solutions.len() > 1, "scenario has several routes");
+        let one = bbox_execute_opts(&db, &q, IndexKind::RTree, ExecOptions::first()).unwrap();
+        assert_eq!(one.solutions.len(), 1);
+        assert!(one.stats.partial_tuples < full.stats.partial_tuples);
+        assert!(full.solutions.contains(&one.solutions[0]));
+        // naive and triangular variants honour the limit too
+        let n1 = naive_execute_opts(&db, &q, ExecOptions::first()).unwrap();
+        assert_eq!(n1.solutions.len(), 1);
+        let t1 = triangular_execute_opts(&db, &q, ExecOptions::first()).unwrap();
+        assert_eq!(t1.solutions.len(), 1);
+    }
+
+    #[test]
+    fn max_solutions_caps_exactly() {
+        let (db, q) = overlay_db();
+        let full = bbox_execute(&db, &q, IndexKind::Scan).unwrap();
+        let k = full.solutions.len().saturating_sub(1).max(1);
+        let capped = bbox_execute_opts(
+            &db,
+            &q,
+            IndexKind::Scan,
+            ExecOptions { max_solutions: Some(k) },
+        )
+        .unwrap();
+        assert_eq!(capped.solutions.len(), k.min(full.solutions.len()));
+        for s in &capped.solutions {
+            assert!(full.solutions.contains(s));
+        }
+    }
+
+    #[test]
+    fn invalid_queries_error() {
+        let db: SpatialDatabase<2> = SpatialDatabase::new(AaBox::new([0.0, 0.0], [1.0, 1.0]));
+        let sys = parse_system("X <= Y").unwrap();
+        let q = Query::new(sys);
+        match naive_execute(&db, &q) {
+            Err(ExecError::InvalidQuery(m)) => assert!(m.contains("not bound")),
+            other => panic!("expected InvalidQuery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_constraints_prune() {
+        // Roads must NOT be contained in the forbidden zone.
+        let mut db = SpatialDatabase::new(AaBox::new([0.0, 0.0], [10.0, 10.0]));
+        let roads = db.collection("roads");
+        db.insert(roads, Region::from_box(AaBox::new([1.0, 1.0], [2.0, 2.0]))); // inside F
+        db.insert(roads, Region::from_box(AaBox::new([5.0, 5.0], [6.0, 6.0]))); // outside F
+        let sys = parse_system("R !<= F").unwrap();
+        let q = Query::new(sys)
+            .known("F", Region::from_box(AaBox::new([0.0, 0.0], [3.0, 3.0])))
+            .from_collection("R", roads);
+        for r in [
+            naive_execute(&db, &q).unwrap(),
+            triangular_execute(&db, &q).unwrap(),
+            bbox_execute(&db, &q, IndexKind::Scan).unwrap(),
+        ] {
+            assert_eq!(r.solutions.len(), 1);
+            assert_eq!(r.solutions[0].values().next().unwrap().index, 1);
+        }
+    }
+}

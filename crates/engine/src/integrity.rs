@@ -1,0 +1,121 @@
+//! Integrity constraints over a spatial database.
+//!
+//! The paper's introduction puts *integrity constraints* on equal
+//! footing with queries: both are Boolean constraint systems. A spatial
+//! integrity rule is expressed as a **violation pattern** — a constraint
+//! system describing forbidden configurations — and the database is
+//! consistent exactly when the pattern has no solutions. The checker is
+//! therefore the optimizer itself, run in existence mode per pattern.
+
+use crate::exec::{bbox_execute_opts, ExecError, ExecOptions, Solution};
+use crate::query::{IndexKind, Query};
+use crate::SpatialDatabase;
+
+/// A named violation pattern.
+#[derive(Clone, Debug)]
+pub struct IntegrityRule<const K: usize> {
+    /// Human-readable rule name, reported in violations.
+    pub name: String,
+    /// The forbidden configuration; the database is consistent with the
+    /// rule iff this query has no solutions.
+    pub pattern: Query<K>,
+}
+
+/// One detected violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The violated rule's name.
+    pub rule: String,
+    /// The offending tuple.
+    pub tuple: Solution,
+}
+
+/// Checks all rules; returns every violation (bounded per rule by
+/// `max_per_rule` to keep reports readable).
+pub fn check_integrity<const K: usize>(
+    db: &SpatialDatabase<K>,
+    rules: &[IntegrityRule<K>],
+    kind: IndexKind,
+    max_per_rule: usize,
+) -> Result<Vec<Violation>, ExecError> {
+    let mut out = Vec::new();
+    for rule in rules {
+        let result = bbox_execute_opts(
+            db,
+            &rule.pattern,
+            kind,
+            ExecOptions { max_solutions: Some(max_per_rule) },
+        )?;
+        out.extend(result.solutions.into_iter().map(|tuple| Violation {
+            rule: rule.name.clone(),
+            tuple,
+        }));
+    }
+    Ok(out)
+}
+
+/// Fast consistency check: stops at the first violation of any rule.
+pub fn is_consistent<const K: usize>(
+    db: &SpatialDatabase<K>,
+    rules: &[IntegrityRule<K>],
+    kind: IndexKind,
+) -> Result<bool, ExecError> {
+    Ok(check_integrity(db, rules, kind, 1)?.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scq_core::parse_system;
+    use scq_region::{AaBox, Region};
+
+    fn setup() -> (SpatialDatabase<2>, IntegrityRule<2>) {
+        let mut db = SpatialDatabase::new(AaBox::new([0.0, 0.0], [100.0, 100.0]));
+        let zones = db.collection("zones");
+        let parks = db.collection("parks");
+        db.insert(zones, Region::from_box(AaBox::new([0.0, 0.0], [50.0, 50.0])));
+        db.insert(zones, Region::from_box(AaBox::new([50.0, 0.0], [100.0, 50.0])));
+        db.insert(parks, Region::from_box(AaBox::new([10.0, 10.0], [20.0, 20.0])));
+        // Rule: no park may straddle a zone boundary — the violation
+        // pattern is "park overlaps a zone without being contained".
+        let sys = parse_system("P & Z != 0; P !<= Z").unwrap();
+        let pattern = Query::new(sys)
+            .from_collection("P", parks)
+            .from_collection("Z", zones);
+        (db, IntegrityRule { name: "park-in-one-zone".into(), pattern })
+    }
+
+    #[test]
+    fn consistent_database_passes() {
+        let (db, rule) = setup();
+        // The single park is inside zone 0 — but it OVERLAPS zone 0 and
+        // is contained, and does not overlap zone 1: consistent.
+        assert!(is_consistent(&db, &[rule], IndexKind::RTree).unwrap());
+    }
+
+    #[test]
+    fn violations_are_reported() {
+        let (mut db, rule) = setup();
+        let parks = db.collection_id("parks").unwrap();
+        // a park straddling the x=50 boundary
+        db.insert(parks, Region::from_box(AaBox::new([45.0, 5.0], [55.0, 15.0])));
+        let violations =
+            check_integrity(&db, std::slice::from_ref(&rule), IndexKind::RTree, 10).unwrap();
+        // it overlaps both zones without containment in either → 2 tuples
+        assert_eq!(violations.len(), 2);
+        assert!(violations.iter().all(|v| v.rule == "park-in-one-zone"));
+        assert!(!is_consistent(&db, &[rule], IndexKind::GridFile).unwrap());
+    }
+
+    #[test]
+    fn per_rule_cap_limits_report() {
+        let (mut db, rule) = setup();
+        let parks = db.collection_id("parks").unwrap();
+        for i in 0..5 {
+            let y = i as f64 * 8.0;
+            db.insert(parks, Region::from_box(AaBox::new([48.0, y], [52.0, y + 4.0])));
+        }
+        let violations = check_integrity(&db, &[rule], IndexKind::Scan, 3).unwrap();
+        assert_eq!(violations.len(), 3, "report capped per rule");
+    }
+}

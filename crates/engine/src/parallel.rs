@@ -1,0 +1,306 @@
+//! Parallel query execution.
+//!
+//! The backtracking search is embarrassingly parallel across the *first*
+//! retrieval level: each top-level candidate roots an independent
+//! subtree (the database is immutable during execution and every region
+//! operation is pure). [`bbox_execute_parallel`] partitions the first
+//! level's index candidates across crossbeam scoped threads and merges
+//! solutions and statistics.
+//!
+//! Semantics match [`crate::bbox_execute`] exactly — same solution set —
+//! except that solution *order* follows the partition and, with
+//! [`ExecOptions::max_solutions`], the cap is enforced per worker before
+//! the final merge truncates, so slightly more work than the sequential
+//! cap may be performed.
+
+use std::collections::BTreeMap;
+
+use scq_bbox::Bbox;
+use scq_boolean::Var;
+use scq_core::plan::BboxPlan;
+use scq_core::triangularize;
+
+use crate::database::{ObjectRef, SpatialDatabase};
+use crate::exec::{ExecError, ExecOptions, QueryResult, Solution};
+use crate::query::{IndexKind, Query};
+use crate::stats::ExecStats;
+
+/// Executes the query like [`crate::bbox_execute`], fanning the
+/// top-level candidates out over `threads` workers.
+///
+/// `threads == 0` or `1`, or a query with no unknowns, falls back to the
+/// sequential executor.
+pub fn bbox_execute_parallel<const K: usize>(
+    db: &SpatialDatabase<K>,
+    query: &Query<K>,
+    kind: IndexKind,
+    threads: usize,
+    options: ExecOptions,
+) -> Result<QueryResult, ExecError> {
+    if threads <= 1 {
+        return crate::exec::bbox_execute_opts(db, query, kind, options);
+    }
+    query.validate().map_err(ExecError::InvalidQuery)?;
+    let order = query.retrieval_order(db);
+    let alg = db.algebra();
+    let mut base_assign = scq_algebra::Assignment::new();
+    for (v, r) in query.known_vars() {
+        base_assign.bind(v, alg.clamp(r));
+    }
+    let unknown_map: BTreeMap<Var, crate::database::CollectionId> =
+        query.unknown_vars().into_iter().collect();
+    let unknowns: Vec<(Var, crate::database::CollectionId)> = order
+        .iter()
+        .filter_map(|v| unknown_map.get(v).map(|&c| (*v, c)))
+        .collect();
+    if unknowns.is_empty() {
+        return crate::exec::bbox_execute_opts(db, query, kind, options);
+    }
+
+    let normal = query.system.normalize();
+    let tri = triangularize(&normal, &order);
+    let plan: BboxPlan<K> = BboxPlan::compile(&tri);
+    let mut merged = QueryResult { solutions: Vec::new(), stats: ExecStats::default() };
+    if !plan.satisfiable {
+        return Ok(merged);
+    }
+    // Known-variable rows once, up front.
+    let known_vars: std::collections::BTreeSet<Var> =
+        query.known_vars().iter().map(|&(v, _)| v).collect();
+    for row in &tri.rows {
+        if known_vars.contains(&row.var) {
+            merged.stats.exact_row_checks += 1;
+            if !row.check(&alg, &base_assign)? {
+                merged.stats.row_rejections += 1;
+                return Ok(merged);
+            }
+        }
+    }
+
+    // First-level candidates.
+    let max_var = order.iter().map(|v| v.index()).max().map(|m| m + 1).unwrap_or(0);
+    let mut boxes: Vec<Bbox<K>> = vec![Bbox::Empty; max_var];
+    for (v, _) in query.known_vars() {
+        boxes[v.index()] = base_assign.get(v).expect("bound").bbox();
+    }
+    let (first_var, first_coll) = unknowns[0];
+    let first_row = plan.row_for(first_var).expect("row per variable");
+    let mut candidates: Vec<usize> = Vec::new();
+    {
+        let lookup = |i: usize| boxes.get(i).copied().unwrap_or(Bbox::Empty);
+        let q = first_row.corner_query(lookup);
+        let mut ids = Vec::new();
+        if !q.is_unsatisfiable() {
+            db.query_collection(first_coll, kind, &q, &mut ids);
+        }
+        candidates.extend(ids.into_iter().map(|id| id as usize));
+        candidates.extend_from_slice(db.empty_objects(first_coll));
+    }
+    merged.stats.index_candidates += candidates.len();
+
+    let chunk = candidates.len().div_ceil(threads).max(1);
+    let results: Vec<Result<QueryResult, ExecError>> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk_ids in candidates.chunks(chunk) {
+            let plan = &plan;
+            let base_assign = &base_assign;
+            let boxes = &boxes;
+            let unknowns = &unknowns;
+            let alg = db.algebra();
+            handles.push(scope.spawn(move |_| {
+                let mut local = QueryResult {
+                    solutions: Vec::new(),
+                    stats: ExecStats::default(),
+                };
+                let mut assign = base_assign.clone();
+                let mut my_boxes = boxes.clone();
+                let mut tuple: Solution = BTreeMap::new();
+                for &index in chunk_ids {
+                    if options.max_solutions.is_some_and(|m| local.solutions.len() >= m) {
+                        break;
+                    }
+                    local.stats.partial_tuples += 1;
+                    let obj = ObjectRef { collection: unknowns[0].1, index };
+                    assign.bind(unknowns[0].0, db.region(obj).clone());
+                    local.stats.exact_row_checks += 1;
+                    let row = plan.row_for(unknowns[0].0).expect("row");
+                    if row.exact.check(&alg, &assign)? {
+                        my_boxes[unknowns[0].0.index()] = db.region(obj).bbox();
+                        tuple.insert(unknowns[0].0, obj);
+                        subtree(
+                            db, &alg, plan, Some(kind), unknowns, 1, &mut assign,
+                            &mut my_boxes, &mut tuple, &mut local, options,
+                        )?;
+                        tuple.remove(&unknowns[0].0);
+                        my_boxes[unknowns[0].0.index()] = Bbox::Empty;
+                    } else {
+                        local.stats.row_rejections += 1;
+                    }
+                    assign.unbind(unknowns[0].0);
+                }
+                Ok(local)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope panicked");
+
+    for r in results {
+        let r = r?;
+        merged.stats.merge(&r.stats);
+        merged.solutions.extend(r.solutions);
+    }
+    if let Some(max) = options.max_solutions {
+        merged.solutions.truncate(max);
+    }
+    merged.stats.solutions = merged.solutions.len();
+    Ok(merged)
+}
+
+/// Sequential exploration below the parallel first level (mirrors the
+/// sequential executor's recursion).
+#[allow(clippy::too_many_arguments)]
+fn subtree<const K: usize>(
+    db: &SpatialDatabase<K>,
+    alg: &scq_region::RegionAlgebra<K>,
+    plan: &BboxPlan<K>,
+    kind: Option<IndexKind>,
+    unknowns: &[(Var, crate::database::CollectionId)],
+    level: usize,
+    assign: &mut scq_algebra::Assignment<scq_region::Region<K>>,
+    boxes: &mut Vec<Bbox<K>>,
+    tuple: &mut Solution,
+    local: &mut QueryResult,
+    options: ExecOptions,
+) -> Result<(), ExecError> {
+    if options.max_solutions.is_some_and(|m| local.solutions.len() >= m) {
+        return Ok(());
+    }
+    if level == unknowns.len() {
+        local.solutions.push(tuple.clone());
+        return Ok(());
+    }
+    let (var, coll) = unknowns[level];
+    let row = plan.row_for(var).expect("row per variable");
+    let mut candidates: Vec<usize> = Vec::new();
+    match kind {
+        Some(k) => {
+            let lookup = |i: usize| boxes.get(i).copied().unwrap_or(Bbox::Empty);
+            let q = row.corner_query(lookup);
+            let mut ids = Vec::new();
+            if !q.is_unsatisfiable() {
+                db.query_collection(coll, k, &q, &mut ids);
+            }
+            candidates.extend(ids.into_iter().map(|id| id as usize));
+            candidates.extend_from_slice(db.empty_objects(coll));
+        }
+        None => candidates.extend(db.object_indices(coll)),
+    }
+    local.stats.index_candidates += candidates.len();
+    for index in candidates {
+        if options.max_solutions.is_some_and(|m| local.solutions.len() >= m) {
+            return Ok(());
+        }
+        local.stats.partial_tuples += 1;
+        let obj = ObjectRef { collection: coll, index };
+        assign.bind(var, db.region(obj).clone());
+        local.stats.exact_row_checks += 1;
+        if row.exact.check(alg, assign)? {
+            boxes[var.index()] = db.region(obj).bbox();
+            tuple.insert(var, obj);
+            subtree(db, alg, plan, kind, unknowns, level + 1, assign, boxes, tuple, local, options)?;
+            tuple.remove(&var);
+            boxes[var.index()] = Bbox::Empty;
+        } else {
+            local.stats.row_rejections += 1;
+        }
+        assign.unbind(var);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::bbox_execute;
+    use crate::workload::{map_workload, MapParams};
+    use scq_core::parse_system;
+    use scq_region::{AaBox, Region};
+
+    fn setup() -> (SpatialDatabase<2>, Query<2>) {
+        let mut db = SpatialDatabase::new(AaBox::new([0.0, 0.0], [1000.0, 1000.0]));
+        let w = map_workload(
+            &mut db,
+            13,
+            &MapParams { n_states: 6, n_towns: 20, n_roads: 60, useful_road_fraction: 0.15 },
+        );
+        let sys = parse_system(
+            "A <= C; B <= C; R <= A | B | T; R & A != 0; R & T != 0; T < C",
+        )
+        .unwrap();
+        let q = Query::new(sys)
+            .known("C", w.country.clone())
+            .known("A", w.area.clone())
+            .from_collection("T", w.towns)
+            .from_collection("R", w.roads)
+            .from_collection("B", w.states)
+            .with_order(&["T", "R", "B"]);
+        (db, q)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (db, q) = setup();
+        let seq = bbox_execute(&db, &q, IndexKind::RTree).unwrap();
+        for threads in [2, 4, 7] {
+            let par = bbox_execute_parallel(&db, &q, IndexKind::RTree, threads, ExecOptions::all())
+                .unwrap();
+            let mut a = seq.solutions.clone();
+            let mut b = par.solutions.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "threads = {threads}");
+            assert_eq!(par.stats.solutions, seq.stats.solutions);
+        }
+    }
+
+    #[test]
+    fn single_thread_falls_back() {
+        let (db, q) = setup();
+        let seq = bbox_execute(&db, &q, IndexKind::GridFile).unwrap();
+        let par =
+            bbox_execute_parallel(&db, &q, IndexKind::GridFile, 1, ExecOptions::all()).unwrap();
+        assert_eq!(seq.solutions, par.solutions);
+    }
+
+    #[test]
+    fn parallel_respects_solution_cap() {
+        let (db, q) = setup();
+        let capped = bbox_execute_parallel(
+            &db,
+            &q,
+            IndexKind::RTree,
+            4,
+            ExecOptions { max_solutions: Some(2) },
+        )
+        .unwrap();
+        assert!(capped.solutions.len() <= 2);
+        assert!(!capped.solutions.is_empty());
+    }
+
+    #[test]
+    fn parallel_unsat_inputs() {
+        let (db, mut q) = setup();
+        let v = q.system.table.get("A").unwrap();
+        q.bindings.insert(
+            v,
+            crate::query::VarBinding::Known(Region::from_box(AaBox::new(
+                [990.0, 990.0],
+                [999.0, 999.0],
+            ))),
+        );
+        let par =
+            bbox_execute_parallel(&db, &q, IndexKind::RTree, 4, ExecOptions::all()).unwrap();
+        assert!(par.solutions.is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Execution statistics shared by all executors.
+
+/// Counters describing how much work an execution did.
+///
+/// The interesting comparison across executors (benchmark B1):
+/// `partial_tuples` and `exact_row_checks` shrink dramatically when the
+/// triangular form prunes early, and `index_candidates` shows how
+/// selective the range queries are compared to full collection scans.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Solutions emitted.
+    pub solutions: usize,
+    /// Partial tuples extended at any level (nodes of the search tree).
+    pub partial_tuples: usize,
+    /// Candidates produced by index range queries (bbox executor) or by
+    /// collection enumeration (other executors).
+    pub index_candidates: usize,
+    /// Exact solved-row evaluations (region algebra work).
+    pub exact_row_checks: usize,
+    /// Partial tuples rejected by an exact row check.
+    pub row_rejections: usize,
+    /// Full constraint-system evaluations (naive executor only).
+    pub full_system_checks: usize,
+}
+
+impl ExecStats {
+    /// Sums two stat blocks (useful when aggregating benchmark runs).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.solutions += other.solutions;
+        self.partial_tuples += other.partial_tuples;
+        self.index_candidates += other.index_candidates;
+        self.exact_row_checks += other.exact_row_checks;
+        self.row_rejections += other.row_rejections;
+        self.full_system_checks += other.full_system_checks;
+    }
+}
+
+impl std::fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "solutions={} partials={} candidates={} row_checks={} row_rejects={} full_checks={}",
+            self.solutions,
+            self.partial_tuples,
+            self.index_candidates,
+            self.exact_row_checks,
+            self.row_rejections,
+            self.full_system_checks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = ExecStats { solutions: 1, partial_tuples: 2, ..Default::default() };
+        let b = ExecStats { solutions: 3, index_candidates: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.solutions, 4);
+        assert_eq!(a.partial_tuples, 2);
+        assert_eq!(a.index_candidates, 5);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = ExecStats::default();
+        let t = s.to_string();
+        assert!(t.contains("solutions=0"));
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Spatial data structures answering the *range queries* of the paper's
+//! Section 1: queries over a single unknown `x` of the form
+//! `x ⊑ a`, `b ⊑ x`, `x ⊓ c ≠ ∅` on bounding boxes — and conjunctions
+//! thereof, expressed as a [`CornerQuery`].
+//!
+//! Three implementations of the common [`SpatialIndex`] trait:
+//!
+//! * [`RTree`] — Guttman's R-tree (reference \[6\] of the paper) with both
+//!   the linear and the quadratic split heuristics;
+//! * [`GridFile`] — a grid file over the **corner transform** (reference
+//!   \[9\]; boxes stored as points in `X²ᵏ`, exactly the Figure 3 story);
+//! * [`ScanIndex`] — a linear scan, the honesty baseline.
+//!
+//! Objects with *empty* bounding boxes (empty regions) are accepted but
+//! never returned by corner queries, matching [`CornerQuery::matches`]
+//! which rejects `∅`.
+
+pub mod gridfile;
+pub mod rtree;
+pub mod scan;
+pub mod traits;
+
+pub use gridfile::GridFile;
+pub use rtree::{RTree, SplitStrategy};
+pub use scan::ScanIndex;
+pub use traits::SpatialIndex;
+
+pub use scq_bbox::{Bbox, CornerQuery};

@@ -1,0 +1,44 @@
+//! The [`SpatialIndex`] trait shared by all index structures.
+
+use scq_bbox::{Bbox, CornerQuery};
+
+/// A spatial index over `(id, bounding box)` pairs supporting the
+/// combined range query of the paper's Figure 3.
+///
+/// Implementations may return candidates in any order; callers that need
+/// determinism sort the output. Queries are *exact* with respect to
+/// [`CornerQuery::matches`] — indexes must return precisely the ids whose
+/// boxes match (no false positives or negatives at the bbox level; the
+/// *regions* behind the boxes are verified by the query engine).
+pub trait SpatialIndex<const K: usize> {
+    /// Inserts an object. Ids need not be unique; duplicates are
+    /// returned once per insertion.
+    fn insert(&mut self, id: u64, bbox: Bbox<K>);
+
+    /// Appends to `out` the ids of all objects whose bounding box
+    /// satisfies `query`.
+    fn query_corner(&self, query: &CornerQuery<K>, out: &mut Vec<u64>);
+
+    /// Number of stored objects (including ones with empty boxes).
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Convenience: all objects overlapping `b`.
+    fn query_overlaps(&self, b: &Bbox<K>, out: &mut Vec<u64>) {
+        self.query_corner(&CornerQuery::unconstrained().and_overlaps(b), out);
+    }
+
+    /// Convenience: all objects contained in `b`.
+    fn query_contained_in(&self, b: &Bbox<K>, out: &mut Vec<u64>) {
+        self.query_corner(&CornerQuery::unconstrained().and_contained_in(b), out);
+    }
+
+    /// Convenience: all objects containing `b`.
+    fn query_containing(&self, b: &Bbox<K>, out: &mut Vec<u64>) {
+        self.query_corner(&CornerQuery::unconstrained().and_contains(b), out);
+    }
+}

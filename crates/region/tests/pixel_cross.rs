@@ -1,0 +1,83 @@
+//! Cross-validation of the region algebra against an independent
+//! implementation: grid-aligned regions rasterize to 8×8 bitmaps, where
+//! union/intersection/complement are plain bit operations (the
+//! `BitsetAlgebra` of `scq-algebra`). Every region operation must
+//! commute with rasterization — two entirely separate code paths
+//! computing the same Boolean algebra.
+
+use proptest::prelude::*;
+use scq_algebra::{BitsetAlgebra, BooleanAlgebra};
+use scq_region::{AaBox, Region, RegionAlgebra};
+
+const N: u32 = 8;
+
+fn universe() -> AaBox<2> {
+    AaBox::new([0.0, 0.0], [N as f64, N as f64])
+}
+
+/// Rasterizes a region to one bit per unit cell (cell centers).
+fn rasterize(r: &Region<2>) -> u64 {
+    let mut bits = 0u64;
+    for y in 0..N {
+        for x in 0..N {
+            let p = [x as f64 + 0.5, y as f64 + 0.5];
+            if r.contains_point(&p) {
+                bits |= 1 << (y * N + x);
+            }
+        }
+    }
+    bits
+}
+
+/// Strategy: grid-aligned regions (integer corners), so rasterization
+/// is exact.
+fn aligned_region() -> BoxedStrategy<Region<2>> {
+    prop::collection::vec((0u32..N, 0u32..N, 1u32..4, 1u32..4), 0..4)
+        .prop_map(|boxes| {
+            Region::from_boxes(boxes.into_iter().map(|(x, y, w, h)| {
+                AaBox::new(
+                    [x as f64, y as f64],
+                    [(x + w).min(N) as f64, (y + h).min(N) as f64],
+                )
+            }))
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn operations_commute_with_rasterization(a in aligned_region(), b in aligned_region()) {
+        let ralg = RegionAlgebra::new(universe());
+        let balg = BitsetAlgebra::new(64);
+        let (pa, pb) = (rasterize(&a), rasterize(&b));
+
+        prop_assert_eq!(rasterize(&a.union(&b)), balg.join(&pa, &pb), "union");
+        prop_assert_eq!(rasterize(&a.intersection(&b)), balg.meet(&pa, &pb), "intersection");
+        prop_assert_eq!(rasterize(&a.difference(&b)), balg.diff(&pa, &pb), "difference");
+        prop_assert_eq!(rasterize(&a.sym_diff(&b)), balg.sym_diff(&pa, &pb), "sym_diff");
+        prop_assert_eq!(
+            rasterize(&ralg.complement(&a)),
+            balg.complement(&pa),
+            "complement"
+        );
+    }
+
+    #[test]
+    fn predicates_commute(a in aligned_region(), b in aligned_region()) {
+        let balg = BitsetAlgebra::new(64);
+        let (pa, pb) = (rasterize(&a), rasterize(&b));
+        prop_assert_eq!(a.subset_of(&b), balg.le(&pa, &pb));
+        prop_assert_eq!(a.same_set(&b), balg.eq_elem(&pa, &pb));
+        prop_assert_eq!(a.intersects(&b), !balg.is_zero(&balg.meet(&pa, &pb)));
+        prop_assert_eq!(a.is_empty(), balg.is_zero(&pa));
+    }
+
+    #[test]
+    fn volume_equals_popcount(a in aligned_region()) {
+        // Grid-aligned unit-cell regions: volume = number of cells.
+        let balg = BitsetAlgebra::new(64);
+        prop_assert!((a.volume() - balg.cardinality(rasterize(&a)) as f64).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,283 @@
+//! A z-order backed spatial index — the paper's closing remark made
+//! concrete: "it seems possible to extend our approach to make use of
+//! z-ordering methods".
+//!
+//! Boxes are decomposed into raw dyadic z-blocks
+//! ([`crate::decompose_blocks`]). A corner query yields two derived
+//! boxes: the *region of interest* `[lo_min, hi_max]` every candidate is
+//! contained in, and the *must-overlap* box `[hi_min, lo_max]` every
+//! candidate intersects; their meet is decomposed into query z-ranges.
+//! An element block intersects a query range `[a, b)` iff it starts
+//! inside the range (one binary search) or is one of the ≤ `bits`+1
+//! dyadic *ancestors* of `a` (blocks nest or are disjoint — direct
+//! lookups). Survivors are verified exactly with
+//! [`CornerQuery::matches`], so the index plugs into the same
+//! [`SpatialIndex`] trait the optimizer's executors use.
+
+use scq_bbox::{Bbox, CornerQuery};
+use scq_index::SpatialIndex;
+
+use crate::{decompose, decompose_blocks, ZCurve};
+
+/// A sorted z-interval index over 2-d boxes.
+pub struct ZOrderIndex {
+    curve: ZCurve,
+    /// `(z_lo, z_hi, item)` triples, sorted by `z_lo` on demand.
+    elems: Vec<(u64, u64, u32)>,
+    items: Vec<(Bbox<2>, u64)>,
+    sorted: bool,
+}
+
+impl ZOrderIndex {
+    /// Creates an index quantizing to `bits` per dimension inside
+    /// `universe` (boxes outside are clamped; query semantics stay
+    /// exact because every candidate is verified).
+    pub fn new(universe: Bbox<2>, bits: u32) -> Self {
+        ZOrderIndex {
+            curve: ZCurve::new(universe, bits),
+            elems: Vec::new(),
+            items: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Builds from items.
+    pub fn from_items<I: IntoIterator<Item = (u64, Bbox<2>)>>(
+        universe: Bbox<2>,
+        bits: u32,
+        items: I,
+    ) -> Self {
+        let mut z = Self::new(universe, bits);
+        for (id, b) in items {
+            z.insert(id, b);
+        }
+        z.optimize();
+        z
+    }
+
+    /// Sorts the element list so queries avoid per-query copies. Called
+    /// automatically by [`ZOrderIndex::from_items`]; incremental users
+    /// may call it after a batch of inserts.
+    pub fn optimize(&mut self) {
+        if !self.sorted {
+            self.elems.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Number of z-interval elements (a storage-overhead metric).
+    pub fn element_count(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// The box every matching candidate must *overlap*: the meet of the
+    /// region of interest `[lo_min, hi_max]` (containment is a special
+    /// case of overlap for boxes inside it) and the must-overlap box
+    /// `[hi_min, lo_max]`, clamped to the universe.
+    fn probe_box(&self, q: &CornerQuery<2>) -> Bbox<2> {
+        let (ulo, uhi) = match self.curve.universe_corners() {
+            Some(c) => c,
+            None => return Bbox::Empty,
+        };
+        let mut lo = [0.0; 2];
+        let mut hi = [0.0; 2];
+        for d in 0..2 {
+            // region of interest: cand ⊆ [lo_min, hi_max]
+            let roi_lo = if q.lo_min[d].is_finite() { q.lo_min[d].max(ulo[d]) } else { ulo[d] };
+            let roi_hi = if q.hi_max[d].is_finite() { q.hi_max[d].min(uhi[d]) } else { uhi[d] };
+            // must-overlap interval from cand.lo ≤ lo_max ∧ cand.hi ≥
+            // hi_min: when hi_min ≤ lo_max the candidate overlaps
+            // [hi_min, lo_max]; when inverted (containment queries) the
+            // candidate covers [lo_max, hi_min] — either way it overlaps
+            // [min, max] of the two bounds.
+            let b1 = if q.hi_min[d].is_finite() { q.hi_min[d].max(ulo[d]) } else { ulo[d] };
+            let b2 = if q.lo_max[d].is_finite() { q.lo_max[d].min(uhi[d]) } else { uhi[d] };
+            lo[d] = roi_lo.max(b1.min(b2));
+            hi[d] = roi_hi.min(b1.max(b2));
+            if lo[d] > hi[d] {
+                return Bbox::Empty;
+            }
+        }
+        Bbox::new(lo, hi)
+    }
+}
+
+/// The dyadic ancestors of point `a`: block intervals of size `4^l`
+/// containing `a`, for `l = 0..=bits`.
+fn ancestors(a: u64, bits: u32) -> impl Iterator<Item = (u64, u64)> {
+    (0..=bits).map(move |l| {
+        let size = 1u64 << (2 * l);
+        let lo = a & !(size - 1);
+        (lo, lo + size)
+    })
+}
+
+impl SpatialIndex<2> for ZOrderIndex {
+    fn insert(&mut self, id: u64, bbox: Bbox<2>) {
+        let item = self.items.len() as u32;
+        self.items.push((bbox, id));
+        for (lo, hi) in decompose_blocks(&self.curve, &bbox) {
+            self.elems.push((lo, hi, item));
+        }
+        self.sorted = false;
+    }
+
+    fn query_corner(&self, query: &CornerQuery<2>, out: &mut Vec<u64>) {
+        if query.is_unsatisfiable() || self.items.is_empty() {
+            return;
+        }
+        // Interior mutability is avoided by requiring sortedness; fall
+        // back to sorting a copy when queried mid-build.
+        let mut local;
+        let elems: &[(u64, u64, u32)] = if self.sorted {
+            &self.elems
+        } else {
+            local = self.elems.clone();
+            local.sort_unstable();
+            &local
+        };
+        let probe = self.probe_box(query);
+        if probe.is_empty() {
+            return;
+        }
+        let ranges = decompose(&self.curve, &probe);
+        let mut seen = vec![false; self.items.len()];
+        let mut consider = |item: u32, out: &mut Vec<u64>| {
+            if !seen[item as usize] {
+                seen[item as usize] = true;
+                let (bbox, id) = self.items[item as usize];
+                if query.matches(&bbox) {
+                    out.push(id);
+                }
+            }
+        };
+        let bits = self.curve.bits();
+        for (a, b) in ranges {
+            // 1. element blocks starting inside [a, b)
+            let start = elems.partition_point(|&(lo, _, _)| lo < a);
+            let end = elems.partition_point(|&(lo, _, _)| lo < b);
+            for &(_, _, item) in &elems[start..end] {
+                consider(item, out);
+            }
+            // 2. ancestor blocks of `a` (dyadic: nest or disjoint), which
+            // contain the whole range start — ≤ bits+1 direct lookups.
+            for (alo, ahi) in ancestors(a, bits) {
+                if alo >= a {
+                    continue; // starts in range: already covered above
+                }
+                let lo_start = elems.partition_point(|&(lo, _, _)| lo < alo);
+                for &(lo, hi, item) in &elems[lo_start..] {
+                    if lo != alo {
+                        break;
+                    }
+                    if hi == ahi {
+                        consider(item, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use scq_index::ScanIndex;
+
+    fn universe() -> Bbox<2> {
+        Bbox::new([0.0, 0.0], [100.0, 100.0])
+    }
+
+    fn random_box(rng: &mut StdRng) -> Bbox<2> {
+        let lo = [rng.random_range(0.0..92.0), rng.random_range(0.0..92.0)];
+        let w = [rng.random_range(0.2..8.0), rng.random_range(0.2..8.0)];
+        Bbox::new(lo, [lo[0] + w[0], lo[1] + w[1]])
+    }
+
+    #[test]
+    fn agrees_with_scan() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let items: Vec<(u64, Bbox<2>)> =
+            (0..600u64).map(|id| (id, random_box(&mut rng))).collect();
+        let z = ZOrderIndex::from_items(universe(), 8, items.iter().copied());
+        let scan = ScanIndex::from_items(items.iter().copied());
+        assert_eq!(z.len(), 600);
+        for _ in 0..30 {
+            let probe = random_box(&mut rng);
+            for q in [
+                CornerQuery::unconstrained().and_overlaps(&probe),
+                CornerQuery::unconstrained().and_contained_in(&probe),
+                CornerQuery::unconstrained().and_contains(&Bbox::new(
+                    probe.lo().unwrap(),
+                    [probe.lo().unwrap()[0] + 0.1, probe.lo().unwrap()[1] + 0.1],
+                )),
+            ] {
+                let mut a = Vec::new();
+                z.query_corner(&q, &mut a);
+                let mut b = Vec::new();
+                scan.query_corner(&q, &mut b);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn unsorted_queries_still_correct() {
+        let mut z = ZOrderIndex::new(universe(), 6);
+        let mut scan = ScanIndex::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for id in 0..100u64 {
+            let b = random_box(&mut rng);
+            z.insert(id, b); // never bulk-sorted
+            scan.insert(id, b);
+        }
+        let q = CornerQuery::unconstrained().and_overlaps(&Bbox::new([20.0, 20.0], [50.0, 50.0]));
+        let mut a = Vec::new();
+        z.query_corner(&q, &mut a);
+        let mut b = Vec::new();
+        scan.query_corner(&q, &mut b);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_boxes_and_queries() {
+        let mut z = ZOrderIndex::new(universe(), 6);
+        z.insert(1, Bbox::Empty);
+        z.insert(2, Bbox::new([1.0, 1.0], [2.0, 2.0]));
+        let mut out = Vec::new();
+        z.query_corner(&CornerQuery::unconstrained(), &mut out);
+        assert_eq!(out, vec![2]);
+        out.clear();
+        z.query_corner(&CornerQuery::unsatisfiable(), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(z.len(), 2);
+    }
+
+    #[test]
+    fn coarse_grid_remains_exact() {
+        // 1 bit per dim: everything collides in 4 cells, verification
+        // must restore exactness.
+        let items = vec![
+            (1u64, Bbox::new([1.0, 1.0], [2.0, 2.0])),
+            (2u64, Bbox::new([3.0, 3.0], [4.0, 4.0])),
+            (3u64, Bbox::new([80.0, 80.0], [90.0, 90.0])),
+        ];
+        let z = ZOrderIndex::from_items(universe(), 1, items);
+        let mut out = Vec::new();
+        z.query_corner(
+            &CornerQuery::unconstrained().and_overlaps(&Bbox::new([0.0, 0.0], [2.5, 2.5])),
+            &mut out,
+        );
+        assert_eq!(out, vec![1]);
+    }
+}

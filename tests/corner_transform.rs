@@ -1,0 +1,131 @@
+//! EX-F3: Figure 3 — a conjunction of containment-above, containment-
+//! below and overlap constraints over bounding boxes is answered by ONE
+//! range query in corner space, on every index structure.
+
+use scq_integration::prelude::*;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_interval(rng: &mut StdRng) -> Bbox<1> {
+    let lo = rng.random_range(0.0..90.0);
+    let w = rng.random_range(0.5..10.0);
+    Bbox::new([lo], [lo + w])
+}
+
+/// The exact Figure 3 scenario: intervals on the real line, query
+/// `{x | a ⊑ ⌈x⌉ ⊑ b ∧ ⌈x⌉ ⊓ c ≠ ∅}`.
+#[test]
+fn figure3_single_range_query_all_indexes() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let items: Vec<(u64, Bbox<1>)> =
+        (0..2000u64).map(|id| (id, random_interval(&mut rng))).collect();
+
+    let mut rtree = RTree::<1>::new(SplitStrategy::Quadratic);
+    let mut grid = GridFile::<1>::new(16);
+    let mut scan = ScanIndex::<1>::new();
+    for &(id, b) in &items {
+        rtree.insert(id, b);
+        grid.insert(id, b);
+        scan.insert(id, b);
+    }
+
+    for trial in 0..25 {
+        let a_lo = rng.random_range(10.0..60.0);
+        let a = Bbox::new([a_lo], [a_lo + rng.random_range(0.1..2.0)]);
+        let b = Bbox::new([a_lo - rng.random_range(1.0..20.0)], [a_lo + rng.random_range(3.0..30.0)]);
+        let c_lo = rng.random_range(0.0..95.0);
+        let c = Bbox::new([c_lo], [c_lo + 4.0]);
+
+        let q = CornerQuery::unconstrained()
+            .and_contains(&a)
+            .and_contained_in(&b)
+            .and_overlaps(&c);
+
+        // ground truth by direct predicate evaluation
+        let mut expect: Vec<u64> = items
+            .iter()
+            .filter(|(_, x)| a.le(x) && x.le(&b) && x.overlaps(&c))
+            .map(|&(id, _)| id)
+            .collect();
+        expect.sort_unstable();
+
+        for (name, out) in [
+            ("rtree", {
+                let mut v = Vec::new();
+                rtree.query_corner(&q, &mut v);
+                v
+            }),
+            ("grid", {
+                let mut v = Vec::new();
+                grid.query_corner(&q, &mut v);
+                v
+            }),
+            ("scan", {
+                let mut v = Vec::new();
+                scan.query_corner(&q, &mut v);
+                v
+            }),
+        ] {
+            let mut out = out;
+            out.sort_unstable();
+            assert_eq!(out, expect, "{name} trial {trial}");
+        }
+    }
+}
+
+/// The corner transform is the identity on the information content of a
+/// box: round trip plus the query-box geometry of Figure 3.
+#[test]
+fn corner_geometry() {
+    let x = Bbox::new([2.0, 3.0], [5.0, 7.0]);
+    let (lo, hi) = corner_point(&x).unwrap();
+    assert_eq!(lo, [2.0, 3.0]);
+    assert_eq!(hi, [5.0, 7.0]);
+
+    // The shaded rectangle of Figure 3 in corner space (1-d case):
+    // axis 1 = interval start, axis 2 = interval end.
+    let a = Bbox::new([4.0], [5.0]);
+    let b = Bbox::new([0.0], [10.0]);
+    let c = Bbox::new([8.0], [9.0]);
+    let q = CornerQuery::unconstrained()
+        .and_contains(&a)
+        .and_contained_in(&b)
+        .and_overlaps(&c);
+    let ((lo_min, hi_min), (lo_max, hi_max)) = q.query_box();
+    // start ∈ [b.lo, min(a.lo, c.hi)] = [0, 4]
+    assert_eq!(lo_min, [0.0]);
+    assert_eq!(lo_max, [4.0]);
+    // end ∈ [max(a.hi, c.lo), b.hi] = [8, 10]
+    assert_eq!(hi_min, [8.0]);
+    assert_eq!(hi_max, [10.0]);
+}
+
+/// 2-d corner queries: conjunctions of several overlap constraints stay
+/// a single range query (the query boxes intersect).
+#[test]
+fn multiple_overlaps_one_query() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let boxes: Vec<(u64, Bbox<2>)> = (0..800u64)
+        .map(|id| {
+            let lo = [rng.random_range(0.0..90.0), rng.random_range(0.0..90.0)];
+            let w = [rng.random_range(1.0..10.0), rng.random_range(1.0..10.0)];
+            (id, Bbox::new(lo, [lo[0] + w[0], lo[1] + w[1]]))
+        })
+        .collect();
+    let rtree = RTree::from_items(SplitStrategy::Linear, boxes.iter().copied());
+
+    let c1 = Bbox::new([20.0, 20.0], [40.0, 40.0]);
+    let c2 = Bbox::new([35.0, 35.0], [60.0, 60.0]);
+    let q = CornerQuery::unconstrained().and_overlaps(&c1).and_overlaps(&c2);
+    let mut got = Vec::new();
+    rtree.query_corner(&q, &mut got);
+    got.sort_unstable();
+    let mut expect: Vec<u64> = boxes
+        .iter()
+        .filter(|(_, b)| b.overlaps(&c1) && b.overlaps(&c2))
+        .map(|&(id, _)| id)
+        .collect();
+    expect.sort_unstable();
+    assert_eq!(got, expect);
+}

@@ -1,0 +1,124 @@
+//! Property tests for the spatial indexes: R-tree (both split
+//! strategies) and grid file agree with the scan oracle on arbitrary
+//! corner queries, maintain their invariants, and handle degenerate
+//! inputs.
+
+use proptest::prelude::*;
+use scq_integration::prelude::*;
+
+type Item = (u64, Bbox<2>);
+
+fn boxes_strategy(n: usize) -> BoxedStrategy<Vec<Item>> {
+    prop::collection::vec((0.0f64..95.0, 0.0f64..95.0, 0.0f64..8.0, 0.0f64..8.0), 1..n)
+        .prop_map(|v| {
+            v.into_iter()
+                .enumerate()
+                .map(|(i, (x, y, w, h))| {
+                    (i as u64, Bbox::new([x, y], [x + w, y + h]))
+                })
+                .collect()
+        })
+        .boxed()
+}
+
+fn query_strategy() -> BoxedStrategy<CornerQuery<2>> {
+    (
+        0.0f64..90.0,
+        0.0f64..90.0,
+        1.0f64..40.0,
+        1.0f64..40.0,
+        0u8..7,
+    )
+        .prop_map(|(x, y, w, h, shape)| {
+            let probe = Bbox::new([x, y], [x + w, y + h]);
+            let inner = Bbox::new([x + w * 0.25, y + h * 0.25], [x + w * 0.5, y + h * 0.5]);
+            let q = CornerQuery::unconstrained();
+            match shape {
+                0 => q.and_overlaps(&probe),
+                1 => q.and_contained_in(&probe),
+                2 => q.and_contains(&inner),
+                3 => q.and_contained_in(&probe).and_overlaps(&inner),
+                4 => q.and_contains(&inner).and_contained_in(&probe),
+                5 => q.and_overlaps(&probe).and_overlaps(&inner),
+                _ => q.and_contained_in(&probe).and_contains(&inner).and_overlaps(&probe),
+            }
+        })
+        .boxed()
+}
+
+fn run<I: SpatialIndex<2>>(idx: &I, q: &CornerQuery<2>) -> Vec<u64> {
+    let mut out = Vec::new();
+    idx.query_corner(q, &mut out);
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn all_indexes_agree(items in boxes_strategy(120), q in query_strategy()) {
+        let scan = ScanIndex::from_items(items.iter().copied());
+        let rt_lin = RTree::from_items(SplitStrategy::Linear, items.iter().copied());
+        let rt_quad = RTree::from_items(SplitStrategy::Quadratic, items.iter().copied());
+        let grid = GridFile::bulk_load(8, items.iter().copied());
+        let expect = run(&scan, &q);
+        prop_assert_eq!(run(&rt_lin, &q), expect.clone(), "linear rtree");
+        prop_assert_eq!(run(&rt_quad, &q), expect.clone(), "quadratic rtree");
+        prop_assert_eq!(run(&grid, &q), expect, "grid file");
+    }
+
+    #[test]
+    fn rtree_invariants_hold(items in boxes_strategy(200)) {
+        for strategy in [SplitStrategy::Linear, SplitStrategy::Quadratic] {
+            let t = RTree::from_items(strategy, items.iter().copied());
+            t.check_invariants();
+            prop_assert_eq!(t.len(), items.len());
+        }
+    }
+
+    /// Insertion order must not affect query results.
+    #[test]
+    fn insertion_order_irrelevant(items in boxes_strategy(60), q in query_strategy()) {
+        let fwd = RTree::from_items(SplitStrategy::Quadratic, items.iter().copied());
+        let rev = RTree::from_items(SplitStrategy::Quadratic, items.iter().rev().copied());
+        prop_assert_eq!(run(&fwd, &q), run(&rev, &q));
+    }
+
+    /// Unconstrained queries return every nonempty box exactly once.
+    #[test]
+    fn unconstrained_returns_all(items in boxes_strategy(80)) {
+        let grid = GridFile::bulk_load(4, items.iter().copied());
+        let nonempty = items.iter().filter(|(_, b)| !b.is_empty()).count();
+        let got = run(&grid, &CornerQuery::unconstrained());
+        prop_assert_eq!(got.len(), nonempty);
+    }
+}
+
+/// Degenerate shapes: zero-width boxes are legal corner points.
+#[test]
+fn degenerate_boxes() {
+    let items: Vec<Item> = (0..50)
+        .map(|i| (i, Bbox::point([i as f64, (i * 7 % 50) as f64])))
+        .collect();
+    let rt = RTree::from_items(SplitStrategy::Linear, items.iter().copied());
+    let gf = GridFile::bulk_load(4, items.iter().copied());
+    let scan = ScanIndex::from_items(items.iter().copied());
+    let q = CornerQuery::unconstrained().and_contained_in(&Bbox::new([10.0, 0.0], [30.0, 50.0]));
+    assert_eq!(run(&rt, &q), run(&scan, &q));
+    assert_eq!(run(&gf, &q), run(&scan, &q));
+    assert!(!run(&scan, &q).is_empty());
+}
+
+/// Mass duplicates stress bucket chaining and split min-fill.
+#[test]
+fn mass_duplicates() {
+    let b = Bbox::new([5.0, 5.0], [6.0, 6.0]);
+    let items: Vec<Item> = (0..200).map(|i| (i, b)).collect();
+    let rt = RTree::from_items(SplitStrategy::Quadratic, items.iter().copied());
+    rt.check_invariants();
+    let gf = GridFile::bulk_load(8, items.iter().copied());
+    let q = CornerQuery::unconstrained().and_overlaps(&b);
+    assert_eq!(run(&rt, &q).len(), 200);
+    assert_eq!(run(&gf, &q).len(), 200);
+}

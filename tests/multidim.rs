@@ -1,0 +1,103 @@
+//! The whole pipeline is generic in the dimension `K`: exercise it on
+//! 1-d intervals (the paper's Figure 3 setting) and 3-d boxes.
+
+use scq_integration::prelude::*;
+
+/// 1-d: temporal-style interval containment + overlap query.
+#[test]
+fn one_dimensional_pipeline() {
+    let mut db: SpatialDatabase<1> = SpatialDatabase::new(AaBox::new([0.0], [1000.0]));
+    let meetings = db.collection("meetings");
+    for i in 0..200 {
+        let start = (i * 5) as f64;
+        db.insert(meetings, Region::from_box(AaBox::new([start], [start + 7.0])));
+    }
+    // Meetings inside working hours that clash with the lunch slot.
+    let sys = parse_system("M <= H; M & L != 0").unwrap();
+    let q = Query::new(sys)
+        .known("H", Region::from_box(AaBox::new([100.0], [600.0])))
+        .known("L", Region::from_box(AaBox::new([300.0], [320.0])))
+        .from_collection("M", meetings);
+    let naive = naive_execute(&db, &q).unwrap();
+    for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+        let opt = bbox_execute(&db, &q, kind).unwrap();
+        let mut a = naive.solutions.clone();
+        let mut b = opt.solutions.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "{kind:?}");
+    }
+    assert!(!naive.solutions.is_empty());
+    // exact semantics: every returned meeting overlaps lunch
+    for sol in &naive.solutions {
+        let m = db.region(*sol.values().next().unwrap());
+        assert!(m.intersects(&Region::from_box(AaBox::new([300.0], [320.0]))));
+    }
+}
+
+/// 3-d: solid geometry — parts inside a chamber avoiding a keep-out.
+#[test]
+fn three_dimensional_pipeline() {
+    let mut db: SpatialDatabase<3> = SpatialDatabase::new(AaBox::new(
+        [0.0, 0.0, 0.0],
+        [100.0, 100.0, 100.0],
+    ));
+    let parts = db.collection("parts");
+    for i in 0..6 {
+        for j in 0..6 {
+            for k in 0..3 {
+                let lo = [i as f64 * 15.0, j as f64 * 15.0, k as f64 * 30.0];
+                db.insert(
+                    parts,
+                    Region::from_box(AaBox::new(lo, [lo[0] + 8.0, lo[1] + 8.0, lo[2] + 12.0])),
+                );
+            }
+        }
+    }
+    let sys = parse_system("P <= C; P & K = 0; P != 0").unwrap();
+    let chamber = Region::from_box(AaBox::new([10.0, 10.0, 0.0], [80.0, 80.0, 70.0]));
+    let keepout = Region::from_box(AaBox::new([40.0, 40.0, 0.0], [60.0, 60.0, 100.0]));
+    let q = Query::new(sys)
+        .known("C", chamber.clone())
+        .known("K", keepout.clone())
+        .from_collection("P", parts);
+    let naive = naive_execute(&db, &q).unwrap();
+    for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+        let opt = bbox_execute(&db, &q, kind).unwrap();
+        let mut a = naive.solutions.clone();
+        let mut b = opt.solutions.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "{kind:?}");
+    }
+    assert!(!naive.solutions.is_empty());
+    for sol in &naive.solutions {
+        let p = db.region(*sol.values().next().unwrap());
+        assert!(p.subset_of(&chamber));
+        assert!(!p.intersects(&keepout));
+    }
+}
+
+/// 3-d region algebra laws and the solver.
+#[test]
+fn three_dimensional_solver() {
+    let alg: RegionAlgebra<3> =
+        RegionAlgebra::new(AaBox::new([0.0, 0.0, 0.0], [10.0, 10.0, 10.0]));
+    // x0 ⊂ x1, both nonempty, x1 misses a known forbidden cube.
+    let sys = parse_system("X < Y; X != 0; Y & F = 0").unwrap();
+    let (xf, yf, ff) = (
+        sys.table.get("X").unwrap(),
+        sys.table.get("Y").unwrap(),
+        sys.table.get("F").unwrap(),
+    );
+    let forbidden = Region::from_box(AaBox::new([5.0, 5.0, 5.0], [10.0, 10.0, 10.0]));
+    let knowns = Assignment::new().with(ff, forbidden.clone());
+    let solved = solve_system(&sys.normalize(), &[ff, yf, xf], &alg, &knowns)
+        .unwrap()
+        .expect("satisfiable");
+    let x = solved.get(xf).unwrap();
+    let y = solved.get(yf).unwrap();
+    assert!(x.subset_of(y) && !x.same_set(y));
+    assert!(!x.is_empty());
+    assert!(!y.intersects(&forbidden));
+}

@@ -1,0 +1,107 @@
+//! End-to-end persistence + integrity: build a database, snapshot it,
+//! reload, and verify that query answers, integrity verdicts and the
+//! planner's decisions all survive the round trip.
+
+use scq_engine::integrity::{check_integrity, is_consistent, IntegrityRule};
+use scq_engine::snapshot::{load, save};
+use scq_engine::workload::{map_workload, MapParams};
+use scq_engine::{order_by_selectivity, ExecOptions};
+use scq_integration::prelude::*;
+
+fn build() -> SpatialDatabase<2> {
+    let mut db = SpatialDatabase::new(AaBox::new([0.0, 0.0], [1000.0, 1000.0]));
+    map_workload(
+        &mut db,
+        99,
+        &MapParams { n_states: 5, n_towns: 12, n_roads: 30, useful_road_fraction: 0.15 },
+    );
+    db
+}
+
+fn smuggler_query(db: &SpatialDatabase<2>) -> Query<2> {
+    let sys = parse_system(
+        "A <= C; B <= C; R <= A | B | T; R & A != 0; R & T != 0; T < C",
+    )
+    .unwrap();
+    Query::new(sys)
+        .known("C", Region::from_box(AaBox::new([100.0, 100.0], [900.0, 900.0])))
+        .known("A", Region::from_box(AaBox::new([600.0, 420.0], [680.0, 440.0])))
+        .from_collection("T", db.collection_id("towns").unwrap())
+        .from_collection("R", db.collection_id("roads").unwrap())
+        .from_collection("B", db.collection_id("states").unwrap())
+        .with_order(&["T", "R", "B"])
+}
+
+#[test]
+fn snapshot_preserves_query_answers() {
+    let db = build();
+    let reloaded: SpatialDatabase<2> = load(&save(&db)).expect("round trip");
+    let q1 = smuggler_query(&db);
+    let q2 = smuggler_query(&reloaded);
+    for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+        let a = bbox_execute(&db, &q1, kind).unwrap();
+        let b = bbox_execute(&reloaded, &q2, kind).unwrap();
+        let mut sa = a.solutions.clone();
+        let mut sb = b.solutions.clone();
+        sa.sort();
+        sb.sort();
+        assert_eq!(sa, sb, "{kind:?}");
+    }
+}
+
+#[test]
+fn snapshot_preserves_planner_decisions() {
+    let db = build();
+    let reloaded: SpatialDatabase<2> = load(&save(&db)).expect("round trip");
+    let q1 = smuggler_query(&db);
+    let q2 = smuggler_query(&reloaded);
+    let (o1, e1) = order_by_selectivity(&db, &q1, IndexKind::RTree).unwrap();
+    let (o2, e2) = order_by_selectivity(&reloaded, &q2, IndexKind::RTree).unwrap();
+    assert_eq!(o1, o2, "planner order must be identical after reload");
+    let c1: Vec<usize> = e1.iter().map(|e| e.candidates).collect();
+    let c2: Vec<usize> = e2.iter().map(|e| e.candidates).collect();
+    assert_eq!(c1, c2);
+}
+
+#[test]
+fn snapshot_preserves_integrity_verdicts() {
+    let mut db = build();
+    // plant a violation: a road escaping the country
+    let roads = db.collection_id("roads").unwrap();
+    db.insert(roads, Region::from_box(AaBox::new([850.0, 850.0], [980.0, 980.0])));
+
+    let rule = |db: &SpatialDatabase<2>| {
+        let sys = parse_system("R !<= C; R != 0").unwrap();
+        IntegrityRule {
+            name: "roads-stay-in-country".into(),
+            pattern: Query::new(sys)
+                .known("C", Region::from_box(AaBox::new([100.0, 100.0], [900.0, 900.0])))
+                .from_collection("R", db.collection_id("roads").unwrap()),
+        }
+    };
+    let reloaded: SpatialDatabase<2> = load(&save(&db)).expect("round trip");
+    let v1 = check_integrity(&db, &[rule(&db)], IndexKind::RTree, 100).unwrap();
+    let v2 = check_integrity(&reloaded, &[rule(&reloaded)], IndexKind::RTree, 100).unwrap();
+    assert!(!v1.is_empty(), "the planted violation is found");
+    assert_eq!(v1.len(), v2.len());
+    assert!(!is_consistent(&reloaded, &[rule(&reloaded)], IndexKind::Scan).unwrap());
+}
+
+#[test]
+fn existence_mode_after_reload() {
+    let db = build();
+    let reloaded: SpatialDatabase<2> = load(&save(&db)).expect("round trip");
+    let q = smuggler_query(&reloaded);
+    let first = scq_engine::bbox_execute_opts(
+        &reloaded,
+        &q,
+        IndexKind::RTree,
+        ExecOptions::first(),
+    )
+    .unwrap();
+    let all = bbox_execute(&reloaded, &q, IndexKind::RTree).unwrap();
+    assert_eq!(first.solutions.len().min(1), all.solutions.len().min(1));
+    if !all.solutions.is_empty() {
+        assert!(all.solutions.contains(&first.solutions[0]));
+    }
+}

@@ -1,0 +1,162 @@
+//! End-to-end pipeline tests: text query → normalization →
+//! triangularization → bbox plan → execution on a database, across the
+//! paper's three motivating application domains.
+
+use scq_integration::prelude::*;
+
+use scq_engine::workload::{map_workload, vlsi_workload, MapParams};
+
+/// GIS: the smuggler query at a moderate scale, all three indexes.
+#[test]
+fn gis_smuggler_pipeline() {
+    let mut db = SpatialDatabase::new(AaBox::new([0.0, 0.0], [1000.0, 1000.0]));
+    let w = map_workload(
+        &mut db,
+        5,
+        &MapParams { n_states: 5, n_towns: 15, n_roads: 40, useful_road_fraction: 0.2 },
+    );
+    let sys = parse_system(
+        "A <= C; B <= C; R <= A | B | T; R & A != 0; R & T != 0; T < C",
+    )
+    .unwrap();
+    let q = Query::new(sys)
+        .known("C", w.country.clone())
+        .known("A", w.area.clone())
+        .from_collection("T", w.towns)
+        .from_collection("R", w.roads)
+        .from_collection("B", w.states)
+        .with_order(&["T", "R", "B"]);
+
+    let results: Vec<_> = [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan]
+        .iter()
+        .map(|&k| bbox_execute(&db, &q, k).unwrap())
+        .collect();
+    let baseline = naive_execute(&db, &q).unwrap();
+    for r in &results {
+        let mut a = baseline.solutions.clone();
+        let mut b = r.solutions.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+    assert!(!baseline.solutions.is_empty(), "workload guarantees useful roads");
+
+    // Every reported solution truly satisfies the constraints.
+    let alg = db.algebra();
+    for sol in &baseline.solutions {
+        let mut assign = Assignment::new();
+        assign.bind(q.system.table.get("C").unwrap(), w.country.clone());
+        assign.bind(q.system.table.get("A").unwrap(), w.area.clone());
+        for (&v, &obj) in sol {
+            assign.bind(v, db.region(obj).clone());
+        }
+        assert!(check_system(&alg, &q.system.constraints, &assign).unwrap());
+    }
+}
+
+/// VLSI design-rule check: find wires that cross cell boundaries without
+/// being contained in any cell (simplified DRC query over two vars).
+#[test]
+fn vlsi_drc_pipeline() {
+    let mut db = SpatialDatabase::new(AaBox::new([0.0, 0.0], [1000.0, 1000.0]));
+    let w = vlsi_workload(&mut db, 21, 5, 5, 60);
+    // Violation pattern: wire W overlaps cell L but is not contained in
+    // it (it crosses the cell boundary).
+    let sys = parse_system("W & L != 0; W !<= L").unwrap();
+    let q = Query::new(sys)
+        .from_collection("W", w.wires)
+        .from_collection("L", w.cells);
+    let naive = naive_execute(&db, &q).unwrap();
+    let opt = bbox_execute(&db, &q, IndexKind::RTree).unwrap();
+    let mut a = naive.solutions.clone();
+    let mut b = opt.solutions.clone();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+    assert!(!opt.solutions.is_empty(), "jittered wires cross cells");
+}
+
+/// Visual language parsing: a "label attached to a node" pattern —
+/// label box inside the diagram, intersecting the node's halo but
+/// disjoint from the node body.
+#[test]
+fn visual_parsing_pipeline() {
+    let mut db = SpatialDatabase::new(AaBox::new([0.0, 0.0], [200.0, 200.0]));
+    let nodes = db.collection("nodes");
+    let labels = db.collection("labels");
+    // three nodes
+    let node_boxes = [
+        AaBox::new([20.0, 20.0], [40.0, 40.0]),
+        AaBox::new([100.0, 30.0], [120.0, 50.0]),
+        AaBox::new([60.0, 120.0], [80.0, 140.0]),
+    ];
+    for b in node_boxes {
+        db.insert(nodes, Region::from_box(b));
+    }
+    // labels: one next to each node, one floating far away
+    db.insert(labels, Region::from_box(AaBox::new([41.0, 22.0], [55.0, 30.0])));
+    db.insert(labels, Region::from_box(AaBox::new([121.0, 32.0], [135.0, 40.0])));
+    db.insert(labels, Region::from_box(AaBox::new([81.0, 122.0], [95.0, 130.0])));
+    db.insert(labels, Region::from_box(AaBox::new([170.0, 170.0], [190.0, 180.0])));
+
+    // Halo = known per query; here we query node 0's halo.
+    let halo = Region::from_box(AaBox::new([15.0, 15.0], [60.0, 45.0]));
+    let node0 = Region::from_box(node_boxes[0]);
+    let sys = parse_system("L & H != 0; L & N = 0; L != 0").unwrap();
+    let q = Query::new(sys)
+        .known("H", halo)
+        .known("N", node0)
+        .from_collection("L", labels);
+    for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+        let r = bbox_execute(&db, &q, kind).unwrap();
+        assert_eq!(r.solutions.len(), 1, "{kind:?}");
+        assert_eq!(r.solutions[0].values().next().unwrap().index, 0);
+    }
+}
+
+/// Unsatisfiable systems short-circuit: the compiled plan knows the
+/// ground residue is unsatisfiable and does zero retrieval work.
+#[test]
+fn unsat_short_circuit() {
+    let mut db = SpatialDatabase::new(AaBox::new([0.0, 0.0], [10.0, 10.0]));
+    let xs = db.collection("xs");
+    for i in 0..100 {
+        let x = i as f64 * 0.1;
+        db.insert(xs, Region::from_box(AaBox::new([x, 0.0], [x + 0.05, 1.0])));
+    }
+    // X ⊆ K ∧ X ⊄ K is propositionally unsatisfiable.
+    let sys = parse_system("X <= K; X !<= K").unwrap();
+    let q = Query::new(sys)
+        .known("K", Region::from_box(AaBox::new([0.0, 0.0], [5.0, 5.0])))
+        .from_collection("X", xs);
+    let r = bbox_execute(&db, &q, IndexKind::RTree).unwrap();
+    assert!(r.solutions.is_empty());
+    assert_eq!(r.stats.partial_tuples, 0, "no retrieval at all");
+    assert_eq!(r.stats.index_candidates, 0);
+}
+
+/// Equality constraints work end to end: find the state equal to a
+/// known region.
+#[test]
+fn equality_query() {
+    let mut db = SpatialDatabase::new(AaBox::new([0.0, 0.0], [100.0, 100.0]));
+    let zones = db.collection("zones");
+    let target = Region::from_box(AaBox::new([10.0, 10.0], [20.0, 20.0]));
+    db.insert(zones, Region::from_box(AaBox::new([5.0, 5.0], [25.0, 25.0])));
+    // same set as target, different fragmentation:
+    db.insert(
+        zones,
+        Region::from_boxes([
+            AaBox::new([10.0, 10.0], [15.0, 20.0]),
+            AaBox::new([15.0, 10.0], [20.0, 20.0]),
+        ]),
+    );
+    db.insert(zones, Region::from_box(AaBox::new([50.0, 50.0], [60.0, 60.0])));
+    let sys = parse_system("Z = K").unwrap();
+    let q = Query::new(sys).known("K", target).from_collection("Z", zones);
+    for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+        let r = bbox_execute(&db, &q, kind).unwrap();
+        assert_eq!(r.solutions.len(), 1, "{kind:?}");
+        assert_eq!(r.solutions[0].values().next().unwrap().index, 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the z-order substrate and its index: the
+//! decomposition is an exact cover, the join matches brute force, and
+//! the z-order index agrees with the scan oracle on corner queries —
+//! validating the paper's closing remark that the approach can use
+//! z-ordering methods.
+
+use proptest::prelude::*;
+use scq_integration::prelude::*;
+
+fn universe() -> Bbox<2> {
+    Bbox::new([0.0, 0.0], [64.0, 64.0])
+}
+
+fn box_strategy() -> BoxedStrategy<Bbox<2>> {
+    (0.0f64..60.0, 0.0f64..60.0, 0.2f64..10.0, 0.2f64..10.0)
+        .prop_map(|(x, y, w, h)| Bbox::new([x, y], [(x + w).min(64.0), (y + h).min(64.0)]))
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Morton encode/decode round trip.
+    #[test]
+    fn morton_round_trip(x in 0u32..u32::MAX, y in 0u32..u32::MAX) {
+        prop_assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
+    }
+
+    /// Z-order preserves quadtree block locality: the four children of a
+    /// block occupy a contiguous quarter each of the parent's interval.
+    #[test]
+    fn dyadic_nesting(x in 0u32..1 << 15, y in 0u32..1 << 15, level in 1u32..8) {
+        let bx = (x >> level) << level; // align to block
+        let by = (y >> level) << level;
+        let z_block = morton_encode(bx, by);
+        let size = 1u64 << (2 * level);
+        let z = morton_encode(x & ((1 << 15) - 1) | bx, y & ((1 << 15) - 1) | by);
+        // any cell inside the block lies in [z_block, z_block + size)
+        let inside = (bx..bx + (1 << level)).contains(&(x | bx))
+            && (by..by + (1 << level)).contains(&(y | by));
+        if inside {
+            prop_assert!(z >= z_block && z < z_block + size);
+        }
+    }
+
+    /// Decomposition covers exactly the quantized rectangle.
+    #[test]
+    fn decomposition_exact_cover(b in box_strategy()) {
+        let curve = ZCurve::new(universe(), 6);
+        let ranges = decompose(&curve, &b);
+        let ((x0, y0), (x1, y1)) = curve.quantize_box(&b).unwrap();
+        for x in 0u32..64 {
+            for y in 0u32..64 {
+                let z = morton_encode(x, y);
+                let inside = x >= x0 && x <= x1 && y >= y0 && y <= y1;
+                let covered = ranges.iter().any(|&(lo, hi)| lo <= z && z < hi);
+                prop_assert_eq!(covered, inside, "cell ({}, {})", x, y);
+            }
+        }
+        // disjoint and sorted
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0);
+        }
+    }
+
+    /// The join equals brute force regardless of curve resolution.
+    #[test]
+    fn join_matches_bruteforce(
+        left in prop::collection::vec(box_strategy(), 1..30),
+        right in prop::collection::vec(box_strategy(), 1..30),
+        bits in 2u32..9,
+    ) {
+        let curve = ZCurve::new(universe(), bits);
+        let l: Vec<(Bbox<2>, u64)> =
+            left.iter().enumerate().map(|(i, &b)| (b, i as u64)).collect();
+        let r: Vec<(Bbox<2>, u64)> =
+            right.iter().enumerate().map(|(i, &b)| (b, 1000 + i as u64)).collect();
+        let mut got = zorder_join(&curve, &l, &r);
+        got.sort_unstable();
+        let mut want: Vec<(u64, u64)> = Vec::new();
+        for (lb, li) in &l {
+            for (rb, ri) in &r {
+                if lb.overlaps(rb) {
+                    want.push((*li, *ri));
+                }
+            }
+        }
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The z-order index agrees with the scan oracle.
+    #[test]
+    fn zindex_matches_scan(
+        items in prop::collection::vec(box_strategy(), 1..60),
+        probe in box_strategy(),
+        bits in 3u32..9,
+    ) {
+        let items: Vec<(u64, Bbox<2>)> =
+            items.into_iter().enumerate().map(|(i, b)| (i as u64, b)).collect();
+        let z = ZOrderIndex::from_items(universe(), bits, items.iter().copied());
+        let scan = ScanIndex::from_items(items.iter().copied());
+        for q in [
+            CornerQuery::unconstrained().and_overlaps(&probe),
+            CornerQuery::unconstrained().and_contained_in(&probe),
+            CornerQuery::unconstrained().and_contains(&probe),
+            CornerQuery::unconstrained().and_contained_in(&probe).and_overlaps(&probe),
+        ] {
+            let mut a = Vec::new();
+            z.query_corner(&q, &mut a);
+            let mut b = Vec::new();
+            scan.query_corner(&q, &mut b);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+}
