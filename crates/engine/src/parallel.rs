@@ -4,8 +4,8 @@
 //! retrieval level: each top-level candidate roots an independent
 //! subtree (the database is immutable during execution and every region
 //! operation is pure). [`bbox_execute_parallel`] partitions the first
-//! level's index candidates across crossbeam scoped threads and merges
-//! solutions and statistics.
+//! level's index candidates across scoped threads and merges solutions
+//! and statistics.
 //!
 //! Semantics match [`crate::bbox_execute`] exactly — same solution set —
 //! except that solution *order* follows the partition and, with
@@ -99,7 +99,7 @@ pub fn bbox_execute_parallel<const K: usize>(
     merged.stats.index_candidates += candidates.len();
 
     let chunk = candidates.len().div_ceil(threads).max(1);
-    let results: Vec<Result<QueryResult, ExecError>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<QueryResult, ExecError>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for chunk_ids in candidates.chunks(chunk) {
             let plan = &plan;
@@ -107,7 +107,7 @@ pub fn bbox_execute_parallel<const K: usize>(
             let boxes = &boxes;
             let unknowns = &unknowns;
             let alg = db.algebra();
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local = QueryResult {
                     solutions: Vec::new(),
                     stats: ExecStats::default(),
@@ -142,8 +142,7 @@ pub fn bbox_execute_parallel<const K: usize>(
             }));
         }
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope panicked");
+    });
 
     for r in results {
         let r = r?;

@@ -1,0 +1,229 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the configuration, group, and bencher surface the `b1`–`b10`
+//! benches use, backed by a straightforward wall-clock sampler: per
+//! benchmark it warms up for `warm_up_time`, then takes `sample_size`
+//! samples, each iterating the closure often enough to fill its share of
+//! `measurement_time`, and reports the median / min / max per-iteration
+//! time. No statistics beyond that — the workspace's benches compare
+//! executors against each other on the same machine, where medians are
+//! plenty.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (same contract as
+/// `std::hint::black_box`, re-exported for API compatibility).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark configuration and sink for results.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Applies command-line overrides. This stand-in accepts and ignores
+    /// the harness arguments cargo passes (`--bench`, filters).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== group {name}");
+        BenchmarkGroup { c: self, group: name.to_string() }
+    }
+
+    /// Prints the closing summary (kept for API compatibility; results
+    /// are printed as they are produced).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter value.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a name and a displayed parameter.
+    pub fn new<P: Display>(name: &str, param: P) -> Self {
+        BenchmarkId { id: format!("{name}/{param}") }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks a closure parameterized by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.c.warm_up, self.c.measurement, self.c.sample_size);
+        f(&mut b, input);
+        b.report(&self.group, &id.id);
+        self
+    }
+
+    /// Benchmarks a closure with no parameter.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.c.warm_up, self.c.measurement, self.c.sample_size);
+        f(&mut b);
+        b.report(&self.group, &id.id);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Runs and times one benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measurement: Duration, sample_size: usize) -> Self {
+        Bencher { warm_up, measurement, sample_size, samples_ns: Vec::new() }
+    }
+
+    /// Measures the closure: warm-up, then `sample_size` samples of as
+    /// many iterations as fit the per-sample time budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, also estimating per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters_done = 0u64;
+        while warm_start.elapsed() < self.warm_up || iters_done == 0 {
+            black_box(f());
+            iters_done += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_done as f64;
+        let per_sample = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = (per_sample / per_iter.max(1e-9)).ceil().max(1.0) as u64;
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            self.samples_ns.push(dt * 1e9 / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{group}/{id:<28} (no samples)");
+            return;
+        }
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        let median = s[s.len() / 2];
+        let lo = s[0];
+        let hi = s[s.len() - 1];
+        println!(
+            "{group}/{id:<28} time: [{} {} {}]",
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(Duration::from_millis(1), Duration::from_millis(5), 4);
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(b.samples_ns.len(), 4);
+        assert!(b.samples_ns.iter().all(|&ns| ns >= 0.0));
+        assert!(count > 4);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4))
+            .sample_size(2);
+        let mut group = c.benchmark_group("t");
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        group.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        assert!(ran);
+    }
+}

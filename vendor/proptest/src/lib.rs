@@ -1,0 +1,545 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy / macro surface the workspace's property
+//! tests use — `proptest!`, `prop_oneof!`, `prop_assert*!`, range and
+//! tuple strategies, `Just`, `prop_map`, `prop_recursive`,
+//! `collection::vec`, `BoxedStrategy` — backed by plain deterministic
+//! sampling. Two deliberate simplifications versus the real crate:
+//!
+//! * **No shrinking.** A failing case reports the case index and seed;
+//!   re-running is deterministic, so the failure reproduces exactly.
+//! * **No persistence.** Seeds derive from the test's module path and
+//!   the case index, so every run explores the same inputs.
+
+/// Test-runner configuration and deterministic RNG.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngExt, SeedableRng};
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic per-case random source.
+    pub struct TestRng {
+        rng: StdRng,
+    }
+
+    impl TestRng {
+        /// RNG for one case of one test, seeded from the test's name and
+        /// the case index.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            // FNV-1a over the name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { rng: StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64)) }
+        }
+
+        /// Uniform sample from a half-open range.
+        pub fn sample<T: rand::SampleUniform>(&mut self, lo: T, hi: T) -> T {
+            T::sample_range(&mut self.rng, lo, hi)
+        }
+
+        /// A raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.rng.next_u64()
+        }
+
+        /// A uniform bool.
+        pub fn random_bool(&mut self) -> bool {
+            self.rng.random_bool(0.5)
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { s: self, f }
+        }
+
+        /// Type-erases the strategy (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy { inner: Arc::new(self) }
+        }
+
+        /// Builds a recursive strategy: `self` is the leaf case and `f`
+        /// wraps an inner strategy into the recursive cases. `depth`
+        /// bounds the recursion; the size/branch hints of the real crate
+        /// are accepted and ignored (sizes stay bounded because the
+        /// recursion is unrolled `depth` times).
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + Clone + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf: BoxedStrategy<Self::Value> = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let rec = f(cur).boxed();
+                cur = Union { arms: vec![(1, leaf.clone()), (2, rec)] }.boxed();
+            }
+            cur
+        }
+    }
+
+    /// Object-safe core used behind [`BoxedStrategy`].
+    trait DynStrategy<V> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<V> {
+        inner: Arc<dyn DynStrategy<V>>,
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.inner.dyn_generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The [`Strategy::prop_map`] adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        s: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.s.generate(rng))
+        }
+    }
+
+    /// Weighted choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+    }
+
+    impl<V> Union<V> {
+        /// A union of `(weight, strategy)` arms.
+        ///
+        /// # Panics
+        /// If `arms` is empty or all weights are zero.
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total: u64 = arms.iter().map(|&(w, _)| w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Self {
+            Union { arms: self.arms.clone() }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let total: u64 = self.arms.iter().map(|&(w, _)| w as u64).sum();
+            let mut pick = rng.sample(0u64, total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.sample(self.start, self.end)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(S0.0, S1.1);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A length specification: half-open `[lo, hi)`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec`s with a length drawn from `len` and elements
+    /// drawn from `element`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: vectors of `element` with length in
+    /// `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, len: len.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.sample(self.len.lo, self.len.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy generating both booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.random_bool()
+        }
+    }
+}
+
+/// The `prop::` alias module mirrored from the real crate's prelude.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+}
+
+/// One-stop imports for property tests.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                // Name the case in panics so failures are reproducible
+                // (generation is deterministic in the case index); armed
+                // before generation so strategy panics are named too.
+                let __guard = $crate::CaseGuard::new(stringify!($name), __case);
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )*
+                $body
+                __guard.disarm();
+            }
+        }
+    )*};
+}
+
+/// Prints which deterministic case failed when a property panics.
+#[doc(hidden)]
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    armed: bool,
+}
+
+impl CaseGuard {
+    #[doc(hidden)]
+    pub fn new(name: &'static str, case: u32) -> Self {
+        CaseGuard { name, case, armed: true }
+    }
+
+    #[doc(hidden)]
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            eprintln!(
+                "proptest: property {} failed at deterministic case {} \
+                 (re-run reproduces it)",
+                self.name, self.case
+            );
+        }
+    }
+}
+
+/// Asserts a condition inside a property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Weighted (or unweighted) choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vecs() -> BoxedStrategy<Vec<u32>> {
+        prop::collection::vec(0u32..10, 1..5).boxed()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, f in -1.0f64..1.0, b in crate::bool::ANY) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_lengths(v in small_vecs()) {
+            prop_assert!((1..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_maps((a, b) in (0u32..5, 0u32..5), s in (0u32..3).prop_map(|x| x * 2)) {
+            prop_assert!(a < 5 && b < 5);
+            prop_assert!(s % 2 == 0 && s <= 4);
+        }
+    }
+
+    #[test]
+    fn oneof_respects_arms() {
+        let s = prop_oneof![2 => Just(1u8), 1 => Just(2u8)];
+        let mut rng = crate::test_runner::TestRng::for_case("oneof", 0);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v == 1 || v == 2);
+            seen[v as usize] = true;
+        }
+        assert!(seen[1] && seen[2], "both arms reachable");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(u32),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(n) => (*n < u32::MAX) as usize,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0u32..10).prop_map(Tree::Leaf).boxed();
+        let strat = leaf.prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::test_runner::TestRng::for_case("rec", 1);
+        let mut max_depth = 0;
+        for _ in 0..100 {
+            let t = strat.generate(&mut rng);
+            max_depth = max_depth.max(depth(&t));
+        }
+        assert!(max_depth > 1, "recursion actually taken");
+        assert!(max_depth <= 5, "depth bounded, got {max_depth}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = small_vecs();
+        let mut a = crate::test_runner::TestRng::for_case("det", 3);
+        let mut b = crate::test_runner::TestRng::for_case("det", 3);
+        for _ in 0..20 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}
