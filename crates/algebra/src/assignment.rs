@@ -16,7 +16,9 @@ pub struct Assignment<E> {
 
 impl<E> Default for Assignment<E> {
     fn default() -> Self {
-        Assignment { map: BTreeMap::new() }
+        Assignment {
+            map: BTreeMap::new(),
+        }
     }
 }
 

@@ -119,7 +119,10 @@ mod tests {
         for atom in a.atoms() {
             for e in a.elements() {
                 let below = a.le(&e, &atom);
-                assert!(!(below && !a.is_zero(&e) && e != atom), "atom {atom:b} has proper part {e:b}");
+                assert!(
+                    !(below && !a.is_zero(&e) && e != atom),
+                    "atom {atom:b} has proper part {e:b}"
+                );
             }
         }
     }

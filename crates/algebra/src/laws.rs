@@ -29,10 +29,19 @@ pub fn check_all<A: BooleanAlgebra>(alg: &A, elems: &[A::Elem]) {
 /// `0 ≠ 1` sanity and constant behaviour.
 pub fn check_constants<A: BooleanAlgebra>(alg: &A) {
     assert!(alg.is_zero(&alg.zero()), "0 must be zero");
-    assert!(!alg.is_zero(&alg.one()), "1 must not be zero (degenerate algebra)");
+    assert!(
+        !alg.is_zero(&alg.one()),
+        "1 must not be zero (degenerate algebra)"
+    );
     assert!(alg.is_one(&alg.one()), "1 must be one");
-    assert!(alg.eq_elem(&alg.complement(&alg.zero()), &alg.one()), "~0 = 1");
-    assert!(alg.eq_elem(&alg.complement(&alg.one()), &alg.zero()), "~1 = 0");
+    assert!(
+        alg.eq_elem(&alg.complement(&alg.zero()), &alg.one()),
+        "~0 = 1"
+    );
+    assert!(
+        alg.eq_elem(&alg.complement(&alg.one()), &alg.zero()),
+        "~1 = 0"
+    );
 }
 
 /// Laws in one element.
@@ -54,11 +63,23 @@ pub fn check_unary<A: BooleanAlgebra>(alg: &A, a: &A::Elem) {
 
 /// Laws in two elements.
 pub fn check_binary<A: BooleanAlgebra>(alg: &A, a: &A::Elem, b: &A::Elem) {
-    assert!(alg.eq_elem(&alg.meet(a, b), &alg.meet(b, a)), "meet commutes");
-    assert!(alg.eq_elem(&alg.join(a, b), &alg.join(b, a)), "join commutes");
+    assert!(
+        alg.eq_elem(&alg.meet(a, b), &alg.meet(b, a)),
+        "meet commutes"
+    );
+    assert!(
+        alg.eq_elem(&alg.join(a, b), &alg.join(b, a)),
+        "join commutes"
+    );
     // absorption
-    assert!(alg.eq_elem(&alg.meet(a, &alg.join(a, b)), a), "a & (a|b) = a");
-    assert!(alg.eq_elem(&alg.join(a, &alg.meet(a, b)), a), "a | (a&b) = a");
+    assert!(
+        alg.eq_elem(&alg.meet(a, &alg.join(a, b)), a),
+        "a & (a|b) = a"
+    );
+    assert!(
+        alg.eq_elem(&alg.join(a, &alg.meet(a, b)), a),
+        "a | (a&b) = a"
+    );
     // De Morgan
     assert!(
         alg.eq_elem(
@@ -113,7 +134,10 @@ pub fn check_ternary<A: BooleanAlgebra>(alg: &A, a: &A::Elem, b: &A::Elem, c: &A
 /// atomlessness on the given sample: for nonzero `a` it returns `b` with
 /// `0 < b < a`, and for zero it returns `None`.
 pub fn check_atomless<A: crate::Atomless>(alg: &A, elems: &[A::Elem]) {
-    assert!(alg.proper_part(&alg.zero()).is_none(), "zero has no proper part");
+    assert!(
+        alg.proper_part(&alg.zero()).is_none(),
+        "zero has no proper part"
+    );
     for a in elems {
         if alg.is_zero(a) {
             continue;

@@ -67,15 +67,16 @@ impl<const K: usize> CornerQuery<K> {
 
     /// The query matching no box.
     pub fn unsatisfiable() -> Self {
-        CornerQuery { unsat: true, ..Self::unconstrained() }
+        CornerQuery {
+            unsat: true,
+            ..Self::unconstrained()
+        }
     }
 
     /// Whether the query provably matches nothing.
     pub fn is_unsatisfiable(&self) -> bool {
         self.unsat
-            || (0..K).any(|d| {
-                self.lo_min[d] > self.lo_max[d] || self.hi_min[d] > self.hi_max[d]
-            })
+            || (0..K).any(|d| self.lo_min[d] > self.lo_max[d] || self.hi_min[d] > self.hi_max[d])
     }
 
     /// Adds `⌈x⌉ ⊑ a`: the candidate must be contained in `a`.

@@ -148,7 +148,10 @@ mod tests {
 
     #[test]
     fn constant_folding() {
-        let e = BboxExpr::meet(BboxExpr::constant(b(0.0, 2.0)), BboxExpr::constant(b(1.0, 3.0)));
+        let e = BboxExpr::meet(
+            BboxExpr::constant(b(0.0, 2.0)),
+            BboxExpr::constant(b(1.0, 3.0)),
+        );
         assert_eq!(e, BboxExpr::Const(b(1.0, 2.0)));
         let z = BboxExpr::meet(BboxExpr::<1>::empty(), BboxExpr::var(0));
         assert!(z.is_const_empty());
@@ -193,8 +196,14 @@ mod tests {
 
     #[test]
     fn join_all_meet_all() {
-        let parts = vec![BboxExpr::constant(b(0.0, 1.0)), BboxExpr::constant(b(4.0, 5.0))];
-        assert_eq!(BboxExpr::join_all(parts.clone()), BboxExpr::Const(b(0.0, 5.0)));
+        let parts = vec![
+            BboxExpr::constant(b(0.0, 1.0)),
+            BboxExpr::constant(b(4.0, 5.0)),
+        ];
+        assert_eq!(
+            BboxExpr::join_all(parts.clone()),
+            BboxExpr::Const(b(0.0, 5.0))
+        );
         assert_eq!(BboxExpr::meet_all(parts), BboxExpr::Const(Bbox::Empty));
         assert!(BboxExpr::<1>::join_all(std::iter::empty()).is_const_empty());
     }

@@ -205,7 +205,10 @@ mod tests {
     #[test]
     fn inverted_bounds_are_empty() {
         assert!(b2([1.0, 0.0], [0.0, 1.0]).is_empty());
-        assert!(!b2([0.0, 0.0], [0.0, 0.0]).is_empty(), "degenerate point box is nonempty");
+        assert!(
+            !b2([0.0, 0.0], [0.0, 0.0]).is_empty(),
+            "degenerate point box is nonempty"
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ fn overlay_workload() -> (scq_engine::SpatialDatabase<2>, scq_engine::Query<2>) 
     }
     let sys = scq_core::parse_system("X & Y != 0; X & K != 0").unwrap();
     let q = scq_engine::Query::new(sys)
-        .known("K", Region::from_box(AaBox::new([100.0, 100.0], [900.0, 900.0])))
+        .known(
+            "K",
+            Region::from_box(AaBox::new([100.0, 100.0], [900.0, 900.0])),
+        )
         .from_collection("X", xs)
         .from_collection("Y", ys);
     (db, q)
@@ -46,26 +49,31 @@ is only observable with >1",
         seq.stats.solutions,
         1800,
         1800,
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
     group.bench_function("sequential", |b| {
-        b.iter(|| black_box(bbox_execute(&db, &q, IndexKind::RTree).unwrap().stats.solutions))
+        b.iter(|| {
+            black_box(
+                bbox_execute(&db, &q, IndexKind::RTree)
+                    .unwrap()
+                    .stats
+                    .solutions,
+            )
+        })
     });
     for threads in [2usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("parallel", threads),
-            &threads,
-            |b, &t| {
-                b.iter(|| {
-                    black_box(
-                        bbox_execute_parallel(&db, &q, IndexKind::RTree, t, ExecOptions::all())
-                            .unwrap()
-                            .stats
-                            .solutions,
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| {
+                black_box(
+                    bbox_execute_parallel(&db, &q, IndexKind::RTree, t, ExecOptions::all())
+                        .unwrap()
+                        .stats
+                        .solutions,
+                )
+            })
+        });
     }
     group.finish();
 }

@@ -32,12 +32,22 @@ fn bench(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("bbox_rtree", n_roads), &n_roads, |b, _| {
             b.iter(|| {
-                black_box(bbox_execute(&db, &q, IndexKind::RTree).unwrap().stats.solutions)
+                black_box(
+                    bbox_execute(&db, &q, IndexKind::RTree)
+                        .unwrap()
+                        .stats
+                        .solutions,
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("bbox_grid", n_roads), &n_roads, |b, _| {
             b.iter(|| {
-                black_box(bbox_execute(&db, &q, IndexKind::GridFile).unwrap().stats.solutions)
+                black_box(
+                    bbox_execute(&db, &q, IndexKind::GridFile)
+                        .unwrap()
+                        .stats
+                        .solutions,
+                )
             })
         });
         // Ablation: retrieval-order sensitivity. The paper picks the
@@ -49,7 +59,12 @@ fn bench(c: &mut Criterion) {
             &n_roads,
             |b, _| {
                 b.iter(|| {
-                    black_box(bbox_execute(&db, &q_bad, IndexKind::RTree).unwrap().stats.solutions)
+                    black_box(
+                        bbox_execute(&db, &q_bad, IndexKind::RTree)
+                            .unwrap()
+                            .stats
+                            .solutions,
+                    )
                 })
             },
         );

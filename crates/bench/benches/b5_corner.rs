@@ -43,12 +43,17 @@ fn three_pass<I: SpatialIndex<2>>(idx: &I, s: &Scenario) -> usize {
     let mut q1 = Vec::new();
     idx.query_corner(&CornerQuery::unconstrained().and_contains(&s.a), &mut q1);
     let mut q2 = Vec::new();
-    idx.query_corner(&CornerQuery::unconstrained().and_contained_in(&s.b), &mut q2);
+    idx.query_corner(
+        &CornerQuery::unconstrained().and_contained_in(&s.b),
+        &mut q2,
+    );
     let mut q3 = Vec::new();
     idx.query_corner(&CornerQuery::unconstrained().and_overlaps(&s.c), &mut q3);
     let s1: HashSet<u64> = q1.into_iter().collect();
     let s2: HashSet<u64> = q2.into_iter().collect();
-    q3.into_iter().filter(|id| s1.contains(id) && s2.contains(id)).count()
+    q3.into_iter()
+        .filter(|id| s1.contains(id) && s2.contains(id))
+        .count()
 }
 
 fn bench(c: &mut Criterion) {
@@ -69,7 +74,11 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("one_query_rtree", n), &n, |b, _| {
             let mut out = Vec::new();
             b.iter(|| {
-                black_box(ss.iter().map(|s| combined(&rtree, s, &mut out)).sum::<usize>())
+                black_box(
+                    ss.iter()
+                        .map(|s| combined(&rtree, s, &mut out))
+                        .sum::<usize>(),
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("three_pass_rtree", n), &n, |b, _| {
@@ -78,7 +87,11 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("one_query_grid", n), &n, |b, _| {
             let mut out = Vec::new();
             b.iter(|| {
-                black_box(ss.iter().map(|s| combined(&grid, s, &mut out)).sum::<usize>())
+                black_box(
+                    ss.iter()
+                        .map(|s| combined(&grid, s, &mut out))
+                        .sum::<usize>(),
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("three_pass_grid", n), &n, |b, _| {

@@ -8,14 +8,14 @@
 //! bbox filter for increasingly fragmented regions.
 
 use criterion::{BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use scq_algebra::Assignment;
 use scq_bbox::Bbox;
 use scq_bench::quick_criterion;
 use scq_core::plan::BboxPlan;
 use scq_core::{parse_system, triangularize};
 use scq_region::{AaBox, Region, RegionAlgebra};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
 
 /// Regions made of `frags` fragments each.

@@ -29,17 +29,28 @@ fn bench(c: &mut Criterion) {
         let cx = db.collection("X");
         let cy = db.collection("Y");
         for (_, b) in &left {
-            db.insert(cx, Region::from_box(AaBox::new(b.lo().unwrap(), b.hi().unwrap())));
+            db.insert(
+                cx,
+                Region::from_box(AaBox::new(b.lo().unwrap(), b.hi().unwrap())),
+            );
         }
         for (_, b) in &right {
-            db.insert(cy, Region::from_box(AaBox::new(b.lo().unwrap(), b.hi().unwrap())));
+            db.insert(
+                cy,
+                Region::from_box(AaBox::new(b.lo().unwrap(), b.hi().unwrap())),
+            );
         }
         let sys = scq_core::parse_system("X & Y != 0").unwrap();
-        let q = Query::new(sys).from_collection("X", cx).from_collection("Y", cy);
+        let q = Query::new(sys)
+            .from_collection("X", cx)
+            .from_collection("Y", cy);
 
         // printed row: result sizes must agree
         let z_pairs = zorder_join(&curve, &l_items, &r_items).len();
-        let e_pairs = bbox_execute(&db, &q, IndexKind::RTree).unwrap().stats.solutions;
+        let e_pairs = bbox_execute(&db, &q, IndexKind::RTree)
+            .unwrap()
+            .stats
+            .solutions;
         // Half-open vs closed boxes: region overlap is strictly-inside
         // overlap, z-order verification uses closed boxes, so edge-touch
         // pairs can differ; report both.
@@ -49,7 +60,14 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(zorder_join(&curve, &l_items, &r_items).len()))
         });
         group.bench_with_input(BenchmarkId::new("engine_rtree", n), &n, |b, _| {
-            b.iter(|| black_box(bbox_execute(&db, &q, IndexKind::RTree).unwrap().stats.solutions))
+            b.iter(|| {
+                black_box(
+                    bbox_execute(&db, &q, IndexKind::RTree)
+                        .unwrap()
+                        .stats
+                        .solutions,
+                )
+            })
         });
         if n <= 2_000 {
             group.bench_with_input(BenchmarkId::new("nested_loop", n), &n, |b, _| {

@@ -6,9 +6,9 @@
 use criterion::{BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use scq_algebra::BooleanAlgebra;
 use scq_bench::quick_criterion;
 use scq_region::{AaBox, Region, RegionAlgebra};
-use scq_algebra::BooleanAlgebra;
 use std::hint::black_box;
 
 fn region_with_fragments(seed: u64, frags: usize) -> Region<2> {

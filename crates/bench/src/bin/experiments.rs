@@ -43,8 +43,13 @@ fn b1() {
         let q_bad = q.clone().with_order(&["B", "R", "T"]);
         let (_rbad, tbad) = time(|| bbox_execute(&db, &q_bad, IndexKind::RTree).unwrap());
         let (_rf, tf) = time(|| {
-            scq_engine::bbox_execute_opts(&db, &q, IndexKind::RTree, scq_engine::ExecOptions::first())
-                .unwrap()
+            scq_engine::bbox_execute_opts(
+                &db,
+                &q,
+                IndexKind::RTree,
+                scq_engine::ExecOptions::first(),
+            )
+            .unwrap()
         });
         let (naive_str, naive_partials) = if n <= 120 {
             let (rn, tn) = time(|| naive_execute(&db, &q).unwrap());
@@ -67,7 +72,10 @@ fn b2() {
         let mut eq = Formula::Zero;
         let mut neqs = Vec::new();
         for i in 0..n - 1 {
-            eq = Formula::or(eq, Formula::diff(Formula::var(Var(i)), Formula::var(Var(i + 1))));
+            eq = Formula::or(
+                eq,
+                Formula::diff(Formula::var(Var(i)), Formula::var(Var(i + 1))),
+            );
             neqs.push(Formula::and(Formula::var(Var(i)), Formula::var(Var(i + 1))));
         }
         let sys = NormalSystem { eq, neqs };
@@ -151,14 +159,26 @@ fn b5() {
             let mut total = 0;
             for _ in 0..50 {
                 let mut q1 = Vec::new();
-                rtree.query_corner(&scq_bbox::CornerQuery::unconstrained().and_contains(&a), &mut q1);
+                rtree.query_corner(
+                    &scq_bbox::CornerQuery::unconstrained().and_contains(&a),
+                    &mut q1,
+                );
                 let mut q2 = Vec::new();
-                rtree.query_corner(&scq_bbox::CornerQuery::unconstrained().and_contained_in(&b), &mut q2);
+                rtree.query_corner(
+                    &scq_bbox::CornerQuery::unconstrained().and_contained_in(&b),
+                    &mut q2,
+                );
                 let mut q3 = Vec::new();
-                rtree.query_corner(&scq_bbox::CornerQuery::unconstrained().and_overlaps(&c), &mut q3);
+                rtree.query_corner(
+                    &scq_bbox::CornerQuery::unconstrained().and_overlaps(&c),
+                    &mut q3,
+                );
                 let s1: std::collections::HashSet<u64> = q1.into_iter().collect();
                 let s2: std::collections::HashSet<u64> = q2.into_iter().collect();
-                total += q3.into_iter().filter(|id| s1.contains(id) && s2.contains(id)).count();
+                total += q3
+                    .into_iter()
+                    .filter(|id| s1.contains(id) && s2.contains(id))
+                    .count();
             }
             total
         });
@@ -198,8 +218,10 @@ fn b6() {
         // jittered fragment copies (bbox-only), uniform noise (miss).
         let candidates: Vec<Region<2>> = {
             let mut rng = StdRng::seed_from_u64(77);
-            let pool: Vec<AaBox<2>> =
-                known.iter().flat_map(|r| r.boxes().iter().copied()).collect();
+            let pool: Vec<AaBox<2>> = known
+                .iter()
+                .flat_map(|r| r.boxes().iter().copied())
+                .collect();
             let b_frags: Vec<AaBox<2>> = known[1].boxes().to_vec();
             (0..400usize)
                 .map(|i| match i % 3 {
@@ -222,8 +244,7 @@ fn b6() {
                         ))
                     }
                     _ => {
-                        let lo =
-                            [rng.random_range(0.0..90.0), rng.random_range(0.0..90.0)];
+                        let lo = [rng.random_range(0.0..90.0), rng.random_range(0.0..90.0)];
                         let w = [rng.random_range(1.0..8.0), rng.random_range(1.0..8.0)];
                         Region::from_box(AaBox::new(lo, [lo[0] + w[0], lo[1] + w[1]]))
                     }
@@ -270,13 +291,21 @@ fn b7() {
         let cx = db.collection("X");
         let cy = db.collection("Y");
         for (_, bx) in &left {
-            db.insert(cx, Region::from_box(AaBox::new(bx.lo().unwrap(), bx.hi().unwrap())));
+            db.insert(
+                cx,
+                Region::from_box(AaBox::new(bx.lo().unwrap(), bx.hi().unwrap())),
+            );
         }
         for (_, bx) in &right {
-            db.insert(cy, Region::from_box(AaBox::new(bx.lo().unwrap(), bx.hi().unwrap())));
+            db.insert(
+                cy,
+                Region::from_box(AaBox::new(bx.lo().unwrap(), bx.hi().unwrap())),
+            );
         }
         let sys = parse_system("X & Y != 0").unwrap();
-        let q = scq_engine::Query::new(sys).from_collection("X", cx).from_collection("Y", cy);
+        let q = scq_engine::Query::new(sys)
+            .from_collection("X", cx)
+            .from_collection("Y", cy);
         let (_, t_e) = time(|| bbox_execute(&db, &q, IndexKind::RTree).unwrap());
         let t_n = if n <= 2_000 {
             let (_, t) = time(|| {
@@ -324,14 +353,17 @@ fn b9() {
     use scq_core::constraint::{normalize, Constraint};
     let alg = RegionAlgebra::new(AaBox::new([0.0, 0.0], [100.0, 100.0]));
     for n in [2u32, 4, 6, 8] {
-        let mut cs = vec![Constraint::NotSubset(
-            Formula::var(Var(0)),
-            Formula::Zero,
-        )];
+        let mut cs = vec![Constraint::NotSubset(Formula::var(Var(0)), Formula::Zero)];
         for i in 0..n - 1 {
-            cs.push(Constraint::ProperSubset(Formula::var(Var(i)), Formula::var(Var(i + 1))));
+            cs.push(Constraint::ProperSubset(
+                Formula::var(Var(i)),
+                Formula::var(Var(i + 1)),
+            ));
         }
-        cs.push(Constraint::Subset(Formula::var(Var(n - 1)), Formula::var(Var(n))));
+        cs.push(Constraint::Subset(
+            Formula::var(Var(n - 1)),
+            Formula::var(Var(n)),
+        ));
         let sys = normalize(&cs);
         let mut order: Vec<Var> = vec![Var(n)];
         order.extend((0..n).rev().map(Var));
@@ -348,7 +380,9 @@ fn b9() {
 
 fn b10() {
     println!("\n## B10 — parallel executor and z-order index");
-    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("host CPUs: {cpus} (speedup requires >1)");
     println!("| threads | overlay join ms |");
     println!("|---|---|");
@@ -369,7 +403,10 @@ fn b10() {
         }
         let sys = parse_system("X & Y != 0; X & K != 0").unwrap();
         let q = scq_engine::Query::new(sys)
-            .known("K", Region::from_box(AaBox::new([100.0, 100.0], [900.0, 900.0])))
+            .known(
+                "K",
+                Region::from_box(AaBox::new([100.0, 100.0], [900.0, 900.0])),
+            )
             .from_collection("X", xs)
             .from_collection("Y", ys);
         (db, q)

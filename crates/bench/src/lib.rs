@@ -32,8 +32,14 @@ pub fn random_bboxes(seed: u64, n: usize, max_size: f64) -> Vec<(u64, Bbox<2>)> 
     (0..n as u64)
         .map(|id| {
             let lo = [rng.random_range(0.0..95.0), rng.random_range(0.0..95.0)];
-            let w = [rng.random_range(0.1..max_size), rng.random_range(0.1..max_size)];
-            (id, Bbox::new(lo, [(lo[0] + w[0]).min(100.0), (lo[1] + w[1]).min(100.0)]))
+            let w = [
+                rng.random_range(0.1..max_size),
+                rng.random_range(0.1..max_size),
+            ];
+            (
+                id,
+                Bbox::new(lo, [(lo[0] + w[0]).min(100.0), (lo[1] + w[1]).min(100.0)]),
+            )
         })
         .collect()
 }
@@ -42,9 +48,7 @@ pub fn random_bboxes(seed: u64, n: usize, max_size: f64) -> Vec<(u64, Bbox<2>)> 
 pub fn random_regions(seed: u64, n: usize, max_size: f64) -> Vec<Region<2>> {
     random_bboxes(seed, n, max_size)
         .into_iter()
-        .map(|(_, b)| {
-            Region::from_box(AaBox::new(b.lo().unwrap(), b.hi().unwrap()))
-        })
+        .map(|(_, b)| Region::from_box(AaBox::new(b.lo().unwrap(), b.hi().unwrap())))
         .collect()
 }
 
@@ -61,10 +65,9 @@ pub fn smuggler_setup(seed: u64, n_roads: usize) -> (SpatialDatabase<2>, Query<2
             useful_road_fraction: 0.05,
         },
     );
-    let sys = scq_core::parse_system(
-        "A <= C; B <= C; R <= A | B | T; R & A != 0; R & T != 0; T < C",
-    )
-    .expect("parses");
+    let sys =
+        scq_core::parse_system("A <= C; B <= C; R <= A | B | T; R & A != 0; R & T != 0; T < C")
+            .expect("parses");
     let q = Query::new(sys)
         .known("C", w.country.clone())
         .known("A", w.area.clone())

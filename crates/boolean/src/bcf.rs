@@ -68,7 +68,9 @@ pub fn prime_implicants(f: &Formula) -> Vec<Cube> {
 /// `g ≼ f` iff every term of `g` has a *subterm* in `f` — i.e. for each
 /// cube of `g` some cube of `f` subsumes it.
 pub fn syllogistic_le(g: &Sop, f: &Sop) -> bool {
-    g.cubes().iter().all(|gc| f.cubes().iter().any(|fc| fc.subsumes(gc)))
+    g.cubes()
+        .iter()
+        .all(|gc| f.cubes().iter().any(|fc| fc.subsumes(gc)))
 }
 
 /// Semantic implication `g ⟹ f` decided via Blake's theorem:
@@ -111,8 +113,11 @@ mod tests {
     }
 
     fn cube(lits: &[(u32, bool)]) -> Cube {
-        Cube::from_literals(lits.iter().map(|&(i, p)| Literal { var: Var(i), positive: p }))
-            .unwrap()
+        Cube::from_literals(lits.iter().map(|&(i, p)| Literal {
+            var: Var(i),
+            positive: p,
+        }))
+        .unwrap()
     }
 
     /// Checks BCF(f) ≡ f on all assignments.
@@ -135,7 +140,10 @@ mod tests {
             Formula::and_all([v(x), v(z), Formula::not(v(w))]),
         ]);
         let bcf = blake_canonical_form(&f);
-        let expected = Sop::from_cubes([cube(&[(y, true)]), cube(&[(x, true), (z, true), (w, false)])]);
+        let expected = Sop::from_cubes([
+            cube(&[(y, true)]),
+            cube(&[(x, true), (z, true), (w, false)]),
+        ]);
         assert_eq!(bcf.sorted_cubes(), expected.sorted_cubes());
         semantically_equal(&f, &bcf, 4);
         // Example 3: the only single-atom term is y.

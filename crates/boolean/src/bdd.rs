@@ -64,10 +64,23 @@ impl Bdd {
     /// Creates a manager containing only the two terminals.
     pub fn new() -> Self {
         let nodes = vec![
-            Node { level: u32::MAX, lo: ZERO, hi: ZERO }, // 0
-            Node { level: u32::MAX, lo: ONE, hi: ONE },   // 1
+            Node {
+                level: u32::MAX,
+                lo: ZERO,
+                hi: ZERO,
+            }, // 0
+            Node {
+                level: u32::MAX,
+                lo: ONE,
+                hi: ONE,
+            }, // 1
         ];
-        Bdd { nodes, unique: HashMap::new(), apply_memo: HashMap::new(), not_memo: HashMap::new() }
+        Bdd {
+            nodes,
+            unique: HashMap::new(),
+            apply_memo: HashMap::new(),
+            not_memo: HashMap::new(),
+        }
     }
 
     /// Number of live nodes (including terminals).
@@ -191,8 +204,16 @@ impl Bdd {
         }
         let (na, nb) = (self.node(a), self.node(b));
         let level = na.level.min(nb.level);
-        let (alo, ahi) = if na.level == level { (na.lo, na.hi) } else { (a, a) };
-        let (blo, bhi) = if nb.level == level { (nb.lo, nb.hi) } else { (b, b) };
+        let (alo, ahi) = if na.level == level {
+            (na.lo, na.hi)
+        } else {
+            (a, a)
+        };
+        let (blo, bhi) = if nb.level == level {
+            (nb.lo, nb.hi)
+        } else {
+            (b, b)
+        };
         let lo = self.apply(op, alo, blo);
         let hi = self.apply(op, ahi, bhi);
         let r = self.mk(level, lo, hi);
@@ -316,11 +337,21 @@ impl Bdd {
     /// Counts satisfying assignments over exactly `nvars` variables
     /// `x0..x{nvars-1}` (all of which must be ≥ every level in `n`).
     pub fn sat_count(&self, n: NodeId, nvars: u32) -> u64 {
-        fn go(bdd: &Bdd, n: NodeId, level: u32, nvars: u32, memo: &mut HashMap<(NodeId, u32), u64>) -> u64 {
+        fn go(
+            bdd: &Bdd,
+            n: NodeId,
+            level: u32,
+            nvars: u32,
+            memo: &mut HashMap<(NodeId, u32), u64>,
+        ) -> u64 {
             if n == ZERO {
                 return 0;
             }
-            let node_level = if n == ONE { nvars } else { bdd.level(n).min(nvars) };
+            let node_level = if n == ONE {
+                nvars
+            } else {
+                bdd.level(n).min(nvars)
+            };
             if n == ONE {
                 return 1u64 << (nvars - level);
             }
@@ -401,13 +432,20 @@ mod tests {
         let before = b.node_count();
         let f2 = b.from_formula(&Formula::and(v(0), v(1)));
         assert_eq!(f1, f2);
-        assert_eq!(b.node_count(), before, "no new nodes for an existing function");
+        assert_eq!(
+            b.node_count(),
+            before,
+            "no new nodes for an existing function"
+        );
     }
 
     #[test]
     fn restrict_and_cofactors() {
         let mut b = Bdd::new();
-        let f = Formula::or(Formula::and(v(0), v(1)), Formula::and(Formula::not(v(0)), v(2)));
+        let f = Formula::or(
+            Formula::and(v(0), v(1)),
+            Formula::and(Formula::not(v(0)), v(2)),
+        );
         let n = b.from_formula(&f);
         let (lo, hi) = b.cofactors(n, Var(0));
         let want_lo = b.from_formula(&v(2));
@@ -420,7 +458,10 @@ mod tests {
     fn exists_matches_boole() {
         // ∃x. f should equal f0 | f1 built through formulas.
         let mut b = Bdd::new();
-        let f = Formula::or(Formula::and(v(0), v(1)), Formula::and(Formula::not(v(0)), v(2)));
+        let f = Formula::or(
+            Formula::and(v(0), v(1)),
+            Formula::and(Formula::not(v(0)), v(2)),
+        );
         let n = b.from_formula(&f);
         let e = b.exists(n, Var(0));
         let or01 = Formula::or(f.cofactor(Var(0), false), f.cofactor(Var(0), true));
@@ -444,7 +485,13 @@ mod tests {
         let f = Formula::and(Formula::not(v(0)), v(1));
         let n = b.from_formula(&f);
         let model = b.any_sat(n).unwrap();
-        let assign = |x: Var| model.iter().find(|(v, _)| *v == x).map(|&(_, p)| p).unwrap_or(false);
+        let assign = |x: Var| {
+            model
+                .iter()
+                .find(|(v, _)| *v == x)
+                .map(|&(_, p)| p)
+                .unwrap_or(false)
+        };
         assert!(f.eval2(assign));
         let zero = b.from_formula(&Formula::Zero);
         assert!(b.any_sat(zero).is_none());

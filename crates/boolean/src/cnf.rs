@@ -31,7 +31,9 @@ impl Pos {
 
     /// The constant `0` (contains the empty clause).
     pub fn zero() -> Self {
-        Pos { clauses: vec![Cube::one()] }
+        Pos {
+            clauses: vec![Cube::one()],
+        }
     }
 
     /// The clauses (each cube read disjunctively).
@@ -68,9 +70,11 @@ impl Pos {
 
     /// Converts to a formula: conjunction of clause disjunctions.
     pub fn to_formula(&self) -> Formula {
-        Formula::and_all(self.clauses.iter().map(|c| {
-            Formula::or_all(c.literals().map(|l| l.to_formula()))
-        }))
+        Formula::and_all(
+            self.clauses
+                .iter()
+                .map(|c| Formula::or_all(c.literals().map(|l| l.to_formula()))),
+        )
     }
 
     /// Canonically ordered clause list.
@@ -94,7 +98,9 @@ fn negate_literals(c: &Cube) -> Cube {
 /// is a CNF of `f`.
 pub fn formula_to_pos(f: &Formula) -> Pos {
     let not_f = complement_to_sop(f);
-    Pos { clauses: not_f.cubes().iter().map(negate_literals).collect() }
+    Pos {
+        clauses: not_f.cubes().iter().map(negate_literals).collect(),
+    }
 }
 
 /// The dual Blake canonical form: the conjunction of all **prime
@@ -103,7 +109,9 @@ pub fn formula_to_pos(f: &Formula) -> Pos {
 /// consensus = resolution, by duality) and negating back.
 pub fn dual_blake_canonical_form(f: &Formula) -> Pos {
     let not_f_bcf: Sop = bcf_of_sop(complement_to_sop(f));
-    Pos { clauses: not_f_bcf.cubes().iter().map(negate_literals).collect() }
+    Pos {
+        clauses: not_f_bcf.cubes().iter().map(negate_literals).collect(),
+    }
 }
 
 /// The prime implicates of `f` in canonical order.
@@ -129,7 +137,10 @@ mod tests {
 
     #[test]
     fn cnf_preserves_semantics() {
-        let f = Formula::or(Formula::and(v(0), v(1)), Formula::and(Formula::not(v(1)), v(2)));
+        let f = Formula::or(
+            Formula::and(v(0), v(1)),
+            Formula::and(Formula::not(v(1)), v(2)),
+        );
         let p = formula_to_pos(&f);
         equivalent(&f, &p, 3);
         let g = p.to_formula();
@@ -148,7 +159,10 @@ mod tests {
 
     #[test]
     fn prime_implicates_are_implied_and_minimal() {
-        let f = Formula::and(Formula::or(v(0), v(1)), Formula::or(Formula::not(v(1)), v(2)));
+        let f = Formula::and(
+            Formula::or(v(0), v(1)),
+            Formula::or(Formula::not(v(1)), v(2)),
+        );
         let implicates = prime_implicates(&f);
         assert!(!implicates.is_empty());
         for clause in &implicates {
@@ -164,15 +178,13 @@ mod tests {
             }
             // minimal: dropping any literal breaks implication
             for l in clause.literals() {
-                let smaller: Vec<Literal> =
-                    clause.literals().filter(|&m| m != l).collect();
+                let smaller: Vec<Literal> = clause.literals().filter(|&m| m != l).collect();
                 if smaller.is_empty() {
                     continue;
                 }
                 let violated = (0u32..8).any(|bits| {
                     let assign = |x: Var| bits >> x.0 & 1 == 1;
-                    f.eval2(assign)
-                        && !smaller.iter().any(|m| assign(m.var) == m.positive)
+                    f.eval2(assign) && !smaller.iter().any(|m| assign(m.var) == m.positive)
                 });
                 assert!(violated, "clause {clause} not prime");
             }
@@ -182,10 +194,16 @@ mod tests {
     #[test]
     fn resolution_finds_derived_implicates() {
         // (x ∨ y)(¬x ∨ z) has the resolvent (y ∨ z) as a prime implicate.
-        let f = Formula::and(Formula::or(v(0), v(1)), Formula::or(Formula::not(v(0)), v(2)));
+        let f = Formula::and(
+            Formula::or(v(0), v(1)),
+            Formula::or(Formula::not(v(0)), v(2)),
+        );
         let implicates = prime_implicates(&f);
         let want = Cube::from_literals([Literal::pos(Var(1)), Literal::pos(Var(2))]).unwrap();
-        assert!(implicates.contains(&want), "resolvent y∨z missing: {implicates:?}");
+        assert!(
+            implicates.contains(&want),
+            "resolvent y∨z missing: {implicates:?}"
+        );
     }
 
     #[test]

@@ -21,17 +21,26 @@ pub struct Literal {
 impl Literal {
     /// Positive literal of `var`.
     pub fn pos(var: Var) -> Self {
-        Literal { var, positive: true }
+        Literal {
+            var,
+            positive: true,
+        }
     }
 
     /// Negative literal of `var`.
     pub fn neg(var: Var) -> Self {
-        Literal { var, positive: false }
+        Literal {
+            var,
+            positive: false,
+        }
     }
 
     /// The literal with opposite polarity.
     pub fn complement(self) -> Self {
-        Literal { var: self.var, positive: !self.positive }
+        Literal {
+            var: self.var,
+            positive: !self.positive,
+        }
     }
 
     /// Converts to a formula.
@@ -108,7 +117,10 @@ impl Cube {
         };
         let mut out = big.clone();
         for (&v, &p) in &small.lits {
-            out = out.and_literal(Literal { var: v, positive: p })?;
+            out = out.and_literal(Literal {
+                var: v,
+                positive: p,
+            })?;
         }
         Some(out)
     }
@@ -131,7 +143,9 @@ impl Cube {
 
     /// Iterates over the literals in variable order.
     pub fn literals(&self) -> impl Iterator<Item = Literal> + '_ {
-        self.lits.iter().map(|(&var, &positive)| Literal { var, positive })
+        self.lits
+            .iter()
+            .map(|(&var, &positive)| Literal { var, positive })
     }
 
     /// Whether `self` *subsumes* (absorbs) `other`: every literal of
@@ -189,7 +203,14 @@ impl Cube {
     /// Used by Algorithm 2 of the paper when computing the best *upper*
     /// bounding-box approximation: `U_f` keeps only positive atoms.
     pub fn positive_part(&self) -> Cube {
-        Cube { lits: self.lits.iter().filter(|(_, &p)| p).map(|(&v, &p)| (v, p)).collect() }
+        Cube {
+            lits: self
+                .lits
+                .iter()
+                .filter(|(_, &p)| p)
+                .map(|(&v, &p)| (v, p))
+                .collect(),
+        }
     }
 
     /// Restricts the cube by fixing `v := value`.
@@ -274,7 +295,9 @@ impl Sop {
 
     /// The constant `1` (the single empty cube).
     pub fn one() -> Self {
-        Sop { cubes: vec![Cube::one()] }
+        Sop {
+            cubes: vec![Cube::one()],
+        }
     }
 
     /// Builds from cubes, applying absorption.
@@ -494,7 +517,10 @@ mod tests {
         let prod = left.and(&right);
         for bits in 0u32..8 {
             let assign = |v: Var| bits >> v.0 & 1 == 1;
-            assert_eq!(prod.eval2(assign), left.eval2(assign) && right.eval2(assign));
+            assert_eq!(
+                prod.eval2(assign),
+                left.eval2(assign) && right.eval2(assign)
+            );
         }
     }
 
@@ -516,7 +542,10 @@ mod tests {
     #[test]
     fn cube_cofactor() {
         let c = Cube::from_literals([lp(0), ln(1)]).unwrap();
-        assert_eq!(c.cofactor(Var(0), true).unwrap(), Cube::from_literals([ln(1)]).unwrap());
+        assert_eq!(
+            c.cofactor(Var(0), true).unwrap(),
+            Cube::from_literals([ln(1)]).unwrap()
+        );
         assert!(c.cofactor(Var(0), false).is_none());
         assert_eq!(c.cofactor(Var(5), true).unwrap(), c);
     }

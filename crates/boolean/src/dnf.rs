@@ -22,7 +22,10 @@ fn to_sop(f: &Formula, polarity: bool) -> Sop {
     match (f, polarity) {
         (Formula::Zero, true) | (Formula::One, false) => Sop::zero(),
         (Formula::One, true) | (Formula::Zero, false) => Sop::one(),
-        (Formula::Var(v), p) => Sop::from_cubes([Cube::literal(Literal { var: *v, positive: p })]),
+        (Formula::Var(v), p) => Sop::from_cubes([Cube::literal(Literal {
+            var: *v,
+            positive: p,
+        })]),
         (Formula::Not(g), p) => to_sop(g, !p),
         (Formula::And(a, b), true) | (Formula::Or(a, b), false) => {
             to_sop(a, polarity).and(&to_sop(b, polarity))
@@ -51,7 +54,11 @@ mod tests {
     fn equivalent(f: &Formula, s: &Sop, nvars: u32) {
         for bits in 0u32..(1 << nvars) {
             let assign = |x: Var| bits >> x.0 & 1 == 1;
-            assert_eq!(f.eval2(assign), s.eval2(assign), "bits={bits:b} f={f} s={s}");
+            assert_eq!(
+                f.eval2(assign),
+                s.eval2(assign),
+                "bits={bits:b} f={f} s={s}"
+            );
         }
     }
 

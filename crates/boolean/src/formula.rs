@@ -95,10 +95,7 @@ impl Formula {
     /// This is the classical encoding of the equality constraint `a = b`
     /// as a single equation `a ⊕ b = 0` (paper, Theorem 1).
     pub fn xor(a: Formula, b: Formula) -> Self {
-        Formula::or(
-            Formula::diff(a.clone(), b.clone()),
-            Formula::diff(b, a),
-        )
+        Formula::or(Formula::diff(a.clone(), b.clone()), Formula::diff(b, a))
     }
 
     /// n-ary join of an iterator of formulas.
@@ -208,7 +205,10 @@ impl Formula {
 
     /// Pretty-prints the formula with names resolved through `table`.
     pub fn display<'a>(&'a self, table: &'a VarTable) -> FormulaDisplay<'a> {
-        FormulaDisplay { f: self, table: Some(table) }
+        FormulaDisplay {
+            f: self,
+            table: Some(table),
+        }
     }
 
     fn fmt_prec(
@@ -341,7 +341,10 @@ mod tests {
     fn vars_collects_all() {
         let f = Formula::and(Formula::or(v(0), v(3)), Formula::not(v(1)));
         let vs = f.vars();
-        assert_eq!(vs.into_iter().collect::<Vec<_>>(), vec![Var(0), Var(1), Var(3)]);
+        assert_eq!(
+            vs.into_iter().collect::<Vec<_>>(),
+            vec![Var(0), Var(1), Var(3)]
+        );
     }
 
     #[test]

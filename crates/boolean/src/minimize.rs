@@ -135,7 +135,11 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(909);
-        let cfg = FormulaConfig { nvars: 5, depth: 5, const_prob: 0.05 };
+        let cfg = FormulaConfig {
+            nvars: 5,
+            depth: 5,
+            const_prob: 0.05,
+        };
         let mut bdd = Bdd::new();
         for _ in 0..60 {
             let f = random_formula(&mut rng, &cfg);
@@ -154,7 +158,11 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(44);
-        let cfg = FormulaConfig { nvars: 4, depth: 4, const_prob: 0.0 };
+        let cfg = FormulaConfig {
+            nvars: 4,
+            depth: 4,
+            const_prob: 0.0,
+        };
         let mut bdd = Bdd::new();
         for _ in 0..30 {
             let f = random_formula(&mut rng, &cfg);

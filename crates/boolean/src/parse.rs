@@ -131,7 +131,10 @@ impl<'a> Parser<'a> {
     }
 
     fn here(&self) -> usize {
-        self.toks.get(self.pos).map(|&(p, _)| p).unwrap_or(self.input_len)
+        self.toks
+            .get(self.pos)
+            .map(|&(p, _)| p)
+            .unwrap_or(self.input_len)
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -189,13 +192,20 @@ impl<'a> Parser<'a> {
                 let f = self.or_expr()?;
                 match self.bump() {
                     Some(Tok::RParen) => Ok(f),
-                    _ => Err(ParseError { position: at, message: "unclosed parenthesis".into() }),
+                    _ => Err(ParseError {
+                        position: at,
+                        message: "unclosed parenthesis".into(),
+                    }),
                 }
             }
-            Some(t) => {
-                Err(ParseError { position: at, message: format!("unexpected token {t:?}") })
-            }
-            None => Err(ParseError { position: at, message: "unexpected end of input".into() }),
+            Some(t) => Err(ParseError {
+                position: at,
+                message: format!("unexpected token {t:?}"),
+            }),
+            None => Err(ParseError {
+                position: at,
+                message: "unexpected end of input".into(),
+            }),
         }
     }
 }
@@ -210,10 +220,18 @@ impl<'a> Parser<'a> {
 /// ```
 pub fn parse_formula(input: &str, table: &mut VarTable) -> Result<Formula, ParseError> {
     let toks = lex(input)?;
-    let mut p = Parser { toks, pos: 0, table, input_len: input.len() };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        table,
+        input_len: input.len(),
+    };
     let f = p.or_expr()?;
     if p.pos != p.toks.len() {
-        return Err(ParseError { position: p.here(), message: "trailing input".into() });
+        return Err(ParseError {
+            position: p.here(),
+            message: "trailing input".into(),
+        });
     }
     Ok(f)
 }

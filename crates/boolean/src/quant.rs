@@ -89,7 +89,10 @@ mod tests {
     fn schroder_solvability_matches_boole() {
         // s ≤ t is solvable iff s ∧ ¬t = 0 iff f0 ∧ f1 = 0 (Boole).
         let mut bdd = Bdd::new();
-        let f = Formula::or(Formula::and(v(0), v(1)), Formula::and(Formula::not(v(0)), v(2)));
+        let f = Formula::or(
+            Formula::and(v(0), v(1)),
+            Formula::and(Formula::not(v(0)), v(2)),
+        );
         let (s, t) = schroder_range(&f, Var(0));
         let s_not_t = Formula::diff(s, t);
         let boole = exists_eq0(&f, Var(0));

@@ -23,7 +23,11 @@ pub struct FormulaConfig {
 
 impl Default for FormulaConfig {
     fn default() -> Self {
-        FormulaConfig { nvars: 4, depth: 5, const_prob: 0.05 }
+        FormulaConfig {
+            nvars: 4,
+            depth: 5,
+            const_prob: 0.05,
+        }
     }
 }
 
@@ -31,11 +35,18 @@ impl Default for FormulaConfig {
 pub fn random_formula<R: Rng + ?Sized>(rng: &mut R, cfg: &FormulaConfig) -> Formula {
     if cfg.depth == 0 || rng.random_range(0..4) == 0 {
         if rng.random_bool(cfg.const_prob) {
-            return if rng.random_bool(0.5) { Formula::Zero } else { Formula::One };
+            return if rng.random_bool(0.5) {
+                Formula::Zero
+            } else {
+                Formula::One
+            };
         }
         return Formula::var(Var(rng.random_range(0..cfg.nvars)));
     }
-    let smaller = FormulaConfig { depth: cfg.depth - 1, ..*cfg };
+    let smaller = FormulaConfig {
+        depth: cfg.depth - 1,
+        ..*cfg
+    };
     match rng.random_range(0..3) {
         0 => Formula::not(random_formula(rng, &smaller)),
         1 => Formula::and(random_formula(rng, &smaller), random_formula(rng, &smaller)),
@@ -49,11 +60,16 @@ pub fn random_cube<R: Rng + ?Sized>(rng: &mut R, nvars: u32, literals: u32) -> C
     let mut c = Cube::one();
     for _ in 0..literals {
         let var = Var(rng.random_range(0..nvars));
-        let lit = Literal { var, positive: rng.random_bool(0.5) };
+        let lit = Literal {
+            var,
+            positive: rng.random_bool(0.5),
+        };
         // A clashing literal would zero the cube; flip it instead.
         c = match c.and_literal(lit) {
             Some(next) => next,
-            None => c.and_literal(lit.complement()).expect("complement cannot clash"),
+            None => c
+                .and_literal(lit.complement())
+                .expect("complement cannot clash"),
         };
     }
     c
@@ -78,7 +94,11 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let cfg = FormulaConfig { nvars: 5, depth: 6, const_prob: 0.1 };
+        let cfg = FormulaConfig {
+            nvars: 5,
+            depth: 6,
+            const_prob: 0.1,
+        };
         let f1 = random_formula(&mut StdRng::seed_from_u64(42), &cfg);
         let f2 = random_formula(&mut StdRng::seed_from_u64(42), &cfg);
         assert_eq!(f1, f2);
@@ -87,7 +107,11 @@ mod tests {
     #[test]
     fn respects_variable_bound() {
         let mut rng = StdRng::seed_from_u64(7);
-        let cfg = FormulaConfig { nvars: 3, depth: 8, const_prob: 0.0 };
+        let cfg = FormulaConfig {
+            nvars: 3,
+            depth: 8,
+            const_prob: 0.0,
+        };
         for _ in 0..50 {
             let f = random_formula(&mut rng, &cfg);
             assert!(f.vars().iter().all(|v| v.0 < 3));

@@ -227,17 +227,19 @@ mod tests {
         use rand::{RngExt, SeedableRng};
         use scq_boolean::random::{random_formula, FormulaConfig};
         let mut rng = StdRng::seed_from_u64(5150);
-        let cfg = FormulaConfig { nvars: 4, depth: 5, const_prob: 0.05 };
+        let cfg = FormulaConfig {
+            nvars: 4,
+            depth: 5,
+            const_prob: 0.05,
+        };
         for _ in 0..60 {
             let f = random_formula(&mut rng, &cfg);
             let regions: Vec<Region<2>> = (0..4)
                 .map(|_| {
                     let nboxes = rng.random_range(1..4);
                     Region::from_boxes((0..nboxes).map(|_| {
-                        let lo =
-                            [rng.random_range(0.0..80.0), rng.random_range(0.0..80.0)];
-                        let w =
-                            [rng.random_range(1.0..15.0), rng.random_range(1.0..15.0)];
+                        let lo = [rng.random_range(0.0..80.0), rng.random_range(0.0..80.0)];
+                        let w = [rng.random_range(1.0..15.0), rng.random_range(1.0..15.0)];
                         AaBox::new(lo, [lo[0] + w[0], lo[1] + w[1]])
                     }))
                 })

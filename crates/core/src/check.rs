@@ -105,9 +105,13 @@ mod tests {
     fn proper_subset_strictness() {
         let alg = BitsetAlgebra::new(2);
         let c = Constraint::ProperSubset(v(0), v(1));
-        let strict = Assignment::new().with(Var(0), 0b01u64).with(Var(1), 0b11u64);
+        let strict = Assignment::new()
+            .with(Var(0), 0b01u64)
+            .with(Var(1), 0b11u64);
         assert!(check_constraint(&alg, &c, &strict).unwrap());
-        let equal = Assignment::new().with(Var(0), 0b11u64).with(Var(1), 0b11u64);
+        let equal = Assignment::new()
+            .with(Var(0), 0b11u64)
+            .with(Var(1), 0b11u64);
         assert!(!check_constraint(&alg, &c, &equal).unwrap());
     }
 }

@@ -14,8 +14,8 @@
 
 use std::fmt;
 
-use scq_boolean::{Bdd, Formula, VarTable};
 use scq_boolean::var::Var;
+use scq_boolean::{Bdd, Formula, VarTable};
 
 use crate::simplify::simplify;
 
@@ -166,7 +166,10 @@ pub enum GroundStatus {
 impl NormalSystem {
     /// The trivially true system (`0 = 0`).
     pub fn trivial() -> Self {
-        NormalSystem { eq: Formula::Zero, neqs: Vec::new() }
+        NormalSystem {
+            eq: Formula::Zero,
+            neqs: Vec::new(),
+        }
     }
 
     /// All variables mentioned.
@@ -322,7 +325,9 @@ mod tests {
         if !alg.is_zero(&eval_formula(alg, &s.eq, &assign).unwrap()) {
             return false;
         }
-        s.neqs.iter().all(|g| !alg.is_zero(&eval_formula(alg, g, &assign).unwrap()))
+        s.neqs
+            .iter()
+            .all(|g| !alg.is_zero(&eval_formula(alg, g, &assign).unwrap()))
     }
 
     #[test]
@@ -378,18 +383,30 @@ mod tests {
 
     #[test]
     fn ground_status() {
-        let valid = NormalSystem { eq: Formula::Zero, neqs: vec![Formula::One] };
+        let valid = NormalSystem {
+            eq: Formula::Zero,
+            neqs: vec![Formula::One],
+        };
         assert_eq!(valid.ground_status(), GroundStatus::Valid);
-        let bad_eq = NormalSystem { eq: Formula::One, neqs: vec![] };
+        let bad_eq = NormalSystem {
+            eq: Formula::One,
+            neqs: vec![],
+        };
         assert_eq!(bad_eq.ground_status(), GroundStatus::Unsatisfiable);
-        let bad_neq = NormalSystem { eq: Formula::Zero, neqs: vec![Formula::Zero] };
+        let bad_neq = NormalSystem {
+            eq: Formula::Zero,
+            neqs: vec![Formula::Zero],
+        };
         assert_eq!(bad_neq.ground_status(), GroundStatus::Unsatisfiable);
     }
 
     #[test]
     #[should_panic(expected = "non-ground")]
     fn ground_status_requires_ground() {
-        let s = NormalSystem { eq: vf(0), neqs: vec![] };
+        let s = NormalSystem {
+            eq: vf(0),
+            neqs: vec![],
+        };
         s.ground_status();
     }
 
@@ -416,7 +433,10 @@ mod tests {
             neqs: vec![],
         };
         assert!(bad.obviously_unsat());
-        let fine = NormalSystem { eq: vf(0), neqs: vec![vf(1)] };
+        let fine = NormalSystem {
+            eq: vf(0),
+            neqs: vec![vf(1)],
+        };
         assert!(!fine.obviously_unsat());
         let bad_neq = NormalSystem {
             eq: Formula::Zero,

@@ -41,6 +41,6 @@ pub use constraint::{Constraint, ConstraintSystem, NormalSystem};
 pub use parser::parse_system;
 pub use plan::{BboxPlan, CompiledRow};
 pub use proj::{proj, witness};
-pub use solve::{solve, solve_system};
 pub use simplify::simplify;
+pub use solve::{solve, solve_system};
 pub use triangular::{triangularize, DiseqRow, SolvedRow, TriangularSystem};

@@ -54,7 +54,10 @@ impl std::fmt::Display for SystemParseError {
 impl std::error::Error for SystemParseError {}
 
 fn formula_err(statement: usize, e: ParseError) -> SystemParseError {
-    SystemParseError { statement, message: e.to_string() }
+    SystemParseError {
+        statement,
+        message: e.to_string(),
+    }
 }
 
 /// Builds a constraint from the two operand formulas of a statement.
@@ -125,7 +128,11 @@ pub fn parse_order(input: &str, table: &VarTable) -> Result<Vec<scq_boolean::Var
     input
         .split(|c: char| c.is_whitespace() || c == ',')
         .filter(|s| !s.is_empty())
-        .map(|name| table.get(name).ok_or_else(|| format!("unknown variable {name:?}")))
+        .map(|name| {
+            table
+                .get(name)
+                .ok_or_else(|| format!("unknown variable {name:?}"))
+        })
         .collect()
 }
 
@@ -135,10 +142,8 @@ mod tests {
 
     #[test]
     fn smuggler_system_parses() {
-        let sys = parse_system(
-            "A <= C; B <= C; R <= A | B | T; R & A != 0; R & T != 0; T < C",
-        )
-        .unwrap();
+        let sys =
+            parse_system("A <= C; B <= C; R <= A | B | T; R & A != 0; R & T != 0; T < C").unwrap();
         assert_eq!(sys.constraints.len(), 6);
         assert!(matches!(sys.constraints[0], Constraint::Subset(..)));
         assert!(matches!(sys.constraints[3], Constraint::Neq(..)));
@@ -148,17 +153,16 @@ mod tests {
 
     #[test]
     fn newlines_and_comments() {
-        let sys = parse_system(
-            "# the country\nA <= C   # area inside country\n\nB != 0",
-        )
-        .unwrap();
+        let sys = parse_system("# the country\nA <= C   # area inside country\n\nB != 0").unwrap();
         assert_eq!(sys.constraints.len(), 2);
     }
 
     #[test]
     fn not_subset_vs_negation() {
         let sys = parse_system("~A <= B; A !<= B").unwrap();
-        assert!(matches!(&sys.constraints[0], Constraint::Subset(f, _) if f.to_string().starts_with('~')));
+        assert!(
+            matches!(&sys.constraints[0], Constraint::Subset(f, _) if f.to_string().starts_with('~'))
+        );
         assert!(matches!(sys.constraints[1], Constraint::NotSubset(..)));
     }
 
@@ -189,8 +193,7 @@ mod tests {
 
     #[test]
     fn superset_forms_mirror() {
-        let sys = parse_system("A >= B; A > B; A !>= B").unwrap()
-            ;
+        let sys = parse_system("A >= B; A > B; A !>= B").unwrap();
         match &sys.constraints[0] {
             Constraint::Subset(f, g) => {
                 assert_eq!(f.to_string(), "x1");

@@ -163,8 +163,10 @@ impl<const K: usize> BboxPlan<K> {
         use std::fmt::Write;
         let mut out = String::new();
         if !self.satisfiable {
-            out.push_str("UNSATISFIABLE (ground residue fails; no retrieval)
-");
+            out.push_str(
+                "UNSATISFIABLE (ground residue fails; no retrieval)
+",
+            );
             return out;
         }
         for (i, row) in self.rows.iter().enumerate() {
@@ -196,11 +198,7 @@ impl<const K: usize> BboxPlan<K> {
                     guard
                 );
             }
-            let _ = writeln!(
-                out,
-                "         verify     {}",
-                row.exact.display(table)
-            );
+            let _ = writeln!(out, "         verify     {}", row.exact.display(table));
         }
         out
     }

@@ -131,7 +131,9 @@ mod tests {
         if !alg.is_zero(&eval_formula(alg, &s.eq, assign).unwrap()) {
             return false;
         }
-        s.neqs.iter().all(|g| !alg.is_zero(&eval_formula(alg, g, assign).unwrap()))
+        s.neqs
+            .iter()
+            .all(|g| !alg.is_zero(&eval_formula(alg, g, assign).unwrap()))
     }
 
     #[test]
@@ -149,10 +151,19 @@ mod tests {
     #[test]
     fn boole_on_pure_equation() {
         // proj of an equation-only system is Boole's theorem: f0 · f1 = 0.
-        let f = Formula::or(Formula::and(v(0), v(1)), Formula::and(Formula::not(v(0)), v(2)));
-        let s = NormalSystem { eq: f.clone(), neqs: vec![] };
+        let f = Formula::or(
+            Formula::and(v(0), v(1)),
+            Formula::and(Formula::not(v(0)), v(2)),
+        );
+        let s = NormalSystem {
+            eq: f.clone(),
+            neqs: vec![],
+        };
         let p = proj(&s, Var(0));
-        let boole = simplify(&Formula::and(f.cofactor(Var(0), false), f.cofactor(Var(0), true)));
+        let boole = simplify(&Formula::and(
+            f.cofactor(Var(0), false),
+            f.cofactor(Var(0), true),
+        ));
         assert_eq!(p.eq, boole);
         assert!(p.neqs.is_empty());
     }
@@ -167,11 +178,18 @@ mod tests {
 
         let alg = BitsetAlgebra::new(3);
         let mut rng = StdRng::seed_from_u64(2024);
-        let cfg = FormulaConfig { nvars: 3, depth: 4, const_prob: 0.1 };
+        let cfg = FormulaConfig {
+            nvars: 3,
+            depth: 4,
+            const_prob: 0.1,
+        };
         for _ in 0..30 {
             let s = NormalSystem {
                 eq: random_formula(&mut rng, &cfg),
-                neqs: vec![random_formula(&mut rng, &cfg), random_formula(&mut rng, &cfg)],
+                neqs: vec![
+                    random_formula(&mut rng, &cfg),
+                    random_formula(&mut rng, &cfg),
+                ],
             };
             let p = proj(&s, Var(0));
             for y in alg.elements() {
@@ -182,7 +200,10 @@ mod tests {
                         holds(&alg, &s, &a)
                     });
                     if exists {
-                        assert!(holds(&alg, &p, &base), "proj must be implied; y={y:b} z={z:b}");
+                        assert!(
+                            holds(&alg, &p, &base),
+                            "proj must be implied; y={y:b} z={z:b}"
+                        );
                     }
                 }
             }
@@ -204,13 +225,17 @@ mod tests {
         let singleton = alg.singleton(2);
         let base = Assignment::new().with(Var(1), singleton);
         assert!(holds(&alg, &p, &base), "proj holds for singleton y");
-        let exists = alg.elements().any(|x| holds(&alg, &s, &base.clone().with(Var(0), x)));
+        let exists = alg
+            .elements()
+            .any(|x| holds(&alg, &s, &base.clone().with(Var(0), x)));
         assert!(!exists, "but no x exists: |y| = 1");
         // ... and for |y| = 2 a witness exists, matching proj.
         let doubleton = alg.singleton(0) | alg.singleton(1);
         let base2 = Assignment::new().with(Var(1), doubleton);
         assert!(holds(&alg, &p, &base2));
-        assert!(alg.elements().any(|x| holds(&alg, &s, &base2.clone().with(Var(0), x))));
+        assert!(alg
+            .elements()
+            .any(|x| holds(&alg, &s, &base2.clone().with(Var(0), x))));
     }
 
     #[test]

@@ -25,8 +25,8 @@
 
 use std::fmt;
 
-use scq_algebra::{eval_formula, Assignment, BooleanAlgebra};
 use scq_algebra::eval::UnboundVar;
+use scq_algebra::{eval_formula, Assignment, BooleanAlgebra};
 use scq_boolean::minimize::minimize;
 use scq_boolean::quant::{boole_expansion, schroder_range};
 use scq_boolean::{Formula, Var, VarTable};
@@ -219,7 +219,10 @@ pub fn triangularize(system: &NormalSystem, order: &[Var]) -> TriangularSystem {
         assert!(seen.insert(*v), "duplicate variable {v} in retrieval order");
     }
     for v in system.vars() {
-        assert!(seen.contains(&v), "system variable {v} missing from retrieval order");
+        assert!(
+            seen.contains(&v),
+            "system variable {v} missing from retrieval order"
+        );
     }
 
     let mut rows: Vec<SolvedRow> = Vec::with_capacity(order.len());
@@ -234,7 +237,10 @@ pub fn triangularize(system: &NormalSystem, order: &[Var]) -> TriangularSystem {
         for g in &current.neqs {
             if g.mentions(x) {
                 let (p, q) = boole_expansion(g, x);
-                diseqs.push(DiseqRow { p: minimize(&p), q: minimize(&q) });
+                diseqs.push(DiseqRow {
+                    p: minimize(&p),
+                    q: minimize(&q),
+                });
             }
         }
         // Rows are evaluated exactly per candidate tuple: emit the
@@ -248,7 +254,11 @@ pub fn triangularize(system: &NormalSystem, order: &[Var]) -> TriangularSystem {
         current = proj(&current, x).simplified();
     }
     rows.reverse();
-    TriangularSystem { order: order.to_vec(), rows, ground: current }
+    TriangularSystem {
+        order: order.to_vec(),
+        rows,
+        ground: current,
+    }
 }
 
 #[cfg(test)]
@@ -283,9 +293,9 @@ mod tests {
     /// `f ≡ g` under the context `ctx = 0` (propositionally).
     fn equiv_under(bdd: &mut Bdd, ctx: &Formula, f: &Formula, g: &Formula) -> bool {
         let not_ctx_holds = Formula::not(ctx.clone()); // ctx = 0 means ¬ctx... careful:
-        // context is "ctx-formula evaluates to 0", i.e. assignments where
-        // ctx is false. f ≡ g there ⟺ ¬ctx → (f ⊕ g) is unsat ⟺
-        // ¬ctx ∧ (f ⊕ g) ≡ 0.
+                                                       // context is "ctx-formula evaluates to 0", i.e. assignments where
+                                                       // ctx is false. f ≡ g there ⟺ ¬ctx → (f ⊕ g) is unsat ⟺
+                                                       // ¬ctx ∧ (f ⊕ g) ≡ 0.
         let _ = not_ctx_holds;
         let xor = Formula::xor(f.clone(), g.clone());
         let test = Formula::and(Formula::not(ctx.clone()), xor);
@@ -307,11 +317,15 @@ mod tests {
         let mut bdd = Bdd::new();
         let (c, a, t, r) = (v(0), v(1), v(2), v(3));
         // context: A∖C = 0 and T∖C = 0
-        let ctx = Formula::or(Formula::diff(a.clone(), c.clone()), Formula::diff(t.clone(), c.clone()));
+        let ctx = Formula::or(
+            Formula::diff(a.clone(), c.clone()),
+            Formula::diff(t.clone(), c.clone()),
+        );
 
         let row_b = tri.row_for(Var(4)).unwrap();
         assert!(bdd.equivalent(&row_b.upper, &c), "B ≤ C exactly");
-        let want_lower = Formula::and_all([r.clone(), Formula::not(a.clone()), Formula::not(t.clone())]);
+        let want_lower =
+            Formula::and_all([r.clone(), Formula::not(a.clone()), Formula::not(t.clone())]);
         assert!(
             equiv_under(&mut bdd, &ctx, &row_b.lower, &want_lower),
             "R∧¬A∧¬T ≤ B under context; got {}",
@@ -347,13 +361,19 @@ mod tests {
         assert!(ps.contains(&true), "one disequation is A∧R ≠ 0");
 
         let row_t = tri.row_for(Var(2)).unwrap();
-        assert!(equiv_under(&mut bdd, &ctx, &row_t.lower, &Formula::Zero), "0 ≤ T");
+        assert!(
+            equiv_under(&mut bdd, &ctx, &row_t.lower, &Formula::Zero),
+            "0 ≤ T"
+        );
         assert!(
             equiv_under(&mut bdd, &ctx, &row_t.upper, &c),
             "T ≤ C; got {}",
             row_t.upper
         );
-        assert!(!row_t.diseqs.is_empty(), "T is forced nonempty via disequations");
+        assert!(
+            !row_t.diseqs.is_empty(),
+            "T is forced nonempty via disequations"
+        );
     }
 
     #[test]
@@ -370,11 +390,13 @@ mod tests {
         let order = [Var(0), Var(1), Var(2), Var(3), Var(4)];
         let tri = triangularize(&sys, &order);
         for (i, row) in tri.rows.iter().enumerate() {
-            let allowed: std::collections::BTreeSet<Var> =
-                order[..i].iter().copied().collect();
+            let allowed: std::collections::BTreeSet<Var> = order[..i].iter().copied().collect();
             let check = |f: &Formula| {
                 for vv in f.vars() {
-                    assert!(allowed.contains(&vv), "row {i} mentions later var {vv} in {f}");
+                    assert!(
+                        allowed.contains(&vv),
+                        "row {i} mentions later var {vv} in {f}"
+                    );
                 }
             };
             check(&row.lower);
@@ -423,7 +445,10 @@ mod tests {
     #[test]
     fn unsatisfiable_system_has_unsat_ground() {
         // x ≠ 0 ∧ x = 0
-        let sys = NormalSystem { eq: v(0), neqs: vec![v(0)] };
+        let sys = NormalSystem {
+            eq: v(0),
+            neqs: vec![v(0)],
+        };
         let tri = triangularize(&sys, &[Var(0)]);
         assert_eq!(tri.ground.ground_status(), GroundStatus::Unsatisfiable);
     }
@@ -435,7 +460,10 @@ mod tests {
         // already reduced the system and the row is syntactically
         // trivial; when eliminated FIRST, Schröder yields f ≤ x ≤ ¬f,
         // which is trivial only modulo the remaining equation f = 0.
-        let sys = NormalSystem { eq: v(0), neqs: vec![] };
+        let sys = NormalSystem {
+            eq: v(0),
+            neqs: vec![],
+        };
         let tri = triangularize(&sys, &[Var(9), Var(0)]);
         let row9 = tri.row_for(Var(9)).unwrap();
         assert_eq!(row9.lower, Formula::Zero);
@@ -459,7 +487,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "missing from retrieval order")]
     fn missing_variable_rejected() {
-        let sys = NormalSystem { eq: v(3), neqs: vec![] };
+        let sys = NormalSystem {
+            eq: v(3),
+            neqs: vec![],
+        };
         triangularize(&sys, &[Var(0)]);
     }
 
@@ -470,7 +501,10 @@ mod tests {
             var: Var(0),
             lower: v(1),
             upper: Formula::One,
-            diseqs: vec![DiseqRow { p: v(2), q: Formula::Zero }],
+            diseqs: vec![DiseqRow {
+                p: v(2),
+                q: Formula::Zero,
+            }],
         };
         let alg = BitsetAlgebra::new(4);
         let ok = Assignment::new()

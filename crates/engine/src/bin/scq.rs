@@ -17,11 +17,13 @@
 //! ```
 
 use scq_algebra::Assignment;
+use scq_core::parser::parse_order;
 use scq_core::plan::BboxPlan;
 use scq_core::{parse_system, solve, triangularize};
-use scq_core::parser::parse_order;
 use scq_engine::workload::{map_workload, MapParams};
-use scq_engine::{bbox_execute, naive_execute, triangular_execute, IndexKind, Query, SpatialDatabase};
+use scq_engine::{
+    bbox_execute, naive_execute, triangular_execute, IndexKind, Query, SpatialDatabase,
+};
 use scq_region::{AaBox, RegionAlgebra};
 
 fn main() {
@@ -55,7 +57,9 @@ fn usage() -> &'static str {
      statements separated by ';'. <var…> is the retrieval order.\n"
 }
 
-fn parse_inputs(args: &[String]) -> Result<(scq_core::ConstraintSystem, Vec<scq_boolean::Var>), String> {
+fn parse_inputs(
+    args: &[String],
+) -> Result<(scq_core::ConstraintSystem, Vec<scq_boolean::Var>), String> {
     let src = args.first().ok_or("missing constraint system")?;
     let sys = parse_system(src).map_err(|e| e.to_string())?;
     let order_src = args[1..].join(" ");
@@ -138,10 +142,8 @@ fn cmd_smuggler(args: &[String]) -> i32 {
             useful_road_fraction: 0.08,
         },
     );
-    let sys = parse_system(
-        "A <= C; B <= C; R <= A | B | T; R & A != 0; R & T != 0; T < C",
-    )
-    .expect("static system parses");
+    let sys = parse_system("A <= C; B <= C; R <= A | B | T; R & A != 0; R & T != 0; T < C")
+        .expect("static system parses");
     let q = Query::new(sys)
         .known("C", w.country.clone())
         .known("A", w.area.clone())
@@ -168,7 +170,10 @@ fn cmd_smuggler(args: &[String]) -> i32 {
     println!("triangular : {:>10.3?}  {}", t_tri, tri.stats);
     println!("bbox+rtree : {:>10.3?}  {}", t_bbox, bbox.stats);
     assert_eq!(naive.stats.solutions, bbox.stats.solutions);
-    println!("{} route(s) found; all executors agree", bbox.stats.solutions);
+    println!(
+        "{} route(s) found; all executors agree",
+        bbox.stats.solutions
+    );
     0
 }
 

@@ -53,7 +53,11 @@ impl<const K: usize> SpatialDatabase<K> {
     /// If the universe is empty.
     pub fn new(universe: AaBox<K>) -> Self {
         assert!(!universe.is_empty(), "universe must be nonempty");
-        SpatialDatabase { universe, collections: Vec::new(), by_name: HashMap::new() }
+        SpatialDatabase {
+            universe,
+            collections: Vec::new(),
+            by_name: HashMap::new(),
+        }
     }
 
     /// The universe box.
@@ -116,7 +120,10 @@ impl<const K: usize> SpatialDatabase<K> {
         c.grid.insert(index as u64, bbox);
         c.scan.insert(index as u64, bbox);
         c.objects.push(region);
-        ObjectRef { collection: coll, index }
+        ObjectRef {
+            collection: coll,
+            index,
+        }
     }
 
     /// The region of an object.

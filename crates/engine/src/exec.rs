@@ -80,12 +80,16 @@ pub struct ExecOptions {
 impl ExecOptions {
     /// Enumerate every solution (the default).
     pub fn all() -> Self {
-        ExecOptions { max_solutions: None }
+        ExecOptions {
+            max_solutions: None,
+        }
     }
 
     /// Stop at the first solution — "does a smuggling route exist?".
     pub fn first() -> Self {
-        ExecOptions { max_solutions: Some(1) }
+        ExecOptions {
+            max_solutions: Some(1),
+        }
     }
 }
 
@@ -121,8 +125,7 @@ fn prepare<const K: usize>(
     for (v, r) in query.known_vars() {
         assign.bind(v, alg.clamp(r));
     }
-    let unknown_positions: BTreeMap<Var, CollectionId> =
-        query.unknown_vars().into_iter().collect();
+    let unknown_positions: BTreeMap<Var, CollectionId> = query.unknown_vars().into_iter().collect();
     let unknowns: Vec<(Var, CollectionId)> = order
         .iter()
         .filter_map(|v| unknown_positions.get(v).map(|&c| (*v, c)))
@@ -156,7 +159,10 @@ pub fn naive_execute_opts<const K: usize>(
     };
     let mut tuple = BTreeMap::new();
     naive_rec(&mut ctx, query, 0, &mut assign, &mut tuple)?;
-    Ok(QueryResult { solutions: ctx.solutions, stats: ctx.stats })
+    Ok(QueryResult {
+        solutions: ctx.solutions,
+        stats: ctx.stats,
+    })
 }
 
 fn naive_rec<const K: usize>(
@@ -181,8 +187,22 @@ fn naive_rec<const K: usize>(
         }
         ctx.stats.partial_tuples += 1;
         ctx.stats.index_candidates += 1;
-        assign.bind(var, ctx.db.region(ObjectRef { collection: coll, index }).clone());
-        tuple.insert(var, ObjectRef { collection: coll, index });
+        assign.bind(
+            var,
+            ctx.db
+                .region(ObjectRef {
+                    collection: coll,
+                    index,
+                })
+                .clone(),
+        );
+        tuple.insert(
+            var,
+            ObjectRef {
+                collection: coll,
+                index,
+            },
+        );
         naive_rec(ctx, query, level + 1, assign, tuple)?;
         tuple.remove(&var);
         assign.unbind(var);
@@ -260,7 +280,10 @@ fn run_optimized<const K: usize>(
         options,
     };
     if !plan.satisfiable {
-        return Ok(QueryResult { solutions: ctx.solutions, stats: ctx.stats });
+        return Ok(QueryResult {
+            solutions: ctx.solutions,
+            stats: ctx.stats,
+        });
     }
     // Validate the known-variable rows once (the rows of known vars are
     // the paper's integrity check on the query inputs).
@@ -271,12 +294,20 @@ fn run_optimized<const K: usize>(
             ctx.stats.exact_row_checks += 1;
             if !row.check(&ctx.alg, &assign)? {
                 ctx.stats.row_rejections += 1;
-                return Ok(QueryResult { solutions: ctx.solutions, stats: ctx.stats });
+                return Ok(QueryResult {
+                    solutions: ctx.solutions,
+                    stats: ctx.stats,
+                });
             }
         }
     }
     // Boxes of bound variables, indexed by Var::index, for plan eval.
-    let max_var = order.iter().map(|v| v.index()).max().map(|m| m + 1).unwrap_or(0);
+    let max_var = order
+        .iter()
+        .map(|v| v.index())
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(0);
     let mut boxes: Vec<Bbox<K>> = vec![Bbox::Empty; max_var];
     for (v, _) in query.known_vars() {
         boxes[v.index()] = assign.get(v).expect("known bound").bbox();
@@ -293,7 +324,10 @@ fn run_optimized<const K: usize>(
         &mut tuple,
         &mut candidates_buf,
     )?;
-    Ok(QueryResult { solutions: ctx.solutions, stats: ctx.stats })
+    Ok(QueryResult {
+        solutions: ctx.solutions,
+        stats: ctx.stats,
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -339,7 +373,10 @@ fn opt_rec<const K: usize>(
             return Ok(());
         }
         ctx.stats.partial_tuples += 1;
-        let obj = ObjectRef { collection: coll, index };
+        let obj = ObjectRef {
+            collection: coll,
+            index,
+        };
         assign.bind(var, ctx.db.region(obj).clone());
         ctx.stats.exact_row_checks += 1;
         let ok = row.exact.check(&ctx.alg, assign)?;
@@ -377,24 +414,43 @@ mod tests {
         let area = Region::from_box(AaBox::new([60.0, 40.0], [70.0, 50.0]));
 
         // towns: two on the border strip, one outside the country
-        db.insert(towns, Region::from_box(AaBox::new([10.0, 42.0], [14.0, 46.0]))); // t0 ok
-        db.insert(towns, Region::from_box(AaBox::new([10.0, 70.0], [14.0, 74.0]))); // t1 wrong row
+        db.insert(
+            towns,
+            Region::from_box(AaBox::new([10.0, 42.0], [14.0, 46.0])),
+        ); // t0 ok
+        db.insert(
+            towns,
+            Region::from_box(AaBox::new([10.0, 70.0], [14.0, 74.0])),
+        ); // t1 wrong row
         db.insert(towns, Region::from_box(AaBox::new([0.0, 0.0], [5.0, 5.0]))); // t2 outside C
 
         // states: horizontal bands of the country
-        db.insert(states, Region::from_box(AaBox::new([10.0, 10.0], [90.0, 55.0]))); // s0 contains corridor
-        db.insert(states, Region::from_box(AaBox::new([10.0, 55.0], [90.0, 90.0]))); // s1 north
+        db.insert(
+            states,
+            Region::from_box(AaBox::new([10.0, 10.0], [90.0, 55.0])),
+        ); // s0 contains corridor
+        db.insert(
+            states,
+            Region::from_box(AaBox::new([10.0, 55.0], [90.0, 90.0])),
+        ); // s1 north
 
         // roads: r0 connects t0 to A inside s0; r1 connects t1 heading
         // south crossing both states; r2 unrelated
-        db.insert(roads, Region::from_box(AaBox::new([12.0, 43.0], [65.0, 45.0]))); // r0 good
-        db.insert(roads, Region::from_box(AaBox::new([12.0, 45.0], [14.0, 72.0]))); // r1 crosses bands, touches A? no
-        db.insert(roads, Region::from_box(AaBox::new([20.0, 80.0], [80.0, 82.0]))); // r2
+        db.insert(
+            roads,
+            Region::from_box(AaBox::new([12.0, 43.0], [65.0, 45.0])),
+        ); // r0 good
+        db.insert(
+            roads,
+            Region::from_box(AaBox::new([12.0, 45.0], [14.0, 72.0])),
+        ); // r1 crosses bands, touches A? no
+        db.insert(
+            roads,
+            Region::from_box(AaBox::new([20.0, 80.0], [80.0, 82.0])),
+        ); // r2
 
-        let sys = parse_system(
-            "A <= C; B <= C; R <= A | B | T; R & A != 0; R & T != 0; T < C",
-        )
-        .unwrap();
+        let sys =
+            parse_system("A <= C; B <= C; R <= A | B | T; R & A != 0; R & T != 0; T < C").unwrap();
         let q = Query::new(sys)
             .known("C", country)
             .known("A", area)
@@ -434,12 +490,18 @@ mod tests {
                 "bbox({kind:?}) differs from naive"
             );
         }
-        assert_eq!(solution_names(&db, &q, &naive), solution_names(&db, &q, &tri));
+        assert_eq!(
+            solution_names(&db, &q, &naive),
+            solution_names(&db, &q, &tri)
+        );
         // Ground truth: t0 with r0 entirely within s0 (and the corridor
         // road overlaps both the town and the area).
         let names = solution_names(&db, &q, &naive);
         assert!(!names.is_empty(), "the smuggler has a route");
-        assert!(names.iter().all(|s| s.contains("T=0")), "only t0 works: {names:?}");
+        assert!(
+            names.iter().all(|s| s.contains("T=0")),
+            "only t0 works: {names:?}"
+        );
     }
 
     #[test]
@@ -453,7 +515,10 @@ mod tests {
             bbox.stats.partial_tuples,
             naive.stats.partial_tuples
         );
-        assert_eq!(bbox.stats.full_system_checks, 0, "no leaf-level full checks needed");
+        assert_eq!(
+            bbox.stats.full_system_checks, 0,
+            "no leaf-level full checks needed"
+        );
     }
 
     #[test]
@@ -483,7 +548,11 @@ mod tests {
         let naive = naive_execute(&db, &q).unwrap();
         let bbox = bbox_execute(&db, &q, IndexKind::GridFile).unwrap();
         assert_eq!(naive.solutions.len(), 2, "both objects qualify");
-        assert_eq!(bbox.solutions.len(), 2, "empty-region object must not be lost");
+        assert_eq!(
+            bbox.solutions.len(),
+            2,
+            "empty-region object must not be lost"
+        );
     }
 
     #[test]
@@ -514,10 +583,15 @@ mod tests {
         for i in 0..10 {
             let t = i as f64 * 8.0;
             db.insert(xs, Region::from_box(AaBox::new([t, 0.0], [t + 10.0, 50.0])));
-            db.insert(ys, Region::from_box(AaBox::new([t + 4.0, 10.0], [t + 12.0, 40.0])));
+            db.insert(
+                ys,
+                Region::from_box(AaBox::new([t + 4.0, 10.0], [t + 12.0, 40.0])),
+            );
         }
         let sys = parse_system("X & Y != 0").unwrap();
-        let q = Query::new(sys).from_collection("X", xs).from_collection("Y", ys);
+        let q = Query::new(sys)
+            .from_collection("X", xs)
+            .from_collection("Y", ys);
         (db, q)
     }
 
@@ -546,7 +620,9 @@ mod tests {
             &db,
             &q,
             IndexKind::Scan,
-            ExecOptions { max_solutions: Some(k) },
+            ExecOptions {
+                max_solutions: Some(k),
+            },
         )
         .unwrap();
         assert_eq!(capped.solutions.len(), k.min(full.solutions.len()));

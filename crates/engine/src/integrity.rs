@@ -44,7 +44,9 @@ pub fn check_integrity<const K: usize>(
             db,
             &rule.pattern,
             kind,
-            ExecOptions { max_solutions: Some(max_per_rule) },
+            ExecOptions {
+                max_solutions: Some(max_per_rule),
+            },
         )?;
         out.extend(result.solutions.into_iter().map(|tuple| Violation {
             rule: rule.name.clone(),
@@ -73,16 +75,31 @@ mod tests {
         let mut db = SpatialDatabase::new(AaBox::new([0.0, 0.0], [100.0, 100.0]));
         let zones = db.collection("zones");
         let parks = db.collection("parks");
-        db.insert(zones, Region::from_box(AaBox::new([0.0, 0.0], [50.0, 50.0])));
-        db.insert(zones, Region::from_box(AaBox::new([50.0, 0.0], [100.0, 50.0])));
-        db.insert(parks, Region::from_box(AaBox::new([10.0, 10.0], [20.0, 20.0])));
+        db.insert(
+            zones,
+            Region::from_box(AaBox::new([0.0, 0.0], [50.0, 50.0])),
+        );
+        db.insert(
+            zones,
+            Region::from_box(AaBox::new([50.0, 0.0], [100.0, 50.0])),
+        );
+        db.insert(
+            parks,
+            Region::from_box(AaBox::new([10.0, 10.0], [20.0, 20.0])),
+        );
         // Rule: no park may straddle a zone boundary — the violation
         // pattern is "park overlaps a zone without being contained".
         let sys = parse_system("P & Z != 0; P !<= Z").unwrap();
         let pattern = Query::new(sys)
             .from_collection("P", parks)
             .from_collection("Z", zones);
-        (db, IntegrityRule { name: "park-in-one-zone".into(), pattern })
+        (
+            db,
+            IntegrityRule {
+                name: "park-in-one-zone".into(),
+                pattern,
+            },
+        )
     }
 
     #[test]
@@ -98,7 +115,10 @@ mod tests {
         let (mut db, rule) = setup();
         let parks = db.collection_id("parks").unwrap();
         // a park straddling the x=50 boundary
-        db.insert(parks, Region::from_box(AaBox::new([45.0, 5.0], [55.0, 15.0])));
+        db.insert(
+            parks,
+            Region::from_box(AaBox::new([45.0, 5.0], [55.0, 15.0])),
+        );
         let violations =
             check_integrity(&db, std::slice::from_ref(&rule), IndexKind::RTree, 10).unwrap();
         // it overlaps both zones without containment in either → 2 tuples
@@ -113,7 +133,10 @@ mod tests {
         let parks = db.collection_id("parks").unwrap();
         for i in 0..5 {
             let y = i as f64 * 8.0;
-            db.insert(parks, Region::from_box(AaBox::new([48.0, y], [52.0, y + 4.0])));
+            db.insert(
+                parks,
+                Region::from_box(AaBox::new([48.0, y], [52.0, y + 4.0])),
+            );
         }
         let violations = check_integrity(&db, &[rule], IndexKind::Scan, 3).unwrap();
         assert_eq!(violations.len(), 3, "report capped per rule");

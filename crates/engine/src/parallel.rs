@@ -60,7 +60,10 @@ pub fn bbox_execute_parallel<const K: usize>(
     let normal = query.system.normalize();
     let tri = triangularize(&normal, &order);
     let plan: BboxPlan<K> = BboxPlan::compile(&tri);
-    let mut merged = QueryResult { solutions: Vec::new(), stats: ExecStats::default() };
+    let mut merged = QueryResult {
+        solutions: Vec::new(),
+        stats: ExecStats::default(),
+    };
     if !plan.satisfiable {
         return Ok(merged);
     }
@@ -78,7 +81,12 @@ pub fn bbox_execute_parallel<const K: usize>(
     }
 
     // First-level candidates.
-    let max_var = order.iter().map(|v| v.index()).max().map(|m| m + 1).unwrap_or(0);
+    let max_var = order
+        .iter()
+        .map(|v| v.index())
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(0);
     let mut boxes: Vec<Bbox<K>> = vec![Bbox::Empty; max_var];
     for (v, _) in query.known_vars() {
         boxes[v.index()] = base_assign.get(v).expect("bound").bbox();
@@ -116,11 +124,17 @@ pub fn bbox_execute_parallel<const K: usize>(
                 let mut my_boxes = boxes.clone();
                 let mut tuple: Solution = BTreeMap::new();
                 for &index in chunk_ids {
-                    if options.max_solutions.is_some_and(|m| local.solutions.len() >= m) {
+                    if options
+                        .max_solutions
+                        .is_some_and(|m| local.solutions.len() >= m)
+                    {
                         break;
                     }
                     local.stats.partial_tuples += 1;
-                    let obj = ObjectRef { collection: unknowns[0].1, index };
+                    let obj = ObjectRef {
+                        collection: unknowns[0].1,
+                        index,
+                    };
                     assign.bind(unknowns[0].0, db.region(obj).clone());
                     local.stats.exact_row_checks += 1;
                     let row = plan.row_for(unknowns[0].0).expect("row");
@@ -128,8 +142,17 @@ pub fn bbox_execute_parallel<const K: usize>(
                         my_boxes[unknowns[0].0.index()] = db.region(obj).bbox();
                         tuple.insert(unknowns[0].0, obj);
                         subtree(
-                            db, &alg, plan, Some(kind), unknowns, 1, &mut assign,
-                            &mut my_boxes, &mut tuple, &mut local, options,
+                            db,
+                            &alg,
+                            plan,
+                            Some(kind),
+                            unknowns,
+                            1,
+                            &mut assign,
+                            &mut my_boxes,
+                            &mut tuple,
+                            &mut local,
+                            options,
                         )?;
                         tuple.remove(&unknowns[0].0);
                         my_boxes[unknowns[0].0.index()] = Bbox::Empty;
@@ -141,7 +164,10 @@ pub fn bbox_execute_parallel<const K: usize>(
                 Ok(local)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
     for r in results {
@@ -172,7 +198,10 @@ fn subtree<const K: usize>(
     local: &mut QueryResult,
     options: ExecOptions,
 ) -> Result<(), ExecError> {
-    if options.max_solutions.is_some_and(|m| local.solutions.len() >= m) {
+    if options
+        .max_solutions
+        .is_some_and(|m| local.solutions.len() >= m)
+    {
         return Ok(());
     }
     if level == unknowns.len() {
@@ -197,17 +226,35 @@ fn subtree<const K: usize>(
     }
     local.stats.index_candidates += candidates.len();
     for index in candidates {
-        if options.max_solutions.is_some_and(|m| local.solutions.len() >= m) {
+        if options
+            .max_solutions
+            .is_some_and(|m| local.solutions.len() >= m)
+        {
             return Ok(());
         }
         local.stats.partial_tuples += 1;
-        let obj = ObjectRef { collection: coll, index };
+        let obj = ObjectRef {
+            collection: coll,
+            index,
+        };
         assign.bind(var, db.region(obj).clone());
         local.stats.exact_row_checks += 1;
         if row.exact.check(alg, assign)? {
             boxes[var.index()] = db.region(obj).bbox();
             tuple.insert(var, obj);
-            subtree(db, alg, plan, kind, unknowns, level + 1, assign, boxes, tuple, local, options)?;
+            subtree(
+                db,
+                alg,
+                plan,
+                kind,
+                unknowns,
+                level + 1,
+                assign,
+                boxes,
+                tuple,
+                local,
+                options,
+            )?;
             tuple.remove(&var);
             boxes[var.index()] = Bbox::Empty;
         } else {
@@ -231,12 +278,15 @@ mod tests {
         let w = map_workload(
             &mut db,
             13,
-            &MapParams { n_states: 6, n_towns: 20, n_roads: 60, useful_road_fraction: 0.15 },
+            &MapParams {
+                n_states: 6,
+                n_towns: 20,
+                n_roads: 60,
+                useful_road_fraction: 0.15,
+            },
         );
-        let sys = parse_system(
-            "A <= C; B <= C; R <= A | B | T; R & A != 0; R & T != 0; T < C",
-        )
-        .unwrap();
+        let sys =
+            parse_system("A <= C; B <= C; R <= A | B | T; R & A != 0; R & T != 0; T < C").unwrap();
         let q = Query::new(sys)
             .known("C", w.country.clone())
             .known("A", w.area.clone())
@@ -280,7 +330,9 @@ mod tests {
             &q,
             IndexKind::RTree,
             4,
-            ExecOptions { max_solutions: Some(2) },
+            ExecOptions {
+                max_solutions: Some(2),
+            },
         )
         .unwrap();
         assert!(capped.solutions.len() <= 2);
@@ -298,8 +350,7 @@ mod tests {
                 [999.0, 999.0],
             ))),
         );
-        let par =
-            bbox_execute_parallel(&db, &q, IndexKind::RTree, 4, ExecOptions::all()).unwrap();
+        let par = bbox_execute_parallel(&db, &q, IndexKind::RTree, 4, ExecOptions::all()).unwrap();
         assert!(par.solutions.is_empty());
     }
 }

@@ -67,9 +67,7 @@ pub fn order_by_selectivity<const K: usize>(
         let plan: BboxPlan<K> = BboxPlan::compile(&tri);
         let candidates = if plan.satisfiable {
             let row = plan.row_for(v).expect("row per variable");
-            let q = row.corner_query(|i| {
-                known_boxes.get(i).copied().unwrap_or(Bbox::Empty)
-            });
+            let q = row.corner_query(|i| known_boxes.get(i).copied().unwrap_or(Bbox::Empty));
             let mut ids = Vec::new();
             if !q.is_unsatisfiable() {
                 db.query_collection(coll, kind, &q, &mut ids);
@@ -116,14 +114,20 @@ mod tests {
         for i in 0..60 {
             let x = (i % 10) as f64 * 9.0;
             let y = (i / 10) as f64 * 12.0 + 40.0; // mostly far from K
-            db.insert(big, Region::from_box(AaBox::new([x, y], [x + 3.0, y + 3.0])));
+            db.insert(
+                big,
+                Region::from_box(AaBox::new([x, y], [x + 3.0, y + 3.0])),
+            );
         }
         db.insert(big, Region::from_box(AaBox::new([2.0, 2.0], [6.0, 6.0])));
         db.insert(big, Region::from_box(AaBox::new([8.0, 3.0], [12.0, 7.0])));
         // 10 objects, all overlapping the key region: unselective.
         for i in 0..10 {
             let x = i as f64 * 1.5;
-            db.insert(small, Region::from_box(AaBox::new([x, 0.0], [x + 5.0, 20.0])));
+            db.insert(
+                small,
+                Region::from_box(AaBox::new([x, 0.0], [x + 5.0, 20.0])),
+            );
         }
         let sys = parse_system("X & K != 0; Y & K != 0; X & Y != 0").unwrap();
         let q = Query::new(sys)

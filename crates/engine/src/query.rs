@@ -45,7 +45,11 @@ pub struct Query<const K: usize> {
 impl<const K: usize> Query<K> {
     /// Creates a query with no bindings yet.
     pub fn new(system: ConstraintSystem) -> Self {
-        Query { system, bindings: BTreeMap::new(), order: None }
+        Query {
+            system,
+            bindings: BTreeMap::new(),
+            order: None,
+        }
     }
 
     /// Binds a variable (by name) to a known region.
@@ -120,7 +124,10 @@ impl<const K: usize> Query<K> {
     pub fn validate(&self) -> Result<(), String> {
         for v in self.system.vars() {
             if !self.bindings.contains_key(&v) {
-                return Err(format!("variable {} is not bound", self.system.table.display(v)));
+                return Err(format!(
+                    "variable {} is not bound",
+                    self.system.table.display(v)
+                ));
             }
         }
         if let Some(order) = &self.order {
@@ -160,7 +167,10 @@ mod tests {
         let roads = db.collection("roads");
         for i in 0..5 {
             let x = i as f64;
-            db.insert(towns, Region::from_box(AaBox::new([x, 0.0], [x + 0.5, 0.5])));
+            db.insert(
+                towns,
+                Region::from_box(AaBox::new([x, 0.0], [x + 0.5, 0.5])),
+            );
         }
         db.insert(roads, Region::from_box(AaBox::new([0.0, 0.0], [9.0, 1.0])));
         let sys = parse_system("T <= C; R & T != 0").unwrap();

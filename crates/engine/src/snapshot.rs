@@ -84,7 +84,10 @@ pub fn save<const K: usize>(db: &SpatialDatabase<K>) -> Bytes {
         let n = db.collection_len(coll);
         buf.put_u32_le(n as u32);
         for index in db.object_indices(coll) {
-            let region = db.region(crate::database::ObjectRef { collection: coll, index });
+            let region = db.region(crate::database::ObjectRef {
+                collection: coll,
+                index,
+            });
             buf.put_u32_le(region.boxes().len() as u32);
             for b in region.boxes() {
                 for c in b.lo().iter().chain(b.hi().iter()) {
@@ -133,7 +136,10 @@ pub fn load<const K: usize>(data: &[u8]) -> Result<SpatialDatabase<K>, SnapshotE
     }
     let dim = buf.get_u16_le();
     if dim as usize != K {
-        return Err(SnapshotError::DimensionMismatch { found: dim, expected: K as u16 });
+        return Err(SnapshotError::DimensionMismatch {
+            found: dim,
+            expected: K as u16,
+        });
     }
     let (ulo, uhi) = get_coords::<K>(&mut buf)?;
     let mut db = SpatialDatabase::new(AaBox::new(ulo, uhi));
@@ -179,7 +185,12 @@ mod tests {
         map_workload(
             &mut db,
             3,
-            &MapParams { n_states: 4, n_towns: 10, n_roads: 20, useful_road_fraction: 0.2 },
+            &MapParams {
+                n_states: 4,
+                n_towns: 10,
+                n_roads: 20,
+                useful_road_fraction: 0.2,
+            },
         );
         // include an empty region and a multi-fragment region
         let misc = db.collection("misc");
@@ -205,9 +216,14 @@ mod tests {
             let lcoll = loaded.collection_id(name).unwrap();
             assert_eq!(db.collection_len(coll), loaded.collection_len(lcoll));
             for index in db.object_indices(coll) {
-                let a = db.region(crate::database::ObjectRef { collection: coll, index });
-                let b = loaded
-                    .region(crate::database::ObjectRef { collection: lcoll, index });
+                let a = db.region(crate::database::ObjectRef {
+                    collection: coll,
+                    index,
+                });
+                let b = loaded.region(crate::database::ObjectRef {
+                    collection: lcoll,
+                    index,
+                });
                 assert!(a.same_set(b), "object {index} of {name} differs");
             }
             assert_eq!(db.empty_objects(coll), loaded.empty_objects(lcoll));
@@ -221,7 +237,9 @@ mod tests {
         let sys = parse_system("T <= K; T != 0").unwrap();
         let towns = db.collection_id("towns").unwrap();
         let region = Region::from_box(AaBox::new([0.0, 0.0], [500.0, 500.0]));
-        let q = Query::new(sys.clone()).known("K", region.clone()).from_collection("T", towns);
+        let q = Query::new(sys.clone())
+            .known("K", region.clone())
+            .from_collection("T", towns);
         let q2 = Query::new(sys)
             .known("K", region)
             .from_collection("T", loaded.collection_id("towns").unwrap());
@@ -243,11 +261,17 @@ mod tests {
         // bad version
         let mut bad = bytes.to_vec();
         bad[4] = 99;
-        assert!(matches!(load::<2>(&bad).err(), Some(SnapshotError::BadVersion(_))));
+        assert!(matches!(
+            load::<2>(&bad).err(),
+            Some(SnapshotError::BadVersion(_))
+        ));
         // wrong dimension
         assert!(matches!(
             load::<3>(&bytes).err(),
-            Some(SnapshotError::DimensionMismatch { found: 2, expected: 3 })
+            Some(SnapshotError::DimensionMismatch {
+                found: 2,
+                expected: 3
+            })
         ));
         // truncation at every prefix must error, never panic
         for cut in 0..bytes.len().min(200) {

@@ -56,8 +56,16 @@ mod tests {
 
     #[test]
     fn merge_sums_fields() {
-        let mut a = ExecStats { solutions: 1, partial_tuples: 2, ..Default::default() };
-        let b = ExecStats { solutions: 3, index_candidates: 5, ..Default::default() };
+        let mut a = ExecStats {
+            solutions: 1,
+            partial_tuples: 2,
+            ..Default::default()
+        };
+        let b = ExecStats {
+            solutions: 3,
+            index_candidates: 5,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.solutions, 4);
         assert_eq!(a.partial_tuples, 2);

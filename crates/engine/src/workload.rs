@@ -44,7 +44,12 @@ pub struct MapParams {
 
 impl Default for MapParams {
     fn default() -> Self {
-        MapParams { n_states: 8, n_towns: 40, n_roads: 100, useful_road_fraction: 0.1 }
+        MapParams {
+            n_states: 8,
+            n_towns: 40,
+            n_roads: 100,
+            useful_road_fraction: 0.1,
+        }
     }
 }
 
@@ -54,11 +59,7 @@ impl Default for MapParams {
 /// bands. Towns sit on the western border strip. Useful roads run
 /// east from a town towards the destination area, inside one band;
 /// decoy roads are random elongated strips.
-pub fn map_workload(
-    db: &mut SpatialDatabase<2>,
-    seed: u64,
-    params: &MapParams,
-) -> MapWorkload {
+pub fn map_workload(db: &mut SpatialDatabase<2>, seed: u64, params: &MapParams) -> MapWorkload {
     let mut rng = StdRng::seed_from_u64(seed);
     let country_box = AaBox::new([100.0, 100.0], [900.0, 900.0]);
     let country = Region::from_box(country_box);
@@ -75,7 +76,10 @@ pub fn map_workload(
         let y0 = 100.0 + i as f64 * band_h;
         let y1 = if i + 1 == n { 900.0 } else { y0 + band_h };
         band_ranges.push((y0, y1));
-        db.insert(states, Region::from_box(AaBox::new([100.0, y0], [900.0, y1])));
+        db.insert(
+            states,
+            Region::from_box(AaBox::new([100.0, y0], [900.0, y1])),
+        );
     }
 
     // Destination area: a box well inside the country, in some band.
@@ -90,7 +94,10 @@ pub fn map_workload(
     for _ in 0..params.n_towns {
         let y = rng.random_range(110.0..880.0);
         town_ys.push(y);
-        db.insert(towns, Region::from_box(AaBox::new([100.0, y], [118.0, y + 12.0])));
+        db.insert(
+            towns,
+            Region::from_box(AaBox::new([100.0, y], [118.0, y + 12.0])),
+        );
     }
 
     // Roads.
@@ -104,7 +111,11 @@ pub fn map_workload(
             let road_y = ty + 4.0;
             let h = Region::from_box(AaBox::new([110.0, road_y], [660.0, road_y + 6.0]));
             let target_y = 0.5 * (ay + (ay + 20.0).min(ay1));
-            let (vy0, vy1) = if road_y < target_y { (road_y, target_y + 3.0) } else { (target_y - 3.0, road_y + 6.0) };
+            let (vy0, vy1) = if road_y < target_y {
+                (road_y, target_y + 3.0)
+            } else {
+                (target_y - 3.0, road_y + 6.0)
+            };
             let vseg = Region::from_box(AaBox::new([640.0, vy0.max(by0)], [660.0, vy1.min(by1)]));
             // Also make sure it reaches the town box.
             let town = Region::from_box(AaBox::new([100.0, ty], [118.0, ty + 12.0]));
@@ -126,7 +137,13 @@ pub fn map_workload(
         db.insert(roads, region);
     }
 
-    MapWorkload { country, area, states, towns, roads }
+    MapWorkload {
+        country,
+        area,
+        states,
+        towns,
+        roads,
+    }
 }
 
 /// Uniformly random boxes in the universe.
@@ -218,23 +235,36 @@ pub fn vlsi_workload(
             let y = rng.random_range(50.0..950.0);
             let x0 = rng.random_range(50.0..800.0);
             let x1 = x0 + rng.random_range(50.0..150.0);
-            db.insert(wires, Region::from_box(AaBox::new([x0, y], [x1.min(950.0), y + 2.0])));
+            db.insert(
+                wires,
+                Region::from_box(AaBox::new([x0, y], [x1.min(950.0), y + 2.0])),
+            );
         } else if rng.random_bool(0.12) {
             // Riser: a tall vertical wire running from the cell area up
             // into the power rail (the DRC-relevant population).
             let x = rng.random_range(50.0..950.0);
             let y0 = rng.random_range(700.0..900.0);
-            db.insert(wires, Region::from_box(AaBox::new([x, y0], [x + 2.0, 952.0])));
+            db.insert(
+                wires,
+                Region::from_box(AaBox::new([x, y0], [x + 2.0, 952.0])),
+            );
         } else {
             let x = rng.random_range(50.0..950.0);
             let y0 = rng.random_range(50.0..800.0);
             let y1 = y0 + rng.random_range(50.0..150.0);
-            db.insert(wires, Region::from_box(AaBox::new([x, y0], [x + 2.0, y1.min(950.0)])));
+            db.insert(
+                wires,
+                Region::from_box(AaBox::new([x, y0], [x + 2.0, y1.min(950.0)])),
+            );
         }
     }
     // The rail sits low enough that the tallest wires reach it.
     let power_rail = Region::from_box(AaBox::new([50.0, 945.0], [950.0, 955.0]));
-    VlsiWorkload { cells, wires, power_rail }
+    VlsiWorkload {
+        cells,
+        wires,
+        power_rail,
+    }
 }
 
 #[cfg(test)]
@@ -250,8 +280,14 @@ mod tests {
         let w2 = map_workload(&mut db2, 7, &params);
         assert_eq!(db1.collection_len(w1.roads), db2.collection_len(w2.roads));
         for i in db1.object_indices(w1.towns) {
-            let a = db1.region(crate::ObjectRef { collection: w1.towns, index: i });
-            let b = db2.region(crate::ObjectRef { collection: w2.towns, index: i });
+            let a = db1.region(crate::ObjectRef {
+                collection: w1.towns,
+                index: i,
+            });
+            let b = db2.region(crate::ObjectRef {
+                collection: w2.towns,
+                index: i,
+            });
             assert!(a.same_set(b));
         }
     }
@@ -265,7 +301,13 @@ mod tests {
         // every state inside country, states pairwise disjoint
         let states: Vec<_> = db
             .object_indices(w.states)
-            .map(|i| db.region(crate::ObjectRef { collection: w.states, index: i }).clone())
+            .map(|i| {
+                db.region(crate::ObjectRef {
+                    collection: w.states,
+                    index: i,
+                })
+                .clone()
+            })
             .collect();
         for (i, s) in states.iter().enumerate() {
             assert!(s.subset_of(&w.country));
@@ -275,7 +317,10 @@ mod tests {
         }
         // towns touch the country
         for i in db.object_indices(w.towns) {
-            let t = db.region(crate::ObjectRef { collection: w.towns, index: i });
+            let t = db.region(crate::ObjectRef {
+                collection: w.towns,
+                index: i,
+            });
             assert!(t.intersects(&w.country) || !t.subset_of(&w.country));
         }
     }

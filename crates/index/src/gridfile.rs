@@ -70,8 +70,7 @@ impl<const K: usize> GridFile<K> {
     pub fn bulk_load<I: IntoIterator<Item = (u64, Bbox<K>)>>(capacity: usize, items: I) -> Self {
         let items: Vec<(u64, Bbox<K>)> = items.into_iter().collect();
         let mut gf = Self::new(capacity);
-        let pts: Vec<CornerPt<K>> =
-            items.iter().filter_map(|(_, b)| corner_point(b)).collect();
+        let pts: Vec<CornerPt<K>> = items.iter().filter_map(|(_, b)| corner_point(b)).collect();
         if !pts.is_empty() {
             let target_cells = (pts.len() / capacity).max(1);
             // intervals per dimension ≈ target_cells^(1/2K), at least 1
@@ -105,7 +104,9 @@ impl<const K: usize> GridFile<K> {
     }
 
     fn key_of(&self, p: &CornerPt<K>) -> Vec<u16> {
-        (0..2 * K).map(|d| self.cell_index(d, coord(p, d))).collect()
+        (0..2 * K)
+            .map(|d| self.cell_index(d, coord(p, d)))
+            .collect()
     }
 
     fn insert_point(&mut self, p: CornerPt<K>, id: u64) {
@@ -191,7 +192,11 @@ impl<const K: usize> SpatialIndex<K> for GridFile<K> {
             if qlo > qhi {
                 return;
             }
-            let lo_cell = if qlo == f64::NEG_INFINITY { 0 } else { self.cell_index(d, qlo) };
+            let lo_cell = if qlo == f64::NEG_INFINITY {
+                0
+            } else {
+                self.cell_index(d, qlo)
+            };
             let hi_cell = if qhi == f64::INFINITY {
                 self.scales[d].len() as u16
             } else {
@@ -209,7 +214,11 @@ impl<const K: usize> SpatialIndex<K> for GridFile<K> {
             .product();
         if product > self.buckets.len() as u128 {
             for (key, bucket) in &self.buckets {
-                if key.iter().zip(&ranges).all(|(&k, &(lo, hi))| lo <= k && k <= hi) {
+                if key
+                    .iter()
+                    .zip(&ranges)
+                    .all(|(&k, &(lo, hi))| lo <= k && k <= hi)
+                {
                     for (pt, id) in bucket {
                         let b = Bbox::new(pt.0, pt.1);
                         if query.matches(&b) {
@@ -286,9 +295,21 @@ mod tests {
         assert!(gf.cell_count() > 4, "refinement must have split cells");
         for _ in 0..40 {
             let probe = random_box(&mut rng);
-            assert_same(&gf, &scan, &CornerQuery::unconstrained().and_overlaps(&probe));
-            assert_same(&gf, &scan, &CornerQuery::unconstrained().and_contained_in(&probe));
-            assert_same(&gf, &scan, &CornerQuery::unconstrained().and_contains(&probe));
+            assert_same(
+                &gf,
+                &scan,
+                &CornerQuery::unconstrained().and_overlaps(&probe),
+            );
+            assert_same(
+                &gf,
+                &scan,
+                &CornerQuery::unconstrained().and_contained_in(&probe),
+            );
+            assert_same(
+                &gf,
+                &scan,
+                &CornerQuery::unconstrained().and_contains(&probe),
+            );
         }
     }
 

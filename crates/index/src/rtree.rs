@@ -139,7 +139,14 @@ impl<const K: usize> RTree<K> {
             }
         }
         let mut leaf_depth = None;
-        go(&self.root, self.max_entries, self.min_entries, true, 0, &mut leaf_depth);
+        go(
+            &self.root,
+            self.max_entries,
+            self.min_entries,
+            true,
+            0,
+            &mut leaf_depth,
+        );
     }
 
     /// Like [`RTree::check_invariants`] but without the minimum-fill
@@ -203,7 +210,12 @@ fn node_may_match<const K: usize>(q: &CornerQuery<K>, mbr: &Bbox<K>) -> bool {
 fn search<const K: usize>(node: &Node<K>, q: &CornerQuery<K>, out: &mut Vec<u64>) {
     match node {
         Node::Leaf(entries) => {
-            out.extend(entries.iter().filter(|(b, _)| q.matches(b)).map(|&(_, id)| id));
+            out.extend(
+                entries
+                    .iter()
+                    .filter(|(b, _)| q.matches(b))
+                    .map(|&(_, id)| id),
+            );
         }
         Node::Internal(children) => {
             for (mbr, child) in children {
@@ -385,9 +397,15 @@ fn insert_rec<const K: usize>(
                 let mbr_a = Bbox::join_all(a.iter().map(|(b, _)| *b));
                 let mbr_b = Bbox::join_all(b.iter().map(|(bb, _)| *bb));
                 *entries = a;
-                Inserted { mbr: mbr_a, sibling: Some((mbr_b, Node::Leaf(b))) }
+                Inserted {
+                    mbr: mbr_a,
+                    sibling: Some((mbr_b, Node::Leaf(b))),
+                }
             } else {
-                Inserted { mbr: Bbox::join_all(entries.iter().map(|(b, _)| *b)), sibling: None }
+                Inserted {
+                    mbr: Bbox::join_all(entries.iter().map(|(b, _)| *b)),
+                    sibling: None,
+                }
             }
         }
         Node::Internal(children) => {
@@ -414,7 +432,10 @@ fn insert_rec<const K: usize>(
                 let mbr_a = Bbox::join_all(a.iter().map(|(m, _)| *m));
                 let mbr_b = Bbox::join_all(b.iter().map(|(m, _)| *m));
                 *children = a;
-                Inserted { mbr: mbr_a, sibling: Some((mbr_b, Node::Internal(b))) }
+                Inserted {
+                    mbr: mbr_a,
+                    sibling: Some((mbr_b, Node::Internal(b))),
+                }
             } else {
                 Inserted {
                     mbr: Bbox::join_all(children.iter().map(|(m, _)| *m)),
@@ -443,9 +464,14 @@ impl<const K: usize> RTree<K> {
             return false;
         }
         let mut orphan_leaves: Vec<Vec<(Bbox<K>, u64)>> = Vec::new();
-        let removed =
-            remove_rec(&mut self.root, id, &bbox, self.min_entries, &mut orphan_leaves)
-                .is_some();
+        let removed = remove_rec(
+            &mut self.root,
+            id,
+            &bbox,
+            self.min_entries,
+            &mut orphan_leaves,
+        )
+        .is_some();
         if !removed {
             return false;
         }
@@ -522,10 +548,7 @@ fn node_covers<const K: usize>(mbr: &Bbox<K>, target: &Bbox<K>) -> bool {
 }
 
 /// Flattens a dissolved subtree into orphaned leaf entries.
-fn collect_entries<const K: usize>(
-    node: Node<K>,
-    orphan_leaves: &mut Vec<Vec<(Bbox<K>, u64)>>,
-) {
+fn collect_entries<const K: usize>(node: Node<K>, orphan_leaves: &mut Vec<Vec<(Bbox<K>, u64)>>) {
     match node {
         Node::Leaf(entries) => orphan_leaves.push(entries),
         Node::Internal(children) => {
@@ -556,13 +579,15 @@ impl<const K: usize> RTree<K> {
         // STR: sort by center of dim 0, tile into vertical slabs, sort
         // each slab by dim 1, pack runs of max_entries... generalized to
         // K dims by recursive tiling.
-        let leaf_entries: Vec<(Bbox<K>, u64)> =
-            nonempty.drain(..).map(|(id, b)| (b, id)).collect();
+        let leaf_entries: Vec<(Bbox<K>, u64)> = nonempty.drain(..).map(|(id, b)| (b, id)).collect();
         let leaves = str_pack(leaf_entries, max_entries, 0);
         let mut level: Vec<(Bbox<K>, Node<K>)> = leaves
             .into_iter()
             .map(|entries| {
-                (Bbox::join_all(entries.iter().map(|(b, _)| *b)), Node::Leaf(entries))
+                (
+                    Bbox::join_all(entries.iter().map(|(b, _)| *b)),
+                    Node::Leaf(entries),
+                )
             })
             .collect();
         while level.len() > 1 {
@@ -824,8 +849,7 @@ mod tests {
     fn remove_to_empty_and_reuse() {
         let mut tree = RTree::<2>::with_capacity(SplitStrategy::Linear, 4);
         let mut rng = StdRng::seed_from_u64(23);
-        let items: Vec<(u64, Bbox<2>)> =
-            (0..60u64).map(|id| (id, random_box(&mut rng))).collect();
+        let items: Vec<(u64, Bbox<2>)> = (0..60u64).map(|id| (id, random_box(&mut rng))).collect();
         for &(id, b) in &items {
             tree.insert(id, b);
         }

@@ -15,7 +15,9 @@ pub struct ScanIndex<const K: usize> {
 impl<const K: usize> ScanIndex<K> {
     /// Creates an empty scan index.
     pub fn new() -> Self {
-        ScanIndex { entries: Vec::new() }
+        ScanIndex {
+            entries: Vec::new(),
+        }
     }
 
     /// Creates from an iterator of `(id, bbox)` pairs.
@@ -42,7 +44,12 @@ impl<const K: usize> SpatialIndex<K> for ScanIndex<K> {
         if query.is_unsatisfiable() {
             return;
         }
-        out.extend(self.entries.iter().filter(|(b, _)| query.matches(b)).map(|&(_, id)| id));
+        out.extend(
+            self.entries
+                .iter()
+                .filter(|(b, _)| query.matches(b))
+                .map(|&(_, id)| id),
+        );
     }
 
     fn len(&self) -> usize {

@@ -17,13 +17,13 @@ pub mod prelude {
     };
     pub use scq_bbox::{corner_point, Bbox, BboxExpr, CornerQuery};
     pub use scq_boolean::{
-        blake_canonical_form, parse_formula, prime_implicants, Bdd, Cube, Formula, Literal,
-        Sop, Var, VarTable,
+        blake_canonical_form, parse_formula, prime_implicants, Bdd, Cube, Formula, Literal, Sop,
+        Var, VarTable,
     };
     pub use scq_core::{
-        check_constraint, check_normal, check_system, lower_bbox_fn, parse_system, proj,
-        simplify, solve, solve_system, triangularize, upper_bbox_fn, witness, BboxPlan,
-        Constraint, ConstraintSystem, NormalSystem, TriangularSystem, UpperBound,
+        check_constraint, check_normal, check_system, lower_bbox_fn, parse_system, proj, simplify,
+        solve, solve_system, triangularize, upper_bbox_fn, witness, BboxPlan, Constraint,
+        ConstraintSystem, NormalSystem, TriangularSystem, UpperBound,
     };
     pub use scq_engine::{
         bbox_execute, naive_execute, triangular_execute, IndexKind, ObjectRef, Query,
@@ -31,5 +31,7 @@ pub mod prelude {
     };
     pub use scq_index::{GridFile, RTree, ScanIndex, SpatialIndex, SplitStrategy};
     pub use scq_region::{AaBox, Region, RegionAlgebra};
-    pub use scq_zorder::{decompose, morton_decode, morton_encode, zorder_join, ZCurve, ZOrderIndex};
+    pub use scq_zorder::{
+        decompose, morton_decode, morton_encode, zorder_join, ZCurve, ZOrderIndex,
+    };
 }

@@ -30,7 +30,10 @@ impl<const K: usize> AaBox<K> {
 
     /// A canonical empty box.
     pub fn empty() -> Self {
-        AaBox { lo: [0.0; K], hi: [0.0; K] }
+        AaBox {
+            lo: [0.0; K],
+            hi: [0.0; K],
+        }
     }
 
     /// Lower corner (inclusive).
@@ -186,7 +189,10 @@ mod tests {
     #[test]
     fn emptiness_and_points() {
         assert!(AaBox::<2>::empty().is_empty());
-        assert!(b([0.0, 0.0], [0.0, 1.0]).is_empty(), "zero width is empty (half-open)");
+        assert!(
+            b([0.0, 0.0], [0.0, 1.0]).is_empty(),
+            "zero width is empty (half-open)"
+        );
         let x = b([0.0, 0.0], [1.0, 1.0]);
         assert!(x.contains_point(&[0.0, 0.0]), "lo corner inside");
         assert!(!x.contains_point(&[1.0, 1.0]), "hi corner outside");

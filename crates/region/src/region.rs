@@ -166,7 +166,9 @@ impl<const K: usize> Region<K> {
 
     /// Whether the regions share any point.
     pub fn intersects(&self, other: &Region<K>) -> bool {
-        self.boxes.iter().any(|a| other.boxes.iter().any(|b| a.intersects(b)))
+        self.boxes
+            .iter()
+            .any(|a| other.boxes.iter().any(|b| a.intersects(b)))
     }
 
     /// Greedily merges adjacent fragments that differ in exactly one
@@ -324,7 +326,10 @@ mod tests {
         let y = r(&[b([1.0, 1.0], [3.0, 3.0])]);
         let vu = x.union(&y).volume();
         let vi = x.intersection(&y).volume();
-        assert!((vu + vi - (x.volume() + y.volume())).abs() < 1e-12, "inclusion-exclusion");
+        assert!(
+            (vu + vi - (x.volume() + y.volume())).abs() < 1e-12,
+            "inclusion-exclusion"
+        );
     }
 
     #[test]
@@ -384,7 +389,10 @@ mod tests {
         for xi in 0..35 {
             for yi in 0..35 {
                 let p = [xi as f64 * 0.1, yi as f64 * 0.1];
-                assert_eq!(s.contains_point(&p), x.contains_point(&p) != y.contains_point(&p));
+                assert_eq!(
+                    s.contains_point(&p),
+                    x.contains_point(&p) != y.contains_point(&p)
+                );
             }
         }
     }

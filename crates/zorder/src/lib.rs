@@ -102,7 +102,11 @@ impl ZCurve {
         let mut out = [0u32; 2];
         for d in 0..2 {
             let w = hi[d] - lo[d];
-            let t = if w > 0.0 { ((p[d] - lo[d]) / w * n).floor() } else { 0.0 };
+            let t = if w > 0.0 {
+                ((p[d] - lo[d]) / w * n).floor()
+            } else {
+                0.0
+            };
             out[d] = t.clamp(0.0, n - 1.0) as u32;
         }
         (out[0], out[1])
@@ -123,11 +127,7 @@ impl ZCurve {
 /// contributes its whole z-interval; a disjoint block contributes
 /// nothing; a straddling block recurses into its four children. The
 /// result is sorted and pairwise disjoint.
-pub fn decompose_cells(
-    (x0, y0): (u32, u32),
-    (x1, y1): (u32, u32),
-    bits: u32,
-) -> Vec<(u64, u64)> {
+pub fn decompose_cells((x0, y0): (u32, u32), (x1, y1): (u32, u32), bits: u32) -> Vec<(u64, u64)> {
     let mut out = Vec::new();
     rec(0, 0, bits, (x0, y0), (x1, y1), &mut out);
     // Recursion emits blocks in z-order already; coalesce adjacent runs.
@@ -218,12 +218,22 @@ pub fn zorder_join(
     let mut elems: Vec<Elem> = Vec::new();
     for (i, (b, _)) in left.iter().enumerate() {
         for (lo, hi) in decompose(curve, b) {
-            elems.push(Elem { lo, hi, idx: i as u32, side: false });
+            elems.push(Elem {
+                lo,
+                hi,
+                idx: i as u32,
+                side: false,
+            });
         }
     }
     for (i, (b, _)) in right.iter().enumerate() {
         for (lo, hi) in decompose(curve, b) {
-            elems.push(Elem { lo, hi, idx: i as u32, side: true });
+            elems.push(Elem {
+                lo,
+                hi,
+                idx: i as u32,
+                side: true,
+            });
         }
     }
     elems.sort_by_key(|e| (e.lo, e.hi));
@@ -237,7 +247,11 @@ pub fn zorder_join(
         active_r.retain(|&(hi, _)| hi > e.lo);
         let opposite: &[(u64, u32)] = if e.side { &active_l } else { &active_r };
         for &(_, other) in opposite {
-            let (li, ri) = if e.side { (other, e.idx) } else { (e.idx, other) };
+            let (li, ri) = if e.side {
+                (other, e.idx)
+            } else {
+                (e.idx, other)
+            };
             if seen.insert((li, ri)) && left[li as usize].0.overlaps(&right[ri as usize].0) {
                 out.push((left[li as usize].1, right[ri as usize].1));
             }
@@ -259,7 +273,14 @@ mod tests {
 
     #[test]
     fn morton_round_trip() {
-        for (x, y) in [(0, 0), (1, 0), (0, 1), (12345, 54321), (u32::MAX, 0), (u32::MAX, u32::MAX)] {
+        for (x, y) in [
+            (0, 0),
+            (1, 0),
+            (0, 1),
+            (12345, 54321),
+            (u32::MAX, 0),
+            (u32::MAX, u32::MAX),
+        ] {
             assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
         }
     }
@@ -278,7 +299,11 @@ mod tests {
     fn quantize_clamps() {
         let c = ZCurve::new(Bbox::new([0.0, 0.0], [10.0, 10.0]), 4);
         assert_eq!(c.quantize([0.0, 0.0]), (0, 0));
-        assert_eq!(c.quantize([10.0, 10.0]), (15, 15), "upper edge clamps to last cell");
+        assert_eq!(
+            c.quantize([10.0, 10.0]),
+            (15, 15),
+            "upper edge clamps to last cell"
+        );
         assert_eq!(c.quantize([-5.0, 20.0]), (0, 15));
     }
 

@@ -83,15 +83,31 @@ impl ZOrderIndex {
         let mut hi = [0.0; 2];
         for d in 0..2 {
             // region of interest: cand ⊆ [lo_min, hi_max]
-            let roi_lo = if q.lo_min[d].is_finite() { q.lo_min[d].max(ulo[d]) } else { ulo[d] };
-            let roi_hi = if q.hi_max[d].is_finite() { q.hi_max[d].min(uhi[d]) } else { uhi[d] };
+            let roi_lo = if q.lo_min[d].is_finite() {
+                q.lo_min[d].max(ulo[d])
+            } else {
+                ulo[d]
+            };
+            let roi_hi = if q.hi_max[d].is_finite() {
+                q.hi_max[d].min(uhi[d])
+            } else {
+                uhi[d]
+            };
             // must-overlap interval from cand.lo ≤ lo_max ∧ cand.hi ≥
             // hi_min: when hi_min ≤ lo_max the candidate overlaps
             // [hi_min, lo_max]; when inverted (containment queries) the
             // candidate covers [lo_max, hi_min] — either way it overlaps
             // [min, max] of the two bounds.
-            let b1 = if q.hi_min[d].is_finite() { q.hi_min[d].max(ulo[d]) } else { ulo[d] };
-            let b2 = if q.lo_max[d].is_finite() { q.lo_max[d].min(uhi[d]) } else { uhi[d] };
+            let b1 = if q.hi_min[d].is_finite() {
+                q.hi_min[d].max(ulo[d])
+            } else {
+                ulo[d]
+            };
+            let b2 = if q.lo_max[d].is_finite() {
+                q.lo_max[d].min(uhi[d])
+            } else {
+                uhi[d]
+            };
             lo[d] = roi_lo.max(b1.min(b2));
             hi[d] = roi_hi.min(b1.max(b2));
             if lo[d] > hi[d] {
@@ -203,8 +219,7 @@ mod tests {
     #[test]
     fn agrees_with_scan() {
         let mut rng = StdRng::seed_from_u64(9);
-        let items: Vec<(u64, Bbox<2>)> =
-            (0..600u64).map(|id| (id, random_box(&mut rng))).collect();
+        let items: Vec<(u64, Bbox<2>)> = (0..600u64).map(|id| (id, random_box(&mut rng))).collect();
         let z = ZOrderIndex::from_items(universe(), 8, items.iter().copied());
         let scan = ScanIndex::from_items(items.iter().copied());
         assert_eq!(z.len(), 600);

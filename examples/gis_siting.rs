@@ -20,7 +20,12 @@ fn main() {
     let w = map_workload(
         &mut db,
         7,
-        &MapParams { n_states: 8, n_towns: 25, n_roads: 80, useful_road_fraction: 0.15 },
+        &MapParams {
+            n_states: 8,
+            n_towns: 25,
+            n_roads: 80,
+            useful_road_fraction: 0.15,
+        },
     );
 
     // Parcels: clustered candidate lots across the country.

@@ -25,11 +25,11 @@ fn main() {
 
     // Requested meetings (durations in minutes from midnight).
     let requests = [
-        (540.0, 600.0),  // 9:00–10:00
-        (555.0, 585.0),  // 9:15– 9:45
-        (600.0, 720.0),  // 10:00–12:00
-        (780.0, 840.0),  // 13:00–14:00
-        (850.0, 880.0),  // 14:10–14:40
+        (540.0, 600.0), // 9:00–10:00
+        (555.0, 585.0), // 9:15– 9:45
+        (600.0, 720.0), // 10:00–12:00
+        (780.0, 840.0), // 13:00–14:00
+        (850.0, 880.0), // 14:10–14:40
     ];
     for (a, b) in requests {
         db.insert(meetings, interval(a, b));
@@ -51,13 +51,7 @@ fn main() {
     for sol in &result.solutions {
         let names: Vec<String> = sol
             .iter()
-            .map(|(v, o)| {
-                format!(
-                    "{}={}",
-                    q.system.table.display(*v),
-                    db.region(*o).bbox()
-                )
-            })
+            .map(|(v, o)| format!("{}={}", q.system.table.display(*v), db.region(*o).bbox()))
             .collect();
         println!("  {}", names.join("  "));
     }
@@ -71,7 +65,10 @@ fn main() {
     let pattern = Query::new(pattern_sys)
         .from_collection("A", meetings)
         .from_collection("B", meetings);
-    let rule = IntegrityRule { name: "no-double-booking".into(), pattern };
+    let rule = IntegrityRule {
+        name: "no-double-booking".into(),
+        pattern,
+    };
     let violations = check_integrity(&db, &[rule], IndexKind::RTree, 10).expect("valid");
     println!("\ndouble bookings: {}", violations.len() / 2); // each pair reported twice
     for v in violations.iter().take(2) {

@@ -27,12 +27,17 @@ fn main() {
 
     // ── 2. Theorem 1 normalization ────────────────────────────────────
     let normal = sys.normalize();
-    println!("Normal form (one equation, {} disequations):", normal.neqs.len());
+    println!(
+        "Normal form (one equation, {} disequations):",
+        normal.neqs.len()
+    );
     println!("{}", normal.display(&sys.table));
 
     // ── 3. Algorithm 1: triangular solved form, order C,A,T,R,B ──────
-    let order: Vec<Var> =
-        ["C", "A", "T", "R", "B"].iter().map(|n| sys.table.get(n).unwrap()).collect();
+    let order: Vec<Var> = ["C", "A", "T", "R", "B"]
+        .iter()
+        .map(|n| sys.table.get(n).unwrap())
+        .collect();
     let tri = triangularize(&normal, &order);
     println!("Triangular solved form (§2):\n{}", tri.display(&sys.table));
 
@@ -87,7 +92,10 @@ fn main() {
     println!("  triangular  : {}", tri_exec.stats);
     println!("  bbox+rtree  : {}", bbox.stats);
 
-    assert_eq!(naive.stats.solutions, bbox.stats.solutions, "identical answers");
+    assert_eq!(
+        naive.stats.solutions, bbox.stats.solutions,
+        "identical answers"
+    );
     println!(
         "\n{} smuggling route(s) found; the optimized plan explored {:.1}% of the naive search tree.",
         bbox.stats.solutions,

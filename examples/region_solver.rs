@@ -45,7 +45,9 @@ fn main() {
         AaBox::new([30.0, 30.0], [45.0, 40.0]),
         AaBox::new([40.0, 38.0], [50.0, 48.0]),
     ]);
-    let knowns = Assignment::new().with(c, county.clone()).with(w, wetland.clone());
+    let knowns = Assignment::new()
+        .with(c, county.clone())
+        .with(w, wetland.clone());
 
     // Synthesis order: knowns first, then B before R before V (each row
     // may reference everything retrieved earlier).
@@ -81,6 +83,8 @@ fn main() {
     let bad_knowns = Assignment::new()
         .with(c, Region::from_box(AaBox::new([5.0, 5.0], [20.0, 20.0])))
         .with(w, wetland);
-    assert!(solve_system(&normal, &order, &alg, &bad_knowns).unwrap().is_none());
+    assert!(solve_system(&normal, &order, &alg, &bad_knowns)
+        .unwrap()
+        .is_none());
     println!("unsatisfiable variant correctly rejected ✓");
 }

@@ -36,11 +36,26 @@ fn main() {
     for b in node_boxes {
         db.insert(nodes, Region::from_box(b));
     }
-    db.insert(labels, Region::from_box(AaBox::new([62.0, 32.0], [85.0, 42.0]))); // near node 0
-    db.insert(labels, Region::from_box(AaBox::new([192.0, 42.0], [215.0, 52.0]))); // near node 1
-    db.insert(labels, Region::from_box(AaBox::new([250.0, 250.0], [270.0, 260.0]))); // floating
-    db.insert(edges, Region::from_box(AaBox::new([60.0, 44.0], [160.0, 50.0]))); // 0 → 1
-    db.insert(edges, Region::from_box(AaBox::new([200.0, 150.0], [210.0, 160.0]))); // dangling
+    db.insert(
+        labels,
+        Region::from_box(AaBox::new([62.0, 32.0], [85.0, 42.0])),
+    ); // near node 0
+    db.insert(
+        labels,
+        Region::from_box(AaBox::new([192.0, 42.0], [215.0, 52.0])),
+    ); // near node 1
+    db.insert(
+        labels,
+        Region::from_box(AaBox::new([250.0, 250.0], [270.0, 260.0])),
+    ); // floating
+    db.insert(
+        edges,
+        Region::from_box(AaBox::new([60.0, 44.0], [160.0, 50.0])),
+    ); // 0 → 1
+    db.insert(
+        edges,
+        Region::from_box(AaBox::new([200.0, 150.0], [210.0, 160.0])),
+    ); // dangling
 
     // ── Pattern 1: labelled nodes ─────────────────────────────────────
     println!("labelled nodes:");
@@ -52,7 +67,11 @@ fn main() {
             .from_collection("L", labels);
         let r = bbox_execute(&db, &q, IndexKind::RTree).expect("valid");
         for sol in &r.solutions {
-            println!("  node {} ← label {}", i, sol.values().next().unwrap().index);
+            println!(
+                "  node {} ← label {}",
+                i,
+                sol.values().next().unwrap().index
+            );
         }
     }
 

@@ -24,7 +24,10 @@ fn formula_strategy(nvars: u32) -> BoxedStrategy<Formula> {
 
 fn regions_strategy(n: usize) -> BoxedStrategy<Vec<Region<2>>> {
     prop::collection::vec(
-        prop::collection::vec((0.0f64..80.0, 0.0f64..80.0, 1.0f64..15.0, 1.0f64..15.0), 0..3),
+        prop::collection::vec(
+            (0.0f64..80.0, 0.0f64..80.0, 1.0f64..15.0, 1.0f64..15.0),
+            0..3,
+        ),
         n..=n,
     )
     .prop_map(|vv| {

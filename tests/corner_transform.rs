@@ -18,8 +18,9 @@ fn random_interval(rng: &mut StdRng) -> Bbox<1> {
 #[test]
 fn figure3_single_range_query_all_indexes() {
     let mut rng = StdRng::seed_from_u64(33);
-    let items: Vec<(u64, Bbox<1>)> =
-        (0..2000u64).map(|id| (id, random_interval(&mut rng))).collect();
+    let items: Vec<(u64, Bbox<1>)> = (0..2000u64)
+        .map(|id| (id, random_interval(&mut rng)))
+        .collect();
 
     let mut rtree = RTree::<1>::new(SplitStrategy::Quadratic);
     let mut grid = GridFile::<1>::new(16);
@@ -33,7 +34,10 @@ fn figure3_single_range_query_all_indexes() {
     for trial in 0..25 {
         let a_lo = rng.random_range(10.0..60.0);
         let a = Bbox::new([a_lo], [a_lo + rng.random_range(0.1..2.0)]);
-        let b = Bbox::new([a_lo - rng.random_range(1.0..20.0)], [a_lo + rng.random_range(3.0..30.0)]);
+        let b = Bbox::new(
+            [a_lo - rng.random_range(1.0..20.0)],
+            [a_lo + rng.random_range(3.0..30.0)],
+        );
         let c_lo = rng.random_range(0.0..95.0);
         let c = Bbox::new([c_lo], [c_lo + 4.0]);
 
@@ -117,7 +121,9 @@ fn multiple_overlaps_one_query() {
 
     let c1 = Bbox::new([20.0, 20.0], [40.0, 40.0]);
     let c2 = Bbox::new([35.0, 35.0], [60.0, 60.0]);
-    let q = CornerQuery::unconstrained().and_overlaps(&c1).and_overlaps(&c2);
+    let q = CornerQuery::unconstrained()
+        .and_overlaps(&c1)
+        .and_overlaps(&c2);
     let mut got = Vec::new();
     rtree.query_corner(&q, &mut got);
     got.sort_unstable();

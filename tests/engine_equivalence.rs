@@ -38,13 +38,13 @@ fn sorted_solutions(r: &scq_engine::QueryResult) -> Vec<Vec<(Var, usize)>> {
 /// constraint systems over two collection variables and one known.
 fn query_pool() -> Vec<&'static str> {
     vec![
-        "X & Y != 0",                     // binary overlay (the z-order query)
-        "X <= K; X & Y != 0",             // containment + overlap
-        "X !<= Y",                        // negative containment
-        "X & Y = 0; X & K != 0",          // disjointness + overlap with known
-        "X <= K | Y",                     // union bound
-        "Y != 0; X < K",                  // strict containment + nonempty
-        "X & Y != 0; X & Y != K",         // disequality against known
+        "X & Y != 0",             // binary overlay (the z-order query)
+        "X <= K; X & Y != 0",     // containment + overlap
+        "X !<= Y",                // negative containment
+        "X & Y = 0; X & K != 0",  // disjointness + overlap with known
+        "X <= K | Y",             // union bound
+        "Y != 0; X < K",          // strict containment + nonempty
+        "X & Y != 0; X & Y != K", // disequality against known
     ]
 }
 
@@ -129,7 +129,11 @@ fn three_way_join_equivalence() {
         let naive = naive_execute(&db, &q).unwrap();
         for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
             let opt = bbox_execute(&db, &q, kind).unwrap();
-            assert_eq!(sorted_solutions(&naive), sorted_solutions(&opt), "seed {seed} {kind:?}");
+            assert_eq!(
+                sorted_solutions(&naive),
+                sorted_solutions(&opt),
+                "seed {seed} {kind:?}"
+            );
         }
     }
 }

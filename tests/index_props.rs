@@ -13,9 +13,7 @@ fn boxes_strategy(n: usize) -> BoxedStrategy<Vec<Item>> {
         .prop_map(|v| {
             v.into_iter()
                 .enumerate()
-                .map(|(i, (x, y, w, h))| {
-                    (i as u64, Bbox::new([x, y], [x + w, y + h]))
-                })
+                .map(|(i, (x, y, w, h))| (i as u64, Bbox::new([x, y], [x + w, y + h])))
                 .collect()
         })
         .boxed()
@@ -40,7 +38,10 @@ fn query_strategy() -> BoxedStrategy<CornerQuery<2>> {
                 3 => q.and_contained_in(&probe).and_overlaps(&inner),
                 4 => q.and_contains(&inner).and_contained_in(&probe),
                 5 => q.and_overlaps(&probe).and_overlaps(&inner),
-                _ => q.and_contained_in(&probe).and_contains(&inner).and_overlaps(&probe),
+                _ => q
+                    .and_contained_in(&probe)
+                    .and_contains(&inner)
+                    .and_overlaps(&probe),
             }
         })
         .boxed()

@@ -10,7 +10,10 @@ fn one_dimensional_pipeline() {
     let meetings = db.collection("meetings");
     for i in 0..200 {
         let start = (i * 5) as f64;
-        db.insert(meetings, Region::from_box(AaBox::new([start], [start + 7.0])));
+        db.insert(
+            meetings,
+            Region::from_box(AaBox::new([start], [start + 7.0])),
+        );
     }
     // Meetings inside working hours that clash with the lunch slot.
     let sys = parse_system("M <= H; M & L != 0").unwrap();
@@ -38,10 +41,8 @@ fn one_dimensional_pipeline() {
 /// 3-d: solid geometry — parts inside a chamber avoiding a keep-out.
 #[test]
 fn three_dimensional_pipeline() {
-    let mut db: SpatialDatabase<3> = SpatialDatabase::new(AaBox::new(
-        [0.0, 0.0, 0.0],
-        [100.0, 100.0, 100.0],
-    ));
+    let mut db: SpatialDatabase<3> =
+        SpatialDatabase::new(AaBox::new([0.0, 0.0, 0.0], [100.0, 100.0, 100.0]));
     let parts = db.collection("parts");
     for i in 0..6 {
         for j in 0..6 {
@@ -81,8 +82,7 @@ fn three_dimensional_pipeline() {
 /// 3-d region algebra laws and the solver.
 #[test]
 fn three_dimensional_solver() {
-    let alg: RegionAlgebra<3> =
-        RegionAlgebra::new(AaBox::new([0.0, 0.0, 0.0], [10.0, 10.0, 10.0]));
+    let alg: RegionAlgebra<3> = RegionAlgebra::new(AaBox::new([0.0, 0.0, 0.0], [10.0, 10.0, 10.0]));
     // x0 ⊂ x1, both nonempty, x1 misses a known forbidden cube.
     let sys = parse_system("X < Y; X != 0; Y & F = 0").unwrap();
     let (xf, yf, ff) = (

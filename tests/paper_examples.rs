@@ -71,15 +71,22 @@ fn ex_f1_triangular_form() {
     let row_b = tri.row_for(b).unwrap();
     let mut bdd = Bdd::new();
     assert!(bdd.equivalent(&row_b.upper, &fc));
-    let want_lower =
-        Formula::and_all([fr.clone(), Formula::not(fa.clone()), Formula::not(ft.clone())]);
+    let want_lower = Formula::and_all([
+        fr.clone(),
+        Formula::not(fa.clone()),
+        Formula::not(ft.clone()),
+    ]);
     assert!(equiv_under_ctx(&ctx, &row_b.lower, &want_lower));
     assert!(row_b.diseqs.is_empty());
 
     // Row R: 0 ≤ R ≤ C∨T with two disequations.
     let row_r = tri.row_for(r).unwrap();
     assert!(equiv_under_ctx(&ctx, &row_r.lower, &Formula::Zero));
-    assert!(equiv_under_ctx(&ctx, &row_r.upper, &Formula::or(fc.clone(), ft.clone())));
+    assert!(equiv_under_ctx(
+        &ctx,
+        &row_r.upper,
+        &Formula::or(fc.clone(), ft.clone())
+    ));
     assert_eq!(row_r.diseqs.len(), 2);
 
     // Row T: 0 ≤ T ≤ C, disequations force T nonempty.
@@ -144,9 +151,18 @@ fn ex_f1_bbox_plan() {
         }
     };
     let q = row_r.corner_query(lookup);
-    assert!(q.matches(&Bbox::new([2.0, 43.0], [65.0, 45.0])), "corridor road passes");
-    assert!(!q.matches(&Bbox::new([20.0, 80.0], [80.0, 82.0])), "road missing T and A fails");
-    assert!(!q.matches(&Bbox::new([-20.0, 43.0], [65.0, 45.0])), "road leaving ⌈C⌉⊔⌈T⌉ fails");
+    assert!(
+        q.matches(&Bbox::new([2.0, 43.0], [65.0, 45.0])),
+        "corridor road passes"
+    );
+    assert!(
+        !q.matches(&Bbox::new([20.0, 80.0], [80.0, 82.0])),
+        "road missing T and A fails"
+    );
+    assert!(
+        !q.matches(&Bbox::new([-20.0, 43.0], [65.0, 45.0])),
+        "road leaving ⌈C⌉⊔⌈T⌉ fails"
+    );
 }
 
 /// EX-E1 part 1: §3 Example 1 — `proj((x·y = 0 ∧ ¬x·y ≠ 0), x) = (y ≠ 0)`.
@@ -193,9 +209,15 @@ fn ex_e1_non_closure() {
         let assign = Assignment::new().with(x, xv).with(y, e);
         check_normal(&alg, &s, &assign).unwrap()
     };
-    assert!(!alg.elements().any(|xv| holds(singleton, xv)), "no witness for |y| = 1");
+    assert!(
+        !alg.elements().any(|xv| holds(singleton, xv)),
+        "no witness for |y| = 1"
+    );
     let pair = alg.singleton(0) | alg.singleton(2);
-    assert!(alg.elements().any(|xv| holds(pair, xv)), "witness exists for |y| = 2");
+    assert!(
+        alg.elements().any(|xv| holds(pair, xv)),
+        "witness exists for |y| = 2"
+    );
 
     // Atomless algebra: every nonzero y has a witness (split y).
     let ralg = RegionAlgebra::new(AaBox::new([0.0], [1.0]));
@@ -234,10 +256,10 @@ fn ex_e2_bcf_and_bounds() {
     assert_eq!(l, BboxExpr::var(y.index()));
     let u: UpperBound<2> = upper_bbox_fn(&f);
     let boxes = [
-        Bbox::new([0.0, 0.0], [1.0, 1.0]),   // x
-        Bbox::new([5.0, 5.0], [6.0, 6.0]),   // y
-        Bbox::new([0.5, 0.5], [2.0, 2.0]),   // z
-        Bbox::new([9.0, 9.0], [9.1, 9.1]),   // w
+        Bbox::new([0.0, 0.0], [1.0, 1.0]), // x
+        Bbox::new([5.0, 5.0], [6.0, 6.0]), // y
+        Bbox::new([0.5, 0.5], [2.0, 2.0]), // z
+        Bbox::new([9.0, 9.0], [9.1, 9.1]), // w
     ];
     let lookup = |i: usize| boxes[i];
     let want = boxes[y.index()].join(&boxes[x.index()].meet(&boxes[z.index()]));
@@ -259,7 +281,10 @@ fn ex_e2_syntactic_transform_counterexample() {
     let x = Bbox::new([0.0], [5.0]);
     let lhs = x.meet(&y).join(&x.meet(&z)); // [1,2] ⊔ ∅ = [1,2]
     let rhs = x.meet(&y.join(&z)); // [0,5]⊓[1,9] = [1,5]
-    assert!(lhs.le(&rhs) && lhs != rhs, "strict inclusion: {lhs} ⊏ {rhs}");
+    assert!(
+        lhs.le(&rhs) && lhs != rhs,
+        "strict inclusion: {lhs} ⊏ {rhs}"
+    );
 }
 
 /// EX-F1 executed end-to-end as a query (the full §2 narrative).

@@ -13,19 +13,28 @@ fn build() -> SpatialDatabase<2> {
     map_workload(
         &mut db,
         99,
-        &MapParams { n_states: 5, n_towns: 12, n_roads: 30, useful_road_fraction: 0.15 },
+        &MapParams {
+            n_states: 5,
+            n_towns: 12,
+            n_roads: 30,
+            useful_road_fraction: 0.15,
+        },
     );
     db
 }
 
 fn smuggler_query(db: &SpatialDatabase<2>) -> Query<2> {
-    let sys = parse_system(
-        "A <= C; B <= C; R <= A | B | T; R & A != 0; R & T != 0; T < C",
-    )
-    .unwrap();
+    let sys =
+        parse_system("A <= C; B <= C; R <= A | B | T; R & A != 0; R & T != 0; T < C").unwrap();
     Query::new(sys)
-        .known("C", Region::from_box(AaBox::new([100.0, 100.0], [900.0, 900.0])))
-        .known("A", Region::from_box(AaBox::new([600.0, 420.0], [680.0, 440.0])))
+        .known(
+            "C",
+            Region::from_box(AaBox::new([100.0, 100.0], [900.0, 900.0])),
+        )
+        .known(
+            "A",
+            Region::from_box(AaBox::new([600.0, 420.0], [680.0, 440.0])),
+        )
         .from_collection("T", db.collection_id("towns").unwrap())
         .from_collection("R", db.collection_id("roads").unwrap())
         .from_collection("B", db.collection_id("states").unwrap())
@@ -68,14 +77,20 @@ fn snapshot_preserves_integrity_verdicts() {
     let mut db = build();
     // plant a violation: a road escaping the country
     let roads = db.collection_id("roads").unwrap();
-    db.insert(roads, Region::from_box(AaBox::new([850.0, 850.0], [980.0, 980.0])));
+    db.insert(
+        roads,
+        Region::from_box(AaBox::new([850.0, 850.0], [980.0, 980.0])),
+    );
 
     let rule = |db: &SpatialDatabase<2>| {
         let sys = parse_system("R !<= C; R != 0").unwrap();
         IntegrityRule {
             name: "roads-stay-in-country".into(),
             pattern: Query::new(sys)
-                .known("C", Region::from_box(AaBox::new([100.0, 100.0], [900.0, 900.0])))
+                .known(
+                    "C",
+                    Region::from_box(AaBox::new([100.0, 100.0], [900.0, 900.0])),
+                )
                 .from_collection("R", db.collection_id("roads").unwrap()),
         }
     };
@@ -92,13 +107,9 @@ fn existence_mode_after_reload() {
     let db = build();
     let reloaded: SpatialDatabase<2> = load(&save(&db)).expect("round trip");
     let q = smuggler_query(&reloaded);
-    let first = scq_engine::bbox_execute_opts(
-        &reloaded,
-        &q,
-        IndexKind::RTree,
-        ExecOptions::first(),
-    )
-    .unwrap();
+    let first =
+        scq_engine::bbox_execute_opts(&reloaded, &q, IndexKind::RTree, ExecOptions::first())
+            .unwrap();
     let all = bbox_execute(&reloaded, &q, IndexKind::RTree).unwrap();
     assert_eq!(first.solutions.len().min(1), all.solutions.len().min(1));
     if !all.solutions.is_empty() {

@@ -13,12 +13,15 @@ fn gis_smuggler_pipeline() {
     let w = map_workload(
         &mut db,
         5,
-        &MapParams { n_states: 5, n_towns: 15, n_roads: 40, useful_road_fraction: 0.2 },
+        &MapParams {
+            n_states: 5,
+            n_towns: 15,
+            n_roads: 40,
+            useful_road_fraction: 0.2,
+        },
     );
-    let sys = parse_system(
-        "A <= C; B <= C; R <= A | B | T; R & A != 0; R & T != 0; T < C",
-    )
-    .unwrap();
+    let sys =
+        parse_system("A <= C; B <= C; R <= A | B | T; R & A != 0; R & T != 0; T < C").unwrap();
     let q = Query::new(sys)
         .known("C", w.country.clone())
         .known("A", w.area.clone())
@@ -39,7 +42,10 @@ fn gis_smuggler_pipeline() {
         b.sort();
         assert_eq!(a, b);
     }
-    assert!(!baseline.solutions.is_empty(), "workload guarantees useful roads");
+    assert!(
+        !baseline.solutions.is_empty(),
+        "workload guarantees useful roads"
+    );
 
     // Every reported solution truly satisfies the constraints.
     let alg = db.algebra();
@@ -94,10 +100,22 @@ fn visual_parsing_pipeline() {
         db.insert(nodes, Region::from_box(b));
     }
     // labels: one next to each node, one floating far away
-    db.insert(labels, Region::from_box(AaBox::new([41.0, 22.0], [55.0, 30.0])));
-    db.insert(labels, Region::from_box(AaBox::new([121.0, 32.0], [135.0, 40.0])));
-    db.insert(labels, Region::from_box(AaBox::new([81.0, 122.0], [95.0, 130.0])));
-    db.insert(labels, Region::from_box(AaBox::new([170.0, 170.0], [190.0, 180.0])));
+    db.insert(
+        labels,
+        Region::from_box(AaBox::new([41.0, 22.0], [55.0, 30.0])),
+    );
+    db.insert(
+        labels,
+        Region::from_box(AaBox::new([121.0, 32.0], [135.0, 40.0])),
+    );
+    db.insert(
+        labels,
+        Region::from_box(AaBox::new([81.0, 122.0], [95.0, 130.0])),
+    );
+    db.insert(
+        labels,
+        Region::from_box(AaBox::new([170.0, 170.0], [190.0, 180.0])),
+    );
 
     // Halo = known per query; here we query node 0's halo.
     let halo = Region::from_box(AaBox::new([15.0, 15.0], [60.0, 45.0]));
@@ -142,7 +160,10 @@ fn equality_query() {
     let mut db = SpatialDatabase::new(AaBox::new([0.0, 0.0], [100.0, 100.0]));
     let zones = db.collection("zones");
     let target = Region::from_box(AaBox::new([10.0, 10.0], [20.0, 20.0]));
-    db.insert(zones, Region::from_box(AaBox::new([5.0, 5.0], [25.0, 25.0])));
+    db.insert(
+        zones,
+        Region::from_box(AaBox::new([5.0, 5.0], [25.0, 25.0])),
+    );
     // same set as target, different fragmentation:
     db.insert(
         zones,
@@ -151,9 +172,14 @@ fn equality_query() {
             AaBox::new([15.0, 10.0], [20.0, 20.0]),
         ]),
     );
-    db.insert(zones, Region::from_box(AaBox::new([50.0, 50.0], [60.0, 60.0])));
+    db.insert(
+        zones,
+        Region::from_box(AaBox::new([50.0, 50.0], [60.0, 60.0])),
+    );
     let sys = parse_system("Z = K").unwrap();
-    let q = Query::new(sys).known("K", target).from_collection("Z", zones);
+    let q = Query::new(sys)
+        .known("K", target)
+        .from_collection("Z", zones);
     for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
         let r = bbox_execute(&db, &q, kind).unwrap();
         assert_eq!(r.solutions.len(), 1, "{kind:?}");

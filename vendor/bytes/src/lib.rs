@@ -48,7 +48,9 @@ impl BytesMut {
 
     /// An empty buffer with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(cap) }
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     /// Freezes into an immutable [`Bytes`].

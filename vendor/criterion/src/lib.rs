@@ -63,7 +63,10 @@ impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("\n== group {name}");
-        BenchmarkGroup { c: self, group: name.to_string() }
+        BenchmarkGroup {
+            c: self,
+            group: name.to_string(),
+        }
     }
 
     /// Prints the closing summary (kept for API compatibility; results
@@ -80,7 +83,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Creates an id from a name and a displayed parameter.
     pub fn new<P: Display>(name: &str, param: P) -> Self {
-        BenchmarkId { id: format!("{name}/{param}") }
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
     }
 }
 
@@ -134,7 +139,12 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(warm_up: Duration, measurement: Duration, sample_size: usize) -> Self {
-        Bencher { warm_up, measurement, sample_size, samples_ns: Vec::new() }
+        Bencher {
+            warm_up,
+            measurement,
+            sample_size,
+            samples_ns: Vec::new(),
+        }
     }
 
     /// Measures the closure: warm-up, then `sample_size` samples of as

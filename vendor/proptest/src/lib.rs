@@ -51,7 +51,9 @@ pub mod test_runner {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x100_0000_01b3);
             }
-            TestRng { rng: StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64)) }
+            TestRng {
+                rng: StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64)),
+            }
         }
 
         /// Uniform sample from a half-open range.
@@ -100,7 +102,9 @@ pub mod strategy {
         where
             Self: Sized + 'static,
         {
-            BoxedStrategy { inner: Arc::new(self) }
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
         }
 
         /// Builds a recursive strategy: `self` is the leaf case and `f`
@@ -125,7 +129,10 @@ pub mod strategy {
             let mut cur = leaf.clone();
             for _ in 0..depth {
                 let rec = f(cur).boxed();
-                cur = Union { arms: vec![(1, leaf.clone()), (2, rec)] }.boxed();
+                cur = Union {
+                    arms: vec![(1, leaf.clone()), (2, rec)],
+                }
+                .boxed();
             }
             cur
         }
@@ -149,7 +156,9 @@ pub mod strategy {
 
     impl<V> Clone for BoxedStrategy<V> {
         fn clone(&self) -> Self {
-            BoxedStrategy { inner: Arc::clone(&self.inner) }
+            BoxedStrategy {
+                inner: Arc::clone(&self.inner),
+            }
         }
     }
 
@@ -211,7 +220,9 @@ pub mod strategy {
 
     impl<V> Clone for Union<V> {
         fn clone(&self) -> Self {
-            Union { arms: self.arms.clone() }
+            Union {
+                arms: self.arms.clone(),
+            }
         }
     }
 
@@ -280,13 +291,19 @@ pub mod collection {
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
-            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
         }
     }
 
@@ -307,7 +324,10 @@ pub mod collection {
     /// `proptest::collection::vec`: vectors of `element` with length in
     /// `len`.
     pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, len: len.into() }
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -408,7 +428,11 @@ pub struct CaseGuard {
 impl CaseGuard {
     #[doc(hidden)]
     pub fn new(name: &'static str, case: u32) -> Self {
-        CaseGuard { name, case, armed: true }
+        CaseGuard {
+            name,
+            case,
+            armed: true,
+        }
     }
 
     #[doc(hidden)]
