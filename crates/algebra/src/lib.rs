@@ -28,8 +28,8 @@ pub mod eval;
 pub mod laws;
 pub mod traits;
 
-pub use assignment::Assignment;
+pub use assignment::{Assignment, FlatAssignment, VarLookup};
 pub use bitset::BitsetAlgebra;
 pub use bool2::Bool2;
-pub use eval::{eval_formula, eval_sop};
+pub use eval::{eval_formula, eval_formula_in, eval_sop, Val};
 pub use traits::{Atomless, BooleanAlgebra};

@@ -1,7 +1,12 @@
 //! Algebra-generic exact evaluation of constraints and systems.
+//!
+//! Each checker comes in two flavours: the `*_in` form is generic over
+//! [`VarLookup`] storage and evaluates without cloning elements at
+//! variable leaves (the executors' zero-clone path); the original form
+//! over [`Assignment`] delegates to it.
 
 use scq_algebra::eval::UnboundVar;
-use scq_algebra::{eval_formula, Assignment, BooleanAlgebra};
+use scq_algebra::{eval_formula_in, Assignment, BooleanAlgebra, VarLookup};
 
 use crate::constraint::{Constraint, NormalSystem};
 
@@ -11,18 +16,27 @@ pub fn check_constraint<A: BooleanAlgebra>(
     c: &Constraint,
     assign: &Assignment<A::Elem>,
 ) -> Result<bool, UnboundVar> {
-    let ev = |f| eval_formula(alg, f, assign);
+    check_constraint_in(alg, c, assign)
+}
+
+/// [`check_constraint`] over any assignment storage.
+pub fn check_constraint_in<A: BooleanAlgebra, L: VarLookup<A::Elem>>(
+    alg: &A,
+    c: &Constraint,
+    assign: &L,
+) -> Result<bool, UnboundVar> {
+    let ev = |f| eval_formula_in(alg, f, assign);
     Ok(match c {
-        Constraint::Subset(f, g) => alg.le(&ev(f)?, &ev(g)?),
-        Constraint::NotSubset(f, g) => !alg.le(&ev(f)?, &ev(g)?),
-        Constraint::Eq(f, g) => alg.eq_elem(&ev(f)?, &ev(g)?),
-        Constraint::Neq(f, g) => !alg.eq_elem(&ev(f)?, &ev(g)?),
+        Constraint::Subset(f, g) => alg.le(ev(f)?.as_ref(), ev(g)?.as_ref()),
+        Constraint::NotSubset(f, g) => !alg.le(ev(f)?.as_ref(), ev(g)?.as_ref()),
+        Constraint::Eq(f, g) => alg.eq_elem(ev(f)?.as_ref(), ev(g)?.as_ref()),
+        Constraint::Neq(f, g) => !alg.eq_elem(ev(f)?.as_ref(), ev(g)?.as_ref()),
         Constraint::ProperSubset(f, g) => {
             let (a, b) = (ev(f)?, ev(g)?);
-            alg.le(&a, &b) && !alg.eq_elem(&a, &b)
+            alg.le(a.as_ref(), b.as_ref()) && !alg.eq_elem(a.as_ref(), b.as_ref())
         }
-        Constraint::Disjoint(f, g) => alg.is_zero(&alg.meet(&ev(f)?, &ev(g)?)),
-        Constraint::Overlaps(f, g) => !alg.is_zero(&alg.meet(&ev(f)?, &ev(g)?)),
+        Constraint::Disjoint(f, g) => alg.is_zero(&alg.meet(ev(f)?.as_ref(), ev(g)?.as_ref())),
+        Constraint::Overlaps(f, g) => !alg.is_zero(&alg.meet(ev(f)?.as_ref(), ev(g)?.as_ref())),
     })
 }
 
@@ -32,8 +46,17 @@ pub fn check_system<A: BooleanAlgebra>(
     constraints: &[Constraint],
     assign: &Assignment<A::Elem>,
 ) -> Result<bool, UnboundVar> {
+    check_system_in(alg, constraints, assign)
+}
+
+/// [`check_system`] over any assignment storage.
+pub fn check_system_in<A: BooleanAlgebra, L: VarLookup<A::Elem>>(
+    alg: &A,
+    constraints: &[Constraint],
+    assign: &L,
+) -> Result<bool, UnboundVar> {
     for c in constraints {
-        if !check_constraint(alg, c, assign)? {
+        if !check_constraint_in(alg, c, assign)? {
             return Ok(false);
         }
     }
@@ -46,11 +69,20 @@ pub fn check_normal<A: BooleanAlgebra>(
     s: &NormalSystem,
     assign: &Assignment<A::Elem>,
 ) -> Result<bool, UnboundVar> {
-    if !alg.is_zero(&eval_formula(alg, &s.eq, assign)?) {
+    check_normal_in(alg, s, assign)
+}
+
+/// [`check_normal`] over any assignment storage.
+pub fn check_normal_in<A: BooleanAlgebra, L: VarLookup<A::Elem>>(
+    alg: &A,
+    s: &NormalSystem,
+    assign: &L,
+) -> Result<bool, UnboundVar> {
+    if !alg.is_zero(eval_formula_in(alg, &s.eq, assign)?.as_ref()) {
         return Ok(false);
     }
     for g in &s.neqs {
-        if alg.is_zero(&eval_formula(alg, g, assign)?) {
+        if alg.is_zero(eval_formula_in(alg, g, assign)?.as_ref()) {
             return Ok(false);
         }
     }

@@ -36,7 +36,10 @@ pub mod solve;
 pub mod triangular;
 
 pub use approx::{lower_bbox_fn, upper_bbox_fn, UpperBound};
-pub use check::{check_constraint, check_normal, check_system};
+pub use check::{
+    check_constraint, check_constraint_in, check_normal, check_normal_in, check_system,
+    check_system_in,
+};
 pub use constraint::{Constraint, ConstraintSystem, NormalSystem};
 pub use parser::parse_system;
 pub use plan::{BboxPlan, CompiledRow};

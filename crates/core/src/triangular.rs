@@ -26,7 +26,7 @@
 use std::fmt;
 
 use scq_algebra::eval::UnboundVar;
-use scq_algebra::{eval_formula, Assignment, BooleanAlgebra};
+use scq_algebra::{eval_formula_in, Assignment, BooleanAlgebra, VarLookup};
 use scq_boolean::minimize::minimize;
 use scq_boolean::quant::{boole_expansion, schroder_range};
 use scq_boolean::{Formula, Var, VarTable};
@@ -74,19 +74,31 @@ impl SolvedRow {
         alg: &A,
         assign: &Assignment<A::Elem>,
     ) -> Result<bool, UnboundVar> {
-        let x = assign.get(self.var).cloned().ok_or(UnboundVar(self.var))?;
-        let s = eval_formula(alg, &self.lower, assign)?;
-        if !alg.le(&s, &x) {
+        self.check_in(alg, assign)
+    }
+
+    /// [`SolvedRow::check`] over any assignment storage — the hot path
+    /// used by the executors with borrowed `FlatAssignment`s, where the
+    /// bound element and the variable leaves of `s`, `t`, `pⱼ`, `qⱼ`
+    /// are read by reference instead of cloned.
+    pub fn check_in<A: BooleanAlgebra, L: VarLookup<A::Elem>>(
+        &self,
+        alg: &A,
+        assign: &L,
+    ) -> Result<bool, UnboundVar> {
+        let x = assign.lookup(self.var).ok_or(UnboundVar(self.var))?;
+        let s = eval_formula_in(alg, &self.lower, assign)?;
+        if !alg.le(s.as_ref(), x) {
             return Ok(false);
         }
-        let t = eval_formula(alg, &self.upper, assign)?;
-        if !alg.le(&x, &t) {
+        let t = eval_formula_in(alg, &self.upper, assign)?;
+        if !alg.le(x, t.as_ref()) {
             return Ok(false);
         }
         for d in &self.diseqs {
-            let p = eval_formula(alg, &d.p, assign)?;
-            let q = eval_formula(alg, &d.q, assign)?;
-            let val = alg.join(&alg.meet(&x, &p), &alg.diff(&q, &x));
+            let p = eval_formula_in(alg, &d.p, assign)?;
+            let q = eval_formula_in(alg, &d.q, assign)?;
+            let val = alg.join(&alg.meet(x, p.as_ref()), &alg.diff(q.as_ref(), x));
             if alg.is_zero(&val) {
                 return Ok(false);
             }

@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use scq_bbox::CornerQuery;
+use scq_bbox::{Bbox, CornerQuery};
 use scq_index::{GridFile, RTree, ScanIndex, SpatialIndex, SplitStrategy};
 use scq_region::{AaBox, Region, RegionAlgebra};
 
@@ -25,6 +25,10 @@ pub struct ObjectRef {
 struct Collection<const K: usize> {
     name: String,
     objects: Vec<Region<K>>,
+    /// `⌈objects[i]⌉`, materialized at insert time so the executors'
+    /// per-candidate bbox reads are one indexed load instead of a
+    /// fragment scan.
+    bboxes: Vec<Bbox<K>>,
     rtree: RTree<K>,
     grid: GridFile<K>,
     scan: ScanIndex<K>,
@@ -79,6 +83,7 @@ impl<const K: usize> SpatialDatabase<K> {
         self.collections.push(Collection {
             name: name.to_owned(),
             objects: Vec::new(),
+            bboxes: Vec::new(),
             rtree: RTree::new(SplitStrategy::Quadratic),
             grid: GridFile::new(32),
             scan: ScanIndex::new(),
@@ -119,6 +124,7 @@ impl<const K: usize> SpatialDatabase<K> {
         c.rtree.insert(index as u64, bbox);
         c.grid.insert(index as u64, bbox);
         c.scan.insert(index as u64, bbox);
+        c.bboxes.push(bbox);
         c.objects.push(region);
         ObjectRef {
             collection: coll,
@@ -129,6 +135,11 @@ impl<const K: usize> SpatialDatabase<K> {
     /// The region of an object.
     pub fn region(&self, obj: ObjectRef) -> &Region<K> {
         &self.collections[obj.collection.0].objects[obj.index]
+    }
+
+    /// The bounding box of an object, materialized at insert time.
+    pub fn bbox(&self, obj: ObjectRef) -> Bbox<K> {
+        self.collections[obj.collection.0].bboxes[obj.index]
     }
 
     /// Runs a corner query against the chosen index of a collection,

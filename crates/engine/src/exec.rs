@@ -7,23 +7,40 @@
 //! | executor | candidates | pruning |
 //! |---|---|---|
 //! | [`naive_execute`] | whole collection | none (full check at leaves) |
-//! | [`triangular_execute`] | whole collection | exact solved row `Cᵢ` |
-//! | [`bbox_execute`] | **index range query** | exact solved row `Cᵢ` |
+//! | [`triangular_execute`] | whole collection | bbox prefilter, then exact solved row `Cᵢ` |
+//! | [`bbox_execute`] | **index range query** | bbox prefilter, then exact solved row `Cᵢ` |
 //!
 //! Because the triangular solved form is an *equivalence* for complete
 //! assignments (Schröder and Boole rewrites are equivalences, and
 //! projected residues are implied by the lower rows), checking every row
 //! exactly equals checking the original system — the executors return
 //! identical solution sets, which the tests assert.
+//!
+//! # The zero-clone core
+//!
+//! The inner loop binds `&Region` straight out of the database into a
+//! slot-based [`FlatAssignment`] — no `Region` clone, no `BTreeMap`
+//! rebalancing — and evaluates rows through the borrow-aware
+//! [`SolvedRow::check_in`](scq_core::TriangularSystem) path. Candidate
+//! vectors are reused across the whole search via a per-level buffer
+//! pool ([`LevelBufs`]), so a steady-state query performs no
+//! allocations per candidate. Before each exact row check, a cheap
+//! **bbox prefilter** tests the candidate's precomputed bounding box
+//! against the level's corner query (a necessary condition for the
+//! exact row, see `scq_core::plan`); fragment-heavy regions that cannot
+//! satisfy the row are rejected without touching `RegionAlgebra`.
+//! Empty-bbox candidates always proceed to the exact check, since an
+//! empty region can satisfy a row while its (empty) box matches no
+//! corner query.
 
 use std::collections::BTreeMap;
 
 use scq_algebra::eval::UnboundVar;
-use scq_algebra::Assignment;
-use scq_bbox::Bbox;
+use scq_algebra::FlatAssignment;
+use scq_bbox::{Bbox, CornerQuery};
 use scq_boolean::Var;
-use scq_core::plan::BboxPlan;
-use scq_core::{check_system, triangularize, TriangularSystem};
+use scq_core::plan::{BboxPlan, CompiledRow};
+use scq_core::{check_system_in, triangularize, TriangularSystem};
 use scq_region::{Region, RegionAlgebra};
 
 use crate::database::{CollectionId, ObjectRef, SpatialDatabase};
@@ -93,9 +110,193 @@ impl ExecOptions {
     }
 }
 
+// ── shared search machinery (also used by `crate::parallel`) ────────────
+
+/// A query validated and decomposed for execution: retrieval order,
+/// clamped known regions (the arena the search borrows from), unknowns
+/// in retrieval order, and the slot count for flat assignments.
+pub(crate) struct PreparedQuery<const K: usize> {
+    pub order: Vec<Var>,
+    pub knowns: Vec<(Var, Region<K>)>,
+    pub unknowns: Vec<(Var, CollectionId)>,
+    pub max_var: usize,
+}
+
+pub(crate) fn prepare<const K: usize>(
+    db: &SpatialDatabase<K>,
+    query: &Query<K>,
+) -> Result<PreparedQuery<K>, ExecError> {
+    query.validate().map_err(ExecError::InvalidQuery)?;
+    let order = query.retrieval_order(db);
+    let alg = db.algebra();
+    let knowns: Vec<(Var, Region<K>)> = query
+        .known_vars()
+        .into_iter()
+        .map(|(v, r)| (v, alg.clamp(r)))
+        .collect();
+    let unknown_positions: BTreeMap<Var, CollectionId> = query.unknown_vars().into_iter().collect();
+    let unknowns: Vec<(Var, CollectionId)> = order
+        .iter()
+        .filter_map(|v| unknown_positions.get(v).map(|&c| (*v, c)))
+        .collect();
+    let max_var = order
+        .iter()
+        .map(|v| v.index())
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(0);
+    Ok(PreparedQuery {
+        order,
+        knowns,
+        unknowns,
+        max_var,
+    })
+}
+
+/// Reusable per-level candidate buffers: the backtracking search at
+/// level `i` always and only uses `LevelBufs[i]`, so one pool amortizes
+/// every candidate allocation across the whole search.
+pub(crate) struct LevelBuf {
+    /// Raw ids from the index range query.
+    ids: Vec<u64>,
+    /// Candidate object indices for the level (ids + empty objects, or
+    /// the whole collection).
+    pub candidates: Vec<usize>,
+}
+
+pub(crate) fn level_bufs(n: usize) -> Vec<LevelBuf> {
+    (0..n)
+        .map(|_| LevelBuf {
+            ids: Vec::new(),
+            candidates: Vec::new(),
+        })
+        .collect()
+}
+
+/// Fills `buf.candidates` for one retrieval level and returns the
+/// level's corner query (reused as the bbox prefilter).
+///
+/// With an index, candidates come from the corner-transform range query
+/// plus the collection's empty-region objects (which no corner query
+/// can return but which may satisfy the row). Without one, the whole
+/// collection is enumerated. Either way the buffers are recycled — no
+/// allocation once the pool has warmed up.
+pub(crate) fn gather_candidates<const K: usize>(
+    db: &SpatialDatabase<K>,
+    coll: CollectionId,
+    kind: Option<IndexKind>,
+    row: &CompiledRow<K>,
+    boxes: &[Bbox<K>],
+    buf: &mut LevelBuf,
+) -> CornerQuery<K> {
+    let lookup = |i: usize| boxes.get(i).copied().unwrap_or(Bbox::Empty);
+    let q = row.corner_query(lookup);
+    buf.ids.clear();
+    buf.candidates.clear();
+    match kind {
+        Some(k) => {
+            if !q.is_unsatisfiable() {
+                db.query_collection(coll, k, &q, &mut buf.ids);
+            }
+            buf.candidates.extend(buf.ids.iter().map(|&id| id as usize));
+            buf.candidates.extend_from_slice(db.empty_objects(coll));
+        }
+        None => buf.candidates.extend(db.object_indices(coll)),
+    }
+    q
+}
+
+/// Considers one candidate: counts it, applies the bbox prefilter, and
+/// on survival binds the region **by reference** and runs the exact row
+/// check.
+///
+/// Returns the candidate's bounding box when accepted — the binding is
+/// left in place and the caller recurses, then unbinds. On rejection
+/// the assignment is left unchanged.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_candidate<'e, const K: usize>(
+    db: &'e SpatialDatabase<K>,
+    alg: &RegionAlgebra<K>,
+    row: &CompiledRow<K>,
+    q: &CornerQuery<K>,
+    var: Var,
+    obj: ObjectRef,
+    assign: &mut FlatAssignment<'e, Region<K>>,
+    stats: &mut ExecStats,
+) -> Result<Option<Bbox<K>>, ExecError> {
+    stats.partial_tuples += 1;
+    let bb = db.bbox(obj);
+    // The corner query is a necessary condition for the exact row, so a
+    // non-matching bbox rejects without region algebra. Empty boxes are
+    // exempt: empty regions never match corner queries yet can satisfy
+    // rows.
+    if !bb.is_empty() && !q.matches(&bb) {
+        stats.bbox_prefilter_rejections += 1;
+        return Ok(None);
+    }
+    assign.bind(var, db.region(obj));
+    stats.regions_bound += 1;
+    stats.exact_row_checks += 1;
+    if row.exact.check_in(alg, assign)? {
+        Ok(Some(bb))
+    } else {
+        stats.row_rejections += 1;
+        assign.unbind(var);
+        Ok(None)
+    }
+}
+
+/// Binds the known variables by reference into a fresh flat assignment
+/// and box table, then validates their solved rows (the paper's
+/// integrity check on query inputs). Returns `None` when a known row
+/// fails — the query has no solutions.
+#[allow(clippy::type_complexity)]
+pub(crate) fn bind_knowns<'e, const K: usize>(
+    alg: &RegionAlgebra<K>,
+    plan: &BboxPlan<K>,
+    knowns: &'e [(Var, Region<K>)],
+    max_var: usize,
+    stats: &mut ExecStats,
+) -> Result<Option<(FlatAssignment<'e, Region<K>>, Vec<Bbox<K>>)>, ExecError> {
+    let mut assign: FlatAssignment<'e, Region<K>> = FlatAssignment::with_capacity(max_var);
+    let mut boxes: Vec<Bbox<K>> = vec![Bbox::Empty; max_var];
+    for (v, r) in knowns {
+        assign.bind(*v, r);
+        boxes[v.index()] = r.bbox();
+    }
+    if check_known_rows(alg, plan, knowns, &assign, stats)? {
+        Ok(Some((assign, boxes)))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Validates the solved rows of the known variables. Returns `false`
+/// when a row fails, in which case the query has no solutions.
+fn check_known_rows<const K: usize>(
+    alg: &RegionAlgebra<K>,
+    plan: &BboxPlan<K>,
+    knowns: &[(Var, Region<K>)],
+    assign: &FlatAssignment<'_, Region<K>>,
+    stats: &mut ExecStats,
+) -> Result<bool, ExecError> {
+    for &(v, _) in knowns {
+        if let Some(row) = plan.row_for(v) {
+            stats.exact_row_checks += 1;
+            if !row.exact.check_in(alg, assign)? {
+                stats.row_rejections += 1;
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+// ── sequential executors ────────────────────────────────────────────────
+
 /// Shared execution context.
-struct Ctx<'a, const K: usize> {
-    db: &'a SpatialDatabase<K>,
+struct Ctx<'e, const K: usize> {
+    db: &'e SpatialDatabase<K>,
     alg: RegionAlgebra<K>,
     unknowns: Vec<(Var, CollectionId)>, // in retrieval order
     stats: ExecStats,
@@ -109,28 +310,6 @@ impl<const K: usize> Ctx<'_, K> {
             .max_solutions
             .is_some_and(|max| self.solutions.len() >= max)
     }
-}
-
-/// Validated query context: retrieval order, known bindings, unknowns.
-type Prepared<const K: usize> = (Vec<Var>, Assignment<Region<K>>, Vec<(Var, CollectionId)>);
-
-fn prepare<const K: usize>(
-    db: &SpatialDatabase<K>,
-    query: &Query<K>,
-) -> Result<Prepared<K>, ExecError> {
-    query.validate().map_err(ExecError::InvalidQuery)?;
-    let order = query.retrieval_order(db);
-    let alg = db.algebra();
-    let mut assign = Assignment::new();
-    for (v, r) in query.known_vars() {
-        assign.bind(v, alg.clamp(r));
-    }
-    let unknown_positions: BTreeMap<Var, CollectionId> = query.unknown_vars().into_iter().collect();
-    let unknowns: Vec<(Var, CollectionId)> = order
-        .iter()
-        .filter_map(|v| unknown_positions.get(v).map(|&c| (*v, c)))
-        .collect();
-    Ok((order, assign, unknowns))
 }
 
 /// Cross product + full constraint check at the leaves. The baseline of
@@ -148,11 +327,15 @@ pub fn naive_execute_opts<const K: usize>(
     query: &Query<K>,
     options: ExecOptions,
 ) -> Result<QueryResult, ExecError> {
-    let (_, mut assign, unknowns) = prepare(db, query)?;
+    let prep = prepare(db, query)?;
+    let mut assign: FlatAssignment<'_, Region<K>> = FlatAssignment::with_capacity(prep.max_var);
+    for (v, r) in &prep.knowns {
+        assign.bind(*v, r);
+    }
     let mut ctx = Ctx {
         db,
         alg: db.algebra(),
-        unknowns,
+        unknowns: prep.unknowns,
         stats: ExecStats::default(),
         solutions: Vec::new(),
         options,
@@ -165,16 +348,16 @@ pub fn naive_execute_opts<const K: usize>(
     })
 }
 
-fn naive_rec<const K: usize>(
-    ctx: &mut Ctx<'_, K>,
+fn naive_rec<'e, const K: usize>(
+    ctx: &mut Ctx<'e, K>,
     query: &Query<K>,
     level: usize,
-    assign: &mut Assignment<Region<K>>,
+    assign: &mut FlatAssignment<'e, Region<K>>,
     tuple: &mut Solution,
 ) -> Result<(), ExecError> {
     if level == ctx.unknowns.len() {
         ctx.stats.full_system_checks += 1;
-        if check_system(&ctx.alg, &query.system.constraints, assign)? {
+        if check_system_in(&ctx.alg, &query.system.constraints, assign)? {
             ctx.stats.solutions += 1;
             ctx.solutions.push(tuple.clone());
         }
@@ -187,22 +370,13 @@ fn naive_rec<const K: usize>(
         }
         ctx.stats.partial_tuples += 1;
         ctx.stats.index_candidates += 1;
-        assign.bind(
-            var,
-            ctx.db
-                .region(ObjectRef {
-                    collection: coll,
-                    index,
-                })
-                .clone(),
-        );
-        tuple.insert(
-            var,
-            ObjectRef {
-                collection: coll,
-                index,
-            },
-        );
+        let obj = ObjectRef {
+            collection: coll,
+            index,
+        };
+        assign.bind(var, ctx.db.region(obj));
+        ctx.stats.regions_bound += 1;
+        tuple.insert(var, obj);
         naive_rec(ctx, query, level + 1, assign, tuple)?;
         tuple.remove(&var);
         assign.unbind(var);
@@ -217,14 +391,15 @@ pub fn compile_triangular<const K: usize>(
     db: &SpatialDatabase<K>,
     query: &Query<K>,
 ) -> Result<TriangularSystem, ExecError> {
-    let (order, _, _) = prepare(db, query)?;
+    let prep = prepare(db, query)?;
     let normal = query.system.normalize();
-    Ok(triangularize(&normal, &order))
+    Ok(triangularize(&normal, &prep.order))
 }
 
 /// Early pruning with exact solved rows, candidates from full collection
 /// scans (no spatial index). Isolates the benefit of the triangular form
-/// from the benefit of range queries.
+/// from the benefit of range queries (the bbox prefilter still applies,
+/// so the ablation measures the index's *retrieval* savings).
 pub fn triangular_execute<const K: usize>(
     db: &SpatialDatabase<K>,
     query: &Query<K>,
@@ -267,53 +442,34 @@ fn run_optimized<const K: usize>(
     kind: Option<IndexKind>,
     options: ExecOptions,
 ) -> Result<QueryResult, ExecError> {
-    let (order, mut assign, unknowns) = prepare(db, query)?;
+    let prep = prepare(db, query)?;
     let normal = query.system.normalize();
-    let tri = triangularize(&normal, &order);
+    let tri = triangularize(&normal, &prep.order);
     let plan: BboxPlan<K> = BboxPlan::compile(&tri);
+    let alg = db.algebra();
+    let mut stats = ExecStats::default();
+    let empty = |stats: ExecStats| QueryResult {
+        solutions: Vec::new(),
+        stats,
+    };
+    if !plan.satisfiable {
+        return Ok(empty(stats));
+    }
+    let Some((mut assign, mut boxes)) =
+        bind_knowns(&alg, &plan, &prep.knowns, prep.max_var, &mut stats)?
+    else {
+        return Ok(empty(stats));
+    };
     let mut ctx = Ctx {
         db,
-        alg: db.algebra(),
-        unknowns,
-        stats: ExecStats::default(),
+        alg,
+        unknowns: prep.unknowns,
+        stats,
         solutions: Vec::new(),
         options,
     };
-    if !plan.satisfiable {
-        return Ok(QueryResult {
-            solutions: ctx.solutions,
-            stats: ctx.stats,
-        });
-    }
-    // Validate the known-variable rows once (the rows of known vars are
-    // the paper's integrity check on the query inputs).
-    let known: std::collections::BTreeSet<Var> =
-        query.known_vars().iter().map(|&(v, _)| v).collect();
-    for row in &tri.rows {
-        if known.contains(&row.var) {
-            ctx.stats.exact_row_checks += 1;
-            if !row.check(&ctx.alg, &assign)? {
-                ctx.stats.row_rejections += 1;
-                return Ok(QueryResult {
-                    solutions: ctx.solutions,
-                    stats: ctx.stats,
-                });
-            }
-        }
-    }
-    // Boxes of bound variables, indexed by Var::index, for plan eval.
-    let max_var = order
-        .iter()
-        .map(|v| v.index())
-        .max()
-        .map(|m| m + 1)
-        .unwrap_or(0);
-    let mut boxes: Vec<Bbox<K>> = vec![Bbox::Empty; max_var];
-    for (v, _) in query.known_vars() {
-        boxes[v.index()] = assign.get(v).expect("known bound").bbox();
-    }
     let mut tuple = BTreeMap::new();
-    let mut candidates_buf = Vec::new();
+    let mut bufs = level_bufs(ctx.unknowns.len());
     opt_rec(
         &mut ctx,
         &plan,
@@ -322,7 +478,7 @@ fn run_optimized<const K: usize>(
         &mut assign,
         &mut boxes,
         &mut tuple,
-        &mut candidates_buf,
+        &mut bufs,
     )?;
     Ok(QueryResult {
         solutions: ctx.solutions,
@@ -331,15 +487,15 @@ fn run_optimized<const K: usize>(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn opt_rec<const K: usize>(
-    ctx: &mut Ctx<'_, K>,
+fn opt_rec<'e, const K: usize>(
+    ctx: &mut Ctx<'e, K>,
     plan: &BboxPlan<K>,
     kind: Option<IndexKind>,
     level: usize,
-    assign: &mut Assignment<Region<K>>,
-    boxes: &mut Vec<Bbox<K>>,
+    assign: &mut FlatAssignment<'e, Region<K>>,
+    boxes: &mut [Bbox<K>],
     tuple: &mut Solution,
-    _buf: &mut Vec<u64>,
+    bufs: &mut [LevelBuf],
 ) -> Result<(), ExecError> {
     if level == ctx.unknowns.len() {
         ctx.stats.solutions += 1;
@@ -348,48 +504,28 @@ fn opt_rec<const K: usize>(
     }
     let (var, coll) = ctx.unknowns[level];
     let row = plan.row_for(var).expect("plan has a row per variable");
+    let (buf, rest) = bufs.split_first_mut().expect("buffer per level");
+    let q = gather_candidates(ctx.db, coll, kind, row, boxes, buf);
+    ctx.stats.index_candidates += buf.candidates.len();
 
-    // Candidate generation.
-    let mut candidates: Vec<usize> = Vec::new();
-    match kind {
-        Some(k) => {
-            let lookup = |i: usize| boxes.get(i).copied().unwrap_or(Bbox::Empty);
-            let q = row.corner_query(lookup);
-            let mut ids = Vec::new();
-            if !q.is_unsatisfiable() {
-                ctx.db.query_collection(coll, k, &q, &mut ids);
-            }
-            candidates.extend(ids.into_iter().map(|id| id as usize));
-            // Empty-region objects never appear in corner queries but
-            // may still satisfy the row; keep execution exact.
-            candidates.extend_from_slice(ctx.db.empty_objects(coll));
-        }
-        None => candidates.extend(ctx.db.object_indices(coll)),
-    }
-    ctx.stats.index_candidates += candidates.len();
-
-    for index in candidates {
+    for &index in &buf.candidates {
         if ctx.done() {
             return Ok(());
         }
-        ctx.stats.partial_tuples += 1;
         let obj = ObjectRef {
             collection: coll,
             index,
         };
-        assign.bind(var, ctx.db.region(obj).clone());
-        ctx.stats.exact_row_checks += 1;
-        let ok = row.exact.check(&ctx.alg, assign)?;
-        if ok {
-            boxes[var.index()] = ctx.db.region(obj).bbox();
+        if let Some(bb) =
+            try_candidate(ctx.db, &ctx.alg, row, &q, var, obj, assign, &mut ctx.stats)?
+        {
+            boxes[var.index()] = bb;
             tuple.insert(var, obj);
-            opt_rec(ctx, plan, kind, level + 1, assign, boxes, tuple, _buf)?;
+            opt_rec(ctx, plan, kind, level + 1, assign, boxes, tuple, rest)?;
             tuple.remove(&var);
             boxes[var.index()] = Bbox::Empty;
-        } else {
-            ctx.stats.row_rejections += 1;
+            assign.unbind(var);
         }
-        assign.unbind(var);
     }
     Ok(())
 }
@@ -661,5 +797,97 @@ mod tests {
             assert_eq!(r.solutions.len(), 1);
             assert_eq!(r.solutions[0].values().next().unwrap().index, 1);
         }
+    }
+
+    #[test]
+    fn prefilter_never_changes_solutions() {
+        // The bbox prefilter is a necessary condition for the exact
+        // row, so it may only skip region algebra — never a solution.
+        // Checked on both reference scenarios against the naive oracle.
+        for (db, q) in [smuggler_db(), overlay_db()] {
+            let oracle = solution_names(&db, &q, &naive_execute(&db, &q).unwrap());
+            let tri = triangular_execute(&db, &q).unwrap();
+            assert!(
+                tri.stats.bbox_prefilter_rejections > 0,
+                "full-scan candidates exercise the prefilter"
+            );
+            assert_eq!(oracle, solution_names(&db, &q, &tri));
+            for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+                let bbox = bbox_execute(&db, &q, kind).unwrap();
+                assert_eq!(oracle, solution_names(&db, &q, &bbox), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefilter_counters_are_consistent() {
+        let (db, q) = smuggler_db();
+        let r = triangular_execute(&db, &q).unwrap();
+        // Every candidate is either prefiltered or bound + row-checked.
+        assert_eq!(
+            r.stats.partial_tuples,
+            r.stats.bbox_prefilter_rejections + r.stats.regions_bound
+        );
+        // Row checks = one per bound candidate + one per known variable
+        // (C and A are validated up front).
+        assert_eq!(r.stats.exact_row_checks, r.stats.regions_bound + 2);
+    }
+
+    /// The allocation-regression smoke test: executing the map workload
+    /// performs **zero** `Region` clones in the candidate loops — the
+    /// executors bind regions by reference. Counter-based (thread-local,
+    /// debug builds), so CI enforces it deterministically.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn executors_perform_zero_region_clones() {
+        use crate::workload::{map_workload, MapParams};
+        use scq_region::region::clone_counter;
+
+        let mut db = SpatialDatabase::new(AaBox::new([0.0, 0.0], [1000.0, 1000.0]));
+        let w = map_workload(
+            &mut db,
+            5,
+            &MapParams {
+                n_states: 6,
+                n_towns: 16,
+                n_roads: 48,
+                useful_road_fraction: 0.15,
+            },
+        );
+        let sys =
+            parse_system("A <= C; B <= C; R <= A | B | T; R & A != 0; R & T != 0; T < C").unwrap();
+        let q = Query::new(sys)
+            .known("C", w.country.clone())
+            .known("A", w.area.clone())
+            .from_collection("T", w.towns)
+            .from_collection("R", w.roads)
+            .from_collection("B", w.states)
+            .with_order(&["T", "R", "B"]);
+
+        clone_counter::reset();
+        let bbox = bbox_execute(&db, &q, IndexKind::RTree).unwrap();
+        assert_eq!(
+            clone_counter::count(),
+            0,
+            "bbox executor must not clone regions"
+        );
+        let tri = triangular_execute(&db, &q).unwrap();
+        assert_eq!(
+            clone_counter::count(),
+            0,
+            "triangular executor must not clone regions"
+        );
+        let naive = naive_execute(&db, &q).unwrap();
+        assert_eq!(
+            clone_counter::count(),
+            0,
+            "naive executor must not clone regions"
+        );
+        assert_eq!(bbox.stats.solutions, naive.stats.solutions);
+        assert_eq!(tri.stats.solutions, naive.stats.solutions);
+        assert!(
+            naive.stats.regions_bound > 0,
+            "the search actually bound regions"
+        );
     }
 }

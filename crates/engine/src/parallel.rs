@@ -1,32 +1,176 @@
-//! Parallel query execution.
+//! Parallel query execution over a shared work queue.
 //!
-//! The backtracking search is embarrassingly parallel across the *first*
-//! retrieval level: each top-level candidate roots an independent
-//! subtree (the database is immutable during execution and every region
-//! operation is pure). [`bbox_execute_parallel`] partitions the first
-//! level's index candidates across scoped threads and merges solutions
-//! and statistics.
+//! The backtracking search parallelizes at *every* level, not just the
+//! first: workers pull subtree tasks from a shared queue, and while
+//! exploring a subtree they **donate** accepted child subtrees back to
+//! the queue whenever it runs low — so a query whose first level has
+//! two fat candidates still spreads across all workers, where the old
+//! first-level-only partitioning would have used two.
 //!
-//! Semantics match [`crate::bbox_execute`] exactly — same solution set —
-//! except that solution *order* follows the partition and, with
-//! [`ExecOptions::max_solutions`], the cap is enforced per worker before
-//! the final merge truncates, so slightly more work than the sequential
-//! cap may be performed.
+//! A task is a validated prefix of object indices: re-deriving it on
+//! the receiving worker is a handful of by-reference binds into a
+//! [`FlatAssignment`] (the zero-clone core makes splitting cheap — no
+//! region is ever copied between workers). Candidate generation, the
+//! bbox prefilter, and the exact row check are the same helpers the
+//! sequential executor uses ([`crate::exec`]), so the two executors
+//! cannot drift.
+//!
+//! Semantics match [`crate::bbox_execute`] exactly — same solution set,
+//! in nondeterministic order. [`ExecOptions::max_solutions`] is
+//! enforced by a **shared atomic counter**: the worker that claims the
+//! last slot raises a stop flag that halts every worker at its next
+//! candidate, so a capped parallel run does only marginally more work
+//! than the sequential capped run (the old per-worker cap did up to
+//! `threads ×` the work and truncated after the merge).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
+use scq_algebra::FlatAssignment;
 use scq_bbox::Bbox;
-use scq_boolean::Var;
 use scq_core::plan::BboxPlan;
 use scq_core::triangularize;
+use scq_region::{Region, RegionAlgebra};
 
-use crate::database::{ObjectRef, SpatialDatabase};
-use crate::exec::{ExecError, ExecOptions, QueryResult, Solution};
+use crate::database::{CollectionId, ObjectRef, SpatialDatabase};
+use crate::exec::{
+    bind_knowns, gather_candidates, level_bufs, prepare, try_candidate, ExecError, ExecOptions,
+    LevelBuf, QueryResult, Solution,
+};
 use crate::query::{IndexKind, Query};
 use crate::stats::ExecStats;
 
-/// Executes the query like [`crate::bbox_execute`], fanning the
-/// top-level candidates out over `threads` workers.
+/// A unit of work: a **validated** prefix of the retrieval order plus
+/// the still-untried candidates at the next level. The receiving worker
+/// rebinds the prefix (no row re-checks, no re-gather) and processes
+/// the pending candidates.
+struct Task {
+    prefix: Vec<usize>,
+    pending: Vec<usize>,
+}
+
+struct QueueState {
+    tasks: VecDeque<Task>,
+    /// Workers currently processing a task (for termination detection).
+    active: usize,
+}
+
+/// Shared coordination state for one parallel execution.
+struct Shared {
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    /// Approximate queue length, readable without the lock (workers use
+    /// it to decide whether to donate subtrees).
+    queue_len: AtomicUsize,
+    /// Raised when the solution cap is reached or a worker errored.
+    stop: AtomicBool,
+    /// Solution slots claimed so far (only consulted with a cap).
+    claimed: AtomicUsize,
+    /// Queue lengths below this trigger donation.
+    hunger: usize,
+}
+
+impl Shared {
+    fn new(threads: usize) -> Self {
+        Shared {
+            queue: Mutex::new(QueueState {
+                tasks: VecDeque::new(),
+                active: 0,
+            }),
+            available: Condvar::new(),
+            queue_len: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            claimed: AtomicUsize::new(0),
+            hunger: threads,
+        }
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    fn hungry(&self) -> bool {
+        self.queue_len.load(Ordering::Relaxed) < self.hunger
+    }
+
+    fn push(&self, task: Task) {
+        let mut st = self.queue.lock().expect("queue poisoned");
+        st.tasks.push_back(task);
+        self.queue_len.store(st.tasks.len(), Ordering::Relaxed);
+        self.available.notify_one();
+    }
+
+    /// Blocks until a task is available, every worker is idle (search
+    /// exhausted), or the stop flag is raised.
+    fn pop(&self) -> Option<Task> {
+        let mut st = self.queue.lock().expect("queue poisoned");
+        loop {
+            if self.stopped() {
+                self.available.notify_all();
+                return None;
+            }
+            if let Some(t) = st.tasks.pop_front() {
+                st.active += 1;
+                self.queue_len.store(st.tasks.len(), Ordering::Relaxed);
+                return Some(t);
+            }
+            if st.active == 0 {
+                self.available.notify_all();
+                return None;
+            }
+            st = self.available.wait(st).expect("queue poisoned");
+        }
+    }
+
+    /// Marks the current task finished; wakes waiters when the search
+    /// is exhausted.
+    fn finish(&self) {
+        let mut st = self.queue.lock().expect("queue poisoned");
+        st.active -= 1;
+        if st.active == 0 && st.tasks.is_empty() {
+            self.available.notify_all();
+        }
+    }
+
+    /// Claims a solution slot. Returns whether the solution should be
+    /// recorded; raises the stop flag on claiming the last slot.
+    fn claim(&self, max: Option<usize>) -> bool {
+        let Some(max) = max else { return true };
+        let prev = self.claimed.fetch_add(1, Ordering::SeqCst);
+        if prev >= max {
+            // Already full (also covers max == 0, where no slot ever
+            // existed): make sure the stop flag is up and drop it.
+            self.halt();
+            return false;
+        }
+        if prev + 1 == max {
+            self.halt();
+        }
+        true
+    }
+
+    /// Raises the stop flag and wakes every waiting worker.
+    fn halt(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+    }
+}
+
+/// Read-only search environment shared by all workers.
+struct Env<'e, const K: usize> {
+    db: &'e SpatialDatabase<K>,
+    alg: RegionAlgebra<K>,
+    plan: &'e BboxPlan<K>,
+    kind: IndexKind,
+    unknowns: &'e [(scq_boolean::Var, CollectionId)],
+    options: ExecOptions,
+    shared: &'e Shared,
+}
+
+/// Executes the query like [`crate::bbox_execute`], distributing
+/// subtrees of the search over `threads` workers through a shared work
+/// queue.
 ///
 /// `threads == 0` or `1`, or a query with no unknowns, falls back to the
 /// sequential executor.
@@ -40,129 +184,67 @@ pub fn bbox_execute_parallel<const K: usize>(
     if threads <= 1 {
         return crate::exec::bbox_execute_opts(db, query, kind, options);
     }
-    query.validate().map_err(ExecError::InvalidQuery)?;
-    let order = query.retrieval_order(db);
-    let alg = db.algebra();
-    let mut base_assign = scq_algebra::Assignment::new();
-    for (v, r) in query.known_vars() {
-        base_assign.bind(v, alg.clamp(r));
-    }
-    let unknown_map: BTreeMap<Var, crate::database::CollectionId> =
-        query.unknown_vars().into_iter().collect();
-    let unknowns: Vec<(Var, crate::database::CollectionId)> = order
-        .iter()
-        .filter_map(|v| unknown_map.get(v).map(|&c| (*v, c)))
-        .collect();
-    if unknowns.is_empty() {
+    let prep = prepare(db, query)?;
+    if prep.unknowns.is_empty() {
         return crate::exec::bbox_execute_opts(db, query, kind, options);
     }
-
     let normal = query.system.normalize();
-    let tri = triangularize(&normal, &order);
+    let tri = triangularize(&normal, &prep.order);
     let plan: BboxPlan<K> = BboxPlan::compile(&tri);
-    let mut merged = QueryResult {
+    let alg = db.algebra();
+    let mut stats = ExecStats::default();
+    let empty = |stats: ExecStats| QueryResult {
         solutions: Vec::new(),
-        stats: ExecStats::default(),
+        stats,
     };
-    if !plan.satisfiable {
-        return Ok(merged);
+    if !plan.satisfiable || options.max_solutions == Some(0) {
+        return Ok(empty(stats));
     }
-    // Known-variable rows once, up front.
-    let known_vars: std::collections::BTreeSet<Var> =
-        query.known_vars().iter().map(|&(v, _)| v).collect();
-    for row in &tri.rows {
-        if known_vars.contains(&row.var) {
-            merged.stats.exact_row_checks += 1;
-            if !row.check(&alg, &base_assign)? {
-                merged.stats.row_rejections += 1;
-                return Ok(merged);
-            }
-        }
-    }
+    // Knowns: bound once here for validation, and cloned (slot vector
+    // of references only) by each worker from the same arena.
+    let Some((base_assign, base_boxes)) =
+        bind_knowns(&alg, &plan, &prep.knowns, prep.max_var, &mut stats)?
+    else {
+        return Ok(empty(stats));
+    };
 
-    // First-level candidates.
-    let max_var = order
-        .iter()
-        .map(|v| v.index())
-        .max()
-        .map(|m| m + 1)
-        .unwrap_or(0);
-    let mut boxes: Vec<Bbox<K>> = vec![Bbox::Empty; max_var];
-    for (v, _) in query.known_vars() {
-        boxes[v.index()] = base_assign.get(v).expect("bound").bbox();
-    }
-    let (first_var, first_coll) = unknowns[0];
-    let first_row = plan.row_for(first_var).expect("row per variable");
-    let mut candidates: Vec<usize> = Vec::new();
-    {
-        let lookup = |i: usize| boxes.get(i).copied().unwrap_or(Bbox::Empty);
-        let q = first_row.corner_query(lookup);
-        let mut ids = Vec::new();
-        if !q.is_unsatisfiable() {
-            db.query_collection(first_coll, kind, &q, &mut ids);
-        }
-        candidates.extend(ids.into_iter().map(|id| id as usize));
-        candidates.extend_from_slice(db.empty_objects(first_coll));
-    }
-    merged.stats.index_candidates += candidates.len();
+    // Gather the first level once and seed the queue with it; deeper
+    // levels are gathered by whichever worker first opens them.
+    let first_row = plan
+        .row_for(prep.unknowns[0].0)
+        .expect("plan has a row per variable");
+    let mut seed_buf = level_bufs(1);
+    gather_candidates(
+        db,
+        prep.unknowns[0].1,
+        Some(kind),
+        first_row,
+        &base_boxes,
+        &mut seed_buf[0],
+    );
+    stats.index_candidates += seed_buf[0].candidates.len();
 
-    let chunk = candidates.len().div_ceil(threads).max(1);
+    let shared = Shared::new(threads);
+    shared.push(Task {
+        prefix: Vec::new(),
+        pending: std::mem::take(&mut seed_buf[0].candidates),
+    });
+
     let results: Vec<Result<QueryResult, ExecError>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for chunk_ids in candidates.chunks(chunk) {
-            let plan = &plan;
+        for _ in 0..threads {
+            let env = Env {
+                db,
+                alg: db.algebra(),
+                plan: &plan,
+                kind,
+                unknowns: &prep.unknowns,
+                options,
+                shared: &shared,
+            };
             let base_assign = &base_assign;
-            let boxes = &boxes;
-            let unknowns = &unknowns;
-            let alg = db.algebra();
-            handles.push(scope.spawn(move || {
-                let mut local = QueryResult {
-                    solutions: Vec::new(),
-                    stats: ExecStats::default(),
-                };
-                let mut assign = base_assign.clone();
-                let mut my_boxes = boxes.clone();
-                let mut tuple: Solution = BTreeMap::new();
-                for &index in chunk_ids {
-                    if options
-                        .max_solutions
-                        .is_some_and(|m| local.solutions.len() >= m)
-                    {
-                        break;
-                    }
-                    local.stats.partial_tuples += 1;
-                    let obj = ObjectRef {
-                        collection: unknowns[0].1,
-                        index,
-                    };
-                    assign.bind(unknowns[0].0, db.region(obj).clone());
-                    local.stats.exact_row_checks += 1;
-                    let row = plan.row_for(unknowns[0].0).expect("row");
-                    if row.exact.check(&alg, &assign)? {
-                        my_boxes[unknowns[0].0.index()] = db.region(obj).bbox();
-                        tuple.insert(unknowns[0].0, obj);
-                        subtree(
-                            db,
-                            &alg,
-                            plan,
-                            Some(kind),
-                            unknowns,
-                            1,
-                            &mut assign,
-                            &mut my_boxes,
-                            &mut tuple,
-                            &mut local,
-                            options,
-                        )?;
-                        tuple.remove(&unknowns[0].0);
-                        my_boxes[unknowns[0].0.index()] = Bbox::Empty;
-                    } else {
-                        local.stats.row_rejections += 1;
-                    }
-                    assign.unbind(unknowns[0].0);
-                }
-                Ok(local)
-            }));
+            let base_boxes = &base_boxes;
+            handles.push(scope.spawn(move || worker(env, base_assign, base_boxes)));
         }
         handles
             .into_iter()
@@ -170,6 +252,7 @@ pub fn bbox_execute_parallel<const K: usize>(
             .collect()
     });
 
+    let mut merged = empty(stats);
     for r in results {
         let r = r?;
         merged.stats.merge(&r.stats);
@@ -182,87 +265,173 @@ pub fn bbox_execute_parallel<const K: usize>(
     Ok(merged)
 }
 
-/// Sequential exploration below the parallel first level (mirrors the
-/// sequential executor's recursion).
-#[allow(clippy::too_many_arguments)]
-fn subtree<const K: usize>(
-    db: &SpatialDatabase<K>,
-    alg: &scq_region::RegionAlgebra<K>,
-    plan: &BboxPlan<K>,
-    kind: Option<IndexKind>,
-    unknowns: &[(Var, crate::database::CollectionId)],
-    level: usize,
-    assign: &mut scq_algebra::Assignment<scq_region::Region<K>>,
-    boxes: &mut Vec<Bbox<K>>,
-    tuple: &mut Solution,
-    local: &mut QueryResult,
-    options: ExecOptions,
-) -> Result<(), ExecError> {
-    if options
-        .max_solutions
-        .is_some_and(|m| local.solutions.len() >= m)
-    {
-        return Ok(());
-    }
-    if level == unknowns.len() {
-        local.solutions.push(tuple.clone());
-        return Ok(());
-    }
-    let (var, coll) = unknowns[level];
-    let row = plan.row_for(var).expect("row per variable");
-    let mut candidates: Vec<usize> = Vec::new();
-    match kind {
-        Some(k) => {
-            let lookup = |i: usize| boxes.get(i).copied().unwrap_or(Bbox::Empty);
-            let q = row.corner_query(lookup);
-            let mut ids = Vec::new();
-            if !q.is_unsatisfiable() {
-                db.query_collection(coll, k, &q, &mut ids);
-            }
-            candidates.extend(ids.into_iter().map(|id| id as usize));
-            candidates.extend_from_slice(db.empty_objects(coll));
+/// Worker loop: pop a task, rebind its validated prefix, explore the
+/// subtree (donating children while the queue is hungry), undo, repeat.
+fn worker<'e, const K: usize>(
+    env: Env<'e, K>,
+    base_assign: &FlatAssignment<'e, Region<K>>,
+    base_boxes: &[Bbox<K>],
+) -> Result<QueryResult, ExecError> {
+    let mut local = QueryResult {
+        solutions: Vec::new(),
+        stats: ExecStats::default(),
+    };
+    let mut assign = base_assign.clone();
+    let mut boxes = base_boxes.to_vec();
+    let mut tuple: Solution = BTreeMap::new();
+    let mut path: Vec<usize> = Vec::new();
+    let mut bufs = level_bufs(env.unknowns.len());
+
+    while let Some(task) = env.shared.pop() {
+        // Rebind the validated prefix — by-reference binds only, no row
+        // re-checks, no stats.
+        let level = task.prefix.len();
+        for (i, &index) in task.prefix.iter().enumerate() {
+            let (var, coll) = env.unknowns[i];
+            let obj = ObjectRef {
+                collection: coll,
+                index,
+            };
+            assign.bind(var, env.db.region(obj));
+            boxes[var.index()] = env.db.bbox(obj);
+            tuple.insert(var, obj);
         }
-        None => candidates.extend(db.object_indices(coll)),
+        path.clone_from(&task.prefix);
+
+        // Rebuild the level's corner query from the prefix boxes (no
+        // index round-trip — the candidates travel with the task).
+        let (var, _) = env.unknowns[level];
+        let row = env.plan.row_for(var).expect("plan has a row per variable");
+        let lookup = |i: usize| boxes.get(i).copied().unwrap_or(Bbox::Empty);
+        let q = row.corner_query(lookup);
+
+        let result = process_level(
+            &env,
+            level,
+            row,
+            &q,
+            &task.pending,
+            &mut assign,
+            &mut boxes,
+            &mut tuple,
+            &mut path,
+            &mut bufs[level + 1..],
+            &mut local,
+        );
+
+        // Undo the prefix bindings regardless of outcome.
+        for i in 0..level {
+            let var = env.unknowns[i].0;
+            assign.unbind(var);
+            boxes[var.index()] = base_boxes[var.index()];
+            tuple.remove(&var);
+        }
+        path.clear();
+        env.shared.finish();
+
+        if let Err(e) = result {
+            env.shared.halt();
+            return Err(e);
+        }
     }
-    local.stats.index_candidates += candidates.len();
-    for index in candidates {
-        if options
-            .max_solutions
-            .is_some_and(|m| local.solutions.len() >= m)
-        {
+    Ok(local)
+}
+
+/// Processes a batch of candidates at one level: the parallel twin of
+/// the sequential `opt_rec` loop, plus steal-half donation and shared
+/// stop/claim coordination.
+///
+/// When the queue runs hungry, the worker donates the **second half**
+/// of its remaining batch as one task (so splitting is `O(log n)` per
+/// level, not one queue round-trip per candidate) and keeps the first
+/// half.
+#[allow(clippy::too_many_arguments)]
+fn process_level<'e, const K: usize>(
+    env: &Env<'e, K>,
+    level: usize,
+    row: &scq_core::plan::CompiledRow<K>,
+    q: &scq_bbox::CornerQuery<K>,
+    pending: &[usize],
+    assign: &mut FlatAssignment<'e, Region<K>>,
+    boxes: &mut [Bbox<K>],
+    tuple: &mut Solution,
+    path: &mut Vec<usize>,
+    below: &mut [LevelBuf],
+    local: &mut QueryResult,
+) -> Result<(), ExecError> {
+    let (var, _) = env.unknowns[level];
+    let mut end = pending.len();
+    let mut pos = 0;
+    while pos < end {
+        if env.shared.stopped() {
             return Ok(());
         }
-        local.stats.partial_tuples += 1;
+        if end - pos >= 2 && env.shared.hungry() {
+            let mid = pos + (end - pos) / 2;
+            env.shared.push(Task {
+                prefix: path.clone(),
+                pending: pending[mid..end].to_vec(),
+            });
+            end = mid;
+            continue;
+        }
+        let index = pending[pos];
+        pos += 1;
         let obj = ObjectRef {
-            collection: coll,
+            collection: env.unknowns[level].1,
             index,
         };
-        assign.bind(var, db.region(obj).clone());
-        local.stats.exact_row_checks += 1;
-        if row.exact.check(alg, assign)? {
-            boxes[var.index()] = db.region(obj).bbox();
+        if let Some(bb) =
+            try_candidate(env.db, &env.alg, row, q, var, obj, assign, &mut local.stats)?
+        {
+            boxes[var.index()] = bb;
             tuple.insert(var, obj);
-            subtree(
-                db,
-                alg,
-                plan,
-                kind,
-                unknowns,
-                level + 1,
-                assign,
-                boxes,
-                tuple,
-                local,
-                options,
-            )?;
+            path.push(index);
+            descend(env, level + 1, assign, boxes, tuple, path, below, local)?;
+            path.pop();
             tuple.remove(&var);
             boxes[var.index()] = Bbox::Empty;
-        } else {
-            local.stats.row_rejections += 1;
+            assign.unbind(var);
         }
-        assign.unbind(var);
     }
     Ok(())
+}
+
+/// Opens one level below a validated prefix: record a solution at the
+/// leaves, otherwise gather the level's candidates (into the worker's
+/// reusable buffer) and process them.
+#[allow(clippy::too_many_arguments)]
+fn descend<'e, const K: usize>(
+    env: &Env<'e, K>,
+    level: usize,
+    assign: &mut FlatAssignment<'e, Region<K>>,
+    boxes: &mut [Bbox<K>],
+    tuple: &mut Solution,
+    path: &mut Vec<usize>,
+    bufs: &mut [LevelBuf],
+    local: &mut QueryResult,
+) -> Result<(), ExecError> {
+    if level == env.unknowns.len() {
+        if env.shared.claim(env.options.max_solutions) {
+            local.solutions.push(tuple.clone());
+        }
+        return Ok(());
+    }
+    let (var, coll) = env.unknowns[level];
+    let row = env.plan.row_for(var).expect("plan has a row per variable");
+    let (buf, rest) = bufs.split_first_mut().expect("buffer per level");
+    let q = gather_candidates(env.db, coll, Some(env.kind), row, boxes, buf);
+    local.stats.index_candidates += buf.candidates.len();
+    // The batch is processed straight out of the reusable buffer
+    // (moved around the recursion and restored, so the pool keeps its
+    // capacity); a donated second half is copied into its task, the
+    // retained first half is not.
+    let cands = std::mem::take(&mut buf.candidates);
+    let result = process_level(
+        env, level, row, &q, &cands, assign, boxes, tuple, path, rest, local,
+    );
+    buf.candidates = cands;
+    result
 }
 
 #[cfg(test)]
@@ -314,6 +483,23 @@ mod tests {
     }
 
     #[test]
+    fn uncapped_parallel_does_the_same_work() {
+        // Donation moves subtrees between workers but must not duplicate
+        // or skip them: the aggregate counters equal the sequential
+        // run's exactly.
+        let (db, q) = setup();
+        let seq = bbox_execute(&db, &q, IndexKind::RTree).unwrap();
+        for threads in [2, 5] {
+            let par = bbox_execute_parallel(&db, &q, IndexKind::RTree, threads, ExecOptions::all())
+                .unwrap();
+            assert_eq!(par.stats.partial_tuples, seq.stats.partial_tuples);
+            assert_eq!(par.stats.index_candidates, seq.stats.index_candidates);
+            assert_eq!(par.stats.exact_row_checks, seq.stats.exact_row_checks);
+            assert_eq!(par.stats.regions_bound, seq.stats.regions_bound);
+        }
+    }
+
+    #[test]
     fn single_thread_falls_back() {
         let (db, q) = setup();
         let seq = bbox_execute(&db, &q, IndexKind::GridFile).unwrap();
@@ -337,6 +523,58 @@ mod tests {
         .unwrap();
         assert!(capped.solutions.len() <= 2);
         assert!(!capped.solutions.is_empty());
+    }
+
+    #[test]
+    fn capped_parallel_stops_promptly() {
+        // The shared atomic counter stops *all* workers once the cap is
+        // reached, where the old per-worker cap let every worker run to
+        // its own cap and truncated after the merge. Two bounds, both
+        // safe under real concurrency (workers race in disjoint
+        // subtrees until the stop flag rises, so per-run counts are
+        // nondeterministic on multicore hosts):
+        // 1. each concurrent worker does at most about the sequential
+        //    capped work before somebody fills the cap;
+        // 2. the run explores a small fraction of the full search.
+        let (db, q) = setup();
+        let threads = 4;
+        let cap = ExecOptions {
+            max_solutions: Some(2),
+        };
+        let uncapped = bbox_execute(&db, &q, IndexKind::RTree).unwrap();
+        let seq = crate::exec::bbox_execute_opts(&db, &q, IndexKind::RTree, cap).unwrap();
+        let par = bbox_execute_parallel(&db, &q, IndexKind::RTree, threads, cap).unwrap();
+        assert_eq!(par.solutions.len(), 2);
+        let per_worker_bound = threads * (seq.stats.partial_tuples + 16);
+        assert!(
+            par.stats.partial_tuples <= per_worker_bound,
+            "parallel capped run over-worked: {} vs bound {}",
+            par.stats.partial_tuples,
+            per_worker_bound
+        );
+        assert!(
+            par.stats.partial_tuples < uncapped.stats.partial_tuples / 2,
+            "capped run should explore a fraction of the full search: {} vs {}",
+            par.stats.partial_tuples,
+            uncapped.stats.partial_tuples
+        );
+    }
+
+    #[test]
+    fn zero_cap_returns_immediately() {
+        let (db, q) = setup();
+        let par = bbox_execute_parallel(
+            &db,
+            &q,
+            IndexKind::RTree,
+            4,
+            ExecOptions {
+                max_solutions: Some(0),
+            },
+        )
+        .unwrap();
+        assert!(par.solutions.is_empty());
+        assert_eq!(par.stats.partial_tuples, 0, "no search work at cap 0");
     }
 
     #[test]

@@ -21,6 +21,11 @@ pub struct ExecStats {
     pub row_rejections: usize,
     /// Full constraint-system evaluations (naive executor only).
     pub full_system_checks: usize,
+    /// Candidates rejected by the cheap bbox-vs-corner-query prefilter
+    /// before any region algebra ran.
+    pub bbox_prefilter_rejections: usize,
+    /// Regions bound (by reference) into the search assignment.
+    pub regions_bound: usize,
 }
 
 impl ExecStats {
@@ -32,6 +37,8 @@ impl ExecStats {
         self.exact_row_checks += other.exact_row_checks;
         self.row_rejections += other.row_rejections;
         self.full_system_checks += other.full_system_checks;
+        self.bbox_prefilter_rejections += other.bbox_prefilter_rejections;
+        self.regions_bound += other.regions_bound;
     }
 }
 
@@ -39,13 +46,16 @@ impl std::fmt::Display for ExecStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "solutions={} partials={} candidates={} row_checks={} row_rejects={} full_checks={}",
+            "solutions={} partials={} candidates={} row_checks={} row_rejects={} \
+             full_checks={} bbox_rejects={} bound={}",
             self.solutions,
             self.partial_tuples,
             self.index_candidates,
             self.exact_row_checks,
             self.row_rejections,
-            self.full_system_checks
+            self.full_system_checks,
+            self.bbox_prefilter_rejections,
+            self.regions_bound
         )
     }
 }

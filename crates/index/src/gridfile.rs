@@ -167,23 +167,18 @@ impl<const K: usize> GridFile<K> {
     }
 }
 
-impl<const K: usize> SpatialIndex<K> for GridFile<K> {
-    fn insert(&mut self, id: u64, bbox: Bbox<K>) {
-        self.len += 1;
-        match corner_point(&bbox) {
-            None => self.empty_count += 1,
-            Some(p) => self.insert_point(p, id),
-        }
-    }
-
-    fn query_corner(&self, query: &CornerQuery<K>, out: &mut Vec<u64>) {
-        if query.is_unsatisfiable() || self.buckets.is_empty() {
-            return;
-        }
+impl<const K: usize> GridFile<K> {
+    /// [`SpatialIndex::query_corner`] body over caller-provided scratch.
+    fn query_with_scratch(
+        &self,
+        query: &CornerQuery<K>,
+        ranges: &mut [(u16, u16)],
+        key: &mut [u16],
+        out: &mut Vec<u64>,
+    ) {
         // Per corner dimension, the range of cell indices intersecting
         // the query interval.
-        let mut ranges: Vec<(u16, u16)> = Vec::with_capacity(2 * K);
-        for d in 0..2 * K {
+        for (d, range) in ranges.iter_mut().enumerate() {
             let (qlo, qhi) = if d < K {
                 (query.lo_min[d], query.lo_max[d])
             } else {
@@ -202,7 +197,7 @@ impl<const K: usize> SpatialIndex<K> for GridFile<K> {
             } else {
                 self.cell_index(d, qhi)
             };
-            ranges.push((lo_cell, hi_cell));
+            *range = (lo_cell, hi_cell);
         }
         // When the Cartesian product of cell ranges exceeds the number
         // of materialized buckets (common for weakly-constrained
@@ -213,10 +208,10 @@ impl<const K: usize> SpatialIndex<K> for GridFile<K> {
             .map(|&(lo, hi)| (hi - lo) as u128 + 1)
             .product();
         if product > self.buckets.len() as u128 {
-            for (key, bucket) in &self.buckets {
-                if key
+            for (cell, bucket) in &self.buckets {
+                if cell
                     .iter()
-                    .zip(&ranges)
+                    .zip(ranges.iter())
                     .all(|(&k, &(lo, hi))| lo <= k && k <= hi)
                 {
                     for (pt, id) in bucket {
@@ -230,9 +225,11 @@ impl<const K: usize> SpatialIndex<K> for GridFile<K> {
             return;
         }
         // Enumerate the Cartesian product of cell ranges.
-        let mut key: Vec<u16> = ranges.iter().map(|&(lo, _)| lo).collect();
+        for (d, slot) in key.iter_mut().enumerate() {
+            *slot = ranges[d].0;
+        }
         'cells: loop {
-            if let Some(bucket) = self.buckets.get(&key) {
+            if let Some(bucket) = self.buckets.get(&key[..]) {
                 for (pt, id) in bucket {
                     let b = Bbox::new(pt.0, pt.1);
                     if query.matches(&b) {
@@ -251,6 +248,36 @@ impl<const K: usize> SpatialIndex<K> for GridFile<K> {
                 }
             }
             break;
+        }
+    }
+}
+
+impl<const K: usize> SpatialIndex<K> for GridFile<K> {
+    fn insert(&mut self, id: u64, bbox: Bbox<K>) {
+        self.len += 1;
+        match corner_point(&bbox) {
+            None => self.empty_count += 1,
+            Some(p) => self.insert_point(p, id),
+        }
+    }
+
+    fn query_corner(&self, query: &CornerQuery<K>, out: &mut Vec<u64>) {
+        if query.is_unsatisfiable() || self.buckets.is_empty() {
+            return;
+        }
+        // Scratch for the cell ranges and the odometer key lives on the
+        // stack — queries are the executors' inner loop and must not
+        // allocate. `2K ≤ 16` covers every dimension the workspace
+        // uses; higher dimensions fall back to one heap scratch.
+        const MAX_SCRATCH: usize = 16;
+        if 2 * K <= MAX_SCRATCH {
+            let mut ranges = [(0u16, 0u16); MAX_SCRATCH];
+            let mut key = [0u16; MAX_SCRATCH];
+            self.query_with_scratch(query, &mut ranges[..2 * K], &mut key[..2 * K], out);
+        } else {
+            let mut ranges = vec![(0u16, 0u16); 2 * K];
+            let mut key = vec![0u16; 2 * K];
+            self.query_with_scratch(query, &mut ranges, &mut key, out);
         }
     }
 

@@ -9,9 +9,51 @@ use crate::aabox::AaBox;
 /// Invariant: the stored boxes are nonempty and pairwise disjoint, so
 /// [`Region::volume`] is a simple sum and emptiness is `boxes.is_empty()`.
 /// All constructors and operations maintain the invariant.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct Region<const K: usize> {
     boxes: Vec<AaBox<K>>,
+}
+
+impl<const K: usize> Clone for Region<K> {
+    fn clone(&self) -> Self {
+        #[cfg(debug_assertions)]
+        clone_counter::record();
+        Region {
+            boxes: self.boxes.clone(),
+        }
+    }
+}
+
+/// Debug-only accounting of [`Region`] deep clones.
+///
+/// The executors' hot loops are designed to bind regions by reference;
+/// the allocation-regression test in `scq-engine` resets this counter,
+/// runs a query, and asserts it stayed at zero. The counter is
+/// **thread-local** so concurrently running tests cannot pollute each
+/// other, and compiled only under `debug_assertions` so release builds
+/// pay nothing.
+#[cfg(debug_assertions)]
+pub mod clone_counter {
+    use std::cell::Cell;
+
+    thread_local! {
+        static CLONES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub(super) fn record() {
+        CLONES.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Number of `Region::clone` calls on this thread since the last
+    /// [`reset`].
+    pub fn count() -> u64 {
+        CLONES.with(|c| c.get())
+    }
+
+    /// Resets this thread's clone counter to zero.
+    pub fn reset() {
+        CLONES.with(|c| c.set(0));
+    }
 }
 
 impl<const K: usize> Region<K> {
@@ -95,7 +137,13 @@ impl<const K: usize> Region<K> {
 
     /// Set union.
     pub fn union(&self, other: &Region<K>) -> Region<K> {
-        let mut out = self.clone();
+        // Builds the result directly rather than via `Region::clone`:
+        // the debug clone counter tracks accidental deep clones of
+        // region *values* (executor hot loops), not the intrinsic data
+        // flow of set operations.
+        let mut out = Region {
+            boxes: self.boxes.clone(),
+        };
         for b in &other.boxes {
             out.insert_box(b);
         }
