@@ -458,7 +458,120 @@ fn b10() {
     }
 }
 
+/// Median of `reps` timed runs of `f`, in milliseconds.
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+/// CI smoke preset: a handful of representative measurements on small
+/// inputs, emitted as a JSON artifact (`BENCH_ci.json`) so the perf
+/// trajectory across PRs is machine-readable. Runs in seconds — it
+/// exists to catch order-of-magnitude regressions and keep the bench
+/// path building, not to replace `cargo bench`.
+fn smoke(path: &str) {
+    let mut rows: Vec<(&str, f64)> = Vec::new();
+
+    // Join executors on the small smuggler map.
+    let (db, q) = smuggler_setup(1120, 120);
+    rows.push((
+        "b1_bbox_rtree_120_roads_ms",
+        median_ms(5, || {
+            bbox_execute(&db, &q, IndexKind::RTree).unwrap();
+        }),
+    ));
+    rows.push((
+        "b1_triangular_120_roads_ms",
+        median_ms(5, || {
+            triangular_execute(&db, &q).unwrap();
+        }),
+    ));
+
+    // Range-query latency, 16 mixed probes per run.
+    let items = random_bboxes(7, 10_000, 3.0);
+    let rt = RTree::from_items(SplitStrategy::Quadratic, items.iter().copied());
+    let grid = GridFile::bulk_load(32, items.iter().copied());
+    let queries: Vec<scq_bbox::CornerQuery<2>> = (0..16)
+        .map(|i| {
+            let x = (i * 6) as f64;
+            scq_bbox::CornerQuery::unconstrained()
+                .and_overlaps(&Bbox::new([x, x], [x + 8.0, x + 8.0]))
+        })
+        .collect();
+    let mut out = Vec::new();
+    rows.push((
+        "b4_rtree_10k_16_queries_ms",
+        median_ms(5, || {
+            for q in &queries {
+                out.clear();
+                rt.query_corner(q, &mut out);
+            }
+        }),
+    ));
+    rows.push((
+        "b4_gridfile_10k_16_queries_ms",
+        median_ms(5, || {
+            for q in &queries {
+                out.clear();
+                grid.query_corner(q, &mut out);
+            }
+        }),
+    ));
+
+    // Incremental mutation maintenance: seeded churn over two
+    // collections, all three indexes maintained per op.
+    rows.push((
+        "mutation_churn_4k_ops_ms",
+        median_ms(3, || {
+            let mut db = scq_engine::SpatialDatabase::new(AaBox::new([0.0, 0.0], [1000.0, 1000.0]));
+            let a = db.collection("a");
+            let b = db.collection("b");
+            scq_engine::workload::churn(&mut db, 99, &[a, b], 4_000);
+        }),
+    ));
+
+    // Snapshot round trip of a mutated database.
+    let mut snap_db = scq_engine::SpatialDatabase::new(AaBox::new([0.0, 0.0], [1000.0, 1000.0]));
+    let a = snap_db.collection("a");
+    let b = snap_db.collection("b");
+    scq_engine::workload::churn(&mut snap_db, 7, &[a, b], 2_000);
+    rows.push((
+        "snapshot_roundtrip_churned_ms",
+        median_ms(5, || {
+            let bytes = scq_engine::snapshot::save(&snap_db);
+            let _db: scq_engine::SpatialDatabase<2> = scq_engine::snapshot::load(&bytes).unwrap();
+        }),
+    ));
+
+    let mut json = String::from("{\n  \"schema\": 1,\n  \"preset\": \"ci\",\n  \"benches\": [\n");
+    for (i, (name, ms)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"median_ms\": {ms:.4}}}{comma}\n"
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(path, &json).expect("write bench artifact");
+    println!("wrote {} measurements to {path}", rows.len());
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--smoke") {
+        let path = args
+            .get(i + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_ci.json");
+        smoke(path);
+        return;
+    }
     println!("# Experiment summary (generated by `cargo run --release -p scq-bench --bin experiments`)\n");
     b1();
     b2();

@@ -1,5 +1,22 @@
 //! The object store: named collections of regions with per-collection
 //! spatial indexes.
+//!
+//! # Mutation model
+//!
+//! The database is mutable end to end: [`SpatialDatabase::insert`]
+//! appends, [`SpatialDatabase::remove`] tombstones, and
+//! [`SpatialDatabase::update`] replaces an object's region in place.
+//! Every mutation maintains all three spatial indexes *incrementally*
+//! (R-tree delete/condense, grid-file bucket split/merge, scan
+//! swap-remove) plus the materialized bbox cache — nothing is rebuilt.
+//!
+//! Removal never shifts slots: an [`ObjectRef`] handed out by `insert`
+//! stays valid (and stable) for the lifetime of the database. A removed
+//! slot becomes a **tombstone**: it keeps its region for snapshot
+//! round-tripping but is invisible to indexes, executors and integrity
+//! checks. [`SpatialDatabase::collection_len`] counts all slots
+//! (tombstones included); [`SpatialDatabase::live_len`] counts only
+//! live objects. Tombstoned slots are never reused.
 
 use std::collections::HashMap;
 
@@ -29,11 +46,16 @@ struct Collection<const K: usize> {
     /// per-candidate bbox reads are one indexed load instead of a
     /// fragment scan.
     bboxes: Vec<Bbox<K>>,
+    /// Liveness per slot; `false` marks a tombstone. Slots are never
+    /// reused, so `ObjectRef`s stay stable across removals.
+    live: Vec<bool>,
+    /// Number of `true` entries in `live`.
+    live_count: usize,
     rtree: RTree<K>,
     grid: GridFile<K>,
     scan: ScanIndex<K>,
-    /// Objects whose region (hence bounding box) is empty; corner
-    /// queries cannot return them, so executors re-add them as
+    /// *Live* objects whose region (hence bounding box) is empty;
+    /// corner queries cannot return them, so executors re-add them as
     /// candidates to stay exact.
     empty_objects: Vec<usize>,
 }
@@ -84,6 +106,8 @@ impl<const K: usize> SpatialDatabase<K> {
             name: name.to_owned(),
             objects: Vec::new(),
             bboxes: Vec::new(),
+            live: Vec::new(),
+            live_count: 0,
             rtree: RTree::new(SplitStrategy::Quadratic),
             grid: GridFile::new(32),
             scan: ScanIndex::new(),
@@ -103,9 +127,20 @@ impl<const K: usize> SpatialDatabase<K> {
         &self.collections[id.0].name
     }
 
-    /// Number of objects in a collection.
+    /// Number of slots in a collection, tombstones included. Slot
+    /// indices range over `0..collection_len`.
     pub fn collection_len(&self, id: CollectionId) -> usize {
         self.collections[id.0].objects.len()
+    }
+
+    /// Number of live (non-tombstoned) objects in a collection.
+    pub fn live_len(&self, id: CollectionId) -> usize {
+        self.collections[id.0].live_count
+    }
+
+    /// Whether the object's slot is live (not tombstoned).
+    pub fn is_live(&self, obj: ObjectRef) -> bool {
+        self.collections[obj.collection.0].live[obj.index]
     }
 
     /// All collection ids.
@@ -126,6 +161,78 @@ impl<const K: usize> SpatialDatabase<K> {
         c.scan.insert(index as u64, bbox);
         c.bboxes.push(bbox);
         c.objects.push(region);
+        c.live.push(true);
+        c.live_count += 1;
+        ObjectRef {
+            collection: coll,
+            index,
+        }
+    }
+
+    /// Tombstones an object: every index forgets it incrementally, its
+    /// slot stays allocated (so other `ObjectRef`s keep their meaning),
+    /// and executors will never bind it again. Returns `false` when the
+    /// object was already removed.
+    pub fn remove(&mut self, obj: ObjectRef) -> bool {
+        let c = &mut self.collections[obj.collection.0];
+        if !c.live[obj.index] {
+            return false;
+        }
+        let bbox = c.bboxes[obj.index];
+        let id = obj.index as u64;
+        assert!(c.rtree.remove(id, bbox), "rtree out of sync");
+        assert!(c.grid.remove(id, bbox), "grid file out of sync");
+        assert!(c.scan.remove(id, bbox), "scan index out of sync");
+        if bbox.is_empty() {
+            c.empty_objects.retain(|&i| i != obj.index);
+        }
+        c.live[obj.index] = false;
+        c.live_count -= 1;
+        true
+    }
+
+    /// Replaces a live object's region in place, maintaining all three
+    /// indexes, the bbox cache and the empty-object list incrementally.
+    /// The `ObjectRef` keeps designating the object. Returns `false`
+    /// (changing nothing) when the object is tombstoned.
+    pub fn update(&mut self, obj: ObjectRef, region: Region<K>) -> bool {
+        let c = &mut self.collections[obj.collection.0];
+        if !c.live[obj.index] {
+            return false;
+        }
+        let old = c.bboxes[obj.index];
+        let new = region.bbox();
+        let id = obj.index as u64;
+        assert!(c.rtree.update(id, old, new), "rtree out of sync");
+        assert!(c.grid.update(id, old, new), "grid file out of sync");
+        assert!(c.scan.update(id, old, new), "scan index out of sync");
+        match (old.is_empty(), new.is_empty()) {
+            (false, true) => c.empty_objects.push(obj.index),
+            (true, false) => c.empty_objects.retain(|&i| i != obj.index),
+            _ => {}
+        }
+        c.bboxes[obj.index] = new;
+        c.objects[obj.index] = region;
+        true
+    }
+
+    /// Appends a slot with explicit liveness — the snapshot loader's
+    /// restore path. Dead slots keep their region but never touch the
+    /// indexes.
+    pub(crate) fn restore_slot(
+        &mut self,
+        coll: CollectionId,
+        region: Region<K>,
+        live: bool,
+    ) -> ObjectRef {
+        if live {
+            return self.insert(coll, region);
+        }
+        let c = &mut self.collections[coll.0];
+        let index = c.objects.len();
+        c.bboxes.push(region.bbox());
+        c.objects.push(region);
+        c.live.push(false);
         ObjectRef {
             collection: coll,
             index,
@@ -159,14 +266,43 @@ impl<const K: usize> SpatialDatabase<K> {
         }
     }
 
-    /// Object indices in a collection whose regions are empty.
+    /// *Live* object indices in a collection whose regions are empty.
     pub fn empty_objects(&self, coll: CollectionId) -> &[usize] {
         &self.collections[coll.0].empty_objects
     }
 
-    /// Iterates over all object indices of a collection.
+    /// Iterates over all slot indices of a collection, tombstones
+    /// included (callers that bind objects must filter through
+    /// [`SpatialDatabase::is_live`] or use
+    /// [`SpatialDatabase::live_indices`]).
     pub fn object_indices(&self, coll: CollectionId) -> std::ops::Range<usize> {
         0..self.collections[coll.0].objects.len()
+    }
+
+    /// Iterates over the live object indices of a collection.
+    pub fn live_indices(&self, coll: CollectionId) -> impl Iterator<Item = usize> + '_ {
+        self.collections[coll.0]
+            .live
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| l.then_some(i))
+    }
+
+    /// Entry count reported by the chosen index structure (integrity
+    /// support; must equal [`SpatialDatabase::live_len`]).
+    pub(crate) fn index_len(&self, coll: CollectionId, kind: IndexKind) -> usize {
+        let c = &self.collections[coll.0];
+        match kind {
+            IndexKind::RTree => c.rtree.len(),
+            IndexKind::GridFile => c.grid.len(),
+            IndexKind::Scan => c.scan.len(),
+        }
+    }
+
+    /// Panics when the R-tree's structural invariants are violated
+    /// (integrity support).
+    pub(crate) fn check_rtree_invariants(&self, coll: CollectionId) {
+        self.collections[coll.0].rtree.check_invariants();
     }
 }
 
@@ -223,6 +359,74 @@ mod tests {
         assert_eq!(d.empty_objects(c), &[1]);
         assert!(d.region(r).is_empty());
         assert_eq!(d.collection_len(c), 2);
+    }
+
+    #[test]
+    fn remove_tombstones_without_shifting() {
+        let mut d = db();
+        let c = d.collection("boxes");
+        let refs: Vec<ObjectRef> = (0..10)
+            .map(|i| {
+                let x = i as f64 * 5.0;
+                d.insert(c, Region::from_box(AaBox::new([x, 0.0], [x + 4.0, 4.0])))
+            })
+            .collect();
+        assert!(d.remove(refs[3]));
+        assert!(!d.remove(refs[3]), "double remove is a no-op");
+        assert_eq!(d.collection_len(c), 10, "slots never shift");
+        assert_eq!(d.live_len(c), 9);
+        assert!(!d.is_live(refs[3]));
+        assert!(d.is_live(refs[4]), "other refs keep their meaning");
+        assert_eq!(d.live_indices(c).count(), 9);
+        // no index returns the tombstone
+        let q = CornerQuery::unconstrained();
+        for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+            let mut out = Vec::new();
+            d.query_collection(c, kind, &q, &mut out);
+            out.sort_unstable();
+            assert_eq!(out.len(), 9, "{kind:?}");
+            assert!(!out.contains(&3), "{kind:?} returned a tombstone");
+        }
+    }
+
+    #[test]
+    fn update_moves_an_object_in_every_index() {
+        let mut d = db();
+        let c = d.collection("boxes");
+        let obj = d.insert(c, Region::from_box(AaBox::new([0.0, 0.0], [1.0, 1.0])));
+        assert!(d.update(
+            obj,
+            Region::from_box(AaBox::new([50.0, 50.0], [60.0, 60.0]))
+        ));
+        let probe = Bbox::new([45.0, 45.0], [65.0, 65.0]);
+        let q = CornerQuery::unconstrained().and_contained_in(&probe);
+        for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+            let mut out = Vec::new();
+            d.query_collection(c, kind, &q, &mut out);
+            assert_eq!(out, vec![0], "{kind:?} must see the new box");
+        }
+        assert_eq!(d.bbox(obj), Bbox::new([50.0, 50.0], [60.0, 60.0]));
+        // updating to and from empty maintains the empty-object list
+        assert!(d.update(obj, Region::empty()));
+        assert_eq!(d.empty_objects(c), &[0]);
+        assert!(d.update(obj, Region::from_box(AaBox::new([2.0, 2.0], [3.0, 3.0]))));
+        assert!(d.empty_objects(c).is_empty());
+        // tombstoned objects reject updates
+        assert!(d.remove(obj));
+        assert!(!d.update(obj, Region::empty()));
+    }
+
+    #[test]
+    fn removing_empty_region_objects_maintains_the_list() {
+        let mut d = db();
+        let c = d.collection("mixed");
+        d.insert(c, Region::from_box(AaBox::new([0.0, 0.0], [1.0, 1.0])));
+        let e1 = d.insert(c, Region::empty());
+        let _e2 = d.insert(c, Region::empty());
+        assert_eq!(d.empty_objects(c), &[1, 2]);
+        assert!(d.remove(e1));
+        assert_eq!(d.empty_objects(c), &[2]);
+        assert_eq!(d.live_len(c), 2);
     }
 
     #[test]

@@ -178,9 +178,12 @@ pub(crate) fn level_bufs(n: usize) -> Vec<LevelBuf> {
 ///
 /// With an index, candidates come from the corner-transform range query
 /// plus the collection's empty-region objects (which no corner query
-/// can return but which may satisfy the row). Without one, the whole
-/// collection is enumerated. Either way the buffers are recycled — no
-/// allocation once the pool has warmed up.
+/// can return but which may satisfy the row); tombstoned slots never
+/// appear, because mutations maintain the indexes eagerly. Without one,
+/// the live slots of the collection are enumerated and skipped
+/// tombstones are counted in [`ExecStats::tombstones_skipped`]. Either
+/// way the buffers are recycled — no allocation once the pool has
+/// warmed up.
 pub(crate) fn gather_candidates<const K: usize>(
     db: &SpatialDatabase<K>,
     coll: CollectionId,
@@ -188,6 +191,7 @@ pub(crate) fn gather_candidates<const K: usize>(
     row: &CompiledRow<K>,
     boxes: &[Bbox<K>],
     buf: &mut LevelBuf,
+    stats: &mut ExecStats,
 ) -> CornerQuery<K> {
     let lookup = |i: usize| boxes.get(i).copied().unwrap_or(Bbox::Empty);
     let q = row.corner_query(lookup);
@@ -201,7 +205,10 @@ pub(crate) fn gather_candidates<const K: usize>(
             buf.candidates.extend(buf.ids.iter().map(|&id| id as usize));
             buf.candidates.extend_from_slice(db.empty_objects(coll));
         }
-        None => buf.candidates.extend(db.object_indices(coll)),
+        None => {
+            buf.candidates.extend(db.live_indices(coll));
+            stats.tombstones_skipped += db.collection_len(coll) - buf.candidates.len();
+        }
     }
     q
 }
@@ -224,6 +231,7 @@ pub(crate) fn try_candidate<'e, const K: usize>(
     assign: &mut FlatAssignment<'e, Region<K>>,
     stats: &mut ExecStats,
 ) -> Result<Option<Bbox<K>>, ExecError> {
+    debug_assert!(db.is_live(obj), "candidate generation leaked a tombstone");
     stats.partial_tuples += 1;
     let bb = db.bbox(obj);
     // The corner query is a necessary condition for the exact row, so a
@@ -368,12 +376,16 @@ fn naive_rec<'e, const K: usize>(
         if ctx.done() {
             return Ok(());
         }
-        ctx.stats.partial_tuples += 1;
-        ctx.stats.index_candidates += 1;
         let obj = ObjectRef {
             collection: coll,
             index,
         };
+        if !ctx.db.is_live(obj) {
+            ctx.stats.tombstones_skipped += 1;
+            continue;
+        }
+        ctx.stats.partial_tuples += 1;
+        ctx.stats.index_candidates += 1;
         assign.bind(var, ctx.db.region(obj));
         ctx.stats.regions_bound += 1;
         tuple.insert(var, obj);
@@ -505,7 +517,7 @@ fn opt_rec<'e, const K: usize>(
     let (var, coll) = ctx.unknowns[level];
     let row = plan.row_for(var).expect("plan has a row per variable");
     let (buf, rest) = bufs.split_first_mut().expect("buffer per level");
-    let q = gather_candidates(ctx.db, coll, kind, row, boxes, buf);
+    let q = gather_candidates(ctx.db, coll, kind, row, boxes, buf, &mut ctx.stats);
     ctx.stats.index_candidates += buf.candidates.len();
 
     for &index in &buf.candidates {
@@ -817,6 +829,88 @@ mod tests {
                 assert_eq!(oracle, solution_names(&db, &q, &bbox), "{kind:?}");
             }
         }
+    }
+
+    #[test]
+    fn tombstones_are_skipped_never_bound() {
+        let (mut db, q) = smuggler_db();
+        let oracle = solution_names(&db, &q, &naive_execute(&db, &q).unwrap());
+        let towns = db.collection_id("towns").unwrap();
+        let roads = db.collection_id("roads").unwrap();
+        // Tombstone objects that are in no solution (t2 lies outside the
+        // country, r2 is a decoy): answers must not change, but the
+        // full-scan executors must notice and skip the dead slots.
+        assert!(db.remove(ObjectRef {
+            collection: towns,
+            index: 2,
+        }));
+        assert!(db.remove(ObjectRef {
+            collection: roads,
+            index: 2,
+        }));
+        let naive = naive_execute(&db, &q).unwrap();
+        assert!(naive.stats.tombstones_skipped > 0, "naive scans every slot");
+        let tri = triangular_execute(&db, &q).unwrap();
+        assert!(tri.stats.tombstones_skipped > 0, "full-scan candidates");
+        assert_eq!(oracle, solution_names(&db, &q, &naive));
+        assert_eq!(oracle, solution_names(&db, &q, &tri));
+        for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+            let bbox = bbox_execute(&db, &q, kind).unwrap();
+            assert_eq!(oracle, solution_names(&db, &q, &bbox), "{kind:?}");
+            assert_eq!(
+                bbox.stats.tombstones_skipped, 0,
+                "indexes never surface tombstones ({kind:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_solution_object_removes_its_solutions() {
+        let (mut db, q) = smuggler_db();
+        let towns = db.collection_id("towns").unwrap();
+        // t0 is the only town in any solution; tombstoning it empties
+        // the answer set across all executors.
+        assert!(db.remove(ObjectRef {
+            collection: towns,
+            index: 0,
+        }));
+        assert!(naive_execute(&db, &q).unwrap().solutions.is_empty());
+        assert!(triangular_execute(&db, &q).unwrap().solutions.is_empty());
+        for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+            assert!(bbox_execute(&db, &q, kind).unwrap().solutions.is_empty());
+        }
+    }
+
+    #[test]
+    fn updates_change_answers_in_place() {
+        let (mut db, q) = smuggler_db();
+        let roads = db.collection_id("roads").unwrap();
+        let r0 = ObjectRef {
+            collection: roads,
+            index: 0,
+        };
+        let before = bbox_execute(&db, &q, IndexKind::RTree).unwrap();
+        assert!(!before.solutions.is_empty());
+        // Shrink the good road to a stub that reaches nothing: its
+        // solutions disappear without a rebuild.
+        assert!(db.update(r0, Region::from_box(AaBox::new([12.0, 43.0], [13.0, 44.0]))));
+        let naive = naive_execute(&db, &q).unwrap();
+        for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+            let after = bbox_execute(&db, &q, kind).unwrap();
+            assert_eq!(
+                solution_names(&db, &q, &naive),
+                solution_names(&db, &q, &after),
+                "{kind:?}"
+            );
+            assert!(after.solutions.is_empty(), "stub road solves nothing");
+        }
+        // Restoring the road restores the answers.
+        assert!(db.update(r0, Region::from_box(AaBox::new([12.0, 43.0], [65.0, 45.0]))));
+        let restored = bbox_execute(&db, &q, IndexKind::RTree).unwrap();
+        assert_eq!(
+            solution_names(&db, &q, &before),
+            solution_names(&db, &q, &restored)
+        );
     }
 
     #[test]

@@ -7,6 +7,15 @@
 //! consistent exactly when the pattern has no solutions. The checker is
 //! therefore the optimizer itself, run in existence mode per pattern.
 
+//
+// Below the rule layer sits the **structural** checker, [`check`]: it
+// cross-checks every spatial index against the collection's live
+// objects after arbitrary mutation sequences (insert / remove /
+// update), so a maintenance bug in any index surfaces as a named
+// inconsistency instead of silently wrong query answers.
+
+use scq_bbox::CornerQuery;
+
 use crate::exec::{bbox_execute_opts, ExecError, ExecOptions, Solution};
 use crate::query::{IndexKind, Query};
 use crate::SpatialDatabase;
@@ -63,6 +72,80 @@ pub fn is_consistent<const K: usize>(
     kind: IndexKind,
 ) -> Result<bool, ExecError> {
     Ok(check_integrity(db, rules, kind, 1)?.is_empty())
+}
+
+/// Structural cross-check of every index against the live objects.
+///
+/// For each collection this verifies that
+///
+/// 1. each index's entry count equals the collection's live count,
+/// 2. an unconstrained corner query against each index returns exactly
+///    the live objects with a nonempty bounding box, once each,
+/// 3. the materialized bbox cache agrees with each live region,
+/// 4. the empty-object list is exactly the live objects whose region is
+///    empty, and
+/// 5. the R-tree's structural invariants hold (node fill, MBRs, leaf
+///    depth — this one panics on violation, as in the index's own test
+///    support).
+///
+/// Returns every inconsistency found, described; an empty `Ok(())`
+/// means the database survived its mutation history intact.
+pub fn check<const K: usize>(db: &SpatialDatabase<K>) -> Result<(), Vec<String>> {
+    let mut problems = Vec::new();
+    for coll in db.collections() {
+        let name = db.collection_name(coll);
+        let live = db.live_len(coll);
+        let mut expect_nonempty: Vec<u64> = Vec::new();
+        let mut expect_empty: Vec<usize> = Vec::new();
+        for index in db.live_indices(coll) {
+            let obj = crate::database::ObjectRef {
+                collection: coll,
+                index,
+            };
+            let cached = db.bbox(obj);
+            let actual = db.region(obj).bbox();
+            if cached != actual {
+                problems.push(format!(
+                    "{name}[{index}]: cached bbox {cached:?} != region bbox {actual:?}"
+                ));
+            }
+            if cached.is_empty() {
+                expect_empty.push(index);
+            } else {
+                expect_nonempty.push(index as u64);
+            }
+        }
+        let mut empties = db.empty_objects(coll).to_vec();
+        empties.sort_unstable();
+        if empties != expect_empty {
+            problems.push(format!(
+                "{name}: empty-object list {empties:?} != live empty regions {expect_empty:?}"
+            ));
+        }
+        for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+            let n = db.index_len(coll, kind);
+            if n != live {
+                problems.push(format!(
+                    "{name}: {kind:?} holds {n} entries, {live} live objects"
+                ));
+            }
+            let mut got = Vec::new();
+            db.query_collection(coll, kind, &CornerQuery::unconstrained(), &mut got);
+            got.sort_unstable();
+            if got != expect_nonempty {
+                problems.push(format!(
+                    "{name}: {kind:?} unconstrained query returned {got:?}, \
+                     expected live nonempty {expect_nonempty:?}"
+                ));
+            }
+        }
+        db.check_rtree_invariants(coll);
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +208,26 @@ mod tests {
         assert_eq!(violations.len(), 2);
         assert!(violations.iter().all(|v| v.rule == "park-in-one-zone"));
         assert!(!is_consistent(&db, &[rule], IndexKind::GridFile).unwrap());
+    }
+
+    #[test]
+    fn structural_check_passes_after_mutations() {
+        let (mut db, _) = setup();
+        let zones = db.collection_id("zones").unwrap();
+        let parks = db.collection_id("parks").unwrap();
+        check(&db).expect("fresh database is consistent");
+        let p = db.insert(
+            parks,
+            Region::from_box(AaBox::new([60.0, 10.0], [70.0, 20.0])),
+        );
+        let z = crate::database::ObjectRef {
+            collection: zones,
+            index: 0,
+        };
+        assert!(db.update(z, Region::from_box(AaBox::new([0.0, 0.0], [40.0, 40.0]))));
+        assert!(db.remove(p));
+        db.insert(parks, Region::empty());
+        check(&db).expect("mutated database is consistent");
     }
 
     #[test]

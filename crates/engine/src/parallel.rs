@@ -221,6 +221,7 @@ pub fn bbox_execute_parallel<const K: usize>(
         first_row,
         &base_boxes,
         &mut seed_buf[0],
+        &mut stats,
     );
     stats.index_candidates += seed_buf[0].candidates.len();
 
@@ -420,7 +421,15 @@ fn descend<'e, const K: usize>(
     let (var, coll) = env.unknowns[level];
     let row = env.plan.row_for(var).expect("plan has a row per variable");
     let (buf, rest) = bufs.split_first_mut().expect("buffer per level");
-    let q = gather_candidates(env.db, coll, Some(env.kind), row, boxes, buf);
+    let q = gather_candidates(
+        env.db,
+        coll,
+        Some(env.kind),
+        row,
+        boxes,
+        buf,
+        &mut local.stats,
+    );
     local.stats.index_candidates += buf.candidates.len();
     // The batch is processed straight out of the reusable buffer
     // (moved around the recursion and restored, so the pool keeps its

@@ -111,7 +111,7 @@ impl<const K: usize> Query<K> {
             Some(unknowns) => order.extend(unknowns.iter().copied()),
             None => {
                 let mut unknowns = self.unknown_vars();
-                unknowns.sort_by_key(|&(v, c)| (db.collection_len(c), v));
+                unknowns.sort_by_key(|&(v, c)| (db.live_len(c), v));
                 order.extend(unknowns.into_iter().map(|(v, _)| v));
             }
         }

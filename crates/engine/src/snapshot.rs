@@ -4,18 +4,29 @@
 //!
 //! ```text
 //! magic "SCQS" | u16 version | u16 dimension K
+//! universe (2K f64 little-endian)
 //! u32 collection count
 //! per collection:
 //!   u16 name length | name bytes (UTF-8)
-//!   u32 object count
-//!   per object: u32 fragment count | fragments (2K f64 little-endian)
+//!   u32 object count            (v2: slot count, tombstones included)
+//!   per object:
+//!     u8 flags                  (v2 only; bit 0 = live)
+//!     u32 fragment count | fragments (2K f64 little-endian)
 //! ```
+//!
+//! **Version 2** (current) serializes each slot's liveness so a mutated
+//! database round-trips exactly: tombstoned slots keep their position
+//! (hence every [`crate::ObjectRef`] keeps its meaning) and stay out of
+//! the rebuilt indexes. **Version 1** snapshots (no flags byte) still
+//! load — every v1 object is live.
 //!
 //! Indexes are *not* serialized — they are derived data and are rebuilt
 //! on load (deterministically, since insertion order is preserved).
 //! Decoding validates the header, the dimension and all counts against
 //! the remaining buffer, so truncated or corrupted input yields a
-//! [`SnapshotError`] instead of a panic or a garbage database.
+//! [`SnapshotError`] instead of a panic or a garbage database; a buffer
+//! with bytes left over after the declared content is rejected as
+//! [`SnapshotError::TrailingData`] rather than silently accepted.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -24,7 +35,10 @@ use scq_region::{AaBox, Region};
 use crate::database::SpatialDatabase;
 
 const MAGIC: &[u8; 4] = b"SCQS";
-const VERSION: u16 = 1;
+/// Current (written) format version.
+const VERSION: u16 = 2;
+/// Oldest still-loadable format version.
+const V1: u16 = 1;
 
 /// Errors produced by [`load`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,6 +60,14 @@ pub enum SnapshotError {
     BadName,
     /// A coordinate was not finite.
     BadCoordinate,
+    /// Bytes remained after the last declared collection — the payload
+    /// is longer than its own header admits (corruption or a
+    /// mis-framed write), so it is rejected rather than silently
+    /// truncated.
+    TrailingData {
+        /// Number of unconsumed bytes.
+        bytes: usize,
+    },
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -59,13 +81,17 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::Truncated => write!(f, "snapshot truncated"),
             SnapshotError::BadName => write!(f, "collection name is not UTF-8"),
             SnapshotError::BadCoordinate => write!(f, "non-finite coordinate"),
+            SnapshotError::TrailingData { bytes } => {
+                write!(f, "{bytes} trailing bytes after the last collection")
+            }
         }
     }
 }
 
 impl std::error::Error for SnapshotError {}
 
-/// Serializes the database (universe, collections, regions).
+/// Serializes the database (universe, collections, regions, per-slot
+/// liveness) in the v2 format.
 pub fn save<const K: usize>(db: &SpatialDatabase<K>) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
@@ -84,10 +110,12 @@ pub fn save<const K: usize>(db: &SpatialDatabase<K>) -> Bytes {
         let n = db.collection_len(coll);
         buf.put_u32_le(n as u32);
         for index in db.object_indices(coll) {
-            let region = db.region(crate::database::ObjectRef {
+            let obj = crate::database::ObjectRef {
                 collection: coll,
                 index,
-            });
+            };
+            let region = db.region(obj);
+            buf.put_u8(db.is_live(obj) as u8);
             buf.put_u32_le(region.boxes().len() as u32);
             for b in region.boxes() {
                 for c in b.lo().iter().chain(b.hi().iter()) {
@@ -131,7 +159,7 @@ pub fn load<const K: usize>(data: &[u8]) -> Result<SpatialDatabase<K>, SnapshotE
         return Err(SnapshotError::BadMagic);
     }
     let version = buf.get_u16_le();
-    if version != VERSION {
+    if version != VERSION && version != V1 {
         return Err(SnapshotError::BadVersion(version));
     }
     let dim = buf.get_u16_le();
@@ -156,8 +184,18 @@ pub fn load<const K: usize>(data: &[u8]) -> Result<SpatialDatabase<K>, SnapshotE
         need(&buf, 4)?;
         let n_obj = buf.get_u32_le();
         for _ in 0..n_obj {
+            let live = if version >= 2 {
+                need(&buf, 1)?;
+                buf.get_u8() & 1 != 0
+            } else {
+                true
+            };
             need(&buf, 4)?;
             let n_frag = buf.get_u32_le();
+            // Validate the declared fragment bytes against the buffer
+            // *before* reserving: a corrupt count must yield an error,
+            // not a huge allocation.
+            need(&buf, (n_frag as usize).saturating_mul(16 * K))?;
             let mut boxes = Vec::with_capacity(n_frag as usize);
             for _ in 0..n_frag {
                 let (lo, hi) = get_coords::<K>(&mut buf)?;
@@ -166,8 +204,13 @@ pub fn load<const K: usize>(data: &[u8]) -> Result<SpatialDatabase<K>, SnapshotE
             // Fragments were stored disjoint; from_boxes re-unions them,
             // which is a no-op for disjoint input but keeps the region
             // invariant even for hand-crafted snapshots.
-            db.insert(coll, Region::from_boxes(boxes));
+            db.restore_slot(coll, Region::from_boxes(boxes), live);
         }
+    }
+    if buf.has_remaining() {
+        return Err(SnapshotError::TrailingData {
+            bytes: buf.remaining(),
+        });
     }
     Ok(db)
 }
@@ -283,6 +326,127 @@ mod tests {
         let pos = 8; // first universe coordinate
         bad[pos..pos + 8].copy_from_slice(&f64::NAN.to_le_bytes());
         assert_eq!(load::<2>(&bad).err(), Some(SnapshotError::BadCoordinate));
+    }
+
+    #[test]
+    fn v2_round_trips_tombstones() {
+        let mut db = sample_db();
+        let towns = db.collection_id("towns").unwrap();
+        let roads = db.collection_id("roads").unwrap();
+        let t = crate::database::ObjectRef {
+            collection: towns,
+            index: 1,
+        };
+        let r = crate::database::ObjectRef {
+            collection: roads,
+            index: 0,
+        };
+        let t2 = crate::database::ObjectRef {
+            collection: towns,
+            index: 2,
+        };
+        assert!(db.remove(t));
+        assert!(db.remove(r));
+        assert!(db.update(
+            t2,
+            Region::from_box(AaBox::new([400.0, 400.0], [410.0, 410.0]))
+        ));
+        let loaded: SpatialDatabase<2> = load(&save(&db)).unwrap();
+        for coll in db.collections() {
+            let name = db.collection_name(coll);
+            let lcoll = loaded.collection_id(name).unwrap();
+            assert_eq!(db.collection_len(coll), loaded.collection_len(lcoll));
+            assert_eq!(db.live_len(coll), loaded.live_len(lcoll), "{name}");
+            for index in db.object_indices(coll) {
+                let a = crate::database::ObjectRef {
+                    collection: coll,
+                    index,
+                };
+                let b = crate::database::ObjectRef {
+                    collection: lcoll,
+                    index,
+                };
+                assert_eq!(db.is_live(a), loaded.is_live(b), "{name}[{index}]");
+                assert!(db.region(a).same_set(loaded.region(b)), "{name}[{index}]");
+            }
+        }
+        crate::integrity::check(&loaded).expect("reloaded database is consistent");
+        // index answers agree between the mutated original and the reload
+        let probe = scq_bbox::Bbox::new([0.0, 0.0], [500.0, 500.0]);
+        let q = scq_bbox::CornerQuery::unconstrained().and_contained_in(&probe);
+        for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            db.query_collection(towns, kind, &q, &mut a);
+            loaded.query_collection(loaded.collection_id("towns").unwrap(), kind, &q, &mut b);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn v1_snapshots_still_load() {
+        // Hand-crafted v1 payload: no per-object liveness byte.
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(b"SCQS");
+        buf.extend_from_slice(&1u16.to_le_bytes()); // version 1
+        buf.extend_from_slice(&2u16.to_le_bytes()); // K = 2
+        for c in [0.0f64, 0.0, 100.0, 100.0] {
+            buf.extend_from_slice(&c.to_le_bytes()); // universe
+        }
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one collection
+        buf.extend_from_slice(&5u16.to_le_bytes());
+        buf.extend_from_slice(b"boxes");
+        buf.extend_from_slice(&2u32.to_le_bytes()); // two objects
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one fragment
+        for c in [1.0f64, 1.0, 2.0, 2.0] {
+            buf.extend_from_slice(&c.to_le_bytes());
+        }
+        buf.extend_from_slice(&0u32.to_le_bytes()); // empty region
+        let db: SpatialDatabase<2> = load(&buf).unwrap();
+        let coll = db.collection_id("boxes").unwrap();
+        assert_eq!(db.collection_len(coll), 2);
+        assert_eq!(db.live_len(coll), 2, "every v1 object is live");
+        assert_eq!(db.empty_objects(coll), &[1]);
+        crate::integrity::check(&db).expect("v1 load is consistent");
+        // v1 payloads with trailing bytes are rejected, not ignored
+        let mut bad = buf.clone();
+        bad.extend_from_slice(&[0, 0, 0]);
+        assert_eq!(
+            load::<2>(&bad).err(),
+            Some(SnapshotError::TrailingData { bytes: 3 })
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let bytes = save(&sample_db());
+        let mut bad = bytes.to_vec();
+        bad.push(0);
+        assert_eq!(
+            load::<2>(&bad).err(),
+            Some(SnapshotError::TrailingData { bytes: 1 })
+        );
+    }
+
+    #[test]
+    fn huge_fragment_count_is_rejected_without_allocating() {
+        // A corrupt object declaring u32::MAX fragments must error out
+        // of the length check, not attempt a ~137 GB reservation.
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(b"SCQS");
+        buf.extend_from_slice(&2u16.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes());
+        for c in [0.0f64, 0.0, 100.0, 100.0] {
+            buf.extend_from_slice(&c.to_le_bytes());
+        }
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.push(b'x');
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one object
+        buf.push(1); // live
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd n_frag
+        assert_eq!(load::<2>(&buf).err(), Some(SnapshotError::Truncated));
     }
 
     #[test]

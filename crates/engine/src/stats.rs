@@ -26,6 +26,10 @@ pub struct ExecStats {
     pub bbox_prefilter_rejections: usize,
     /// Regions bound (by reference) into the search assignment.
     pub regions_bound: usize,
+    /// Tombstoned slots skipped during collection enumeration (index
+    /// range queries never surface tombstones, so this counts only the
+    /// full-scan paths).
+    pub tombstones_skipped: usize,
 }
 
 impl ExecStats {
@@ -39,6 +43,7 @@ impl ExecStats {
         self.full_system_checks += other.full_system_checks;
         self.bbox_prefilter_rejections += other.bbox_prefilter_rejections;
         self.regions_bound += other.regions_bound;
+        self.tombstones_skipped += other.tombstones_skipped;
     }
 }
 
@@ -47,7 +52,7 @@ impl std::fmt::Display for ExecStats {
         write!(
             f,
             "solutions={} partials={} candidates={} row_checks={} row_rejects={} \
-             full_checks={} bbox_rejects={} bound={}",
+             full_checks={} bbox_rejects={} bound={} tombstones={}",
             self.solutions,
             self.partial_tuples,
             self.index_candidates,
@@ -55,7 +60,8 @@ impl std::fmt::Display for ExecStats {
             self.row_rejections,
             self.full_system_checks,
             self.bbox_prefilter_rejections,
-            self.regions_bound
+            self.regions_bound,
+            self.tombstones_skipped
         )
     }
 }

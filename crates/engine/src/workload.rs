@@ -267,6 +267,70 @@ pub fn vlsi_workload(
     }
 }
 
+/// Outcome counts of a [`churn`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChurnStats {
+    /// Objects inserted.
+    pub inserted: usize,
+    /// Objects tombstoned.
+    pub removed: usize,
+    /// Objects whose region was replaced.
+    pub updated: usize,
+}
+
+/// Applies `ops` seeded random mutations (inserts, removes, updates)
+/// across the given collections — the living-dataset counterpart of the
+/// static generators above, used by mutation tests and the CI bench
+/// smoke. Removes and updates target random slots, so some hit
+/// tombstones and count as no-ops; roughly one insert in twelve is an
+/// empty region to keep the empty-object path exercised.
+pub fn churn(
+    db: &mut SpatialDatabase<2>,
+    seed: u64,
+    colls: &[CollectionId],
+    ops: usize,
+) -> ChurnStats {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = ChurnStats::default();
+    let universe = *db.universe();
+    for _ in 0..ops {
+        let coll = colls[rng.random_range(0..colls.len())];
+        let slots = db.collection_len(coll);
+        let action = rng.random_range(0..100);
+        if action < 40 || slots == 0 {
+            let region = if rng.random_range(0..12) == 0 {
+                Region::empty()
+            } else {
+                uniform_boxes(&mut rng, 1, &universe, 1.0, 20.0)
+                    .pop()
+                    .expect("one box")
+            };
+            db.insert(coll, region);
+            stats.inserted += 1;
+        } else if action < 75 {
+            let obj = crate::ObjectRef {
+                collection: coll,
+                index: rng.random_range(0..slots),
+            };
+            if db.remove(obj) {
+                stats.removed += 1;
+            }
+        } else {
+            let obj = crate::ObjectRef {
+                collection: coll,
+                index: rng.random_range(0..slots),
+            };
+            let region = uniform_boxes(&mut rng, 1, &universe, 1.0, 20.0)
+                .pop()
+                .expect("one box");
+            if db.update(obj, region) {
+                stats.updated += 1;
+            }
+        }
+    }
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,6 +398,26 @@ mod tests {
         for r in uniform_boxes(&mut rng, 50, &u, 1.0, 5.0) {
             assert!(r.subset_of(&Region::from_box(u)));
         }
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_consistent() {
+        let build = || {
+            let mut db = SpatialDatabase::new(AaBox::new([0.0, 0.0], [1000.0, 1000.0]));
+            let a = db.collection("a");
+            let b = db.collection("b");
+            let stats = churn(&mut db, 55, &[a, b], 400);
+            (db, stats)
+        };
+        let (db1, s1) = build();
+        let (db2, s2) = build();
+        assert_eq!(s1, s2);
+        assert!(s1.inserted > 0 && s1.removed > 0 && s1.updated > 0);
+        for coll in db1.collections() {
+            assert_eq!(db1.collection_len(coll), db2.collection_len(coll));
+            assert_eq!(db1.live_len(coll), db2.live_len(coll));
+        }
+        crate::integrity::check(&db1).expect("churned database is consistent");
     }
 
     #[test]

@@ -31,7 +31,13 @@ pub struct GridFile<const K: usize> {
     buckets: HashMap<Vec<u16>, Vec<(CornerPt<K>, u64)>>,
     capacity: usize,
     len: usize,
-    empty_count: usize,
+    /// Ids inserted with empty boxes (never matched by queries); kept
+    /// as ids so `remove(id, Bbox::Empty)` only removes entries that
+    /// were actually inserted.
+    empty: Vec<u64>,
+    /// Removals since the last [`GridFile::coarsen`] scan; the scan is
+    /// amortized over `capacity` removals.
+    removals_since_coarsen: usize,
 }
 
 fn coord<const K: usize>(p: &CornerPt<K>, d: usize) -> f64 {
@@ -60,7 +66,8 @@ impl<const K: usize> GridFile<K> {
             buckets: HashMap::new(),
             capacity,
             len: 0,
-            empty_count: 0,
+            empty: Vec::new(),
+            removals_since_coarsen: 0,
         }
     }
 
@@ -97,6 +104,13 @@ impl<const K: usize> GridFile<K> {
     /// Number of directory cells currently materialized.
     pub fn cell_count(&self) -> usize {
         self.buckets.len()
+    }
+
+    /// Total number of scale split points across all corner dimensions
+    /// (directory resolution; grows under refinement, shrinks under
+    /// coarsening).
+    pub fn scale_points(&self) -> usize {
+        self.scales.iter().map(Vec::len).sum()
     }
 
     fn cell_index(&self, d: usize, c: f64) -> u16 {
@@ -156,12 +170,52 @@ impl<const K: usize> GridFile<K> {
             return;
         }
         self.scales[d].insert(pos, split);
-        // Re-key the whole directory (simplification; see module docs).
+        self.rekey();
+    }
+
+    /// Re-keys the whole directory against the current scales
+    /// (simplification; see module docs).
+    fn rekey(&mut self) {
         let old = std::mem::take(&mut self.buckets);
         for (_, entries) in old {
             for (pt, id) in entries {
                 let key = self.key_of(&pt);
                 self.buckets.entry(key).or_default().push((pt, id));
+            }
+        }
+    }
+
+    /// The merge counterpart of [`GridFile::refine`]: while some split
+    /// point separates two adjacent slabs whose combined occupancy fits
+    /// in **half** a bucket, drop the lightest such split and re-key —
+    /// deletions shrink the directory instead of leaving it fragmented.
+    /// The half-capacity threshold gives hysteresis against refine
+    /// (which triggers at full capacity), so alternating insert/remove
+    /// near a boundary cannot thrash the directory.
+    fn coarsen(&mut self) {
+        loop {
+            let mut lightest: Option<(usize, usize, usize)> = None; // (sum, dim, split)
+            for d in 0..2 * K {
+                if self.scales[d].is_empty() {
+                    continue;
+                }
+                let mut slab_counts = vec![0usize; self.scales[d].len() + 1];
+                for (key, bucket) in &self.buckets {
+                    slab_counts[key[d] as usize] += bucket.len();
+                }
+                for j in 0..self.scales[d].len() {
+                    let sum = slab_counts[j] + slab_counts[j + 1];
+                    if lightest.is_none_or(|(best, _, _)| sum < best) {
+                        lightest = Some((sum, d, j));
+                    }
+                }
+            }
+            match lightest {
+                Some((sum, d, j)) if 2 * sum <= self.capacity => {
+                    self.scales[d].remove(j);
+                    self.rekey();
+                }
+                _ => return,
             }
         }
     }
@@ -256,8 +310,45 @@ impl<const K: usize> SpatialIndex<K> for GridFile<K> {
     fn insert(&mut self, id: u64, bbox: Bbox<K>) {
         self.len += 1;
         match corner_point(&bbox) {
-            None => self.empty_count += 1,
+            None => self.empty.push(id),
             Some(p) => self.insert_point(p, id),
+        }
+    }
+
+    fn remove(&mut self, id: u64, bbox: Bbox<K>) -> bool {
+        match corner_point(&bbox) {
+            None => match self.empty.iter().position(|&i| i == id) {
+                Some(pos) => {
+                    self.empty.swap_remove(pos);
+                    self.len -= 1;
+                    true
+                }
+                None => false,
+            },
+            Some(p) => {
+                let key = self.key_of(&p);
+                let Some(bucket) = self.buckets.get_mut(&key) else {
+                    return false;
+                };
+                let Some(pos) = bucket.iter().position(|&(pt, i)| i == id && pt == p) else {
+                    return false;
+                };
+                bucket.swap_remove(pos);
+                if bucket.is_empty() {
+                    self.buckets.remove(&key);
+                }
+                self.len -= 1;
+                // Amortize the merge scan: one full slab-count pass per
+                // `capacity` removals keeps per-removal cost O(1)-ish
+                // while still shrinking the directory under sustained
+                // deletion.
+                self.removals_since_coarsen += 1;
+                if self.removals_since_coarsen >= self.capacity {
+                    self.removals_since_coarsen = 0;
+                    self.coarsen();
+                }
+                true
+            }
         }
     }
 
@@ -388,6 +479,111 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         GridFile::<1>::new(0);
+    }
+
+    #[test]
+    fn remove_agrees_with_scan() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut gf = GridFile::<2>::new(8);
+        let mut scan = ScanIndex::new();
+        let mut items: Vec<(u64, Bbox<2>)> = Vec::new();
+        for id in 0..600u64 {
+            let b = random_box(&mut rng);
+            gf.insert(id, b);
+            scan.insert(id, b);
+            items.push((id, b));
+        }
+        // remove two thirds, interleaving queries
+        for step in 0..400 {
+            let pos = (step * 7919) % items.len();
+            let (id, b) = items.swap_remove(pos);
+            assert!(gf.remove(id, b), "entry must be found");
+            assert!(scan.remove(id, b));
+            if step % 50 == 0 {
+                let probe = random_box(&mut rng);
+                assert_same(
+                    &gf,
+                    &scan,
+                    &CornerQuery::unconstrained().and_overlaps(&probe),
+                );
+            }
+        }
+        assert_eq!(gf.len(), items.len());
+        for _ in 0..40 {
+            let probe = random_box(&mut rng);
+            assert_same(
+                &gf,
+                &scan,
+                &CornerQuery::unconstrained().and_overlaps(&probe),
+            );
+            assert_same(
+                &gf,
+                &scan,
+                &CornerQuery::unconstrained().and_contained_in(&probe),
+            );
+        }
+    }
+
+    #[test]
+    fn removal_coarsens_the_directory() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut gf = GridFile::<2>::new(4);
+        let items: Vec<(u64, Bbox<2>)> = (0..500u64).map(|id| (id, random_box(&mut rng))).collect();
+        for &(id, b) in &items {
+            gf.insert(id, b);
+        }
+        let grown = gf.scale_points();
+        assert!(grown > 2, "insertion must have refined the scales");
+        for &(id, b) in &items[..490] {
+            assert!(gf.remove(id, b));
+        }
+        assert!(
+            gf.scale_points() < grown,
+            "mass removal must coarsen: {} vs {}",
+            gf.scale_points(),
+            grown
+        );
+        // the survivors are still all answerable
+        let mut out = Vec::new();
+        gf.query_corner(&CornerQuery::unconstrained(), &mut out);
+        out.sort_unstable();
+        let mut expect: Vec<u64> = items[490..].iter().map(|&(id, _)| id).collect();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn remove_missing_and_empty_entries() {
+        let mut gf = GridFile::<1>::new(4);
+        gf.insert(1, Bbox::new([0.0], [1.0]));
+        gf.insert(2, Bbox::Empty);
+        assert!(!gf.remove(1, Bbox::new([5.0], [6.0])), "box must match");
+        assert!(!gf.remove(9, Bbox::new([0.0], [1.0])), "id must match");
+        assert!(!gf.remove(9, Bbox::Empty), "empty removal matches by id");
+        assert!(gf.remove(2, Bbox::Empty));
+        assert!(!gf.remove(2, Bbox::Empty), "empty pool exhausted");
+        assert!(gf.remove(1, Bbox::new([0.0], [1.0])));
+        assert_eq!(gf.len(), 0);
+        // index remains usable after emptying
+        gf.insert(3, Bbox::new([2.0], [3.0]));
+        let mut out = Vec::new();
+        gf.query_corner(&CornerQuery::unconstrained(), &mut out);
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn update_moves_an_entry() {
+        let mut gf = GridFile::<1>::new(4);
+        gf.insert(1, Bbox::new([0.0], [1.0]));
+        assert!(gf.update(1, Bbox::new([0.0], [1.0]), Bbox::new([8.0], [9.0])));
+        let mut out = Vec::new();
+        gf.query_overlaps(&Bbox::new([8.0], [9.0]), &mut out);
+        assert_eq!(out, vec![1]);
+        out.clear();
+        gf.query_overlaps(&Bbox::new([0.0], [1.0]), &mut out);
+        assert!(out.is_empty());
+        assert!(!gf.update(1, Bbox::new([0.0], [1.0]), Bbox::new([2.0], [3.0])));
+        assert_eq!(gf.len(), 1);
     }
 
     #[test]

@@ -40,9 +40,10 @@ pub struct RTree<const K: usize> {
     min_entries: usize,
     strategy: SplitStrategy,
     len: usize,
-    /// Ids inserted with empty boxes; kept for `len` accounting, never
-    /// matched by queries.
-    empty_count: usize,
+    /// Ids inserted with empty boxes; never matched by queries, kept as
+    /// ids so `remove(id, Bbox::Empty)` only removes entries that were
+    /// actually inserted.
+    empty: Vec<u64>,
 }
 
 impl<const K: usize> Default for RTree<K> {
@@ -70,7 +71,7 @@ impl<const K: usize> RTree<K> {
             min_entries: (max_entries * 2 / 5).max(1),
             strategy,
             len: 0,
-            empty_count: 0,
+            empty: Vec::new(),
         }
     }
 
@@ -447,21 +448,22 @@ fn insert_rec<const K: usize>(
 }
 
 impl<const K: usize> RTree<K> {
-    /// Deletes one entry with the given id whose stored box equals
-    /// `bbox`. Returns `true` when an entry was removed.
+    /// [`SpatialIndex::remove`] body; see the trait impl below.
     ///
     /// Implements Guttman's Delete/CondenseTree: the leaf entry is
     /// removed, underfull nodes along the path are dissolved and their
-    /// surviving entries reinserted, and a root with a single child is
-    /// shortened.
-    pub fn remove(&mut self, id: u64, bbox: Bbox<K>) -> bool {
+    /// surviving entries reinserted (reinsertion-on-underflow), and a
+    /// root with a single child is shortened.
+    fn remove_entry(&mut self, id: u64, bbox: Bbox<K>) -> bool {
         if bbox.is_empty() {
-            if self.empty_count > 0 {
-                self.empty_count -= 1;
-                self.len -= 1;
-                return true;
-            }
-            return false;
+            return match self.empty.iter().position(|&i| i == id) {
+                Some(pos) => {
+                    self.empty.swap_remove(pos);
+                    self.len -= 1;
+                    true
+                }
+                None => false,
+            };
         }
         let mut orphan_leaves: Vec<Vec<(Bbox<K>, u64)>> = Vec::new();
         let removed = remove_rec(
@@ -572,7 +574,7 @@ impl<const K: usize> RTree<K> {
         let (empty, mut nonempty): (Vec<_>, Vec<_>) =
             items.into_iter().partition(|(_, b)| b.is_empty());
         tree.len = empty.len() + nonempty.len();
-        tree.empty_count = empty.len();
+        tree.empty = empty.into_iter().map(|(id, _)| id).collect();
         if nonempty.is_empty() {
             return tree;
         }
@@ -648,7 +650,7 @@ impl<const K: usize> SpatialIndex<K> for RTree<K> {
     fn insert(&mut self, id: u64, bbox: Bbox<K>) {
         self.len += 1;
         if bbox.is_empty() {
-            self.empty_count += 1;
+            self.empty.push(id);
             return;
         }
         let res = insert_rec(
@@ -663,6 +665,10 @@ impl<const K: usize> SpatialIndex<K> for RTree<K> {
             let old = std::mem::replace(&mut self.root, Node::Leaf(Vec::new()));
             self.root = Node::Internal(vec![(res.mbr, old), (sib_mbr, sib)]);
         }
+    }
+
+    fn remove(&mut self, id: u64, bbox: Bbox<K>) -> bool {
+        self.remove_entry(id, bbox)
     }
 
     fn query_corner(&self, query: &CornerQuery<K>, out: &mut Vec<u64>) {
@@ -840,6 +846,10 @@ mod tests {
         let mut tree = RTree::<1>::default();
         tree.insert(9, Bbox::Empty);
         assert_eq!(tree.len(), 1);
+        assert!(
+            !tree.remove(8, Bbox::Empty),
+            "empty-box removal matches by id"
+        );
         assert!(tree.remove(9, Bbox::Empty));
         assert_eq!(tree.len(), 0);
         assert!(!tree.remove(9, Bbox::Empty));

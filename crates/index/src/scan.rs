@@ -40,6 +40,16 @@ impl<const K: usize> SpatialIndex<K> for ScanIndex<K> {
         self.entries.push((bbox, id));
     }
 
+    fn remove(&mut self, id: u64, bbox: Bbox<K>) -> bool {
+        match self.entries.iter().position(|&(b, i)| i == id && b == bbox) {
+            Some(pos) => {
+                self.entries.swap_remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
     fn query_corner(&self, query: &CornerQuery<K>, out: &mut Vec<u64>) {
         if query.is_unsatisfiable() {
             return;
@@ -89,6 +99,23 @@ mod tests {
         let mut out = Vec::new();
         s.query_corner(&CornerQuery::unsatisfiable(), &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn remove_and_update() {
+        let mut s = ScanIndex::<1>::from_items([
+            (1, Bbox::new([0.0], [1.0])),
+            (2, Bbox::new([5.0], [6.0])),
+        ]);
+        assert!(!s.remove(1, Bbox::new([5.0], [6.0])), "box must match");
+        assert!(s.remove(1, Bbox::new([0.0], [1.0])));
+        assert_eq!(s.len(), 1);
+        assert!(s.update(2, Bbox::new([5.0], [6.0]), Bbox::new([0.0], [1.0])));
+        let mut out = Vec::new();
+        s.query_overlaps(&Bbox::new([0.0], [2.0]), &mut out);
+        assert_eq!(out, vec![2]);
+        assert!(!s.update(9, Bbox::new([0.0], [1.0]), Bbox::Empty));
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

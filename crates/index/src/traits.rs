@@ -15,6 +15,24 @@ pub trait SpatialIndex<const K: usize> {
     /// returned once per insertion.
     fn insert(&mut self, id: u64, bbox: Bbox<K>);
 
+    /// Removes one entry with the given id whose stored box equals
+    /// `bbox`. Returns `true` when an entry was removed. The structure
+    /// maintains itself incrementally — no rebuild, and subsequent
+    /// queries are exact over the surviving entries.
+    fn remove(&mut self, id: u64, bbox: Bbox<K>) -> bool;
+
+    /// Replaces the box of one entry: a remove of `(id, old)` followed
+    /// by an insert of `(id, new)`. Returns `false` (and inserts
+    /// nothing) when `(id, old)` was not present.
+    fn update(&mut self, id: u64, old: Bbox<K>, new: Bbox<K>) -> bool {
+        if self.remove(id, old) {
+            self.insert(id, new);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Appends to `out` the ids of all objects whose bounding box
     /// satisfies `query`.
     fn query_corner(&self, query: &CornerQuery<K>, out: &mut Vec<u64>);

@@ -138,6 +138,26 @@ impl SpatialIndex<2> for ZOrderIndex {
         self.sorted = false;
     }
 
+    fn remove(&mut self, id: u64, bbox: Bbox<2>) -> bool {
+        let Some(pos) = self.items.iter().position(|&(b, i)| i == id && b == bbox) else {
+            return false;
+        };
+        let last = self.items.len() - 1;
+        self.items.swap_remove(pos);
+        self.elems.retain(|&(_, _, item)| item as usize != pos);
+        if pos != last {
+            // The former last item moved into `pos`; re-point its blocks.
+            // Element order by `z_lo` is untouched (only the payload
+            // changes), so query binary searches stay valid.
+            for e in &mut self.elems {
+                if e.2 as usize == last {
+                    e.2 = pos as u32;
+                }
+            }
+        }
+        true
+    }
+
     fn query_corner(&self, query: &CornerQuery<2>, out: &mut Vec<u64>) {
         if query.is_unsatisfiable() || self.items.is_empty() {
             return;
@@ -241,6 +261,33 @@ mod tests {
                 b.sort_unstable();
                 assert_eq!(a, b);
             }
+        }
+    }
+
+    #[test]
+    fn remove_agrees_with_scan() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let mut items: Vec<(u64, Bbox<2>)> =
+            (0..300u64).map(|id| (id, random_box(&mut rng))).collect();
+        let mut z = ZOrderIndex::from_items(universe(), 8, items.iter().copied());
+        assert!(!z.remove(999, random_box(&mut rng)), "missing entry");
+        for step in 0..200 {
+            let pos = (step * 31) % items.len();
+            let (id, b) = items.swap_remove(pos);
+            assert!(z.remove(id, b), "entry must be found");
+        }
+        assert_eq!(z.len(), items.len());
+        let scan = ScanIndex::from_items(items.iter().copied());
+        for _ in 0..20 {
+            let probe = random_box(&mut rng);
+            let q = CornerQuery::unconstrained().and_overlaps(&probe);
+            let mut a = Vec::new();
+            z.query_corner(&q, &mut a);
+            let mut b = Vec::new();
+            scan.query_corner(&q, &mut b);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
         }
     }
 

@@ -121,6 +121,11 @@ pub trait Buf {
     /// Bytes left to read.
     fn remaining(&self) -> usize;
 
+    /// Whether any bytes are left to read.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
     /// Copies `dst.len()` bytes out, advancing.
     fn copy_to_slice(&mut self, dst: &mut [u8]);
 
