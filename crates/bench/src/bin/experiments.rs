@@ -17,7 +17,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use scq_algebra::{Assignment, BooleanAlgebra};
 use scq_bbox::Bbox;
-use scq_bench::{random_bboxes, smuggler_setup};
+use scq_bench::{random_bboxes, sharded_smuggler_setup, smuggler_setup};
 use scq_boolean::{Formula, Var};
 use scq_core::plan::BboxPlan;
 use scq_core::{parse_system, triangularize, NormalSystem};
@@ -458,6 +458,29 @@ fn b10() {
     }
 }
 
+fn b11() {
+    println!("\n## B11 — sharded database (z-order range partitioning)");
+    println!("| shards | smuggler ms | fan-out ms | district ms | shards pruned (district) |");
+    println!("|---|---|---|---|---|");
+    for n_shards in [1usize, 4, 8, 16] {
+        let (db, sq, dq) = sharded_smuggler_setup(1120, 120, n_shards);
+        let (_, t_s) = time(|| {
+            scq_shard::execute(&db, &sq, IndexKind::RTree, scq_engine::ExecOptions::all()).unwrap()
+        });
+        let (_, t_f) = time(|| {
+            scq_shard::execute_fanout(&db, &sq, IndexKind::RTree, scq_engine::ExecOptions::all())
+                .unwrap()
+        });
+        let (d, t_d) = time(|| {
+            scq_shard::execute(&db, &dq, IndexKind::RTree, scq_engine::ExecOptions::all()).unwrap()
+        });
+        println!(
+            "| {n_shards} | {t_s:.2} | {t_f:.2} | {t_d:.2} | {} |",
+            d.stats.shards_pruned
+        );
+    }
+}
+
 /// Median of `reps` timed runs of `f`, in milliseconds.
 fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
     let mut samples: Vec<f64> = (0..reps)
@@ -550,6 +573,74 @@ fn smoke(path: &str) {
         }),
     ));
 
+    // Sharded preset: the same smuggler workload partitioned across 8
+    // z-order range shards, queried through the sharded view. The
+    // district query's containment row must let the router prune — the
+    // assert keeps the pruning property from silently regressing.
+    let (sharded, sq, dq) = sharded_smuggler_setup(1120, 120, 8);
+    rows.push((
+        "sharded_b1_bbox_rtree_8shards_120_roads_ms",
+        median_ms(5, || {
+            scq_shard::execute(
+                &sharded,
+                &sq,
+                IndexKind::RTree,
+                scq_engine::ExecOptions::all(),
+            )
+            .unwrap();
+        }),
+    ));
+    rows.push((
+        "sharded_fanout_rtree_8shards_120_roads_ms",
+        median_ms(5, || {
+            scq_shard::execute_fanout(
+                &sharded,
+                &sq,
+                IndexKind::RTree,
+                scq_engine::ExecOptions::all(),
+            )
+            .unwrap();
+        }),
+    ));
+    let district = scq_shard::execute(
+        &sharded,
+        &dq,
+        IndexKind::RTree,
+        scq_engine::ExecOptions::all(),
+    )
+    .unwrap();
+    assert!(
+        district.stats.shards_pruned > 0,
+        "sharded preset lost its pruning: {}",
+        district.stats
+    );
+    rows.push((
+        "sharded_district_query_rtree_8shards_ms",
+        median_ms(5, || {
+            scq_shard::execute(
+                &sharded,
+                &dq,
+                IndexKind::RTree,
+                scq_engine::ExecOptions::all(),
+            )
+            .unwrap();
+        }),
+    ));
+    rows.push((
+        "sharded_district_shards_pruned",
+        district.stats.shards_pruned as f64,
+    ));
+    rows.push((
+        "sharded_snapshot_roundtrip_8shards_ms",
+        median_ms(5, || {
+            let manifest = scq_shard::snapshot::save_manifest(&sharded);
+            let payloads: Vec<_> = (0..sharded.n_shards())
+                .map(|s| scq_shard::snapshot::save_shard(&sharded, s))
+                .collect();
+            scq_shard::snapshot::load(&manifest, &payloads).unwrap();
+        }),
+    ));
+
     let mut json = String::from("{\n  \"schema\": 1,\n  \"preset\": \"ci\",\n  \"benches\": [\n");
     for (i, (name, ms)) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
@@ -583,4 +674,5 @@ fn main() {
     b8();
     b9();
     b10();
+    b11();
 }

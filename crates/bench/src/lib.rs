@@ -12,8 +12,9 @@ use rand::{RngExt, SeedableRng};
 
 use scq_bbox::Bbox;
 use scq_engine::workload::{map_workload, MapParams};
-use scq_engine::{Query, SpatialDatabase};
+use scq_engine::{ObjectRef, Query, SpatialDatabase};
 use scq_region::{AaBox, Region};
+use scq_shard::ShardedDatabase;
 
 /// Criterion tuned for a large suite: short warm-up, few samples. The
 /// shapes (who wins, scaling exponents) are robust to this; absolute
@@ -78,6 +79,60 @@ pub fn smuggler_setup(seed: u64, n_roads: usize) -> (SpatialDatabase<2>, Query<2
     (db, q)
 }
 
+/// The smuggler benchmark database partitioned across `n_shards`,
+/// plus two queries: the full smuggler join and a **district** query
+/// (`T` contained in a small corner window) whose containment row lets
+/// the z-order router prune shards.
+pub fn sharded_smuggler_setup(
+    seed: u64,
+    n_roads: usize,
+    n_shards: usize,
+) -> (ShardedDatabase, Query<2>, Query<2>) {
+    let universe = AaBox::new([0.0, 0.0], [1000.0, 1000.0]);
+    let mut plain = SpatialDatabase::new(universe);
+    let w = map_workload(
+        &mut plain,
+        seed,
+        &MapParams {
+            n_states: 8,
+            n_towns: n_roads / 4,
+            n_roads,
+            useful_road_fraction: 0.05,
+        },
+    );
+    let mut db = ShardedDatabase::new(universe, n_shards);
+    for coll in plain.collections() {
+        let dst = db.collection(plain.collection_name(coll));
+        assert_eq!(dst, coll, "collection ids stay aligned");
+        for index in plain.object_indices(coll) {
+            let obj = ObjectRef {
+                collection: coll,
+                index,
+            };
+            db.insert(dst, plain.region(obj).clone());
+        }
+    }
+    let sys =
+        scq_core::parse_system("A <= C; B <= C; R <= A | B | T; R & A != 0; R & T != 0; T < C")
+            .expect("parses");
+    let smuggler = Query::new(sys)
+        .known("C", w.country.clone())
+        .known("A", w.area.clone())
+        .from_collection("T", w.towns)
+        .from_collection("R", w.roads)
+        .from_collection("B", w.states)
+        .with_order(&["T", "R", "B"]);
+    let district_sys = scq_core::parse_system("T <= W; R & T != 0").expect("parses");
+    let district = Query::new(district_sys)
+        .known(
+            "W",
+            Region::from_box(AaBox::new([100.0, 100.0], [360.0, 360.0])),
+        )
+        .from_collection("T", w.towns)
+        .from_collection("R", w.roads);
+    (db, smuggler, district)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,6 +145,33 @@ mod tests {
         assert_eq!(
             db1.collection_len(db1.collection_id("roads").unwrap()),
             db2.collection_len(db2.collection_id("roads").unwrap())
+        );
+    }
+
+    #[test]
+    fn sharded_setup_matches_unsharded_answers() {
+        let (plain, q) = smuggler_setup(9, 40);
+        let (sharded, sq, district) = sharded_smuggler_setup(9, 40, 8);
+        let a = scq_engine::bbox_execute(&plain, &q, scq_engine::IndexKind::RTree).unwrap();
+        let b = scq_shard::execute(
+            &sharded,
+            &sq,
+            scq_engine::IndexKind::RTree,
+            scq_engine::ExecOptions::all(),
+        )
+        .unwrap();
+        assert_eq!(a.stats.solutions, b.stats.solutions);
+        let d = scq_shard::execute(
+            &sharded,
+            &district,
+            scq_engine::IndexKind::RTree,
+            scq_engine::ExecOptions::all(),
+        )
+        .unwrap();
+        assert!(
+            d.stats.shards_pruned > 0,
+            "district query must prune shards: {}",
+            d.stats
         );
     }
 }

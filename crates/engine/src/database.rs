@@ -25,6 +25,7 @@ use scq_index::{GridFile, RTree, ScanIndex, SpatialIndex, SplitStrategy};
 use scq_region::{AaBox, Region, RegionAlgebra};
 
 use crate::query::IndexKind;
+use crate::view::StoreView;
 
 /// Identifier of a collection within a database.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -304,6 +305,128 @@ impl<const K: usize> SpatialDatabase<K> {
     pub(crate) fn check_rtree_invariants(&self, coll: CollectionId) {
         self.collections[coll.0].rtree.check_invariants();
     }
+
+    /// Reclaims every tombstoned slot: live objects shift down to fill
+    /// the gaps and all three indexes are rebuilt over the compacted
+    /// slot space. The inverse of the never-reuse policy — meant for
+    /// long-lived, churny collections whose tombstone overhead has
+    /// grown past the cost of fixing up held [`ObjectRef`]s.
+    ///
+    /// **Every `ObjectRef` handed out before the call is invalidated.**
+    /// The returned [`CompactReport`] maps each old slot to its new
+    /// slot (or `None` for dropped tombstones) so callers can fix up
+    /// the refs they hold; after compaction `collection_len` equals
+    /// `live_len` for every collection.
+    pub fn compact(&mut self) -> CompactReport {
+        let mut report = CompactReport {
+            remap: Vec::with_capacity(self.collections.len()),
+            slots_reclaimed: 0,
+        };
+        for c in &mut self.collections {
+            let mut remap: Vec<Option<usize>> = Vec::with_capacity(c.objects.len());
+            let objects = std::mem::take(&mut c.objects);
+            let bboxes = std::mem::take(&mut c.bboxes);
+            let live = std::mem::take(&mut c.live);
+            c.rtree = RTree::new(SplitStrategy::Quadratic);
+            c.grid = GridFile::new(32);
+            c.scan = ScanIndex::new();
+            c.empty_objects.clear();
+            c.live_count = 0;
+            for ((region, bbox), alive) in objects.into_iter().zip(bboxes).zip(live) {
+                if !alive {
+                    remap.push(None);
+                    report.slots_reclaimed += 1;
+                    continue;
+                }
+                let index = c.objects.len();
+                remap.push(Some(index));
+                if bbox.is_empty() {
+                    c.empty_objects.push(index);
+                }
+                c.rtree.insert(index as u64, bbox);
+                c.grid.insert(index as u64, bbox);
+                c.scan.insert(index as u64, bbox);
+                c.bboxes.push(bbox);
+                c.objects.push(region);
+                c.live.push(true);
+                c.live_count += 1;
+            }
+            report.remap.push(remap);
+        }
+        report
+    }
+}
+
+/// The slot remap produced by [`SpatialDatabase::compact`].
+#[derive(Clone, Debug)]
+pub struct CompactReport {
+    /// `remap[coll][old_index]` is the slot's post-compaction index, or
+    /// `None` when the slot was a tombstone and got dropped.
+    pub remap: Vec<Vec<Option<usize>>>,
+    /// Number of tombstoned slots reclaimed across all collections.
+    pub slots_reclaimed: usize,
+}
+
+impl CompactReport {
+    /// Translates a pre-compaction [`ObjectRef`] into its
+    /// post-compaction equivalent, or `None` when the object had been
+    /// removed before the compaction.
+    pub fn fix_up(&self, obj: ObjectRef) -> Option<ObjectRef> {
+        self.remap
+            .get(obj.collection.0)?
+            .get(obj.index)
+            .copied()
+            .flatten()
+            .map(|index| ObjectRef {
+                collection: obj.collection,
+                index,
+            })
+    }
+}
+
+impl<const K: usize> StoreView<K> for SpatialDatabase<K> {
+    fn universe(&self) -> &AaBox<K> {
+        SpatialDatabase::universe(self)
+    }
+
+    fn collection_len(&self, coll: CollectionId) -> usize {
+        SpatialDatabase::collection_len(self, coll)
+    }
+
+    fn live_len(&self, coll: CollectionId) -> usize {
+        SpatialDatabase::live_len(self, coll)
+    }
+
+    fn is_live(&self, obj: ObjectRef) -> bool {
+        SpatialDatabase::is_live(self, obj)
+    }
+
+    fn region(&self, obj: ObjectRef) -> &Region<K> {
+        SpatialDatabase::region(self, obj)
+    }
+
+    fn bbox(&self, obj: ObjectRef) -> Bbox<K> {
+        SpatialDatabase::bbox(self, obj)
+    }
+
+    fn query_collection(
+        &self,
+        coll: CollectionId,
+        kind: IndexKind,
+        q: &CornerQuery<K>,
+        out: &mut Vec<u64>,
+    ) -> usize {
+        SpatialDatabase::query_collection(self, coll, kind, q, out);
+        0 // one store, nothing to prune
+    }
+
+    fn empty_objects(&self, coll: CollectionId) -> &[usize] {
+        SpatialDatabase::empty_objects(self, coll)
+    }
+
+    fn live_indices_into(&self, coll: CollectionId, out: &mut Vec<usize>) {
+        out.extend(self.live_indices(coll));
+    }
 }
 
 #[cfg(test)]
@@ -427,6 +550,76 @@ mod tests {
         assert!(d.remove(e1));
         assert_eq!(d.empty_objects(c), &[2]);
         assert_eq!(d.live_len(c), 2);
+    }
+
+    #[test]
+    fn compact_reclaims_tombstones_and_remaps() {
+        let mut d = db();
+        let c = d.collection("boxes");
+        let refs: Vec<ObjectRef> = (0..12)
+            .map(|i| {
+                let x = i as f64 * 8.0;
+                d.insert(c, Region::from_box(AaBox::new([x, 0.0], [x + 6.0, 6.0])))
+            })
+            .collect();
+        let empty = d.insert(c, Region::empty());
+        for &i in &[1usize, 4, 7, 8] {
+            assert!(d.remove(refs[i]));
+        }
+        let report = d.compact();
+        assert_eq!(report.slots_reclaimed, 4);
+        assert_eq!(d.collection_len(c), 9, "tombstones reclaimed");
+        assert_eq!(d.live_len(c), 9);
+        // dropped slots remap to None, survivors to their shifted slot
+        assert_eq!(report.fix_up(refs[1]), None);
+        let r0 = report.fix_up(refs[0]).expect("slot 0 survives");
+        assert_eq!(r0.index, 0);
+        let r5 = report.fix_up(refs[5]).expect("slot 5 survives");
+        assert_eq!(r5.index, 3, "two earlier tombstones shift it down");
+        assert!(d
+            .region(r5)
+            .same_set(&Region::from_box(AaBox::new([40.0, 0.0], [46.0, 6.0]))));
+        // the empty-region object stays tracked under its new slot
+        let e = report.fix_up(empty).expect("empty object survives");
+        assert_eq!(d.empty_objects(c), &[e.index]);
+        // all indexes answer over the compacted id space
+        let q = CornerQuery::unconstrained();
+        for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+            let mut out = Vec::new();
+            d.query_collection(c, kind, &q, &mut out);
+            out.sort_unstable();
+            let expect: Vec<u64> = (0..9).filter(|&i| i != e.index as u64).collect();
+            assert_eq!(out, expect, "{kind:?}");
+        }
+        crate::integrity::check(&d).expect("compacted database is consistent");
+        // compacting an already-compact database is a no-op remap
+        let again = d.compact();
+        assert_eq!(again.slots_reclaimed, 0);
+        assert_eq!(again.fix_up(r5), Some(r5));
+    }
+
+    #[test]
+    fn compact_is_per_collection() {
+        let mut d = db();
+        let a = d.collection("a");
+        let b = d.collection("b");
+        let ra = d.insert(a, Region::from_box(AaBox::new([0.0, 0.0], [1.0, 1.0])));
+        let rb0 = d.insert(b, Region::from_box(AaBox::new([2.0, 2.0], [3.0, 3.0])));
+        let rb1 = d.insert(b, Region::from_box(AaBox::new([4.0, 4.0], [5.0, 5.0])));
+        assert!(d.remove(rb0));
+        let report = d.compact();
+        assert_eq!(
+            report.fix_up(ra),
+            Some(ra),
+            "untouched collection keeps slots"
+        );
+        assert_eq!(report.fix_up(rb0), None);
+        assert_eq!(
+            report.fix_up(rb1).map(|o| o.index),
+            Some(0),
+            "b's survivor shifts to slot 0"
+        );
+        crate::integrity::check(&d).expect("consistent after compaction");
     }
 
     #[test]

@@ -43,9 +43,10 @@ use scq_core::plan::{BboxPlan, CompiledRow};
 use scq_core::{check_system_in, triangularize, TriangularSystem};
 use scq_region::{Region, RegionAlgebra};
 
-use crate::database::{CollectionId, ObjectRef, SpatialDatabase};
+use crate::database::{CollectionId, ObjectRef};
 use crate::query::{IndexKind, Query};
 use crate::stats::ExecStats;
+use crate::view::StoreView;
 
 /// One solution: an object per unknown variable.
 pub type Solution = BTreeMap<Var, ObjectRef>;
@@ -122,8 +123,8 @@ pub(crate) struct PreparedQuery<const K: usize> {
     pub max_var: usize,
 }
 
-pub(crate) fn prepare<const K: usize>(
-    db: &SpatialDatabase<K>,
+pub(crate) fn prepare<const K: usize, V: StoreView<K>>(
+    db: &V,
     query: &Query<K>,
 ) -> Result<PreparedQuery<K>, ExecError> {
     query.validate().map_err(ExecError::InvalidQuery)?;
@@ -184,8 +185,8 @@ pub(crate) fn level_bufs(n: usize) -> Vec<LevelBuf> {
 /// tombstones are counted in [`ExecStats::tombstones_skipped`]. Either
 /// way the buffers are recycled — no allocation once the pool has
 /// warmed up.
-pub(crate) fn gather_candidates<const K: usize>(
-    db: &SpatialDatabase<K>,
+pub(crate) fn gather_candidates<const K: usize, V: StoreView<K>>(
+    db: &V,
     coll: CollectionId,
     kind: Option<IndexKind>,
     row: &CompiledRow<K>,
@@ -200,13 +201,13 @@ pub(crate) fn gather_candidates<const K: usize>(
     match kind {
         Some(k) => {
             if !q.is_unsatisfiable() {
-                db.query_collection(coll, k, &q, &mut buf.ids);
+                stats.shards_pruned += db.query_collection(coll, k, &q, &mut buf.ids);
             }
             buf.candidates.extend(buf.ids.iter().map(|&id| id as usize));
             buf.candidates.extend_from_slice(db.empty_objects(coll));
         }
         None => {
-            buf.candidates.extend(db.live_indices(coll));
+            db.live_indices_into(coll, &mut buf.candidates);
             stats.tombstones_skipped += db.collection_len(coll) - buf.candidates.len();
         }
     }
@@ -221,8 +222,8 @@ pub(crate) fn gather_candidates<const K: usize>(
 /// left in place and the caller recurses, then unbinds. On rejection
 /// the assignment is left unchanged.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn try_candidate<'e, const K: usize>(
-    db: &'e SpatialDatabase<K>,
+pub(crate) fn try_candidate<'e, const K: usize, V: StoreView<K>>(
+    db: &'e V,
     alg: &RegionAlgebra<K>,
     row: &CompiledRow<K>,
     q: &CornerQuery<K>,
@@ -303,8 +304,8 @@ fn check_known_rows<const K: usize>(
 // ── sequential executors ────────────────────────────────────────────────
 
 /// Shared execution context.
-struct Ctx<'e, const K: usize> {
-    db: &'e SpatialDatabase<K>,
+struct Ctx<'e, const K: usize, V: StoreView<K>> {
+    db: &'e V,
     alg: RegionAlgebra<K>,
     unknowns: Vec<(Var, CollectionId)>, // in retrieval order
     stats: ExecStats,
@@ -312,7 +313,7 @@ struct Ctx<'e, const K: usize> {
     options: ExecOptions,
 }
 
-impl<const K: usize> Ctx<'_, K> {
+impl<const K: usize, V: StoreView<K>> Ctx<'_, K, V> {
     fn done(&self) -> bool {
         self.options
             .max_solutions
@@ -322,16 +323,16 @@ impl<const K: usize> Ctx<'_, K> {
 
 /// Cross product + full constraint check at the leaves. The baseline of
 /// benchmark B1: what a system without the optimizer must do.
-pub fn naive_execute<const K: usize>(
-    db: &SpatialDatabase<K>,
+pub fn naive_execute<const K: usize, V: StoreView<K>>(
+    db: &V,
     query: &Query<K>,
 ) -> Result<QueryResult, ExecError> {
     naive_execute_opts(db, query, ExecOptions::all())
 }
 
 /// [`naive_execute`] with tuning options.
-pub fn naive_execute_opts<const K: usize>(
-    db: &SpatialDatabase<K>,
+pub fn naive_execute_opts<const K: usize, V: StoreView<K>>(
+    db: &V,
     query: &Query<K>,
     options: ExecOptions,
 ) -> Result<QueryResult, ExecError> {
@@ -356,8 +357,8 @@ pub fn naive_execute_opts<const K: usize>(
     })
 }
 
-fn naive_rec<'e, const K: usize>(
-    ctx: &mut Ctx<'e, K>,
+fn naive_rec<'e, const K: usize, V: StoreView<K>>(
+    ctx: &mut Ctx<'e, K, V>,
     query: &Query<K>,
     level: usize,
     assign: &mut FlatAssignment<'e, Region<K>>,
@@ -372,7 +373,7 @@ fn naive_rec<'e, const K: usize>(
         return Ok(());
     }
     let (var, coll) = ctx.unknowns[level];
-    for index in ctx.db.object_indices(coll) {
+    for index in 0..ctx.db.collection_len(coll) {
         if ctx.done() {
             return Ok(());
         }
@@ -399,8 +400,8 @@ fn naive_rec<'e, const K: usize>(
 /// Prepares the triangular system for a query (shared by the two
 /// optimized executors and exposed for benchmarks that want to time
 /// compilation separately).
-pub fn compile_triangular<const K: usize>(
-    db: &SpatialDatabase<K>,
+pub fn compile_triangular<const K: usize, V: StoreView<K>>(
+    db: &V,
     query: &Query<K>,
 ) -> Result<TriangularSystem, ExecError> {
     let prep = prepare(db, query)?;
@@ -412,16 +413,16 @@ pub fn compile_triangular<const K: usize>(
 /// scans (no spatial index). Isolates the benefit of the triangular form
 /// from the benefit of range queries (the bbox prefilter still applies,
 /// so the ablation measures the index's *retrieval* savings).
-pub fn triangular_execute<const K: usize>(
-    db: &SpatialDatabase<K>,
+pub fn triangular_execute<const K: usize, V: StoreView<K>>(
+    db: &V,
     query: &Query<K>,
 ) -> Result<QueryResult, ExecError> {
     run_optimized(db, query, None, ExecOptions::all())
 }
 
 /// [`triangular_execute`] with tuning options.
-pub fn triangular_execute_opts<const K: usize>(
-    db: &SpatialDatabase<K>,
+pub fn triangular_execute_opts<const K: usize, V: StoreView<K>>(
+    db: &V,
     query: &Query<K>,
     options: ExecOptions,
 ) -> Result<QueryResult, ExecError> {
@@ -430,8 +431,8 @@ pub fn triangular_execute_opts<const K: usize>(
 
 /// The paper's full pipeline: per-level corner-transform range query
 /// against the chosen index, then exact row verification.
-pub fn bbox_execute<const K: usize>(
-    db: &SpatialDatabase<K>,
+pub fn bbox_execute<const K: usize, V: StoreView<K>>(
+    db: &V,
     query: &Query<K>,
     kind: IndexKind,
 ) -> Result<QueryResult, ExecError> {
@@ -439,8 +440,8 @@ pub fn bbox_execute<const K: usize>(
 }
 
 /// [`bbox_execute`] with tuning options.
-pub fn bbox_execute_opts<const K: usize>(
-    db: &SpatialDatabase<K>,
+pub fn bbox_execute_opts<const K: usize, V: StoreView<K>>(
+    db: &V,
     query: &Query<K>,
     kind: IndexKind,
     options: ExecOptions,
@@ -448,8 +449,8 @@ pub fn bbox_execute_opts<const K: usize>(
     run_optimized(db, query, Some(kind), options)
 }
 
-fn run_optimized<const K: usize>(
-    db: &SpatialDatabase<K>,
+fn run_optimized<const K: usize, V: StoreView<K>>(
+    db: &V,
     query: &Query<K>,
     kind: Option<IndexKind>,
     options: ExecOptions,
@@ -499,8 +500,8 @@ fn run_optimized<const K: usize>(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn opt_rec<'e, const K: usize>(
-    ctx: &mut Ctx<'e, K>,
+fn opt_rec<'e, const K: usize, V: StoreView<K>>(
+    ctx: &mut Ctx<'e, K, V>,
     plan: &BboxPlan<K>,
     kind: Option<IndexKind>,
     level: usize,
@@ -545,6 +546,7 @@ fn opt_rec<'e, const K: usize>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::database::SpatialDatabase;
     use crate::query::VarBinding;
     use scq_core::parse_system;
     use scq_region::AaBox;

@@ -18,6 +18,7 @@ use scq_bbox::CornerQuery;
 
 use crate::exec::{bbox_execute_opts, ExecError, ExecOptions, Solution};
 use crate::query::{IndexKind, Query};
+use crate::view::StoreView;
 use crate::SpatialDatabase;
 
 /// A named violation pattern.
@@ -41,8 +42,8 @@ pub struct Violation {
 
 /// Checks all rules; returns every violation (bounded per rule by
 /// `max_per_rule` to keep reports readable).
-pub fn check_integrity<const K: usize>(
-    db: &SpatialDatabase<K>,
+pub fn check_integrity<const K: usize, V: StoreView<K>>(
+    db: &V,
     rules: &[IntegrityRule<K>],
     kind: IndexKind,
     max_per_rule: usize,
@@ -66,8 +67,8 @@ pub fn check_integrity<const K: usize>(
 }
 
 /// Fast consistency check: stops at the first violation of any rule.
-pub fn is_consistent<const K: usize>(
-    db: &SpatialDatabase<K>,
+pub fn is_consistent<const K: usize, V: StoreView<K>>(
+    db: &V,
     rules: &[IntegrityRule<K>],
     kind: IndexKind,
 ) -> Result<bool, ExecError> {
@@ -95,6 +96,15 @@ pub fn check<const K: usize>(db: &SpatialDatabase<K>) -> Result<(), Vec<String>>
     for coll in db.collections() {
         let name = db.collection_name(coll);
         let live = db.live_len(coll);
+        // The cached live count must equal a recount of the liveness
+        // slots — compaction and the mutation paths both maintain it,
+        // and every downstream check below compares against it.
+        let recount = db.live_indices(coll).count();
+        if recount != live {
+            problems.push(format!(
+                "{name}: cached live count {live} != recounted live slots {recount}"
+            ));
+        }
         let mut expect_nonempty: Vec<u64> = Vec::new();
         let mut expect_empty: Vec<usize> = Vec::new();
         for index in db.live_indices(coll) {

@@ -37,9 +37,10 @@ pub mod planner;
 pub mod query;
 pub mod snapshot;
 pub mod stats;
+pub mod view;
 pub mod workload;
 
-pub use database::{CollectionId, ObjectRef, SpatialDatabase};
+pub use database::{CollectionId, CompactReport, ObjectRef, SpatialDatabase};
 pub use exec::{
     bbox_execute, bbox_execute_opts, naive_execute, naive_execute_opts, triangular_execute,
     triangular_execute_opts, ExecError, ExecOptions, QueryResult,
@@ -49,3 +50,4 @@ pub use parallel::bbox_execute_parallel;
 pub use planner::{order_by_selectivity, with_selectivity_order, SelectivityEstimate};
 pub use query::{IndexKind, Query, VarBinding};
 pub use stats::ExecStats;
+pub use view::StoreView;

@@ -33,13 +33,14 @@ use scq_core::plan::BboxPlan;
 use scq_core::triangularize;
 use scq_region::{Region, RegionAlgebra};
 
-use crate::database::{CollectionId, ObjectRef, SpatialDatabase};
+use crate::database::{CollectionId, ObjectRef};
 use crate::exec::{
     bind_knowns, gather_candidates, level_bufs, prepare, try_candidate, ExecError, ExecOptions,
     LevelBuf, QueryResult, Solution,
 };
 use crate::query::{IndexKind, Query};
 use crate::stats::ExecStats;
+use crate::view::StoreView;
 
 /// A unit of work: a **validated** prefix of the retrieval order plus
 /// the still-untried candidates at the next level. The receiving worker
@@ -158,8 +159,8 @@ impl Shared {
 }
 
 /// Read-only search environment shared by all workers.
-struct Env<'e, const K: usize> {
-    db: &'e SpatialDatabase<K>,
+struct Env<'e, const K: usize, V: StoreView<K>> {
+    db: &'e V,
     alg: RegionAlgebra<K>,
     plan: &'e BboxPlan<K>,
     kind: IndexKind,
@@ -174,8 +175,8 @@ struct Env<'e, const K: usize> {
 ///
 /// `threads == 0` or `1`, or a query with no unknowns, falls back to the
 /// sequential executor.
-pub fn bbox_execute_parallel<const K: usize>(
-    db: &SpatialDatabase<K>,
+pub fn bbox_execute_parallel<const K: usize, V: StoreView<K> + Sync>(
+    db: &V,
     query: &Query<K>,
     kind: IndexKind,
     threads: usize,
@@ -268,8 +269,8 @@ pub fn bbox_execute_parallel<const K: usize>(
 
 /// Worker loop: pop a task, rebind its validated prefix, explore the
 /// subtree (donating children while the queue is hungry), undo, repeat.
-fn worker<'e, const K: usize>(
-    env: Env<'e, K>,
+fn worker<'e, const K: usize, V: StoreView<K>>(
+    env: Env<'e, K, V>,
     base_assign: &FlatAssignment<'e, Region<K>>,
     base_boxes: &[Bbox<K>],
 ) -> Result<QueryResult, ExecError> {
@@ -347,8 +348,8 @@ fn worker<'e, const K: usize>(
 /// level, not one queue round-trip per candidate) and keeps the first
 /// half.
 #[allow(clippy::too_many_arguments)]
-fn process_level<'e, const K: usize>(
-    env: &Env<'e, K>,
+fn process_level<'e, const K: usize, V: StoreView<K>>(
+    env: &Env<'e, K, V>,
     level: usize,
     row: &scq_core::plan::CompiledRow<K>,
     q: &scq_bbox::CornerQuery<K>,
@@ -402,8 +403,8 @@ fn process_level<'e, const K: usize>(
 /// leaves, otherwise gather the level's candidates (into the worker's
 /// reusable buffer) and process them.
 #[allow(clippy::too_many_arguments)]
-fn descend<'e, const K: usize>(
-    env: &Env<'e, K>,
+fn descend<'e, const K: usize, V: StoreView<K>>(
+    env: &Env<'e, K, V>,
     level: usize,
     assign: &mut FlatAssignment<'e, Region<K>>,
     boxes: &mut [Bbox<K>],
@@ -446,6 +447,7 @@ fn descend<'e, const K: usize>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::database::SpatialDatabase;
     use crate::exec::bbox_execute;
     use crate::workload::{map_workload, MapParams};
     use scq_core::parse_system;

@@ -7,7 +7,8 @@ use scq_boolean::Var;
 use scq_core::ConstraintSystem;
 use scq_region::Region;
 
-use crate::database::{CollectionId, SpatialDatabase};
+use crate::database::CollectionId;
+use crate::view::StoreView;
 
 /// Which index structure the bbox executor probes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -105,7 +106,7 @@ impl<const K: usize> Query<K> {
     /// before any retrieval), then the unknowns in the requested order,
     /// or by ascending collection size if none was given — smaller
     /// collections earlier mean cheaper backtracking levels on top.
-    pub fn retrieval_order(&self, db: &SpatialDatabase<K>) -> Vec<Var> {
+    pub fn retrieval_order<V: StoreView<K>>(&self, db: &V) -> Vec<Var> {
         let mut order: Vec<Var> = self.known_vars().iter().map(|&(v, _)| v).collect();
         match &self.order {
             Some(unknowns) => order.extend(unknowns.iter().copied()),
@@ -158,6 +159,7 @@ impl<const K: usize> Query<K> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::database::SpatialDatabase;
     use scq_core::parse_system;
     use scq_region::AaBox;
 

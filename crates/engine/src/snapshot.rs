@@ -430,6 +430,44 @@ mod tests {
     }
 
     #[test]
+    fn truncation_inside_the_liveness_section_is_rejected() {
+        // Hand-crafted v2 payload declaring two objects but cut exactly
+        // where the second object's liveness flags byte should start:
+        // the loader must report Truncated, not default the flag or
+        // panic.
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(b"SCQS");
+        buf.extend_from_slice(&2u16.to_le_bytes()); // version 2
+        buf.extend_from_slice(&2u16.to_le_bytes()); // K = 2
+        for c in [0.0f64, 0.0, 100.0, 100.0] {
+            buf.extend_from_slice(&c.to_le_bytes()); // universe
+        }
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one collection
+        buf.extend_from_slice(&5u16.to_le_bytes());
+        buf.extend_from_slice(b"boxes");
+        buf.extend_from_slice(&2u32.to_le_bytes()); // TWO objects declared
+        buf.push(1); // object 0: live
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one fragment
+        for c in [1.0f64, 1.0, 2.0, 2.0] {
+            buf.extend_from_slice(&c.to_le_bytes());
+        }
+        // object 1 is missing entirely — the cut lands on its flags byte
+        assert_eq!(load::<2>(&buf).err(), Some(SnapshotError::Truncated));
+        // one flags byte but no fragment count: still truncated
+        let mut partial = buf.clone();
+        partial.push(0); // object 1: tombstone flag present…
+        assert_eq!(load::<2>(&partial).err(), Some(SnapshotError::Truncated));
+        // completing the object (empty region) makes the payload load,
+        // confirming the cut above was precisely the missing piece
+        let mut whole = partial.clone();
+        whole.extend_from_slice(&0u32.to_le_bytes());
+        let db: SpatialDatabase<2> = load(&whole).unwrap();
+        let coll = db.collection_id("boxes").unwrap();
+        assert_eq!(db.collection_len(coll), 2);
+        assert_eq!(db.live_len(coll), 1, "object 1 is a tombstone");
+    }
+
+    #[test]
     fn huge_fragment_count_is_rejected_without_allocating() {
         // A corrupt object declaring u32::MAX fragments must error out
         // of the length check, not attempt a ~137 GB reservation.

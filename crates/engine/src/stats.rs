@@ -30,20 +30,48 @@ pub struct ExecStats {
     /// range queries never surface tombstones, so this counts only the
     /// full-scan paths).
     pub tombstones_skipped: usize,
+    /// Shards the router proved disjoint from a range query and never
+    /// probed (always 0 against an unsharded database).
+    pub shards_pruned: usize,
 }
 
 impl ExecStats {
-    /// Sums two stat blocks (useful when aggregating benchmark runs).
+    /// Aggregates another stat block into this one, field by field with
+    /// **saturating** adds — merged counters from many shards, workers
+    /// or benchmark runs degrade to `usize::MAX` instead of wrapping.
+    /// This is the single aggregation point: the parallel executor and
+    /// the cross-shard merge both go through it.
     pub fn merge(&mut self, other: &ExecStats) {
-        self.solutions += other.solutions;
-        self.partial_tuples += other.partial_tuples;
-        self.index_candidates += other.index_candidates;
-        self.exact_row_checks += other.exact_row_checks;
-        self.row_rejections += other.row_rejections;
-        self.full_system_checks += other.full_system_checks;
-        self.bbox_prefilter_rejections += other.bbox_prefilter_rejections;
-        self.regions_bound += other.regions_bound;
-        self.tombstones_skipped += other.tombstones_skipped;
+        let ExecStats {
+            solutions,
+            partial_tuples,
+            index_candidates,
+            exact_row_checks,
+            row_rejections,
+            full_system_checks,
+            bbox_prefilter_rejections,
+            regions_bound,
+            tombstones_skipped,
+            shards_pruned,
+        } = other;
+        self.solutions = self.solutions.saturating_add(*solutions);
+        self.partial_tuples = self.partial_tuples.saturating_add(*partial_tuples);
+        self.index_candidates = self.index_candidates.saturating_add(*index_candidates);
+        self.exact_row_checks = self.exact_row_checks.saturating_add(*exact_row_checks);
+        self.row_rejections = self.row_rejections.saturating_add(*row_rejections);
+        self.full_system_checks = self.full_system_checks.saturating_add(*full_system_checks);
+        self.bbox_prefilter_rejections = self
+            .bbox_prefilter_rejections
+            .saturating_add(*bbox_prefilter_rejections);
+        self.regions_bound = self.regions_bound.saturating_add(*regions_bound);
+        self.tombstones_skipped = self.tombstones_skipped.saturating_add(*tombstones_skipped);
+        self.shards_pruned = self.shards_pruned.saturating_add(*shards_pruned);
+    }
+
+    /// [`ExecStats::merge`] as a value-returning fold step.
+    pub fn merged(mut self, other: &ExecStats) -> ExecStats {
+        self.merge(other);
+        self
     }
 }
 
@@ -52,7 +80,7 @@ impl std::fmt::Display for ExecStats {
         write!(
             f,
             "solutions={} partials={} candidates={} row_checks={} row_rejects={} \
-             full_checks={} bbox_rejects={} bound={} tombstones={}",
+             full_checks={} bbox_rejects={} bound={} tombstones={} shards_pruned={}",
             self.solutions,
             self.partial_tuples,
             self.index_candidates,
@@ -61,7 +89,8 @@ impl std::fmt::Display for ExecStats {
             self.full_system_checks,
             self.bbox_prefilter_rejections,
             self.regions_bound,
-            self.tombstones_skipped
+            self.tombstones_skipped,
+            self.shards_pruned
         )
     }
 }
@@ -80,12 +109,46 @@ mod tests {
         let b = ExecStats {
             solutions: 3,
             index_candidates: 5,
+            shards_pruned: 2,
             ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.solutions, 4);
         assert_eq!(a.partial_tuples, 2);
         assert_eq!(a.index_candidates, 5);
+        assert_eq!(a.shards_pruned, 2);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = ExecStats {
+            exact_row_checks: usize::MAX - 1,
+            ..Default::default()
+        };
+        let b = ExecStats {
+            exact_row_checks: 10,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.exact_row_checks, usize::MAX);
+    }
+
+    #[test]
+    fn merged_folds() {
+        let parts = [
+            ExecStats {
+                solutions: 1,
+                ..Default::default()
+            },
+            ExecStats {
+                solutions: 2,
+                ..Default::default()
+            },
+        ];
+        let total = parts
+            .iter()
+            .fold(ExecStats::default(), |acc, s| acc.merged(s));
+        assert_eq!(total.solutions, 3);
     }
 
     #[test]
@@ -93,5 +156,6 @@ mod tests {
         let s = ExecStats::default();
         let t = s.to_string();
         assert!(t.contains("solutions=0"));
+        assert!(t.contains("shards_pruned=0"));
     }
 }

@@ -1,0 +1,76 @@
+//! The executor-facing store abstraction.
+//!
+//! Every executor ([`crate::exec`], [`crate::parallel`]) runs against a
+//! [`StoreView`]: the minimal read surface of an object store —
+//! collections of regions with materialized bounding boxes, per-slot
+//! liveness and corner-query retrieval. [`crate::SpatialDatabase`] is
+//! the single-store implementation; a sharded database implements the
+//! same trait by fanning corner queries out across shards and mapping
+//! shard-local ids back to a global slot space, so one executor code
+//! path serves both (and the two can be property-tested against each
+//! other).
+//!
+//! The trait is deliberately read-only: executors never mutate the
+//! store, which is what lets the parallel executor share one view
+//! across workers (`&V` where `V: Sync`).
+
+use scq_bbox::{Bbox, CornerQuery};
+use scq_region::{AaBox, Region, RegionAlgebra};
+
+use crate::database::{CollectionId, ObjectRef};
+use crate::query::IndexKind;
+
+/// Read access to an object store, as consumed by the executors.
+///
+/// Object identity is `(collection, slot index)` — [`ObjectRef`] — in a
+/// *view-global* slot space: implementations over partitioned storage
+/// must translate to and from their internal addressing. Slot indices
+/// returned by [`StoreView::query_collection`] and
+/// [`StoreView::live_indices_into`] index that global space.
+pub trait StoreView<const K: usize> {
+    /// The universe box all regions live in.
+    fn universe(&self) -> &AaBox<K>;
+
+    /// The Boolean algebra of this store's regions.
+    fn algebra(&self) -> RegionAlgebra<K> {
+        RegionAlgebra::new(*self.universe())
+    }
+
+    /// Number of slots in a collection, tombstones included. Slot
+    /// indices range over `0..collection_len`.
+    fn collection_len(&self, coll: CollectionId) -> usize;
+
+    /// Number of live (non-tombstoned) objects in a collection.
+    fn live_len(&self, coll: CollectionId) -> usize;
+
+    /// Whether the object's slot is live (not tombstoned).
+    fn is_live(&self, obj: ObjectRef) -> bool;
+
+    /// The region of an object.
+    fn region(&self, obj: ObjectRef) -> &Region<K>;
+
+    /// The object's bounding box, materialized at insert time.
+    fn bbox(&self, obj: ObjectRef) -> Bbox<K>;
+
+    /// Runs a corner query against the chosen index of a collection,
+    /// appending matching (global) object indices to `out`. Returns the
+    /// number of shards the router pruned — partitions of the
+    /// collection that provably contain no match and were never probed
+    /// (`0` for single-store implementations).
+    fn query_collection(
+        &self,
+        coll: CollectionId,
+        kind: IndexKind,
+        q: &CornerQuery<K>,
+        out: &mut Vec<u64>,
+    ) -> usize;
+
+    /// *Live* object indices in a collection whose regions are empty
+    /// (corner queries cannot return them; executors re-add them as
+    /// candidates to stay exact).
+    fn empty_objects(&self, coll: CollectionId) -> &[usize];
+
+    /// Appends the live (global) slot indices of a collection to `out`,
+    /// in ascending order.
+    fn live_indices_into(&self, coll: CollectionId, out: &mut Vec<usize>);
+}

@@ -1,0 +1,410 @@
+#![warn(missing_docs)]
+
+//! `scq-serve`: a concurrent query-serving front end over the sharded
+//! spatial database.
+//!
+//! The server speaks a **line-oriented text protocol** over TCP
+//! (`std::net` only — no async runtime, no framing library): one
+//! command per line in, one response line out, every response starting
+//! with `OK` or `ERR`. A fixed pool of worker threads shares one
+//! listener; each worker serves one connection at a time. The database
+//! sits behind an `RwLock`, so queries run concurrently across
+//! connections while mutations serialize — the classic
+//! read-mostly serving posture.
+//!
+//! # Protocol
+//!
+//! ```text
+//! PING                                         → OK pong
+//! CREATE <name>                                → OK coll=<id>
+//! INSERT <coll> <x0> <y0> <x1> <y1>            → OK ref=<slot>
+//! INSERT <coll> empty                          → OK ref=<slot>
+//! REMOVE <coll> <slot>                         → OK removed | OK noop
+//! UPDATE <coll> <slot> <x0> <y0> <x1> <y1>     → OK updated | OK noop
+//! QUERY <coll> <index> <mode> <x0> <y0> <x1> <y1>
+//!                                              → OK n=<n> pruned=<p> ids=<a,b,…>
+//! SOLVE <index> <max> <bindings> <system>      → OK n=<n> pruned=<p> tuples=<…>
+//! STAT                                         → OK shards=<s> collections=<c> live=<n>
+//! STAT <coll>                                  → OK len=<slots> live=<n>
+//! COMPACT                                      → OK reclaimed=<n>
+//! SNAPSHOT SAVE <dir>                          → OK saved shards=<s>
+//! SNAPSHOT LOAD <dir>                          → OK loaded collections=<c>
+//! LOAD map <seed> <roads>                      → OK towns=<t> roads=<r> states=<s>
+//! QUIT                                         → OK bye (closes the connection)
+//! ```
+//!
+//! * `<coll>` is a collection **name**; `CREATE` is idempotent.
+//! * `<index>` is `rtree`, `grid` or `scan`; `<mode>` is `overlaps`,
+//!   `within` or `contains` (the three corner-query shapes).
+//! * `<max>` is `all` or a solution cap.
+//! * `<bindings>` is comma-separated `VAR=coll:<name>` and
+//!   `VAR=box:<x0>:<y0>:<x1>:<y1>` entries; `<system>` is the rest of
+//!   the line in the engine's constraint syntax (`;`-separated).
+//! * `pruned` reports [`scq_engine::ExecStats::shards_pruned`] — how
+//!   many shards the z-order router proved disjoint and never probed.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+
+use scq_region::AaBox;
+use scq_shard::ShardedDatabase;
+
+mod proto;
+
+pub use proto::handle_command;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (`:0` for an ephemeral
+    /// port).
+    pub addr: String,
+    /// Number of shards of the database.
+    pub shards: usize,
+    /// Worker threads accepting connections.
+    pub threads: usize,
+    /// Universe half-open square side (the database spans
+    /// `[0, size]²`).
+    pub universe_size: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: 4,
+            threads: 4,
+            universe_size: 1000.0,
+        }
+    }
+}
+
+/// A running server: the bound address plus the worker pool.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, unblocks the workers and joins them.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the listener once per worker so blocked accepts return.
+        for _ in &self.workers {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Starts the server: binds, spawns the worker pool, returns
+/// immediately.
+pub fn serve(config: &ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let universe = AaBox::new([0.0, 0.0], [config.universe_size, config.universe_size]);
+    let db = Arc::new(RwLock::new(ShardedDatabase::new(
+        universe,
+        config.shards.max(1),
+    )));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for _ in 0..config.threads.max(1) {
+        let listener = listener.try_clone()?;
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        workers.push(std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => serve_connection(stream, &db, &stop),
+                    Err(_) => continue,
+                }
+            }
+        }));
+    }
+    Ok(ServerHandle {
+        addr,
+        stop,
+        workers,
+    })
+}
+
+fn serve_connection(stream: TcpStream, db: &Arc<RwLock<ShardedDatabase>>, stop: &AtomicBool) {
+    // A bounded read timeout keeps shutdown() from hanging on a worker
+    // parked in read_line under an idle connection: the read wakes up
+    // periodically, notices the stop flag and closes.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client hung up
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle tick: re-check the stop flag. `line` keeps any
+                // partial bytes already read, so a slow sender's
+                // command survives the timeout.
+                continue;
+            }
+            Err(_) => return,
+            Ok(_) => {}
+        }
+        let cmd = line.trim();
+        if !cmd.is_empty() {
+            let (response, quit) = handle_command(db, cmd);
+            if writer.write_all(response.as_bytes()).is_err()
+                || writer.write_all(b"\n").is_err()
+                || writer.flush().is_err()
+            {
+                return;
+            }
+            if quit {
+                return;
+            }
+        }
+        line.clear();
+    }
+}
+
+// ── scripted client + self test ─────────────────────────────────────────
+
+/// One scripted exchange: a command and the prefix its response must
+/// carry.
+pub type ScriptStep<'a> = (&'a str, &'a str);
+
+/// The scripted session the CI smoke test runs: exercises create /
+/// insert / remove / update / query / solve / stat / compact /
+/// snapshot round-trip end to end against a live server.
+pub fn smoke_script(snapshot_dir: &str) -> Vec<(String, String)> {
+    let own = |steps: Vec<(&str, &str)>| -> Vec<(String, String)> {
+        steps
+            .into_iter()
+            .map(|(c, r)| (c.to_string(), r.to_string()))
+            .collect()
+    };
+    let mut steps = own(vec![
+        ("PING", "OK pong"),
+        ("CREATE towns", "OK coll=0"),
+        ("CREATE roads", "OK coll=1"),
+        ("CREATE towns", "OK coll=0"), // idempotent
+        ("INSERT towns 10 42 14 46", "OK ref=0"),
+        ("INSERT towns 10 70 14 74", "OK ref=1"),
+        ("INSERT towns 880 880 890 890", "OK ref=2"),
+        ("INSERT towns empty", "OK ref=3"),
+        ("INSERT roads 12 43 65 45", "OK ref=0"),
+        ("INSERT roads 12 45 14 72", "OK ref=1"),
+        ("STAT", "OK shards=4 collections=2 live=6"),
+        ("STAT towns", "OK len=4 live=4"),
+        ("QUERY towns rtree within 0 0 100 100", "OK n=2 pruned="),
+        ("QUERY towns grid overlaps 11 43 13 44", "OK n=1"),
+        ("QUERY towns scan contains 11 43 13 44", "OK n=1"),
+        ("REMOVE towns 1", "OK removed"),
+        ("REMOVE towns 1", "OK noop"),
+        ("UPDATE towns 2 10 60 16 66", "OK updated"),
+        ("STAT towns", "OK len=4 live=3"),
+        (
+            "SOLVE rtree all T=coll:towns,R=coll:roads,C=box:0:0:100:100 T <= C; R & T != 0",
+            "OK n=3",
+        ),
+        (
+            "SOLVE grid all T=coll:towns,R=coll:roads,C=box:0:0:50:50 T <= C; R & T != 0",
+            "OK n=2",
+        ),
+    ]);
+    steps.extend(own(vec![("COMPACT", "OK reclaimed=1")]));
+    steps.push((
+        format!("SNAPSHOT SAVE {snapshot_dir}"),
+        "OK saved shards=4".into(),
+    ));
+    steps.push((
+        format!("SNAPSHOT LOAD {snapshot_dir}"),
+        "OK loaded collections=2".into(),
+    ));
+    steps.extend(own(vec![
+        ("STAT towns", "OK len=3 live=3"),
+        ("QUERY towns rtree within 0 0 100 100", "OK n=2"),
+        ("LOAD map 7 40", "OK towns="),
+        ("STAT states", "OK len=8 live=8"),
+        ("BOGUS", "ERR unknown command"),
+        ("QUIT", "OK bye"),
+    ]));
+    steps
+}
+
+/// Runs a scripted session against `addr`, asserting every response
+/// prefix. Returns the transcript; errors carry the first divergence.
+pub fn run_script(addr: SocketAddr, script: &[(String, String)]) -> Result<Vec<String>, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = stream;
+    let mut transcript = Vec::new();
+    for (cmd, want_prefix) in script {
+        writer
+            .write_all(format!("{cmd}\n").as_bytes())
+            .map_err(|e| format!("send {cmd:?}: {e}"))?;
+        writer.flush().map_err(|e| e.to_string())?;
+        let mut response = String::new();
+        reader
+            .read_line(&mut response)
+            .map_err(|e| format!("read after {cmd:?}: {e}"))?;
+        let response = response.trim_end().to_string();
+        transcript.push(format!("> {cmd}\n< {response}"));
+        if !response.starts_with(want_prefix.as_str()) {
+            return Err(format!(
+                "command {cmd:?}: expected prefix {want_prefix:?}, got {response:?}\n\
+                 transcript so far:\n{}",
+                transcript.join("\n")
+            ));
+        }
+    }
+    Ok(transcript)
+}
+
+/// Boots an ephemeral server, runs the smoke script against it over
+/// real TCP, and shuts down. The CI server-smoke job calls this through
+/// `scq-serve --self-test`.
+pub fn self_test() -> Result<Vec<String>, String> {
+    let handle = serve(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 4,
+        threads: 2,
+        universe_size: 1000.0,
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    let dir = std::env::temp_dir().join(format!("scq_serve_selftest_{}", std::process::id()));
+    let script = smoke_script(&dir.display().to_string());
+    let result = run_script(handle.addr(), &script);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_test_passes_end_to_end() {
+        let transcript = self_test().expect("scripted session succeeds");
+        assert!(transcript.len() >= 20);
+    }
+
+    #[test]
+    fn concurrent_clients_are_served() {
+        let handle = serve(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: 3,
+            threads: 3,
+            universe_size: 100.0,
+        })
+        .unwrap();
+        let addr = handle.addr();
+        let own = |steps: Vec<(&str, &str)>| {
+            steps
+                .into_iter()
+                .map(|(c, r)| (c.to_string(), r.to_string()))
+                .collect::<Vec<_>>()
+        };
+        // Writer sets up data, three readers query concurrently.
+        run_script(
+            addr,
+            &own(vec![
+                ("CREATE objs", "OK coll=0"),
+                ("INSERT objs 1 1 5 5", "OK ref=0"),
+                ("INSERT objs 90 90 95 95", "OK ref=1"),
+                ("QUIT", "OK bye"),
+            ]),
+        )
+        .unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(move || {
+                    run_script(
+                        addr,
+                        &own(vec![
+                            ("QUERY objs rtree within 0 0 10 10", "OK n=1"),
+                            ("QUERY objs scan overlaps 0 0 100 100", "OK n=2"),
+                            ("QUIT", "OK bye"),
+                        ]),
+                    )
+                    .unwrap();
+                });
+            }
+        });
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_returns_despite_an_idle_connection() {
+        // A client that connects and never sends anything must not
+        // wedge shutdown(): the per-connection read timeout lets the
+        // worker notice the stop flag.
+        let handle = serve(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: 2,
+            threads: 1,
+            universe_size: 100.0,
+        })
+        .unwrap();
+        let idle = TcpStream::connect(handle.addr()).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let t0 = std::time::Instant::now();
+        handle.shutdown();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "shutdown must not hang on the idle connection"
+        );
+        drop(idle);
+    }
+
+    #[test]
+    fn malformed_commands_error_without_dropping_the_connection() {
+        let handle = serve(&ServerConfig::default()).unwrap();
+        let own = |steps: Vec<(&str, &str)>| {
+            steps
+                .into_iter()
+                .map(|(c, r)| (c.to_string(), r.to_string()))
+                .collect::<Vec<_>>()
+        };
+        run_script(
+            handle.addr(),
+            &own(vec![
+                ("INSERT", "ERR"),
+                ("INSERT nosuch 1 2 3 4", "ERR unknown collection"),
+                (
+                    "QUERY nosuch rtree within 0 0 1 1",
+                    "ERR unknown collection",
+                ),
+                ("INSERT bad 1 2 three 4", "ERR"),
+                ("SOLVE rtree all X=coll:none X != 0", "ERR"),
+                ("PING", "OK pong"), // still alive
+                ("QUIT", "OK bye"),
+            ]),
+        )
+        .unwrap();
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,130 @@
+//! `scq-serve` — the sharded spatial database behind a TCP line
+//! protocol.
+//!
+//! ```text
+//! scq-serve [--addr A] [--shards N] [--threads T] [--universe S]
+//! scq-serve --self-test        boot an ephemeral server, run the
+//!                              scripted smoke session, exit 0/1
+//! scq-serve --client <addr>    interactive client: lines from stdin,
+//!                              responses to stdout
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use scq_serve::{self_test, serve, ServerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", usage());
+        return;
+    }
+    if args.iter().any(|a| a == "--self-test") {
+        match self_test() {
+            Ok(transcript) => {
+                for line in &transcript {
+                    println!("{line}");
+                }
+                println!("self-test passed ({} exchanges)", transcript.len());
+            }
+            Err(e) => {
+                eprintln!("self-test FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--client") {
+        let Some(addr) = args.get(i + 1) else {
+            eprintln!("--client needs an address\n{}", usage());
+            std::process::exit(2);
+        };
+        std::process::exit(client(addr));
+    }
+
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let mut config = ServerConfig {
+        addr: flag("--addr").unwrap_or_else(|| "127.0.0.1:7878".into()),
+        ..ServerConfig::default()
+    };
+    if let Some(s) = flag("--shards").and_then(|v| v.parse().ok()) {
+        config.shards = s;
+    }
+    if let Some(t) = flag("--threads").and_then(|v| v.parse().ok()) {
+        config.threads = t;
+    }
+    if let Some(u) = flag("--universe").and_then(|v| v.parse().ok()) {
+        config.universe_size = u;
+    }
+    match serve(&config) {
+        Ok(handle) => {
+            println!(
+                "scq-serve listening on {} ({} shards, {} workers)",
+                handle.addr(),
+                config.shards,
+                config.threads
+            );
+            // Serve until killed.
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("bind {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "scq-serve — concurrent query server over the sharded spatial database\n\
+     \n\
+     usage:\n\
+     \x20 scq-serve [--addr A] [--shards N] [--threads T] [--universe S]\n\
+     \x20 scq-serve --self-test\n\
+     \x20 scq-serve --client <addr>\n\
+     \n\
+     protocol: one command per line; see the scq-serve crate docs or the\n\
+     repository README for the command reference.\n"
+}
+
+/// Minimal interactive client: stdin lines to the server, responses to
+/// stdout. Exits when the server closes the connection or stdin ends.
+fn client(addr: &str) -> i32 {
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            return 1;
+        }
+    };
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("clone stream: {e}");
+            return 1;
+        }
+    });
+    let mut writer = stream;
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if writer.write_all(format!("{line}\n").as_bytes()).is_err() {
+            break;
+        }
+        let mut response = String::new();
+        match reader.read_line(&mut response) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => print!("{response}"),
+        }
+        if line.trim() == "QUIT" {
+            break;
+        }
+    }
+    0
+}

@@ -1,0 +1,357 @@
+//! Command parsing and execution for the line protocol.
+//!
+//! Every command handler returns `OK …` or `ERR <reason>` as one line;
+//! parse errors never tear down the connection. Read-only commands
+//! (`QUERY`, `SOLVE`, `STAT`, `PING`) take the database's read lock and
+//! run concurrently; mutations (`INSERT`, `REMOVE`, `UPDATE`,
+//! `CREATE`, `COMPACT`, `LOAD`, `SNAPSHOT LOAD`) take the write lock.
+
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+use scq_bbox::{Bbox, CornerQuery};
+use scq_core::parse_system;
+use scq_engine::workload::{map_workload, MapParams};
+use scq_engine::{
+    CollectionId, ExecOptions, IndexKind, ObjectRef, Query, SpatialDatabase, VarBinding,
+};
+use scq_region::{AaBox, Region};
+use scq_shard::ShardedDatabase;
+
+/// Parses and runs one command line. Returns the response line (no
+/// trailing newline) and whether the connection should close.
+pub fn handle_command(db: &Arc<RwLock<ShardedDatabase>>, line: &str) -> (String, bool) {
+    if line.trim() == "QUIT" {
+        return ("OK bye".into(), true);
+    }
+    match dispatch(db, line) {
+        Ok(r) => (r, false),
+        Err(e) => (format!("ERR {e}"), false),
+    }
+}
+
+fn lock_poisoned<T>(_: T) -> String {
+    "database lock poisoned".to_string()
+}
+
+/// Cap on ids / tuples listed inline in a response line; `n=` always
+/// carries the true count.
+const MAX_LISTED: usize = 16;
+
+fn dispatch(db: &Arc<RwLock<ShardedDatabase>>, line: &str) -> Result<String, String> {
+    let mut parts = line.split_whitespace();
+    let verb = parts.next().ok_or("empty command")?;
+    let rest: Vec<&str> = parts.collect();
+    match verb {
+        "PING" => Ok("OK pong".into()),
+        "CREATE" => {
+            let [name] = rest[..] else {
+                return Err("usage: CREATE <name>".into());
+            };
+            // Snapshot formats frame collection names with a u16
+            // length; reject anything unserializable up front.
+            if name.len() > 255 {
+                return Err(format!(
+                    "collection name too long ({} > 255 bytes)",
+                    name.len()
+                ));
+            }
+            let mut d = db.write().map_err(lock_poisoned)?;
+            let id = d.collection(name);
+            Ok(format!("OK coll={}", id.0))
+        }
+        "INSERT" => {
+            let (name, coords) = rest.split_first().ok_or("usage: INSERT <coll> <region>")?;
+            let region = parse_region(coords)?;
+            let mut d = db.write().map_err(lock_poisoned)?;
+            let coll = lookup(&d, name)?;
+            let obj = d.insert(coll, region);
+            Ok(format!("OK ref={}", obj.index))
+        }
+        "REMOVE" => {
+            let [name, slot] = rest[..] else {
+                return Err("usage: REMOVE <coll> <slot>".into());
+            };
+            let mut d = db.write().map_err(lock_poisoned)?;
+            let coll = lookup(&d, name)?;
+            let obj = object_ref(&d, coll, slot)?;
+            Ok(if d.remove(obj) {
+                "OK removed".into()
+            } else {
+                "OK noop".into()
+            })
+        }
+        "UPDATE" => {
+            let (name, more) = rest
+                .split_first()
+                .ok_or("usage: UPDATE <coll> <slot> <region>")?;
+            let (slot, coords) = more
+                .split_first()
+                .ok_or("usage: UPDATE <coll> <slot> <region>")?;
+            let region = parse_region(coords)?;
+            let mut d = db.write().map_err(lock_poisoned)?;
+            let coll = lookup(&d, name)?;
+            let obj = object_ref(&d, coll, slot)?;
+            Ok(if d.update(obj, region) {
+                "OK updated".into()
+            } else {
+                "OK noop".into()
+            })
+        }
+        "QUERY" => {
+            let [name, kind, mode, x0, y0, x1, y1] = rest[..] else {
+                return Err(
+                    "usage: QUERY <coll> <rtree|grid|scan> <overlaps|within|contains> \
+                            <x0> <y0> <x1> <y1>"
+                        .into(),
+                );
+            };
+            let kind = parse_kind(kind)?;
+            let probe = Bbox::new(
+                [parse_f64(x0)?, parse_f64(y0)?],
+                [parse_f64(x1)?, parse_f64(y1)?],
+            );
+            let q = match mode {
+                "overlaps" => CornerQuery::unconstrained().and_overlaps(&probe),
+                "within" => CornerQuery::unconstrained().and_contained_in(&probe),
+                "contains" => CornerQuery::unconstrained().and_contains(&probe),
+                other => return Err(format!("unknown mode {other:?}")),
+            };
+            let d = db.read().map_err(lock_poisoned)?;
+            let coll = lookup(&d, name)?;
+            let mut ids = Vec::new();
+            let pruned = d.query_collection(coll, kind, &q, &mut ids);
+            ids.sort_unstable();
+            // `n=` carries the true count; the listing is capped so a
+            // broad query cannot blow the response line up to megabytes
+            // (same shape as SOLVE's tuple cap).
+            let shown = ids.len().min(MAX_LISTED);
+            let mut id_list = ids[..shown]
+                .iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            if ids.len() > shown {
+                id_list.push_str(",+more");
+            }
+            Ok(format!("OK n={} pruned={pruned} ids={id_list}", ids.len()))
+        }
+        "SOLVE" => solve(db, &rest),
+        "STAT" => {
+            let d = db.read().map_err(lock_poisoned)?;
+            match rest[..] {
+                [] => {
+                    let live: usize = d.collections().map(|c| d.live_len(c)).sum();
+                    Ok(format!(
+                        "OK shards={} collections={} live={live}",
+                        d.n_shards(),
+                        d.collections().count()
+                    ))
+                }
+                [name] => {
+                    let coll = lookup(&d, name)?;
+                    Ok(format!(
+                        "OK len={} live={}",
+                        d.collection_len(coll),
+                        d.live_len(coll)
+                    ))
+                }
+                _ => Err("usage: STAT [<coll>]".into()),
+            }
+        }
+        "COMPACT" => {
+            let mut d = db.write().map_err(lock_poisoned)?;
+            let report = d.compact();
+            Ok(format!("OK reclaimed={}", report.slots_reclaimed))
+        }
+        "SNAPSHOT" => {
+            let [action, dir] = rest[..] else {
+                return Err("usage: SNAPSHOT <SAVE|LOAD> <dir>".into());
+            };
+            match action {
+                "SAVE" => {
+                    let d = db.read().map_err(lock_poisoned)?;
+                    scq_shard::save_to_dir(&d, Path::new(dir)).map_err(|e| e.to_string())?;
+                    Ok(format!("OK saved shards={}", d.n_shards()))
+                }
+                "LOAD" => {
+                    let loaded =
+                        scq_shard::load_from_dir(Path::new(dir)).map_err(|e| e.to_string())?;
+                    let collections = loaded.collections().count();
+                    *db.write().map_err(lock_poisoned)? = loaded;
+                    Ok(format!("OK loaded collections={collections}"))
+                }
+                other => Err(format!("unknown snapshot action {other:?}")),
+            }
+        }
+        "LOAD" => {
+            let [preset, seed, size] = rest[..] else {
+                return Err("usage: LOAD map <seed> <roads>".into());
+            };
+            if preset != "map" {
+                return Err(format!("unknown preset {preset:?}"));
+            }
+            let seed: u64 = seed.parse().map_err(|_| "bad seed")?;
+            let roads: usize = size.parse().map_err(|_| "bad road count")?;
+            let mut d = db.write().map_err(lock_poisoned)?;
+            load_map(&mut d, seed, roads)
+        }
+        _ => Err(format!("unknown command {verb:?}")),
+    }
+}
+
+/// `SOLVE <kind> <max> <bindings> <system…>`: run a constraint query
+/// against the sharded database through the engine executor.
+fn solve(db: &Arc<RwLock<ShardedDatabase>>, rest: &[&str]) -> Result<String, String> {
+    let usage = "usage: SOLVE <rtree|grid|scan> <all|N> \
+                 VAR=coll:<name>,VAR=box:<x0>:<y0>:<x1>:<y1>,… <system>";
+    if rest.len() < 4 {
+        return Err(usage.into());
+    }
+    let kind = parse_kind(rest[0])?;
+    let options = exec_options(rest[1])?;
+    let bindings_src = rest[2];
+    let system_src = rest[3..].join(" ");
+    let sys = parse_system(&system_src).map_err(|e| e.to_string())?;
+    let d = db.read().map_err(lock_poisoned)?;
+    let mut query = Query::new(sys);
+    for b in bindings_src.split(',') {
+        let (var_name, spec) = b
+            .split_once('=')
+            .ok_or_else(|| format!("bad binding {b:?}"))?;
+        let var = query
+            .system
+            .table
+            .get(var_name)
+            .ok_or_else(|| format!("variable {var_name:?} is not in the system"))?;
+        if let Some(name) = spec.strip_prefix("coll:") {
+            let coll = lookup(&d, name)?;
+            query.bindings.insert(var, VarBinding::Collection(coll));
+        } else if let Some(coords) = spec.strip_prefix("box:") {
+            let cs: Vec<&str> = coords.split(':').collect();
+            let region = parse_region(&cs)?;
+            query.bindings.insert(var, VarBinding::Known(region));
+        } else {
+            return Err(format!("bad binding spec {spec:?} (coll:… or box:…)"));
+        }
+    }
+    let result = scq_shard::execute(&d, &query, kind, options).map_err(|e| e.to_string())?;
+    let mut tuples: Vec<String> = result
+        .solutions
+        .iter()
+        .map(|s| {
+            s.iter()
+                .map(|(v, o)| format!("{}={}", query.system.table.display(*v), o.index))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    tuples.sort();
+    let shown = tuples.len().min(MAX_LISTED);
+    let mut listing = tuples[..shown].join("|");
+    if tuples.len() > shown {
+        listing.push_str("|+more");
+    }
+    Ok(format!(
+        "OK n={} pruned={} tuples={listing}",
+        result.solutions.len(),
+        result.stats.shards_pruned
+    ))
+}
+
+/// `LOAD map`: generate the GIS workload into a scratch single-store
+/// database, then stream its live objects into the shared sharded one
+/// (appending to `towns` / `roads` / `states`).
+fn load_map(d: &mut ShardedDatabase, seed: u64, roads: usize) -> Result<String, String> {
+    let mut scratch = SpatialDatabase::new(*d.universe());
+    let w = map_workload(
+        &mut scratch,
+        seed,
+        &MapParams {
+            n_states: 8,
+            n_towns: roads / 4,
+            n_roads: roads,
+            useful_road_fraction: 0.08,
+        },
+    );
+    let mut copied = [0usize; 3];
+    for (i, (name, src)) in [("towns", w.towns), ("roads", w.roads), ("states", w.states)]
+        .into_iter()
+        .enumerate()
+    {
+        let dst = d.collection(name);
+        for index in scratch.live_indices(src).collect::<Vec<_>>() {
+            let obj = ObjectRef {
+                collection: src,
+                index,
+            };
+            d.insert(dst, scratch.region(obj).clone());
+            copied[i] += 1;
+        }
+    }
+    Ok(format!(
+        "OK towns={} roads={} states={}",
+        copied[0], copied[1], copied[2]
+    ))
+}
+
+fn lookup(db: &ShardedDatabase, name: &str) -> Result<CollectionId, String> {
+    db.collection_id(name)
+        .ok_or_else(|| format!("unknown collection {name:?}"))
+}
+
+fn parse_kind(s: &str) -> Result<IndexKind, String> {
+    match s {
+        "rtree" => Ok(IndexKind::RTree),
+        "grid" => Ok(IndexKind::GridFile),
+        "scan" => Ok(IndexKind::Scan),
+        other => Err(format!("unknown index kind {other:?} (rtree|grid|scan)")),
+    }
+}
+
+fn parse_f64(s: &str) -> Result<f64, String> {
+    let v: f64 = s.parse().map_err(|_| format!("not a number: {s:?}"))?;
+    if !v.is_finite() {
+        return Err(format!("not finite: {s:?}"));
+    }
+    Ok(v)
+}
+
+fn parse_region(coords: &[&str]) -> Result<Region<2>, String> {
+    if coords.len() == 1 && coords[0] == "empty" {
+        return Ok(Region::empty());
+    }
+    let [x0, y0, x1, y1] = coords[..] else {
+        return Err("expected <x0> <y0> <x1> <y1> or `empty`".into());
+    };
+    Ok(Region::from_box(AaBox::new(
+        [parse_f64(x0)?, parse_f64(y0)?],
+        [parse_f64(x1)?, parse_f64(y1)?],
+    )))
+}
+
+fn object_ref(db: &ShardedDatabase, coll: CollectionId, slot: &str) -> Result<ObjectRef, String> {
+    let index: usize = slot.parse().map_err(|_| format!("bad slot {slot:?}"))?;
+    if index >= db.collection_len(coll) {
+        return Err(format!(
+            "slot {index} out of range (collection has {} slots)",
+            db.collection_len(coll)
+        ));
+    }
+    Ok(ObjectRef {
+        collection: coll,
+        index,
+    })
+}
+
+fn exec_options(max: &str) -> Result<ExecOptions, String> {
+    if max == "all" {
+        return Ok(ExecOptions::all());
+    }
+    let n: usize = max
+        .parse()
+        .map_err(|_| format!("bad max {max:?} (number or `all`)"))?;
+    Ok(ExecOptions {
+        max_solutions: Some(n),
+    })
+}

@@ -1,0 +1,746 @@
+//! The sharded spatial database: N independent [`SpatialDatabase`]
+//! shards behind one [`StoreView`].
+//!
+//! Each logical collection is partitioned across every shard by the
+//! z-order routing key of the object's bounding-box center
+//! ([`crate::ShardRouter`]). Objects are addressed by **global**
+//! [`ObjectRef`]s — `(logical collection, global slot)` — and a mapping
+//! table translates between the global slot space and `(shard, local
+//! slot)` pairs, so the executors (which run unchanged over the
+//! [`StoreView`] trait) never see the partitioning. Global refs have
+//! the same stability contract as unsharded ones: slots never shift or
+//! get reused, removal tombstones.
+//!
+//! [`ShardedDatabase::update`] **migrates** an object whose new
+//! bounding box routes to a different shard: the old shard keeps a
+//! tombstone, the new shard gets a fresh local slot, and the global
+//! slot is repointed — callers keep their refs. This is the property
+//! that lets shards later live in separate processes: all cross-shard
+//! bookkeeping is in the routing layer, never inside a shard.
+
+use std::collections::HashMap;
+
+use scq_bbox::{Bbox, CornerQuery};
+use scq_engine::view::StoreView;
+use scq_engine::{integrity, CollectionId, CompactReport, IndexKind, ObjectRef, SpatialDatabase};
+use scq_region::{AaBox, Region};
+
+use crate::router::ShardRouter;
+
+thread_local! {
+    /// Reusable candidate-shard buffer for the corner-query fan-out
+    /// (one per thread: the parallel executor shares `&ShardedDatabase`
+    /// across workers).
+    pub(crate) static SHARD_SCRATCH: std::cell::RefCell<Vec<usize>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Where one global slot lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct SlotAddr {
+    /// Owning shard.
+    pub shard: u32,
+    /// Slot inside the shard's collection.
+    pub local: u32,
+}
+
+/// Per-shard side tables of one logical collection.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ShardSide {
+    /// Local slot -> global slot (dense: shard collections only grow).
+    pub globals: Vec<u64>,
+}
+
+pub(crate) struct LogicalCollection {
+    pub name: String,
+    /// Global slot -> shard address (never shrinks; tombstoned slots
+    /// keep their last address).
+    pub slots: Vec<SlotAddr>,
+    /// Global per-slot liveness.
+    pub live: Vec<bool>,
+    pub live_count: usize,
+    /// Global indices of live objects with an empty region.
+    pub empty_objects: Vec<usize>,
+    /// One side table per shard.
+    pub per_shard: Vec<ShardSide>,
+}
+
+/// A spatial database partitioned across `n_shards` z-order range
+/// shards, each a full [`SpatialDatabase`] with its own indexes.
+///
+/// Implements [`StoreView`], so every engine executor (naive,
+/// triangular, bbox, work-stealing parallel) runs against it unchanged;
+/// corner queries fan out only to the shards the router cannot prune
+/// (counted in [`scq_engine::ExecStats::shards_pruned`]).
+pub struct ShardedDatabase {
+    universe: AaBox<2>,
+    router: ShardRouter,
+    shards: Vec<SpatialDatabase<2>>,
+    collections: Vec<LogicalCollection>,
+    by_name: HashMap<String, CollectionId>,
+}
+
+/// Default bits per dimension of the routing grid (64×64 cells: fine
+/// enough that realistic shard counts get distinct spatial territory,
+/// coarse enough that query pruning costs microseconds).
+pub const DEFAULT_ROUTER_BITS: u32 = 6;
+
+impl ShardedDatabase {
+    /// Creates a database partitioned into `n_shards` over `universe`,
+    /// with the default routing grid ([`DEFAULT_ROUTER_BITS`]).
+    ///
+    /// # Panics
+    /// If the universe is empty or `n_shards` is 0.
+    pub fn new(universe: AaBox<2>, n_shards: usize) -> Self {
+        Self::with_router_bits(universe, n_shards, DEFAULT_ROUTER_BITS)
+    }
+
+    /// [`ShardedDatabase::new`] with an explicit routing grid
+    /// resolution (`bits` per dimension, in `1..=16`).
+    pub fn with_router_bits(universe: AaBox<2>, n_shards: usize, bits: u32) -> Self {
+        assert!(!universe.is_empty(), "universe must be nonempty");
+        let router = ShardRouter::new(&universe, bits, n_shards);
+        ShardedDatabase {
+            universe,
+            shards: (0..n_shards)
+                .map(|_| SpatialDatabase::new(universe))
+                .collect(),
+            router,
+            collections: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn from_parts(
+        universe: AaBox<2>,
+        router: ShardRouter,
+        shards: Vec<SpatialDatabase<2>>,
+        collections: Vec<LogicalCollection>,
+    ) -> Self {
+        let by_name = collections
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.clone(), CollectionId(i)))
+            .collect();
+        ShardedDatabase {
+            universe,
+            router,
+            shards,
+            collections,
+            by_name,
+        }
+    }
+
+    /// The universe box.
+    pub fn universe(&self) -> &AaBox<2> {
+        &self.universe
+    }
+
+    /// The router (shard map).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to one shard's [`SpatialDatabase`] (snapshot and
+    /// integrity plumbing; going through the shard directly bypasses
+    /// the global id space).
+    pub fn shard(&self, s: usize) -> &SpatialDatabase<2> {
+        &self.shards[s]
+    }
+
+    /// Creates (or returns) the collection with the given name. The
+    /// collection exists in every shard.
+    pub fn collection(&mut self, name: &str) -> CollectionId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = CollectionId(self.collections.len());
+        for shard in &mut self.shards {
+            let sc = shard.collection(name);
+            // Logical and shard-local collection ids coincide because
+            // every shard creates collections in the same order.
+            debug_assert_eq!(sc, id, "shard collection ids track logical ids");
+        }
+        self.collections.push(LogicalCollection {
+            name: name.to_owned(),
+            slots: Vec::new(),
+            live: Vec::new(),
+            live_count: 0,
+            empty_objects: Vec::new(),
+            per_shard: (0..self.shards.len())
+                .map(|_| ShardSide::default())
+                .collect(),
+        });
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a collection by name.
+    pub fn collection_id(&self, name: &str) -> Option<CollectionId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The collection's name.
+    pub fn collection_name(&self, id: CollectionId) -> &str {
+        &self.collections[id.0].name
+    }
+
+    /// All collection ids.
+    pub fn collections(&self) -> impl Iterator<Item = CollectionId> {
+        (0..self.collections.len()).map(CollectionId)
+    }
+
+    /// The shard an object currently lives on.
+    pub fn shard_of(&self, obj: ObjectRef) -> usize {
+        self.collections[obj.collection.0].slots[obj.index].shard as usize
+    }
+
+    /// Inserts an object: routed by its bounding-box center to one
+    /// shard, registered under a fresh global slot.
+    pub fn insert(&mut self, coll: CollectionId, region: Region<2>) -> ObjectRef {
+        let bbox = region.bbox();
+        let s = self.router.route_bbox(&bbox);
+        let local = self.shards[s].insert(coll, region).index;
+        let c = &mut self.collections[coll.0];
+        let index = c.slots.len();
+        c.per_shard[s].globals.push(index as u64);
+        debug_assert_eq!(c.per_shard[s].globals.len(), local + 1);
+        c.slots.push(SlotAddr {
+            shard: s as u32,
+            local: local as u32,
+        });
+        c.live.push(true);
+        c.live_count += 1;
+        if bbox.is_empty() {
+            c.empty_objects.push(index);
+        }
+        ObjectRef {
+            collection: coll,
+            index,
+        }
+    }
+
+    /// Tombstones an object on its shard and in the global slot space.
+    /// Returns `false` when the object was already removed.
+    pub fn remove(&mut self, obj: ObjectRef) -> bool {
+        let c = &mut self.collections[obj.collection.0];
+        if !c.live[obj.index] {
+            return false;
+        }
+        let addr = c.slots[obj.index];
+        let removed = self.shards[addr.shard as usize].remove(ObjectRef {
+            collection: obj.collection,
+            index: addr.local as usize,
+        });
+        assert!(removed, "shard out of sync with global liveness");
+        c.live[obj.index] = false;
+        c.live_count -= 1;
+        c.empty_objects.retain(|&i| i != obj.index);
+        true
+    }
+
+    /// Replaces a live object's region. When the new bounding box
+    /// routes to a different shard the object **migrates**: tombstone
+    /// on the old shard, fresh slot on the new one, global slot
+    /// repointed — the caller's `ObjectRef` keeps working. Returns
+    /// `false` (changing nothing) when the object is tombstoned.
+    pub fn update(&mut self, obj: ObjectRef, region: Region<2>) -> bool {
+        let c = &mut self.collections[obj.collection.0];
+        if !c.live[obj.index] {
+            return false;
+        }
+        let addr = c.slots[obj.index];
+        let old_shard = addr.shard as usize;
+        let local_ref = ObjectRef {
+            collection: obj.collection,
+            index: addr.local as usize,
+        };
+        let was_empty = self.shards[old_shard].bbox(local_ref).is_empty();
+        let new_bbox = region.bbox();
+        let new_shard = self.router.route_bbox(&new_bbox);
+        if new_shard == old_shard {
+            let ok = self.shards[old_shard].update(local_ref, region);
+            assert!(ok, "shard out of sync with global liveness");
+        } else {
+            assert!(self.shards[old_shard].remove(local_ref), "shard desync");
+            let local = self.shards[new_shard].insert(obj.collection, region).index;
+            c.per_shard[new_shard].globals.push(obj.index as u64);
+            debug_assert_eq!(c.per_shard[new_shard].globals.len(), local + 1);
+            c.slots[obj.index] = SlotAddr {
+                shard: new_shard as u32,
+                local: local as u32,
+            };
+        }
+        match (was_empty, new_bbox.is_empty()) {
+            (false, true) => c.empty_objects.push(obj.index),
+            (true, false) => c.empty_objects.retain(|&i| i != obj.index),
+            _ => {}
+        }
+        true
+    }
+
+    /// Number of global slots, tombstones included.
+    pub fn collection_len(&self, coll: CollectionId) -> usize {
+        self.collections[coll.0].slots.len()
+    }
+
+    /// Number of live objects.
+    pub fn live_len(&self, coll: CollectionId) -> usize {
+        self.collections[coll.0].live_count
+    }
+
+    /// Whether the object's global slot is live.
+    pub fn is_live(&self, obj: ObjectRef) -> bool {
+        self.collections[obj.collection.0].live[obj.index]
+    }
+
+    /// The region of an object (read through its shard).
+    pub fn region(&self, obj: ObjectRef) -> &Region<2> {
+        let addr = self.collections[obj.collection.0].slots[obj.index];
+        self.shards[addr.shard as usize].region(ObjectRef {
+            collection: obj.collection,
+            index: addr.local as usize,
+        })
+    }
+
+    /// The materialized bounding box of an object.
+    pub fn bbox(&self, obj: ObjectRef) -> Bbox<2> {
+        let addr = self.collections[obj.collection.0].slots[obj.index];
+        self.shards[addr.shard as usize].bbox(ObjectRef {
+            collection: obj.collection,
+            index: addr.local as usize,
+        })
+    }
+
+    /// Runs a corner query against the chosen index of every shard the
+    /// router cannot prune, appending matching **global** object
+    /// indices. Returns the number of shards pruned.
+    ///
+    /// Allocation-free in steady state: each shard's ids land directly
+    /// in `out` and are remapped to global slots in place, and the
+    /// candidate-shard list lives in a reusable thread-local buffer —
+    /// this runs once per node per level of the backtracking search,
+    /// the same hot path the engine's `LevelBuf` pool protects.
+    pub fn query_collection(
+        &self,
+        coll: CollectionId,
+        kind: IndexKind,
+        q: &CornerQuery<2>,
+        out: &mut Vec<u64>,
+    ) -> usize {
+        let c = &self.collections[coll.0];
+        SHARD_SCRATCH.with(|buf| {
+            let mut shards = buf.borrow_mut();
+            self.router.candidate_shards(q, &mut shards);
+            for &s in shards.iter() {
+                let start = out.len();
+                self.shards[s].query_collection(coll, kind, q, out);
+                let globals = &c.per_shard[s].globals;
+                for id in &mut out[start..] {
+                    *id = globals[*id as usize];
+                }
+            }
+            self.n_shards() - shards.len()
+        })
+    }
+
+    /// *Live* global indices of objects with empty regions.
+    pub fn empty_objects(&self, coll: CollectionId) -> &[usize] {
+        &self.collections[coll.0].empty_objects
+    }
+
+    /// Local-slot → global-slot table of one shard's copy of a
+    /// collection (fan-out and snapshot plumbing).
+    pub(crate) fn globals(&self, coll: CollectionId, shard: usize) -> &[u64] {
+        &self.collections[coll.0].per_shard[shard].globals
+    }
+
+    /// `(shard, local slot)` of a global slot (snapshot plumbing).
+    pub(crate) fn slot_addr(&self, obj: ObjectRef) -> (usize, usize) {
+        let addr = self.collections[obj.collection.0].slots[obj.index];
+        (addr.shard as usize, addr.local as usize)
+    }
+
+    /// Iterates over the live global slot indices of a collection.
+    pub fn live_indices(&self, coll: CollectionId) -> impl Iterator<Item = usize> + '_ {
+        self.collections[coll.0]
+            .live
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| l.then_some(i))
+    }
+
+    /// Structural integrity: every shard passes the engine's
+    /// [`integrity::check`], and the global mapping tables are a
+    /// liveness-respecting bijection consistent with the router. An
+    /// empty `Ok(())` means the sharded database survived its mutation
+    /// history (inserts, removes, cross-shard migrations, compactions)
+    /// intact.
+    pub fn check(&self) -> Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            if let Err(ps) = integrity::check(shard) {
+                problems.extend(ps.into_iter().map(|p| format!("shard {s}: {p}")));
+            }
+        }
+        for (ci, c) in self.collections.iter().enumerate() {
+            let coll = CollectionId(ci);
+            let name = &c.name;
+            if c.slots.len() != c.live.len() {
+                problems.push(format!("{name}: slot/liveness table length mismatch"));
+                continue;
+            }
+            let recount = c.live.iter().filter(|&&l| l).count();
+            if recount != c.live_count {
+                problems.push(format!(
+                    "{name}: cached live count {} != recount {recount}",
+                    c.live_count
+                ));
+            }
+            let shard_live: usize = self.shards.iter().map(|s| s.live_len(coll)).sum();
+            if shard_live != c.live_count {
+                problems.push(format!(
+                    "{name}: shards hold {shard_live} live objects, mapping says {}",
+                    c.live_count
+                ));
+            }
+            for (gi, (&addr, &live)) in c.slots.iter().zip(&c.live).enumerate() {
+                let (s, l) = (addr.shard as usize, addr.local as usize);
+                if s >= self.shards.len() || l >= self.shards[s].collection_len(coll) {
+                    problems.push(format!("{name}[{gi}]: dangling shard address"));
+                    continue;
+                }
+                let local_ref = ObjectRef {
+                    collection: coll,
+                    index: l,
+                };
+                if c.per_shard[s].globals.get(l).copied() != Some(gi as u64) {
+                    problems.push(format!(
+                        "{name}[{gi}]: reverse mapping disagrees on shard {s} slot {l}"
+                    ));
+                }
+                if live != self.shards[s].is_live(local_ref) {
+                    problems.push(format!(
+                        "{name}[{gi}]: global liveness {live} != shard liveness"
+                    ));
+                }
+                if live {
+                    let owner = self.router.route_bbox(&self.shards[s].bbox(local_ref));
+                    if owner != s {
+                        problems.push(format!(
+                            "{name}[{gi}]: lives on shard {s} but routes to {owner}"
+                        ));
+                    }
+                }
+            }
+            let mut empties: Vec<usize> = c.empty_objects.clone();
+            empties.sort_unstable();
+            let expect: Vec<usize> = c
+                .live
+                .iter()
+                .enumerate()
+                .filter(|&(gi, &l)| {
+                    l && StoreView::bbox(
+                        self,
+                        ObjectRef {
+                            collection: coll,
+                            index: gi,
+                        },
+                    )
+                    .is_empty()
+                })
+                .map(|(gi, _)| gi)
+                .collect();
+            if empties != expect {
+                problems.push(format!(
+                    "{name}: empty-object list {empties:?} != live empty regions {expect:?}"
+                ));
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+
+    /// Compacts every shard ([`SpatialDatabase::compact`]) **and** the
+    /// global slot space: tombstoned global slots are dropped, live
+    /// ones shift down, and the shard remap tables fix up the mapping
+    /// layer — the same remap contract callers use, applied to the
+    /// sharded database's own held refs. Returns the global remap.
+    pub fn compact(&mut self) -> CompactReport {
+        let shard_reports: Vec<CompactReport> =
+            self.shards.iter_mut().map(|s| s.compact()).collect();
+        let mut report = CompactReport {
+            remap: Vec::with_capacity(self.collections.len()),
+            slots_reclaimed: 0,
+        };
+        for (ci, c) in self.collections.iter_mut().enumerate() {
+            let coll = CollectionId(ci);
+            let mut remap: Vec<Option<usize>> = Vec::with_capacity(c.slots.len());
+            let old_slots = std::mem::take(&mut c.slots);
+            let old_live = std::mem::take(&mut c.live);
+            // Shard-local slot order is not global order (migrated
+            // objects got late local slots under early global ids), so
+            // the reverse tables are assigned by index, not pushed.
+            for (s, side) in c.per_shard.iter_mut().enumerate() {
+                side.globals.clear();
+                side.globals
+                    .resize(self.shards[s].collection_len(coll), u64::MAX);
+            }
+            c.empty_objects.clear();
+            for (addr, live) in old_slots.into_iter().zip(old_live) {
+                if !live {
+                    remap.push(None);
+                    report.slots_reclaimed += 1;
+                    continue;
+                }
+                let s = addr.shard as usize;
+                let new_local = shard_reports[s]
+                    .fix_up(ObjectRef {
+                        collection: coll,
+                        index: addr.local as usize,
+                    })
+                    .expect("live global slot maps to live shard slot")
+                    .index;
+                let index = c.slots.len();
+                remap.push(Some(index));
+                c.slots.push(SlotAddr {
+                    shard: addr.shard,
+                    local: new_local as u32,
+                });
+                debug_assert_eq!(c.per_shard[s].globals[new_local], u64::MAX);
+                c.per_shard[s].globals[new_local] = index as u64;
+                if self.shards[s]
+                    .bbox(ObjectRef {
+                        collection: coll,
+                        index: new_local,
+                    })
+                    .is_empty()
+                {
+                    c.empty_objects.push(index);
+                }
+            }
+            debug_assert!(c
+                .per_shard
+                .iter()
+                .all(|side| side.globals.iter().all(|&g| g != u64::MAX)));
+            c.live = vec![true; c.slots.len()];
+            c.live_count = c.slots.len();
+            report.remap.push(remap);
+        }
+        report
+    }
+}
+
+impl StoreView<2> for ShardedDatabase {
+    fn universe(&self) -> &AaBox<2> {
+        ShardedDatabase::universe(self)
+    }
+
+    fn collection_len(&self, coll: CollectionId) -> usize {
+        ShardedDatabase::collection_len(self, coll)
+    }
+
+    fn live_len(&self, coll: CollectionId) -> usize {
+        ShardedDatabase::live_len(self, coll)
+    }
+
+    fn is_live(&self, obj: ObjectRef) -> bool {
+        ShardedDatabase::is_live(self, obj)
+    }
+
+    fn region(&self, obj: ObjectRef) -> &Region<2> {
+        ShardedDatabase::region(self, obj)
+    }
+
+    fn bbox(&self, obj: ObjectRef) -> Bbox<2> {
+        ShardedDatabase::bbox(self, obj)
+    }
+
+    fn query_collection(
+        &self,
+        coll: CollectionId,
+        kind: IndexKind,
+        q: &CornerQuery<2>,
+        out: &mut Vec<u64>,
+    ) -> usize {
+        ShardedDatabase::query_collection(self, coll, kind, q, out)
+    }
+
+    fn empty_objects(&self, coll: CollectionId) -> &[usize] {
+        ShardedDatabase::empty_objects(self, coll)
+    }
+
+    fn live_indices_into(&self, coll: CollectionId, out: &mut Vec<usize>) {
+        out.extend(self.live_indices(coll));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(n: usize) -> ShardedDatabase {
+        ShardedDatabase::new(AaBox::new([0.0, 0.0], [100.0, 100.0]), n)
+    }
+
+    fn boxed(x: f64, y: f64, w: f64, h: f64) -> Region<2> {
+        Region::from_box(AaBox::new([x, y], [x + w, y + h]))
+    }
+
+    #[test]
+    fn inserts_spread_across_shards() {
+        let mut d = db(4);
+        let c = d.collection("boxes");
+        for i in 0..40 {
+            let t = (i * 7 % 38) as f64 * 2.5;
+            d.insert(c, boxed(t, 95.0 - t, 2.0, 2.0));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..40 {
+            seen.insert(d.shard_of(ObjectRef {
+                collection: c,
+                index: i,
+            }));
+        }
+        assert!(seen.len() > 1, "diagonal data spans shards: {seen:?}");
+        assert_eq!(d.collection_len(c), 40);
+        assert_eq!(d.live_len(c), 40);
+        d.check().expect("consistent");
+    }
+
+    #[test]
+    fn queries_return_global_ids() {
+        let mut d = db(4);
+        let c = d.collection("boxes");
+        let mut expect = Vec::new();
+        for i in 0..30 {
+            let t = (i * 11 % 29) as f64 * 3.0;
+            let r = d.insert(c, boxed(t, t, 2.0, 2.0));
+            // The probe sits off-center (inside the low z-quadrants),
+            // so the router can prove the far shards disjoint.
+            if t >= 2.0 && t + 2.0 <= 40.0 {
+                expect.push(r.index as u64);
+            }
+        }
+        expect.sort_unstable();
+        let probe = Bbox::new([2.0, 2.0], [40.0, 40.0]);
+        let q = CornerQuery::unconstrained().and_contained_in(&probe);
+        for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+            let mut out = Vec::new();
+            let pruned = d.query_collection(c, kind, &q, &mut out);
+            out.sort_unstable();
+            assert_eq!(out, expect, "{kind:?}");
+            assert!(pruned > 0, "diagonal probe must prune ({kind:?})");
+        }
+    }
+
+    #[test]
+    fn remove_and_update_preserve_global_refs() {
+        let mut d = db(3);
+        let c = d.collection("objs");
+        let a = d.insert(c, boxed(5.0, 5.0, 2.0, 2.0));
+        let b = d.insert(c, boxed(90.0, 90.0, 2.0, 2.0));
+        assert_ne!(d.shard_of(a), d.shard_of(b), "far corners shard apart");
+        assert!(d.remove(a));
+        assert!(!d.remove(a));
+        assert!(d.is_live(b));
+        assert_eq!(d.live_len(c), 1);
+        // update b across the universe: it migrates shards, ref intact
+        let before = d.shard_of(b);
+        assert!(d.update(b, boxed(2.0, 2.0, 2.0, 2.0)));
+        assert_ne!(d.shard_of(b), before, "object migrated");
+        assert!(d.region(b).same_set(&boxed(2.0, 2.0, 2.0, 2.0)));
+        assert_eq!(d.live_len(c), 1);
+        d.check().expect("consistent after migration");
+        // the migrated object is queryable at its new location only
+        let q_new =
+            CornerQuery::unconstrained().and_contained_in(&Bbox::new([0.0, 0.0], [10.0, 10.0]));
+        let mut out = Vec::new();
+        d.query_collection(c, IndexKind::RTree, &q_new, &mut out);
+        assert_eq!(out, vec![1]);
+        let q_old =
+            CornerQuery::unconstrained().and_contained_in(&Bbox::new([80.0, 80.0], [100.0, 100.0]));
+        out.clear();
+        d.query_collection(c, IndexKind::RTree, &q_old, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_regions_route_and_track() {
+        let mut d = db(4);
+        let c = d.collection("objs");
+        d.insert(c, boxed(50.0, 50.0, 5.0, 5.0));
+        let e = d.insert(c, Region::empty());
+        assert_eq!(d.empty_objects(c), &[1]);
+        assert!(d.update(e, boxed(1.0, 1.0, 1.0, 1.0)));
+        assert!(d.empty_objects(c).is_empty());
+        assert!(d.update(e, Region::empty()));
+        assert_eq!(d.empty_objects(c), &[1]);
+        assert!(d.remove(e));
+        assert!(d.empty_objects(c).is_empty());
+        d.check().expect("consistent");
+    }
+
+    #[test]
+    fn sharded_compact_reclaims_and_remaps() {
+        let mut d = db(4);
+        let c = d.collection("objs");
+        let refs: Vec<ObjectRef> = (0..20)
+            .map(|i| {
+                let t = (i * 13 % 19) as f64 * 5.0;
+                d.insert(c, boxed(t, 95.0 - t, 3.0, 3.0))
+            })
+            .collect();
+        // churn: migrate some, remove some
+        assert!(d.update(refs[3], boxed(1.0, 1.0, 2.0, 2.0)));
+        assert!(d.update(refs[8], boxed(96.0, 96.0, 2.0, 2.0)));
+        for &i in &[0usize, 5, 9, 14] {
+            assert!(d.remove(refs[i]));
+        }
+        let survivor_region = d.region(refs[8]).clone();
+        let report = d.compact();
+        assert_eq!(report.slots_reclaimed, 4);
+        assert_eq!(d.collection_len(c), 16);
+        assert_eq!(d.live_len(c), 16);
+        assert_eq!(report.fix_up(refs[0]), None);
+        let r8 = report.fix_up(refs[8]).expect("survivor");
+        assert!(d.region(r8).same_set(&survivor_region));
+        d.check().expect("consistent after compaction");
+        // every shard is tombstone-free
+        for s in 0..d.n_shards() {
+            assert_eq!(d.shard(s).collection_len(c), d.shard(s).live_len(c));
+        }
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_plain_database() {
+        let mut d = db(1);
+        let mut plain = SpatialDatabase::new(AaBox::new([0.0, 0.0], [100.0, 100.0]));
+        let c = d.collection("objs");
+        let pc = plain.collection("objs");
+        for i in 0..25 {
+            let t = (i * 17 % 23) as f64 * 4.0;
+            d.insert(c, boxed(t, t / 2.0, 3.0, 4.0));
+            plain.insert(pc, boxed(t, t / 2.0, 3.0, 4.0));
+        }
+        let q = CornerQuery::unconstrained().and_overlaps(&Bbox::new([10.0, 5.0], [40.0, 30.0]));
+        for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+            let mut a = Vec::new();
+            let pruned = d.query_collection(c, kind, &q, &mut a);
+            assert_eq!(pruned, 0, "one shard, nothing to prune");
+            let mut b = Vec::new();
+            plain.query_collection(pc, kind, &q, &mut b);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Cross-shard query execution.
+//!
+//! Because [`crate::ShardedDatabase`] implements
+//! [`StoreView`](scq_engine::StoreView), every engine executor already
+//! runs against it unchanged — [`execute`] is that single-threaded
+//! entry point, and [`scq_engine::bbox_execute_parallel`] gives
+//! work-stealing parallelism over the same view. What this module adds
+//! is the **shard fan-out**: [`execute_fanout`] partitions the first
+//! retrieval level by owning shard, runs the sequential executor once
+//! per shard (each restricted to its shard's first-level objects,
+//! unrestricted below), and merges the per-shard [`QueryResult`]s
+//! **deterministically** — solutions concatenate in ascending shard
+//! order and [`ExecStats`] aggregate through the saturating
+//! [`ExecStats::merge`]. The partition is exact (every live object of
+//! the first collection is owned by exactly one shard), so the merged
+//! solution set equals the unsharded one.
+
+use scq_bbox::{Bbox, CornerQuery};
+use scq_engine::view::StoreView;
+use scq_engine::{
+    bbox_execute_opts, CollectionId, ExecError, ExecOptions, ExecStats, IndexKind, ObjectRef,
+    Query, QueryResult,
+};
+use scq_region::{AaBox, Region};
+
+use crate::database::ShardedDatabase;
+
+/// Executes a query against the sharded database on the calling
+/// thread: the engine's bbox executor over the sharded view, corner
+/// queries pruned per level by the router.
+pub fn execute(
+    db: &ShardedDatabase,
+    query: &Query<2>,
+    kind: IndexKind,
+    options: ExecOptions,
+) -> Result<QueryResult, ExecError> {
+    bbox_execute_opts(db, query, kind, options)
+}
+
+/// A view of the sharded database whose collection `coll` is restricted
+/// to the objects owned by one shard. All other collections — and all
+/// per-object reads — pass through unrestricted, so only the retrieval
+/// level over `coll` is partitioned.
+struct ShardSlice<'a> {
+    inner: &'a ShardedDatabase,
+    coll: CollectionId,
+    shard: usize,
+    /// The slice's live empty-region objects (owned storage because the
+    /// trait hands out a slice).
+    empty: Vec<usize>,
+}
+
+impl<'a> ShardSlice<'a> {
+    fn new(inner: &'a ShardedDatabase, coll: CollectionId, shard: usize) -> Self {
+        let empty = inner
+            .empty_objects(coll)
+            .iter()
+            .copied()
+            .filter(|&gi| {
+                inner.shard_of(ObjectRef {
+                    collection: coll,
+                    index: gi,
+                }) == shard
+            })
+            .collect();
+        ShardSlice {
+            inner,
+            coll,
+            shard,
+            empty,
+        }
+    }
+}
+
+impl StoreView<2> for ShardSlice<'_> {
+    fn universe(&self) -> &AaBox<2> {
+        self.inner.universe()
+    }
+
+    // Lengths delegate to the *global* view on purpose: the planner's
+    // default retrieval order keys on live_len, and every slice must
+    // produce the same order for the partition argument to hold.
+    fn collection_len(&self, coll: CollectionId) -> usize {
+        self.inner.collection_len(coll)
+    }
+
+    fn live_len(&self, coll: CollectionId) -> usize {
+        self.inner.live_len(coll)
+    }
+
+    fn is_live(&self, obj: ObjectRef) -> bool {
+        self.inner.is_live(obj)
+    }
+
+    fn region(&self, obj: ObjectRef) -> &Region<2> {
+        self.inner.region(obj)
+    }
+
+    fn bbox(&self, obj: ObjectRef) -> Bbox<2> {
+        self.inner.bbox(obj)
+    }
+
+    fn query_collection(
+        &self,
+        coll: CollectionId,
+        kind: IndexKind,
+        q: &CornerQuery<2>,
+        out: &mut Vec<u64>,
+    ) -> usize {
+        if coll != self.coll {
+            return self.inner.query_collection(coll, kind, q, out);
+        }
+        // Probe only this slice's shard; the other shards' copies of
+        // the level are someone else's slice. Not counted as "pruned":
+        // the router didn't prove them empty, the fan-out assigned them
+        // elsewhere.
+        let routed_here = crate::database::SHARD_SCRATCH.with(|buf| {
+            let mut cands = buf.borrow_mut();
+            self.inner.router().candidate_shards(q, &mut cands);
+            cands.contains(&self.shard)
+        });
+        if !routed_here {
+            return 1; // the router did prune this slice's only shard
+        }
+        let start = out.len();
+        self.inner
+            .shard(self.shard)
+            .query_collection(coll, kind, q, out);
+        let globals = self.inner.globals(coll, self.shard);
+        for id in &mut out[start..] {
+            *id = globals[*id as usize];
+        }
+        0
+    }
+
+    fn empty_objects(&self, coll: CollectionId) -> &[usize] {
+        if coll == self.coll {
+            &self.empty
+        } else {
+            self.inner.empty_objects(coll)
+        }
+    }
+
+    fn live_indices_into(&self, coll: CollectionId, out: &mut Vec<usize>) {
+        if coll != self.coll {
+            self.inner.live_indices_into(coll, out);
+            return;
+        }
+        out.extend(self.inner.live_indices(coll).filter(|&gi| {
+            self.inner.shard_of(ObjectRef {
+                collection: coll,
+                index: gi,
+            }) == self.shard
+        }));
+    }
+}
+
+/// Fans the sequential bbox executor out across shards — one scoped
+/// thread per shard, each running the whole query with the **first**
+/// retrieval level restricted to the objects its shard owns — and
+/// merges the results deterministically (solutions in ascending shard
+/// order, stats through [`ExecStats::merge`]).
+///
+/// Falls back to [`execute`] when the fan-out cannot be partitioned:
+/// a single shard, no unknowns, or a first-level collection that some
+/// other retrieval level shares (restricting it would restrict the
+/// deeper level too).
+///
+/// With [`ExecOptions::max_solutions`], each shard is capped
+/// individually and the merged list truncated, so the result is a
+/// prefix-of-shard-order subset — deterministic, like the sequential
+/// executor, unlike the work-stealing one.
+pub fn execute_fanout(
+    db: &ShardedDatabase,
+    query: &Query<2>,
+    kind: IndexKind,
+    options: ExecOptions,
+) -> Result<QueryResult, ExecError> {
+    query.validate().map_err(ExecError::InvalidQuery)?;
+    let order = query.retrieval_order(db);
+    let unknowns = query.unknown_vars();
+    let first_coll = order
+        .iter()
+        .find_map(|v| unknowns.iter().find(|(u, _)| u == v).map(|&(_, c)| c));
+    let Some(first_coll) = first_coll else {
+        return execute(db, query, kind, options); // no unknowns
+    };
+    let shared = unknowns.iter().filter(|&&(_, c)| c == first_coll).count() > 1;
+    if db.n_shards() == 1 || shared {
+        return execute(db, query, kind, options);
+    }
+
+    let results: Vec<Result<QueryResult, ExecError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..db.n_shards())
+            .map(|s| {
+                scope.spawn(move || {
+                    let slice = ShardSlice::new(db, first_coll, s);
+                    bbox_execute_opts(&slice, query, kind, options)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    let mut merged = QueryResult {
+        solutions: Vec::new(),
+        stats: ExecStats::default(),
+    };
+    for r in results {
+        let r = r?;
+        merged.stats.merge(&r.stats);
+        merged.solutions.extend(r.solutions);
+    }
+    if let Some(max) = options.max_solutions {
+        merged.solutions.truncate(max);
+    }
+    merged.stats.solutions = merged.solutions.len();
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scq_core::parse_system;
+
+    /// A two-collection overlay workload spread across the universe.
+    fn setup(n_shards: usize) -> (ShardedDatabase, Query<2>) {
+        let mut db = ShardedDatabase::new(AaBox::new([0.0, 0.0], [100.0, 100.0]), n_shards);
+        let xs = db.collection("xs");
+        let ys = db.collection("ys");
+        for i in 0..14 {
+            let t = (i * 19 % 87) as f64;
+            db.insert(
+                xs,
+                Region::from_box(AaBox::new([t, t * 0.7], [t + 8.0, t * 0.7 + 9.0])),
+            );
+            db.insert(
+                ys,
+                Region::from_box(AaBox::new(
+                    [t + 3.0, t * 0.7 + 2.0],
+                    [t + 9.0, t * 0.7 + 7.0],
+                )),
+            );
+        }
+        let sys = parse_system("X & Y != 0; X <= W").unwrap();
+        let q = Query::new(sys)
+            .known("W", Region::from_box(AaBox::new([0.0, 0.0], [80.0, 80.0])))
+            .from_collection("X", xs)
+            .from_collection("Y", ys);
+        (db, q)
+    }
+
+    #[test]
+    fn fanout_matches_single_threaded() {
+        let (db, q) = setup(5);
+        let seq = execute(&db, &q, IndexKind::RTree, ExecOptions::all()).unwrap();
+        assert!(!seq.solutions.is_empty());
+        let fan = execute_fanout(&db, &q, IndexKind::RTree, ExecOptions::all()).unwrap();
+        let mut a = seq.solutions.clone();
+        let mut b = fan.solutions.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(fan.stats.solutions, seq.stats.solutions);
+    }
+
+    #[test]
+    fn fanout_is_deterministic() {
+        let (db, q) = setup(4);
+        let a = execute_fanout(&db, &q, IndexKind::GridFile, ExecOptions::all()).unwrap();
+        let b = execute_fanout(&db, &q, IndexKind::GridFile, ExecOptions::all()).unwrap();
+        assert_eq!(a.solutions, b.solutions, "merge order is shard order");
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn fanout_respects_solution_cap() {
+        let (db, q) = setup(4);
+        let full = execute_fanout(&db, &q, IndexKind::RTree, ExecOptions::all()).unwrap();
+        assert!(full.solutions.len() >= 2);
+        let capped = execute_fanout(
+            &db,
+            &q,
+            IndexKind::RTree,
+            ExecOptions {
+                max_solutions: Some(2),
+            },
+        )
+        .unwrap();
+        assert_eq!(capped.solutions.len(), 2);
+        for s in &capped.solutions {
+            assert!(full.solutions.contains(s));
+        }
+    }
+
+    #[test]
+    fn work_stealing_runs_over_the_sharded_view() {
+        let (db, q) = setup(4);
+        let seq = execute(&db, &q, IndexKind::RTree, ExecOptions::all()).unwrap();
+        let par =
+            scq_engine::bbox_execute_parallel(&db, &q, IndexKind::RTree, 3, ExecOptions::all())
+                .unwrap();
+        let mut a = seq.solutions.clone();
+        let mut b = par.solutions.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn router_prunes_on_selective_queries() {
+        // A "district" query: the known containment region covers only
+        // the low corner of the universe, so the X row's corner query
+        // proves the high-z shards disjoint. (Centered or
+        // overlap-only queries legitimately cannot prune — an overlap
+        // constraint bounds no box center.)
+        let (db, mut q) = setup(6);
+        let w = q.system.table.get("W").unwrap();
+        q.bindings.insert(
+            w,
+            scq_engine::VarBinding::Known(Region::from_box(AaBox::new([0.0, 0.0], [35.0, 35.0]))),
+        );
+        let r = execute(&db, &q, IndexKind::RTree, ExecOptions::all()).unwrap();
+        assert!(
+            r.stats.shards_pruned > 0,
+            "the known-region containment row must prune shards: {}",
+            r.stats
+        );
+    }
+
+    #[test]
+    fn shared_collection_falls_back() {
+        // Two unknowns over the same collection: fan-out would restrict
+        // both levels, so it must fall back to the plain path (and
+        // still be correct).
+        let mut db = ShardedDatabase::new(AaBox::new([0.0, 0.0], [100.0, 100.0]), 4);
+        let xs = db.collection("xs");
+        for i in 0..10 {
+            let t = (i * 9) as f64;
+            db.insert(xs, Region::from_box(AaBox::new([t, 0.0], [t + 12.0, 10.0])));
+        }
+        let sys = parse_system("X & Y != 0").unwrap();
+        let q = Query::new(sys)
+            .from_collection("X", xs)
+            .from_collection("Y", xs);
+        let plain = execute(&db, &q, IndexKind::Scan, ExecOptions::all()).unwrap();
+        let fan = execute_fanout(&db, &q, IndexKind::Scan, ExecOptions::all()).unwrap();
+        let mut a = plain.solutions.clone();
+        let mut b = fan.solutions.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+}

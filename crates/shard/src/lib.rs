@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Sharded spatial database: the scale-out layer over
+//! [`scq_engine`]'s single-store engine.
+//!
+//! A [`ShardedDatabase`] partitions every collection across `N` shards
+//! by **z-order range**: each object routes to the shard owning the
+//! Morton code of its bounding-box center ([`ShardRouter`],
+//! [`scq_zorder::shard_ranges`]). Each shard is a complete
+//! [`scq_engine::SpatialDatabase`] — its own R-tree, grid file and scan
+//! index, its own snapshot stream, its own integrity check — and the
+//! sharding layer above owns only routing and the global↔local slot
+//! mapping. That separation is the architectural seam for multi-process
+//! deployment: a shard never knows about its siblings.
+//!
+//! Three properties make the layer transparent to the query engine:
+//!
+//! * **One executor code path.** [`ShardedDatabase`] implements
+//!   [`scq_engine::StoreView`], so the naive, triangular, bbox and
+//!   work-stealing parallel executors run against it unchanged; corner
+//!   queries fan out per level to only the shards the router cannot
+//!   prune (counted in [`scq_engine::ExecStats::shards_pruned`]).
+//! * **Stable global refs.** Objects are addressed by global
+//!   [`scq_engine::ObjectRef`]s with the same stability contract as the
+//!   unsharded store — even across [`ShardedDatabase::update`]
+//!   migrations that move an object between shards.
+//! * **Answer equivalence.** A sharded database answers every corner
+//!   query and every constraint query identically to an unsharded
+//!   database built from the same mutation sequence (property-tested in
+//!   `tests/shard_props.rs` at the workspace root).
+//!
+//! [`exec::execute_fanout`] adds shard-level parallelism with a
+//! deterministic merge; [`snapshot`] streams each shard independently
+//! under a cross-validated manifest.
+
+pub mod database;
+pub mod exec;
+pub mod router;
+pub mod snapshot;
+
+pub use database::{ShardedDatabase, DEFAULT_ROUTER_BITS};
+pub use exec::{execute, execute_fanout};
+pub use router::ShardRouter;
+pub use snapshot::{load_from_dir, save_to_dir, ShardSnapshotError};

@@ -172,6 +172,47 @@ fn rec(
     rec(bx + half, by + half, level - 1, (x0, y0), (x1, y1), out);
 }
 
+/// The total number of z-codes under a curve with `bits` bits per
+/// dimension: `4^bits`, i.e. one code per grid cell.
+pub fn key_space(bits: u32) -> u64 {
+    1u64 << (2 * bits)
+}
+
+/// Partitions the z-code space of a `bits`-per-dimension curve into `n`
+/// contiguous, equally-sized half-open ranges `[lo, hi)` covering
+/// `[0, 4^bits)` exactly — the shard map of a z-order range-partitioned
+/// database. Because the ranges follow the curve, spatially clustered
+/// data lands in few shards and range queries prune the rest.
+///
+/// # Panics
+/// If `n` is 0 or exceeds the number of cells.
+pub fn shard_ranges(bits: u32, n: usize) -> Vec<(u64, u64)> {
+    let total = key_space(bits);
+    assert!(n > 0, "at least one shard");
+    assert!(n as u64 <= total, "more shards than z-codes");
+    let n64 = n as u64;
+    let base = total / n64;
+    let extra = total % n64; // first `extra` ranges get one more code
+    let mut out = Vec::with_capacity(n);
+    let mut lo = 0u64;
+    for i in 0..n64 {
+        let hi = lo + base + u64::from(i < extra);
+        out.push((lo, hi));
+        lo = hi;
+    }
+    out
+}
+
+/// The z-code of a box's center point under `curve` — the routing key
+/// of a z-order range-partitioned store. `None` for the empty box,
+/// which has no center.
+pub fn center_key(curve: &ZCurve, b: &Bbox<2>) -> Option<u64> {
+    let lo = b.lo()?;
+    let hi = b.hi()?;
+    let (cx, cy) = curve.quantize([(lo[0] + hi[0]) / 2.0, (lo[1] + hi[1]) / 2.0]);
+    Some(morton_encode(cx, cy))
+}
+
 /// Decomposes a box into z-intervals under `curve`. Empty boxes give no
 /// intervals.
 pub fn decompose(curve: &ZCurve, b: &Bbox<2>) -> Vec<(u64, u64)> {
@@ -390,5 +431,57 @@ mod tests {
     #[should_panic(expected = "bits must be")]
     fn rejects_excessive_bits() {
         ZCurve::new(Bbox::new([0.0, 0.0], [1.0, 1.0]), 17);
+    }
+
+    #[test]
+    fn shard_ranges_partition_exactly() {
+        for (bits, n) in [(4u32, 1usize), (4, 3), (4, 7), (8, 16), (2, 16)] {
+            let ranges = shard_ranges(bits, n);
+            assert_eq!(ranges.len(), n);
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges[n - 1].1, key_space(bits));
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous: {w:?}");
+                assert!(w[0].0 < w[0].1, "nonempty: {w:?}");
+            }
+            // balanced to within one code
+            let sizes: Vec<u64> = ranges.iter().map(|&(lo, hi)| hi - lo).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "balanced: {sizes:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more shards than z-codes")]
+    fn shard_ranges_reject_too_many_shards() {
+        shard_ranges(1, 5);
+    }
+
+    #[test]
+    fn center_key_routes_consistently() {
+        let curve = ZCurve::new(Bbox::new([0.0, 0.0], [100.0, 100.0]), 8);
+        assert_eq!(center_key(&curve, &Bbox::Empty), None);
+        let b = Bbox::new([10.0, 20.0], [14.0, 26.0]);
+        let k = center_key(&curve, &b).unwrap();
+        assert_eq!(
+            k,
+            morton_encode(curve.quantize([12.0, 23.0]).0, {
+                curve.quantize([12.0, 23.0]).1
+            })
+        );
+        assert!(k < key_space(8));
+        // the key falls inside the decomposition of any box containing
+        // the center (soundness of range-based pruning)
+        let cover = Bbox::new([0.0, 0.0], [50.0, 50.0]);
+        let intervals = decompose(&curve, &cover);
+        assert!(intervals.iter().any(|&(lo, hi)| lo <= k && k < hi));
+    }
+
+    #[test]
+    fn center_key_clamps_outliers() {
+        let curve = ZCurve::new(Bbox::new([0.0, 0.0], [10.0, 10.0]), 4);
+        // a box whose center lies outside the universe still gets a key
+        let k = center_key(&curve, &Bbox::new([50.0, 50.0], [60.0, 60.0])).unwrap();
+        assert_eq!(k, morton_encode(15, 15));
     }
 }

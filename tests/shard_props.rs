@@ -1,0 +1,260 @@
+//! Property tests for the sharded database.
+//!
+//! The central claim of `crates/shard`: a [`ShardedDatabase`] fed an
+//! **arbitrary** mutation sequence answers every corner query and every
+//! constraint query exactly like an unsharded [`SpatialDatabase`] fed
+//! the same sequence. Both stores hand out slot indices in insertion
+//! order and never reuse them, so global ids are directly comparable —
+//! no translation layer in the oracle.
+
+use proptest::prelude::*;
+use scq_engine::CollectionId;
+use scq_integration::prelude::*;
+use scq_shard::{execute, execute_fanout};
+
+/// One scripted mutation (slot choices reduced modulo the slot count at
+/// application time, exactly like `tests/mutation_props.rs`).
+#[derive(Clone, Debug)]
+enum Op {
+    Insert {
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+    },
+    InsertEmpty,
+    Remove {
+        slot: u16,
+    },
+    Update {
+        slot: u16,
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+    },
+    UpdateToEmpty {
+        slot: u16,
+    },
+}
+
+fn op_strategy() -> BoxedStrategy<Op> {
+    let coords = (0.0f64..90.0, 0.0f64..90.0, 0.0f64..9.0, 0.0f64..9.0);
+    prop_oneof![
+        4 => coords.clone().prop_map(|(x, y, w, h)| Op::Insert { x, y, w, h }),
+        1 => Just(Op::InsertEmpty),
+        3 => (0u16..u16::MAX).prop_map(|slot| Op::Remove { slot }),
+        // Updates include long moves, so cross-shard migration is hit
+        // constantly.
+        2 => (0u16..u16::MAX, coords)
+            .prop_map(|(slot, (x, y, w, h))| Op::Update { slot, x, y, w, h }),
+        1 => (0u16..u16::MAX).prop_map(|slot| Op::UpdateToEmpty { slot }),
+    ]
+    .boxed()
+}
+
+/// Applies one op to both stores; their slot spaces stay in lockstep.
+fn apply_both(
+    sharded: &mut ShardedDatabase,
+    plain: &mut SpatialDatabase<2>,
+    coll: CollectionId,
+    op: &Op,
+) {
+    let slots = plain.collection_len(coll);
+    assert_eq!(
+        slots,
+        sharded.collection_len(coll),
+        "slot spaces in lockstep"
+    );
+    let obj = |slot: u16| ObjectRef {
+        collection: coll,
+        index: slot as usize % slots,
+    };
+    match *op {
+        Op::Insert { x, y, w, h } => {
+            let r = Region::from_box(AaBox::new([x, y], [x + w, y + h]));
+            let a = sharded.insert(coll, r.clone());
+            let b = plain.insert(coll, r);
+            assert_eq!(a, b, "global refs line up");
+        }
+        Op::InsertEmpty => {
+            let a = sharded.insert(coll, Region::empty());
+            let b = plain.insert(coll, Region::empty());
+            assert_eq!(a, b);
+        }
+        Op::Remove { slot } if slots > 0 => {
+            assert_eq!(sharded.remove(obj(slot)), plain.remove(obj(slot)));
+        }
+        Op::Update { slot, x, y, w, h } if slots > 0 => {
+            let r = Region::from_box(AaBox::new([x, y], [x + w, y + h]));
+            assert_eq!(
+                sharded.update(obj(slot), r.clone()),
+                plain.update(obj(slot), r)
+            );
+        }
+        Op::UpdateToEmpty { slot } if slots > 0 => {
+            assert_eq!(
+                sharded.update(obj(slot), Region::empty()),
+                plain.update(obj(slot), Region::empty())
+            );
+        }
+        _ => {} // slot ops on an empty collection: no-op
+    }
+}
+
+fn corner_queries() -> Vec<CornerQuery<2>> {
+    let mut qs = vec![CornerQuery::unconstrained()];
+    for i in 0..6 {
+        let t = i as f64 * 13.0;
+        let probe = Bbox::new([t, t * 0.5], [t + 25.0, t * 0.5 + 30.0]);
+        let inner = Bbox::new([t + 8.0, t * 0.5 + 8.0], [t + 12.0, t * 0.5 + 12.0]);
+        qs.push(CornerQuery::unconstrained().and_overlaps(&probe));
+        qs.push(CornerQuery::unconstrained().and_contained_in(&probe));
+        qs.push(CornerQuery::unconstrained().and_contains(&inner));
+        qs.push(
+            CornerQuery::unconstrained()
+                .and_contained_in(&probe)
+                .and_contains(&inner)
+                .and_overlaps(&probe),
+        );
+    }
+    qs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// After any mutation sequence, the sharded store answers every
+    /// corner query identically to the unsharded store, on all three
+    /// index structures, and both pass their integrity checks.
+    #[test]
+    fn sharded_corner_queries_match_unsharded(
+        ops in prop::collection::vec(op_strategy(), 1..100),
+        n_shards in 1usize..7,
+    ) {
+        let universe = AaBox::new([0.0, 0.0], [100.0, 100.0]);
+        let mut sharded = ShardedDatabase::new(universe, n_shards);
+        let mut plain = SpatialDatabase::new(universe);
+        let coll = sharded.collection("objs");
+        prop_assert_eq!(plain.collection("objs"), coll);
+        for op in &ops {
+            apply_both(&mut sharded, &mut plain, coll, op);
+        }
+        sharded.check().expect("sharded store is consistent");
+        scq_engine::integrity::check(&plain).expect("plain store is consistent");
+        prop_assert_eq!(sharded.live_len(coll), plain.live_len(coll));
+
+        for q in corner_queries() {
+            for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+                let mut a = Vec::new();
+                sharded.query_collection(coll, kind, &q, &mut a);
+                a.sort_unstable();
+                let mut b = Vec::new();
+                plain.query_collection(coll, kind, &q, &mut b);
+                b.sort_unstable();
+                prop_assert_eq!(a, b, "{:?} diverged between sharded and plain", kind);
+            }
+        }
+    }
+
+    /// Constraint queries agree too: the engine executors over the
+    /// sharded view, the shard fan-out, and a per-shard snapshot round
+    /// trip all return the unsharded answer set.
+    #[test]
+    fn sharded_executors_match_unsharded(
+        ops in prop::collection::vec(op_strategy(), 1..50),
+        n_shards in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        let universe = AaBox::new([0.0, 0.0], [100.0, 100.0]);
+        let mut sharded = ShardedDatabase::new(universe, n_shards);
+        let mut plain = SpatialDatabase::new(universe);
+        let xs = sharded.collection("xs");
+        let ys = sharded.collection("ys");
+        prop_assert_eq!(plain.collection("xs"), xs);
+        prop_assert_eq!(plain.collection("ys"), ys);
+        for i in 0..10 {
+            let t = (i as f64 * 9.0 + seed as f64) % 78.0;
+            let rx = Region::from_box(AaBox::new([t, 2.0], [t + 11.0, 48.0]));
+            let ry = Region::from_box(AaBox::new([t + 3.0, 12.0], [t + 8.0, 38.0]));
+            sharded.insert(xs, rx.clone());
+            plain.insert(xs, rx);
+            sharded.insert(ys, ry.clone());
+            plain.insert(ys, ry);
+        }
+        for op in &ops {
+            apply_both(&mut sharded, &mut plain, xs, op);
+        }
+
+        let sys = parse_system("X & Y != 0; X <= W").unwrap();
+        let q = Query::new(sys)
+            .known("W", Region::from_box(AaBox::new([0.0, 0.0], [55.0, 55.0])))
+            .from_collection("X", xs)
+            .from_collection("Y", ys);
+
+        let mut oracle = naive_execute(&plain, &q).unwrap().solutions;
+        oracle.sort();
+        for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+            let mut got = execute(&sharded, &q, kind, scq_engine::ExecOptions::all())
+                .unwrap()
+                .solutions;
+            got.sort();
+            prop_assert_eq!(&got, &oracle, "sharded {:?} diverged from naive", kind);
+        }
+        let mut fanned = execute_fanout(&sharded, &q, IndexKind::RTree, scq_engine::ExecOptions::all())
+            .unwrap()
+            .solutions;
+        fanned.sort();
+        prop_assert_eq!(&fanned, &oracle, "fan-out diverged");
+
+        // per-shard snapshot round trip preserves the answers
+        let manifest = scq_shard::snapshot::save_manifest(&sharded);
+        let payloads: Vec<_> = (0..sharded.n_shards())
+            .map(|s| scq_shard::snapshot::save_shard(&sharded, s))
+            .collect();
+        let reloaded = scq_shard::snapshot::load(&manifest, &payloads).unwrap();
+        reloaded.check().expect("reloaded sharded store is consistent");
+        let mut after = execute(&reloaded, &q, IndexKind::GridFile, scq_engine::ExecOptions::all())
+            .unwrap()
+            .solutions;
+        after.sort();
+        prop_assert_eq!(after, oracle, "answers changed across the snapshot");
+    }
+
+    /// Compaction preserves the live contents: answers over a compacted
+    /// sharded store equal the pre-compaction answers modulo the remap.
+    #[test]
+    fn sharded_compaction_preserves_answers(
+        ops in prop::collection::vec(op_strategy(), 1..80),
+    ) {
+        let universe = AaBox::new([0.0, 0.0], [100.0, 100.0]);
+        let mut sharded = ShardedDatabase::new(universe, 4);
+        let mut plain = SpatialDatabase::new(universe);
+        let coll = sharded.collection("objs");
+        plain.collection("objs");
+        for op in &ops {
+            apply_both(&mut sharded, &mut plain, coll, op);
+        }
+        let report = sharded.compact();
+        sharded.check().expect("consistent after compaction");
+        prop_assert_eq!(sharded.collection_len(coll), sharded.live_len(coll));
+        for q in corner_queries() {
+            let mut before = Vec::new();
+            plain.query_collection(coll, IndexKind::RTree, &q, &mut before);
+            let mut before: Vec<u64> = before
+                .into_iter()
+                .map(|id| {
+                    report
+                        .fix_up(ObjectRef { collection: coll, index: id as usize })
+                        .expect("query results are live, hence remapped")
+                        .index as u64
+                })
+                .collect();
+            before.sort_unstable();
+            let mut after = Vec::new();
+            sharded.query_collection(coll, IndexKind::RTree, &q, &mut after);
+            after.sort_unstable();
+            prop_assert_eq!(before, after, "compaction changed an answer");
+        }
+    }
+}
