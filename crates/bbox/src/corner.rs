@@ -133,6 +133,28 @@ impl<const K: usize> CornerQuery<K> {
         }
     }
 
+    /// Reassembles a query from raw corner bounds plus the
+    /// unsatisfiable marker — the inverse of reading the public bound
+    /// fields and [`CornerQuery::is_unsatisfiable`]. This is the
+    /// deserialization entry point for transports that ship corner
+    /// queries between processes; a query rebuilt from its own parts
+    /// matches exactly the same boxes as the original.
+    pub fn from_parts(
+        lo_min: [f64; K],
+        lo_max: [f64; K],
+        hi_min: [f64; K],
+        hi_max: [f64; K],
+        unsat: bool,
+    ) -> Self {
+        CornerQuery {
+            lo_min,
+            lo_max,
+            hi_min,
+            hi_max,
+            unsat,
+        }
+    }
+
     /// Whether a candidate bounding box satisfies the query.
     ///
     /// The empty box never matches (it has no corner point).

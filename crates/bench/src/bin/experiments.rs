@@ -635,7 +635,7 @@ fn smoke(path: &str) {
         median_ms(5, || {
             let manifest = scq_shard::snapshot::save_manifest(&sharded);
             let payloads: Vec<_> = (0..sharded.n_shards())
-                .map(|s| scq_shard::snapshot::save_shard(&sharded, s))
+                .map(|s| scq_shard::snapshot::save_shard(&sharded, s).unwrap())
                 .collect();
             scq_shard::snapshot::load(&manifest, &payloads).unwrap();
         }),
@@ -653,8 +653,45 @@ fn smoke(path: &str) {
     println!("wrote {} measurements to {path}", rows.len());
 }
 
+/// `--gate <baseline.json> <current.json> [factor]`: the CI perf
+/// regression gate. Exits nonzero when any `*_ms` median regresses
+/// beyond `factor`× its baseline (default 10× — loose enough for
+/// shared-runner noise, tight enough to catch order-of-magnitude
+/// regressions) or any count row (e.g. shards pruned) decays.
+fn gate(baseline_path: &str, current_path: &str, factor: f64) {
+    let read = |path: &str| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read bench artifact {path}: {e}"));
+        scq_bench::parse_bench_json(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+    };
+    match scq_bench::gate_benches(&read(baseline_path), &read(current_path), factor) {
+        Ok(report) => {
+            for line in report {
+                println!("{line}");
+            }
+            println!("bench gate passed ({factor}x tolerance vs {baseline_path})");
+        }
+        Err(violations) => {
+            for line in violations {
+                eprintln!("REGRESSION: {line}");
+            }
+            eprintln!("bench gate FAILED ({factor}x tolerance vs {baseline_path})");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--gate") {
+        let (Some(baseline), Some(current)) = (args.get(i + 1), args.get(i + 2)) else {
+            eprintln!("usage: experiments --gate <baseline.json> <current.json> [factor]");
+            std::process::exit(2);
+        };
+        let factor = args.get(i + 3).and_then(|f| f.parse().ok()).unwrap_or(10.0);
+        gate(baseline, current, factor);
+        return;
+    }
     if let Some(i) = args.iter().position(|a| a == "--smoke") {
         let path = args
             .get(i + 1)

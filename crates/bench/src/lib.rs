@@ -175,3 +175,151 @@ mod tests {
         );
     }
 }
+
+// ── bench regression gate ───────────────────────────────────────────────
+
+/// One measured row of a bench artifact: name and value (`*_ms` rows
+/// are medians in milliseconds; other rows are counts).
+pub type BenchRow = (String, f64);
+
+/// Parses the `BENCH_*.json` artifact format written by the smoke
+/// preset (`{"benches": [{"name": …, "median_ms": …}, …]}`). The
+/// writer is in this repository, so the parser matches its exact
+/// shape rather than dragging in a JSON dependency; anything it cannot
+/// read is an error, not a silently empty baseline.
+pub fn parse_bench_json(text: &str) -> Result<Vec<BenchRow>, String> {
+    let mut rows = Vec::new();
+    for obj in text.split('{').skip(1) {
+        let Some(name_at) = obj.find("\"name\"") else {
+            continue; // the envelope object
+        };
+        let name = obj[name_at..]
+            .split('"')
+            .nth(3)
+            .ok_or_else(|| format!("unterminated name near {:.40}…", &obj[name_at..]))?
+            .to_string();
+        let value_at = obj
+            .find("\"median_ms\"")
+            .ok_or_else(|| format!("row {name:?} has no median_ms field"))?;
+        let raw = obj[value_at..]
+            .split(':')
+            .nth(1)
+            .and_then(|v| v.split(['}', ',', '\n']).next())
+            .ok_or_else(|| format!("row {name:?} has a malformed median_ms"))?
+            .trim();
+        let value: f64 = raw
+            .parse()
+            .map_err(|_| format!("row {name:?}: {raw:?} is not a number"))?;
+        rows.push((name, value));
+    }
+    if rows.is_empty() {
+        return Err("no bench rows found".into());
+    }
+    Ok(rows)
+}
+
+/// Compares a current bench artifact against a checked-in baseline.
+///
+/// * `*_ms` rows regress when the current median exceeds
+///   `baseline × factor` **and** the absolute growth exceeds a small
+///   noise floor (0.25 ms) — sub-millisecond rows on shared CI runners
+///   jitter by integer factors without meaning anything.
+/// * count rows (no `_ms` suffix, e.g. shards pruned) regress when the
+///   current value drops below the baseline — pruning counts must
+///   never silently decay.
+/// * a baseline row missing from the current artifact is a regression
+///   (a deleted bench would otherwise vanish from the gate unnoticed);
+///   new rows in the current artifact are fine.
+///
+/// Returns the per-row report lines on success, the violation lines on
+/// failure.
+pub fn gate_benches(
+    baseline: &[BenchRow],
+    current: &[BenchRow],
+    factor: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    const NOISE_FLOOR_MS: f64 = 0.25;
+    let mut report = Vec::new();
+    let mut violations = Vec::new();
+    for (name, base) in baseline {
+        let Some((_, cur)) = current.iter().find(|(n, _)| n == name) else {
+            violations.push(format!(
+                "{name}: present in the baseline, missing from the run"
+            ));
+            continue;
+        };
+        if name.ends_with("_ms") {
+            let limit = base * factor;
+            if *cur > limit && cur - base > NOISE_FLOOR_MS {
+                violations.push(format!(
+                    "{name}: {cur:.4} ms exceeds {factor}x baseline ({base:.4} ms)"
+                ));
+            } else {
+                report.push(format!("{name}: {cur:.4} ms (baseline {base:.4} ms) ok"));
+            }
+        } else if cur < base {
+            violations.push(format!(
+                "{name}: {cur} fell below the baseline {base} (a pruning/count row must not decay)"
+            ));
+        } else {
+            report.push(format!("{name}: {cur} (baseline {base}) ok"));
+        }
+    }
+    if violations.is_empty() {
+        Ok(report)
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod gate_tests {
+    use super::*;
+
+    fn rows(pairs: &[(&str, f64)]) -> Vec<BenchRow> {
+        pairs.iter().map(|(n, v)| (n.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn artifact_format_round_trips() {
+        let json = "{\n  \"schema\": 1,\n  \"preset\": \"ci\",\n  \"benches\": [\n    \
+                    {\"name\": \"a_ms\", \"median_ms\": 1.2500},\n    \
+                    {\"name\": \"b_count\", \"median_ms\": 6.0000}\n  ]\n}\n";
+        let rows = parse_bench_json(json).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "a_ms");
+        assert!((rows[0].1 - 1.25).abs() < 1e-9);
+        assert!(
+            parse_bench_json("{}").is_err(),
+            "empty artifact is an error"
+        );
+        assert!(parse_bench_json("not json at all").is_err());
+    }
+
+    #[test]
+    fn time_rows_gate_on_factor_above_the_noise_floor() {
+        let base = rows(&[("solve_ms", 2.0)]);
+        assert!(gate_benches(&base, &rows(&[("solve_ms", 3.9)]), 2.0).is_ok());
+        assert!(gate_benches(&base, &rows(&[("solve_ms", 4.5)]), 2.0).is_err());
+        // a tiny row blowing past the factor but inside the noise
+        // floor passes
+        let tiny = rows(&[("q_ms", 0.01)]);
+        assert!(gate_benches(&tiny, &rows(&[("q_ms", 0.2)]), 2.0).is_ok());
+        assert!(gate_benches(&tiny, &rows(&[("q_ms", 0.9)]), 2.0).is_err());
+    }
+
+    #[test]
+    fn count_rows_must_not_decay_and_rows_must_not_vanish() {
+        let base = rows(&[("pruned", 6.0), ("solve_ms", 1.0)]);
+        let ok = rows(&[("pruned", 7.0), ("solve_ms", 1.0), ("extra_ms", 9.0)]);
+        assert!(
+            gate_benches(&base, &ok, 10.0).is_ok(),
+            "growth and new rows pass"
+        );
+        let decayed = rows(&[("pruned", 5.0), ("solve_ms", 1.0)]);
+        assert!(gate_benches(&base, &decayed, 10.0).is_err());
+        let missing = rows(&[("solve_ms", 1.0)]);
+        let err = gate_benches(&base, &missing, 10.0).unwrap_err();
+        assert!(err[0].contains("missing"), "{err:?}");
+    }
+}

@@ -8,7 +8,13 @@
 //! same trait by fanning corner queries out across shards and mapping
 //! shard-local ids back to a global slot space, so one executor code
 //! path serves both (and the two can be property-tested against each
-//! other).
+//! other). The shards themselves may live in **other processes**: the
+//! sharded store's backends can answer corner queries over a socket
+//! while serving `region`/`bbox`/liveness from a client-side mirror,
+//! and the executors cannot tell — which is why `region` returning a
+//! borrow is a hard requirement of this trait, not a convenience: it
+//! forces every implementation, however remote, to keep the hot read
+//! path memory-speed.
 //!
 //! The trait is deliberately read-only: executors never mutate the
 //! store, which is what lets the parallel executor share one view

@@ -31,7 +31,9 @@ pub mod prelude {
     };
     pub use scq_index::{GridFile, RTree, ScanIndex, SpatialIndex, SplitStrategy};
     pub use scq_region::{AaBox, Region, RegionAlgebra};
-    pub use scq_shard::{ShardRouter, ShardedDatabase};
+    pub use scq_shard::{
+        ClusterSpec, LocalShard, RemoteShard, ShardBackend, ShardRouter, ShardedDatabase,
+    };
     pub use scq_zorder::{
         decompose, morton_decode, morton_encode, zorder_join, ZCurve, ZOrderIndex,
     };

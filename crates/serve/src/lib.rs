@@ -24,8 +24,9 @@
 //! QUERY <coll> <index> <mode> <x0> <y0> <x1> <y1>
 //!                                              → OK n=<n> pruned=<p> ids=<a,b,…>
 //! SOLVE <index> <max> <bindings> <system>      → OK n=<n> pruned=<p> tuples=<…>
-//! STAT                                         → OK shards=<s> collections=<c> live=<n>
+//! STAT                                         → OK shards=<s> collections=<c> live=<n> backend=<b>
 //! STAT <coll>                                  → OK len=<slots> live=<n>
+//! SHARDS                                       → OK n=<s> live=<l0,l1,…> backend=<b>
 //! COMPACT                                      → OK reclaimed=<n>
 //! SNAPSHOT SAVE <dir>                          → OK saved shards=<s>
 //! SNAPSHOT LOAD <dir>                          → OK loaded collections=<c>
@@ -42,15 +43,28 @@
 //!   the line in the engine's constraint syntax (`;`-separated).
 //! * `pruned` reports [`scq_engine::ExecStats::shards_pruned`] — how
 //!   many shards the z-order router proved disjoint and never probed.
+//! * `backend` names where the shards live: `local` (in this process)
+//!   or `remote:<addr>` (a cluster of shard processes).
+//!
+//! # Cluster mode
+//!
+//! The front end is generic over the [`ShardBackend`]: [`serve`] boots
+//! the classic in-process sharded store, [`serve_db`] fronts **any**
+//! sharded database — in particular one whose shards are separate OS
+//! processes reached through [`scq_shard::ClusterSpec::connect`]
+//! (`scq-serve --cluster <spec>`), each process running the shard wire
+//! protocol server (`scq-serve --shard`). The command table is
+//! identical either way.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use scq_region::AaBox;
-use scq_shard::ShardedDatabase;
+use scq_shard::{ClusterSpec, LocalShard, ShardBackend, ShardedDatabase};
 
 mod proto;
 
@@ -108,16 +122,27 @@ impl ServerHandle {
     }
 }
 
-/// Starts the server: binds, spawns the worker pool, returns
-/// immediately.
+/// Starts the server over the classic in-process sharded store: binds,
+/// spawns the worker pool, returns immediately.
 pub fn serve(config: &ServerConfig) -> std::io::Result<ServerHandle> {
+    let universe = AaBox::new([0.0, 0.0], [config.universe_size, config.universe_size]);
+    serve_db(
+        config,
+        ShardedDatabase::<LocalShard>::new(universe, config.shards.max(1)),
+    )
+}
+
+/// Starts the server over an arbitrary sharded database — the cluster
+/// entry point: pass a `ShardedDatabase<RemoteShard>` from
+/// [`ClusterSpec::connect`] and this process becomes a pure router
+/// tier over N shard processes.
+pub fn serve_db<B: ShardBackend + 'static>(
+    config: &ServerConfig,
+    db: ShardedDatabase<B>,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    let universe = AaBox::new([0.0, 0.0], [config.universe_size, config.universe_size]);
-    let db = Arc::new(RwLock::new(ShardedDatabase::new(
-        universe,
-        config.shards.max(1),
-    )));
+    let db = Arc::new(RwLock::new(db));
     let stop = Arc::new(AtomicBool::new(false));
     let mut workers = Vec::new();
     for _ in 0..config.threads.max(1) {
@@ -143,7 +168,11 @@ pub fn serve(config: &ServerConfig) -> std::io::Result<ServerHandle> {
     })
 }
 
-fn serve_connection(stream: TcpStream, db: &Arc<RwLock<ShardedDatabase>>, stop: &AtomicBool) {
+fn serve_connection<B: ShardBackend>(
+    stream: TcpStream,
+    db: &Arc<RwLock<ShardedDatabase<B>>>,
+    stop: &AtomicBool,
+) {
     // A bounded read timeout keeps shutdown() from hanging on a worker
     // parked in read_line under an idle connection: the read wakes up
     // periodically, notices the stop flag and closes.
@@ -283,6 +312,106 @@ pub fn run_script(addr: SocketAddr, script: &[(String, String)]) -> Result<Vec<S
     Ok(transcript)
 }
 
+/// The scripted session the cluster smoke runs against a router tier
+/// fronting **two** shard processes: placement across shards,
+/// cross-shard migration on update, router pruning over real sockets
+/// (`pruned=1` with 2 shards), compaction, and a snapshot save/load
+/// round trip through the remote backends. Prefixes assert the
+/// interesting invariants: `SHARDS` live counts prove objects actually
+/// move between processes.
+pub fn cluster_script(snapshot_dir: &str) -> Vec<(String, String)> {
+    let own = |steps: Vec<(&str, &str)>| -> Vec<(String, String)> {
+        steps
+            .into_iter()
+            .map(|(c, r)| (c.to_string(), r.to_string()))
+            .collect()
+    };
+    let mut steps = own(vec![
+        ("PING", "OK pong"),
+        ("SHARDS", "OK n=2 live=0,0 backend=remote:"),
+        ("CREATE objs", "OK coll=0"),
+        // low corner → shard 0; high corner → shard 1
+        ("INSERT objs 50 50 60 60", "OK ref=0"),
+        ("INSERT objs 900 900 920 920", "OK ref=1"),
+        ("INSERT objs 100 80 140 120", "OK ref=2"),
+        ("SHARDS", "OK n=2 live=2,1"),
+        // the router proves the high-z shard disjoint: pruned=1 of 2
+        ("QUERY objs rtree within 0 0 200 200", "OK n=2 pruned=1"),
+        // cross-process migration: ref 1 moves shard 1 → shard 0
+        ("UPDATE objs 1 20 20 40 40", "OK updated"),
+        ("SHARDS", "OK n=2 live=3,0"),
+        ("QUERY objs rtree within 0 0 200 200", "OK n=3 pruned=1"),
+        (
+            "QUERY objs rtree within 800 800 1000 1000",
+            "OK n=0 pruned=1",
+        ),
+        (
+            "SOLVE rtree all A=coll:objs,C=box:0:0:200:200 A <= C",
+            "OK n=3",
+        ),
+        ("REMOVE objs 2", "OK removed"),
+        ("COMPACT", "OK reclaimed=1"),
+    ]);
+    steps.push((
+        format!("SNAPSHOT SAVE {snapshot_dir}"),
+        "OK saved shards=2".into(),
+    ));
+    steps.push((
+        format!("SNAPSHOT LOAD {snapshot_dir}"),
+        "OK loaded collections=1".into(),
+    ));
+    steps.extend(own(vec![
+        ("QUERY objs rtree within 0 0 200 200", "OK n=2 pruned=1"),
+        ("STAT", "OK shards=2 collections=1 live=2 backend=remote:"),
+        ("QUIT", "OK bye"),
+    ]));
+    steps
+}
+
+/// Boots a complete in-process cluster — two shard servers speaking
+/// the wire protocol plus a router tier connected over real sockets —
+/// and drives [`cluster_script`] through the line protocol. This is
+/// the same topology the CI `cluster-smoke` job builds out of OS
+/// processes; `scq-serve --cluster-self-test` runs this variant.
+pub fn cluster_self_test() -> Result<Vec<String>, String> {
+    let universe_size = 1000.0;
+    let shard_config = scq_shard::ShardServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        universe_size,
+    };
+    let shard_a = scq_shard::serve_shard(&shard_config).map_err(|e| format!("shard a: {e}"))?;
+    let shard_b = scq_shard::serve_shard(&shard_config).map_err(|e| format!("shard b: {e}"))?;
+    let spec = ClusterSpec::balanced(
+        AaBox::new([0.0, 0.0], [universe_size, universe_size]),
+        scq_shard::DEFAULT_ROUTER_BITS,
+        &[shard_a.addr().to_string(), shard_b.addr().to_string()],
+    );
+    let result = (|| {
+        let db = spec
+            .connect(Duration::from_secs(10))
+            .map_err(|e| format!("cluster connect: {e}"))?;
+        let handle = serve_db(
+            &ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 2,
+                ..ServerConfig::default()
+            },
+            db,
+        )
+        .map_err(|e| format!("router bind: {e}"))?;
+        let dir = std::env::temp_dir().join(format!("scq_cluster_selftest_{}", std::process::id()));
+        let script = cluster_script(&dir.display().to_string());
+        let result = run_script(handle.addr(), &script);
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+        result
+    })();
+    shard_a.shutdown();
+    shard_b.shutdown();
+    result
+}
+
 /// Boots an ephemeral server, runs the smoke script against it over
 /// real TCP, and shuts down. The CI server-smoke job calls this through
 /// `scq-serve --self-test`.
@@ -310,6 +439,17 @@ mod tests {
     fn self_test_passes_end_to_end() {
         let transcript = self_test().expect("scripted session succeeds");
         assert!(transcript.len() >= 20);
+    }
+
+    #[test]
+    fn cluster_self_test_passes_end_to_end() {
+        let transcript = cluster_self_test().expect("cluster session succeeds");
+        assert!(transcript.len() >= 15);
+        // the transcript proves the shards are remote processes
+        assert!(
+            transcript.iter().any(|t| t.contains("backend=remote:")),
+            "router must report remote backends"
+        );
     }
 
     #[test]

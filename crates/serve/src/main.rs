@@ -1,18 +1,33 @@
 //! `scq-serve` — the sharded spatial database behind a TCP line
-//! protocol.
+//! protocol, plus the shard-process and router-tier cluster modes.
 //!
 //! ```text
 //! scq-serve [--addr A] [--shards N] [--threads T] [--universe S]
+//!                              in-process sharded store (classic mode)
+//! scq-serve --shard [--addr A] [--threads T] [--universe S]
+//!                              one shard process: a single spatial
+//!                              database speaking the binary shard wire
+//!                              protocol (what --cluster connects to)
+//! scq-serve --cluster <spec>   router tier: connect to the shard
+//!                              processes in the cluster spec file and
+//!                              front them through the line protocol
 //! scq-serve --self-test        boot an ephemeral server, run the
 //!                              scripted smoke session, exit 0/1
+//! scq-serve --cluster-self-test
+//!                              boot 2 in-process shard servers + a
+//!                              router over real sockets, run the
+//!                              cluster script, exit 0/1
 //! scq-serve --client <addr>    interactive client: lines from stdin,
 //!                              responses to stdout
 //! ```
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::path::Path;
+use std::time::Duration;
 
-use scq_serve::{self_test, serve, ServerConfig};
+use scq_serve::{cluster_self_test, self_test, serve, serve_db, ServerConfig};
+use scq_shard::{serve_shard, ClusterSpec, ShardServerConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,18 +36,11 @@ fn main() {
         return;
     }
     if args.iter().any(|a| a == "--self-test") {
-        match self_test() {
-            Ok(transcript) => {
-                for line in &transcript {
-                    println!("{line}");
-                }
-                println!("self-test passed ({} exchanges)", transcript.len());
-            }
-            Err(e) => {
-                eprintln!("self-test FAILED: {e}");
-                std::process::exit(1);
-            }
-        }
+        run_self_test(self_test());
+        return;
+    }
+    if args.iter().any(|a| a == "--cluster-self-test") {
+        run_self_test(cluster_self_test());
         return;
     }
     if let Some(i) = args.iter().position(|a| a == "--client") {
@@ -48,6 +56,36 @@ fn main() {
             .position(|a| a == name)
             .and_then(|i| args.get(i + 1).cloned())
     };
+
+    if args.iter().any(|a| a == "--shard") {
+        // Shard-process mode: this process is ONE shard of a cluster.
+        let mut config = ShardServerConfig {
+            addr: flag("--addr").unwrap_or_else(|| "127.0.0.1:7979".into()),
+            ..ShardServerConfig::default()
+        };
+        if let Some(t) = flag("--threads").and_then(|v| v.parse().ok()) {
+            config.threads = t;
+        }
+        if let Some(u) = flag("--universe").and_then(|v| v.parse().ok()) {
+            config.universe_size = u;
+        }
+        match serve_shard(&config) {
+            Ok(handle) => {
+                println!(
+                    "scq-shard listening on {} (universe {}, {} workers)",
+                    handle.addr(),
+                    config.universe_size,
+                    config.threads
+                );
+                park_forever();
+            }
+            Err(e) => {
+                eprintln!("bind {}: {e}", config.addr);
+                std::process::exit(1);
+            }
+        }
+    }
+
     let mut config = ServerConfig {
         addr: flag("--addr").unwrap_or_else(|| "127.0.0.1:7878".into()),
         ..ServerConfig::default()
@@ -61,6 +99,42 @@ fn main() {
     if let Some(u) = flag("--universe").and_then(|v| v.parse().ok()) {
         config.universe_size = u;
     }
+
+    if let Some(spec_path) = flag("--cluster") {
+        // Router-tier mode: shards are separate processes named by the
+        // cluster spec; this process only routes.
+        let spec = match ClusterSpec::load(Path::new(&spec_path)) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        };
+        let n_shards = spec.shards.len();
+        let db = match spec.connect(Duration::from_secs(15)) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("cluster connect: {e}");
+                std::process::exit(1);
+            }
+        };
+        match serve_db(&config, db) {
+            Ok(handle) => {
+                println!(
+                    "scq-serve listening on {} (cluster of {} shard processes, {} workers)",
+                    handle.addr(),
+                    n_shards,
+                    config.threads
+                );
+                park_forever();
+            }
+            Err(e) => {
+                eprintln!("bind {}: {e}", config.addr);
+                std::process::exit(1);
+            }
+        }
+    }
+
     match serve(&config) {
         Ok(handle) => {
             println!(
@@ -69,13 +143,32 @@ fn main() {
                 config.shards,
                 config.threads
             );
-            // Serve until killed.
-            loop {
-                std::thread::park();
-            }
+            park_forever();
         }
         Err(e) => {
             eprintln!("bind {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Serve until killed.
+fn park_forever() -> ! {
+    loop {
+        std::thread::park();
+    }
+}
+
+fn run_self_test(result: Result<Vec<String>, String>) {
+    match result {
+        Ok(transcript) => {
+            for line in &transcript {
+                println!("{line}");
+            }
+            println!("self-test passed ({} exchanges)", transcript.len());
+        }
+        Err(e) => {
+            eprintln!("self-test FAILED: {e}");
             std::process::exit(1);
         }
     }
@@ -86,11 +179,15 @@ fn usage() -> &'static str {
      \n\
      usage:\n\
      \x20 scq-serve [--addr A] [--shards N] [--threads T] [--universe S]\n\
+     \x20 scq-serve --shard [--addr A] [--threads T] [--universe S]\n\
+     \x20 scq-serve --cluster <spec-file> [--addr A] [--threads T]\n\
      \x20 scq-serve --self-test\n\
+     \x20 scq-serve --cluster-self-test\n\
      \x20 scq-serve --client <addr>\n\
      \n\
      protocol: one command per line; see the scq-serve crate docs or the\n\
-     repository README for the command reference.\n"
+     repository README for the command reference and the cluster spec\n\
+     file format.\n"
 }
 
 /// Minimal interactive client: stdin lines to the server, responses to

@@ -2,9 +2,16 @@
 //!
 //! Every command handler returns `OK …` or `ERR <reason>` as one line;
 //! parse errors never tear down the connection. Read-only commands
-//! (`QUERY`, `SOLVE`, `STAT`, `PING`) take the database's read lock and
-//! run concurrently; mutations (`INSERT`, `REMOVE`, `UPDATE`,
-//! `CREATE`, `COMPACT`, `LOAD`, `SNAPSHOT LOAD`) take the write lock.
+//! (`QUERY`, `SOLVE`, `STAT`, `SHARDS`, `PING`) take the database's
+//! read lock and run concurrently; mutations (`INSERT`, `REMOVE`,
+//! `UPDATE`, `CREATE`, `COMPACT`, `LOAD`, `SNAPSHOT LOAD`) take the
+//! write lock.
+//!
+//! Everything is generic over the [`ShardBackend`]: the same command
+//! table serves an in-process sharded store and a cluster of shard
+//! processes. Mutations go through the database's fallible `try_*`
+//! forms, so a lost shard process surfaces as an `ERR` line on the
+//! client's connection instead of tearing the server down.
 
 use std::path::Path;
 use std::sync::{Arc, RwLock};
@@ -16,11 +23,14 @@ use scq_engine::{
     CollectionId, ExecOptions, IndexKind, ObjectRef, Query, SpatialDatabase, VarBinding,
 };
 use scq_region::{AaBox, Region};
-use scq_shard::ShardedDatabase;
+use scq_shard::{ShardBackend, ShardedDatabase};
 
 /// Parses and runs one command line. Returns the response line (no
 /// trailing newline) and whether the connection should close.
-pub fn handle_command(db: &Arc<RwLock<ShardedDatabase>>, line: &str) -> (String, bool) {
+pub fn handle_command<B: ShardBackend>(
+    db: &Arc<RwLock<ShardedDatabase<B>>>,
+    line: &str,
+) -> (String, bool) {
     if line.trim() == "QUIT" {
         return ("OK bye".into(), true);
     }
@@ -38,7 +48,10 @@ fn lock_poisoned<T>(_: T) -> String {
 /// carries the true count.
 const MAX_LISTED: usize = 16;
 
-fn dispatch(db: &Arc<RwLock<ShardedDatabase>>, line: &str) -> Result<String, String> {
+fn dispatch<B: ShardBackend>(
+    db: &Arc<RwLock<ShardedDatabase<B>>>,
+    line: &str,
+) -> Result<String, String> {
     let mut parts = line.split_whitespace();
     let verb = parts.next().ok_or("empty command")?;
     let rest: Vec<&str> = parts.collect();
@@ -57,7 +70,7 @@ fn dispatch(db: &Arc<RwLock<ShardedDatabase>>, line: &str) -> Result<String, Str
                 ));
             }
             let mut d = db.write().map_err(lock_poisoned)?;
-            let id = d.collection(name);
+            let id = d.try_collection(name).map_err(|e| e.to_string())?;
             Ok(format!("OK coll={}", id.0))
         }
         "INSERT" => {
@@ -65,7 +78,7 @@ fn dispatch(db: &Arc<RwLock<ShardedDatabase>>, line: &str) -> Result<String, Str
             let region = parse_region(coords)?;
             let mut d = db.write().map_err(lock_poisoned)?;
             let coll = lookup(&d, name)?;
-            let obj = d.insert(coll, region);
+            let obj = d.try_insert(coll, region).map_err(|e| e.to_string())?;
             Ok(format!("OK ref={}", obj.index))
         }
         "REMOVE" => {
@@ -75,7 +88,7 @@ fn dispatch(db: &Arc<RwLock<ShardedDatabase>>, line: &str) -> Result<String, Str
             let mut d = db.write().map_err(lock_poisoned)?;
             let coll = lookup(&d, name)?;
             let obj = object_ref(&d, coll, slot)?;
-            Ok(if d.remove(obj) {
+            Ok(if d.try_remove(obj).map_err(|e| e.to_string())? {
                 "OK removed".into()
             } else {
                 "OK noop".into()
@@ -92,7 +105,7 @@ fn dispatch(db: &Arc<RwLock<ShardedDatabase>>, line: &str) -> Result<String, Str
             let mut d = db.write().map_err(lock_poisoned)?;
             let coll = lookup(&d, name)?;
             let obj = object_ref(&d, coll, slot)?;
-            Ok(if d.update(obj, region) {
+            Ok(if d.try_update(obj, region).map_err(|e| e.to_string())? {
                 "OK updated".into()
             } else {
                 "OK noop".into()
@@ -120,7 +133,7 @@ fn dispatch(db: &Arc<RwLock<ShardedDatabase>>, line: &str) -> Result<String, Str
             let d = db.read().map_err(lock_poisoned)?;
             let coll = lookup(&d, name)?;
             let mut ids = Vec::new();
-            let pruned = d.query_collection(coll, kind, &q, &mut ids);
+            let pruned = contain_backend_panic(|| d.query_collection(coll, kind, &q, &mut ids))?;
             ids.sort_unstable();
             // `n=` carries the true count; the listing is capped so a
             // broad query cannot blow the response line up to megabytes
@@ -137,15 +150,33 @@ fn dispatch(db: &Arc<RwLock<ShardedDatabase>>, line: &str) -> Result<String, Str
             Ok(format!("OK n={} pruned={pruned} ids={id_list}", ids.len()))
         }
         "SOLVE" => solve(db, &rest),
+        "SHARDS" => {
+            let d = db.read().map_err(lock_poisoned)?;
+            let live: Vec<String> = (0..d.n_shards())
+                .map(|s| {
+                    d.collections()
+                        .map(|c| d.backend(s).live_len(c))
+                        .sum::<usize>()
+                        .to_string()
+                })
+                .collect();
+            Ok(format!(
+                "OK n={} live={} backend={}",
+                d.n_shards(),
+                live.join(","),
+                d.backend(0).describe()
+            ))
+        }
         "STAT" => {
             let d = db.read().map_err(lock_poisoned)?;
             match rest[..] {
                 [] => {
                     let live: usize = d.collections().map(|c| d.live_len(c)).sum();
                     Ok(format!(
-                        "OK shards={} collections={} live={live}",
+                        "OK shards={} collections={} live={live} backend={}",
                         d.n_shards(),
-                        d.collections().count()
+                        d.collections().count(),
+                        d.backend(0).describe()
                     ))
                 }
                 [name] => {
@@ -161,7 +192,7 @@ fn dispatch(db: &Arc<RwLock<ShardedDatabase>>, line: &str) -> Result<String, Str
         }
         "COMPACT" => {
             let mut d = db.write().map_err(lock_poisoned)?;
-            let report = d.compact();
+            let report = d.try_compact().map_err(|e| e.to_string())?;
             Ok(format!("OK reclaimed={}", report.slots_reclaimed))
         }
         "SNAPSHOT" => {
@@ -175,11 +206,14 @@ fn dispatch(db: &Arc<RwLock<ShardedDatabase>>, line: &str) -> Result<String, Str
                     Ok(format!("OK saved shards={}", d.n_shards()))
                 }
                 "LOAD" => {
-                    let loaded =
-                        scq_shard::load_from_dir(Path::new(dir)).map_err(|e| e.to_string())?;
-                    let collections = loaded.collections().count();
-                    *db.write().map_err(lock_poisoned)? = loaded;
-                    Ok(format!("OK loaded collections={collections}"))
+                    // In-place restore: each shard backend (possibly a
+                    // remote process) swallows its own stream. The
+                    // snapshot's topology must match the server's —
+                    // shard processes cannot be conjured mid-flight.
+                    let mut d = db.write().map_err(lock_poisoned)?;
+                    scq_shard::reload_from_dir(&mut d, Path::new(dir))
+                        .map_err(|e| e.to_string())?;
+                    Ok(format!("OK loaded collections={}", d.collections().count()))
                 }
                 other => Err(format!("unknown snapshot action {other:?}")),
             }
@@ -202,7 +236,10 @@ fn dispatch(db: &Arc<RwLock<ShardedDatabase>>, line: &str) -> Result<String, Str
 
 /// `SOLVE <kind> <max> <bindings> <system…>`: run a constraint query
 /// against the sharded database through the engine executor.
-fn solve(db: &Arc<RwLock<ShardedDatabase>>, rest: &[&str]) -> Result<String, String> {
+fn solve<B: ShardBackend>(
+    db: &Arc<RwLock<ShardedDatabase<B>>>,
+    rest: &[&str],
+) -> Result<String, String> {
     let usage = "usage: SOLVE <rtree|grid|scan> <all|N> \
                  VAR=coll:<name>,VAR=box:<x0>:<y0>:<x1>:<y1>,… <system>";
     if rest.len() < 4 {
@@ -235,7 +272,8 @@ fn solve(db: &Arc<RwLock<ShardedDatabase>>, rest: &[&str]) -> Result<String, Str
             return Err(format!("bad binding spec {spec:?} (coll:… or box:…)"));
         }
     }
-    let result = scq_shard::execute(&d, &query, kind, options).map_err(|e| e.to_string())?;
+    let result = contain_backend_panic(|| scq_shard::execute(&d, &query, kind, options))?
+        .map_err(|e| e.to_string())?;
     let mut tuples: Vec<String> = result
         .solutions
         .iter()
@@ -262,7 +300,11 @@ fn solve(db: &Arc<RwLock<ShardedDatabase>>, rest: &[&str]) -> Result<String, Str
 /// `LOAD map`: generate the GIS workload into a scratch single-store
 /// database, then stream its live objects into the shared sharded one
 /// (appending to `towns` / `roads` / `states`).
-fn load_map(d: &mut ShardedDatabase, seed: u64, roads: usize) -> Result<String, String> {
+fn load_map<B: ShardBackend>(
+    d: &mut ShardedDatabase<B>,
+    seed: u64,
+    roads: usize,
+) -> Result<String, String> {
     let mut scratch = SpatialDatabase::new(*d.universe());
     let w = map_workload(
         &mut scratch,
@@ -279,13 +321,14 @@ fn load_map(d: &mut ShardedDatabase, seed: u64, roads: usize) -> Result<String, 
         .into_iter()
         .enumerate()
     {
-        let dst = d.collection(name);
+        let dst = d.try_collection(name).map_err(|e| e.to_string())?;
         for index in scratch.live_indices(src).collect::<Vec<_>>() {
             let obj = ObjectRef {
                 collection: src,
                 index,
             };
-            d.insert(dst, scratch.region(obj).clone());
+            d.try_insert(dst, scratch.region(obj).clone())
+                .map_err(|e| e.to_string())?;
             copied[i] += 1;
         }
     }
@@ -295,7 +338,26 @@ fn load_map(d: &mut ShardedDatabase, seed: u64, roads: usize) -> Result<String, 
     ))
 }
 
-fn lookup(db: &ShardedDatabase, name: &str) -> Result<CollectionId, String> {
+/// Runs a read-path closure, converting a shard-backend panic into an
+/// `ERR` line. The executor read surface (`StoreView`) has no error
+/// channel, so a remote shard dying mid-query (after the client's own
+/// reconnect-and-retry) surfaces as a panic — which must cost the
+/// client its command, not the server one of its worker threads.
+fn contain_backend_panic<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => Ok(r),
+        Err(payload) => {
+            let reason = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("shard backend panicked");
+            Err(format!("query failed: {reason}"))
+        }
+    }
+}
+
+fn lookup<B: ShardBackend>(db: &ShardedDatabase<B>, name: &str) -> Result<CollectionId, String> {
     db.collection_id(name)
         .ok_or_else(|| format!("unknown collection {name:?}"))
 }
@@ -330,7 +392,11 @@ fn parse_region(coords: &[&str]) -> Result<Region<2>, String> {
     )))
 }
 
-fn object_ref(db: &ShardedDatabase, coll: CollectionId, slot: &str) -> Result<ObjectRef, String> {
+fn object_ref<B: ShardBackend>(
+    db: &ShardedDatabase<B>,
+    coll: CollectionId,
+    slot: &str,
+) -> Result<ObjectRef, String> {
     let index: usize = slot.parse().map_err(|_| format!("bad slot {slot:?}"))?;
     if index >= db.collection_len(coll) {
         return Err(format!(

@@ -1,0 +1,294 @@
+//! The shard backend abstraction: where one shard's objects live.
+//!
+//! [`crate::ShardedDatabase`] never touches a [`SpatialDatabase`]
+//! directly any more — it drives a [`ShardBackend`], the complete
+//! contract between the routing layer and one shard: mutation
+//! (insert / remove / update), corner-query candidate retrieval, the
+//! per-slot read surface the executors bind regions from, statistics,
+//! compaction with a remap report, integrity checking, and snapshot
+//! streaming. Two implementations exist:
+//!
+//! * [`LocalShard`] — a [`SpatialDatabase`] in this process (exactly
+//!   the pre-backend behavior, zero overhead, infallible);
+//! * [`crate::RemoteShard`] — a client speaking the length-prefixed
+//!   shard wire protocol ([`crate::wire`]) to a shard **process**
+//!   behind a socket, keeping a write-through region mirror so the
+//!   executors still bind `&Region` without a round trip.
+//!
+//! The routing layer is deliberately ignorant of which one it holds:
+//! all cross-shard bookkeeping (global slots, migration) lives above
+//! this trait, so a cluster of OS processes and an in-process sharded
+//! store answer identically — that equivalence is property-tested in
+//! `tests/cluster_props.rs`.
+//!
+//! Addressing is **shard-local** throughout: `(collection, local
+//! slot)`, with the global↔local translation owned by the caller.
+
+use bytes::Bytes;
+use scq_bbox::{Bbox, CornerQuery};
+use scq_engine::{integrity, snapshot, CollectionId, CompactReport, IndexKind, SpatialDatabase};
+use scq_region::{AaBox, Region};
+
+use crate::wire::WireError;
+
+/// Why a shard backend operation failed.
+///
+/// [`LocalShard`] never fails; every variant originates in the remote
+/// backend's transport or in a shard process rejecting an operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardError {
+    /// Transport-level failure talking to a remote shard process.
+    Wire(WireError),
+    /// The shard (or the client's own consistency checks) rejected the
+    /// operation.
+    Rejected(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Wire(e) => write!(f, "shard wire: {e}"),
+            ShardError::Rejected(m) => write!(f, "shard rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<WireError> for ShardError {
+    fn from(e: WireError) -> Self {
+        ShardError::Wire(e)
+    }
+}
+
+/// One shard of a [`crate::ShardedDatabase`]: the full contract between
+/// the routing layer and wherever the shard's objects actually live.
+///
+/// All slot indices are **shard-local**. Mutations are fallible because
+/// a remote backend sits behind a socket; [`LocalShard`] never returns
+/// an error. Read accessors (`region`, `bbox`, `is_live`, lengths) are
+/// infallible: every implementation keeps them answerable without I/O,
+/// which is what lets the executors run over a remote-backed store at
+/// local speed — only corner-query retrieval crosses the wire.
+pub trait ShardBackend: Send + Sync {
+    /// Short human-readable description (`local`, `remote:<addr>`),
+    /// used in stats and error messages.
+    fn describe(&self) -> String;
+
+    /// The universe this shard's database spans.
+    fn universe(&self) -> &AaBox<2>;
+
+    /// Creates (or finds) a collection. Shards create collections in
+    /// lockstep with the routing layer, so the returned id must equal
+    /// the logical id — implementations return an error if the shard
+    /// numbers it differently (a desynchronized shard process).
+    fn create_collection(&mut self, name: &str) -> Result<CollectionId, ShardError>;
+
+    /// Looks up a collection by name.
+    fn collection_id(&self, name: &str) -> Option<CollectionId>;
+
+    /// Number of local slots (tombstones included).
+    fn collection_len(&self, coll: CollectionId) -> usize;
+
+    /// Number of live local objects.
+    fn live_len(&self, coll: CollectionId) -> usize;
+
+    /// Whether a local slot is live.
+    fn is_live(&self, coll: CollectionId, local: usize) -> bool;
+
+    /// The region stored in a local slot.
+    fn region(&self, coll: CollectionId, local: usize) -> &Region<2>;
+
+    /// The materialized bounding box of a local slot.
+    fn bbox(&self, coll: CollectionId, local: usize) -> Bbox<2>;
+
+    /// Inserts a region, returning the fresh local slot index.
+    fn insert(&mut self, coll: CollectionId, region: Region<2>) -> Result<usize, ShardError>;
+
+    /// Tombstones a local slot. `Ok(false)` when it was already dead.
+    fn remove(&mut self, coll: CollectionId, local: usize) -> Result<bool, ShardError>;
+
+    /// Replaces a live local slot's region in place (no routing here —
+    /// cross-shard migration is the layer above). `Ok(false)` when the
+    /// slot is tombstoned.
+    fn update(
+        &mut self,
+        coll: CollectionId,
+        local: usize,
+        region: Region<2>,
+    ) -> Result<bool, ShardError>;
+
+    /// Runs a corner query against the chosen index, appending matching
+    /// **local** slot indices to `out` (the caller remaps to global).
+    fn query_collection(
+        &self,
+        coll: CollectionId,
+        kind: IndexKind,
+        q: &CornerQuery<2>,
+        out: &mut Vec<u64>,
+    ) -> Result<(), ShardError>;
+
+    /// Compacts the shard, returning the local-slot remap report.
+    fn compact(&mut self) -> Result<CompactReport, ShardError>;
+
+    /// Structural integrity problems of this shard (empty = healthy).
+    /// Transport failures surface as problems, not panics.
+    fn check(&self) -> Vec<String>;
+
+    /// The shard's full snapshot stream (the engine's versioned `SCQS`
+    /// format) — for a remote backend this is produced by the shard
+    /// process, so only one shard's bytes ever cross the wire at once.
+    fn snapshot_stream(&self) -> Result<Bytes, ShardError>;
+
+    /// Replaces the shard's entire contents with a decoded `SCQS`
+    /// stream (snapshot restore).
+    fn load_snapshot(&mut self, stream: &[u8]) -> Result<(), ShardError>;
+}
+
+/// The in-process backend: a [`SpatialDatabase`] owned directly.
+/// Infallible and zero-overhead — exactly the behavior the sharded
+/// store had before backends existed.
+pub struct LocalShard(SpatialDatabase<2>);
+
+impl LocalShard {
+    /// An empty local shard over `universe`.
+    pub fn new(universe: AaBox<2>) -> Self {
+        LocalShard(SpatialDatabase::new(universe))
+    }
+
+    /// Wraps an existing database (snapshot assembly).
+    pub fn from_database(db: SpatialDatabase<2>) -> Self {
+        LocalShard(db)
+    }
+
+    /// Read access to the underlying database.
+    pub fn database(&self) -> &SpatialDatabase<2> {
+        &self.0
+    }
+}
+
+impl ShardBackend for LocalShard {
+    fn describe(&self) -> String {
+        "local".into()
+    }
+
+    fn universe(&self) -> &AaBox<2> {
+        self.0.universe()
+    }
+
+    fn create_collection(&mut self, name: &str) -> Result<CollectionId, ShardError> {
+        Ok(self.0.collection(name))
+    }
+
+    fn collection_id(&self, name: &str) -> Option<CollectionId> {
+        self.0.collection_id(name)
+    }
+
+    fn collection_len(&self, coll: CollectionId) -> usize {
+        self.0.collection_len(coll)
+    }
+
+    fn live_len(&self, coll: CollectionId) -> usize {
+        self.0.live_len(coll)
+    }
+
+    fn is_live(&self, coll: CollectionId, local: usize) -> bool {
+        self.0.is_live(local_ref(coll, local))
+    }
+
+    fn region(&self, coll: CollectionId, local: usize) -> &Region<2> {
+        self.0.region(local_ref(coll, local))
+    }
+
+    fn bbox(&self, coll: CollectionId, local: usize) -> Bbox<2> {
+        self.0.bbox(local_ref(coll, local))
+    }
+
+    fn insert(&mut self, coll: CollectionId, region: Region<2>) -> Result<usize, ShardError> {
+        Ok(self.0.insert(coll, region).index)
+    }
+
+    fn remove(&mut self, coll: CollectionId, local: usize) -> Result<bool, ShardError> {
+        Ok(self.0.remove(local_ref(coll, local)))
+    }
+
+    fn update(
+        &mut self,
+        coll: CollectionId,
+        local: usize,
+        region: Region<2>,
+    ) -> Result<bool, ShardError> {
+        Ok(self.0.update(local_ref(coll, local), region))
+    }
+
+    fn query_collection(
+        &self,
+        coll: CollectionId,
+        kind: IndexKind,
+        q: &CornerQuery<2>,
+        out: &mut Vec<u64>,
+    ) -> Result<(), ShardError> {
+        self.0.query_collection(coll, kind, q, out);
+        Ok(())
+    }
+
+    fn compact(&mut self) -> Result<CompactReport, ShardError> {
+        Ok(self.0.compact())
+    }
+
+    fn check(&self) -> Vec<String> {
+        integrity::check(&self.0).err().unwrap_or_default()
+    }
+
+    fn snapshot_stream(&self) -> Result<Bytes, ShardError> {
+        Ok(snapshot::save(&self.0))
+    }
+
+    fn load_snapshot(&mut self, stream: &[u8]) -> Result<(), ShardError> {
+        self.0 = snapshot::load::<2>(stream).map_err(|e| ShardError::Rejected(e.to_string()))?;
+        Ok(())
+    }
+}
+
+fn local_ref(coll: CollectionId, local: usize) -> scq_engine::ObjectRef {
+    scq_engine::ObjectRef {
+        collection: coll,
+        index: local,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_shard_round_trips_through_the_trait() {
+        let mut s = LocalShard::new(AaBox::new([0.0, 0.0], [10.0, 10.0]));
+        let c = s.create_collection("objs").unwrap();
+        assert_eq!(s.collection_id("objs"), Some(c));
+        let r = Region::from_box(AaBox::new([1.0, 1.0], [2.0, 2.0]));
+        let slot = s.insert(c, r.clone()).unwrap();
+        assert_eq!(slot, 0);
+        assert!(s.is_live(c, slot));
+        assert!(s.region(c, slot).same_set(&r));
+        assert!(s
+            .update(
+                c,
+                slot,
+                Region::from_box(AaBox::new([3.0, 3.0], [4.0, 4.0]))
+            )
+            .unwrap());
+        assert!(s.remove(c, slot).unwrap());
+        assert!(!s.remove(c, slot).unwrap());
+        assert_eq!(s.live_len(c), 0);
+        assert_eq!(s.collection_len(c), 1);
+        let report = s.compact().unwrap();
+        assert_eq!(report.slots_reclaimed, 1);
+        assert!(s.check().is_empty());
+        let stream = s.snapshot_stream().unwrap();
+        let mut other = LocalShard::new(AaBox::new([0.0, 0.0], [1.0, 1.0]));
+        other.load_snapshot(&stream).unwrap();
+        assert_eq!(other.collection_id("objs"), Some(c));
+        assert_eq!(other.collection_len(c), 0, "compacted shard is empty");
+    }
+}

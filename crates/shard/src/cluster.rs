@@ -1,0 +1,421 @@
+//! Cluster configuration: which shard processes exist and which
+//! z-ranges they own.
+//!
+//! A [`ClusterSpec`] is the deployment artifact of the multi-process
+//! story — the router tier's equivalent of a manifest of backends: the
+//! shared universe, the routing grid resolution, and one `(address,
+//! z-range)` entry per shard process. [`ClusterSpec::connect`] turns it
+//! into a live `ShardedDatabase<RemoteShard>`, validating everything a
+//! misconfigured deployment could get wrong — ranges that do not tile
+//! the key space, a shard process spanning a different universe, a
+//! wire version mismatch, a shard that already holds data — **before**
+//! any query runs, because deployment glue that fails quietly is how
+//! distributed stores rot.
+//!
+//! The text format is deliberately trivial (comments, three directive
+//! kinds), written and parsed by this module so the CI cluster-smoke
+//! script and a human operator author the same file:
+//!
+//! ```text
+//! # scq cluster spec
+//! universe 0 0 1000 1000
+//! bits 6
+//! shard 127.0.0.1:9101 0 2048
+//! shard 127.0.0.1:9102 2048 4096
+//! ```
+
+use std::path::Path;
+use std::time::Duration;
+
+use scq_region::AaBox;
+
+use crate::backend::ShardError;
+use crate::database::ShardedDatabase;
+use crate::remote::RemoteShard;
+use crate::router::{validate_ranges, ShardRouter};
+
+/// One shard process in a [`ClusterSpec`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// The shard server's address (`host:port`).
+    pub addr: String,
+    /// The half-open z-code range `[lo, hi)` this shard owns.
+    pub range: (u64, u64),
+}
+
+/// A cluster of shard processes: universe, routing grid, shard list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterSpec {
+    /// The universe every shard must span.
+    pub universe: AaBox<2>,
+    /// Routing grid resolution (bits per dimension, `1..=16`).
+    pub bits: u32,
+    /// The shard processes, in shard-id order.
+    pub shards: Vec<ShardSpec>,
+}
+
+/// Errors reading or validating a cluster spec.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClusterSpecError {
+    /// A line failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A required directive is missing or the configuration is
+    /// invalid (empty cluster, non-tiling ranges, bad universe…).
+    BadConfig(String),
+    /// Filesystem error reading the spec.
+    Io(String),
+}
+
+impl std::fmt::Display for ClusterSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterSpecError::Parse { line, message } => {
+                write!(f, "cluster spec line {line}: {message}")
+            }
+            ClusterSpecError::BadConfig(m) => write!(f, "bad cluster spec: {m}"),
+            ClusterSpecError::Io(m) => write!(f, "cluster spec io: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterSpecError {}
+
+/// Errors bringing a cluster up from a spec.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClusterError {
+    /// The spec itself is invalid.
+    Spec(ClusterSpecError),
+    /// One shard failed to connect, handshake or validate.
+    Shard {
+        /// Which shard (index into [`ClusterSpec::shards`]).
+        shard: usize,
+        /// Its address.
+        addr: String,
+        /// The failure.
+        source: ShardError,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Spec(e) => write!(f, "{e}"),
+            ClusterError::Shard {
+                shard,
+                addr,
+                source,
+            } => {
+                write!(f, "shard {shard} ({addr}): {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl ClusterSpec {
+    /// A spec giving each address an equal share of the z-key space —
+    /// the default deployment shape ([`scq_zorder::shard_ranges`]).
+    ///
+    /// # Panics
+    /// If `addrs` is empty or `bits` is outside `1..=16`.
+    pub fn balanced(universe: AaBox<2>, bits: u32, addrs: &[String]) -> Self {
+        assert!(!addrs.is_empty(), "a cluster needs at least one shard");
+        let ranges = scq_zorder::shard_ranges(bits, addrs.len());
+        ClusterSpec {
+            universe,
+            bits,
+            shards: addrs
+                .iter()
+                .zip(ranges)
+                .map(|(addr, range)| ShardSpec {
+                    addr: addr.clone(),
+                    range,
+                })
+                .collect(),
+        }
+    }
+
+    /// Checks the spec: bits in range, at least one shard, ranges
+    /// tiling the key space exactly.
+    pub fn validate(&self) -> Result<(), ClusterSpecError> {
+        if self.universe.is_empty() {
+            return Err(ClusterSpecError::BadConfig("empty universe".into()));
+        }
+        let ranges: Vec<(u64, u64)> = self.shards.iter().map(|s| s.range).collect();
+        validate_ranges(self.bits, &ranges).map_err(ClusterSpecError::BadConfig)
+    }
+
+    /// Parses the text format (see the module docs).
+    pub fn parse(text: &str) -> Result<Self, ClusterSpecError> {
+        let mut universe = None;
+        let mut bits = None;
+        let mut shards = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let parse_err = |message: String| ClusterSpecError::Parse { line, message };
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let mut parts = content.split_whitespace();
+            let directive = parts.next().expect("nonempty line has a first token");
+            let rest: Vec<&str> = parts.collect();
+            match directive {
+                "universe" => {
+                    let [x0, y0, x1, y1] = rest[..] else {
+                        return Err(parse_err("usage: universe <x0> <y0> <x1> <y1>".into()));
+                    };
+                    let mut c = [0.0f64; 4];
+                    for (v, s) in c.iter_mut().zip([x0, y0, x1, y1]) {
+                        *v = s
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|v| v.is_finite())
+                            .ok_or_else(|| parse_err(format!("bad coordinate {s:?}")))?;
+                    }
+                    universe = Some(AaBox::new([c[0], c[1]], [c[2], c[3]]));
+                }
+                "bits" => {
+                    let [b] = rest[..] else {
+                        return Err(parse_err("usage: bits <1..=16>".into()));
+                    };
+                    bits = Some(
+                        b.parse::<u32>()
+                            .map_err(|_| parse_err(format!("bad bits {b:?}")))?,
+                    );
+                }
+                "shard" => {
+                    let [addr, lo, hi] = rest[..] else {
+                        return Err(parse_err("usage: shard <addr> <zlo> <zhi>".into()));
+                    };
+                    let lo = lo
+                        .parse::<u64>()
+                        .map_err(|_| parse_err(format!("bad z-range lo {lo:?}")))?;
+                    let hi = hi
+                        .parse::<u64>()
+                        .map_err(|_| parse_err(format!("bad z-range hi {hi:?}")))?;
+                    shards.push(ShardSpec {
+                        addr: addr.to_owned(),
+                        range: (lo, hi),
+                    });
+                }
+                other => {
+                    return Err(parse_err(format!(
+                        "unknown directive {other:?} (universe | bits | shard)"
+                    )))
+                }
+            }
+        }
+        let spec = ClusterSpec {
+            universe: universe
+                .ok_or_else(|| ClusterSpecError::BadConfig("missing universe directive".into()))?,
+            bits: bits
+                .ok_or_else(|| ClusterSpecError::BadConfig("missing bits directive".into()))?,
+            shards,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Reads and parses a spec file.
+    pub fn load(path: &Path) -> Result<Self, ClusterSpecError> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| ClusterSpecError::Io(e.to_string()))?;
+        Self::parse(&text)
+    }
+
+    /// Renders the spec in the text format [`ClusterSpec::parse`]
+    /// reads back.
+    pub fn to_text(&self) -> String {
+        let lo = self.universe.lo();
+        let hi = self.universe.hi();
+        let mut out = String::from("# scq cluster spec\n");
+        out.push_str(&format!(
+            "universe {} {} {} {}\n",
+            lo[0], lo[1], hi[0], hi[1]
+        ));
+        out.push_str(&format!("bits {}\n", self.bits));
+        for s in &self.shards {
+            out.push_str(&format!("shard {} {} {}\n", s.addr, s.range.0, s.range.1));
+        }
+        out
+    }
+
+    /// Brings the cluster up: connects to every shard process (polling
+    /// each address for up to `wait` — shard processes may still be
+    /// booting), validates universes and wire versions, and requires
+    /// every shard to be **pristine** (no collections): a warm shard's
+    /// global mapping lives in a snapshot manifest, so a restarted
+    /// router must restore state through
+    /// [`crate::snapshot::reload_from_dir`], never by guessing.
+    pub fn connect(&self, wait: Duration) -> Result<ShardedDatabase<RemoteShard>, ClusterError> {
+        self.validate().map_err(ClusterError::Spec)?;
+        let mut backends = Vec::with_capacity(self.shards.len());
+        for (shard, spec) in self.shards.iter().enumerate() {
+            let backend =
+                RemoteShard::connect(&spec.addr, self.universe, wait).map_err(|source| {
+                    ClusterError::Shard {
+                        shard,
+                        addr: spec.addr.clone(),
+                        source,
+                    }
+                })?;
+            if !backend.is_pristine() {
+                return Err(ClusterError::Shard {
+                    shard,
+                    addr: spec.addr.clone(),
+                    source: ShardError::Rejected(
+                        "shard already holds collections; a restarted router must \
+                         reload the cluster from a snapshot directory"
+                            .into(),
+                    ),
+                });
+            }
+            backends.push(backend);
+        }
+        let router = ShardRouter::from_ranges(
+            &self.universe,
+            self.bits,
+            self.shards.iter().map(|s| s.range).collect(),
+        );
+        Ok(ShardedDatabase::from_backends(
+            self.universe,
+            router,
+            backends,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe() -> AaBox<2> {
+        AaBox::new([0.0, 0.0], [1000.0, 1000.0])
+    }
+
+    #[test]
+    fn balanced_spec_round_trips_through_text() {
+        let spec = ClusterSpec::balanced(
+            universe(),
+            6,
+            &["127.0.0.1:9101".to_string(), "127.0.0.1:9102".to_string()],
+        );
+        spec.validate().unwrap();
+        let text = spec.to_text();
+        let parsed = ClusterSpec::parse(&text).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.shards[0].range.0, 0);
+        assert_eq!(
+            parsed.shards[1].range.1,
+            scq_zorder::key_space(6),
+            "ranges tile the key space"
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text =
+            "\n# a comment\nuniverse 0 0 100 100   # trailing comment\n\nbits 4\nshard a:1 0 256\n";
+        let spec = ClusterSpec::parse(text).unwrap();
+        assert_eq!(spec.bits, 4);
+        assert_eq!(spec.shards.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "universe 0 0 100 100\nbits 6\nshard a:1 zero 4096\n";
+        match ClusterSpec::parse(text) {
+            Err(ClusterSpecError::Parse { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("z-range"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+        match ClusterSpec::parse("bits 6\nshard a:1 0 4096\n") {
+            Err(ClusterSpecError::BadConfig(m)) => assert!(m.contains("universe"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+        match ClusterSpec::parse("universe 0 0 1 1\nbits 6\nfrobnicate\n") {
+            Err(ClusterSpecError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_tiling_ranges_are_rejected() {
+        let text = "universe 0 0 100 100\nbits 6\nshard a:1 0 100\nshard b:2 200 4096\n";
+        match ClusterSpec::parse(text) {
+            Err(ClusterSpecError::BadConfig(m)) => assert!(m.contains("contiguous"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn connect_brings_up_a_live_cluster_over_sockets() {
+        let a = crate::server::serve_shard(&crate::server::ShardServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            universe_size: 1000.0,
+        })
+        .unwrap();
+        let b = crate::server::serve_shard(&crate::server::ShardServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            universe_size: 1000.0,
+        })
+        .unwrap();
+        let spec =
+            ClusterSpec::balanced(universe(), 6, &[a.addr().to_string(), b.addr().to_string()]);
+        let mut db = spec.connect(Duration::from_secs(5)).unwrap();
+        let c = db.try_collection("objs").unwrap();
+        let low = db
+            .try_insert(
+                c,
+                scq_region::Region::from_box(AaBox::new([10.0, 10.0], [20.0, 20.0])),
+            )
+            .unwrap();
+        let high = db
+            .try_insert(
+                c,
+                scq_region::Region::from_box(AaBox::new([900.0, 900.0], [920.0, 920.0])),
+            )
+            .unwrap();
+        assert_ne!(db.shard_of(low), db.shard_of(high), "corners shard apart");
+        db.check().expect("cluster is consistent");
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn connecting_to_a_warm_shard_is_refused() {
+        let a = crate::server::serve_shard(&crate::server::ShardServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            universe_size: 1000.0,
+        })
+        .unwrap();
+        // Warm the shard through a direct backend connection.
+        {
+            let mut direct =
+                RemoteShard::connect(&a.addr().to_string(), universe(), Duration::from_secs(5))
+                    .unwrap();
+            crate::backend::ShardBackend::create_collection(&mut direct, "left-behind").unwrap();
+        }
+        let spec = ClusterSpec::balanced(universe(), 6, &[a.addr().to_string()]);
+        match spec.connect(Duration::from_secs(5)) {
+            Err(ClusterError::Shard { source, .. }) => {
+                assert!(source.to_string().contains("snapshot"), "{source}")
+            }
+            Err(other) => panic!("wrong error: {other}"),
+            Ok(_) => panic!("warm shard must be refused"),
+        }
+        a.shutdown();
+    }
+}

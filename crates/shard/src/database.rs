@@ -1,5 +1,5 @@
-//! The sharded spatial database: N independent [`SpatialDatabase`]
-//! shards behind one [`StoreView`].
+//! The sharded spatial database: N independent shard backends behind
+//! one [`StoreView`].
 //!
 //! Each logical collection is partitioned across every shard by the
 //! z-order routing key of the object's bounding-box center
@@ -14,17 +14,27 @@
 //! [`ShardedDatabase::update`] **migrates** an object whose new
 //! bounding box routes to a different shard: the old shard keeps a
 //! tombstone, the new shard gets a fresh local slot, and the global
-//! slot is repointed — callers keep their refs. This is the property
-//! that lets shards later live in separate processes: all cross-shard
-//! bookkeeping is in the routing layer, never inside a shard.
+//! slot is repointed — callers keep their refs.
+//!
+//! Since PR 4 the store is generic over **where the shards live**: a
+//! [`ShardBackend`] is the complete routing-layer↔shard contract, and
+//! `ShardedDatabase<LocalShard>` (the default) behaves exactly like
+//! the pre-backend in-process store while `ShardedDatabase<RemoteShard>`
+//! drives one OS process per shard over the wire protocol — same
+//! routing, same migration, same global ids, property-tested
+//! equivalent. Mutations have `try_*` forms that surface backend
+//! (transport) errors; the plain forms keep the historical infallible
+//! signatures and panic on a backend failure, which for the default
+//! local backend can never happen.
 
 use std::collections::HashMap;
 
 use scq_bbox::{Bbox, CornerQuery};
 use scq_engine::view::StoreView;
-use scq_engine::{integrity, CollectionId, CompactReport, IndexKind, ObjectRef, SpatialDatabase};
+use scq_engine::{CollectionId, CompactReport, IndexKind, ObjectRef, SpatialDatabase};
 use scq_region::{AaBox, Region};
 
+use crate::backend::{LocalShard, ShardBackend, ShardError};
 use crate::router::ShardRouter;
 
 thread_local! {
@@ -66,16 +76,18 @@ pub(crate) struct LogicalCollection {
 }
 
 /// A spatial database partitioned across `n_shards` z-order range
-/// shards, each a full [`SpatialDatabase`] with its own indexes.
+/// shards — each a [`ShardBackend`]: a full in-process
+/// [`SpatialDatabase`] ([`LocalShard`], the default) or a shard process
+/// behind a socket ([`crate::RemoteShard`]).
 ///
 /// Implements [`StoreView`], so every engine executor (naive,
 /// triangular, bbox, work-stealing parallel) runs against it unchanged;
 /// corner queries fan out only to the shards the router cannot prune
 /// (counted in [`scq_engine::ExecStats::shards_pruned`]).
-pub struct ShardedDatabase {
+pub struct ShardedDatabase<B: ShardBackend = LocalShard> {
     universe: AaBox<2>,
     router: ShardRouter,
-    shards: Vec<SpatialDatabase<2>>,
+    shards: Vec<B>,
     collections: Vec<LogicalCollection>,
     by_name: HashMap<String, CollectionId>,
 }
@@ -85,9 +97,10 @@ pub struct ShardedDatabase {
 /// coarse enough that query pruning costs microseconds).
 pub const DEFAULT_ROUTER_BITS: u32 = 6;
 
-impl ShardedDatabase {
-    /// Creates a database partitioned into `n_shards` over `universe`,
-    /// with the default routing grid ([`DEFAULT_ROUTER_BITS`]).
+impl ShardedDatabase<LocalShard> {
+    /// Creates a database partitioned into `n_shards` in-process
+    /// shards over `universe`, with the default routing grid
+    /// ([`DEFAULT_ROUTER_BITS`]).
     ///
     /// # Panics
     /// If the universe is empty or `n_shards` is 0.
@@ -100,21 +113,51 @@ impl ShardedDatabase {
     pub fn with_router_bits(universe: AaBox<2>, n_shards: usize, bits: u32) -> Self {
         assert!(!universe.is_empty(), "universe must be nonempty");
         let router = ShardRouter::new(&universe, bits, n_shards);
-        ShardedDatabase {
+        ShardedDatabase::from_parts(
             universe,
-            shards: (0..n_shards)
-                .map(|_| SpatialDatabase::new(universe))
-                .collect(),
             router,
-            collections: Vec::new(),
-            by_name: HashMap::new(),
+            (0..n_shards).map(|_| LocalShard::new(universe)).collect(),
+            Vec::new(),
+        )
+    }
+
+    /// Read access to one local shard's [`SpatialDatabase`] (snapshot
+    /// and integrity plumbing; going through the shard directly
+    /// bypasses the global id space).
+    pub fn shard(&self, s: usize) -> &SpatialDatabase<2> {
+        self.shards[s].database()
+    }
+}
+
+impl<B: ShardBackend> ShardedDatabase<B> {
+    /// Assembles a sharded database over pre-built backends with an
+    /// explicit router. The backends' universes must equal `universe`.
+    ///
+    /// # Panics
+    /// If `shards` is empty, the router's shard count disagrees, or a
+    /// backend spans a different universe.
+    pub fn from_backends(universe: AaBox<2>, router: ShardRouter, shards: Vec<B>) -> Self {
+        assert!(!shards.is_empty(), "a cluster needs at least one shard");
+        assert_eq!(
+            router.n_shards(),
+            shards.len(),
+            "router and backend count must agree"
+        );
+        for (s, shard) in shards.iter().enumerate() {
+            assert_eq!(
+                shard.universe(),
+                &universe,
+                "shard {s} ({}) spans a different universe",
+                shard.describe()
+            );
         }
+        ShardedDatabase::from_parts(universe, router, shards, Vec::new())
     }
 
     pub(crate) fn from_parts(
         universe: AaBox<2>,
         router: ShardRouter,
-        shards: Vec<SpatialDatabase<2>>,
+        shards: Vec<B>,
         collections: Vec<LogicalCollection>,
     ) -> Self {
         let by_name = collections
@@ -129,6 +172,16 @@ impl ShardedDatabase {
             collections,
             by_name,
         }
+    }
+
+    /// Replaces the global mapping layer (snapshot reload plumbing).
+    pub(crate) fn set_collections(&mut self, collections: Vec<LogicalCollection>) {
+        self.by_name = collections
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.clone(), CollectionId(i)))
+            .collect();
+        self.collections = collections;
     }
 
     /// The universe box.
@@ -146,25 +199,44 @@ impl ShardedDatabase {
         self.shards.len()
     }
 
-    /// Read access to one shard's [`SpatialDatabase`] (snapshot and
-    /// integrity plumbing; going through the shard directly bypasses
-    /// the global id space).
-    pub fn shard(&self, s: usize) -> &SpatialDatabase<2> {
+    /// Read access to one shard's backend.
+    pub fn backend(&self, s: usize) -> &B {
         &self.shards[s]
     }
 
+    pub(crate) fn backends(&self) -> &[B] {
+        &self.shards
+    }
+
+    pub(crate) fn backends_mut(&mut self) -> &mut [B] {
+        &mut self.shards
+    }
+
     /// Creates (or returns) the collection with the given name. The
-    /// collection exists in every shard.
-    pub fn collection(&mut self, name: &str) -> CollectionId {
+    /// collection exists in every shard. Backend failures surface as
+    /// errors; on the default local backend this never fails.
+    pub fn try_collection(&mut self, name: &str) -> Result<CollectionId, ShardError> {
         if let Some(&id) = self.by_name.get(name) {
-            return id;
+            return Ok(id);
         }
         let id = CollectionId(self.collections.len());
-        for shard in &mut self.shards {
-            let sc = shard.collection(name);
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let sc = shard.create_collection(name)?;
             // Logical and shard-local collection ids coincide because
-            // every shard creates collections in the same order.
-            debug_assert_eq!(sc, id, "shard collection ids track logical ids");
+            // every shard creates collections in the same order. A
+            // shard that numbers a collection differently (e.g. one
+            // that missed an earlier create during a partial failure)
+            // must be a hard error even in release builds: routing to
+            // it would silently read and write the wrong collection.
+            if sc != id {
+                return Err(ShardError::Rejected(format!(
+                    "shard {s} ({}) numbered collection {name:?} as {} (expected {}): \
+                     shards are out of lockstep with the router",
+                    shard.describe(),
+                    sc.0,
+                    id.0
+                )));
+            }
         }
         self.collections.push(LogicalCollection {
             name: name.to_owned(),
@@ -177,7 +249,14 @@ impl ShardedDatabase {
                 .collect(),
         });
         self.by_name.insert(name.to_owned(), id);
-        id
+        Ok(id)
+    }
+
+    /// [`ShardedDatabase::try_collection`], panicking on a backend
+    /// failure (infallible on local backends).
+    pub fn collection(&mut self, name: &str) -> CollectionId {
+        self.try_collection(name)
+            .unwrap_or_else(|e| panic!("collection {name:?}: {e}"))
     }
 
     /// Looks up a collection by name.
@@ -202,10 +281,14 @@ impl ShardedDatabase {
 
     /// Inserts an object: routed by its bounding-box center to one
     /// shard, registered under a fresh global slot.
-    pub fn insert(&mut self, coll: CollectionId, region: Region<2>) -> ObjectRef {
+    pub fn try_insert(
+        &mut self,
+        coll: CollectionId,
+        region: Region<2>,
+    ) -> Result<ObjectRef, ShardError> {
         let bbox = region.bbox();
         let s = self.router.route_bbox(&bbox);
-        let local = self.shards[s].insert(coll, region).index;
+        let local = self.shards[s].insert(coll, region)?;
         let c = &mut self.collections[coll.0];
         let index = c.slots.len();
         c.per_shard[s].globals.push(index as u64);
@@ -219,61 +302,99 @@ impl ShardedDatabase {
         if bbox.is_empty() {
             c.empty_objects.push(index);
         }
-        ObjectRef {
+        Ok(ObjectRef {
             collection: coll,
             index,
-        }
+        })
+    }
+
+    /// [`ShardedDatabase::try_insert`], panicking on a backend failure
+    /// (infallible on local backends).
+    pub fn insert(&mut self, coll: CollectionId, region: Region<2>) -> ObjectRef {
+        self.try_insert(coll, region)
+            .unwrap_or_else(|e| panic!("insert: {e}"))
     }
 
     /// Tombstones an object on its shard and in the global slot space.
-    /// Returns `false` when the object was already removed.
-    pub fn remove(&mut self, obj: ObjectRef) -> bool {
+    /// Returns `Ok(false)` when the object was already removed.
+    pub fn try_remove(&mut self, obj: ObjectRef) -> Result<bool, ShardError> {
         let c = &mut self.collections[obj.collection.0];
         if !c.live[obj.index] {
-            return false;
+            return Ok(false);
         }
         let addr = c.slots[obj.index];
-        let removed = self.shards[addr.shard as usize].remove(ObjectRef {
-            collection: obj.collection,
-            index: addr.local as usize,
-        });
-        assert!(removed, "shard out of sync with global liveness");
+        let removed =
+            self.shards[addr.shard as usize].remove(obj.collection, addr.local as usize)?;
+        if !removed {
+            return Err(ShardError::Rejected(
+                "shard out of sync with global liveness".into(),
+            ));
+        }
         c.live[obj.index] = false;
         c.live_count -= 1;
         c.empty_objects.retain(|&i| i != obj.index);
-        true
+        Ok(true)
+    }
+
+    /// [`ShardedDatabase::try_remove`], panicking on a backend failure.
+    pub fn remove(&mut self, obj: ObjectRef) -> bool {
+        self.try_remove(obj)
+            .unwrap_or_else(|e| panic!("remove: {e}"))
     }
 
     /// Replaces a live object's region. When the new bounding box
     /// routes to a different shard the object **migrates**: tombstone
     /// on the old shard, fresh slot on the new one, global slot
     /// repointed — the caller's `ObjectRef` keeps working. Returns
-    /// `false` (changing nothing) when the object is tombstoned.
-    pub fn update(&mut self, obj: ObjectRef, region: Region<2>) -> bool {
+    /// `Ok(false)` (changing nothing) when the object is tombstoned.
+    pub fn try_update(&mut self, obj: ObjectRef, region: Region<2>) -> Result<bool, ShardError> {
         let c = &mut self.collections[obj.collection.0];
         if !c.live[obj.index] {
-            return false;
+            return Ok(false);
         }
         let addr = c.slots[obj.index];
         let old_shard = addr.shard as usize;
-        let local_ref = ObjectRef {
-            collection: obj.collection,
-            index: addr.local as usize,
-        };
-        let was_empty = self.shards[old_shard].bbox(local_ref).is_empty();
+        let local = addr.local as usize;
+        let was_empty = self.shards[old_shard]
+            .bbox(obj.collection, local)
+            .is_empty();
         let new_bbox = region.bbox();
         let new_shard = self.router.route_bbox(&new_bbox);
         if new_shard == old_shard {
-            let ok = self.shards[old_shard].update(local_ref, region);
-            assert!(ok, "shard out of sync with global liveness");
+            let ok = self.shards[old_shard].update(obj.collection, local, region)?;
+            if !ok {
+                return Err(ShardError::Rejected(
+                    "shard out of sync with global liveness".into(),
+                ));
+            }
         } else {
-            assert!(self.shards[old_shard].remove(local_ref), "shard desync");
-            let local = self.shards[new_shard].insert(obj.collection, region).index;
+            // Migration order is insert-new-first so a failure at any
+            // single step never loses the object: an insert failure
+            // changes nothing (the object stays live on the old
+            // shard), and a remove failure rolls the fresh copy back.
+            let new_local = self.shards[new_shard].insert(obj.collection, region)?;
+            match self.shards[old_shard].remove(obj.collection, local) {
+                Ok(true) => {}
+                outcome => {
+                    // Roll back the copy. The reverse table still gets
+                    // an entry so local slots and `globals` stay
+                    // index-aligned; the slot is dead (or, if even the
+                    // rollback fails, an orphan `check()` reports), so
+                    // the sentinel is never read on the query path.
+                    let _ = self.shards[new_shard].remove(obj.collection, new_local);
+                    c.per_shard[new_shard].globals.push(u64::MAX);
+                    return match outcome {
+                        Ok(false) => Err(ShardError::Rejected("shard desync".into())),
+                        Err(e) => Err(e),
+                        Ok(true) => unreachable!("handled above"),
+                    };
+                }
+            }
             c.per_shard[new_shard].globals.push(obj.index as u64);
-            debug_assert_eq!(c.per_shard[new_shard].globals.len(), local + 1);
+            debug_assert_eq!(c.per_shard[new_shard].globals.len(), new_local + 1);
             c.slots[obj.index] = SlotAddr {
                 shard: new_shard as u32,
-                local: local as u32,
+                local: new_local as u32,
             };
         }
         match (was_empty, new_bbox.is_empty()) {
@@ -281,7 +402,13 @@ impl ShardedDatabase {
             (true, false) => c.empty_objects.retain(|&i| i != obj.index),
             _ => {}
         }
-        true
+        Ok(true)
+    }
+
+    /// [`ShardedDatabase::try_update`], panicking on a backend failure.
+    pub fn update(&mut self, obj: ObjectRef, region: Region<2>) -> bool {
+        self.try_update(obj, region)
+            .unwrap_or_else(|e| panic!("update: {e}"))
     }
 
     /// Number of global slots, tombstones included.
@@ -299,22 +426,36 @@ impl ShardedDatabase {
         self.collections[obj.collection.0].live[obj.index]
     }
 
-    /// The region of an object (read through its shard).
+    /// The region of an object (read through its shard backend — for a
+    /// remote shard this is the client-side mirror, no round trip).
     pub fn region(&self, obj: ObjectRef) -> &Region<2> {
         let addr = self.collections[obj.collection.0].slots[obj.index];
-        self.shards[addr.shard as usize].region(ObjectRef {
-            collection: obj.collection,
-            index: addr.local as usize,
-        })
+        self.shards[addr.shard as usize].region(obj.collection, addr.local as usize)
     }
 
     /// The materialized bounding box of an object.
     pub fn bbox(&self, obj: ObjectRef) -> Bbox<2> {
         let addr = self.collections[obj.collection.0].slots[obj.index];
-        self.shards[addr.shard as usize].bbox(ObjectRef {
-            collection: obj.collection,
-            index: addr.local as usize,
-        })
+        self.shards[addr.shard as usize].bbox(obj.collection, addr.local as usize)
+    }
+
+    /// Runs one backend's corner query, panicking on a transport
+    /// failure: the executor read path has no error channel, and a
+    /// remote backend already retried once on a fresh connection.
+    pub(crate) fn backend_query(
+        &self,
+        s: usize,
+        coll: CollectionId,
+        kind: IndexKind,
+        q: &CornerQuery<2>,
+        out: &mut Vec<u64>,
+    ) {
+        if let Err(e) = self.shards[s].query_collection(coll, kind, q, out) {
+            panic!(
+                "shard {s} ({}) failed a corner query: {e}",
+                self.shards[s].describe()
+            );
+        }
     }
 
     /// Runs a corner query against the chosen index of every shard the
@@ -339,7 +480,7 @@ impl ShardedDatabase {
             self.router.candidate_shards(q, &mut shards);
             for &s in shards.iter() {
                 let start = out.len();
-                self.shards[s].query_collection(coll, kind, q, out);
+                self.backend_query(s, coll, kind, q, out);
                 let globals = &c.per_shard[s].globals;
                 for id in &mut out[start..] {
                     *id = globals[*id as usize];
@@ -375,8 +516,9 @@ impl ShardedDatabase {
             .filter_map(|(i, &l)| l.then_some(i))
     }
 
-    /// Structural integrity: every shard passes the engine's
-    /// [`integrity::check`], and the global mapping tables are a
+    /// Structural integrity: every shard backend passes its own check
+    /// (for a remote shard: the shard process's integrity check plus a
+    /// mirror census), and the global mapping tables are a
     /// liveness-respecting bijection consistent with the router. An
     /// empty `Ok(())` means the sharded database survived its mutation
     /// history (inserts, removes, cross-shard migrations, compactions)
@@ -384,9 +526,7 @@ impl ShardedDatabase {
     pub fn check(&self) -> Result<(), Vec<String>> {
         let mut problems = Vec::new();
         for (s, shard) in self.shards.iter().enumerate() {
-            if let Err(ps) = integrity::check(shard) {
-                problems.extend(ps.into_iter().map(|p| format!("shard {s}: {p}")));
-            }
+            problems.extend(shard.check().into_iter().map(|p| format!("shard {s}: {p}")));
         }
         for (ci, c) in self.collections.iter().enumerate() {
             let coll = CollectionId(ci);
@@ -415,22 +555,18 @@ impl ShardedDatabase {
                     problems.push(format!("{name}[{gi}]: dangling shard address"));
                     continue;
                 }
-                let local_ref = ObjectRef {
-                    collection: coll,
-                    index: l,
-                };
                 if c.per_shard[s].globals.get(l).copied() != Some(gi as u64) {
                     problems.push(format!(
                         "{name}[{gi}]: reverse mapping disagrees on shard {s} slot {l}"
                     ));
                 }
-                if live != self.shards[s].is_live(local_ref) {
+                if live != self.shards[s].is_live(coll, l) {
                     problems.push(format!(
                         "{name}[{gi}]: global liveness {live} != shard liveness"
                     ));
                 }
                 if live {
-                    let owner = self.router.route_bbox(&self.shards[s].bbox(local_ref));
+                    let owner = self.router.route_bbox(&self.shards[s].bbox(coll, l));
                     if owner != s {
                         problems.push(format!(
                             "{name}[{gi}]: lives on shard {s} but routes to {owner}"
@@ -469,14 +605,17 @@ impl ShardedDatabase {
         }
     }
 
-    /// Compacts every shard ([`SpatialDatabase::compact`]) **and** the
-    /// global slot space: tombstoned global slots are dropped, live
-    /// ones shift down, and the shard remap tables fix up the mapping
-    /// layer — the same remap contract callers use, applied to the
-    /// sharded database's own held refs. Returns the global remap.
-    pub fn compact(&mut self) -> CompactReport {
-        let shard_reports: Vec<CompactReport> =
-            self.shards.iter_mut().map(|s| s.compact()).collect();
+    /// Compacts every shard backend **and** the global slot space:
+    /// tombstoned global slots are dropped, live ones shift down, and
+    /// the shard remap tables fix up the mapping layer — the same remap
+    /// contract callers use, applied to the sharded database's own held
+    /// refs. Returns the global remap.
+    pub fn try_compact(&mut self) -> Result<CompactReport, ShardError> {
+        let shard_reports: Vec<CompactReport> = self
+            .shards
+            .iter_mut()
+            .map(|s| s.compact())
+            .collect::<Result<_, _>>()?;
         let mut report = CompactReport {
             remap: Vec::with_capacity(self.collections.len()),
             slots_reclaimed: 0,
@@ -517,13 +656,7 @@ impl ShardedDatabase {
                 });
                 debug_assert_eq!(c.per_shard[s].globals[new_local], u64::MAX);
                 c.per_shard[s].globals[new_local] = index as u64;
-                if self.shards[s]
-                    .bbox(ObjectRef {
-                        collection: coll,
-                        index: new_local,
-                    })
-                    .is_empty()
-                {
+                if self.shards[s].bbox(coll, new_local).is_empty() {
                     c.empty_objects.push(index);
                 }
             }
@@ -535,11 +668,18 @@ impl ShardedDatabase {
             c.live_count = c.slots.len();
             report.remap.push(remap);
         }
-        report
+        Ok(report)
+    }
+
+    /// [`ShardedDatabase::try_compact`], panicking on a backend
+    /// failure (infallible on local backends).
+    pub fn compact(&mut self) -> CompactReport {
+        self.try_compact()
+            .unwrap_or_else(|e| panic!("compact: {e}"))
     }
 }
 
-impl StoreView<2> for ShardedDatabase {
+impl<B: ShardBackend> StoreView<2> for ShardedDatabase<B> {
     fn universe(&self) -> &AaBox<2> {
         ShardedDatabase::universe(self)
     }

@@ -23,13 +23,16 @@ use scq_engine::{
 };
 use scq_region::{AaBox, Region};
 
+use crate::backend::ShardBackend;
 use crate::database::ShardedDatabase;
 
 /// Executes a query against the sharded database on the calling
 /// thread: the engine's bbox executor over the sharded view, corner
-/// queries pruned per level by the router.
-pub fn execute(
-    db: &ShardedDatabase,
+/// queries pruned per level by the router. Generic over the shard
+/// backend — the same entry point serves the in-process store and a
+/// cluster of shard processes.
+pub fn execute<B: ShardBackend>(
+    db: &ShardedDatabase<B>,
     query: &Query<2>,
     kind: IndexKind,
     options: ExecOptions,
@@ -41,8 +44,8 @@ pub fn execute(
 /// to the objects owned by one shard. All other collections — and all
 /// per-object reads — pass through unrestricted, so only the retrieval
 /// level over `coll` is partitioned.
-struct ShardSlice<'a> {
-    inner: &'a ShardedDatabase,
+struct ShardSlice<'a, B: ShardBackend> {
+    inner: &'a ShardedDatabase<B>,
     coll: CollectionId,
     shard: usize,
     /// The slice's live empty-region objects (owned storage because the
@@ -50,8 +53,8 @@ struct ShardSlice<'a> {
     empty: Vec<usize>,
 }
 
-impl<'a> ShardSlice<'a> {
-    fn new(inner: &'a ShardedDatabase, coll: CollectionId, shard: usize) -> Self {
+impl<'a, B: ShardBackend> ShardSlice<'a, B> {
+    fn new(inner: &'a ShardedDatabase<B>, coll: CollectionId, shard: usize) -> Self {
         let empty = inner
             .empty_objects(coll)
             .iter()
@@ -72,7 +75,7 @@ impl<'a> ShardSlice<'a> {
     }
 }
 
-impl StoreView<2> for ShardSlice<'_> {
+impl<B: ShardBackend> StoreView<2> for ShardSlice<'_, B> {
     fn universe(&self) -> &AaBox<2> {
         self.inner.universe()
     }
@@ -123,9 +126,7 @@ impl StoreView<2> for ShardSlice<'_> {
             return 1; // the router did prune this slice's only shard
         }
         let start = out.len();
-        self.inner
-            .shard(self.shard)
-            .query_collection(coll, kind, q, out);
+        self.inner.backend_query(self.shard, coll, kind, q, out);
         let globals = self.inner.globals(coll, self.shard);
         for id in &mut out[start..] {
             *id = globals[*id as usize];
@@ -170,8 +171,8 @@ impl StoreView<2> for ShardSlice<'_> {
 /// individually and the merged list truncated, so the result is a
 /// prefix-of-shard-order subset — deterministic, like the sequential
 /// executor, unlike the work-stealing one.
-pub fn execute_fanout(
-    db: &ShardedDatabase,
+pub fn execute_fanout<B: ShardBackend>(
+    db: &ShardedDatabase<B>,
     query: &Query<2>,
     kind: IndexKind,
     options: ExecOptions,

@@ -32,13 +32,34 @@
 //! [`exec::execute_fanout`] adds shard-level parallelism with a
 //! deterministic merge; [`snapshot`] streams each shard independently
 //! under a cross-validated manifest.
+//!
+//! Since PR 4 the *location* of a shard is abstract: the routing layer
+//! drives [`ShardBackend`]s, and the store is generic over them.
+//! [`LocalShard`] keeps everything in-process (the default, zero
+//! regression); [`RemoteShard`] speaks the length-prefixed shard
+//! [`wire`] protocol to a shard **process** ([`server`],
+//! `scq-serve --shard`), and a [`ClusterSpec`] names the processes and
+//! their z-ranges so `scq-serve --cluster` can front N of them as one
+//! database — same global refs, same migration-on-update, same
+//! snapshot manifest, property-tested identical to the in-process
+//! store (`tests/cluster_props.rs`).
 
+pub mod backend;
+pub mod cluster;
 pub mod database;
 pub mod exec;
+pub mod remote;
 pub mod router;
+pub mod server;
 pub mod snapshot;
+pub mod wire;
 
+pub use backend::{LocalShard, ShardBackend, ShardError};
+pub use cluster::{ClusterError, ClusterSpec, ClusterSpecError, ShardSpec};
 pub use database::{ShardedDatabase, DEFAULT_ROUTER_BITS};
 pub use exec::{execute, execute_fanout};
+pub use remote::RemoteShard;
 pub use router::ShardRouter;
-pub use snapshot::{load_from_dir, save_to_dir, ShardSnapshotError};
+pub use server::{serve_shard, ShardServerConfig, ShardServerHandle};
+pub use snapshot::{load_from_dir, reload_from_dir, save_to_dir, ShardSnapshotError};
+pub use wire::WireError;

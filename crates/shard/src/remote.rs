@@ -1,0 +1,743 @@
+//! The remote shard backend: a wire-protocol client plus a
+//! write-through region mirror.
+//!
+//! A [`RemoteShard`] stands in for one shard **process**. The split of
+//! responsibilities is the one that keeps the executors fast:
+//!
+//! * the shard process owns the **indexes** — corner queries,
+//!   compaction, snapshot streaming and integrity checks run there;
+//! * the client keeps a **mirror** of every slot's region, bounding
+//!   box and liveness, maintained write-through on each mutation, so
+//!   the executor read surface ([`ShardBackend::region`] /
+//!   [`ShardBackend::bbox`] / liveness / lengths) never crosses the
+//!   wire. Executors bind `&Region` out of the mirror exactly as they
+//!   would out of a local database.
+//!
+//! The connection is one [`std::net::TcpStream`] behind a mutex, so a
+//! `RemoteShard` is `Sync` and the work-stealing parallel executor can
+//! share it across workers (requests serialize per shard; different
+//! shards proceed in parallel). Idempotent reads (queries, stats,
+//! snapshot pulls, checks) transparently reconnect and retry **once**
+//! after a connection failure; mutations never auto-retry — a lost ack
+//! is indistinguishable from a lost request, and replaying an insert
+//! would double it. [`RemoteShard::connect`] polls until the shard
+//! process is reachable (readiness), validates the wire version, and
+//! pulls the shard's snapshot to seed the mirror, rejecting a shard
+//! whose universe disagrees with the cluster's — deployment
+//! misconfiguration surfaces at connect time, not as wrong answers.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use scq_bbox::{Bbox, CornerQuery};
+use scq_engine::{snapshot, CollectionId, CompactReport, IndexKind, SpatialDatabase};
+use scq_region::{AaBox, Region};
+
+use crate::backend::{ShardBackend, ShardError};
+use crate::wire::{
+    decode_response, encode_request, frame, read_frame, Request, Response, WireError, WIRE_VERSION,
+};
+
+/// One collection's mirrored slots.
+#[derive(Clone, Debug, Default)]
+struct MirrorCollection {
+    name: String,
+    regions: Vec<Region<2>>,
+    bboxes: Vec<Bbox<2>>,
+    live: Vec<bool>,
+    live_count: usize,
+}
+
+/// The wire connection: lazily (re)established, dropped on any I/O
+/// error so the next request starts from a clean handshake.
+struct WireClient {
+    addr: String,
+    stream: Option<TcpStream>,
+}
+
+impl WireClient {
+    fn connect_now(&mut self) -> Result<(), WireError> {
+        let stream = TcpStream::connect(&self.addr).map_err(WireError::from)?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(WireError::from)?;
+        self.stream = Some(stream);
+        match self.exchange(&Request::Hello {
+            version: WIRE_VERSION,
+        }) {
+            Ok(Response::Hello { version }) if version == WIRE_VERSION => Ok(()),
+            Ok(Response::Hello { version }) => {
+                self.stream = None;
+                Err(WireError::VersionMismatch {
+                    ours: WIRE_VERSION,
+                    theirs: version,
+                })
+            }
+            Ok(Response::Err(m)) => {
+                self.stream = None;
+                // The server names its own version in the rejection.
+                Err(WireError::Remote(m))
+            }
+            Ok(other) => {
+                self.stream = None;
+                Err(WireError::Unexpected(format!(
+                    "handshake answered {other:?}"
+                )))
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Sends one request and reads its response on the open stream.
+    fn exchange(&mut self, req: &Request) -> Result<Response, WireError> {
+        let stream = self.stream.as_mut().ok_or(WireError::Truncated)?;
+        let send = (|| -> Result<Response, WireError> {
+            stream.write_all(&frame(&encode_request(req))?)?;
+            stream.flush()?;
+            let payload = read_frame(stream)?.ok_or(WireError::Truncated)?;
+            decode_response(&payload)
+        })();
+        if send.is_err() {
+            self.stream = None;
+        }
+        send
+    }
+
+    /// One request with connection establishment; `idempotent` requests
+    /// are retried once on a transport failure after reconnecting.
+    fn request(&mut self, req: &Request, idempotent: bool) -> Result<Response, WireError> {
+        if self.stream.is_none() {
+            self.connect_now()?;
+        }
+        match self.exchange(req) {
+            Ok(resp) => Ok(resp),
+            Err(WireError::VersionMismatch { ours, theirs }) => {
+                Err(WireError::VersionMismatch { ours, theirs })
+            }
+            Err(e) if idempotent => {
+                // transport died mid-exchange: reconnect, retry once
+                let _ = e;
+                self.connect_now()?;
+                self.exchange(req)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// A shard living in another process, reached over the wire protocol.
+pub struct RemoteShard {
+    addr: String,
+    universe: AaBox<2>,
+    client: Mutex<WireClient>,
+    collections: Vec<MirrorCollection>,
+    by_name: HashMap<String, usize>,
+}
+
+impl RemoteShard {
+    /// Connects to a shard process, polling until it is reachable (at
+    /// most `wait`), then handshakes and seeds the mirror from the
+    /// shard's current snapshot. Fails on a wire version mismatch or
+    /// when the shard's universe differs from `universe` — a
+    /// misconfigured deployment must not come up quietly.
+    pub fn connect(addr: &str, universe: AaBox<2>, wait: Duration) -> Result<Self, ShardError> {
+        let mut client = WireClient {
+            addr: addr.to_owned(),
+            stream: None,
+        };
+        let deadline = Instant::now() + wait;
+        loop {
+            match client.connect_now() {
+                Ok(()) => break,
+                // Version mismatches and handshake rejections never
+                // heal by waiting; only connection refusals are
+                // readiness.
+                Err(e @ WireError::VersionMismatch { .. }) | Err(e @ WireError::Remote(_)) => {
+                    return Err(e.into())
+                }
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(ShardError::Wire(e));
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+        let mut shard = RemoteShard {
+            addr: addr.to_owned(),
+            universe,
+            client: Mutex::new(client),
+            collections: Vec::new(),
+            by_name: HashMap::new(),
+        };
+        let stream = shard.snapshot_stream()?;
+        let decoded = shard.decode_stream(&stream)?;
+        shard.commit_mirror(&decoded);
+        Ok(shard)
+    }
+
+    /// The shard process address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether the shard holds no collections at all (a fresh process;
+    /// the only state a cluster may be assembled over without a
+    /// manifest).
+    pub fn is_pristine(&self) -> bool {
+        self.collections.is_empty()
+    }
+
+    fn request(&self, req: &Request, idempotent: bool) -> Result<Response, ShardError> {
+        let mut client = self
+            .client
+            .lock()
+            .map_err(|_| ShardError::Rejected("wire client lock poisoned".into()))?;
+        client.request(req, idempotent).map_err(ShardError::from)
+    }
+
+    /// Decodes and validates an `SCQS` stream (exactly like a shard
+    /// process would) without committing anything.
+    fn decode_stream(&self, stream: &[u8]) -> Result<SpatialDatabase<2>, ShardError> {
+        let db: SpatialDatabase<2> = snapshot::load(stream)
+            .map_err(|e| ShardError::Rejected(format!("bad shard snapshot: {e}")))?;
+        if db.universe() != &self.universe {
+            return Err(ShardError::Rejected(format!(
+                "shard {} universe {:?} differs from the cluster universe {:?}",
+                self.addr,
+                db.universe(),
+                self.universe
+            )));
+        }
+        Ok(db)
+    }
+
+    /// Replaces the mirror with the contents of a decoded stream.
+    fn commit_mirror(&mut self, db: &SpatialDatabase<2>) {
+        self.collections = db
+            .collections()
+            .map(|coll| {
+                let n = db.collection_len(coll);
+                let mut m = MirrorCollection {
+                    name: db.collection_name(coll).to_owned(),
+                    regions: Vec::with_capacity(n),
+                    bboxes: Vec::with_capacity(n),
+                    live: Vec::with_capacity(n),
+                    live_count: db.live_len(coll),
+                };
+                for index in db.object_indices(coll) {
+                    let obj = scq_engine::ObjectRef {
+                        collection: coll,
+                        index,
+                    };
+                    m.regions.push(db.region(obj).clone());
+                    m.bboxes.push(db.bbox(obj));
+                    m.live.push(db.is_live(obj));
+                }
+                m
+            })
+            .collect();
+        self.by_name = self
+            .collections
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.clone(), i))
+            .collect();
+    }
+
+    fn coll(&self, coll: CollectionId) -> &MirrorCollection {
+        &self.collections[coll.0]
+    }
+}
+
+impl ShardBackend for RemoteShard {
+    fn describe(&self) -> String {
+        format!("remote:{}", self.addr)
+    }
+
+    fn universe(&self) -> &AaBox<2> {
+        &self.universe
+    }
+
+    fn create_collection(&mut self, name: &str) -> Result<CollectionId, ShardError> {
+        if let Some(&i) = self.by_name.get(name) {
+            return Ok(CollectionId(i));
+        }
+        let resp = self.request(
+            &Request::Create {
+                name: name.to_owned(),
+            },
+            false,
+        )?;
+        let id = match resp {
+            Response::Coll(id) => id,
+            Response::Err(m) => return Err(ShardError::Rejected(m)),
+            other => {
+                return Err(ShardError::Wire(WireError::Unexpected(format!(
+                    "CREATE answered {other:?}"
+                ))))
+            }
+        };
+        // Shards create collections in lockstep with the router; a
+        // shard that numbers them differently is serving someone else.
+        if id.0 != self.collections.len() {
+            return Err(ShardError::Rejected(format!(
+                "shard {} numbered collection {name:?} as {} (expected {}): \
+                 shard state is out of lockstep with the router",
+                self.addr,
+                id.0,
+                self.collections.len()
+            )));
+        }
+        self.collections.push(MirrorCollection {
+            name: name.to_owned(),
+            ..MirrorCollection::default()
+        });
+        self.by_name.insert(name.to_owned(), id.0);
+        Ok(id)
+    }
+
+    fn collection_id(&self, name: &str) -> Option<CollectionId> {
+        self.by_name.get(name).map(|&i| CollectionId(i))
+    }
+
+    fn collection_len(&self, coll: CollectionId) -> usize {
+        self.coll(coll).regions.len()
+    }
+
+    fn live_len(&self, coll: CollectionId) -> usize {
+        self.coll(coll).live_count
+    }
+
+    fn is_live(&self, coll: CollectionId, local: usize) -> bool {
+        self.coll(coll).live[local]
+    }
+
+    fn region(&self, coll: CollectionId, local: usize) -> &Region<2> {
+        &self.coll(coll).regions[local]
+    }
+
+    fn bbox(&self, coll: CollectionId, local: usize) -> Bbox<2> {
+        self.coll(coll).bboxes[local]
+    }
+
+    fn insert(&mut self, coll: CollectionId, region: Region<2>) -> Result<usize, ShardError> {
+        let resp = self.request(
+            &Request::Insert {
+                coll,
+                region: region.clone(),
+            },
+            false,
+        )?;
+        let local = match resp {
+            Response::Slot(local) => local as usize,
+            Response::Err(m) => return Err(ShardError::Rejected(m)),
+            other => {
+                return Err(ShardError::Wire(WireError::Unexpected(format!(
+                    "INSERT answered {other:?}"
+                ))))
+            }
+        };
+        let m = &mut self.collections[coll.0];
+        if local != m.regions.len() {
+            return Err(ShardError::Rejected(format!(
+                "shard {} handed out slot {local}, mirror expected {}: \
+                 shard state is out of lockstep with the router",
+                self.addr,
+                m.regions.len()
+            )));
+        }
+        m.bboxes.push(region.bbox());
+        m.regions.push(region);
+        m.live.push(true);
+        m.live_count += 1;
+        Ok(local)
+    }
+
+    fn remove(&mut self, coll: CollectionId, local: usize) -> Result<bool, ShardError> {
+        let resp = self.request(
+            &Request::Remove {
+                coll,
+                local: local as u64,
+            },
+            false,
+        )?;
+        match resp {
+            Response::Flag(removed) => {
+                let m = &mut self.collections[coll.0];
+                if removed != m.live[local] {
+                    return Err(ShardError::Rejected(format!(
+                        "shard {} liveness for slot {local} disagrees with the mirror",
+                        self.addr
+                    )));
+                }
+                if removed {
+                    m.live[local] = false;
+                    m.live_count -= 1;
+                }
+                Ok(removed)
+            }
+            Response::Err(m) => Err(ShardError::Rejected(m)),
+            other => Err(ShardError::Wire(WireError::Unexpected(format!(
+                "REMOVE answered {other:?}"
+            )))),
+        }
+    }
+
+    fn update(
+        &mut self,
+        coll: CollectionId,
+        local: usize,
+        region: Region<2>,
+    ) -> Result<bool, ShardError> {
+        let resp = self.request(
+            &Request::Update {
+                coll,
+                local: local as u64,
+                region: region.clone(),
+            },
+            false,
+        )?;
+        match resp {
+            Response::Flag(updated) => {
+                if updated {
+                    let m = &mut self.collections[coll.0];
+                    m.bboxes[local] = region.bbox();
+                    m.regions[local] = region;
+                }
+                Ok(updated)
+            }
+            Response::Err(m) => Err(ShardError::Rejected(m)),
+            other => Err(ShardError::Wire(WireError::Unexpected(format!(
+                "UPDATE answered {other:?}"
+            )))),
+        }
+    }
+
+    fn query_collection(
+        &self,
+        coll: CollectionId,
+        kind: IndexKind,
+        q: &CornerQuery<2>,
+        out: &mut Vec<u64>,
+    ) -> Result<(), ShardError> {
+        let resp = self.request(
+            &Request::Query {
+                coll,
+                kind,
+                query: *q,
+            },
+            true,
+        )?;
+        match resp {
+            Response::Ids(ids) => {
+                out.extend(ids);
+                Ok(())
+            }
+            Response::Err(m) => Err(ShardError::Rejected(m)),
+            other => Err(ShardError::Wire(WireError::Unexpected(format!(
+                "QUERY answered {other:?}"
+            )))),
+        }
+    }
+
+    fn compact(&mut self) -> Result<CompactReport, ShardError> {
+        let resp = self.request(&Request::Compact, false)?;
+        let (reclaimed, remap) = match resp {
+            Response::Remap { reclaimed, remap } => (reclaimed, remap),
+            Response::Err(m) => return Err(ShardError::Rejected(m)),
+            other => {
+                return Err(ShardError::Wire(WireError::Unexpected(format!(
+                    "COMPACT answered {other:?}"
+                ))))
+            }
+        };
+        if remap.len() != self.collections.len() {
+            return Err(ShardError::Rejected(format!(
+                "shard {} compacted {} collections, mirror holds {}",
+                self.addr,
+                remap.len(),
+                self.collections.len()
+            )));
+        }
+        // Apply the shard's remap to the mirror: live slots shift down
+        // in order, dropped slots disappear.
+        for (m, coll_remap) in self.collections.iter_mut().zip(&remap) {
+            if coll_remap.len() != m.regions.len() {
+                return Err(ShardError::Rejected(format!(
+                    "shard {} remap covers {} slots, mirror holds {}",
+                    self.addr,
+                    coll_remap.len(),
+                    m.regions.len()
+                )));
+            }
+            let old_regions = std::mem::take(&mut m.regions);
+            let old_bboxes = std::mem::take(&mut m.bboxes);
+            let old_live = std::mem::take(&mut m.live);
+            let survivors = coll_remap.iter().flatten().count();
+            m.regions = vec![Region::empty(); survivors];
+            m.bboxes = vec![Bbox::Empty; survivors];
+            m.live = vec![true; survivors];
+            // Injectivity is checked explicitly: a desynced shard
+            // mapping two live slots onto one target would otherwise
+            // silently drop one region and leave another slot empty.
+            let mut assigned = vec![false; survivors];
+            for (old, new) in coll_remap.iter().enumerate() {
+                let Some(new) = *new else { continue };
+                let new = new as usize;
+                if new >= survivors || !old_live[old] || assigned[new] {
+                    return Err(ShardError::Rejected(format!(
+                        "shard {} remap is not a liveness-respecting bijection",
+                        self.addr
+                    )));
+                }
+                assigned[new] = true;
+                m.regions[new] = old_regions[old].clone();
+                m.bboxes[new] = old_bboxes[old];
+            }
+            m.live_count = survivors;
+        }
+        Ok(CompactReport {
+            remap: remap
+                .into_iter()
+                .map(|coll| coll.into_iter().map(|s| s.map(|i| i as usize)).collect())
+                .collect(),
+            slots_reclaimed: reclaimed as usize,
+        })
+    }
+
+    fn check(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        // The shard's own structural check…
+        match self.request(&Request::Check, true) {
+            Ok(Response::Problems(ps)) => problems.extend(ps),
+            Ok(Response::Err(m)) => problems.push(format!("remote check failed: {m}")),
+            Ok(other) => problems.push(format!("CHECK answered {other:?}")),
+            Err(e) => problems.push(format!("remote check unreachable: {e}")),
+        }
+        // …plus a mirror-vs-shard census: slot and live counts must
+        // agree per collection or the mirror has drifted.
+        match self.request(&Request::Stat, true) {
+            Ok(Response::Stat(rows)) => {
+                if rows.len() != self.collections.len() {
+                    problems.push(format!(
+                        "shard reports {} collections, mirror holds {}",
+                        rows.len(),
+                        self.collections.len()
+                    ));
+                } else {
+                    for ((name, slots, live), m) in rows.iter().zip(&self.collections) {
+                        if name != &m.name
+                            || *slots as usize != m.regions.len()
+                            || *live as usize != m.live_count
+                        {
+                            problems.push(format!(
+                                "mirror drift on {:?}: shard has {slots} slots / {live} live, \
+                                 mirror has {} / {}",
+                                m.name,
+                                m.regions.len(),
+                                m.live_count
+                            ));
+                        }
+                    }
+                }
+            }
+            Ok(other) => problems.push(format!("STAT answered {other:?}")),
+            Err(e) => problems.push(format!("remote stat unreachable: {e}")),
+        }
+        problems
+    }
+
+    fn snapshot_stream(&self) -> Result<Bytes, ShardError> {
+        match self.request(&Request::SnapshotSave, true)? {
+            Response::Bytes(bytes) => Ok(bytes.into()),
+            Response::Err(m) => Err(ShardError::Rejected(m)),
+            other => Err(ShardError::Wire(WireError::Unexpected(format!(
+                "SNAPSHOT SAVE answered {other:?}"
+            )))),
+        }
+    }
+
+    fn load_snapshot(&mut self, stream: &[u8]) -> Result<(), ShardError> {
+        // Validate locally first (a stream the mirror cannot decode
+        // must not reach the shard process at all), then ship it, and
+        // only commit the mirror once the shard has accepted — a
+        // shard-side failure must leave mirror and shard agreeing on
+        // the OLD data, not silently describing different worlds.
+        let decoded = self.decode_stream(stream)?;
+        match self.request(
+            &Request::SnapshotLoad {
+                stream: stream.to_vec(),
+            },
+            false,
+        )? {
+            Response::Ok => {
+                self.commit_mirror(&decoded);
+                Ok(())
+            }
+            Response::Err(m) => Err(ShardError::Rejected(m)),
+            other => Err(ShardError::Wire(WireError::Unexpected(format!(
+                "SNAPSHOT LOAD answered {other:?}"
+            )))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{serve_shard, ShardServerConfig};
+
+    fn universe() -> AaBox<2> {
+        AaBox::new([0.0, 0.0], [100.0, 100.0])
+    }
+
+    fn start() -> (crate::server::ShardServerHandle, RemoteShard) {
+        let server = serve_shard(&ShardServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            universe_size: 100.0,
+        })
+        .unwrap();
+        let shard = RemoteShard::connect(
+            &server.addr().to_string(),
+            universe(),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        (server, shard)
+    }
+
+    fn boxed(x: f64, y: f64, w: f64, h: f64) -> Region<2> {
+        Region::from_box(AaBox::new([x, y], [x + w, y + h]))
+    }
+
+    /// Drives the same mutation script through a RemoteShard and a
+    /// LocalShard; every read answer must match.
+    #[test]
+    fn remote_backend_matches_local_backend() {
+        let (server, mut remote) = start();
+        let mut local = crate::LocalShard::new(universe());
+        let c_r = remote.create_collection("objs").unwrap();
+        let c_l = local.create_collection("objs").unwrap();
+        assert_eq!(c_r, c_l);
+        for i in 0..12 {
+            let t = (i * 17 % 89) as f64;
+            let r = boxed(t, 90.0 - t, 3.0, 4.0);
+            assert_eq!(
+                remote.insert(c_r, r.clone()).unwrap(),
+                local.insert(c_l, r).unwrap()
+            );
+        }
+        assert_eq!(
+            remote.remove(c_r, 3).unwrap(),
+            local.remove(c_l, 3).unwrap()
+        );
+        assert_eq!(
+            remote.update(c_r, 5, boxed(1.0, 1.0, 2.0, 2.0)).unwrap(),
+            local.update(c_l, 5, boxed(1.0, 1.0, 2.0, 2.0)).unwrap()
+        );
+        assert_eq!(remote.collection_len(c_r), local.collection_len(c_l));
+        assert_eq!(remote.live_len(c_r), local.live_len(c_l));
+        for local_slot in 0..remote.collection_len(c_r) {
+            assert_eq!(
+                remote.is_live(c_r, local_slot),
+                local.is_live(c_l, local_slot)
+            );
+            assert!(remote
+                .region(c_r, local_slot)
+                .same_set(local.region(c_l, local_slot)));
+            assert_eq!(remote.bbox(c_r, local_slot), local.bbox(c_l, local_slot));
+        }
+        let q = CornerQuery::unconstrained().and_overlaps(&Bbox::new([0.0, 0.0], [50.0, 95.0]));
+        for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            remote.query_collection(c_r, kind, &q, &mut a).unwrap();
+            local.query_collection(c_l, kind, &q, &mut b).unwrap();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{kind:?}");
+        }
+        assert!(remote.check().is_empty(), "{:?}", remote.check());
+        // compaction: same remap, same surviving answers
+        let rr = remote.compact().unwrap();
+        let lr = local.compact().unwrap();
+        assert_eq!(rr.remap, lr.remap);
+        assert_eq!(rr.slots_reclaimed, lr.slots_reclaimed);
+        assert_eq!(remote.collection_len(c_r), local.collection_len(c_l));
+        assert!(remote.check().is_empty(), "{:?}", remote.check());
+        // snapshot stream round trip into a fresh local backend
+        let stream = remote.snapshot_stream().unwrap();
+        let mut fresh = crate::LocalShard::new(universe());
+        fresh.load_snapshot(&stream).unwrap();
+        assert_eq!(fresh.collection_len(c_r), remote.collection_len(c_r));
+        server.shutdown();
+    }
+
+    #[test]
+    fn connect_times_out_against_a_dead_address() {
+        let err = RemoteShard::connect(
+            "127.0.0.1:1", // reserved port, nothing listens
+            universe(),
+            Duration::from_millis(300),
+        )
+        .err()
+        .expect("connect must fail");
+        assert!(matches!(err, ShardError::Wire(_)), "{err}");
+    }
+
+    #[test]
+    fn universe_mismatch_is_rejected_at_connect() {
+        let server = serve_shard(&ShardServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            universe_size: 500.0, // shard disagrees with the cluster
+        })
+        .unwrap();
+        let err = RemoteShard::connect(
+            &server.addr().to_string(),
+            universe(),
+            Duration::from_secs(5),
+        )
+        .err()
+        .expect("universe mismatch must be rejected");
+        assert!(err.to_string().contains("universe"), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn queries_survive_a_server_side_connection_drop() {
+        let (server, mut remote) = start();
+        let c = remote.create_collection("objs").unwrap();
+        remote.insert(c, boxed(10.0, 10.0, 5.0, 5.0)).unwrap();
+        // Poison the client's socket by replacing it with one the
+        // server never saw a handshake on… the next idempotent request
+        // reconnects and retries.
+        {
+            let mut client = remote.client.lock().unwrap();
+            client.stream = None;
+        }
+        let mut out = Vec::new();
+        remote
+            .query_collection(c, IndexKind::RTree, &CornerQuery::unconstrained(), &mut out)
+            .unwrap();
+        assert_eq!(out, vec![0]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn mutations_fail_cleanly_after_shutdown() {
+        let (server, mut remote) = start();
+        let c = remote.create_collection("objs").unwrap();
+        server.shutdown();
+        let err = remote.insert(c, boxed(1.0, 1.0, 1.0, 1.0)).err().unwrap();
+        assert!(matches!(err, ShardError::Wire(_)), "{err}");
+    }
+}

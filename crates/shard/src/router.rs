@@ -17,6 +17,38 @@ use scq_bbox::{Bbox, CornerQuery};
 use scq_region::AaBox;
 use scq_zorder::{center_key, decompose_cells, shard_ranges, ZCurve};
 
+/// Checks that `ranges` is a valid shard assignment on a `bits`-bit
+/// grid: nonempty, each range nonempty half-open `[lo, hi)`, ascending
+/// and contiguous, together tiling exactly `[0, key_space(bits))`.
+/// Returns a human-readable reason on failure.
+pub fn validate_ranges(bits: u32, ranges: &[(u64, u64)]) -> Result<(), String> {
+    if !(1..=16).contains(&bits) {
+        return Err(format!("router bits {bits} outside 1..=16"));
+    }
+    if ranges.is_empty() {
+        return Err("no shard ranges".into());
+    }
+    let total = scq_zorder::key_space(bits);
+    let mut expect = 0u64;
+    for (s, &(lo, hi)) in ranges.iter().enumerate() {
+        if lo != expect {
+            return Err(format!(
+                "shard {s} starts at {lo}, expected {expect} (ranges must be contiguous)"
+            ));
+        }
+        if hi <= lo {
+            return Err(format!("shard {s} range [{lo}, {hi}) is empty"));
+        }
+        expect = hi;
+    }
+    if expect != total {
+        return Err(format!(
+            "ranges end at {expect}, key space has {total} cells"
+        ));
+    }
+    Ok(())
+}
+
 /// Routes objects and corner queries to shards of a z-order
 /// range-partitioned store.
 #[derive(Clone, Debug)]
@@ -33,10 +65,24 @@ impl ShardRouter {
     /// If the universe is empty, `bits` is outside `1..=16`, `n_shards`
     /// is 0, or `n_shards` exceeds the number of grid cells.
     pub fn new(universe: &AaBox<2>, bits: u32, n_shards: usize) -> Self {
+        Self::from_ranges(universe, bits, shard_ranges(bits, n_shards))
+    }
+
+    /// A router with an **explicit** range assignment — the cluster
+    /// configuration path, where a [`crate::ClusterSpec`] may give
+    /// shards unequal z-territory.
+    ///
+    /// # Panics
+    /// If the universe is empty or the ranges do not tile the key
+    /// space (see [`validate_ranges`]).
+    pub fn from_ranges(universe: &AaBox<2>, bits: u32, ranges: Vec<(u64, u64)>) -> Self {
+        if let Err(m) = validate_ranges(bits, &ranges) {
+            panic!("invalid shard ranges: {m}");
+        }
         let ub = Bbox::new(universe.lo(), universe.hi());
         ShardRouter {
             curve: ZCurve::new(ub, bits),
-            ranges: shard_ranges(bits, n_shards),
+            ranges,
         }
     }
 
@@ -209,6 +255,46 @@ mod tests {
         // The unconstrained query prunes nothing.
         r.candidate_shards(&CornerQuery::unconstrained(), &mut cands);
         assert_eq!(cands.len(), r.n_shards());
+    }
+
+    #[test]
+    fn explicit_ranges_route_like_balanced_ones() {
+        let total = scq_zorder::key_space(6);
+        let balanced = router(4);
+        let custom = ShardRouter::from_ranges(
+            &AaBox::new([0.0, 0.0], [100.0, 100.0]),
+            6,
+            balanced.ranges().to_vec(),
+        );
+        for z in [0, 1, total / 3, total / 2, total - 1] {
+            assert_eq!(balanced.route_key(z), custom.route_key(z));
+        }
+    }
+
+    #[test]
+    fn bad_range_assignments_are_named() {
+        let total = scq_zorder::key_space(6);
+        assert!(validate_ranges(6, &[(0, total)]).is_ok());
+        assert!(validate_ranges(6, &[(0, 10), (10, total)]).is_ok());
+        assert!(validate_ranges(6, &[]).is_err(), "empty");
+        assert!(validate_ranges(0, &[(0, 1)]).is_err(), "bad bits");
+        assert!(validate_ranges(6, &[(1, total)]).is_err(), "gap at 0");
+        assert!(
+            validate_ranges(6, &[(0, 10), (12, total)]).is_err(),
+            "hole between shards"
+        );
+        assert!(
+            validate_ranges(6, &[(0, 10), (10, 10), (10, total)]).is_err(),
+            "empty shard"
+        );
+        assert!(
+            validate_ranges(6, &[(0, total - 1)]).is_err(),
+            "short of the key space"
+        );
+        assert!(
+            validate_ranges(6, &[(0, total + 1)]).is_err(),
+            "past the key space"
+        );
     }
 
     #[test]

@@ -1,0 +1,527 @@
+//! The shard server: one [`SpatialDatabase`] behind the wire protocol.
+//!
+//! This is what runs inside each shard **process** of a cluster
+//! (`scq-serve --shard`). It knows nothing about siblings, routing or
+//! global slots — it answers exactly the [`crate::ShardBackend`]
+//! contract over TCP: mutations and compaction under a write lock,
+//! corner queries and snapshot streaming under a read lock, so one
+//! router connection and any number of diagnostic connections can work
+//! concurrently.
+//!
+//! Connection handling mirrors `scq-serve`'s front end: a fixed worker
+//! pool shares one listener, each connection reads frames through a
+//! short receive timeout so [`ShardServerHandle::shutdown`] never hangs
+//! on an idle peer, and every decoded request gets exactly one response
+//! frame. Framing-level poison — an oversized length prefix, a frame
+//! that fails to decode — earns an error response and a closed
+//! connection (the stream cannot be resynchronized); shard-level
+//! failures (unknown collection, bad snapshot payload) are ordinary
+//! [`Response::Err`]s and the connection lives on.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+
+use scq_engine::{snapshot, CollectionId, SpatialDatabase};
+use scq_region::AaBox;
+
+use crate::wire::{
+    decode_request, encode_response, frame, FrameReader, Request, Response, WIRE_VERSION,
+};
+
+/// Shard server configuration.
+#[derive(Clone, Debug)]
+pub struct ShardServerConfig {
+    /// Listen address (`127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker threads accepting connections.
+    pub threads: usize,
+    /// The universe square side: the shard spans `[0, size]²`. Must
+    /// match the router tier's universe or the cluster handshake's
+    /// consistency checks will reject the shard.
+    pub universe_size: f64,
+}
+
+impl Default for ShardServerConfig {
+    fn default() -> Self {
+        ShardServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            universe_size: 1000.0,
+        }
+    }
+}
+
+/// A running shard server: bound address plus the worker pool.
+pub struct ShardServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardServerHandle {
+    /// The address the server actually bound (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, unblocks the workers and joins them.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for _ in &self.workers {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Starts a shard server: binds, spawns the worker pool, returns
+/// immediately.
+pub fn serve_shard(config: &ShardServerConfig) -> std::io::Result<ShardServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let universe = AaBox::new([0.0, 0.0], [config.universe_size, config.universe_size]);
+    let db = Arc::new(RwLock::new(SpatialDatabase::new(universe)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for _ in 0..config.threads.max(1) {
+        let listener = listener.try_clone()?;
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        workers.push(std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => serve_connection(stream, &db, &stop),
+                    Err(_) => continue,
+                }
+            }
+        }));
+    }
+    Ok(ShardServerHandle {
+        addr,
+        stop,
+        workers,
+    })
+}
+
+/// What to do with the connection after answering a request.
+enum After {
+    KeepOpen,
+    Close,
+}
+
+fn serve_connection(stream: TcpStream, db: &Arc<RwLock<SpatialDatabase<2>>>, stop: &AtomicBool) {
+    // The receive timeout is the shutdown heartbeat: an idle or
+    // mid-frame connection wakes up periodically, notices the stop
+    // flag, and returns. FrameReader keeps partial bytes across
+    // timeouts, so a slow sender's frame is never corrupted.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
+    let mut reader = FrameReader::new();
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut stream = stream;
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        // Drain every complete frame before reading more bytes.
+        loop {
+            match reader.next_frame() {
+                Ok(Some(payload)) => {
+                    let (response, after) = match decode_request(&payload) {
+                        Ok(req) => handle_request(db, req),
+                        // An undecodable frame means the peer and we
+                        // disagree about the protocol; answer once and
+                        // hang up rather than guess at resync.
+                        Err(e) => (Response::Err(format!("bad request: {e}")), After::Close),
+                    };
+                    if write_response(&mut writer, &response).is_err() {
+                        return;
+                    }
+                    if matches!(after, After::Close) {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Framing poison (oversized prefix): report, close.
+                    let _ = write_response(&mut writer, &Response::Err(format!("bad frame: {e}")));
+                    return;
+                }
+            }
+        }
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match std::io::Read::read(&mut stream, &mut chunk) {
+            Ok(0) => return, // peer hung up (mid-frame or not, nothing to answer)
+            Ok(n) => reader.push(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let framed = match frame(&encode_response(response)) {
+        Ok(framed) => framed,
+        // The only oversize response is a snapshot stream; refuse it
+        // with a (small) error frame instead of poisoning the peer.
+        Err(e) => frame(&encode_response(&Response::Err(format!(
+            "response exceeds the frame cap: {e}"
+        ))))
+        .expect("the error frame is small"),
+    };
+    writer.write_all(&framed)?;
+    writer.flush()
+}
+
+fn poisoned<T>(_: T) -> Response {
+    Response::Err("shard lock poisoned".into())
+}
+
+/// Executes one decoded request against the shard database.
+fn handle_request(db: &Arc<RwLock<SpatialDatabase<2>>>, req: Request) -> (Response, After) {
+    let resp = match req {
+        Request::Hello { version } => {
+            if version != WIRE_VERSION {
+                // A mismatched peer must not get garbage answers;
+                // reject the handshake and close.
+                return (
+                    Response::Err(format!(
+                        "wire version mismatch: shard speaks {WIRE_VERSION}, client speaks {version}"
+                    )),
+                    After::Close,
+                );
+            }
+            Response::Hello {
+                version: WIRE_VERSION,
+            }
+        }
+        Request::Create { name } => {
+            if name.len() > 255 {
+                Response::Err(format!(
+                    "collection name too long ({} > 255 bytes)",
+                    name.len()
+                ))
+            } else {
+                match db.write() {
+                    Ok(mut d) => Response::Coll(d.collection(&name)),
+                    Err(e) => poisoned(e),
+                }
+            }
+        }
+        Request::Insert { coll, region } => match db.write() {
+            Ok(mut d) => match known(&d, coll) {
+                Ok(()) => Response::Slot(d.insert(coll, region).index as u64),
+                Err(e) => e,
+            },
+            Err(e) => poisoned(e),
+        },
+        Request::Remove { coll, local } => match db.write() {
+            Ok(mut d) => match known_slot(&d, coll, local) {
+                Ok(obj) => Response::Flag(d.remove(obj)),
+                Err(e) => e,
+            },
+            Err(e) => poisoned(e),
+        },
+        Request::Update {
+            coll,
+            local,
+            region,
+        } => match db.write() {
+            Ok(mut d) => match known_slot(&d, coll, local) {
+                Ok(obj) => Response::Flag(d.update(obj, region)),
+                Err(e) => e,
+            },
+            Err(e) => poisoned(e),
+        },
+        Request::Query { coll, kind, query } => match db.read() {
+            Ok(d) => match known(&d, coll) {
+                Ok(()) => {
+                    let mut ids = Vec::new();
+                    d.query_collection(coll, kind, &query, &mut ids);
+                    Response::Ids(ids)
+                }
+                Err(e) => e,
+            },
+            Err(e) => poisoned(e),
+        },
+        Request::Stat => match db.read() {
+            Ok(d) => Response::Stat(
+                d.collections()
+                    .map(|c| {
+                        (
+                            d.collection_name(c).to_owned(),
+                            d.collection_len(c) as u64,
+                            d.live_len(c) as u64,
+                        )
+                    })
+                    .collect(),
+            ),
+            Err(e) => poisoned(e),
+        },
+        Request::Compact => match db.write() {
+            Ok(mut d) => Response::from_compact(&d.compact()),
+            Err(e) => poisoned(e),
+        },
+        Request::SnapshotSave => match db.read() {
+            Ok(d) => Response::Bytes(snapshot::save(&d).to_vec()),
+            Err(e) => poisoned(e),
+        },
+        Request::SnapshotLoad { stream } => match snapshot::load::<2>(&stream) {
+            Ok(loaded) => match db.write() {
+                Ok(mut d) => {
+                    *d = loaded;
+                    Response::Ok
+                }
+                Err(e) => poisoned(e),
+            },
+            Err(e) => Response::Err(format!("bad snapshot stream: {e}")),
+        },
+        Request::Check => match db.read() {
+            Ok(d) => Response::Problems(scq_engine::integrity::check(&d).err().unwrap_or_default()),
+            Err(e) => poisoned(e),
+        },
+        Request::Bye => return (Response::Ok, After::Close),
+    };
+    (resp, After::KeepOpen)
+}
+
+fn known(d: &SpatialDatabase<2>, coll: CollectionId) -> Result<(), Response> {
+    if coll.0 < d.collections().count() {
+        Ok(())
+    } else {
+        Err(Response::Err(format!("unknown collection id {}", coll.0)))
+    }
+}
+
+fn known_slot(
+    d: &SpatialDatabase<2>,
+    coll: CollectionId,
+    local: u64,
+) -> Result<scq_engine::ObjectRef, Response> {
+    known(d, coll)?;
+    let index = local as usize;
+    if index >= d.collection_len(coll) {
+        return Err(Response::Err(format!(
+            "slot {index} out of range (shard collection has {} slots)",
+            d.collection_len(coll)
+        )));
+    }
+    Ok(scq_engine::ObjectRef {
+        collection: coll,
+        index,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{encode_request, read_frame, MAX_FRAME};
+    use scq_region::Region;
+    use std::io::Read;
+
+    fn start() -> ShardServerHandle {
+        serve_shard(&ShardServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            universe_size: 100.0,
+        })
+        .expect("bind shard server")
+    }
+
+    fn roundtrip(stream: &mut TcpStream, req: &Request) -> Response {
+        stream
+            .write_all(&frame(&encode_request(req)).unwrap())
+            .unwrap();
+        let payload = read_frame(stream).unwrap().expect("response frame");
+        crate::wire::decode_response(&payload).unwrap()
+    }
+
+    fn hello(addr: SocketAddr) -> TcpStream {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let resp = roundtrip(
+            &mut s,
+            &Request::Hello {
+                version: WIRE_VERSION,
+            },
+        );
+        assert_eq!(
+            resp,
+            Response::Hello {
+                version: WIRE_VERSION
+            }
+        );
+        s
+    }
+
+    #[test]
+    fn scripted_session_over_real_sockets() {
+        let server = start();
+        let mut s = hello(server.addr());
+        let coll = match roundtrip(
+            &mut s,
+            &Request::Create {
+                name: "objs".into(),
+            },
+        ) {
+            Response::Coll(c) => c,
+            other => panic!("{other:?}"),
+        };
+        let region = Region::from_box(AaBox::new([1.0, 1.0], [5.0, 5.0]));
+        assert_eq!(
+            roundtrip(
+                &mut s,
+                &Request::Insert {
+                    coll,
+                    region: region.clone()
+                }
+            ),
+            Response::Slot(0)
+        );
+        assert_eq!(
+            roundtrip(
+                &mut s,
+                &Request::Query {
+                    coll,
+                    kind: scq_engine::IndexKind::RTree,
+                    query: scq_bbox::CornerQuery::unconstrained()
+                        .and_overlaps(&scq_bbox::Bbox::new([0.0, 0.0], [10.0, 10.0])),
+                }
+            ),
+            Response::Ids(vec![0])
+        );
+        assert_eq!(
+            roundtrip(&mut s, &Request::Remove { coll, local: 0 }),
+            Response::Flag(true)
+        );
+        assert_eq!(
+            roundtrip(&mut s, &Request::Remove { coll, local: 0 }),
+            Response::Flag(false)
+        );
+        match roundtrip(&mut s, &Request::Compact) {
+            Response::Remap { reclaimed, .. } => assert_eq!(reclaimed, 1),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            roundtrip(&mut s, &Request::Check),
+            Response::Problems(vec![])
+        );
+        assert_eq!(roundtrip(&mut s, &Request::Bye), Response::Ok);
+        server.shutdown();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_and_closes() {
+        let server = start();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        let resp = roundtrip(&mut s, &Request::Hello { version: 99 });
+        match resp {
+            Response::Err(m) => assert!(m.contains("version mismatch"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+        // the server hung up: the next read sees a clean close
+        assert_eq!(read_frame(&mut s).unwrap(), None);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_frames_error_and_close() {
+        let server = start();
+        // In-frame garbage: an unknown opcode.
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(&frame(&[0xEE, 1, 2, 3]).unwrap()).unwrap();
+        match read_frame(&mut s).unwrap() {
+            Some(payload) => match crate::wire::decode_response(&payload).unwrap() {
+                Response::Err(m) => assert!(m.contains("bad request"), "{m}"),
+                other => panic!("{other:?}"),
+            },
+            None => panic!("expected an error response before the close"),
+        }
+        assert_eq!(read_frame(&mut s).unwrap(), None, "connection closed");
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_length_prefix_errors_and_closes() {
+        let server = start();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(&((MAX_FRAME as u32) + 1).to_le_bytes())
+            .unwrap();
+        match read_frame(&mut s).unwrap() {
+            Some(payload) => match crate::wire::decode_response(&payload).unwrap() {
+                Response::Err(m) => assert!(m.contains("bad frame"), "{m}"),
+                other => panic!("{other:?}"),
+            },
+            None => panic!("expected an error response before the close"),
+        }
+        assert_eq!(read_frame(&mut s).unwrap(), None, "connection closed");
+        server.shutdown();
+    }
+
+    #[test]
+    fn mid_stream_disconnect_leaves_the_server_serving() {
+        let server = start();
+        // A client that sends half a frame and vanishes…
+        {
+            let mut s = TcpStream::connect(server.addr()).unwrap();
+            let full = frame(&encode_request(&Request::Stat)).unwrap();
+            s.write_all(&full[..full.len() - 2]).unwrap();
+            // dropped here, mid-frame
+        }
+        // …must not wedge the worker: a fresh client gets served.
+        let mut s = hello(server.addr());
+        assert_eq!(roundtrip(&mut s, &Request::Stat), Response::Stat(vec![]));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_collections_and_slots_are_ordinary_errors() {
+        let server = start();
+        let mut s = hello(server.addr());
+        match roundtrip(
+            &mut s,
+            &Request::Insert {
+                coll: CollectionId(7),
+                region: Region::empty(),
+            },
+        ) {
+            Response::Err(m) => assert!(m.contains("unknown collection"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+        // the connection survived the error
+        assert_eq!(roundtrip(&mut s, &Request::Stat), Response::Stat(vec![]));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_returns_despite_idle_and_midframe_connections() {
+        let server = start();
+        let idle = TcpStream::connect(server.addr()).unwrap();
+        let mut partial = TcpStream::connect(server.addr()).unwrap();
+        partial.write_all(&[3, 0]).unwrap(); // half a length prefix
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let t0 = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "shutdown must not hang"
+        );
+        drop(idle);
+        let mut buf = [0u8; 8];
+        let _ = partial.read(&mut buf);
+    }
+}

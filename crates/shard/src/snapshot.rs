@@ -18,9 +18,10 @@
 //! a silently wrong database.
 //!
 //! ```text
-//! manifest: magic "SCQM" | u16 version (=1) | u16 dimension (=2)
+//! manifest: magic "SCQM" | u16 version (=2) | u16 dimension (=2)
 //!           universe (4 f64 LE)
 //!           u32 router bits | u32 shard count
+//!           per shard: u64 z-range lo | u64 z-range hi   (v2 only)
 //!           u32 collection count
 //!           per collection:
 //!             u16 name length | name bytes (UTF-8)
@@ -28,9 +29,12 @@
 //!             per slot: u32 shard | u32 local slot | u8 flags (bit 0 = live)
 //! ```
 //!
-//! Shard z-ranges are not serialized: they are a pure function of
-//! `(bits, shard count)` ([`scq_zorder::shard_ranges`]), recomputed on
-//! load.
+//! **Version 2** (current) serializes each shard's z-range explicitly,
+//! so a cluster with a custom [`crate::ClusterSpec`] range assignment
+//! round-trips exactly. **Version 1** manifests (no range table) still
+//! load: their ranges are the balanced pure function of `(bits, shard
+//! count)` ([`scq_zorder::shard_ranges`]), which is all v1 could
+//! express.
 
 use std::io::{Read, Write};
 use std::path::Path;
@@ -41,11 +45,15 @@ use scq_engine::snapshot::{self, SnapshotError};
 use scq_engine::{CollectionId, SpatialDatabase};
 use scq_region::AaBox;
 
+use crate::backend::{LocalShard, ShardBackend};
 use crate::database::{LogicalCollection, ShardSide, ShardedDatabase, SlotAddr};
 use crate::router::ShardRouter;
 
 const MAGIC: &[u8; 4] = b"SCQM";
-const VERSION: u16 = 1;
+/// Current (written) manifest version.
+const VERSION: u16 = 2;
+/// Oldest still-loadable manifest version.
+const V1: u16 = 1;
 
 /// Errors produced while loading a sharded snapshot.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -80,6 +88,14 @@ pub enum ShardSnapshotError {
     /// liveness mismatch, double-mapped local slot, missing
     /// collection…).
     Inconsistent(String),
+    /// A shard backend failed to stream or load its payload (remote
+    /// transport failure or rejection).
+    Backend {
+        /// Which shard.
+        shard: usize,
+        /// The backend's failure.
+        message: String,
+    },
     /// Filesystem error while reading or writing snapshot streams.
     Io(String),
 }
@@ -103,6 +119,9 @@ impl std::fmt::Display for ShardSnapshotError {
                 write!(f, "shard {shard}: {source}")
             }
             ShardSnapshotError::Inconsistent(m) => write!(f, "manifest/shard mismatch: {m}"),
+            ShardSnapshotError::Backend { shard, message } => {
+                write!(f, "shard {shard} backend: {message}")
+            }
             ShardSnapshotError::Io(m) => write!(f, "snapshot io: {m}"),
         }
     }
@@ -113,7 +132,7 @@ impl std::error::Error for ShardSnapshotError {}
 /// Serializes the manifest: router configuration plus the global slot
 /// mapping. Object data lives in the per-shard streams
 /// ([`save_shard`]).
-pub fn save_manifest(db: &ShardedDatabase) -> Bytes {
+pub fn save_manifest<B: ShardBackend>(db: &ShardedDatabase<B>) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
     buf.put_u16_le(VERSION);
@@ -123,6 +142,10 @@ pub fn save_manifest(db: &ShardedDatabase) -> Bytes {
     }
     buf.put_u32_le(db.router().bits());
     buf.put_u32_le(db.n_shards() as u32);
+    for &(lo, hi) in db.router().ranges() {
+        buf.put_u64_le(lo);
+        buf.put_u64_le(hi);
+    }
     let collections: Vec<CollectionId> = db.collections().collect();
     buf.put_u32_le(collections.len() as u32);
     for coll in collections {
@@ -151,9 +174,18 @@ pub fn save_manifest(db: &ShardedDatabase) -> Bytes {
 }
 
 /// Serializes one shard's stream — only that shard's objects are
-/// materialized.
-pub fn save_shard(db: &ShardedDatabase, shard: usize) -> Bytes {
-    snapshot::save(db.shard(shard))
+/// materialized (a remote backend produces the bytes in the shard
+/// process, so they cross the wire once and nothing else does).
+pub fn save_shard<B: ShardBackend>(
+    db: &ShardedDatabase<B>,
+    shard: usize,
+) -> Result<Bytes, ShardSnapshotError> {
+    db.backend(shard)
+        .snapshot_stream()
+        .map_err(|e| ShardSnapshotError::Backend {
+            shard,
+            message: e.to_string(),
+        })
 }
 
 fn need(buf: &impl Buf, n: usize) -> Result<(), ShardSnapshotError> {
@@ -174,6 +206,9 @@ pub struct Manifest {
     universe: AaBox<2>,
     bits: u32,
     n_shards: usize,
+    /// The z-range each shard owns (explicit in v2; the balanced
+    /// default for v1 manifests).
+    ranges: Vec<(u64, u64)>,
     /// Per collection: name and one [`ManifestSlot`] per global slot.
     collections: Vec<(String, Vec<ManifestSlot>)>,
 }
@@ -182,6 +217,11 @@ impl Manifest {
     /// Number of shard streams this manifest expects.
     pub fn n_shards(&self) -> usize {
         self.n_shards
+    }
+
+    /// The z-range assignment recorded for the shards.
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.ranges
     }
 }
 
@@ -195,7 +235,7 @@ pub fn load_manifest(data: &[u8]) -> Result<Manifest, ShardSnapshotError> {
         return Err(ShardSnapshotError::BadMagic);
     }
     let version = buf.get_u16_le();
-    if version != VERSION {
+    if version != VERSION && version != V1 {
         return Err(ShardSnapshotError::BadVersion(version));
     }
     let dim = buf.get_u16_le();
@@ -228,6 +268,20 @@ pub fn load_manifest(data: &[u8]) -> Result<Manifest, ShardSnapshotError> {
             "{n_shards} shards on a {bits}-bit grid"
         )));
     }
+    let ranges = if version >= 2 {
+        need(&buf, n_shards.saturating_mul(16))?;
+        let mut ranges = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let lo = buf.get_u64_le();
+            let hi = buf.get_u64_le();
+            ranges.push((lo, hi));
+        }
+        crate::router::validate_ranges(bits, &ranges).map_err(ShardSnapshotError::BadConfig)?;
+        ranges
+    } else {
+        scq_zorder::shard_ranges(bits, n_shards)
+    };
+    need(&buf, 4)?;
     let n_coll = buf.get_u32_le();
     let mut collections = Vec::new();
     for _ in 0..n_coll {
@@ -264,31 +318,21 @@ pub fn load_manifest(data: &[u8]) -> Result<Manifest, ShardSnapshotError> {
         universe,
         bits,
         n_shards,
+        ranges,
         collections,
     })
 }
 
-/// Assembles a database from a decoded manifest and one decoded
-/// [`SpatialDatabase`] per shard, cross-validating the mapping.
-pub fn assemble(
-    manifest: Manifest,
-    shards: Vec<SpatialDatabase<2>>,
-) -> Result<ShardedDatabase, ShardSnapshotError> {
-    if shards.len() != manifest.n_shards {
-        return Err(ShardSnapshotError::Inconsistent(format!(
-            "manifest expects {} shards, got {}",
-            manifest.n_shards,
-            shards.len()
-        )));
-    }
-    for (s, shard) in shards.iter().enumerate() {
-        if shard.universe() != &manifest.universe {
-            return Err(ShardSnapshotError::Inconsistent(format!(
-                "shard {s} universe differs from the manifest's"
-            )));
-        }
-    }
-    let router = ShardRouter::new(&manifest.universe, manifest.bits, manifest.n_shards);
+/// Rebuilds the global mapping layer from a decoded manifest,
+/// cross-validating every slot against the shard backends' actual
+/// contents. Shared by [`assemble`] (fresh local assembly) and
+/// [`reload_from_dir`] (in-place cluster restore) — the validation is
+/// identical whether a shard is a decoded byte stream or a process
+/// that just loaded one.
+fn build_collections<B: ShardBackend>(
+    manifest: &Manifest,
+    shards: &[B],
+) -> Result<Vec<LogicalCollection>, ShardSnapshotError> {
     let mut collections = Vec::with_capacity(manifest.collections.len());
     for (ci, (name, slots)) in manifest.collections.iter().enumerate() {
         let coll = CollectionId(ci);
@@ -334,18 +378,14 @@ pub fn assemble(
                 )));
             }
             per_shard[s].globals[l] = gi as u64;
-            let local_ref = scq_engine::ObjectRef {
-                collection: coll,
-                index: l,
-            };
-            if shards[s].is_live(local_ref) != is_live {
+            if shards[s].is_live(coll, l) != is_live {
                 return Err(ShardSnapshotError::Inconsistent(format!(
                     "{name:?}[{gi}]: manifest liveness disagrees with shard {s}"
                 )));
             }
             if is_live {
                 live_count += 1;
-                if shards[s].bbox(local_ref).is_empty() {
+                if shards[s].bbox(coll, l).is_empty() {
                     empty_objects.push(gi);
                 }
             }
@@ -357,11 +397,7 @@ pub fn assemble(
         // leaves its tombstone behind with no global counterpart).
         for (s, side) in per_shard.iter().enumerate() {
             for (l, &g) in side.globals.iter().enumerate() {
-                let local_ref = scq_engine::ObjectRef {
-                    collection: coll,
-                    index: l,
-                };
-                if g == u64::MAX && shards[s].is_live(local_ref) {
+                if g == u64::MAX && shards[s].is_live(coll, l) {
                     return Err(ShardSnapshotError::Inconsistent(format!(
                         "{name:?}: live shard {s} slot {l} is unmapped"
                     )));
@@ -377,12 +413,52 @@ pub fn assemble(
             per_shard,
         });
     }
+    Ok(collections)
+}
+
+/// Assembles a database over arbitrary backends from a decoded
+/// manifest, cross-validating the mapping against each backend's
+/// contents. The backends must already hold their shard data (decoded
+/// streams for local shards; loaded processes for remote ones).
+pub fn assemble_backends<B: ShardBackend>(
+    manifest: Manifest,
+    shards: Vec<B>,
+) -> Result<ShardedDatabase<B>, ShardSnapshotError> {
+    if shards.len() != manifest.n_shards {
+        return Err(ShardSnapshotError::Inconsistent(format!(
+            "manifest expects {} shards, got {}",
+            manifest.n_shards,
+            shards.len()
+        )));
+    }
+    for (s, shard) in shards.iter().enumerate() {
+        if shard.universe() != &manifest.universe {
+            return Err(ShardSnapshotError::Inconsistent(format!(
+                "shard {s} universe differs from the manifest's"
+            )));
+        }
+    }
+    let router =
+        ShardRouter::from_ranges(&manifest.universe, manifest.bits, manifest.ranges.clone());
+    let collections = build_collections(&manifest, &shards)?;
     Ok(ShardedDatabase::from_parts(
         manifest.universe,
         router,
         shards,
         collections,
     ))
+}
+
+/// Assembles a local database from a decoded manifest and one decoded
+/// [`SpatialDatabase`] per shard, cross-validating the mapping.
+pub fn assemble(
+    manifest: Manifest,
+    shards: Vec<SpatialDatabase<2>>,
+) -> Result<ShardedDatabase, ShardSnapshotError> {
+    assemble_backends(
+        manifest,
+        shards.into_iter().map(LocalShard::from_database).collect(),
+    )
 }
 
 /// Loads a sharded database from a manifest and per-shard payloads.
@@ -411,15 +487,20 @@ pub fn shard_file(s: usize) -> String {
 
 /// Writes the snapshot into a directory: `manifest.scqm` plus one
 /// `shard-NNNN.scqs` per shard, each streamed independently (one
-/// shard's bytes in memory at a time).
-pub fn save_to_dir(db: &ShardedDatabase, dir: &Path) -> Result<(), ShardSnapshotError> {
+/// shard's bytes in memory at a time). Works over any backend: for a
+/// remote cluster the router pulls each shard process's stream over
+/// the wire and writes it out, one shard at a time.
+pub fn save_to_dir<B: ShardBackend>(
+    db: &ShardedDatabase<B>,
+    dir: &Path,
+) -> Result<(), ShardSnapshotError> {
     let io = |e: std::io::Error| ShardSnapshotError::Io(e.to_string());
     std::fs::create_dir_all(dir).map_err(io)?;
     let mut f = std::fs::File::create(dir.join(MANIFEST_FILE)).map_err(io)?;
     f.write_all(&save_manifest(db)).map_err(io)?;
     for s in 0..db.n_shards() {
         let mut f = std::fs::File::create(dir.join(shard_file(s))).map_err(io)?;
-        f.write_all(&save_shard(db, s)).map_err(io)?;
+        f.write_all(&save_shard(db, s)?).map_err(io)?;
     }
     Ok(())
 }
@@ -449,9 +530,102 @@ pub fn load_from_dir(dir: &Path) -> Result<ShardedDatabase, ShardSnapshotError> 
     assemble(m, shards)
 }
 
+/// Restores a snapshot directory **in place** into an existing sharded
+/// database — the cluster restore path: each shard backend (possibly a
+/// remote process) swallows its own stream, then the global mapping is
+/// rebuilt from the manifest with full cross-validation.
+///
+/// The receiving database's topology must match the snapshot's:
+/// universe, router bits, shard count and range assignment. A snapshot
+/// of a 4-shard cluster cannot be poured into a 2-shard one — shard
+/// processes cannot be conjured, so a mismatch is a named error rather
+/// than a silent reshape.
+pub fn reload_from_dir<B: ShardBackend>(
+    db: &mut ShardedDatabase<B>,
+    dir: &Path,
+) -> Result<(), ShardSnapshotError> {
+    let io = |e: std::io::Error| ShardSnapshotError::Io(e.to_string());
+    let mut manifest = Vec::new();
+    std::fs::File::open(dir.join(MANIFEST_FILE))
+        .map_err(io)?
+        .read_to_end(&mut manifest)
+        .map_err(io)?;
+    let m = load_manifest(&manifest)?;
+    if m.universe != *db.universe() {
+        return Err(ShardSnapshotError::Inconsistent(format!(
+            "snapshot universe {:?} differs from the cluster's {:?}",
+            m.universe,
+            db.universe()
+        )));
+    }
+    if m.n_shards != db.n_shards() || m.bits != db.router().bits() {
+        return Err(ShardSnapshotError::Inconsistent(format!(
+            "snapshot topology ({} shards, {} bits) differs from the cluster's ({} shards, {} bits)",
+            m.n_shards,
+            m.bits,
+            db.n_shards(),
+            db.router().bits()
+        )));
+    }
+    if m.ranges != db.router().ranges() {
+        return Err(ShardSnapshotError::Inconsistent(
+            "snapshot shard ranges differ from the cluster's range assignment".into(),
+        ));
+    }
+    // Read and decode every stream BEFORE any backend swallows one:
+    // the common failures (missing file, corrupt stream, wrong
+    // universe) must reject the restore with the cluster untouched.
+    let mut payloads = Vec::with_capacity(db.n_shards());
+    for s in 0..db.n_shards() {
+        let mut payload = Vec::new();
+        std::fs::File::open(dir.join(shard_file(s)))
+            .map_err(io)?
+            .read_to_end(&mut payload)
+            .map_err(io)?;
+        let decoded = snapshot::load::<2>(&payload)
+            .map_err(|source| ShardSnapshotError::Shard { shard: s, source })?;
+        if decoded.universe() != db.universe() {
+            return Err(ShardSnapshotError::Inconsistent(format!(
+                "shard {s} stream universe differs from the cluster's"
+            )));
+        }
+        payloads.push(payload);
+    }
+    // Push the pre-validated streams. A transport failure mid-loop
+    // (remote backends only) leaves the shards split between old and
+    // new data; the stale mapping would then index into the wrong
+    // shard contents, so it is dropped — the store comes back empty
+    // (every command answers `ERR unknown collection`) rather than
+    // serving mixed or out-of-bounds reads, and a retried SNAPSHOT
+    // LOAD restores it completely.
+    let poisoned = |db: &mut ShardedDatabase<B>, err: ShardSnapshotError| {
+        db.set_collections(Vec::new());
+        Err(err)
+    };
+    for (s, payload) in payloads.iter().enumerate() {
+        if let Err(e) = db.backends_mut()[s].load_snapshot(payload) {
+            return poisoned(
+                db,
+                ShardSnapshotError::Backend {
+                    shard: s,
+                    message: e.to_string(),
+                },
+            );
+        }
+    }
+    match build_collections(&m, db.backends()) {
+        Ok(collections) => {
+            db.set_collections(collections);
+            Ok(())
+        }
+        Err(e) => poisoned(db, e),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::database::DEFAULT_ROUTER_BITS;
     use scq_bbox::{Bbox, CornerQuery};
     use scq_engine::{IndexKind, ObjectRef};
     use scq_region::Region;
@@ -489,7 +663,9 @@ mod tests {
     fn round_trip_preserves_everything() {
         let db = sample();
         let manifest = save_manifest(&db);
-        let payloads: Vec<Bytes> = (0..db.n_shards()).map(|s| save_shard(&db, s)).collect();
+        let payloads: Vec<Bytes> = (0..db.n_shards())
+            .map(|s| save_shard(&db, s).unwrap())
+            .collect();
         let loaded = load(&manifest, &payloads).unwrap();
         loaded.check().expect("reloaded database is consistent");
         assert_eq!(loaded.n_shards(), db.n_shards());
@@ -532,6 +708,40 @@ mod tests {
             loaded.live_len(loaded.collection_id("alpha").unwrap())
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_manifests_still_load_with_balanced_ranges() {
+        // A v1 manifest is a v2 one minus the explicit range table:
+        // rewrite the version field and splice the ranges out. The
+        // loader must fall back to the balanced assignment, which is
+        // all v1 could express.
+        let db = sample();
+        let v2 = save_manifest(&db).to_vec();
+        let mut v1 = v2.clone();
+        v1[4..6].copy_from_slice(&1u16.to_le_bytes());
+        // ranges sit after magic(4)+version(2)+dim(2)+universe(32)+
+        // bits(4)+count(4) = 48, sixteen bytes per shard
+        let ranges_at = 48;
+        v1.drain(ranges_at..ranges_at + db.n_shards() * 16);
+        let m = load_manifest(&v1).expect("v1 manifest loads");
+        assert_eq!(m.n_shards(), db.n_shards());
+        assert_eq!(
+            m.ranges(),
+            scq_zorder::shard_ranges(DEFAULT_ROUTER_BITS, db.n_shards())
+        );
+        let payloads: Vec<Bytes> = (0..db.n_shards())
+            .map(|s| save_shard(&db, s).unwrap())
+            .collect();
+        let loaded = load(&v1, &payloads).expect("v1 snapshot assembles");
+        loaded.check().expect("consistent");
+        // and a v2 manifest declaring non-tiling ranges is rejected
+        let mut bad = v2.clone();
+        bad[ranges_at..ranges_at + 8].copy_from_slice(&7u64.to_le_bytes());
+        assert!(matches!(
+            load_manifest(&bad).err(),
+            Some(ShardSnapshotError::BadConfig(_))
+        ));
     }
 
     #[test]
@@ -584,7 +794,9 @@ mod tests {
     fn mismatched_payloads_are_rejected() {
         let db = sample();
         let manifest = save_manifest(&db);
-        let payloads: Vec<Bytes> = (0..db.n_shards()).map(|s| save_shard(&db, s)).collect();
+        let payloads: Vec<Bytes> = (0..db.n_shards())
+            .map(|s| save_shard(&db, s).unwrap())
+            .collect();
         // wrong shard count
         assert!(matches!(
             load(&manifest, &payloads[..2]).err(),

@@ -1,0 +1,1061 @@
+//! The shard wire protocol: length-prefixed binary frames between the
+//! routing tier and a shard process.
+//!
+//! Every message is one **frame**:
+//!
+//! ```text
+//! u32 LE payload length | payload
+//! payload := u8 opcode | body
+//! ```
+//!
+//! A connection opens with a handshake — the client sends
+//! [`Request::Hello`] carrying the `SCQW` magic and its protocol
+//! version, the server answers with its own version or rejects a
+//! mismatch and closes. After that the client sends one request frame
+//! at a time and reads exactly one response frame per request.
+//!
+//! Decoding is defensive in the snapshot codecs' named-error style: a
+//! frame longer than [`MAX_FRAME`] is rejected **before** any
+//! allocation ([`WireError::Oversized`]), truncated bodies yield
+//! [`WireError::Truncated`], bytes left after the declared body yield
+//! [`WireError::TrailingData`], unknown opcodes and NaN coordinates are
+//! named errors — never panics, never a silently wrong message.
+//!
+//! Regions travel as their disjoint box fragments (the same
+//! representation the `SCQS` snapshot format uses); corner queries as
+//! their raw corner bounds plus the unsatisfiable marker, which may
+//! legitimately be ±∞ (unconstrained sides) but never NaN.
+
+use bytes::{Buf, BufMut};
+use scq_bbox::CornerQuery;
+use scq_engine::{CollectionId, CompactReport, IndexKind};
+use scq_region::{AaBox, Region};
+
+/// Handshake magic carried by [`Request::Hello`].
+pub const WIRE_MAGIC: &[u8; 4] = b"SCQW";
+/// Current wire protocol version.
+pub const WIRE_VERSION: u16 = 1;
+/// Hard cap on one frame's payload (snapshot streams are the largest
+/// legitimate frames). A length prefix above this is rejected before
+/// any buffer is reserved.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Errors produced while encoding, framing or decoding wire messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireError {
+    /// The stream or frame ended before the declared content.
+    Truncated,
+    /// A frame declared a payload longer than [`MAX_FRAME`].
+    Oversized {
+        /// Declared payload length.
+        bytes: usize,
+        /// The cap it exceeded.
+        max: usize,
+    },
+    /// The handshake did not carry the `SCQW` magic.
+    BadMagic,
+    /// The two ends speak different protocol versions.
+    VersionMismatch {
+        /// Version on this end.
+        ours: u16,
+        /// Version the peer announced.
+        theirs: u16,
+    },
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Unknown response status byte.
+    BadStatus(u8),
+    /// Unknown index kind byte.
+    BadIndexKind(u8),
+    /// A coordinate was NaN (region fragments additionally reject ±∞).
+    BadCoordinate,
+    /// A string field was not valid UTF-8.
+    BadString,
+    /// Bytes remained after the declared message body.
+    TrailingData {
+        /// Number of unconsumed bytes.
+        bytes: usize,
+    },
+    /// The peer reported a failure executing the request.
+    Remote(String),
+    /// The response decoded fine but had the wrong shape for the
+    /// request (a desynchronized or misbehaving peer).
+    Unexpected(String),
+    /// Socket-level failure.
+    Io(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::Oversized { bytes, max } => {
+                write!(f, "frame of {bytes} bytes exceeds the {max}-byte cap")
+            }
+            WireError::BadMagic => write!(f, "handshake is not shard wire protocol (bad magic)"),
+            WireError::VersionMismatch { ours, theirs } => {
+                write!(
+                    f,
+                    "wire version mismatch: we speak {ours}, peer speaks {theirs}"
+                )
+            }
+            WireError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::BadStatus(s) => write!(f, "unknown response status {s:#04x}"),
+            WireError::BadIndexKind(k) => write!(f, "unknown index kind byte {k}"),
+            WireError::BadCoordinate => write!(f, "bad coordinate in wire message"),
+            WireError::BadString => write!(f, "string field is not valid UTF-8"),
+            WireError::TrailingData { bytes } => {
+                write!(f, "{bytes} trailing bytes after the message body")
+            }
+            WireError::Remote(m) => write!(f, "remote error: {m}"),
+            WireError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+            WireError::Io(m) => write!(f, "io: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e.to_string())
+        }
+    }
+}
+
+// ── messages ────────────────────────────────────────────────────────────
+
+/// One request from the routing tier to a shard process.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Handshake: magic + client protocol version.
+    Hello {
+        /// The client's [`WIRE_VERSION`].
+        version: u16,
+    },
+    /// Create (or find) a collection.
+    Create {
+        /// Collection name.
+        name: String,
+    },
+    /// Insert a region, returning its fresh local slot.
+    Insert {
+        /// Target collection.
+        coll: CollectionId,
+        /// The region to store.
+        region: Region<2>,
+    },
+    /// Tombstone a local slot.
+    Remove {
+        /// Target collection.
+        coll: CollectionId,
+        /// Local slot index.
+        local: u64,
+    },
+    /// Replace a live local slot's region.
+    Update {
+        /// Target collection.
+        coll: CollectionId,
+        /// Local slot index.
+        local: u64,
+        /// The replacement region.
+        region: Region<2>,
+    },
+    /// Corner query against one index; answers local slot ids.
+    Query {
+        /// Target collection.
+        coll: CollectionId,
+        /// Index structure to probe.
+        kind: IndexKind,
+        /// The corner query.
+        query: CornerQuery<2>,
+    },
+    /// Per-collection slot and live counts.
+    Stat,
+    /// Compact the shard, returning the local remap.
+    Compact,
+    /// Stream the shard's full `SCQS` snapshot.
+    SnapshotSave,
+    /// Replace the shard's contents with an `SCQS` stream.
+    SnapshotLoad {
+        /// The snapshot bytes.
+        stream: Vec<u8>,
+    },
+    /// Run the shard's integrity check.
+    Check,
+    /// Close the connection.
+    Bye,
+}
+
+/// One response from a shard process. `Err` is the failure envelope for
+/// any request; the other variants are the per-request success shapes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Handshake accepted; the server's protocol version.
+    Hello {
+        /// The server's [`WIRE_VERSION`].
+        version: u16,
+    },
+    /// A collection id ([`Request::Create`]).
+    Coll(CollectionId),
+    /// A fresh local slot ([`Request::Insert`]).
+    Slot(u64),
+    /// A boolean outcome ([`Request::Remove`] / [`Request::Update`]).
+    Flag(bool),
+    /// Matching local slot ids ([`Request::Query`]).
+    Ids(Vec<u64>),
+    /// Per-collection `(name, slots, live)` ([`Request::Stat`]).
+    Stat(Vec<(String, u64, u64)>),
+    /// Compaction outcome ([`Request::Compact`]).
+    Remap {
+        /// Tombstoned slots reclaimed.
+        reclaimed: u64,
+        /// Per-collection local-slot remap (`None` = dropped).
+        remap: Vec<Vec<Option<u64>>>,
+    },
+    /// Raw bytes ([`Request::SnapshotSave`]).
+    Bytes(Vec<u8>),
+    /// Success with nothing to report ([`Request::SnapshotLoad`],
+    /// [`Request::Bye`]).
+    Ok,
+    /// Integrity problems, empty when healthy ([`Request::Check`]).
+    Problems(Vec<String>),
+    /// The request failed on the shard.
+    Err(String),
+}
+
+impl Response {
+    /// Converts a [`CompactReport`] into the wire remap shape.
+    pub fn from_compact(report: &CompactReport) -> Response {
+        Response::Remap {
+            reclaimed: report.slots_reclaimed as u64,
+            remap: report
+                .remap
+                .iter()
+                .map(|coll| coll.iter().map(|s| s.map(|i| i as u64)).collect())
+                .collect(),
+        }
+    }
+}
+
+// ── framing ─────────────────────────────────────────────────────────────
+
+/// Wraps a payload in a length-prefixed frame. The sender enforces the
+/// same [`MAX_FRAME`] cap the receiver does: an oversized payload (a
+/// giant snapshot stream) is a named error here, before any bytes hit
+/// the socket — not a poisoned connection on the other end. (Past the
+/// cap, streaming in chunks is the answer; see ROADMAP.)
+pub fn frame(payload: &[u8]) -> Result<Vec<u8>, WireError> {
+    if payload.len() > MAX_FRAME {
+        return Err(WireError::Oversized {
+            bytes: payload.len(),
+            max: MAX_FRAME,
+        });
+    }
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.put_u32_le(payload.len() as u32);
+    out.put_slice(payload);
+    Ok(out)
+}
+
+/// Reads one frame from a blocking stream. Distinguishes a clean close
+/// before any byte (`Ok(None)`) from a close mid-frame
+/// ([`WireError::Truncated`]).
+pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => got += n,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized {
+            bytes: len,
+            max: MAX_FRAME,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// Incremental frame assembly for readers that poll with a timeout
+/// (the shard server's connection loop): bytes are pushed as they
+/// arrive and complete frames pop out, so a slow sender's frame
+/// survives arbitrarily many read timeouts.
+#[derive(Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Appends freshly received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, if one is buffered. An oversized
+    /// length prefix errors immediately — the stream can never be
+    /// resynchronized past it.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::Oversized {
+                bytes: len,
+                max: MAX_FRAME,
+            });
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(frame))
+    }
+
+    /// Whether a partial frame is buffered (a disconnect now would be
+    /// mid-stream).
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+}
+
+// ── scalar codecs ───────────────────────────────────────────────────────
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    // The format frames strings with a u16 length; anything longer
+    // (a pathological error message) is truncated at a char boundary
+    // rather than silently producing an unparseable frame.
+    let mut end = s.len().min(u16::MAX as usize);
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    buf.put_u16_le(end as u16);
+    buf.put_slice(&s.as_bytes()[..end]);
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String, WireError> {
+    need(buf, 2)?;
+    let len = buf.get_u16_le() as usize;
+    need(buf, len)?;
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| WireError::BadString)
+}
+
+fn kind_byte(kind: IndexKind) -> u8 {
+    match kind {
+        IndexKind::RTree => 0,
+        IndexKind::GridFile => 1,
+        IndexKind::Scan => 2,
+    }
+}
+
+fn kind_from_byte(b: u8) -> Result<IndexKind, WireError> {
+    match b {
+        0 => Ok(IndexKind::RTree),
+        1 => Ok(IndexKind::GridFile),
+        2 => Ok(IndexKind::Scan),
+        other => Err(WireError::BadIndexKind(other)),
+    }
+}
+
+/// Appends a region as `u32 fragment count | fragments (4 f64 LE)`.
+pub fn put_region(buf: &mut Vec<u8>, region: &Region<2>) {
+    buf.put_u32_le(region.boxes().len() as u32);
+    for b in region.boxes() {
+        for c in b.lo().iter().chain(b.hi().iter()) {
+            buf.put_f64_le(*c);
+        }
+    }
+}
+
+/// Decodes a region written by [`put_region`], validating finiteness
+/// and buffer bounds before any allocation.
+pub fn get_region(buf: &mut &[u8]) -> Result<Region<2>, WireError> {
+    need(buf, 4)?;
+    let n = buf.get_u32_le() as usize;
+    need(buf, n.saturating_mul(32))?;
+    let mut boxes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut c = [0.0f64; 4];
+        for v in &mut c {
+            *v = buf.get_f64_le();
+            if !v.is_finite() {
+                return Err(WireError::BadCoordinate);
+            }
+        }
+        boxes.push(AaBox::new([c[0], c[1]], [c[2], c[3]]));
+    }
+    Ok(Region::from_boxes(boxes))
+}
+
+fn put_query(buf: &mut Vec<u8>, q: &CornerQuery<2>) {
+    for d in 0..2 {
+        buf.put_f64_le(q.lo_min[d]);
+        buf.put_f64_le(q.lo_max[d]);
+        buf.put_f64_le(q.hi_min[d]);
+        buf.put_f64_le(q.hi_max[d]);
+    }
+    buf.put_u8(q.is_unsatisfiable() as u8);
+}
+
+fn get_query(buf: &mut &[u8]) -> Result<CornerQuery<2>, WireError> {
+    need(buf, 8 * 8 + 1)?;
+    let mut lo_min = [0.0f64; 2];
+    let mut lo_max = [0.0f64; 2];
+    let mut hi_min = [0.0f64; 2];
+    let mut hi_max = [0.0f64; 2];
+    for d in 0..2 {
+        lo_min[d] = buf.get_f64_le();
+        lo_max[d] = buf.get_f64_le();
+        hi_min[d] = buf.get_f64_le();
+        hi_max[d] = buf.get_f64_le();
+    }
+    // Query bounds are legitimately ±∞ (unconstrained sides) but NaN
+    // would poison every comparison downstream.
+    if lo_min
+        .iter()
+        .chain(&lo_max)
+        .chain(&hi_min)
+        .chain(&hi_max)
+        .any(|c| c.is_nan())
+    {
+        return Err(WireError::BadCoordinate);
+    }
+    let unsat = buf.get_u8() & 1 != 0;
+    Ok(CornerQuery::from_parts(
+        lo_min, lo_max, hi_min, hi_max, unsat,
+    ))
+}
+
+// ── request codec ───────────────────────────────────────────────────────
+
+const OP_HELLO: u8 = 0x01;
+const OP_CREATE: u8 = 0x02;
+const OP_INSERT: u8 = 0x03;
+const OP_REMOVE: u8 = 0x04;
+const OP_UPDATE: u8 = 0x05;
+const OP_QUERY: u8 = 0x06;
+const OP_STAT: u8 = 0x07;
+const OP_COMPACT: u8 = 0x08;
+const OP_SNAP_SAVE: u8 = 0x09;
+const OP_SNAP_LOAD: u8 = 0x0A;
+const OP_CHECK: u8 = 0x0B;
+const OP_BYE: u8 = 0x0C;
+
+/// Serializes a request into a frame payload (no length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match req {
+        Request::Hello { version } => {
+            buf.put_u8(OP_HELLO);
+            buf.put_slice(WIRE_MAGIC);
+            buf.put_u16_le(*version);
+        }
+        Request::Create { name } => {
+            buf.put_u8(OP_CREATE);
+            put_string(&mut buf, name);
+        }
+        Request::Insert { coll, region } => {
+            buf.put_u8(OP_INSERT);
+            buf.put_u32_le(coll.0 as u32);
+            put_region(&mut buf, region);
+        }
+        Request::Remove { coll, local } => {
+            buf.put_u8(OP_REMOVE);
+            buf.put_u32_le(coll.0 as u32);
+            buf.put_u64_le(*local);
+        }
+        Request::Update {
+            coll,
+            local,
+            region,
+        } => {
+            buf.put_u8(OP_UPDATE);
+            buf.put_u32_le(coll.0 as u32);
+            buf.put_u64_le(*local);
+            put_region(&mut buf, region);
+        }
+        Request::Query { coll, kind, query } => {
+            buf.put_u8(OP_QUERY);
+            buf.put_u32_le(coll.0 as u32);
+            buf.put_u8(kind_byte(*kind));
+            put_query(&mut buf, query);
+        }
+        Request::Stat => buf.put_u8(OP_STAT),
+        Request::Compact => buf.put_u8(OP_COMPACT),
+        Request::SnapshotSave => buf.put_u8(OP_SNAP_SAVE),
+        Request::SnapshotLoad { stream } => {
+            buf.put_u8(OP_SNAP_LOAD);
+            buf.put_slice(stream);
+        }
+        Request::Check => buf.put_u8(OP_CHECK),
+        Request::Bye => buf.put_u8(OP_BYE),
+    }
+    buf
+}
+
+/// Decodes a request payload, consuming it exactly.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut buf = payload;
+    need(&buf, 1)?;
+    let op = buf.get_u8();
+    let req = match op {
+        OP_HELLO => {
+            need(&buf, 6)?;
+            let mut magic = [0u8; 4];
+            buf.copy_to_slice(&mut magic);
+            if &magic != WIRE_MAGIC {
+                return Err(WireError::BadMagic);
+            }
+            Request::Hello {
+                version: buf.get_u16_le(),
+            }
+        }
+        OP_CREATE => Request::Create {
+            name: get_string(&mut buf)?,
+        },
+        OP_INSERT => {
+            need(&buf, 4)?;
+            let coll = CollectionId(buf.get_u32_le() as usize);
+            Request::Insert {
+                coll,
+                region: get_region(&mut buf)?,
+            }
+        }
+        OP_REMOVE => {
+            need(&buf, 12)?;
+            Request::Remove {
+                coll: CollectionId(buf.get_u32_le() as usize),
+                local: buf.get_u64_le(),
+            }
+        }
+        OP_UPDATE => {
+            need(&buf, 12)?;
+            let coll = CollectionId(buf.get_u32_le() as usize);
+            let local = buf.get_u64_le();
+            Request::Update {
+                coll,
+                local,
+                region: get_region(&mut buf)?,
+            }
+        }
+        OP_QUERY => {
+            need(&buf, 5)?;
+            let coll = CollectionId(buf.get_u32_le() as usize);
+            let kind = kind_from_byte(buf.get_u8())?;
+            Request::Query {
+                coll,
+                kind,
+                query: get_query(&mut buf)?,
+            }
+        }
+        OP_STAT => Request::Stat,
+        OP_COMPACT => Request::Compact,
+        OP_SNAP_SAVE => Request::SnapshotSave,
+        OP_SNAP_LOAD => {
+            let stream = buf.to_vec();
+            buf = &buf[buf.len()..];
+            Request::SnapshotLoad { stream }
+        }
+        OP_CHECK => Request::Check,
+        OP_BYE => Request::Bye,
+        other => return Err(WireError::BadOpcode(other)),
+    };
+    if buf.has_remaining() {
+        return Err(WireError::TrailingData {
+            bytes: buf.remaining(),
+        });
+    }
+    Ok(req)
+}
+
+// ── response codec ──────────────────────────────────────────────────────
+
+const ST_OK: u8 = 0x00;
+const ST_ERR: u8 = 0x01;
+
+const RK_HELLO: u8 = 0x01;
+const RK_COLL: u8 = 0x02;
+const RK_SLOT: u8 = 0x03;
+const RK_FLAG: u8 = 0x04;
+const RK_IDS: u8 = 0x05;
+const RK_STAT: u8 = 0x06;
+const RK_REMAP: u8 = 0x07;
+const RK_BYTES: u8 = 0x08;
+const RK_OK: u8 = 0x09;
+const RK_PROBLEMS: u8 = 0x0A;
+
+/// Serializes a response into a frame payload (no length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match resp {
+        Response::Err(message) => {
+            buf.put_u8(ST_ERR);
+            put_string(&mut buf, message);
+            return buf;
+        }
+        _ => buf.put_u8(ST_OK),
+    }
+    match resp {
+        Response::Hello { version } => {
+            buf.put_u8(RK_HELLO);
+            buf.put_u16_le(*version);
+        }
+        Response::Coll(id) => {
+            buf.put_u8(RK_COLL);
+            buf.put_u32_le(id.0 as u32);
+        }
+        Response::Slot(local) => {
+            buf.put_u8(RK_SLOT);
+            buf.put_u64_le(*local);
+        }
+        Response::Flag(v) => {
+            buf.put_u8(RK_FLAG);
+            buf.put_u8(*v as u8);
+        }
+        Response::Ids(ids) => {
+            buf.put_u8(RK_IDS);
+            buf.put_u32_le(ids.len() as u32);
+            for id in ids {
+                buf.put_u64_le(*id);
+            }
+        }
+        Response::Stat(rows) => {
+            buf.put_u8(RK_STAT);
+            buf.put_u32_le(rows.len() as u32);
+            for (name, slots, live) in rows {
+                put_string(&mut buf, name);
+                buf.put_u64_le(*slots);
+                buf.put_u64_le(*live);
+            }
+        }
+        Response::Remap { reclaimed, remap } => {
+            buf.put_u8(RK_REMAP);
+            buf.put_u64_le(*reclaimed);
+            buf.put_u32_le(remap.len() as u32);
+            for coll in remap {
+                buf.put_u64_le(coll.len() as u64);
+                for slot in coll {
+                    // 0 = dropped, else new index + 1.
+                    buf.put_u64_le(slot.map_or(0, |i| i + 1));
+                }
+            }
+        }
+        Response::Bytes(bytes) => {
+            buf.put_u8(RK_BYTES);
+            buf.put_slice(bytes);
+        }
+        Response::Ok => buf.put_u8(RK_OK),
+        Response::Problems(problems) => {
+            buf.put_u8(RK_PROBLEMS);
+            buf.put_u32_le(problems.len() as u32);
+            for p in problems {
+                put_string(&mut buf, p);
+            }
+        }
+        Response::Err(_) => unreachable!("handled above"),
+    }
+    buf
+}
+
+/// Decodes a response payload, consuming it exactly.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut buf = payload;
+    need(&buf, 1)?;
+    match buf.get_u8() {
+        ST_ERR => {
+            let message = get_string(&mut buf)?;
+            if buf.has_remaining() {
+                return Err(WireError::TrailingData {
+                    bytes: buf.remaining(),
+                });
+            }
+            return Ok(Response::Err(message));
+        }
+        ST_OK => {}
+        other => return Err(WireError::BadStatus(other)),
+    }
+    need(&buf, 1)?;
+    let resp = match buf.get_u8() {
+        RK_HELLO => {
+            need(&buf, 2)?;
+            Response::Hello {
+                version: buf.get_u16_le(),
+            }
+        }
+        RK_COLL => {
+            need(&buf, 4)?;
+            Response::Coll(CollectionId(buf.get_u32_le() as usize))
+        }
+        RK_SLOT => {
+            need(&buf, 8)?;
+            Response::Slot(buf.get_u64_le())
+        }
+        RK_FLAG => {
+            need(&buf, 1)?;
+            Response::Flag(buf.get_u8() & 1 != 0)
+        }
+        RK_IDS => {
+            need(&buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            need(&buf, n.saturating_mul(8))?;
+            Response::Ids((0..n).map(|_| buf.get_u64_le()).collect())
+        }
+        RK_STAT => {
+            need(&buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            let mut rows = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let name = get_string(&mut buf)?;
+                need(&buf, 16)?;
+                rows.push((name, buf.get_u64_le(), buf.get_u64_le()));
+            }
+            Response::Stat(rows)
+        }
+        RK_REMAP => {
+            need(&buf, 12)?;
+            let reclaimed = buf.get_u64_le();
+            let n_coll = buf.get_u32_le() as usize;
+            let mut remap = Vec::with_capacity(n_coll.min(1024));
+            for _ in 0..n_coll {
+                need(&buf, 8)?;
+                let n_slots = buf.get_u64_le() as usize;
+                need(&buf, n_slots.saturating_mul(8))?;
+                remap.push(
+                    (0..n_slots)
+                        .map(|_| match buf.get_u64_le() {
+                            0 => None,
+                            i => Some(i - 1),
+                        })
+                        .collect(),
+                );
+            }
+            Response::Remap { reclaimed, remap }
+        }
+        RK_BYTES => {
+            let bytes = buf.to_vec();
+            buf = &buf[buf.len()..];
+            Response::Bytes(bytes)
+        }
+        RK_OK => Response::Ok,
+        RK_PROBLEMS => {
+            need(&buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            let mut problems = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                problems.push(get_string(&mut buf)?);
+            }
+            Response::Problems(problems)
+        }
+        other => return Err(WireError::BadOpcode(other)),
+    };
+    if buf.has_remaining() {
+        return Err(WireError::TrailingData {
+            bytes: buf.remaining(),
+        });
+    }
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scq_bbox::Bbox;
+
+    fn sample_requests() -> Vec<Request> {
+        let region = Region::from_boxes([
+            AaBox::new([1.0, 2.0], [3.0, 4.0]),
+            AaBox::new([7.0, 7.0], [9.0, 8.0]),
+        ]);
+        vec![
+            Request::Hello {
+                version: WIRE_VERSION,
+            },
+            Request::Create {
+                name: "towns".into(),
+            },
+            Request::Insert {
+                coll: CollectionId(3),
+                region: region.clone(),
+            },
+            Request::Insert {
+                coll: CollectionId(0),
+                region: Region::empty(),
+            },
+            Request::Remove {
+                coll: CollectionId(1),
+                local: 42,
+            },
+            Request::Update {
+                coll: CollectionId(2),
+                local: 7,
+                region,
+            },
+            Request::Query {
+                coll: CollectionId(0),
+                kind: IndexKind::GridFile,
+                query: CornerQuery::unconstrained()
+                    .and_overlaps(&Bbox::new([1.0, 1.0], [5.0, 5.0]))
+                    .and_contains(&Bbox::new([2.0, 2.0], [3.0, 3.0])),
+            },
+            Request::Query {
+                coll: CollectionId(0),
+                kind: IndexKind::Scan,
+                query: CornerQuery::unsatisfiable(),
+            },
+            Request::Stat,
+            Request::Compact,
+            Request::SnapshotSave,
+            Request::SnapshotLoad {
+                stream: vec![1, 2, 3, 4, 5],
+            },
+            Request::Check,
+            Request::Bye,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Hello {
+                version: WIRE_VERSION,
+            },
+            Response::Coll(CollectionId(5)),
+            Response::Slot(99),
+            Response::Flag(true),
+            Response::Flag(false),
+            Response::Ids(vec![0, 3, 17, u64::MAX - 1]),
+            Response::Ids(vec![]),
+            Response::Stat(vec![("towns".into(), 10, 8), ("roads".into(), 0, 0)]),
+            Response::Remap {
+                reclaimed: 3,
+                remap: vec![vec![Some(0), None, Some(1)], vec![]],
+            },
+            Response::Bytes(vec![9, 8, 7]),
+            Response::Ok,
+            Response::Problems(vec!["shard desync".into()]),
+            Response::Problems(vec![]),
+            Response::Err("no such collection".into()),
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in sample_requests() {
+            let payload = encode_request(&req);
+            assert_eq!(decode_request(&payload).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in sample_responses() {
+            let payload = encode_response(&resp);
+            assert_eq!(decode_response(&payload).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_query_round_trips_as_unsatisfiable() {
+        let payload = encode_request(&Request::Query {
+            coll: CollectionId(0),
+            kind: IndexKind::RTree,
+            query: CornerQuery::unsatisfiable(),
+        });
+        match decode_request(&payload).unwrap() {
+            Request::Query { query, .. } => assert!(query.is_unsatisfiable()),
+            other => panic!("wrong request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_error_never_panic() {
+        for req in sample_requests() {
+            let payload = encode_request(&req);
+            for cut in 0..payload.len() {
+                // SnapshotLoad's body is raw bytes: every prefix that
+                // still carries the opcode is a (shorter) valid message.
+                if payload[0] == OP_SNAP_LOAD && cut >= 1 {
+                    assert!(decode_request(&payload[..cut]).is_ok());
+                } else {
+                    assert!(
+                        decode_request(&payload[..cut]).is_err(),
+                        "{req:?} prefix {cut} accepted"
+                    );
+                }
+            }
+        }
+        for resp in sample_responses() {
+            let payload = encode_response(&resp);
+            for cut in 0..payload.len() {
+                if payload.len() >= 2 && payload[1] == RK_BYTES && cut >= 2 {
+                    assert!(decode_response(&payload[..cut]).is_ok());
+                } else {
+                    assert!(
+                        decode_response(&payload[..cut]).is_err(),
+                        "{resp:?} prefix {cut} accepted"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = encode_request(&Request::Stat);
+        payload.push(0);
+        assert_eq!(
+            decode_request(&payload).err(),
+            Some(WireError::TrailingData { bytes: 1 })
+        );
+        let mut payload = encode_response(&Response::Slot(3));
+        payload.extend_from_slice(&[0, 0]);
+        assert_eq!(
+            decode_response(&payload).err(),
+            Some(WireError::TrailingData { bytes: 2 })
+        );
+    }
+
+    #[test]
+    fn unknown_opcodes_and_kinds_are_named_errors() {
+        assert_eq!(
+            decode_request(&[0xEE]).err(),
+            Some(WireError::BadOpcode(0xEE))
+        );
+        assert_eq!(
+            decode_response(&[0x07]).err(),
+            Some(WireError::BadStatus(0x07))
+        );
+        // query with a bogus index kind byte
+        let mut payload = encode_request(&Request::Query {
+            coll: CollectionId(0),
+            kind: IndexKind::Scan,
+            query: CornerQuery::unconstrained(),
+        });
+        payload[5] = 9;
+        assert_eq!(
+            decode_request(&payload).err(),
+            Some(WireError::BadIndexKind(9))
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_nan_coordinates_are_rejected() {
+        let mut payload = encode_request(&Request::Hello {
+            version: WIRE_VERSION,
+        });
+        payload[1] = b'X';
+        assert_eq!(decode_request(&payload).err(), Some(WireError::BadMagic));
+        // NaN in a query bound
+        let mut payload = encode_request(&Request::Query {
+            coll: CollectionId(0),
+            kind: IndexKind::RTree,
+            query: CornerQuery::unconstrained(),
+        });
+        let nan_at = payload.len() - 1 - 8; // last f64 before the unsat byte
+        payload[nan_at..nan_at + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(
+            decode_request(&payload).err(),
+            Some(WireError::BadCoordinate)
+        );
+        // infinite region fragment coordinate
+        let mut payload = encode_request(&Request::Insert {
+            coll: CollectionId(0),
+            region: Region::from_box(AaBox::new([0.0, 0.0], [1.0, 1.0])),
+        });
+        let frag_at = payload.len() - 32;
+        payload[frag_at..frag_at + 8].copy_from_slice(&f64::INFINITY.to_le_bytes());
+        assert_eq!(
+            decode_request(&payload).err(),
+            Some(WireError::BadCoordinate)
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocating() {
+        let mut fr = FrameReader::new();
+        fr.push(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            fr.next_frame().err(),
+            Some(WireError::Oversized { .. })
+        ));
+        let huge = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        let mut r: &[u8] = &huge;
+        assert!(matches!(
+            read_frame(&mut r).err(),
+            Some(WireError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_reader_assembles_across_arbitrary_chunking() {
+        let a = frame(&encode_request(&Request::Stat)).unwrap();
+        let b = frame(&encode_request(&Request::Create {
+            name: "roads".into(),
+        }))
+        .unwrap();
+        let mut stream: Vec<u8> = a.clone();
+        stream.extend_from_slice(&b);
+        for chunk in [1usize, 2, 3, 5, stream.len()] {
+            let mut fr = FrameReader::new();
+            let mut frames = Vec::new();
+            for piece in stream.chunks(chunk) {
+                fr.push(piece);
+                while let Some(f) = fr.next_frame().unwrap() {
+                    frames.push(f);
+                }
+            }
+            assert_eq!(frames.len(), 2, "chunk size {chunk}");
+            assert_eq!(decode_request(&frames[0]).unwrap(), Request::Stat);
+            assert!(!fr.mid_frame());
+        }
+    }
+
+    #[test]
+    fn read_frame_distinguishes_clean_close_from_truncation() {
+        let payload = encode_request(&Request::Stat);
+        let framed = frame(&payload).unwrap();
+        let mut r: &[u8] = &framed;
+        assert_eq!(read_frame(&mut r).unwrap(), Some(payload));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean close");
+        let mut cut: &[u8] = &framed[..framed.len() - 1];
+        assert_eq!(read_frame(&mut cut).err(), Some(WireError::Truncated));
+        let mut header_only: &[u8] = &framed[..2];
+        assert_eq!(
+            read_frame(&mut header_only).err(),
+            Some(WireError::Truncated)
+        );
+    }
+}

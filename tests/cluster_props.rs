@@ -1,0 +1,406 @@
+//! Property tests for the multi-process shard cluster.
+//!
+//! The distribution claim of `crates/shard`'s backend layer: a
+//! `ShardedDatabase<RemoteShard>` — N shard servers speaking the
+//! length-prefixed wire protocol over real TCP sockets, one router
+//! keeping only routing state and a region mirror — fed an
+//! **arbitrary** mutation sequence answers every corner query and
+//! every constraint query exactly like an unsharded [`SpatialDatabase`]
+//! fed the same sequence. This is `tests/shard_props.rs` with the
+//! shards moved behind sockets: same op generator, same oracle, plus
+//! cross-process migration, snapshot round trips pulled over the wire,
+//! and an in-place cluster restore.
+//!
+//! The shard servers here run as threads of the test process bound to
+//! ephemeral loopback ports — every byte still crosses a real TCP
+//! socket through the real wire codec, which is the property under
+//! test; the CI `cluster-smoke` job exercises the identical stack with
+//! shards as separate OS processes.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use scq_engine::CollectionId;
+use scq_integration::prelude::*;
+use scq_shard::{
+    execute, execute_fanout, ClusterSpec, RemoteShard, ShardServerConfig, ShardServerHandle,
+};
+
+const UNIVERSE_SIZE: f64 = 100.0;
+
+/// A live cluster: shard server threads plus the connected router-side
+/// database. Shuts the servers down on drop so proptest failures never
+/// leak listeners.
+struct Cluster {
+    servers: Vec<ShardServerHandle>,
+    db: Option<ShardedDatabase<RemoteShard>>,
+}
+
+impl Cluster {
+    fn boot(n_shards: usize) -> Cluster {
+        let servers: Vec<ShardServerHandle> = (0..n_shards)
+            .map(|_| {
+                scq_shard::serve_shard(&ShardServerConfig {
+                    addr: "127.0.0.1:0".into(),
+                    threads: 1,
+                    universe_size: UNIVERSE_SIZE,
+                })
+                .expect("bind shard server")
+            })
+            .collect();
+        let universe = AaBox::new([0.0, 0.0], [UNIVERSE_SIZE, UNIVERSE_SIZE]);
+        let addrs: Vec<String> = servers.iter().map(|s| s.addr().to_string()).collect();
+        let spec = ClusterSpec::balanced(universe, scq_shard::DEFAULT_ROUTER_BITS, &addrs);
+        let db = spec
+            .connect(Duration::from_secs(10))
+            .expect("connect cluster");
+        Cluster {
+            servers,
+            db: Some(db),
+        }
+    }
+
+    fn db(&mut self) -> &mut ShardedDatabase<RemoteShard> {
+        self.db.as_mut().expect("cluster is up")
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.db.take();
+        for server in self.servers.drain(..) {
+            server.shutdown();
+        }
+    }
+}
+
+/// One scripted mutation (slot choices reduced modulo the slot count at
+/// application time, exactly like `tests/shard_props.rs`).
+#[derive(Clone, Debug)]
+enum Op {
+    Insert {
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+    },
+    InsertEmpty,
+    Remove {
+        slot: u16,
+    },
+    Update {
+        slot: u16,
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+    },
+    UpdateToEmpty {
+        slot: u16,
+    },
+}
+
+fn op_strategy() -> BoxedStrategy<Op> {
+    let coords = (0.0f64..90.0, 0.0f64..90.0, 0.0f64..9.0, 0.0f64..9.0);
+    prop_oneof![
+        4 => coords.clone().prop_map(|(x, y, w, h)| Op::Insert { x, y, w, h }),
+        1 => Just(Op::InsertEmpty),
+        3 => (0u16..u16::MAX).prop_map(|slot| Op::Remove { slot }),
+        // Updates include long moves, so cross-process migration is
+        // hit constantly.
+        2 => (0u16..u16::MAX, coords)
+            .prop_map(|(slot, (x, y, w, h))| Op::Update { slot, x, y, w, h }),
+        1 => (0u16..u16::MAX).prop_map(|slot| Op::UpdateToEmpty { slot }),
+    ]
+    .boxed()
+}
+
+/// Applies one op to both stores; their slot spaces stay in lockstep.
+fn apply_both(
+    cluster: &mut ShardedDatabase<RemoteShard>,
+    plain: &mut SpatialDatabase<2>,
+    coll: CollectionId,
+    op: &Op,
+) {
+    let slots = plain.collection_len(coll);
+    assert_eq!(
+        slots,
+        cluster.collection_len(coll),
+        "slot spaces in lockstep"
+    );
+    let obj = |slot: u16| ObjectRef {
+        collection: coll,
+        index: slot as usize % slots,
+    };
+    match *op {
+        Op::Insert { x, y, w, h } => {
+            let r = Region::from_box(AaBox::new([x, y], [x + w, y + h]));
+            let a = cluster.try_insert(coll, r.clone()).expect("remote insert");
+            let b = plain.insert(coll, r);
+            assert_eq!(a, b, "global refs line up");
+        }
+        Op::InsertEmpty => {
+            let a = cluster
+                .try_insert(coll, Region::empty())
+                .expect("remote insert");
+            let b = plain.insert(coll, Region::empty());
+            assert_eq!(a, b);
+        }
+        Op::Remove { slot } if slots > 0 => {
+            assert_eq!(
+                cluster.try_remove(obj(slot)).expect("remote remove"),
+                plain.remove(obj(slot))
+            );
+        }
+        Op::Update { slot, x, y, w, h } if slots > 0 => {
+            let r = Region::from_box(AaBox::new([x, y], [x + w, y + h]));
+            assert_eq!(
+                cluster
+                    .try_update(obj(slot), r.clone())
+                    .expect("remote update"),
+                plain.update(obj(slot), r)
+            );
+        }
+        Op::UpdateToEmpty { slot } if slots > 0 => {
+            assert_eq!(
+                cluster
+                    .try_update(obj(slot), Region::empty())
+                    .expect("remote update"),
+                plain.update(obj(slot), Region::empty())
+            );
+        }
+        _ => {} // slot ops on an empty collection: no-op
+    }
+}
+
+fn corner_queries() -> Vec<CornerQuery<2>> {
+    let mut qs = vec![CornerQuery::unconstrained()];
+    for i in 0..4 {
+        let t = i as f64 * 17.0;
+        let probe = Bbox::new([t, t * 0.5], [t + 25.0, t * 0.5 + 30.0]);
+        let inner = Bbox::new([t + 8.0, t * 0.5 + 8.0], [t + 12.0, t * 0.5 + 12.0]);
+        qs.push(CornerQuery::unconstrained().and_overlaps(&probe));
+        qs.push(CornerQuery::unconstrained().and_contained_in(&probe));
+        qs.push(CornerQuery::unconstrained().and_contains(&inner));
+    }
+    qs
+}
+
+/// A migration whose target shard process is dead must fail WITHOUT
+/// losing the object: the insert-into-new-shard step runs first, so a
+/// transport failure leaves the object live, queryable and consistent
+/// on its old shard.
+#[test]
+fn failed_migration_keeps_the_object_intact() {
+    let config = ShardServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 1,
+        universe_size: UNIVERSE_SIZE,
+    };
+    let shard_a = scq_shard::serve_shard(&config).unwrap();
+    let shard_b = scq_shard::serve_shard(&config).unwrap();
+    let universe = AaBox::new([0.0, 0.0], [UNIVERSE_SIZE, UNIVERSE_SIZE]);
+    let spec = ClusterSpec::balanced(
+        universe,
+        scq_shard::DEFAULT_ROUTER_BITS,
+        &[shard_a.addr().to_string(), shard_b.addr().to_string()],
+    );
+    let mut db = spec.connect(Duration::from_secs(10)).unwrap();
+    let coll = db.try_collection("objs").unwrap();
+    let obj = db
+        .try_insert(
+            coll,
+            Region::from_box(AaBox::new([10.0, 10.0], [15.0, 15.0])),
+        )
+        .unwrap();
+    assert_eq!(db.shard_of(obj), 0, "low corner routes to shard 0");
+    let before = db.region(obj).clone();
+
+    // Kill the migration target, then try to move the object there.
+    shard_b.shutdown();
+    let err = db
+        .try_update(
+            obj,
+            Region::from_box(AaBox::new([90.0, 90.0], [95.0, 95.0])),
+        )
+        .expect_err("migrating onto a dead shard process must fail");
+    assert!(matches!(err, scq_shard::ShardError::Wire(_)), "{err}");
+
+    // Nothing was lost: still live, still on shard 0, same region,
+    // still answered by a query the router routes to shard 0 only.
+    assert!(db.is_live(obj));
+    assert_eq!(db.shard_of(obj), 0);
+    assert!(db.region(obj).same_set(&before));
+    let q = CornerQuery::unconstrained().and_contained_in(&Bbox::new([0.0, 0.0], [30.0, 30.0]));
+    let mut out = Vec::new();
+    db.query_collection(coll, IndexKind::RTree, &q, &mut out);
+    assert_eq!(out, vec![obj.index as u64]);
+    shard_a.shutdown();
+}
+
+proptest! {
+    // Each case boots real listeners, so run fewer, longer cases than
+    // the in-process suite.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// After any mutation sequence — including cross-process migration
+    /// on update — a cluster of shard processes answers every corner
+    /// query identically to the unsharded store, on all three index
+    /// structures, and passes the full integrity check (which
+    /// cross-examines every shard process over the wire).
+    #[test]
+    fn cluster_corner_queries_match_unsharded(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+        n_shards in 2usize..5,
+    ) {
+        let mut cluster = Cluster::boot(n_shards);
+        let universe = AaBox::new([0.0, 0.0], [UNIVERSE_SIZE, UNIVERSE_SIZE]);
+        let mut plain = SpatialDatabase::new(universe);
+        let coll = cluster.db().try_collection("objs").expect("create");
+        prop_assert_eq!(plain.collection("objs"), coll);
+        for op in &ops {
+            apply_both(cluster.db(), &mut plain, coll, op);
+        }
+        cluster.db().check().expect("cluster is consistent");
+        scq_engine::integrity::check(&plain).expect("plain store is consistent");
+        prop_assert_eq!(cluster.db().live_len(coll), plain.live_len(coll));
+
+        for q in corner_queries() {
+            for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+                let mut a = Vec::new();
+                cluster.db().query_collection(coll, kind, &q, &mut a);
+                a.sort_unstable();
+                let mut b = Vec::new();
+                plain.query_collection(coll, kind, &q, &mut b);
+                b.sort_unstable();
+                prop_assert_eq!(a, b, "{:?} diverged between cluster and plain", kind);
+            }
+        }
+    }
+
+    /// Constraint queries agree too — the engine executors over the
+    /// remote-backed view and the per-shard fan-out — and the snapshot
+    /// paths hold: a snapshot pulled over the wire loads as an
+    /// identical local store, and reloading it back **into the same
+    /// cluster** (each shard process swallowing its stream) preserves
+    /// every answer.
+    #[test]
+    fn cluster_executors_and_snapshots_match_unsharded(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        n_shards in 2usize..4,
+        seed in 0u64..200,
+    ) {
+        let mut cluster = Cluster::boot(n_shards);
+        let universe = AaBox::new([0.0, 0.0], [UNIVERSE_SIZE, UNIVERSE_SIZE]);
+        let mut plain = SpatialDatabase::new(universe);
+        let xs = cluster.db().try_collection("xs").expect("create");
+        let ys = cluster.db().try_collection("ys").expect("create");
+        prop_assert_eq!(plain.collection("xs"), xs);
+        prop_assert_eq!(plain.collection("ys"), ys);
+        for i in 0..8 {
+            let t = (i as f64 * 11.0 + seed as f64) % 78.0;
+            let rx = Region::from_box(AaBox::new([t, 2.0], [t + 11.0, 48.0]));
+            let ry = Region::from_box(AaBox::new([t + 3.0, 12.0], [t + 8.0, 38.0]));
+            cluster.db().try_insert(xs, rx.clone()).expect("insert");
+            plain.insert(xs, rx);
+            cluster.db().try_insert(ys, ry.clone()).expect("insert");
+            plain.insert(ys, ry);
+        }
+        for op in &ops {
+            apply_both(cluster.db(), &mut plain, xs, op);
+        }
+
+        let sys = parse_system("X & Y != 0; X <= W").unwrap();
+        let q = Query::new(sys)
+            .known("W", Region::from_box(AaBox::new([0.0, 0.0], [55.0, 55.0])))
+            .from_collection("X", xs)
+            .from_collection("Y", ys);
+
+        let mut oracle = naive_execute(&plain, &q).unwrap().solutions;
+        oracle.sort();
+        for kind in [IndexKind::RTree, IndexKind::Scan] {
+            let mut got = execute(cluster.db(), &q, kind, scq_engine::ExecOptions::all())
+                .unwrap()
+                .solutions;
+            got.sort();
+            prop_assert_eq!(&got, &oracle, "cluster {:?} diverged from naive", kind);
+        }
+        let mut fanned = execute_fanout(
+            cluster.db(),
+            &q,
+            IndexKind::RTree,
+            scq_engine::ExecOptions::all(),
+        )
+        .unwrap()
+        .solutions;
+        fanned.sort();
+        prop_assert_eq!(&fanned, &oracle, "fan-out over shard processes diverged");
+
+        // Snapshot pulled over the wire → identical local store.
+        let dir = std::env::temp_dir().join(format!(
+            "scq_cluster_props_{}_{}",
+            std::process::id(),
+            seed
+        ));
+        scq_shard::save_to_dir(cluster.db(), &dir).expect("save cluster snapshot");
+        let local = scq_shard::load_from_dir(&dir).expect("load locally");
+        local.check().expect("local reload is consistent");
+        let mut local_ans = execute(&local, &q, IndexKind::GridFile, scq_engine::ExecOptions::all())
+            .unwrap()
+            .solutions;
+        local_ans.sort();
+        prop_assert_eq!(&local_ans, &oracle, "answers changed across the wire snapshot");
+
+        // In-place cluster restore: every shard process reloads its own
+        // stream, the router rebuilds the mapping, answers survive.
+        scq_shard::reload_from_dir(cluster.db(), &dir).expect("reload cluster in place");
+        std::fs::remove_dir_all(&dir).ok();
+        cluster.db().check().expect("cluster consistent after reload");
+        let mut after = execute(cluster.db(), &q, IndexKind::RTree, scq_engine::ExecOptions::all())
+            .unwrap()
+            .solutions;
+        after.sort();
+        prop_assert_eq!(&after, &oracle, "answers changed across the cluster restore");
+    }
+
+    /// Cluster compaction — every shard process compacts, remaps cross
+    /// the wire, the router repairs its mapping — preserves the live
+    /// contents modulo the remap.
+    #[test]
+    fn cluster_compaction_preserves_answers(
+        ops in prop::collection::vec(op_strategy(), 1..50),
+    ) {
+        let mut cluster = Cluster::boot(3);
+        let universe = AaBox::new([0.0, 0.0], [UNIVERSE_SIZE, UNIVERSE_SIZE]);
+        let mut plain = SpatialDatabase::new(universe);
+        let coll = cluster.db().try_collection("objs").expect("create");
+        plain.collection("objs");
+        for op in &ops {
+            apply_both(cluster.db(), &mut plain, coll, op);
+        }
+        let report = cluster.db().try_compact().expect("remote compact");
+        cluster.db().check().expect("consistent after compaction");
+        prop_assert_eq!(
+            cluster.db().collection_len(coll),
+            cluster.db().live_len(coll)
+        );
+        for q in corner_queries() {
+            let mut before = Vec::new();
+            plain.query_collection(coll, IndexKind::RTree, &q, &mut before);
+            let mut before: Vec<u64> = before
+                .into_iter()
+                .map(|id| {
+                    report
+                        .fix_up(ObjectRef { collection: coll, index: id as usize })
+                        .expect("query results are live, hence remapped")
+                        .index as u64
+                })
+                .collect();
+            before.sort_unstable();
+            let mut after = Vec::new();
+            cluster.db().query_collection(coll, IndexKind::RTree, &q, &mut after);
+            after.sort_unstable();
+            prop_assert_eq!(before, after, "compaction changed an answer");
+        }
+    }
+}

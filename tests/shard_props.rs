@@ -210,7 +210,7 @@ proptest! {
         // per-shard snapshot round trip preserves the answers
         let manifest = scq_shard::snapshot::save_manifest(&sharded);
         let payloads: Vec<_> = (0..sharded.n_shards())
-            .map(|s| scq_shard::snapshot::save_shard(&sharded, s))
+            .map(|s| scq_shard::snapshot::save_shard(&sharded, s).unwrap())
             .collect();
         let reloaded = scq_shard::snapshot::load(&manifest, &payloads).unwrap();
         reloaded.check().expect("reloaded sharded store is consistent");
