@@ -227,6 +227,11 @@ pub fn parse_bench_json(text: &str) -> Result<Vec<BenchRow>, String> {
 /// * count rows (no `_ms` suffix, e.g. shards pruned) regress when the
 ///   current value drops below the baseline — pruning counts must
 ///   never silently decay.
+/// * **ceiling** count rows — names ending in `_retries` or
+///   `_shards_unavailable` — regress when the current value *exceeds*
+///   the baseline: these are failure counters held at 0 on the happy
+///   path, so any growth means connections flapped or shards vanished
+///   during the bench run.
 /// * a baseline row missing from the current artifact is a regression
 ///   (a deleted bench would otherwise vanish from the gate unnoticed);
 ///   new rows in the current artifact are fine.
@@ -248,6 +253,7 @@ pub fn gate_benches(
             ));
             continue;
         };
+        let is_ceiling = name.ends_with("_retries") || name.ends_with("_shards_unavailable");
         if name.ends_with("_ms") {
             let limit = base * factor;
             if *cur > limit && cur - base > NOISE_FLOOR_MS {
@@ -257,7 +263,12 @@ pub fn gate_benches(
             } else {
                 report.push(format!("{name}: {cur:.4} ms (baseline {base:.4} ms) ok"));
             }
-        } else if cur < base {
+        } else if is_ceiling && cur > base {
+            violations.push(format!(
+                "{name}: {cur} exceeds the baseline {base} (a failure counter must stay at its \
+                 happy-path value)"
+            ));
+        } else if !is_ceiling && cur < base {
             violations.push(format!(
                 "{name}: {cur} fell below the baseline {base} (a pruning/count row must not decay)"
             ));
@@ -321,5 +332,19 @@ mod gate_tests {
         let missing = rows(&[("solve_ms", 1.0)]);
         let err = gate_benches(&base, &missing, 10.0).unwrap_err();
         assert!(err[0].contains("missing"), "{err:?}");
+    }
+
+    #[test]
+    fn failure_counter_rows_gate_on_a_ceiling() {
+        let base = rows(&[("q_retries", 0.0), ("q_shards_unavailable", 0.0)]);
+        assert!(
+            gate_benches(&base, &base, 10.0).is_ok(),
+            "zero matches zero"
+        );
+        let flapping = rows(&[("q_retries", 2.0), ("q_shards_unavailable", 0.0)]);
+        let err = gate_benches(&base, &flapping, 10.0).unwrap_err();
+        assert!(err[0].contains("failure counter"), "{err:?}");
+        let degraded = rows(&[("q_retries", 0.0), ("q_shards_unavailable", 1.0)]);
+        assert!(gate_benches(&base, &degraded, 10.0).is_err());
     }
 }

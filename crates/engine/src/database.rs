@@ -415,9 +415,10 @@ impl<const K: usize> StoreView<K> for SpatialDatabase<K> {
         kind: IndexKind,
         q: &CornerQuery<K>,
         out: &mut Vec<u64>,
-    ) -> usize {
+    ) -> crate::view::ProbeReport {
         SpatialDatabase::query_collection(self, coll, kind, q, out);
-        0 // one store, nothing to prune
+        // one store, in this process: nothing pruned, nothing missing
+        crate::view::ProbeReport::default()
     }
 
     fn empty_objects(&self, coll: CollectionId) -> &[usize] {

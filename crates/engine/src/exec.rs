@@ -51,6 +51,74 @@ use crate::view::StoreView;
 /// One solution: an object per unknown variable.
 pub type Solution = BTreeMap<Var, ObjectRef>;
 
+/// Whether a query's answer set is known to be complete.
+///
+/// A store whose shards live in other processes can lose a shard
+/// mid-query. The executors do not abort: they keep searching over the
+/// candidates that did arrive and report the degradation here, so a
+/// caller can distinguish "no matches" (`Complete`, empty solutions)
+/// from "shard 3 was down" (`Partial`). A single-store execution is
+/// always `Complete`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// Every probed shard answered: the solution set is exact.
+    #[default]
+    Complete,
+    /// At least one shard was unavailable: the solutions are a correct
+    /// **subset** of the true answer (everything returned is a real
+    /// solution; solutions involving the missing shards' objects may be
+    /// absent).
+    Partial {
+        /// The shards that failed to answer, ascending, deduplicated.
+        missing_shards: Vec<usize>,
+    },
+}
+
+impl QueryOutcome {
+    /// Builds an outcome from the union of missing shards seen during
+    /// an execution (sorted and deduplicated here).
+    pub fn from_missing(mut missing: Vec<usize>) -> QueryOutcome {
+        if missing.is_empty() {
+            return QueryOutcome::Complete;
+        }
+        missing.sort_unstable();
+        missing.dedup();
+        QueryOutcome::Partial {
+            missing_shards: missing,
+        }
+    }
+
+    /// Whether the answer set may be missing solutions.
+    pub fn is_partial(&self) -> bool {
+        matches!(self, QueryOutcome::Partial { .. })
+    }
+
+    /// The missing shards (empty when complete).
+    pub fn missing_shards(&self) -> &[usize] {
+        match self {
+            QueryOutcome::Complete => &[],
+            QueryOutcome::Partial { missing_shards } => missing_shards,
+        }
+    }
+
+    /// Unions another outcome into this one (cross-shard / cross-worker
+    /// merges).
+    pub fn merge(&mut self, other: &QueryOutcome) {
+        if other.is_partial() {
+            let mut missing = std::mem::take(self).into_missing();
+            missing.extend_from_slice(other.missing_shards());
+            *self = QueryOutcome::from_missing(missing);
+        }
+    }
+
+    fn into_missing(self) -> Vec<usize> {
+        match self {
+            QueryOutcome::Complete => Vec::new(),
+            QueryOutcome::Partial { missing_shards } => missing_shards,
+        }
+    }
+}
+
 /// Result of executing a query.
 #[derive(Clone, Debug)]
 pub struct QueryResult {
@@ -58,6 +126,9 @@ pub struct QueryResult {
     pub solutions: Vec<Solution>,
     /// Work counters.
     pub stats: ExecStats,
+    /// Whether the solution set is exact or degraded by unavailable
+    /// shards.
+    pub outcome: QueryOutcome,
 }
 
 /// Errors surfaced by the executors.
@@ -174,6 +245,25 @@ pub(crate) fn level_bufs(n: usize) -> Vec<LevelBuf> {
         .collect()
 }
 
+/// Folds one probe's [`ProbeReport`] into the running stats and the
+/// execution's union of missing shards. The single aggregation point
+/// for availability accounting — the sequential and parallel executors
+/// both go through it.
+pub(crate) fn note_probe(
+    report: crate::view::ProbeReport,
+    stats: &mut ExecStats,
+    missing: &mut Vec<usize>,
+) {
+    stats.shards_pruned += report.shards_pruned;
+    stats.retries += report.retries;
+    stats.shards_unavailable += report.missing_shards.len();
+    for s in report.missing_shards {
+        if !missing.contains(&s) {
+            missing.push(s);
+        }
+    }
+}
+
 /// Fills `buf.candidates` for one retrieval level and returns the
 /// level's corner query (reused as the bbox prefilter).
 ///
@@ -185,6 +275,11 @@ pub(crate) fn level_bufs(n: usize) -> Vec<LevelBuf> {
 /// tombstones are counted in [`ExecStats::tombstones_skipped`]. Either
 /// way the buffers are recycled — no allocation once the pool has
 /// warmed up.
+///
+/// A shard that fails to answer the probe costs its candidates, not the
+/// query: the failure is recorded (`stats.shards_unavailable`,
+/// `missing`) and the search continues over what arrived.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn gather_candidates<const K: usize, V: StoreView<K>>(
     db: &V,
     coll: CollectionId,
@@ -193,6 +288,7 @@ pub(crate) fn gather_candidates<const K: usize, V: StoreView<K>>(
     boxes: &[Bbox<K>],
     buf: &mut LevelBuf,
     stats: &mut ExecStats,
+    missing: &mut Vec<usize>,
 ) -> CornerQuery<K> {
     let lookup = |i: usize| boxes.get(i).copied().unwrap_or(Bbox::Empty);
     let q = row.corner_query(lookup);
@@ -201,7 +297,8 @@ pub(crate) fn gather_candidates<const K: usize, V: StoreView<K>>(
     match kind {
         Some(k) => {
             if !q.is_unsatisfiable() {
-                stats.shards_pruned += db.query_collection(coll, k, &q, &mut buf.ids);
+                let report = db.query_collection(coll, k, &q, &mut buf.ids);
+                note_probe(report, stats, missing);
             }
             buf.candidates.extend(buf.ids.iter().map(|&id| id as usize));
             buf.candidates.extend_from_slice(db.empty_objects(coll));
@@ -311,6 +408,8 @@ struct Ctx<'e, const K: usize, V: StoreView<K>> {
     stats: ExecStats,
     solutions: Vec<Solution>,
     options: ExecOptions,
+    /// Union of shards that failed to answer a probe (degraded read).
+    missing: Vec<usize>,
 }
 
 impl<const K: usize, V: StoreView<K>> Ctx<'_, K, V> {
@@ -348,12 +447,14 @@ pub fn naive_execute_opts<const K: usize, V: StoreView<K>>(
         stats: ExecStats::default(),
         solutions: Vec::new(),
         options,
+        missing: Vec::new(),
     };
     let mut tuple = BTreeMap::new();
     naive_rec(&mut ctx, query, 0, &mut assign, &mut tuple)?;
     Ok(QueryResult {
         solutions: ctx.solutions,
         stats: ctx.stats,
+        outcome: QueryOutcome::from_missing(ctx.missing),
     })
 }
 
@@ -464,6 +565,7 @@ fn run_optimized<const K: usize, V: StoreView<K>>(
     let empty = |stats: ExecStats| QueryResult {
         solutions: Vec::new(),
         stats,
+        outcome: QueryOutcome::Complete,
     };
     if !plan.satisfiable {
         return Ok(empty(stats));
@@ -480,6 +582,7 @@ fn run_optimized<const K: usize, V: StoreView<K>>(
         stats,
         solutions: Vec::new(),
         options,
+        missing: Vec::new(),
     };
     let mut tuple = BTreeMap::new();
     let mut bufs = level_bufs(ctx.unknowns.len());
@@ -496,6 +599,7 @@ fn run_optimized<const K: usize, V: StoreView<K>>(
     Ok(QueryResult {
         solutions: ctx.solutions,
         stats: ctx.stats,
+        outcome: QueryOutcome::from_missing(ctx.missing),
     })
 }
 
@@ -518,7 +622,16 @@ fn opt_rec<'e, const K: usize, V: StoreView<K>>(
     let (var, coll) = ctx.unknowns[level];
     let row = plan.row_for(var).expect("plan has a row per variable");
     let (buf, rest) = bufs.split_first_mut().expect("buffer per level");
-    let q = gather_candidates(ctx.db, coll, kind, row, boxes, buf, &mut ctx.stats);
+    let q = gather_candidates(
+        ctx.db,
+        coll,
+        kind,
+        row,
+        boxes,
+        buf,
+        &mut ctx.stats,
+        &mut ctx.missing,
+    );
     ctx.stats.index_candidates += buf.candidates.len();
 
     for &index in &buf.candidates {

@@ -36,7 +36,7 @@ use scq_region::{Region, RegionAlgebra};
 use crate::database::{CollectionId, ObjectRef};
 use crate::exec::{
     bind_knowns, gather_candidates, level_bufs, prepare, try_candidate, ExecError, ExecOptions,
-    LevelBuf, QueryResult, Solution,
+    LevelBuf, QueryOutcome, QueryResult, Solution,
 };
 use crate::query::{IndexKind, Query};
 use crate::stats::ExecStats;
@@ -194,9 +194,11 @@ pub fn bbox_execute_parallel<const K: usize, V: StoreView<K> + Sync>(
     let plan: BboxPlan<K> = BboxPlan::compile(&tri);
     let alg = db.algebra();
     let mut stats = ExecStats::default();
+    let mut missing: Vec<usize> = Vec::new();
     let empty = |stats: ExecStats| QueryResult {
         solutions: Vec::new(),
         stats,
+        outcome: QueryOutcome::Complete,
     };
     if !plan.satisfiable || options.max_solutions == Some(0) {
         return Ok(empty(stats));
@@ -223,6 +225,7 @@ pub fn bbox_execute_parallel<const K: usize, V: StoreView<K> + Sync>(
         &base_boxes,
         &mut seed_buf[0],
         &mut stats,
+        &mut missing,
     );
     stats.index_candidates += seed_buf[0].candidates.len();
 
@@ -255,10 +258,12 @@ pub fn bbox_execute_parallel<const K: usize, V: StoreView<K> + Sync>(
     });
 
     let mut merged = empty(stats);
+    merged.outcome = QueryOutcome::from_missing(missing);
     for r in results {
         let r = r?;
         merged.stats.merge(&r.stats);
         merged.solutions.extend(r.solutions);
+        merged.outcome.merge(&r.outcome);
     }
     if let Some(max) = options.max_solutions {
         merged.solutions.truncate(max);
@@ -277,7 +282,9 @@ fn worker<'e, const K: usize, V: StoreView<K>>(
     let mut local = QueryResult {
         solutions: Vec::new(),
         stats: ExecStats::default(),
+        outcome: QueryOutcome::Complete,
     };
+    let mut missing: Vec<usize> = Vec::new();
     let mut assign = base_assign.clone();
     let mut boxes = base_boxes.to_vec();
     let mut tuple: Solution = BTreeMap::new();
@@ -319,6 +326,7 @@ fn worker<'e, const K: usize, V: StoreView<K>>(
             &mut path,
             &mut bufs[level + 1..],
             &mut local,
+            &mut missing,
         );
 
         // Undo the prefix bindings regardless of outcome.
@@ -336,6 +344,7 @@ fn worker<'e, const K: usize, V: StoreView<K>>(
             return Err(e);
         }
     }
+    local.outcome = QueryOutcome::from_missing(missing);
     Ok(local)
 }
 
@@ -360,6 +369,7 @@ fn process_level<'e, const K: usize, V: StoreView<K>>(
     path: &mut Vec<usize>,
     below: &mut [LevelBuf],
     local: &mut QueryResult,
+    missing: &mut Vec<usize>,
 ) -> Result<(), ExecError> {
     let (var, _) = env.unknowns[level];
     let mut end = pending.len();
@@ -389,7 +399,17 @@ fn process_level<'e, const K: usize, V: StoreView<K>>(
             boxes[var.index()] = bb;
             tuple.insert(var, obj);
             path.push(index);
-            descend(env, level + 1, assign, boxes, tuple, path, below, local)?;
+            descend(
+                env,
+                level + 1,
+                assign,
+                boxes,
+                tuple,
+                path,
+                below,
+                local,
+                missing,
+            )?;
             path.pop();
             tuple.remove(&var);
             boxes[var.index()] = Bbox::Empty;
@@ -412,6 +432,7 @@ fn descend<'e, const K: usize, V: StoreView<K>>(
     path: &mut Vec<usize>,
     bufs: &mut [LevelBuf],
     local: &mut QueryResult,
+    missing: &mut Vec<usize>,
 ) -> Result<(), ExecError> {
     if level == env.unknowns.len() {
         if env.shared.claim(env.options.max_solutions) {
@@ -430,6 +451,7 @@ fn descend<'e, const K: usize, V: StoreView<K>>(
         boxes,
         buf,
         &mut local.stats,
+        missing,
     );
     local.stats.index_candidates += buf.candidates.len();
     // The batch is processed straight out of the reusable buffer
@@ -438,7 +460,7 @@ fn descend<'e, const K: usize, V: StoreView<K>>(
     // retained first half is not.
     let cands = std::mem::take(&mut buf.candidates);
     let result = process_level(
-        env, level, row, &q, &cands, assign, boxes, tuple, path, rest, local,
+        env, level, row, &q, &cands, assign, boxes, tuple, path, rest, local, missing,
     );
     buf.candidates = cands;
     result

@@ -33,6 +33,15 @@ pub struct ExecStats {
     /// Shards the router proved disjoint from a range query and never
     /// probed (always 0 against an unsharded database).
     pub shards_pruned: usize,
+    /// Shard probes that found the shard unavailable (process dead or
+    /// unreachable after the transport's one reconnect attempt). Each
+    /// such probe lost that shard's candidates — the query result is
+    /// partial (see `QueryOutcome`). Always 0 on a healthy cluster.
+    pub shards_unavailable: usize,
+    /// Transport-level reconnect-and-retry events the shard backends
+    /// performed while answering idempotent requests. Nonzero means
+    /// connections broke mid-query but the answers stayed complete.
+    pub retries: usize,
 }
 
 impl ExecStats {
@@ -53,6 +62,8 @@ impl ExecStats {
             regions_bound,
             tombstones_skipped,
             shards_pruned,
+            shards_unavailable,
+            retries,
         } = other;
         self.solutions = self.solutions.saturating_add(*solutions);
         self.partial_tuples = self.partial_tuples.saturating_add(*partial_tuples);
@@ -66,6 +77,8 @@ impl ExecStats {
         self.regions_bound = self.regions_bound.saturating_add(*regions_bound);
         self.tombstones_skipped = self.tombstones_skipped.saturating_add(*tombstones_skipped);
         self.shards_pruned = self.shards_pruned.saturating_add(*shards_pruned);
+        self.shards_unavailable = self.shards_unavailable.saturating_add(*shards_unavailable);
+        self.retries = self.retries.saturating_add(*retries);
     }
 
     /// [`ExecStats::merge`] as a value-returning fold step.
@@ -80,7 +93,8 @@ impl std::fmt::Display for ExecStats {
         write!(
             f,
             "solutions={} partials={} candidates={} row_checks={} row_rejects={} \
-             full_checks={} bbox_rejects={} bound={} tombstones={} shards_pruned={}",
+             full_checks={} bbox_rejects={} bound={} tombstones={} shards_pruned={} \
+             shards_unavailable={} retries={}",
             self.solutions,
             self.partial_tuples,
             self.index_candidates,
@@ -90,7 +104,9 @@ impl std::fmt::Display for ExecStats {
             self.bbox_prefilter_rejections,
             self.regions_bound,
             self.tombstones_skipped,
-            self.shards_pruned
+            self.shards_pruned,
+            self.shards_unavailable,
+            self.retries
         )
     }
 }
@@ -157,5 +173,23 @@ mod tests {
         let t = s.to_string();
         assert!(t.contains("solutions=0"));
         assert!(t.contains("shards_pruned=0"));
+        assert!(t.contains("shards_unavailable=0"));
+        assert!(t.contains("retries=0"));
+    }
+
+    #[test]
+    fn availability_counters_merge() {
+        let mut a = ExecStats {
+            shards_unavailable: 1,
+            retries: 2,
+            ..Default::default()
+        };
+        a.merge(&ExecStats {
+            shards_unavailable: 3,
+            retries: 1,
+            ..Default::default()
+        });
+        assert_eq!(a.shards_unavailable, 4);
+        assert_eq!(a.retries, 3);
     }
 }

@@ -26,6 +26,47 @@ use scq_region::{AaBox, Region, RegionAlgebra};
 use crate::database::{CollectionId, ObjectRef};
 use crate::query::IndexKind;
 
+/// What one corner-query probe did across a partitioned store.
+///
+/// Single-store implementations return [`ProbeReport::default`]; a
+/// sharded store reports how many shards the router pruned, how many
+/// transport retries its backends performed, and which shards were
+/// **unavailable** — probed but unreachable, their candidates missing
+/// from `out`. An unavailable shard does not abort the query: the
+/// executors keep searching over the candidates that did arrive and
+/// surface the degradation as a partial
+/// [`QueryOutcome`](crate::QueryOutcome), so callers can distinguish
+/// "no matches" from "shard 3 was down".
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProbeReport {
+    /// Shards the router proved disjoint from the query and never
+    /// probed.
+    pub shards_pruned: usize,
+    /// Transport-level retries the backends performed while answering
+    /// (reconnect-and-retry on idempotent requests).
+    pub retries: usize,
+    /// Shards that were probed but could not answer (process dead,
+    /// connection refused after retry). Their candidates are missing
+    /// from the output. Empty for a fully answered probe.
+    pub missing_shards: Vec<usize>,
+}
+
+impl ProbeReport {
+    /// A report with `n` pruned shards and nothing else to tell — the
+    /// common single-store / fully-answered case.
+    pub fn pruned(n: usize) -> ProbeReport {
+        ProbeReport {
+            shards_pruned: n,
+            ..ProbeReport::default()
+        }
+    }
+
+    /// Whether every probed shard answered.
+    pub fn is_complete(&self) -> bool {
+        self.missing_shards.is_empty()
+    }
+}
+
 /// Read access to an object store, as consumed by the executors.
 ///
 /// Object identity is `(collection, slot index)` — [`ObjectRef`] — in a
@@ -59,17 +100,18 @@ pub trait StoreView<const K: usize> {
     fn bbox(&self, obj: ObjectRef) -> Bbox<K>;
 
     /// Runs a corner query against the chosen index of a collection,
-    /// appending matching (global) object indices to `out`. Returns the
-    /// number of shards the router pruned — partitions of the
-    /// collection that provably contain no match and were never probed
-    /// (`0` for single-store implementations).
+    /// appending matching (global) object indices to `out`. Returns a
+    /// [`ProbeReport`]: shards pruned, transport retries, and any
+    /// shards that were probed but unavailable (their candidates are
+    /// missing — a **degraded** read, not an error: the executors keep
+    /// going and mark the result partial).
     fn query_collection(
         &self,
         coll: CollectionId,
         kind: IndexKind,
         q: &CornerQuery<K>,
         out: &mut Vec<u64>,
-    ) -> usize;
+    ) -> ProbeReport;
 
     /// *Live* object indices in a collection whose regions are empty
     /// (corner queries cannot return them; executors re-add them as

@@ -26,13 +26,14 @@ pub mod prelude {
         ConstraintSystem, NormalSystem, TriangularSystem, UpperBound,
     };
     pub use scq_engine::{
-        bbox_execute, naive_execute, triangular_execute, IndexKind, ObjectRef, Query,
-        SpatialDatabase, VarBinding,
+        bbox_execute, naive_execute, triangular_execute, IndexKind, ObjectRef, ProbeReport, Query,
+        QueryOutcome, SpatialDatabase, VarBinding,
     };
     pub use scq_index::{GridFile, RTree, ScanIndex, SpatialIndex, SplitStrategy};
     pub use scq_region::{AaBox, Region, RegionAlgebra};
     pub use scq_shard::{
-        ClusterSpec, LocalShard, RemoteShard, ShardBackend, ShardRouter, ShardedDatabase,
+        ClusterSpec, Direction, FaultAction, FaultGate, FaultProxy, FaultRule, FrameMatch,
+        LocalShard, RemoteShard, ShardBackend, ShardRouter, ShardSpec, ShardedDatabase,
     };
     pub use scq_zorder::{
         decompose, morton_decode, morton_encode, zorder_join, ZCurve, ZOrderIndex,

@@ -23,8 +23,11 @@
 //! UPDATE <coll> <slot> <x0> <y0> <x1> <y1>     → OK updated | OK noop
 //! QUERY <coll> <index> <mode> <x0> <y0> <x1> <y1>
 //!                                              → OK n=<n> pruned=<p> ids=<a,b,…>
+//!                                              | PARTIAL missing=<s,…> n=<n> pruned=<p> ids=<…>
 //! SOLVE <index> <max> <bindings> <system>      → OK n=<n> pruned=<p> tuples=<…>
+//!                                              | PARTIAL missing=<s,…> n=<n> pruned=<p> tuples=<…>
 //! STAT                                         → OK shards=<s> collections=<c> live=<n> backend=<b>
+//!                                                   retries=<r> shards_unavailable=<u> partial_answers=<q>
 //! STAT <coll>                                  → OK len=<slots> live=<n>
 //! SHARDS                                       → OK n=<s> live=<l0,l1,…> backend=<b>
 //! COMPACT                                      → OK reclaimed=<n>
@@ -43,8 +46,20 @@
 //!   the line in the engine's constraint syntax (`;`-separated).
 //! * `pruned` reports [`scq_engine::ExecStats::shards_pruned`] — how
 //!   many shards the z-order router proved disjoint and never probed.
+//! * a `PARTIAL` response is a **degraded read**: every id/tuple
+//!   listed is correct, but the shard processes named in `missing=`
+//!   could not answer, so their contributions are absent. `OK n=0`
+//!   means "no matches"; `PARTIAL … n=0` means "don't know yet".
+//! * `STAT`'s `retries` / `shards_unavailable` / `partial_answers`
+//!   are cumulative per-process failure counters ([`ServeMetrics`]);
+//!   all three stay 0 on a healthy cluster.
 //! * `backend` names where the shards live: `local` (in this process)
 //!   or `remote:<addr>` (a cluster of shard processes).
+//!
+//! Mutations (`INSERT`, `REMOVE`, `UPDATE`, `COMPACT`, snapshot loads)
+//! never degrade: a shard process that cannot acknowledge one yields a
+//! plain `ERR` line and **no retry** — replaying a mutation whose ack
+//! was lost could double-apply it.
 //!
 //! # Cluster mode
 //!
@@ -68,7 +83,7 @@ use scq_shard::{ClusterSpec, LocalShard, ShardBackend, ShardedDatabase};
 
 mod proto;
 
-pub use proto::handle_command;
+pub use proto::{handle_command, ServeMetrics};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -143,11 +158,13 @@ pub fn serve_db<B: ShardBackend + 'static>(
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let db = Arc::new(RwLock::new(db));
+    let metrics = Arc::new(ServeMetrics::default());
     let stop = Arc::new(AtomicBool::new(false));
     let mut workers = Vec::new();
     for _ in 0..config.threads.max(1) {
         let listener = listener.try_clone()?;
         let db = Arc::clone(&db);
+        let metrics = Arc::clone(&metrics);
         let stop = Arc::clone(&stop);
         workers.push(std::thread::spawn(move || {
             for conn in listener.incoming() {
@@ -155,7 +172,7 @@ pub fn serve_db<B: ShardBackend + 'static>(
                     break;
                 }
                 match conn {
-                    Ok(stream) => serve_connection(stream, &db, &stop),
+                    Ok(stream) => serve_connection(stream, &db, &metrics, &stop),
                     Err(_) => continue,
                 }
             }
@@ -171,6 +188,7 @@ pub fn serve_db<B: ShardBackend + 'static>(
 fn serve_connection<B: ShardBackend>(
     stream: TcpStream,
     db: &Arc<RwLock<ShardedDatabase<B>>>,
+    metrics: &ServeMetrics,
     stop: &AtomicBool,
 ) {
     // A bounded read timeout keeps shutdown() from hanging on a worker
@@ -203,7 +221,7 @@ fn serve_connection<B: ShardBackend>(
         }
         let cmd = line.trim();
         if !cmd.is_empty() {
-            let (response, quit) = handle_command(db, cmd);
+            let (response, quit) = handle_command(db, metrics, cmd);
             if writer.write_all(response.as_bytes()).is_err()
                 || writer.write_all(b"\n").is_err()
                 || writer.flush().is_err()
@@ -379,6 +397,7 @@ pub fn cluster_self_test() -> Result<Vec<String>, String> {
         addr: "127.0.0.1:0".into(),
         threads: 2,
         universe_size,
+        ..scq_shard::ShardServerConfig::default()
     };
     let shard_a = scq_shard::serve_shard(&shard_config).map_err(|e| format!("shard a: {e}"))?;
     let shard_b = scq_shard::serve_shard(&shard_config).map_err(|e| format!("shard b: {e}"))?;

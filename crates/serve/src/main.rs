@@ -69,6 +69,9 @@ fn main() {
         if let Some(u) = flag("--universe").and_then(|v| v.parse().ok()) {
             config.universe_size = u;
         }
+        if let Some(m) = flag("--max-conns").and_then(|v| v.parse().ok()) {
+            config.max_connections = m;
+        }
         match serve_shard(&config) {
             Ok(handle) => {
                 println!(
@@ -179,7 +182,7 @@ fn usage() -> &'static str {
      \n\
      usage:\n\
      \x20 scq-serve [--addr A] [--shards N] [--threads T] [--universe S]\n\
-     \x20 scq-serve --shard [--addr A] [--threads T] [--universe S]\n\
+     \x20 scq-serve --shard [--addr A] [--threads T] [--universe S] [--max-conns N]\n\
      \x20 scq-serve --cluster <spec-file> [--addr A] [--threads T]\n\
      \x20 scq-serve --self-test\n\
      \x20 scq-serve --cluster-self-test\n\

@@ -11,30 +11,74 @@
 //! table serves an in-process sharded store and a cluster of shard
 //! processes. Mutations go through the database's fallible `try_*`
 //! forms, so a lost shard process surfaces as an `ERR` line on the
-//! client's connection instead of tearing the server down.
+//! client's connection instead of tearing the server down. Reads
+//! **degrade**: when a shard process cannot answer, `QUERY` and
+//! `SOLVE` respond with a `PARTIAL` line — the surviving shards'
+//! (correct) answers plus the ids of the shards that are missing — so
+//! a client can tell an empty answer from a half-blind one. The
+//! cumulative failure counters surface through `STAT`.
 
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 use scq_bbox::{Bbox, CornerQuery};
 use scq_core::parse_system;
 use scq_engine::workload::{map_workload, MapParams};
 use scq_engine::{
-    CollectionId, ExecOptions, IndexKind, ObjectRef, Query, SpatialDatabase, VarBinding,
+    CollectionId, ExecOptions, IndexKind, ObjectRef, ProbeReport, Query, QueryOutcome,
+    SpatialDatabase, VarBinding,
 };
 use scq_region::{AaBox, Region};
 use scq_shard::{ShardBackend, ShardedDatabase};
 
+/// Cumulative degraded-read counters of one serving process, shared by
+/// every worker and reported by `STAT`. The CI smoke and the bench
+/// gate hold `retries` and `shards_unavailable` at 0 on the happy
+/// path — any drift there means connections are flapping.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Transport reconnect-and-retry events across all commands.
+    pub retries: AtomicUsize,
+    /// Shard probes that found a shard process unavailable.
+    pub shards_unavailable: AtomicUsize,
+    /// `QUERY`/`SOLVE` responses that were partial.
+    pub partial_answers: AtomicUsize,
+}
+
+impl ServeMetrics {
+    fn note(&self, retries: usize, unavailable: usize, partial: bool) {
+        self.retries.fetch_add(retries, Ordering::Relaxed);
+        self.shards_unavailable
+            .fetch_add(unavailable, Ordering::Relaxed);
+        if partial {
+            self.partial_answers.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Renders the `missing=` field of a `PARTIAL` response.
+fn missing_list(missing: &[usize]) -> String {
+    missing
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 /// Parses and runs one command line. Returns the response line (no
-/// trailing newline) and whether the connection should close.
+/// trailing newline) and whether the connection should close. Lines
+/// start `OK`, `PARTIAL` (a degraded read — correct but possibly
+/// incomplete answers, with the missing shards named) or `ERR`.
 pub fn handle_command<B: ShardBackend>(
     db: &Arc<RwLock<ShardedDatabase<B>>>,
+    metrics: &ServeMetrics,
     line: &str,
 ) -> (String, bool) {
     if line.trim() == "QUIT" {
         return ("OK bye".into(), true);
     }
-    match dispatch(db, line) {
+    match dispatch(db, metrics, line) {
         Ok(r) => (r, false),
         Err(e) => (format!("ERR {e}"), false),
     }
@@ -50,6 +94,7 @@ const MAX_LISTED: usize = 16;
 
 fn dispatch<B: ShardBackend>(
     db: &Arc<RwLock<ShardedDatabase<B>>>,
+    metrics: &ServeMetrics,
     line: &str,
 ) -> Result<String, String> {
     let mut parts = line.split_whitespace();
@@ -133,7 +178,13 @@ fn dispatch<B: ShardBackend>(
             let d = db.read().map_err(lock_poisoned)?;
             let coll = lookup(&d, name)?;
             let mut ids = Vec::new();
-            let pruned = contain_backend_panic(|| d.query_collection(coll, kind, &q, &mut ids))?;
+            let report: ProbeReport =
+                contain_backend_panic(|| d.query_collection(coll, kind, &q, &mut ids))?;
+            metrics.note(
+                report.retries,
+                report.missing_shards.len(),
+                !report.is_complete(),
+            );
             ids.sort_unstable();
             // `n=` carries the true count; the listing is capped so a
             // broad query cannot blow the response line up to megabytes
@@ -147,9 +198,18 @@ fn dispatch<B: ShardBackend>(
             if ids.len() > shown {
                 id_list.push_str(",+more");
             }
-            Ok(format!("OK n={} pruned={pruned} ids={id_list}", ids.len()))
+            let pruned = report.shards_pruned;
+            Ok(if report.is_complete() {
+                format!("OK n={} pruned={pruned} ids={id_list}", ids.len())
+            } else {
+                format!(
+                    "PARTIAL missing={} n={} pruned={pruned} ids={id_list}",
+                    missing_list(&report.missing_shards),
+                    ids.len()
+                )
+            })
         }
-        "SOLVE" => solve(db, &rest),
+        "SOLVE" => solve(db, metrics, &rest),
         "SHARDS" => {
             let d = db.read().map_err(lock_poisoned)?;
             let live: Vec<String> = (0..d.n_shards())
@@ -173,10 +233,14 @@ fn dispatch<B: ShardBackend>(
                 [] => {
                     let live: usize = d.collections().map(|c| d.live_len(c)).sum();
                     Ok(format!(
-                        "OK shards={} collections={} live={live} backend={}",
+                        "OK shards={} collections={} live={live} backend={} \
+                         retries={} shards_unavailable={} partial_answers={}",
                         d.n_shards(),
                         d.collections().count(),
-                        d.backend(0).describe()
+                        d.backend(0).describe(),
+                        metrics.retries.load(Ordering::Relaxed),
+                        metrics.shards_unavailable.load(Ordering::Relaxed),
+                        metrics.partial_answers.load(Ordering::Relaxed)
                     ))
                 }
                 [name] => {
@@ -238,6 +302,7 @@ fn dispatch<B: ShardBackend>(
 /// against the sharded database through the engine executor.
 fn solve<B: ShardBackend>(
     db: &Arc<RwLock<ShardedDatabase<B>>>,
+    metrics: &ServeMetrics,
     rest: &[&str],
 ) -> Result<String, String> {
     let usage = "usage: SOLVE <rtree|grid|scan> <all|N> \
@@ -274,6 +339,11 @@ fn solve<B: ShardBackend>(
     }
     let result = contain_backend_panic(|| scq_shard::execute(&d, &query, kind, options))?
         .map_err(|e| e.to_string())?;
+    metrics.note(
+        result.stats.retries,
+        result.stats.shards_unavailable,
+        result.outcome.is_partial(),
+    );
     let mut tuples: Vec<String> = result
         .solutions
         .iter()
@@ -290,11 +360,19 @@ fn solve<B: ShardBackend>(
     if tuples.len() > shown {
         listing.push_str("|+more");
     }
-    Ok(format!(
-        "OK n={} pruned={} tuples={listing}",
-        result.solutions.len(),
-        result.stats.shards_pruned
-    ))
+    Ok(match &result.outcome {
+        QueryOutcome::Complete => format!(
+            "OK n={} pruned={} tuples={listing}",
+            result.solutions.len(),
+            result.stats.shards_pruned
+        ),
+        QueryOutcome::Partial { missing_shards } => format!(
+            "PARTIAL missing={} n={} pruned={} tuples={listing}",
+            missing_list(missing_shards),
+            result.solutions.len(),
+            result.stats.shards_pruned
+        ),
+    })
 }
 
 /// `LOAD map`: generate the GIS workload into a scratch single-store
@@ -339,10 +417,12 @@ fn load_map<B: ShardBackend>(
 }
 
 /// Runs a read-path closure, converting a shard-backend panic into an
-/// `ERR` line. The executor read surface (`StoreView`) has no error
-/// channel, so a remote shard dying mid-query (after the client's own
-/// reconnect-and-retry) surfaces as a panic — which must cost the
-/// client its command, not the server one of its worker threads.
+/// `ERR` line. Transport failures degrade to `PARTIAL` answers and
+/// never panic, but a shard **rejection** — a desynchronized process,
+/// e.g. one restarted pristine behind its old address — still panics
+/// by design (corruption must stay loud), and that panic must cost the
+/// client its command, not the server one of its fixed-pool worker
+/// threads.
 fn contain_backend_panic<R>(f: impl FnOnce() -> R) -> Result<R, String> {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
         Ok(r) => Ok(r),

@@ -120,12 +120,23 @@ pub trait ShardBackend: Send + Sync {
 
     /// Runs a corner query against the chosen index, appending matching
     /// **local** slot indices to `out` (the caller remaps to global).
-    fn query_collection(
+    ///
+    /// Transport **retries** performed while answering are added to
+    /// `retries` whether the probe ultimately succeeds or not (a remote
+    /// backend reconnects and retries idempotent requests once; local
+    /// backends never retry) — a probe that retried and *then* failed
+    /// still counts, so flapping and dead shards are distinguishable
+    /// from the counters. `Err` means the shard could not answer even
+    /// after retrying — the routing layer treats it as an unavailable
+    /// shard and degrades the read instead of failing the query.
+    /// Implementations must leave `out` untouched on error.
+    fn try_corner_query(
         &self,
         coll: CollectionId,
         kind: IndexKind,
         q: &CornerQuery<2>,
         out: &mut Vec<u64>,
+        retries: &mut usize,
     ) -> Result<(), ShardError>;
 
     /// Compacts the shard, returning the local-slot remap report.
@@ -221,12 +232,13 @@ impl ShardBackend for LocalShard {
         Ok(self.0.update(local_ref(coll, local), region))
     }
 
-    fn query_collection(
+    fn try_corner_query(
         &self,
         coll: CollectionId,
         kind: IndexKind,
         q: &CornerQuery<2>,
         out: &mut Vec<u64>,
+        _retries: &mut usize,
     ) -> Result<(), ShardError> {
         self.0.query_collection(coll, kind, q, out);
         Ok(())

@@ -12,7 +12,7 @@
 //! any query runs, because deployment glue that fails quietly is how
 //! distributed stores rot.
 //!
-//! The text format is deliberately trivial (comments, three directive
+//! The text format is deliberately trivial (comments, four directive
 //! kinds), written and parsed by this module so the CI cluster-smoke
 //! script and a human operator author the same file:
 //!
@@ -20,9 +20,16 @@
 //! # scq cluster spec
 //! universe 0 0 1000 1000
 //! bits 6
+//! pool 4
 //! shard 127.0.0.1:9101 0 2048
 //! shard 127.0.0.1:9102 2048 4096
 //! ```
+//!
+//! `pool` sizes each shard's client-side connection pool (how many
+//! requests may be on the wire to one shard at once); it is optional
+//! and defaults to [`DEFAULT_POOL_SIZE`]. Duplicate shard addresses are
+//! a named validation error — connecting the same process twice would
+//! double-count its objects and desynchronize its mirror.
 
 use std::path::Path;
 use std::time::Duration;
@@ -31,7 +38,7 @@ use scq_region::AaBox;
 
 use crate::backend::ShardError;
 use crate::database::ShardedDatabase;
-use crate::remote::RemoteShard;
+use crate::remote::{RemoteShard, DEFAULT_POOL_SIZE};
 use crate::router::{validate_ranges, ShardRouter};
 
 /// One shard process in a [`ClusterSpec`].
@@ -43,13 +50,17 @@ pub struct ShardSpec {
     pub range: (u64, u64),
 }
 
-/// A cluster of shard processes: universe, routing grid, shard list.
+/// A cluster of shard processes: universe, routing grid, connection
+/// pool size, shard list.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ClusterSpec {
     /// The universe every shard must span.
     pub universe: AaBox<2>,
     /// Routing grid resolution (bits per dimension, `1..=16`).
     pub bits: u32,
+    /// Wire connections pooled per shard (concurrent in-flight
+    /// requests to one shard process). At least 1.
+    pub pool: usize,
     /// The shard processes, in shard-id order.
     pub shards: Vec<ShardSpec>,
 }
@@ -67,6 +78,13 @@ pub enum ClusterSpecError {
     /// A required directive is missing or the configuration is
     /// invalid (empty cluster, non-tiling ranges, bad universe…).
     BadConfig(String),
+    /// Two `shard` directives name the same process address.
+    /// Connecting one process twice would double-count its objects, so
+    /// this is its own named error instead of a connect-time surprise.
+    DuplicateAddress {
+        /// The address that appears more than once.
+        addr: String,
+    },
     /// Filesystem error reading the spec.
     Io(String),
 }
@@ -78,6 +96,9 @@ impl std::fmt::Display for ClusterSpecError {
                 write!(f, "cluster spec line {line}: {message}")
             }
             ClusterSpecError::BadConfig(m) => write!(f, "bad cluster spec: {m}"),
+            ClusterSpecError::DuplicateAddress { addr } => {
+                write!(f, "duplicate shard address {addr:?} in cluster spec")
+            }
             ClusterSpecError::Io(m) => write!(f, "cluster spec io: {m}"),
         }
     }
@@ -130,6 +151,7 @@ impl ClusterSpec {
         ClusterSpec {
             universe,
             bits,
+            pool: DEFAULT_POOL_SIZE,
             shards: addrs
                 .iter()
                 .zip(ranges)
@@ -141,11 +163,24 @@ impl ClusterSpec {
         }
     }
 
-    /// Checks the spec: bits in range, at least one shard, ranges
-    /// tiling the key space exactly.
+    /// Checks the spec: bits in range, at least one shard, a positive
+    /// pool size, ranges tiling the key space exactly, and no address
+    /// named twice.
     pub fn validate(&self) -> Result<(), ClusterSpecError> {
         if self.universe.is_empty() {
             return Err(ClusterSpecError::BadConfig("empty universe".into()));
+        }
+        if self.pool == 0 {
+            return Err(ClusterSpecError::BadConfig(
+                "pool size must be at least 1".into(),
+            ));
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            if self.shards[..i].iter().any(|s| s.addr == shard.addr) {
+                return Err(ClusterSpecError::DuplicateAddress {
+                    addr: shard.addr.clone(),
+                });
+            }
         }
         let ranges: Vec<(u64, u64)> = self.shards.iter().map(|s| s.range).collect();
         validate_ranges(self.bits, &ranges).map_err(ClusterSpecError::BadConfig)
@@ -155,6 +190,7 @@ impl ClusterSpec {
     pub fn parse(text: &str) -> Result<Self, ClusterSpecError> {
         let mut universe = None;
         let mut bits = None;
+        let mut pool = None;
         let mut shards = Vec::new();
         for (i, raw) in text.lines().enumerate() {
             let line = i + 1;
@@ -190,6 +226,17 @@ impl ClusterSpec {
                             .map_err(|_| parse_err(format!("bad bits {b:?}")))?,
                     );
                 }
+                "pool" => {
+                    let [p] = rest[..] else {
+                        return Err(parse_err("usage: pool <connections per shard>".into()));
+                    };
+                    pool = Some(
+                        p.parse::<usize>()
+                            .ok()
+                            .filter(|&p| p > 0)
+                            .ok_or_else(|| parse_err(format!("bad pool size {p:?}")))?,
+                    );
+                }
                 "shard" => {
                     let [addr, lo, hi] = rest[..] else {
                         return Err(parse_err("usage: shard <addr> <zlo> <zhi>".into()));
@@ -207,7 +254,7 @@ impl ClusterSpec {
                 }
                 other => {
                     return Err(parse_err(format!(
-                        "unknown directive {other:?} (universe | bits | shard)"
+                        "unknown directive {other:?} (universe | bits | pool | shard)"
                     )))
                 }
             }
@@ -217,6 +264,7 @@ impl ClusterSpec {
                 .ok_or_else(|| ClusterSpecError::BadConfig("missing universe directive".into()))?,
             bits: bits
                 .ok_or_else(|| ClusterSpecError::BadConfig("missing bits directive".into()))?,
+            pool: pool.unwrap_or(DEFAULT_POOL_SIZE),
             shards,
         };
         spec.validate()?;
@@ -241,6 +289,7 @@ impl ClusterSpec {
             lo[0], lo[1], hi[0], hi[1]
         ));
         out.push_str(&format!("bits {}\n", self.bits));
+        out.push_str(&format!("pool {}\n", self.pool));
         for s in &self.shards {
             out.push_str(&format!("shard {} {} {}\n", s.addr, s.range.0, s.range.1));
         }
@@ -258,14 +307,12 @@ impl ClusterSpec {
         self.validate().map_err(ClusterError::Spec)?;
         let mut backends = Vec::with_capacity(self.shards.len());
         for (shard, spec) in self.shards.iter().enumerate() {
-            let backend =
-                RemoteShard::connect(&spec.addr, self.universe, wait).map_err(|source| {
-                    ClusterError::Shard {
-                        shard,
-                        addr: spec.addr.clone(),
-                        source,
-                    }
-                })?;
+            let backend = RemoteShard::connect_pooled(&spec.addr, self.universe, wait, self.pool)
+                .map_err(|source| ClusterError::Shard {
+                shard,
+                addr: spec.addr.clone(),
+                source,
+            })?;
             if !backend.is_pristine() {
                 return Err(ClusterError::Shard {
                     shard,
@@ -302,15 +349,17 @@ mod tests {
 
     #[test]
     fn balanced_spec_round_trips_through_text() {
-        let spec = ClusterSpec::balanced(
+        let mut spec = ClusterSpec::balanced(
             universe(),
             6,
             &["127.0.0.1:9101".to_string(), "127.0.0.1:9102".to_string()],
         );
+        spec.pool = 7; // a non-default pool must survive the round trip
         spec.validate().unwrap();
         let text = spec.to_text();
         let parsed = ClusterSpec::parse(&text).unwrap();
         assert_eq!(parsed, spec);
+        assert_eq!(parsed.pool, 7);
         assert_eq!(parsed.shards[0].range.0, 0);
         assert_eq!(
             parsed.shards[1].range.1,
@@ -326,6 +375,36 @@ mod tests {
         let spec = ClusterSpec::parse(text).unwrap();
         assert_eq!(spec.bits, 4);
         assert_eq!(spec.shards.len(), 1);
+        assert_eq!(
+            spec.pool, DEFAULT_POOL_SIZE,
+            "a spec without a pool directive gets the default"
+        );
+    }
+
+    #[test]
+    fn duplicate_shard_addresses_are_a_named_error() {
+        let text = "universe 0 0 100 100\nbits 6\nshard a:1 0 2048\nshard a:1 2048 4096\n";
+        match ClusterSpec::parse(text) {
+            Err(ClusterSpecError::DuplicateAddress { addr }) => assert_eq!(addr, "a:1"),
+            other => panic!("expected DuplicateAddress, got {other:?}"),
+        }
+        // distinct addresses on the same host are fine
+        let ok = "universe 0 0 100 100\nbits 6\nshard a:1 0 2048\nshard a:2 2048 4096\n";
+        ClusterSpec::parse(ok).unwrap();
+    }
+
+    #[test]
+    fn bad_pool_sizes_are_rejected() {
+        let zero = "universe 0 0 100 100\nbits 6\npool 0\nshard a:1 0 4096\n";
+        assert!(ClusterSpec::parse(zero).is_err());
+        let junk = "universe 0 0 100 100\nbits 6\npool many\nshard a:1 0 4096\n";
+        match ClusterSpec::parse(junk) {
+            Err(ClusterSpecError::Parse { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("pool"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
@@ -363,12 +442,14 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             threads: 1,
             universe_size: 1000.0,
+            ..crate::server::ShardServerConfig::default()
         })
         .unwrap();
         let b = crate::server::serve_shard(&crate::server::ShardServerConfig {
             addr: "127.0.0.1:0".into(),
             threads: 1,
             universe_size: 1000.0,
+            ..crate::server::ShardServerConfig::default()
         })
         .unwrap();
         let spec =
@@ -399,6 +480,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             threads: 1,
             universe_size: 1000.0,
+            ..crate::server::ShardServerConfig::default()
         })
         .unwrap();
         // Warm the shard through a direct backend connection.

@@ -30,7 +30,7 @@
 use std::collections::HashMap;
 
 use scq_bbox::{Bbox, CornerQuery};
-use scq_engine::view::StoreView;
+use scq_engine::view::{ProbeReport, StoreView};
 use scq_engine::{CollectionId, CompactReport, IndexKind, ObjectRef, SpatialDatabase};
 use scq_region::{AaBox, Region};
 
@@ -439,28 +439,56 @@ impl<B: ShardBackend> ShardedDatabase<B> {
         self.shards[addr.shard as usize].bbox(obj.collection, addr.local as usize)
     }
 
-    /// Runs one backend's corner query, panicking on a transport
-    /// failure: the executor read path has no error channel, and a
-    /// remote backend already retried once on a fresh connection.
-    pub(crate) fn backend_query(
+    /// Probes one shard's corner query and remaps its answers to
+    /// global slots, folding the outcome into `report`.
+    ///
+    /// Availability policy: a **transport** failure (the shard process
+    /// is dead or unreachable, after the backend's own
+    /// reconnect-and-retry — [`crate::WireError::is_transport`])
+    /// degrades the read: the shard is recorded in
+    /// [`ProbeReport::missing_shards`], its candidates are dropped,
+    /// and the query continues over the surviving shards. Everything
+    /// else — a rejection (unknown collection, desynchronized state),
+    /// a wire version mismatch, an unexpected response shape,
+    /// undecodable bytes — still panics: that is misconfiguration or
+    /// corruption, not an outage, and must be loud rather than be
+    /// reported forever as a partial answer.
+    pub(crate) fn probe_shard(
         &self,
         s: usize,
         coll: CollectionId,
         kind: IndexKind,
         q: &CornerQuery<2>,
         out: &mut Vec<u64>,
+        report: &mut ProbeReport,
     ) {
-        if let Err(e) = self.shards[s].query_collection(coll, kind, q, out) {
-            panic!(
-                "shard {s} ({}) failed a corner query: {e}",
+        let start = out.len();
+        // Retries count whether the probe lands or not: a shard that
+        // flapped and then died looks different from one that was
+        // never reachable.
+        match self.shards[s].try_corner_query(coll, kind, q, out, &mut report.retries) {
+            Ok(()) => {
+                let globals = &self.collections[coll.0].per_shard[s].globals;
+                for id in &mut out[start..] {
+                    *id = globals[*id as usize];
+                }
+            }
+            Err(ShardError::Wire(e)) if e.is_transport() => {
+                out.truncate(start);
+                report.missing_shards.push(s);
+            }
+            Err(e) => panic!(
+                "shard {s} ({}) failed a corner query with a non-transport error: {e}",
                 self.shards[s].describe()
-            );
+            ),
         }
     }
 
     /// Runs a corner query against the chosen index of every shard the
     /// router cannot prune, appending matching **global** object
-    /// indices. Returns the number of shards pruned.
+    /// indices. Returns a [`ProbeReport`]: shards pruned, transport
+    /// retries, and shards that were probed but unavailable (their
+    /// candidates are missing — the read is degraded, not failed).
     ///
     /// Allocation-free in steady state: each shard's ids land directly
     /// in `out` and are remapped to global slots in place, and the
@@ -473,32 +501,22 @@ impl<B: ShardBackend> ShardedDatabase<B> {
         kind: IndexKind,
         q: &CornerQuery<2>,
         out: &mut Vec<u64>,
-    ) -> usize {
-        let c = &self.collections[coll.0];
+    ) -> ProbeReport {
         SHARD_SCRATCH.with(|buf| {
             let mut shards = buf.borrow_mut();
             self.router.candidate_shards(q, &mut shards);
+            let mut report = ProbeReport::default();
             for &s in shards.iter() {
-                let start = out.len();
-                self.backend_query(s, coll, kind, q, out);
-                let globals = &c.per_shard[s].globals;
-                for id in &mut out[start..] {
-                    *id = globals[*id as usize];
-                }
+                self.probe_shard(s, coll, kind, q, out, &mut report);
             }
-            self.n_shards() - shards.len()
+            report.shards_pruned = self.n_shards() - shards.len();
+            report
         })
     }
 
     /// *Live* global indices of objects with empty regions.
     pub fn empty_objects(&self, coll: CollectionId) -> &[usize] {
         &self.collections[coll.0].empty_objects
-    }
-
-    /// Local-slot → global-slot table of one shard's copy of a
-    /// collection (fan-out and snapshot plumbing).
-    pub(crate) fn globals(&self, coll: CollectionId, shard: usize) -> &[u64] {
-        &self.collections[coll.0].per_shard[shard].globals
     }
 
     /// `(shard, local slot)` of a global slot (snapshot plumbing).
@@ -710,7 +728,7 @@ impl<B: ShardBackend> StoreView<2> for ShardedDatabase<B> {
         kind: IndexKind,
         q: &CornerQuery<2>,
         out: &mut Vec<u64>,
-    ) -> usize {
+    ) -> ProbeReport {
         ShardedDatabase::query_collection(self, coll, kind, q, out)
     }
 
@@ -775,10 +793,15 @@ mod tests {
         let q = CornerQuery::unconstrained().and_contained_in(&probe);
         for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
             let mut out = Vec::new();
-            let pruned = d.query_collection(c, kind, &q, &mut out);
+            let report = d.query_collection(c, kind, &q, &mut out);
             out.sort_unstable();
             assert_eq!(out, expect, "{kind:?}");
-            assert!(pruned > 0, "diagonal probe must prune ({kind:?})");
+            assert!(
+                report.shards_pruned > 0,
+                "diagonal probe must prune ({kind:?})"
+            );
+            assert!(report.is_complete(), "local shards are always available");
+            assert_eq!(report.retries, 0);
         }
     }
 
@@ -874,8 +897,8 @@ mod tests {
         let q = CornerQuery::unconstrained().and_overlaps(&Bbox::new([10.0, 5.0], [40.0, 30.0]));
         for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
             let mut a = Vec::new();
-            let pruned = d.query_collection(c, kind, &q, &mut a);
-            assert_eq!(pruned, 0, "one shard, nothing to prune");
+            let report = d.query_collection(c, kind, &q, &mut a);
+            assert_eq!(report.shards_pruned, 0, "one shard, nothing to prune");
             let mut b = Vec::new();
             plain.query_collection(pc, kind, &q, &mut b);
             a.sort_unstable();

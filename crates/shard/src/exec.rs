@@ -16,10 +16,10 @@
 //! solution set equals the unsharded one.
 
 use scq_bbox::{Bbox, CornerQuery};
-use scq_engine::view::StoreView;
+use scq_engine::view::{ProbeReport, StoreView};
 use scq_engine::{
     bbox_execute_opts, CollectionId, ExecError, ExecOptions, ExecStats, IndexKind, ObjectRef,
-    Query, QueryResult,
+    Query, QueryOutcome, QueryResult,
 };
 use scq_region::{AaBox, Region};
 
@@ -109,7 +109,7 @@ impl<B: ShardBackend> StoreView<2> for ShardSlice<'_, B> {
         kind: IndexKind,
         q: &CornerQuery<2>,
         out: &mut Vec<u64>,
-    ) -> usize {
+    ) -> ProbeReport {
         if coll != self.coll {
             return self.inner.query_collection(coll, kind, q, out);
         }
@@ -123,15 +123,12 @@ impl<B: ShardBackend> StoreView<2> for ShardSlice<'_, B> {
             cands.contains(&self.shard)
         });
         if !routed_here {
-            return 1; // the router did prune this slice's only shard
+            return ProbeReport::pruned(1); // the router pruned this slice's only shard
         }
-        let start = out.len();
-        self.inner.backend_query(self.shard, coll, kind, q, out);
-        let globals = self.inner.globals(coll, self.shard);
-        for id in &mut out[start..] {
-            *id = globals[*id as usize];
-        }
-        0
+        let mut report = ProbeReport::default();
+        self.inner
+            .probe_shard(self.shard, coll, kind, q, out, &mut report);
+        report
     }
 
     fn empty_objects(&self, coll: CollectionId) -> &[usize] {
@@ -191,6 +188,10 @@ pub fn execute_fanout<B: ShardBackend>(
         return execute(db, query, kind, options);
     }
 
+    // Workers return `Result` — a dead shard process degrades its
+    // slice to a partial answer inside the executor (no panic crosses
+    // the scope; only a genuine bug would, and that still fails the
+    // query rather than the process).
     let results: Vec<Result<QueryResult, ExecError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..db.n_shards())
             .map(|s| {
@@ -209,10 +210,12 @@ pub fn execute_fanout<B: ShardBackend>(
     let mut merged = QueryResult {
         solutions: Vec::new(),
         stats: ExecStats::default(),
+        outcome: QueryOutcome::Complete,
     };
     for r in results {
         let r = r?;
         merged.stats.merge(&r.stats);
+        merged.outcome.merge(&r.outcome);
         merged.solutions.extend(r.solutions);
     }
     if let Some(max) = options.max_solutions {

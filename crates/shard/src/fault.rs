@@ -1,0 +1,790 @@
+//! Deterministic fault injection for the shard wire protocol.
+//!
+//! A [`FaultProxy`] is an in-process TCP proxy that sits between a
+//! wire client (a [`crate::RemoteShard`], a router tier) and a shard
+//! server, reassembles the length-prefixed frame stream in both
+//! directions, and breaks it on **scripted triggers** — the nth frame
+//! of a connection, a request opcode — in reproducible ways:
+//!
+//! * [`FaultAction::Sever`] — close both sides instead of forwarding
+//!   the matched frame (a process dying mid-request);
+//! * [`FaultAction::Hold`] — park the frame at a [`FaultGate`] until
+//!   the test opens it (deterministic overlap: prove a second request
+//!   completes while the first is in flight);
+//! * [`FaultAction::Truncate`] — forward only a prefix of the framed
+//!   bytes, then sever (a connection dying mid-frame);
+//! * [`FaultAction::Garble`] — corrupt a payload byte, then forward
+//!   (bit rot that must surface as a named decode error, never a
+//!   silently wrong answer).
+//!
+//! Beyond per-frame rules, [`FaultProxy::partition`] severs every live
+//! connection **and** refuses new ones (a network partition / dead
+//! process), and [`FaultProxy::heal`] lifts it — so a test can kill a
+//! shard mid-query, assert the degraded answer, then bring the shard
+//! back and assert it rejoins without restarting the router.
+//!
+//! Every failure path the ROADMAP could previously only provoke in the
+//! CI smoke script — reconnect-once on idempotent ops, mutations never
+//! auto-retried, pool eviction of broken connections, partial-answer
+//! merges, mirror/shard lockstep after reconnect — is reproducible in
+//! `cargo test` through this module.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::wire::{frame, FrameReader};
+
+/// Which way a frame is traveling through the proxy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Request frames: wire client → shard server.
+    ClientToServer,
+    /// Response frames: shard server → wire client.
+    ServerToClient,
+}
+
+/// What a [`FaultRule`] matches a frame on.
+#[derive(Clone, Copy, Debug)]
+pub enum FrameMatch {
+    /// Every frame in the rule's direction.
+    Any,
+    /// The nth frame (0-based) of a connection in the rule's direction.
+    Nth(usize),
+    /// Frames whose first payload byte equals the given opcode
+    /// (request frames start with their [`crate::wire`] opcode).
+    Opcode(u8),
+}
+
+impl FrameMatch {
+    fn matches(&self, frame_idx: usize, payload: &[u8]) -> bool {
+        match *self {
+            FrameMatch::Any => true,
+            FrameMatch::Nth(n) => frame_idx == n,
+            FrameMatch::Opcode(op) => payload.first() == Some(&op),
+        }
+    }
+}
+
+/// What to do with a matched frame.
+#[derive(Clone)]
+pub enum FaultAction {
+    /// Close both directions of the connection without forwarding the
+    /// matched frame.
+    Sever,
+    /// Park the frame at the gate; forward it once the gate opens.
+    Hold(FaultGate),
+    /// Forward only the first `keep` bytes of the **framed** message
+    /// (length prefix included), then sever — the receiver sees a
+    /// mid-frame close.
+    Truncate {
+        /// Framed bytes to let through before closing.
+        keep: usize,
+    },
+    /// XOR one payload byte, then forward the corrupted frame.
+    Garble {
+        /// Payload offset to corrupt (clamped to the last byte).
+        offset: usize,
+        /// The XOR mask (must be nonzero to corrupt anything).
+        xor: u8,
+    },
+}
+
+/// One scripted trigger: direction + matcher + action, armed for
+/// `remaining` matches (each match consumes one).
+#[derive(Clone)]
+pub struct FaultRule {
+    /// Which traffic direction the rule watches.
+    pub direction: Direction,
+    /// What the rule matches on.
+    pub matches: FrameMatch,
+    /// What happens to a matched frame.
+    pub action: FaultAction,
+    /// How many matches the rule is armed for (`usize::MAX` ≈ forever).
+    pub remaining: usize,
+}
+
+#[derive(Default)]
+struct GateState {
+    open: bool,
+    holding: usize,
+}
+
+#[derive(Default)]
+struct GateInner {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+/// A rendezvous point for [`FaultAction::Hold`]: the proxy parks
+/// matched frames here; the test observes the park and decides when to
+/// release. This is what makes overlap tests deterministic — no
+/// sleeps, no racing clocks.
+#[derive(Clone, Default)]
+pub struct FaultGate(Arc<GateInner>);
+
+impl FaultGate {
+    /// A closed gate.
+    pub fn new() -> FaultGate {
+        FaultGate::default()
+    }
+
+    /// Opens the gate: held frames are forwarded, future holds pass
+    /// straight through.
+    pub fn open(&self) {
+        let mut st = self.0.state.lock().expect("gate lock poisoned");
+        st.open = true;
+        self.0.cv.notify_all();
+    }
+
+    /// Number of frames currently parked at the gate.
+    pub fn holding(&self) -> usize {
+        self.0.state.lock().expect("gate lock poisoned").holding
+    }
+
+    /// Blocks until a frame is parked at the gate (or `timeout` runs
+    /// out). Returns whether a frame is held.
+    pub fn wait_for_hold(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.0.state.lock().expect("gate lock poisoned");
+        while st.holding == 0 && !st.open {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .0
+                .cv
+                .wait_timeout(st, deadline - now)
+                .expect("gate lock poisoned");
+            st = guard;
+        }
+        st.holding > 0
+    }
+
+    /// Called by a proxy pump thread: parks until the gate opens (or
+    /// the proxy shuts down).
+    fn hold(&self, stop: &AtomicBool) {
+        let mut st = self.0.state.lock().expect("gate lock poisoned");
+        st.holding += 1;
+        self.0.cv.notify_all();
+        while !st.open && !stop.load(Ordering::SeqCst) {
+            let (guard, _) = self
+                .0
+                .cv
+                .wait_timeout(st, Duration::from_millis(100))
+                .expect("gate lock poisoned");
+            st = guard;
+        }
+        st.holding -= 1;
+        self.0.cv.notify_all();
+    }
+}
+
+struct ProxyShared {
+    target: String,
+    rules: Mutex<Vec<FaultRule>>,
+    refuse_new: AtomicBool,
+    stop: AtomicBool,
+    /// Stream clones of every live connection (both sides), so
+    /// [`FaultProxy::sever_all`] can kill them from outside.
+    conns: Mutex<Vec<TcpStream>>,
+    severed: AtomicUsize,
+    forwarded: [AtomicUsize; 2],
+}
+
+impl ProxyShared {
+    /// Finds and consumes the first armed rule matching this frame.
+    fn match_rule(&self, dir: Direction, frame_idx: usize, payload: &[u8]) -> Option<FaultAction> {
+        let mut rules = self.rules.lock().expect("rules lock poisoned");
+        for rule in rules.iter_mut() {
+            if rule.remaining > 0
+                && rule.direction == dir
+                && rule.matches.matches(frame_idx, payload)
+            {
+                rule.remaining -= 1;
+                return Some(rule.action.clone());
+            }
+        }
+        None
+    }
+}
+
+/// An in-process TCP fault-injection proxy for the shard wire
+/// protocol. See the module docs.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    shared: Arc<ProxyShared>,
+    accept: Option<JoinHandle<()>>,
+    pumps: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl FaultProxy {
+    /// Starts a proxy on an ephemeral loopback port, forwarding every
+    /// connection to `target` (a shard server address).
+    pub fn start(target: &str) -> std::io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ProxyShared {
+            target: target.to_owned(),
+            rules: Mutex::new(Vec::new()),
+            refuse_new: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            severed: AtomicUsize::new(0),
+            forwarded: [AtomicUsize::new(0), AtomicUsize::new(0)],
+        });
+        let pumps: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let pumps = Arc::clone(&pumps);
+            std::thread::spawn(move || accept_loop(listener, &shared, &pumps))
+        };
+        Ok(FaultProxy {
+            addr,
+            shared,
+            accept: Some(accept),
+            pumps,
+        })
+    }
+
+    /// The address clients should dial instead of the shard server's.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Arms a scripted rule.
+    pub fn inject(&self, rule: FaultRule) {
+        self.shared
+            .rules
+            .lock()
+            .expect("rules lock poisoned")
+            .push(rule);
+    }
+
+    /// Disarms every rule.
+    pub fn clear_rules(&self) {
+        self.shared
+            .rules
+            .lock()
+            .expect("rules lock poisoned")
+            .clear();
+    }
+
+    /// Makes the proxy drop fresh connections immediately after accept
+    /// (`true`) or forward them again (`false`).
+    pub fn refuse_new(&self, refuse: bool) {
+        self.shared.refuse_new.store(refuse, Ordering::SeqCst);
+    }
+
+    /// Severs every live proxied connection right now.
+    pub fn sever_all(&self) {
+        let conns = self.shared.conns.lock().expect("conns lock poisoned");
+        for stream in conns.iter() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// A network partition: every live connection severed, new ones
+    /// refused. From the client's side the shard process is dead.
+    pub fn partition(&self) {
+        self.refuse_new(true);
+        self.sever_all();
+    }
+
+    /// Lifts a partition and disarms every rule: the shard is
+    /// reachable again.
+    pub fn heal(&self) {
+        self.clear_rules();
+        self.refuse_new(false);
+    }
+
+    /// Connections the proxy severed through a rule or a partition.
+    pub fn severed(&self) -> usize {
+        self.shared.severed.load(Ordering::SeqCst)
+    }
+
+    /// Frames forwarded intact in one direction.
+    pub fn frames_forwarded(&self, dir: Direction) -> usize {
+        self.shared.forwarded[dir_index(dir)].load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.sever_all();
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let pumps = std::mem::take(&mut *self.pumps.lock().expect("pumps lock poisoned"));
+        for pump in pumps {
+            let _ = pump.join();
+        }
+    }
+}
+
+fn dir_index(dir: Direction) -> usize {
+    match dir {
+        Direction::ClientToServer => 0,
+        Direction::ServerToClient => 1,
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: &Arc<ProxyShared>,
+    pumps: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(client) = conn else { continue };
+        if shared.refuse_new.load(Ordering::SeqCst) {
+            drop(client); // the dialer sees an immediate close
+            continue;
+        }
+        let Ok(server) = TcpStream::connect(&shared.target) else {
+            drop(client);
+            continue;
+        };
+        let (Ok(c2), Ok(s2)) = (client.try_clone(), server.try_clone()) else {
+            continue;
+        };
+        {
+            let mut conns = shared.conns.lock().expect("conns lock poisoned");
+            if let (Ok(c), Ok(s)) = (client.try_clone(), server.try_clone()) {
+                conns.push(c);
+                conns.push(s);
+            }
+        }
+        let mut handles = pumps.lock().expect("pumps lock poisoned");
+        {
+            let shared = Arc::clone(shared);
+            handles.push(std::thread::spawn(move || {
+                pump(client, server, Direction::ClientToServer, &shared)
+            }));
+        }
+        {
+            let shared = Arc::clone(shared);
+            handles.push(std::thread::spawn(move || {
+                pump(s2, c2, Direction::ServerToClient, &shared)
+            }));
+        }
+    }
+}
+
+/// Forwards complete frames from `src` to `dst`, applying matched
+/// rules. Runs until a close, a sever, or proxy shutdown.
+fn pump(mut src: TcpStream, mut dst: TcpStream, dir: Direction, shared: &ProxyShared) {
+    let _ = src.set_read_timeout(Some(Duration::from_millis(100)));
+    let sever = |src: &TcpStream, dst: &TcpStream| {
+        let _ = src.shutdown(Shutdown::Both);
+        let _ = dst.shutdown(Shutdown::Both);
+        shared.severed.fetch_add(1, Ordering::SeqCst);
+    };
+    let mut reader = FrameReader::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut frame_idx = 0usize;
+    loop {
+        loop {
+            let mut payload = match reader.next_frame() {
+                Ok(Some(payload)) => payload,
+                Ok(None) => break,
+                // Framing poison the proxy cannot resynchronize past.
+                Err(_) => return sever(&src, &dst),
+            };
+            let action = shared.match_rule(dir, frame_idx, &payload);
+            frame_idx += 1;
+            match action {
+                Some(FaultAction::Sever) => return sever(&src, &dst),
+                Some(FaultAction::Truncate { keep }) => {
+                    let framed = frame_bytes(&payload);
+                    let keep = keep.min(framed.len());
+                    let _ = dst.write_all(&framed[..keep]);
+                    let _ = dst.flush();
+                    return sever(&src, &dst);
+                }
+                Some(FaultAction::Garble { offset, xor }) => {
+                    if let Some(last) = payload.len().checked_sub(1) {
+                        payload[offset.min(last)] ^= xor;
+                    }
+                }
+                Some(FaultAction::Hold(gate)) => {
+                    gate.hold(&shared.stop);
+                    if shared.stop.load(Ordering::SeqCst) {
+                        return sever(&src, &dst);
+                    }
+                }
+                None => {}
+            }
+            if dst.write_all(&frame_bytes(&payload)).is_err() || dst.flush().is_err() {
+                return sever(&src, &dst);
+            }
+            shared.forwarded[dir_index(dir)].fetch_add(1, Ordering::SeqCst);
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            return sever(&src, &dst);
+        }
+        match src.read(&mut chunk) {
+            // Clean close: propagate the EOF downstream so the peer
+            // notices (mid-frame leftovers simply never arrive, which
+            // is exactly what a dying sender looks like).
+            Ok(0) => {
+                let _ = dst.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => reader.push(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return sever(&src, &dst),
+        }
+    }
+}
+
+/// Re-frames a payload through the real wire codec (the proxy forwards
+/// what it parsed, so partial source frames are never relayed). The
+/// payload came out of [`FrameReader`], which already enforced the
+/// frame cap.
+fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    frame(payload).expect("parsed frame is within the cap")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{ShardBackend, ShardError};
+    use crate::remote::RemoteShard;
+    use crate::server::{serve_shard, ShardServerConfig, ShardServerHandle};
+    use crate::wire::{WireError, OP_INSERT, OP_QUERY};
+    use scq_bbox::CornerQuery;
+    use scq_engine::IndexKind;
+    use scq_region::{AaBox, Region};
+
+    fn universe() -> AaBox<2> {
+        AaBox::new([0.0, 0.0], [100.0, 100.0])
+    }
+
+    fn boxed(x: f64, y: f64, w: f64, h: f64) -> Region<2> {
+        Region::from_box(AaBox::new([x, y], [x + w, y + h]))
+    }
+
+    /// A shard server, a proxy in front of it, and a RemoteShard that
+    /// only knows the proxy's address.
+    fn start() -> (ShardServerHandle, FaultProxy, RemoteShard) {
+        let server = serve_shard(&ShardServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            universe_size: 100.0,
+            ..ShardServerConfig::default()
+        })
+        .expect("bind shard server");
+        let proxy = FaultProxy::start(&server.addr().to_string()).expect("bind proxy");
+        let remote = RemoteShard::connect(
+            &proxy.addr().to_string(),
+            universe(),
+            Duration::from_secs(5),
+        )
+        .expect("connect through the proxy");
+        (server, proxy, remote)
+    }
+
+    #[test]
+    fn passthrough_proxy_is_invisible() {
+        let (server, proxy, mut remote) = start();
+        let c = remote.create_collection("objs").unwrap();
+        remote.insert(c, boxed(10.0, 10.0, 5.0, 5.0)).unwrap();
+        let mut out = Vec::new();
+        let mut retries = 0;
+        remote
+            .try_corner_query(
+                c,
+                IndexKind::RTree,
+                &CornerQuery::unconstrained(),
+                &mut out,
+                &mut retries,
+            )
+            .unwrap();
+        assert_eq!(retries, 0, "no faults, no retries");
+        assert_eq!(out, vec![0]);
+        assert!(remote.check().is_empty());
+        assert!(proxy.frames_forwarded(Direction::ClientToServer) >= 4);
+        assert_eq!(proxy.severed(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn severed_query_reconnects_and_retries_exactly_once() {
+        let (server, proxy, mut remote) = start();
+        let c = remote.create_collection("objs").unwrap();
+        remote.insert(c, boxed(10.0, 10.0, 5.0, 5.0)).unwrap();
+        proxy.inject(FaultRule {
+            direction: Direction::ClientToServer,
+            matches: FrameMatch::Opcode(OP_QUERY),
+            action: FaultAction::Sever,
+            remaining: 1,
+        });
+        let mut out = Vec::new();
+        let mut retries = 0;
+        remote
+            .try_corner_query(
+                c,
+                IndexKind::RTree,
+                &CornerQuery::unconstrained(),
+                &mut out,
+                &mut retries,
+            )
+            .expect("the retry lands on a fresh connection");
+        assert_eq!(retries, 1, "exactly one reconnect-and-retry");
+        assert_eq!(out, vec![0], "the retried answer is correct");
+        let stats = remote.pool_stats();
+        // The broken socket was re-dialed in place: the pooled client
+        // survives, healthy, and nothing broken lingers in the pool.
+        assert_eq!(stats.idle, 1, "{stats:?}");
+        assert_eq!(proxy.severed(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn mutations_are_never_auto_retried() {
+        let (server, proxy, mut remote) = start();
+        let c = remote.create_collection("objs").unwrap();
+        remote.insert(c, boxed(1.0, 1.0, 2.0, 2.0)).unwrap();
+        // Sever the next INSERT before it reaches the server: the
+        // client must fail the mutation, not replay it.
+        proxy.inject(FaultRule {
+            direction: Direction::ClientToServer,
+            matches: FrameMatch::Opcode(OP_INSERT),
+            action: FaultAction::Sever,
+            remaining: 1,
+        });
+        let err = remote.insert(c, boxed(5.0, 5.0, 2.0, 2.0)).unwrap_err();
+        assert!(matches!(err, ShardError::Wire(_)), "{err}");
+        // Mirror and shard still agree on the OLD state — the shard
+        // never saw the insert, the mirror never recorded it.
+        assert_eq!(remote.collection_len(c), 1);
+        assert!(remote.check().is_empty(), "{:?}", remote.check());
+        // And the connection heals for the next mutation.
+        assert_eq!(remote.insert(c, boxed(5.0, 5.0, 2.0, 2.0)).unwrap(), 1);
+        assert!(remote.check().is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_lost_ack_surfaces_as_mirror_drift_not_a_silent_retry() {
+        // The reason mutations must not auto-retry: once the request
+        // reached the shard, a lost ack leaves the shard mutated and
+        // the mirror not — replaying would double-apply. The client
+        // errors out and the drift is *detectable* via check().
+        let (server, proxy, mut remote) = start();
+        let c = remote.create_collection("objs").unwrap();
+        remote.insert(c, boxed(1.0, 1.0, 2.0, 2.0)).unwrap();
+        proxy.inject(FaultRule {
+            direction: Direction::ServerToClient,
+            matches: FrameMatch::Any,
+            action: FaultAction::Sever,
+            remaining: 1,
+        });
+        let err = remote.remove(c, 0).unwrap_err();
+        assert!(matches!(err, ShardError::Wire(_)), "{err}");
+        let problems = remote.check();
+        assert!(
+            problems.iter().any(|p| p.contains("drift")),
+            "a lost ack must be visible as mirror drift: {problems:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn truncation_mid_length_prefix_is_the_named_error() {
+        let (server, proxy, mut remote) = start();
+        let c = remote.create_collection("objs").unwrap();
+        // Let 2 of the 4 length-prefix bytes of the next response
+        // through, then sever: the client must report the distinct
+        // prefix-truncation error, not a generic I/O failure. Use a
+        // mutation so no retry masks the error.
+        proxy.inject(FaultRule {
+            direction: Direction::ServerToClient,
+            matches: FrameMatch::Any,
+            action: FaultAction::Truncate { keep: 2 },
+            remaining: 1,
+        });
+        let err = remote.insert(c, boxed(1.0, 1.0, 2.0, 2.0)).unwrap_err();
+        assert_eq!(
+            err,
+            ShardError::Wire(WireError::TruncatedLengthPrefix { got: 2 }),
+            "mid-prefix close must be the named error"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn truncation_mid_body_is_a_named_error_too() {
+        let (server, proxy, mut remote) = start();
+        let c = remote.create_collection("objs").unwrap();
+        proxy.inject(FaultRule {
+            direction: Direction::ServerToClient,
+            matches: FrameMatch::Any,
+            action: FaultAction::Truncate { keep: 5 },
+            remaining: 1,
+        });
+        let err = remote.insert(c, boxed(1.0, 1.0, 2.0, 2.0)).unwrap_err();
+        assert_eq!(err, ShardError::Wire(WireError::Truncated), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbled_responses_are_named_decode_errors_and_queries_recover() {
+        let (server, proxy, mut remote) = start();
+        let c = remote.create_collection("objs").unwrap();
+        remote.insert(c, boxed(10.0, 10.0, 5.0, 5.0)).unwrap();
+        // Corrupt the response-kind byte of the next response: the
+        // decode fails loudly, the connection is dropped, and the
+        // idempotent query transparently retries on a fresh one.
+        proxy.inject(FaultRule {
+            direction: Direction::ServerToClient,
+            matches: FrameMatch::Any,
+            action: FaultAction::Garble {
+                offset: 1,
+                xor: 0x77,
+            },
+            remaining: 1,
+        });
+        let mut out = Vec::new();
+        let mut retries = 0;
+        remote
+            .try_corner_query(
+                c,
+                IndexKind::Scan,
+                &CornerQuery::unconstrained(),
+                &mut out,
+                &mut retries,
+            )
+            .unwrap();
+        assert_eq!(retries, 1, "the garbled exchange is retried once");
+        assert_eq!(out, vec![0]);
+        server.shutdown();
+    }
+
+    /// The tentpole concurrency proof: two corner queries on ONE
+    /// `RemoteShard` are in flight at the same time over distinct
+    /// pooled connections. The first query's request frame is parked at
+    /// a gate; while it is provably held, the second query runs to
+    /// completion on another connection; then the gate opens and the
+    /// first completes too. No sleeps, no racing clocks.
+    #[test]
+    fn concurrent_queries_overlap_on_distinct_pooled_connections() {
+        let (server, proxy, mut remote) = start();
+        let c = remote.create_collection("objs").unwrap();
+        remote.insert(c, boxed(10.0, 10.0, 5.0, 5.0)).unwrap();
+        remote.insert(c, boxed(60.0, 60.0, 5.0, 5.0)).unwrap();
+        let gate = FaultGate::new();
+        proxy.inject(FaultRule {
+            direction: Direction::ClientToServer,
+            matches: FrameMatch::Opcode(OP_QUERY),
+            action: FaultAction::Hold(gate.clone()),
+            remaining: 1,
+        });
+        let remote = &remote;
+        std::thread::scope(|scope| {
+            let held = scope.spawn(move || {
+                let mut out = Vec::new();
+                remote
+                    .try_corner_query(
+                        c,
+                        IndexKind::RTree,
+                        &CornerQuery::unconstrained(),
+                        &mut out,
+                        &mut 0,
+                    )
+                    .expect("held query completes after the gate opens");
+                out.sort_unstable();
+                out
+            });
+            assert!(
+                gate.wait_for_hold(Duration::from_secs(10)),
+                "the first query must reach the gate"
+            );
+            // First query provably in flight. A second on the SAME
+            // RemoteShard completes — impossible over one serialized
+            // socket.
+            let mut out = Vec::new();
+            remote
+                .try_corner_query(
+                    c,
+                    IndexKind::RTree,
+                    &CornerQuery::unconstrained(),
+                    &mut out,
+                    &mut 0,
+                )
+                .expect("the overlapping query completes while the first is held");
+            out.sort_unstable();
+            assert_eq!(out, vec![0, 1]);
+            assert!(
+                gate.holding() > 0,
+                "the first query is still parked at the gate"
+            );
+            gate.open();
+            assert_eq!(held.join().expect("no panic"), vec![0, 1]);
+        });
+        let stats = remote.pool_stats();
+        assert!(
+            stats.peak_in_flight >= 2,
+            "both queries must have held connections at once: {stats:?}"
+        );
+        assert!(stats.created >= 2, "{stats:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn partition_and_heal_round_trips_without_a_new_client() {
+        let (server, proxy, mut remote) = start();
+        let c = remote.create_collection("objs").unwrap();
+        remote.insert(c, boxed(10.0, 10.0, 5.0, 5.0)).unwrap();
+        proxy.partition();
+        let mut out = Vec::new();
+        let mut retries = 0;
+        assert!(
+            remote
+                .try_corner_query(
+                    c,
+                    IndexKind::RTree,
+                    &CornerQuery::unconstrained(),
+                    &mut out,
+                    &mut retries,
+                )
+                .is_err(),
+            "a partitioned shard cannot answer"
+        );
+        assert!(out.is_empty());
+        assert_eq!(
+            retries, 1,
+            "the failed probe still accounts for its retry attempt"
+        );
+        proxy.heal();
+        let mut out = Vec::new();
+        remote
+            .try_corner_query(
+                c,
+                IndexKind::RTree,
+                &CornerQuery::unconstrained(),
+                &mut out,
+                &mut 0,
+            )
+            .expect("the healed shard answers the same client");
+        assert_eq!(out, vec![0]);
+        // Mirror and shard are still in lockstep after the outage.
+        assert!(remote.check().is_empty(), "{:?}", remote.check());
+        server.shutdown();
+    }
+}

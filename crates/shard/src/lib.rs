@@ -43,11 +43,23 @@
 //! database — same global refs, same migration-on-update, same
 //! snapshot manifest, property-tested identical to the in-process
 //! store (`tests/cluster_props.rs`).
+//!
+//! Since PR 5 the remote transport is a **connection pool** (N
+//! lazily-dialed sockets per shard, sized by the spec's `pool`
+//! directive), so concurrent executors probe one shard in parallel,
+//! and reads are **first-class degraded**: a shard process dying
+//! mid-query costs its candidates, not the query — the result comes
+//! back [`scq_engine::QueryOutcome::Partial`] naming the missing
+//! shards, with `ExecStats { shards_unavailable, retries }` counting
+//! the damage. Mutations still fail loudly and are never auto-retried.
+//! Every failure path is reproducible in `cargo test` through the
+//! deterministic [`fault::FaultProxy`].
 
 pub mod backend;
 pub mod cluster;
 pub mod database;
 pub mod exec;
+pub mod fault;
 pub mod remote;
 pub mod router;
 pub mod server;
@@ -58,7 +70,8 @@ pub use backend::{LocalShard, ShardBackend, ShardError};
 pub use cluster::{ClusterError, ClusterSpec, ClusterSpecError, ShardSpec};
 pub use database::{ShardedDatabase, DEFAULT_ROUTER_BITS};
 pub use exec::{execute, execute_fanout};
-pub use remote::RemoteShard;
+pub use fault::{Direction, FaultAction, FaultGate, FaultProxy, FaultRule, FrameMatch};
+pub use remote::{PoolStats, RemoteShard, DEFAULT_POOL_SIZE};
 pub use router::ShardRouter;
 pub use server::{serve_shard, ShardServerConfig, ShardServerHandle};
 pub use snapshot::{load_from_dir, reload_from_dir, save_to_dir, ShardSnapshotError};

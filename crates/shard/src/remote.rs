@@ -13,13 +13,20 @@
 //!   wire. Executors bind `&Region` out of the mirror exactly as they
 //!   would out of a local database.
 //!
-//! The connection is one [`std::net::TcpStream`] behind a mutex, so a
-//! `RemoteShard` is `Sync` and the work-stealing parallel executor can
-//! share it across workers (requests serialize per shard; different
-//! shards proceed in parallel). Idempotent reads (queries, stats,
-//! snapshot pulls, checks) transparently reconnect and retry **once**
-//! after a connection failure; mutations never auto-retry — a lost ack
-//! is indistinguishable from a lost request, and replaying an insert
+//! Transport is a **connection pool**: up to [`RemoteShard::pool_size`]
+//! lazily-dialed [`std::net::TcpStream`]s, each checked out for exactly
+//! one request/response exchange, so concurrent executor threads and
+//! `execute_fanout` workers probe the same shard **in parallel**
+//! instead of convoying behind one socket (the single-mutex design
+//! this replaced). A connection that breaks mid-use is discarded at
+//! check-in and its successor re-dials; when every connection is
+//! checked out, further requests wait for one to return rather than
+//! dialing without bound. Idempotent reads (queries, stats, snapshot
+//! pulls, checks) transparently reconnect and retry **once** after a
+//! connection failure — the retry count surfaces through
+//! [`crate::ShardBackend::try_corner_query`] into
+//! `ExecStats::retries`; mutations never auto-retry — a lost ack is
+//! indistinguishable from a lost request, and replaying an insert
 //! would double it. [`RemoteShard::connect`] polls until the shard
 //! process is reachable (readiness), validates the wire version, and
 //! pulls the shard's snapshot to seed the mirror, rejecting a shard
@@ -29,7 +36,7 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::TcpStream;
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -112,7 +119,15 @@ impl WireClient {
 
     /// One request with connection establishment; `idempotent` requests
     /// are retried once on a transport failure after reconnecting.
-    fn request(&mut self, req: &Request, idempotent: bool) -> Result<Response, WireError> {
+    /// Every retry attempted is counted into `retries` **before** its
+    /// outcome is known, so a probe that retried and still failed is
+    /// distinguishable from one that never got a second chance.
+    fn request(
+        &mut self,
+        req: &Request,
+        idempotent: bool,
+        retries: &mut usize,
+    ) -> Result<Response, WireError> {
         if self.stream.is_none() {
             self.connect_now()?;
         }
@@ -124,6 +139,7 @@ impl WireClient {
             Err(e) if idempotent => {
                 // transport died mid-exchange: reconnect, retry once
                 let _ = e;
+                *retries += 1;
                 self.connect_now()?;
                 self.exchange(req)
             }
@@ -132,26 +148,153 @@ impl WireClient {
     }
 }
 
+/// How many pooled wire connections a [`RemoteShard`] holds when no
+/// explicit pool size is configured (the `pool` directive of a
+/// [`crate::ClusterSpec`]).
+pub const DEFAULT_POOL_SIZE: usize = 4;
+
+/// Observable connection-pool counters (diagnostics and tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Wire clients ever created (each dials lazily on its first use).
+    pub created: usize,
+    /// Broken clients discarded at check-in (their successors re-dial).
+    pub discarded: usize,
+    /// Most connections checked out at the same time — proof of
+    /// concurrent probes on one shard.
+    pub peak_in_flight: usize,
+    /// Connections idle in the pool right now.
+    pub idle: usize,
+}
+
+struct PoolState {
+    idle: Vec<WireClient>,
+    in_flight: usize,
+    created: usize,
+    discarded: usize,
+    peak_in_flight: usize,
+}
+
+/// A bounded pool of [`WireClient`]s to one shard process. Checkout
+/// hands out an idle connection when one exists, creates a fresh
+/// lazily-dialing client while under the cap, and otherwise blocks
+/// until a peer checks one back in — concurrency is bounded by the
+/// configured pool size, never by a single serialized socket.
+struct ConnectionPool {
+    addr: String,
+    cap: usize,
+    state: Mutex<PoolState>,
+    returned: Condvar,
+}
+
+impl ConnectionPool {
+    fn new(addr: String, cap: usize) -> ConnectionPool {
+        ConnectionPool {
+            addr,
+            cap: cap.max(1),
+            state: Mutex::new(PoolState {
+                idle: Vec::new(),
+                in_flight: 0,
+                created: 0,
+                discarded: 0,
+                peak_in_flight: 0,
+            }),
+            returned: Condvar::new(),
+        }
+    }
+
+    fn checkout(&self) -> Result<WireClient, ShardError> {
+        let lock_err = |_| ShardError::Rejected("connection pool lock poisoned".into());
+        let mut st = self.state.lock().map_err(lock_err)?;
+        loop {
+            if let Some(client) = st.idle.pop() {
+                st.in_flight += 1;
+                st.peak_in_flight = st.peak_in_flight.max(st.in_flight);
+                return Ok(client);
+            }
+            if st.in_flight < self.cap {
+                st.in_flight += 1;
+                st.created += 1;
+                st.peak_in_flight = st.peak_in_flight.max(st.in_flight);
+                return Ok(WireClient {
+                    addr: self.addr.clone(),
+                    stream: None,
+                });
+            }
+            st = self.returned.wait(st).map_err(lock_err)?;
+        }
+    }
+
+    /// Returns a client to the pool. A client whose connection died
+    /// mid-use (its stream was dropped on the I/O error) is discarded
+    /// here, so the pool never hands a known-broken connection to the
+    /// next caller — they get a fresh lazily-dialing client instead.
+    fn checkin(&self, client: WireClient) {
+        let Ok(mut st) = self.state.lock() else {
+            return;
+        };
+        st.in_flight -= 1;
+        if client.stream.is_some() {
+            st.idle.push(client);
+        } else {
+            st.discarded += 1;
+        }
+        drop(st);
+        self.returned.notify_one();
+    }
+
+    fn stats(&self) -> PoolStats {
+        let st = self.state.lock().expect("pool lock poisoned");
+        PoolStats {
+            created: st.created,
+            discarded: st.discarded,
+            peak_in_flight: st.peak_in_flight,
+            idle: st.idle.len(),
+        }
+    }
+
+    /// Severs every idle pooled connection in place (tests: the next
+    /// users must transparently re-dial).
+    #[cfg(test)]
+    fn break_idle(&self) {
+        let mut st = self.state.lock().expect("pool lock poisoned");
+        for client in &mut st.idle {
+            client.stream = None;
+        }
+    }
+}
+
 /// A shard living in another process, reached over the wire protocol.
 pub struct RemoteShard {
     addr: String,
     universe: AaBox<2>,
-    client: Mutex<WireClient>,
+    pool: ConnectionPool,
     collections: Vec<MirrorCollection>,
     by_name: HashMap<String, usize>,
 }
 
 impl RemoteShard {
+    /// [`RemoteShard::connect_pooled`] with [`DEFAULT_POOL_SIZE`]
+    /// connections.
+    pub fn connect(addr: &str, universe: AaBox<2>, wait: Duration) -> Result<Self, ShardError> {
+        Self::connect_pooled(addr, universe, wait, DEFAULT_POOL_SIZE)
+    }
+
     /// Connects to a shard process, polling until it is reachable (at
     /// most `wait`), then handshakes and seeds the mirror from the
     /// shard's current snapshot. Fails on a wire version mismatch or
     /// when the shard's universe differs from `universe` — a
-    /// misconfigured deployment must not come up quietly.
-    pub fn connect(addr: &str, universe: AaBox<2>, wait: Duration) -> Result<Self, ShardError> {
-        let mut client = WireClient {
-            addr: addr.to_owned(),
-            stream: None,
-        };
+    /// misconfigured deployment must not come up quietly. The shard
+    /// holds at most `pool_size` concurrent wire connections, each
+    /// dialed lazily on first use.
+    pub fn connect_pooled(
+        addr: &str,
+        universe: AaBox<2>,
+        wait: Duration,
+        pool_size: usize,
+    ) -> Result<Self, ShardError> {
+        let pool = ConnectionPool::new(addr.to_owned(), pool_size);
+        let mut client = pool.checkout()?;
         let deadline = Instant::now() + wait;
         loop {
             match client.connect_now() {
@@ -160,20 +303,23 @@ impl RemoteShard {
                 // heal by waiting; only connection refusals are
                 // readiness.
                 Err(e @ WireError::VersionMismatch { .. }) | Err(e @ WireError::Remote(_)) => {
-                    return Err(e.into())
+                    pool.checkin(client);
+                    return Err(e.into());
                 }
                 Err(e) => {
                     if Instant::now() >= deadline {
+                        pool.checkin(client);
                         return Err(ShardError::Wire(e));
                     }
                     std::thread::sleep(Duration::from_millis(100));
                 }
             }
         }
+        pool.checkin(client);
         let mut shard = RemoteShard {
             addr: addr.to_owned(),
             universe,
-            client: Mutex::new(client),
+            pool,
             collections: Vec::new(),
             by_name: HashMap::new(),
         };
@@ -188,6 +334,16 @@ impl RemoteShard {
         &self.addr
     }
 
+    /// The configured connection-pool size.
+    pub fn pool_size(&self) -> usize {
+        self.pool.cap
+    }
+
+    /// Connection-pool counters (dials, discards, peak concurrency).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
     /// Whether the shard holds no collections at all (a fresh process;
     /// the only state a cluster may be assembled over without a
     /// manifest).
@@ -196,11 +352,22 @@ impl RemoteShard {
     }
 
     fn request(&self, req: &Request, idempotent: bool) -> Result<Response, ShardError> {
-        let mut client = self
-            .client
-            .lock()
-            .map_err(|_| ShardError::Rejected("wire client lock poisoned".into()))?;
-        client.request(req, idempotent).map_err(ShardError::from)
+        let mut retries = 0;
+        self.request_retrying(req, idempotent, &mut retries)
+    }
+
+    /// One pooled request/response exchange, accumulating transport
+    /// retries into `retries` whether the exchange succeeds or not.
+    fn request_retrying(
+        &self,
+        req: &Request,
+        idempotent: bool,
+        retries: &mut usize,
+    ) -> Result<Response, ShardError> {
+        let mut client = self.pool.checkout()?;
+        let result = client.request(req, idempotent, retries);
+        self.pool.checkin(client);
+        result.map_err(ShardError::from)
     }
 
     /// Decodes and validates an `SCQS` stream (exactly like a shard
@@ -421,20 +588,22 @@ impl ShardBackend for RemoteShard {
         }
     }
 
-    fn query_collection(
+    fn try_corner_query(
         &self,
         coll: CollectionId,
         kind: IndexKind,
         q: &CornerQuery<2>,
         out: &mut Vec<u64>,
+        retries: &mut usize,
     ) -> Result<(), ShardError> {
-        let resp = self.request(
+        let resp = self.request_retrying(
             &Request::Query {
                 coll,
                 kind,
                 query: *q,
             },
             true,
+            retries,
         )?;
         match resp {
             Response::Ids(ids) => {
@@ -604,6 +773,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             threads: 2,
             universe_size: 100.0,
+            ..ShardServerConfig::default()
         })
         .unwrap();
         let shard = RemoteShard::connect(
@@ -659,8 +829,14 @@ mod tests {
         let q = CornerQuery::unconstrained().and_overlaps(&Bbox::new([0.0, 0.0], [50.0, 95.0]));
         for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
             let (mut a, mut b) = (Vec::new(), Vec::new());
-            remote.query_collection(c_r, kind, &q, &mut a).unwrap();
-            local.query_collection(c_l, kind, &q, &mut b).unwrap();
+            let mut retries = 0;
+            remote
+                .try_corner_query(c_r, kind, &q, &mut a, &mut retries)
+                .unwrap();
+            local
+                .try_corner_query(c_l, kind, &q, &mut b, &mut retries)
+                .unwrap();
+            assert_eq!(retries, 0, "healthy backends never retry");
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "{kind:?}");
@@ -699,6 +875,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             threads: 1,
             universe_size: 500.0, // shard disagrees with the cluster
+            ..ShardServerConfig::default()
         })
         .unwrap();
         let err = RemoteShard::connect(
@@ -717,19 +894,75 @@ mod tests {
         let (server, mut remote) = start();
         let c = remote.create_collection("objs").unwrap();
         remote.insert(c, boxed(10.0, 10.0, 5.0, 5.0)).unwrap();
-        // Poison the client's socket by replacing it with one the
-        // server never saw a handshake on… the next idempotent request
-        // reconnects and retries.
-        {
-            let mut client = remote.client.lock().unwrap();
-            client.stream = None;
-        }
+        // Sever every pooled connection in place… the next idempotent
+        // request transparently re-dials.
+        remote.pool.break_idle();
         let mut out = Vec::new();
         remote
-            .query_collection(c, IndexKind::RTree, &CornerQuery::unconstrained(), &mut out)
+            .try_corner_query(
+                c,
+                IndexKind::RTree,
+                &CornerQuery::unconstrained(),
+                &mut out,
+                &mut 0,
+            )
             .unwrap();
         assert_eq!(out, vec![0]);
         server.shutdown();
+    }
+
+    #[test]
+    fn sequential_requests_reuse_one_pooled_connection() {
+        let (server, mut remote) = start();
+        let c = remote.create_collection("objs").unwrap();
+        for i in 0..6 {
+            remote
+                .insert(c, boxed(i as f64 * 10.0, 5.0, 3.0, 3.0))
+                .unwrap();
+            let mut out = Vec::new();
+            remote
+                .try_corner_query(
+                    c,
+                    IndexKind::Scan,
+                    &CornerQuery::unconstrained(),
+                    &mut out,
+                    &mut 0,
+                )
+                .unwrap();
+            assert_eq!(out.len(), i + 1);
+        }
+        let stats = remote.pool_stats();
+        assert_eq!(
+            stats.created, 1,
+            "sequential traffic convoys onto one connection: {stats:?}"
+        );
+        assert_eq!(stats.discarded, 0, "{stats:?}");
+        assert_eq!(stats.idle, 1, "{stats:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn broken_connections_are_discarded_and_redialed() {
+        let (server, mut remote) = start();
+        let c = remote.create_collection("objs").unwrap();
+        remote.insert(c, boxed(1.0, 1.0, 2.0, 2.0)).unwrap();
+        let before = remote.pool_stats();
+        // Kill the server: the in-flight exchange fails, the broken
+        // connection must NOT be pooled again.
+        server.shutdown();
+        let mut out = Vec::new();
+        assert!(remote
+            .try_corner_query(
+                c,
+                IndexKind::RTree,
+                &CornerQuery::unconstrained(),
+                &mut out,
+                &mut 0,
+            )
+            .is_err());
+        let after = remote.pool_stats();
+        assert_eq!(after.idle, 0, "a dead connection went back to the pool");
+        assert!(after.discarded > before.discarded, "{after:?}");
     }
 
     #[test]

@@ -8,11 +8,18 @@
 //! router connection and any number of diagnostic connections can work
 //! concurrently.
 //!
-//! Connection handling mirrors `scq-serve`'s front end: a fixed worker
-//! pool shares one listener, each connection reads frames through a
-//! short receive timeout so [`ShardServerHandle::shutdown`] never hangs
-//! on an idle peer, and every decoded request gets exactly one response
-//! frame. Framing-level poison — an oversized length prefix, a frame
+//! Connection handling is **thread-per-connection** behind a small
+//! acceptor pool: router tiers keep a *pool* of long-lived connections
+//! per shard (so their concurrent probes overlap on the wire), and a
+//! fixed serve-to-completion worker pool would cap that concurrency at
+//! the worker count — the connection past the cap would hang in the
+//! accept backlog until its peer times out. Acceptors hand each
+//! connection its own handler thread instead; connection count is
+//! bounded in practice by the clients' pool sizes. Each connection
+//! reads frames through a short receive timeout so
+//! [`ShardServerHandle::shutdown`] never hangs on an idle peer, and
+//! every decoded request gets exactly one response frame.
+//! Framing-level poison — an oversized length prefix, a frame
 //! that fails to decode — earns an error response and a closed
 //! connection (the stream cannot be resynchronized); shard-level
 //! failures (unknown collection, bad snapshot payload) are ordinary
@@ -21,7 +28,7 @@
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 use scq_engine::{snapshot, CollectionId, SpatialDatabase};
@@ -36,8 +43,18 @@ use crate::wire::{
 pub struct ShardServerConfig {
     /// Listen address (`127.0.0.1:0` for an ephemeral port).
     pub addr: String,
-    /// Worker threads accepting connections.
+    /// Acceptor threads sharing the listener. Each accepted connection
+    /// gets its own handler thread, so this bounds accept throughput,
+    /// not connection concurrency (see
+    /// [`ShardServerConfig::max_connections`]).
     pub threads: usize,
+    /// Hard cap on concurrently served connections: a connection
+    /// accepted while this many handlers are live is closed
+    /// immediately (its peer sees a transport failure, which router
+    /// tiers degrade or retry). Bounds the thread-per-connection
+    /// model against misbehaving or malicious peers; size it to the
+    /// sum of your router tiers' pool sizes plus diagnostic headroom.
+    pub max_connections: usize,
     /// The universe square side: the shard spans `[0, size]²`. Must
     /// match the router tier's universe or the cluster handshake's
     /// consistency checks will reject the shard.
@@ -49,16 +66,19 @@ impl Default for ShardServerConfig {
         ShardServerConfig {
             addr: "127.0.0.1:0".into(),
             threads: 2,
+            max_connections: 64,
             universe_size: 1000.0,
         }
     }
 }
 
-/// A running shard server: bound address plus the worker pool.
+/// A running shard server: bound address, acceptor pool and the live
+/// connection handler threads.
 pub struct ShardServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    workers: Vec<JoinHandle<()>>,
+    acceptors: Vec<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl ShardServerHandle {
@@ -67,47 +87,73 @@ impl ShardServerHandle {
         self.addr
     }
 
-    /// Stops accepting, unblocks the workers and joins them.
+    /// Stops accepting, unblocks acceptors and connection handlers,
+    /// and joins them all (handlers notice the stop flag at their next
+    /// receive timeout).
     pub fn shutdown(self) {
         self.stop.store(true, Ordering::SeqCst);
-        for _ in &self.workers {
+        for _ in &self.acceptors {
             let _ = TcpStream::connect(self.addr);
         }
-        for w in self.workers {
-            let _ = w.join();
+        for a in self.acceptors {
+            let _ = a.join();
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock().expect("handler registry"));
+        for h in handlers {
+            let _ = h.join();
         }
     }
 }
 
-/// Starts a shard server: binds, spawns the worker pool, returns
-/// immediately.
+/// Starts a shard server: binds, spawns the acceptor pool, returns
+/// immediately. Every accepted connection is served on its own thread
+/// — a router tier's whole connection pool can be in flight against
+/// this shard at once.
 pub fn serve_shard(config: &ShardServerConfig) -> std::io::Result<ShardServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let universe = AaBox::new([0.0, 0.0], [config.universe_size, config.universe_size]);
     let db = Arc::new(RwLock::new(SpatialDatabase::new(universe)));
     let stop = Arc::new(AtomicBool::new(false));
-    let mut workers = Vec::new();
+    let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let max_connections = config.max_connections.max(1);
+    let mut acceptors = Vec::new();
     for _ in 0..config.threads.max(1) {
         let listener = listener.try_clone()?;
         let db = Arc::clone(&db);
         let stop = Arc::clone(&stop);
-        workers.push(std::thread::spawn(move || {
+        let handlers = Arc::clone(&handlers);
+        acceptors.push(std::thread::spawn(move || {
             for conn in listener.incoming() {
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
-                match conn {
-                    Ok(stream) => serve_connection(stream, &db, &stop),
-                    Err(_) => continue,
+                let Ok(stream) = conn else { continue };
+                let mut registry = handlers.lock().expect("handler registry");
+                // Reap finished handlers here so the registry tracks
+                // *live* connections, not every connection ever
+                // accepted — both for the cap below and so a
+                // long-lived server's memory stays bounded.
+                registry.retain(|h| !h.is_finished());
+                if registry.len() >= max_connections {
+                    // Over the cap: close immediately. The peer sees a
+                    // transport failure and degrades or retries.
+                    drop(stream);
+                    continue;
                 }
+                let db = Arc::clone(&db);
+                let stop = Arc::clone(&stop);
+                registry.push(std::thread::spawn(move || {
+                    serve_connection(stream, &db, &stop)
+                }));
             }
         }));
     }
     Ok(ShardServerHandle {
         addr,
         stop,
-        workers,
+        acceptors,
+        handlers,
     })
 }
 
@@ -339,6 +385,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             threads: 2,
             universe_size: 100.0,
+            ..ShardServerConfig::default()
         })
         .expect("bind shard server")
     }
@@ -469,6 +516,95 @@ mod tests {
             None => panic!("expected an error response before the close"),
         }
         assert_eq!(read_frame(&mut s).unwrap(), None, "connection closed");
+        server.shutdown();
+    }
+
+    #[test]
+    fn one_acceptor_serves_many_concurrent_long_lived_connections() {
+        // Router tiers hold a POOL of long-lived connections per
+        // shard. A serve-to-completion worker pool would wedge the
+        // second connection behind the first until it closed; the
+        // thread-per-connection server must interleave them freely,
+        // even with a single acceptor.
+        let server = serve_shard(&ShardServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            universe_size: 100.0,
+            ..ShardServerConfig::default()
+        })
+        .unwrap();
+        let mut a = hello(server.addr());
+        let mut b = hello(server.addr()); // a is still open and idle
+        assert_eq!(roundtrip(&mut b, &Request::Stat), Response::Stat(vec![]));
+        assert_eq!(roundtrip(&mut a, &Request::Stat), Response::Stat(vec![]));
+        // interleave once more in the other order
+        assert_eq!(roundtrip(&mut a, &Request::Compact), {
+            Response::Remap {
+                reclaimed: 0,
+                remap: vec![],
+            }
+        });
+        assert_eq!(
+            roundtrip(&mut b, &Request::Check),
+            Response::Problems(vec![])
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn connections_over_the_cap_are_refused_and_slots_are_reclaimed() {
+        let server = serve_shard(&ShardServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            max_connections: 1,
+            universe_size: 100.0,
+        })
+        .unwrap();
+        // The first connection fills the cap…
+        let mut a = hello(server.addr());
+        // …so the second is closed before it gets a response.
+        let mut b = TcpStream::connect(server.addr()).unwrap();
+        let _ = b.write_all(
+            &frame(&encode_request(&Request::Hello {
+                version: WIRE_VERSION,
+            }))
+            .unwrap(),
+        );
+        match read_frame(&mut b) {
+            Ok(None) | Err(_) => {} // closed, no protocol answer
+            Ok(Some(p)) => panic!("over-cap connection was served: {p:?}"),
+        }
+        // The capped connection still works…
+        assert_eq!(roundtrip(&mut a, &Request::Stat), Response::Stat(vec![]));
+        // …and closing it frees the slot for a newcomer.
+        assert_eq!(roundtrip(&mut a, &Request::Bye), Response::Ok);
+        drop(a);
+        // The handler may take a moment to wind down after Bye; the
+        // accept-time reap then admits the new connection.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let mut c = TcpStream::connect(server.addr()).unwrap();
+            let ok = (|| {
+                c.write_all(
+                    &frame(&encode_request(&Request::Hello {
+                        version: WIRE_VERSION,
+                    }))
+                    .ok()?,
+                )
+                .ok()?;
+                match read_frame(&mut c) {
+                    Ok(Some(payload)) => crate::wire::decode_response(&payload).ok(),
+                    _ => None,
+                }
+            })();
+            match ok {
+                Some(Response::Hello { .. }) => break,
+                _ if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+                other => panic!("slot never freed: last answer {other:?}"),
+            }
+        }
         server.shutdown();
     }
 

@@ -45,6 +45,15 @@ pub const MAX_FRAME: usize = 64 << 20;
 pub enum WireError {
     /// The stream or frame ended before the declared content.
     Truncated,
+    /// The stream closed inside the 4-byte length prefix itself — the
+    /// peer died before even declaring a frame. Distinct from
+    /// [`WireError::Truncated`] (which means the declared body never
+    /// arrived): a prefix cut is always a transport-level death, never
+    /// a codec disagreement, so retry logic can treat it as such.
+    TruncatedLengthPrefix {
+        /// Prefix bytes that did arrive (1..=3).
+        got: usize,
+    },
     /// A frame declared a payload longer than [`MAX_FRAME`].
     Oversized {
         /// Declared payload length.
@@ -89,6 +98,12 @@ impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WireError::Truncated => write!(f, "frame truncated"),
+            WireError::TruncatedLengthPrefix { got } => {
+                write!(
+                    f,
+                    "stream closed inside a frame length prefix ({got} of 4 bytes)"
+                )
+            }
             WireError::Oversized { bytes, max } => {
                 write!(f, "frame of {bytes} bytes exceeds the {max}-byte cap")
             }
@@ -111,6 +126,25 @@ impl std::fmt::Display for WireError {
             WireError::Unexpected(m) => write!(f, "unexpected response: {m}"),
             WireError::Io(m) => write!(f, "io: {m}"),
         }
+    }
+}
+
+impl WireError {
+    /// Whether this error means the **transport** died (socket failure,
+    /// connection closed mid-exchange) as opposed to the two ends
+    /// disagreeing about the protocol or its contents.
+    ///
+    /// The distinction drives the degraded-read policy: transport
+    /// deaths are expected at scale and degrade a read to a partial
+    /// answer, while protocol-level trouble — a version mismatch, an
+    /// unexpected response shape, undecodable bytes — is a
+    /// misconfigured or corrupt deployment that must stay loud rather
+    /// than masquerade as an outage.
+    pub fn is_transport(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(_) | WireError::Truncated | WireError::TruncatedLengthPrefix { .. }
+        )
     }
 }
 
@@ -262,15 +296,16 @@ pub fn frame(payload: &[u8]) -> Result<Vec<u8>, WireError> {
 }
 
 /// Reads one frame from a blocking stream. Distinguishes a clean close
-/// before any byte (`Ok(None)`) from a close mid-frame
-/// ([`WireError::Truncated`]).
+/// before any byte (`Ok(None)`), a close inside the length prefix
+/// ([`WireError::TruncatedLengthPrefix`]), and a close inside the
+/// declared body ([`WireError::Truncated`]).
 pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<Vec<u8>>, WireError> {
     let mut len = [0u8; 4];
     let mut got = 0;
     while got < 4 {
         match r.read(&mut len[got..]) {
             Ok(0) if got == 0 => return Ok(None),
-            Ok(0) => return Err(WireError::Truncated),
+            Ok(0) => return Err(WireError::TruncatedLengthPrefix { got }),
             Ok(n) => got += n,
             Err(e) => return Err(e.into()),
         }
@@ -462,18 +497,34 @@ fn get_query(buf: &mut &[u8]) -> Result<CornerQuery<2>, WireError> {
 
 // ── request codec ───────────────────────────────────────────────────────
 
-const OP_HELLO: u8 = 0x01;
-const OP_CREATE: u8 = 0x02;
-const OP_INSERT: u8 = 0x03;
-const OP_REMOVE: u8 = 0x04;
-const OP_UPDATE: u8 = 0x05;
-const OP_QUERY: u8 = 0x06;
-const OP_STAT: u8 = 0x07;
-const OP_COMPACT: u8 = 0x08;
-const OP_SNAP_SAVE: u8 = 0x09;
-const OP_SNAP_LOAD: u8 = 0x0A;
-const OP_CHECK: u8 = 0x0B;
-const OP_BYE: u8 = 0x0C;
+// Request opcodes are public protocol surface: the fault-injection
+// proxy ([`crate::fault`]) matches scripted triggers on the first
+// payload byte of a request frame.
+
+/// Opcode of [`Request::Hello`].
+pub const OP_HELLO: u8 = 0x01;
+/// Opcode of [`Request::Create`].
+pub const OP_CREATE: u8 = 0x02;
+/// Opcode of [`Request::Insert`].
+pub const OP_INSERT: u8 = 0x03;
+/// Opcode of [`Request::Remove`].
+pub const OP_REMOVE: u8 = 0x04;
+/// Opcode of [`Request::Update`].
+pub const OP_UPDATE: u8 = 0x05;
+/// Opcode of [`Request::Query`].
+pub const OP_QUERY: u8 = 0x06;
+/// Opcode of [`Request::Stat`].
+pub const OP_STAT: u8 = 0x07;
+/// Opcode of [`Request::Compact`].
+pub const OP_COMPACT: u8 = 0x08;
+/// Opcode of [`Request::SnapshotSave`].
+pub const OP_SNAP_SAVE: u8 = 0x09;
+/// Opcode of [`Request::SnapshotLoad`].
+pub const OP_SNAP_LOAD: u8 = 0x0A;
+/// Opcode of [`Request::Check`].
+pub const OP_CHECK: u8 = 0x0B;
+/// Opcode of [`Request::Bye`].
+pub const OP_BYE: u8 = 0x0C;
 
 /// Serializes a request into a frame payload (no length prefix).
 pub fn encode_request(req: &Request) -> Vec<u8> {
@@ -1055,7 +1106,46 @@ mod tests {
         let mut header_only: &[u8] = &framed[..2];
         assert_eq!(
             read_frame(&mut header_only).err(),
-            Some(WireError::Truncated)
+            Some(WireError::TruncatedLengthPrefix { got: 2 })
         );
+    }
+
+    /// Every truncation offset of a whole **framed** message (length
+    /// prefix included, the layer the payload-truncation test above
+    /// never cut): offset 0 is a clean close, offsets inside the prefix
+    /// are the distinct [`WireError::TruncatedLengthPrefix`], offsets
+    /// inside the declared body are [`WireError::Truncated`]. Run over
+    /// every sample request and response so new frame shapes stay
+    /// covered automatically.
+    #[test]
+    fn every_framing_truncation_offset_is_a_named_error() {
+        let mut framed_messages: Vec<Vec<u8>> = sample_requests()
+            .iter()
+            .map(|r| frame(&encode_request(r)).unwrap())
+            .collect();
+        framed_messages.extend(
+            sample_responses()
+                .iter()
+                .map(|r| frame(&encode_response(r)).unwrap()),
+        );
+        for framed in framed_messages {
+            for cut in 0..framed.len() {
+                let mut r: &[u8] = &framed[..cut];
+                match read_frame(&mut r) {
+                    Ok(None) => assert_eq!(cut, 0, "only an empty stream is a clean close"),
+                    Err(WireError::TruncatedLengthPrefix { got }) => {
+                        assert!((1..4).contains(&cut), "prefix error at offset {cut}");
+                        assert_eq!(got, cut);
+                    }
+                    Err(WireError::Truncated) => {
+                        assert!(cut >= 4, "body error before the prefix completed")
+                    }
+                    other => panic!("offset {cut}: unexpected {other:?}"),
+                }
+            }
+            // the un-truncated frame still reads back whole
+            let mut r: &[u8] = &framed;
+            assert!(read_frame(&mut r).unwrap().is_some());
+        }
     }
 }

@@ -28,6 +28,7 @@ fn main() {
                 addr: "127.0.0.1:0".into(),
                 threads: 1,
                 universe_size: 1000.0,
+                ..ShardServerConfig::default()
             })
             .expect("bind shard server")
         })
@@ -66,13 +67,18 @@ fn main() {
     // ── 4. a pruned corner query ────────────────────────────────────
     let q = CornerQuery::unconstrained().and_contained_in(&Bbox::new([0.0, 0.0], [300.0, 300.0]));
     let mut ids = Vec::new();
-    let pruned = db.query_collection(towns, IndexKind::RTree, &q, &mut ids);
+    let report = db.query_collection(towns, IndexKind::RTree, &q, &mut ids);
     println!(
-        "corner query in the low corner: {} matches, {pruned} of {} shard processes never probed",
+        "corner query in the low corner: {} matches, {} of {} shard processes never probed",
         ids.len(),
+        report.shards_pruned,
         db.n_shards()
     );
-    assert!(pruned > 0, "the router must prune for a corner-bound query");
+    assert!(
+        report.shards_pruned > 0,
+        "the router must prune for a corner-bound query"
+    );
+    assert!(report.is_complete(), "all shard processes answered");
 
     // ── 5. cross-process migration ──────────────────────────────────
     // move an object from the highest-z shard into the low corner

@@ -44,6 +44,7 @@ impl Cluster {
                     addr: "127.0.0.1:0".into(),
                     threads: 1,
                     universe_size: UNIVERSE_SIZE,
+                    ..ShardServerConfig::default()
                 })
                 .expect("bind shard server")
             })
@@ -186,6 +187,200 @@ fn corner_queries() -> Vec<CornerQuery<2>> {
     qs
 }
 
+/// A cluster whose every shard process sits behind a [`FaultProxy`]:
+/// the router only ever dials the proxies, so each shard's connectivity
+/// can be severed and healed independently while the shard process (and
+/// its state) lives on — a deterministic network partition.
+struct ProxiedCluster {
+    servers: Vec<ShardServerHandle>,
+    proxies: Vec<FaultProxy>,
+    db: Option<ShardedDatabase<RemoteShard>>,
+}
+
+impl ProxiedCluster {
+    fn boot(n_shards: usize) -> ProxiedCluster {
+        let servers: Vec<ShardServerHandle> = (0..n_shards)
+            .map(|_| {
+                scq_shard::serve_shard(&ShardServerConfig {
+                    addr: "127.0.0.1:0".into(),
+                    threads: 2,
+                    universe_size: UNIVERSE_SIZE,
+                    ..ShardServerConfig::default()
+                })
+                .expect("bind shard server")
+            })
+            .collect();
+        let proxies: Vec<FaultProxy> = servers
+            .iter()
+            .map(|s| FaultProxy::start(&s.addr().to_string()).expect("bind proxy"))
+            .collect();
+        let universe = AaBox::new([0.0, 0.0], [UNIVERSE_SIZE, UNIVERSE_SIZE]);
+        let addrs: Vec<String> = proxies.iter().map(|p| p.addr().to_string()).collect();
+        let spec = ClusterSpec::balanced(universe, scq_shard::DEFAULT_ROUTER_BITS, &addrs);
+        let db = spec
+            .connect(Duration::from_secs(10))
+            .expect("connect cluster through the proxies");
+        ProxiedCluster {
+            servers,
+            proxies,
+            db: Some(db),
+        }
+    }
+
+    fn db(&mut self) -> &mut ShardedDatabase<RemoteShard> {
+        self.db.as_mut().expect("cluster is up")
+    }
+}
+
+impl Drop for ProxiedCluster {
+    fn drop(&mut self) {
+        self.db.take();
+        self.proxies.clear();
+        for server in self.servers.drain(..) {
+            server.shutdown();
+        }
+    }
+}
+
+/// The kill-a-shard scenario of the acceptance criteria: with one of 4
+/// shards severed **mid-query** (its QUERY frames are cut on the wire,
+/// every reconnect's retry included), `execute_fanout` neither panics
+/// nor hangs — it returns `Partial` naming exactly the missing shard,
+/// and the surviving shards' solutions equal the oracle restricted to
+/// objects they own (their z-ranges). After the partition heals, the
+/// shard rejoins the SAME router — no reconnect ceremony, no restart —
+/// and answers go back to `Complete` and exact.
+#[test]
+fn severed_shard_mid_query_degrades_fanout_to_partial_then_rejoins() {
+    let mut cluster = ProxiedCluster::boot(4);
+    let universe = AaBox::new([0.0, 0.0], [UNIVERSE_SIZE, UNIVERSE_SIZE]);
+    let mut plain = SpatialDatabase::new(universe);
+    let coll = cluster.db().try_collection("objs").expect("create");
+    plain.collection("objs");
+    // A grid spread over the whole square so every shard owns objects.
+    let mut refs = Vec::new();
+    for i in 0..36 {
+        let (x, y) = ((i % 6) as f64 * 16.0 + 2.0, (i / 6) as f64 * 16.0 + 2.0);
+        let r = Region::from_box(AaBox::new([x, y], [x + 5.0, y + 5.0]));
+        refs.push(cluster.db().try_insert(coll, r.clone()).expect("insert"));
+        plain.insert(coll, r);
+    }
+    let owners: std::collections::BTreeSet<usize> =
+        refs.iter().map(|&r| cluster.db().shard_of(r)).collect();
+    assert_eq!(owners.len(), 4, "every shard owns objects: {owners:?}");
+
+    let sys = parse_system("X <= W").unwrap();
+    let q = Query::new(sys)
+        .known(
+            "W",
+            Region::from_box(AaBox::new([0.0, 0.0], [UNIVERSE_SIZE, UNIVERSE_SIZE])),
+        )
+        .from_collection("X", coll);
+    let mut oracle = naive_execute(&plain, &q).unwrap().solutions;
+    oracle.sort();
+
+    // Healthy cluster first: fan-out is Complete and exact.
+    let healthy = scq_shard::execute_fanout(
+        cluster.db(),
+        &q,
+        IndexKind::RTree,
+        scq_engine::ExecOptions::all(),
+    )
+    .unwrap();
+    assert_eq!(healthy.outcome, QueryOutcome::Complete);
+    let mut healthy_solutions = healthy.solutions;
+    healthy_solutions.sort();
+    assert_eq!(healthy_solutions, oracle);
+
+    // Sever shard 2 mid-query: every QUERY frame it is sent — the
+    // retry after the transparent reconnect included — is cut on the
+    // wire. The shard process itself stays alive.
+    let victim = 2usize;
+    cluster.proxies[victim].inject(FaultRule {
+        direction: Direction::ClientToServer,
+        matches: FrameMatch::Opcode(scq_shard::wire::OP_QUERY),
+        action: FaultAction::Sever,
+        remaining: usize::MAX,
+    });
+    let degraded = scq_shard::execute_fanout(
+        cluster.db(),
+        &q,
+        IndexKind::RTree,
+        scq_engine::ExecOptions::all(),
+    )
+    .expect("a dead shard degrades the read, it does not fail the query");
+    assert_eq!(
+        degraded.outcome,
+        QueryOutcome::Partial {
+            missing_shards: vec![victim]
+        },
+        "the partial result names exactly the severed shard"
+    );
+    assert!(degraded.stats.shards_unavailable > 0);
+    // Survivors answer exactly the oracle restricted to their shards.
+    let mut expected: Vec<_> = oracle
+        .iter()
+        .filter(|s| {
+            s.values()
+                .all(|&obj| cluster.db.as_ref().unwrap().shard_of(obj) != victim)
+        })
+        .cloned()
+        .collect();
+    expected.sort();
+    let mut got = degraded.solutions;
+    got.sort();
+    assert_eq!(
+        got, expected,
+        "surviving shards answer their z-ranges exactly"
+    );
+    assert!(
+        got.len() < oracle.len(),
+        "the victim owned solutions, so the partial answer is a strict subset"
+    );
+
+    // The plain (non-fanout) executor degrades identically.
+    let plain_exec = scq_shard::execute(
+        cluster.db(),
+        &q,
+        IndexKind::GridFile,
+        scq_engine::ExecOptions::all(),
+    )
+    .unwrap();
+    assert!(plain_exec.outcome.is_partial());
+    assert_eq!(plain_exec.outcome.missing_shards(), &[victim]);
+
+    // Mutations routed to the severed shard fail with a transport
+    // error — never silently dropped, never retried.
+    cluster.proxies[victim].partition();
+    let on_victim = refs
+        .iter()
+        .find(|&&r| cluster.db.as_ref().unwrap().shard_of(r) == victim)
+        .copied()
+        .unwrap();
+    let err = cluster.db().try_remove(on_victim).unwrap_err();
+    assert!(matches!(err, scq_shard::ShardError::Wire(_)), "{err}");
+
+    // Heal the partition: the shard rejoins the same router with no
+    // restart on either side, and reads are Complete and exact again.
+    cluster.proxies[victim].heal();
+    let recovered = scq_shard::execute_fanout(
+        cluster.db(),
+        &q,
+        IndexKind::RTree,
+        scq_engine::ExecOptions::all(),
+    )
+    .unwrap();
+    assert_eq!(recovered.outcome, QueryOutcome::Complete);
+    let mut recovered_solutions = recovered.solutions;
+    recovered_solutions.sort();
+    assert_eq!(
+        recovered_solutions, oracle,
+        "the rejoined shard answers again"
+    );
+    // Mirror and shards are still in lockstep after the outage.
+    cluster.db().check().expect("cluster consistent after heal");
+}
+
 /// A migration whose target shard process is dead must fail WITHOUT
 /// losing the object: the insert-into-new-shard step runs first, so a
 /// transport failure leaves the object live, queryable and consistent
@@ -196,6 +391,7 @@ fn failed_migration_keeps_the_object_intact() {
         addr: "127.0.0.1:0".into(),
         threads: 1,
         universe_size: UNIVERSE_SIZE,
+        ..ShardServerConfig::default()
     };
     let shard_a = scq_shard::serve_shard(&config).unwrap();
     let shard_b = scq_shard::serve_shard(&config).unwrap();
@@ -402,5 +598,49 @@ proptest! {
             after.sort_unstable();
             prop_assert_eq!(before, after, "compaction changed an answer");
         }
+    }
+}
+
+proptest! {
+    // Pure text-format properties: cheap, so run many cases.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cluster spec text format is a bijection on valid specs:
+    /// format → parse → format is a fixpoint, and parse recovers the
+    /// exact spec — arbitrary (non-balanced) range tilings, pool sizes
+    /// and universes included.
+    #[test]
+    fn cluster_spec_round_trips_format_parse_format(
+        bits in 3u32..10,
+        raw_cuts in prop::collection::vec(1u64..u64::MAX, 0..7),
+        pool in 1usize..33,
+        (ux, uy) in (1u16..2000, 1u16..2000),
+    ) {
+        let space = scq_zorder::key_space(bits);
+        let mut cuts: Vec<u64> = raw_cuts.iter().map(|c| 1 + c % (space - 1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut bounds = vec![0u64];
+        bounds.extend(cuts);
+        bounds.push(space);
+        let shards: Vec<ShardSpec> = bounds
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| ShardSpec {
+                addr: format!("10.0.0.{i}:7{i:03}"),
+                range: (w[0], w[1]),
+            })
+            .collect();
+        let spec = ClusterSpec {
+            universe: AaBox::new([0.0, 0.0], [ux as f64, uy as f64]),
+            bits,
+            pool,
+            shards,
+        };
+        spec.validate().expect("generated specs are valid");
+        let text = spec.to_text();
+        let parsed = ClusterSpec::parse(&text).expect("own output parses");
+        prop_assert_eq!(&parsed, &spec, "parse must recover the spec");
+        prop_assert_eq!(parsed.to_text(), text, "format∘parse is a fixpoint");
     }
 }

@@ -257,4 +257,56 @@ proptest! {
             prop_assert_eq!(before, after, "compaction changed an answer");
         }
     }
+
+    /// SCQM manifest v1→v2 compatibility under arbitrary mutations: a
+    /// database saved with the current (v2) manifest, hand-downgraded
+    /// to a v1 header (version field rewritten, explicit range table
+    /// spliced out — exactly what a v1 writer would have produced for
+    /// a balanced cluster), must reload into a store that answers every
+    /// corner query identically and passes its integrity check.
+    #[test]
+    fn manifest_v1_downgrade_reloads_identically(
+        ops in prop::collection::vec(op_strategy(), 1..80),
+        n_shards in 1usize..6,
+    ) {
+        let universe = AaBox::new([0.0, 0.0], [100.0, 100.0]);
+        let mut sharded = ShardedDatabase::new(universe, n_shards);
+        let mut plain = SpatialDatabase::new(universe);
+        let coll = sharded.collection("objs");
+        prop_assert_eq!(plain.collection("objs"), coll);
+        for op in &ops {
+            apply_both(&mut sharded, &mut plain, coll, op);
+        }
+        let v2 = scq_shard::snapshot::save_manifest(&sharded).to_vec();
+        // Downgrade by hand: version 2 → 1 at offset 4, then splice
+        // out the per-shard range table (16 bytes per shard) that sits
+        // after magic(4) + version(2) + dim(2) + universe(32) +
+        // bits(4) + shard count(4) = 48 bytes.
+        let mut v1 = v2.clone();
+        v1[4..6].copy_from_slice(&1u16.to_le_bytes());
+        v1.drain(48..48 + n_shards * 16);
+        let payloads: Vec<_> = (0..sharded.n_shards())
+            .map(|s| scq_shard::snapshot::save_shard(&sharded, s).unwrap())
+            .collect();
+        let from_v1 = scq_shard::snapshot::load(&v1, &payloads).unwrap();
+        from_v1.check().expect("v1 reload is consistent");
+        let from_v2 = scq_shard::snapshot::load(&v2, &payloads).unwrap();
+        prop_assert_eq!(from_v1.collection_len(coll), sharded.collection_len(coll));
+        prop_assert_eq!(from_v1.live_len(coll), sharded.live_len(coll));
+        for q in corner_queries() {
+            for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+                let mut v1_ids = Vec::new();
+                from_v1.query_collection(coll, kind, &q, &mut v1_ids);
+                v1_ids.sort_unstable();
+                let mut v2_ids = Vec::new();
+                from_v2.query_collection(coll, kind, &q, &mut v2_ids);
+                v2_ids.sort_unstable();
+                prop_assert_eq!(&v1_ids, &v2_ids, "v1 and v2 reloads diverged ({:?})", kind);
+                let mut oracle = Vec::new();
+                plain.query_collection(coll, kind, &q, &mut oracle);
+                oracle.sort_unstable();
+                prop_assert_eq!(&v1_ids, &oracle, "v1 reload diverged from the oracle ({:?})", kind);
+            }
+        }
+    }
 }
