@@ -644,6 +644,19 @@ fn smoke(path: &str) {
         district.stats.shards_unavailable as f64,
     ));
     rows.push((
+        "sharded_district_failovers",
+        district.stats.failovers as f64,
+    ));
+    let breaker_trips: usize = (0..sharded.n_shards())
+        .map(|s| {
+            scq_shard::ShardBackend::health(sharded.backend(s))
+                .iter()
+                .map(|r| r.stats.breaker_trips)
+                .sum::<usize>()
+        })
+        .sum();
+    rows.push(("sharded_district_breaker_trips", breaker_trips as f64));
+    rows.push((
         "sharded_snapshot_roundtrip_8shards_ms",
         median_ms(5, || {
             let manifest = scq_shard::snapshot::save_manifest(&sharded);

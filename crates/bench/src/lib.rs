@@ -253,7 +253,10 @@ pub fn gate_benches(
             ));
             continue;
         };
-        let is_ceiling = name.ends_with("_retries") || name.ends_with("_shards_unavailable");
+        let is_ceiling = name.ends_with("_retries")
+            || name.ends_with("_shards_unavailable")
+            || name.ends_with("_failovers")
+            || name.ends_with("_breaker_trips");
         if name.ends_with("_ms") {
             let limit = base * factor;
             if *cur > limit && cur - base > NOISE_FLOOR_MS {
@@ -346,5 +349,13 @@ mod gate_tests {
         assert!(err[0].contains("failure counter"), "{err:?}");
         let degraded = rows(&[("q_retries", 0.0), ("q_shards_unavailable", 1.0)]);
         assert!(gate_benches(&base, &degraded, 10.0).is_err());
+        // replication counters are ceilings too: a happy-path run that
+        // failed over or tripped a breaker is a regression, not growth
+        let rep = rows(&[("q_failovers", 0.0), ("q_breaker_trips", 0.0)]);
+        assert!(gate_benches(&rep, &rep, 10.0).is_ok());
+        let failed_over = rows(&[("q_failovers", 1.0), ("q_breaker_trips", 0.0)]);
+        assert!(gate_benches(&rep, &failed_over, 10.0).is_err());
+        let tripped = rows(&[("q_failovers", 0.0), ("q_breaker_trips", 1.0)]);
+        assert!(gate_benches(&rep, &tripped, 10.0).is_err());
     }
 }

@@ -256,6 +256,8 @@ pub(crate) fn note_probe(
 ) {
     stats.shards_pruned += report.shards_pruned;
     stats.retries += report.retries;
+    stats.failovers += report.failovers;
+    stats.stale_answers += report.stale_shards.len();
     stats.shards_unavailable += report.missing_shards.len();
     for s in report.missing_shards {
         if !missing.contains(&s) {

@@ -42,6 +42,14 @@ pub struct ExecStats {
     /// performed while answering idempotent requests. Nonzero means
     /// connections broke mid-query but the answers stayed complete.
     pub retries: usize,
+    /// Replica failovers the shard backends performed: an earlier
+    /// replica (usually the primary) was unreachable or skipped by its
+    /// circuit breaker and a later replica answered instead. Always 0
+    /// on a healthy cluster and against an unsharded database.
+    pub failovers: usize,
+    /// Shard probes whose answer was served by a non-primary replica —
+    /// complete but **stale-flagged** (see `ProbeReport::stale_shards`).
+    pub stale_answers: usize,
 }
 
 impl ExecStats {
@@ -64,6 +72,8 @@ impl ExecStats {
             shards_pruned,
             shards_unavailable,
             retries,
+            failovers,
+            stale_answers,
         } = other;
         self.solutions = self.solutions.saturating_add(*solutions);
         self.partial_tuples = self.partial_tuples.saturating_add(*partial_tuples);
@@ -79,6 +89,8 @@ impl ExecStats {
         self.shards_pruned = self.shards_pruned.saturating_add(*shards_pruned);
         self.shards_unavailable = self.shards_unavailable.saturating_add(*shards_unavailable);
         self.retries = self.retries.saturating_add(*retries);
+        self.failovers = self.failovers.saturating_add(*failovers);
+        self.stale_answers = self.stale_answers.saturating_add(*stale_answers);
     }
 
     /// [`ExecStats::merge`] as a value-returning fold step.
@@ -94,7 +106,7 @@ impl std::fmt::Display for ExecStats {
             f,
             "solutions={} partials={} candidates={} row_checks={} row_rejects={} \
              full_checks={} bbox_rejects={} bound={} tombstones={} shards_pruned={} \
-             shards_unavailable={} retries={}",
+             shards_unavailable={} retries={} failovers={} stale_answers={}",
             self.solutions,
             self.partial_tuples,
             self.index_candidates,
@@ -106,7 +118,9 @@ impl std::fmt::Display for ExecStats {
             self.tombstones_skipped,
             self.shards_pruned,
             self.shards_unavailable,
-            self.retries
+            self.retries,
+            self.failovers,
+            self.stale_answers
         )
     }
 }
@@ -191,5 +205,24 @@ mod tests {
         });
         assert_eq!(a.shards_unavailable, 4);
         assert_eq!(a.retries, 3);
+    }
+
+    #[test]
+    fn failover_counters_merge_and_display() {
+        let mut a = ExecStats {
+            failovers: 1,
+            stale_answers: 2,
+            ..Default::default()
+        };
+        a.merge(&ExecStats {
+            failovers: 2,
+            stale_answers: 1,
+            ..Default::default()
+        });
+        assert_eq!(a.failovers, 3);
+        assert_eq!(a.stale_answers, 3);
+        let t = a.to_string();
+        assert!(t.contains("failovers=3"));
+        assert!(t.contains("stale_answers=3"));
     }
 }

@@ -45,10 +45,20 @@ pub struct ProbeReport {
     /// Transport-level retries the backends performed while answering
     /// (reconnect-and-retry on idempotent requests).
     pub retries: usize,
-    /// Shards that were probed but could not answer (process dead,
-    /// connection refused after retry). Their candidates are missing
-    /// from the output. Empty for a fully answered probe.
+    /// Replica failovers the backends performed while answering: a
+    /// shard's primary (or an earlier replica) was unreachable or
+    /// breaker-skipped and a later replica served instead.
+    pub failovers: usize,
+    /// Shards that were probed but could not answer (every replica
+    /// dead or skipped, connection refused after retry). Their
+    /// candidates are missing from the output. Empty for a fully
+    /// answered probe.
     pub missing_shards: Vec<usize>,
+    /// Shards whose answer came from a **non-primary** replica. The
+    /// answer is complete under write-through convergence, but it was
+    /// served by a stand-in — surfaced so operators can tell "healthy"
+    /// from "healthy because the replica caught it".
+    pub stale_shards: Vec<usize>,
 }
 
 impl ProbeReport {

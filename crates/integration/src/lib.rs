@@ -32,8 +32,9 @@ pub mod prelude {
     pub use scq_index::{GridFile, RTree, ScanIndex, SpatialIndex, SplitStrategy};
     pub use scq_region::{AaBox, Region, RegionAlgebra};
     pub use scq_shard::{
-        ClusterSpec, Direction, FaultAction, FaultGate, FaultProxy, FaultRule, FrameMatch,
-        LocalShard, RemoteShard, ShardBackend, ShardRouter, ShardSpec, ShardedDatabase,
+        BreakerConfig, BreakerState, ClusterSpec, Direction, FaultAction, FaultGate, FaultProxy,
+        FaultRule, FrameMatch, LocalShard, ProbeTrace, RemoteShard, ShardBackend, ShardRouter,
+        ShardSpec, ShardedDatabase,
     };
     pub use scq_zorder::{
         decompose, morton_decode, morton_encode, zorder_join, ZCurve, ZOrderIndex,

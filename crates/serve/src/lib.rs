@@ -28,6 +28,7 @@
 //!                                              | PARTIAL missing=<s,…> n=<n> pruned=<p> tuples=<…>
 //! STAT                                         → OK shards=<s> collections=<c> live=<n> backend=<b>
 //!                                                   retries=<r> shards_unavailable=<u> partial_answers=<q>
+//!                                                   failovers=<f> stale_answers=<a> health=<per-shard…>
 //! STAT <coll>                                  → OK len=<slots> live=<n>
 //! SHARDS                                       → OK n=<s> live=<l0,l1,…> backend=<b>
 //! COMPACT                                      → OK reclaimed=<n>
@@ -50,11 +51,19 @@
 //!   listed is correct, but the shard processes named in `missing=`
 //!   could not answer, so their contributions are absent. `OK n=0`
 //!   means "no matches"; `PARTIAL … n=0` means "don't know yet".
-//! * `STAT`'s `retries` / `shards_unavailable` / `partial_answers`
-//!   are cumulative per-process failure counters ([`ServeMetrics`]);
-//!   all three stay 0 on a healthy cluster.
+//! * `STAT`'s `retries` / `shards_unavailable` / `partial_answers` /
+//!   `failovers` / `stale_answers` are cumulative per-process failure
+//!   counters ([`ServeMetrics`]); all of them stay 0 on a healthy
+//!   cluster. `health=` lists every shard's replicas — address, role,
+//!   breaker position (`closed` / `tripped` / `half-open`), trip
+//!   count, connection counters and sync state — so a single sick
+//!   replica is visible from the front end.
+//! * a read answered by a non-primary replica (the primary was dead or
+//!   breaker-skipped) stays complete but is flagged: `QUERY` appends
+//!   `stale=<shards>`, `SOLVE` appends `stale_answers=<n>`.
 //! * `backend` names where the shards live: `local` (in this process)
-//!   or `remote:<addr>` (a cluster of shard processes).
+//!   or `remote:<addr>` (a cluster of shard processes; `<addr>` is the
+//!   first range's write primary).
 //!
 //! Mutations (`INSERT`, `REMOVE`, `UPDATE`, `COMPACT`, snapshot loads)
 //! never degrade: a shard process that cannot acknowledge one yields a

@@ -34,8 +34,9 @@ use scq_shard::{ShardBackend, ShardedDatabase};
 
 /// Cumulative degraded-read counters of one serving process, shared by
 /// every worker and reported by `STAT`. The CI smoke and the bench
-/// gate hold `retries` and `shards_unavailable` at 0 on the happy
-/// path — any drift there means connections are flapping.
+/// gate hold `retries`, `shards_unavailable` and `failovers` at 0 on
+/// the happy path — any drift there means connections are flapping or
+/// a replica is standing in for its primary.
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
     /// Transport reconnect-and-retry events across all commands.
@@ -44,17 +45,59 @@ pub struct ServeMetrics {
     pub shards_unavailable: AtomicUsize,
     /// `QUERY`/`SOLVE` responses that were partial.
     pub partial_answers: AtomicUsize,
+    /// Replica failovers performed while answering reads.
+    pub failovers: AtomicUsize,
+    /// Shard probes answered by a non-primary replica (stale-flagged).
+    pub stale_answers: AtomicUsize,
 }
 
 impl ServeMetrics {
-    fn note(&self, retries: usize, unavailable: usize, partial: bool) {
+    fn note(&self, retries: usize, unavailable: usize, partial: bool, failovers: usize, stale: usize) {
         self.retries.fetch_add(retries, Ordering::Relaxed);
         self.shards_unavailable
             .fetch_add(unavailable, Ordering::Relaxed);
         if partial {
             self.partial_answers.fetch_add(1, Ordering::Relaxed);
         }
+        self.failovers.fetch_add(failovers, Ordering::Relaxed);
+        self.stale_answers.fetch_add(stale, Ordering::Relaxed);
     }
+}
+
+/// Renders the per-shard health section of a plain `STAT` response:
+/// one `shard<i>[…]` entry per shard so a single sick replica is
+/// visible from the front end. For remote backends each replica is
+/// listed as `addr,role,breaker,trips=<t>,conns=<created>/<discarded>/<idle>,sync`;
+/// local (in-process) shards have no transport and report `local`.
+fn shard_health<B: ShardBackend>(d: &ShardedDatabase<B>) -> String {
+    let health = (0..d.n_shards())
+        .map(|s| {
+            let replicas = d.backend(s).health();
+            if replicas.is_empty() {
+                return format!("shard{s}[local]");
+            }
+            let listed = replicas
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{},trips={},conns={}/{}/{},{}",
+                        r.addr,
+                        if r.primary { "primary" } else { "replica" },
+                        r.stats.breaker.as_str(),
+                        r.stats.breaker_trips,
+                        r.stats.created,
+                        r.stats.discarded,
+                        r.stats.idle,
+                        if r.desynced { "desynced" } else { "in-sync" }
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("|");
+            format!("shard{s}[{listed}]")
+        })
+        .collect::<Vec<_>>()
+        .join(";");
+    format!("health={health}")
 }
 
 /// Renders the `missing=` field of a `PARTIAL` response.
@@ -184,6 +227,8 @@ fn dispatch<B: ShardBackend>(
                 report.retries,
                 report.missing_shards.len(),
                 !report.is_complete(),
+                report.failovers,
+                report.stale_shards.len(),
             );
             ids.sort_unstable();
             // `n=` carries the true count; the listing is capped so a
@@ -199,11 +244,18 @@ fn dispatch<B: ShardBackend>(
                 id_list.push_str(",+more");
             }
             let pruned = report.shards_pruned;
+            // Answers that came from a non-primary replica are flagged
+            // (only when any did, so healthy-path expectations hold).
+            let stale = if report.stale_shards.is_empty() {
+                String::new()
+            } else {
+                format!(" stale={}", missing_list(&report.stale_shards))
+            };
             Ok(if report.is_complete() {
-                format!("OK n={} pruned={pruned} ids={id_list}", ids.len())
+                format!("OK n={} pruned={pruned} ids={id_list}{stale}", ids.len())
             } else {
                 format!(
-                    "PARTIAL missing={} n={} pruned={pruned} ids={id_list}",
+                    "PARTIAL missing={} n={} pruned={pruned} ids={id_list}{stale}",
                     missing_list(&report.missing_shards),
                     ids.len()
                 )
@@ -234,13 +286,17 @@ fn dispatch<B: ShardBackend>(
                     let live: usize = d.collections().map(|c| d.live_len(c)).sum();
                     Ok(format!(
                         "OK shards={} collections={} live={live} backend={} \
-                         retries={} shards_unavailable={} partial_answers={}",
+                         retries={} shards_unavailable={} partial_answers={} \
+                         failovers={} stale_answers={} {}",
                         d.n_shards(),
                         d.collections().count(),
                         d.backend(0).describe(),
                         metrics.retries.load(Ordering::Relaxed),
                         metrics.shards_unavailable.load(Ordering::Relaxed),
-                        metrics.partial_answers.load(Ordering::Relaxed)
+                        metrics.partial_answers.load(Ordering::Relaxed),
+                        metrics.failovers.load(Ordering::Relaxed),
+                        metrics.stale_answers.load(Ordering::Relaxed),
+                        shard_health(&d)
                     ))
                 }
                 [name] => {
@@ -343,6 +399,8 @@ fn solve<B: ShardBackend>(
         result.stats.retries,
         result.stats.shards_unavailable,
         result.outcome.is_partial(),
+        result.stats.failovers,
+        result.stats.stale_answers,
     );
     let mut tuples: Vec<String> = result
         .solutions
@@ -360,14 +418,21 @@ fn solve<B: ShardBackend>(
     if tuples.len() > shown {
         listing.push_str("|+more");
     }
+    // Stale marker only when a replica stood in for its primary, so
+    // healthy-path expectations keep matching.
+    let stale = if result.stats.stale_answers == 0 {
+        String::new()
+    } else {
+        format!(" stale_answers={}", result.stats.stale_answers)
+    };
     Ok(match &result.outcome {
         QueryOutcome::Complete => format!(
-            "OK n={} pruned={} tuples={listing}",
+            "OK n={} pruned={} tuples={listing}{stale}",
             result.solutions.len(),
             result.stats.shards_pruned
         ),
         QueryOutcome::Partial { missing_shards } => format!(
-            "PARTIAL missing={} n={} pruned={} tuples={listing}",
+            "PARTIAL missing={} n={} pruned={} tuples={listing}{stale}",
             missing_list(missing_shards),
             result.solutions.len(),
             result.stats.shards_pruned

@@ -61,6 +61,26 @@ impl From<WireError> for ShardError {
     }
 }
 
+/// Accounting for one corner-query probe: how the backend obtained (or
+/// failed to obtain) the answer. Filled in by
+/// [`ShardBackend::try_corner_query`] and folded into
+/// `ProbeReport`/`ExecStats` by the routing layer. Local backends
+/// leave it untouched.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProbeTrace {
+    /// Transport reconnect-and-retry attempts made while answering,
+    /// counted whether the probe ultimately succeeded or not.
+    pub retries: usize,
+    /// Replicas that failed (or were skipped by an open breaker)
+    /// before one answered — 0 when the primary answered directly.
+    pub failovers: usize,
+    /// Whether the answer came from a non-primary replica. Such an
+    /// answer is correct against the last replicated write, but the
+    /// primary could not confirm it — callers surface it as a
+    /// staleness marker.
+    pub stale: bool,
+}
+
 /// One shard of a [`crate::ShardedDatabase`]: the full contract between
 /// the routing layer and wherever the shard's objects actually live.
 ///
@@ -121,22 +141,24 @@ pub trait ShardBackend: Send + Sync {
     /// Runs a corner query against the chosen index, appending matching
     /// **local** slot indices to `out` (the caller remaps to global).
     ///
-    /// Transport **retries** performed while answering are added to
-    /// `retries` whether the probe ultimately succeeds or not (a remote
-    /// backend reconnects and retries idempotent requests once; local
-    /// backends never retry) — a probe that retried and *then* failed
-    /// still counts, so flapping and dead shards are distinguishable
-    /// from the counters. `Err` means the shard could not answer even
-    /// after retrying — the routing layer treats it as an unavailable
-    /// shard and degrades the read instead of failing the query.
-    /// Implementations must leave `out` untouched on error.
+    /// Probe accounting accumulates into `trace` whether the probe
+    /// ultimately succeeds or not: transport **retries** (a remote
+    /// backend reconnects and retries idempotent requests once per
+    /// replica; local backends never retry) — a probe that retried and
+    /// *then* failed still counts, so flapping and dead shards are
+    /// distinguishable from the counters — plus replica **failovers**
+    /// and whether the answer came from a non-primary (stale). `Err`
+    /// means no replica could answer even after retrying — the routing
+    /// layer treats it as an unavailable shard and degrades the read
+    /// instead of failing the query. Implementations must leave `out`
+    /// untouched on error.
     fn try_corner_query(
         &self,
         coll: CollectionId,
         kind: IndexKind,
         q: &CornerQuery<2>,
         out: &mut Vec<u64>,
-        retries: &mut usize,
+        trace: &mut ProbeTrace,
     ) -> Result<(), ShardError>;
 
     /// Compacts the shard, returning the local-slot remap report.
@@ -145,6 +167,13 @@ pub trait ShardBackend: Send + Sync {
     /// Structural integrity problems of this shard (empty = healthy).
     /// Transport failures surface as problems, not panics.
     fn check(&self) -> Vec<String>;
+
+    /// Per-replica connection/breaker health, one entry per replica in
+    /// failover order. Local backends have no connections and return
+    /// an empty list (the default).
+    fn health(&self) -> Vec<crate::remote::ReplicaHealth> {
+        Vec::new()
+    }
 
     /// The shard's full snapshot stream (the engine's versioned `SCQS`
     /// format) — for a remote backend this is produced by the shard
@@ -238,7 +267,7 @@ impl ShardBackend for LocalShard {
         kind: IndexKind,
         q: &CornerQuery<2>,
         out: &mut Vec<u64>,
-        _retries: &mut usize,
+        _trace: &mut ProbeTrace,
     ) -> Result<(), ShardError> {
         self.0.query_collection(coll, kind, q, out);
         Ok(())

@@ -12,7 +12,7 @@
 //! any query runs, because deployment glue that fails quietly is how
 //! distributed stores rot.
 //!
-//! The text format is deliberately trivial (comments, four directive
+//! The text format is deliberately trivial (comments, five directive
 //! kinds), written and parsed by this module so the CI cluster-smoke
 //! script and a human operator author the same file:
 //!
@@ -21,15 +21,25 @@
 //! universe 0 0 1000 1000
 //! bits 6
 //! pool 4
-//! shard 127.0.0.1:9101 0 2048
-//! shard 127.0.0.1:9102 2048 4096
+//! breaker 3 1000
+//! shard low  127.0.0.1:9101,127.0.0.1:9201 0 2048
+//! shard high 127.0.0.1:9102,127.0.0.1:9202 2048 4096
 //! ```
 //!
-//! `pool` sizes each shard's client-side connection pool (how many
-//! requests may be on the wire to one shard at once); it is optional
-//! and defaults to [`DEFAULT_POOL_SIZE`]. Duplicate shard addresses are
-//! a named validation error — connecting the same process twice would
-//! double-count its objects and desynchronize its mirror.
+//! Each `shard` directive names an **ordered replica set** for one
+//! z-range: the first address is the write primary, the rest are read
+//! replicas in failover order. The bare three-token form
+//! `shard <addr> <zlo> <zhi>` from before replication still parses (a
+//! single-replica shard with a generated name). `pool` sizes each
+//! replica's client-side connection pool (how many requests may be on
+//! the wire to one address at once); `breaker` tunes the per-address
+//! circuit breaker (consecutive transport failures to trip, cooldown
+//! in milliseconds before a half-open probe). Both are optional with
+//! defaults [`DEFAULT_POOL_SIZE`] and [`BreakerConfig::default`].
+//! Duplicate addresses — across replica sets, not just across
+//! primaries — and duplicate shard names are named validation errors:
+//! connecting the same process twice would double-count its objects
+//! and desynchronize its mirror.
 
 use std::path::Path;
 use std::time::Duration;
@@ -38,49 +48,67 @@ use scq_region::AaBox;
 
 use crate::backend::ShardError;
 use crate::database::ShardedDatabase;
-use crate::remote::{RemoteShard, DEFAULT_POOL_SIZE};
+use crate::remote::{BreakerConfig, RemoteShard, DEFAULT_POOL_SIZE};
 use crate::router::{validate_ranges, ShardRouter};
 
-/// One shard process in a [`ClusterSpec`].
+/// One shard — an ordered replica set of processes owning one z-range —
+/// in a [`ClusterSpec`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShardSpec {
-    /// The shard server's address (`host:port`).
-    pub addr: String,
+    /// Operator-facing shard name (no whitespace or commas).
+    pub name: String,
+    /// The replica addresses (`host:port`), in failover order; the
+    /// first is the write primary. Never empty.
+    pub addrs: Vec<String>,
     /// The half-open z-code range `[lo, hi)` this shard owns.
     pub range: (u64, u64),
 }
 
+impl ShardSpec {
+    /// The write primary's address (the first replica).
+    pub fn primary(&self) -> &str {
+        &self.addrs[0]
+    }
+}
+
 /// A cluster of shard processes: universe, routing grid, connection
-/// pool size, shard list.
+/// pool size, breaker tuning, shard list.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ClusterSpec {
     /// The universe every shard must span.
     pub universe: AaBox<2>,
     /// Routing grid resolution (bits per dimension, `1..=16`).
     pub bits: u32,
-    /// Wire connections pooled per shard (concurrent in-flight
-    /// requests to one shard process). At least 1.
+    /// Wire connections pooled per replica address (concurrent
+    /// in-flight requests to one shard process). At least 1.
     pub pool: usize,
-    /// The shard processes, in shard-id order.
+    /// Per-address circuit breaker tuning (trip threshold + cooldown).
+    pub breaker: BreakerConfig,
+    /// The shard replica sets, in shard-id order.
     pub shards: Vec<ShardSpec>,
 }
 
 /// Errors reading or validating a cluster spec.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ClusterSpecError {
-    /// A line failed to parse.
+    /// A line failed to parse. Carries the offending line verbatim so
+    /// an operator can find the typo without opening the file at the
+    /// reported number.
     Parse {
         /// 1-based line number.
         line: usize,
+        /// The offending line's text (comments stripped, trimmed).
+        text: String,
         /// What went wrong.
         message: String,
     },
     /// A required directive is missing or the configuration is
     /// invalid (empty cluster, non-tiling ranges, bad universe…).
     BadConfig(String),
-    /// Two `shard` directives name the same process address.
-    /// Connecting one process twice would double-count its objects, so
-    /// this is its own named error instead of a connect-time surprise.
+    /// The same process address appears twice — across replica sets,
+    /// not just across primaries. Connecting one process twice would
+    /// double-count its objects, so this is its own named error
+    /// instead of a connect-time surprise.
     DuplicateAddress {
         /// The address that appears more than once.
         addr: String,
@@ -92,8 +120,12 @@ pub enum ClusterSpecError {
 impl std::fmt::Display for ClusterSpecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ClusterSpecError::Parse { line, message } => {
-                write!(f, "cluster spec line {line}: {message}")
+            ClusterSpecError::Parse {
+                line,
+                text,
+                message,
+            } => {
+                write!(f, "cluster spec line {line} ({text:?}): {message}")
             }
             ClusterSpecError::BadConfig(m) => write!(f, "bad cluster spec: {m}"),
             ClusterSpecError::DuplicateAddress { addr } => {
@@ -147,16 +179,38 @@ impl ClusterSpec {
     /// If `addrs` is empty or `bits` is outside `1..=16`.
     pub fn balanced(universe: AaBox<2>, bits: u32, addrs: &[String]) -> Self {
         assert!(!addrs.is_empty(), "a cluster needs at least one shard");
-        let ranges = scq_zorder::shard_ranges(bits, addrs.len());
+        let sets: Vec<Vec<String>> = addrs.iter().map(|a| vec![a.clone()]).collect();
+        Self::balanced_replicated(universe, bits, &sets)
+    }
+
+    /// [`ClusterSpec::balanced`] with replica sets: each entry of
+    /// `replica_sets` is one shard's ordered address list (primary
+    /// first), and the z-key space is split evenly across the sets.
+    ///
+    /// # Panics
+    /// If `replica_sets` is empty or `bits` is outside `1..=16`.
+    pub fn balanced_replicated(
+        universe: AaBox<2>,
+        bits: u32,
+        replica_sets: &[Vec<String>],
+    ) -> Self {
+        assert!(
+            !replica_sets.is_empty(),
+            "a cluster needs at least one shard"
+        );
+        let ranges = scq_zorder::shard_ranges(bits, replica_sets.len());
         ClusterSpec {
             universe,
             bits,
             pool: DEFAULT_POOL_SIZE,
-            shards: addrs
+            breaker: BreakerConfig::default(),
+            shards: replica_sets
                 .iter()
                 .zip(ranges)
-                .map(|(addr, range)| ShardSpec {
-                    addr: addr.clone(),
+                .enumerate()
+                .map(|(i, (addrs, range))| ShardSpec {
+                    name: format!("shard{i}"),
+                    addrs: addrs.clone(),
                     range,
                 })
                 .collect(),
@@ -164,8 +218,9 @@ impl ClusterSpec {
     }
 
     /// Checks the spec: bits in range, at least one shard, a positive
-    /// pool size, ranges tiling the key space exactly, and no address
-    /// named twice.
+    /// pool size, a sane breaker, ranges tiling the key space exactly,
+    /// well-formed names, and no address named twice — across replica
+    /// sets, not just across primaries.
     pub fn validate(&self) -> Result<(), ClusterSpecError> {
         if self.universe.is_empty() {
             return Err(ClusterSpecError::BadConfig("empty universe".into()));
@@ -175,11 +230,44 @@ impl ClusterSpec {
                 "pool size must be at least 1".into(),
             ));
         }
+        if self.breaker.threshold == 0 {
+            return Err(ClusterSpecError::BadConfig(
+                "breaker threshold must be at least 1".into(),
+            ));
+        }
+        let malformed =
+            |s: &str| s.is_empty() || s.contains(|c: char| c.is_whitespace() || c == ',');
+        let mut seen_addrs: Vec<&str> = Vec::new();
         for (i, shard) in self.shards.iter().enumerate() {
-            if self.shards[..i].iter().any(|s| s.addr == shard.addr) {
-                return Err(ClusterSpecError::DuplicateAddress {
-                    addr: shard.addr.clone(),
-                });
+            if malformed(&shard.name) {
+                return Err(ClusterSpecError::BadConfig(format!(
+                    "bad shard name {:?} (empty, whitespace or comma)",
+                    shard.name
+                )));
+            }
+            if self.shards[..i].iter().any(|s| s.name == shard.name) {
+                return Err(ClusterSpecError::BadConfig(format!(
+                    "duplicate shard name {:?}",
+                    shard.name
+                )));
+            }
+            if shard.addrs.is_empty() {
+                return Err(ClusterSpecError::BadConfig(format!(
+                    "shard {:?} has no replica addresses",
+                    shard.name
+                )));
+            }
+            for addr in &shard.addrs {
+                if malformed(addr) {
+                    return Err(ClusterSpecError::BadConfig(format!(
+                        "bad replica address {addr:?} in shard {:?}",
+                        shard.name
+                    )));
+                }
+                if seen_addrs.contains(&addr.as_str()) {
+                    return Err(ClusterSpecError::DuplicateAddress { addr: addr.clone() });
+                }
+                seen_addrs.push(addr);
             }
         }
         let ranges: Vec<(u64, u64)> = self.shards.iter().map(|s| s.range).collect();
@@ -191,11 +279,16 @@ impl ClusterSpec {
         let mut universe = None;
         let mut bits = None;
         let mut pool = None;
+        let mut breaker = None;
         let mut shards = Vec::new();
         for (i, raw) in text.lines().enumerate() {
             let line = i + 1;
-            let parse_err = |message: String| ClusterSpecError::Parse { line, message };
             let content = raw.split('#').next().unwrap_or("").trim();
+            let parse_err = |message: String| ClusterSpecError::Parse {
+                line,
+                text: content.to_owned(),
+                message,
+            };
             if content.is_empty() {
                 continue;
             }
@@ -237,10 +330,45 @@ impl ClusterSpec {
                             .ok_or_else(|| parse_err(format!("bad pool size {p:?}")))?,
                     );
                 }
-                "shard" => {
-                    let [addr, lo, hi] = rest[..] else {
-                        return Err(parse_err("usage: shard <addr> <zlo> <zhi>".into()));
+                "breaker" => {
+                    let [k, ms] = rest[..] else {
+                        return Err(parse_err(
+                            "usage: breaker <failure threshold> <cooldown ms>".into(),
+                        ));
                     };
+                    let threshold = k
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&k| k > 0)
+                        .ok_or_else(|| parse_err(format!("bad breaker threshold {k:?}")))?;
+                    let cooldown_ms = ms
+                        .parse::<u64>()
+                        .map_err(|_| parse_err(format!("bad breaker cooldown {ms:?}")))?;
+                    breaker = Some(BreakerConfig {
+                        threshold,
+                        cooldown: Duration::from_millis(cooldown_ms),
+                    });
+                }
+                "shard" => {
+                    // Two arities: the replicated form names the shard
+                    // and lists its replica set, the legacy three-token
+                    // form is a single-replica shard with a generated
+                    // name (kept so pre-replication spec files load).
+                    let (name, addr_list, lo, hi) = match rest[..] {
+                        [name, addrs, lo, hi] => (name.to_owned(), addrs, lo, hi),
+                        [addr, lo, hi] => (format!("shard{}", shards.len()), addr, lo, hi),
+                        _ => {
+                            return Err(parse_err(
+                                "usage: shard <name> <addr>[,<addr>…] <zlo> <zhi> \
+                                 (or legacy: shard <addr> <zlo> <zhi>)"
+                                    .into(),
+                            ))
+                        }
+                    };
+                    let addrs: Vec<String> = addr_list.split(',').map(str::to_owned).collect();
+                    if addrs.iter().any(String::is_empty) {
+                        return Err(parse_err(format!("bad replica list {addr_list:?}")));
+                    }
                     let lo = lo
                         .parse::<u64>()
                         .map_err(|_| parse_err(format!("bad z-range lo {lo:?}")))?;
@@ -248,13 +376,14 @@ impl ClusterSpec {
                         .parse::<u64>()
                         .map_err(|_| parse_err(format!("bad z-range hi {hi:?}")))?;
                     shards.push(ShardSpec {
-                        addr: addr.to_owned(),
+                        name,
+                        addrs,
                         range: (lo, hi),
                     });
                 }
                 other => {
                     return Err(parse_err(format!(
-                        "unknown directive {other:?} (universe | bits | pool | shard)"
+                        "unknown directive {other:?} (universe | bits | pool | breaker | shard)"
                     )))
                 }
             }
@@ -265,6 +394,7 @@ impl ClusterSpec {
             bits: bits
                 .ok_or_else(|| ClusterSpecError::BadConfig("missing bits directive".into()))?,
             pool: pool.unwrap_or(DEFAULT_POOL_SIZE),
+            breaker: breaker.unwrap_or_default(),
             shards,
         };
         spec.validate()?;
@@ -290,8 +420,19 @@ impl ClusterSpec {
         ));
         out.push_str(&format!("bits {}\n", self.bits));
         out.push_str(&format!("pool {}\n", self.pool));
+        out.push_str(&format!(
+            "breaker {} {}\n",
+            self.breaker.threshold,
+            self.breaker.cooldown.as_millis()
+        ));
         for s in &self.shards {
-            out.push_str(&format!("shard {} {} {}\n", s.addr, s.range.0, s.range.1));
+            out.push_str(&format!(
+                "shard {} {} {} {}\n",
+                s.name,
+                s.addrs.join(","),
+                s.range.0,
+                s.range.1
+            ));
         }
         out
     }
@@ -307,16 +448,22 @@ impl ClusterSpec {
         self.validate().map_err(ClusterError::Spec)?;
         let mut backends = Vec::with_capacity(self.shards.len());
         for (shard, spec) in self.shards.iter().enumerate() {
-            let backend = RemoteShard::connect_pooled(&spec.addr, self.universe, wait, self.pool)
-                .map_err(|source| ClusterError::Shard {
+            let backend = RemoteShard::connect_replicated(
+                &spec.addrs,
+                self.universe,
+                wait,
+                self.pool,
+                self.breaker,
+            )
+            .map_err(|source| ClusterError::Shard {
                 shard,
-                addr: spec.addr.clone(),
+                addr: spec.addrs.join(","),
                 source,
             })?;
             if !backend.is_pristine() {
                 return Err(ClusterError::Shard {
                     shard,
-                    addr: spec.addr.clone(),
+                    addr: spec.addrs.join(","),
                     source: ShardError::Rejected(
                         "shard already holds collections; a restarted router must \
                          reload the cluster from a snapshot directory"
@@ -394,12 +541,54 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_addresses_across_replica_sets_are_rejected() {
+        // a:2 is a replica of "low" AND the primary of "high" — the
+        // same process would be connected twice.
+        let text = "universe 0 0 100 100\nbits 6\n\
+                    shard low a:1,a:2 0 2048\nshard high a:2,a:3 2048 4096\n";
+        match ClusterSpec::parse(text) {
+            Err(ClusterSpecError::DuplicateAddress { addr }) => assert_eq!(addr, "a:2"),
+            other => panic!("expected DuplicateAddress, got {other:?}"),
+        }
+        // an address may not even repeat within one replica set
+        let twice = "universe 0 0 100 100\nbits 6\nshard solo a:1,a:1 0 4096\n";
+        assert!(matches!(
+            ClusterSpec::parse(twice),
+            Err(ClusterSpecError::DuplicateAddress { .. })
+        ));
+    }
+
+    #[test]
+    fn replicated_shard_lines_round_trip() {
+        let text = "universe 0 0 100 100\nbits 6\nbreaker 5 250\n\
+                    shard low a:1,a:2 0 2048\nshard high b:1,b:2,b:3 2048 4096\n";
+        let spec = ClusterSpec::parse(text).unwrap();
+        assert_eq!(spec.shards[0].name, "low");
+        assert_eq!(spec.shards[0].primary(), "a:1");
+        assert_eq!(spec.shards[1].addrs, vec!["b:1", "b:2", "b:3"]);
+        assert_eq!(spec.breaker.threshold, 5);
+        assert_eq!(spec.breaker.cooldown, Duration::from_millis(250));
+        let reparsed = ClusterSpec::parse(&spec.to_text()).unwrap();
+        assert_eq!(reparsed, spec, "replicated spec survives the round trip");
+    }
+
+    #[test]
+    fn duplicate_shard_names_are_rejected() {
+        let text = "universe 0 0 100 100\nbits 6\n\
+                    shard same a:1 0 2048\nshard same a:2 2048 4096\n";
+        match ClusterSpec::parse(text) {
+            Err(ClusterSpecError::BadConfig(m)) => assert!(m.contains("same"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn bad_pool_sizes_are_rejected() {
         let zero = "universe 0 0 100 100\nbits 6\npool 0\nshard a:1 0 4096\n";
         assert!(ClusterSpec::parse(zero).is_err());
         let junk = "universe 0 0 100 100\nbits 6\npool many\nshard a:1 0 4096\n";
         match ClusterSpec::parse(junk) {
-            Err(ClusterSpecError::Parse { line, message }) => {
+            Err(ClusterSpecError::Parse { line, message, .. }) => {
                 assert_eq!(line, 3);
                 assert!(message.contains("pool"), "{message}");
             }
@@ -408,11 +597,30 @@ mod tests {
     }
 
     #[test]
-    fn parse_errors_carry_line_numbers() {
-        let text = "universe 0 0 100 100\nbits 6\nshard a:1 zero 4096\n";
-        match ClusterSpec::parse(text) {
-            Err(ClusterSpecError::Parse { line, message }) => {
+    fn bad_breaker_directives_are_rejected() {
+        let zero = "universe 0 0 100 100\nbits 6\nbreaker 0 100\nshard a:1 0 4096\n";
+        assert!(ClusterSpec::parse(zero).is_err());
+        let junk = "universe 0 0 100 100\nbits 6\nbreaker 3 soon\nshard a:1 0 4096\n";
+        match ClusterSpec::parse(junk) {
+            Err(ClusterSpecError::Parse { line, message, .. }) => {
                 assert_eq!(line, 3);
+                assert!(message.contains("cooldown"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers_and_text() {
+        let text = "universe 0 0 100 100\nbits 6\nshard a:1 zero 4096   # oops\n";
+        match ClusterSpec::parse(text) {
+            Err(ClusterSpecError::Parse {
+                line,
+                text,
+                message,
+            }) => {
+                assert_eq!(line, 3);
+                assert_eq!(text, "shard a:1 zero 4096", "the offending line, verbatim");
                 assert!(message.contains("z-range"), "{message}");
             }
             other => panic!("{other:?}"),
@@ -422,7 +630,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
         match ClusterSpec::parse("universe 0 0 1 1\nbits 6\nfrobnicate\n") {
-            Err(ClusterSpecError::Parse { line, .. }) => assert_eq!(line, 3),
+            Err(ClusterSpecError::Parse { line, text, .. }) => {
+                assert_eq!(line, 3);
+                assert_eq!(text, "frobnicate");
+            }
             other => panic!("{other:?}"),
         }
     }

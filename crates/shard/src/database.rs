@@ -204,6 +204,15 @@ impl<B: ShardBackend> ShardedDatabase<B> {
         &self.shards[s]
     }
 
+    /// Mutable access to one shard's backend — for backend-level
+    /// configuration after connect (e.g.
+    /// [`crate::RemoteShard::set_clock`] in deterministic
+    /// fault-injection tests). The backend's data plane has no mutable
+    /// surface here; the mapping layer stays consistent.
+    pub fn backend_mut(&mut self, s: usize) -> &mut B {
+        &mut self.shards[s]
+    }
+
     pub(crate) fn backends(&self) -> &[B] {
         &self.shards
     }
@@ -442,9 +451,10 @@ impl<B: ShardBackend> ShardedDatabase<B> {
     /// Probes one shard's corner query and remaps its answers to
     /// global slots, folding the outcome into `report`.
     ///
-    /// Availability policy: a **transport** failure (the shard process
-    /// is dead or unreachable, after the backend's own
-    /// reconnect-and-retry — [`crate::WireError::is_transport`])
+    /// Availability policy: a **transport** failure (every replica of
+    /// the shard dead, unreachable or breaker-skipped, after the
+    /// backend's own reconnect-and-retry and replica failover —
+    /// [`crate::WireError::is_transport`])
     /// degrades the read: the shard is recorded in
     /// [`ProbeReport::missing_shards`], its candidates are dropped,
     /// and the query continues over the surviving shards. Everything
@@ -463,11 +473,18 @@ impl<B: ShardBackend> ShardedDatabase<B> {
         report: &mut ProbeReport,
     ) {
         let start = out.len();
-        // Retries count whether the probe lands or not: a shard that
-        // flapped and then died looks different from one that was
-        // never reachable.
-        match self.shards[s].try_corner_query(coll, kind, q, out, &mut report.retries) {
+        // Retries and failovers count whether the probe lands or not:
+        // a shard that flapped and then died looks different from one
+        // that was never reachable.
+        let mut trace = crate::backend::ProbeTrace::default();
+        let result = self.shards[s].try_corner_query(coll, kind, q, out, &mut trace);
+        report.retries += trace.retries;
+        report.failovers += trace.failovers;
+        match result {
             Ok(()) => {
+                if trace.stale {
+                    report.stale_shards.push(s);
+                }
                 let globals = &self.collections[coll.0].per_shard[s].globals;
                 for id in &mut out[start..] {
                     *id = globals[*id as usize];

@@ -185,7 +185,11 @@ impl FaultGate {
 }
 
 struct ProxyShared {
-    target: String,
+    /// Upstream address new connections dial. Behind a lock so
+    /// [`FaultProxy::retarget`] can swap the process behind a stable
+    /// client-facing address (the split-brain script: a pristine
+    /// restart takes over a dead replica's address).
+    target: Mutex<String>,
     rules: Mutex<Vec<FaultRule>>,
     refuse_new: AtomicBool,
     stop: AtomicBool,
@@ -229,7 +233,7 @@ impl FaultProxy {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(ProxyShared {
-            target: target.to_owned(),
+            target: Mutex::new(target.to_owned()),
             rules: Mutex::new(Vec::new()),
             refuse_new: AtomicBool::new(false),
             stop: AtomicBool::new(false),
@@ -302,6 +306,16 @@ impl FaultProxy {
         self.refuse_new(false);
     }
 
+    /// Swaps the upstream process behind the proxy's stable
+    /// client-facing address: **new** connections dial `target`, live
+    /// ones keep their old upstream (sever them first to force a full
+    /// swap). This is the deterministic stand-in for "a different
+    /// process restarted behind the replica's address" — the
+    /// split-brain script.
+    pub fn retarget(&self, target: &str) {
+        *self.shared.target.lock().expect("target lock poisoned") = target.to_owned();
+    }
+
     /// Connections the proxy severed through a rule or a partition.
     pub fn severed(&self) -> usize {
         self.shared.severed.load(Ordering::SeqCst)
@@ -350,7 +364,8 @@ fn accept_loop(
             drop(client); // the dialer sees an immediate close
             continue;
         }
-        let Ok(server) = TcpStream::connect(&shared.target) else {
+        let target = shared.target.lock().expect("target lock poisoned").clone();
+        let Ok(server) = TcpStream::connect(&target) else {
             drop(client);
             continue;
         };
@@ -463,7 +478,7 @@ fn frame_bytes(payload: &[u8]) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend::{ShardBackend, ShardError};
+    use crate::backend::{ProbeTrace, ShardBackend, ShardError};
     use crate::remote::RemoteShard;
     use crate::server::{serve_shard, ShardServerConfig, ShardServerHandle};
     use crate::wire::{WireError, OP_INSERT, OP_QUERY};
@@ -505,17 +520,17 @@ mod tests {
         let c = remote.create_collection("objs").unwrap();
         remote.insert(c, boxed(10.0, 10.0, 5.0, 5.0)).unwrap();
         let mut out = Vec::new();
-        let mut retries = 0;
+        let mut trace = ProbeTrace::default();
         remote
             .try_corner_query(
                 c,
                 IndexKind::RTree,
                 &CornerQuery::unconstrained(),
                 &mut out,
-                &mut retries,
+                &mut trace,
             )
             .unwrap();
-        assert_eq!(retries, 0, "no faults, no retries");
+        assert_eq!(trace.retries, 0, "no faults, no retries");
         assert_eq!(out, vec![0]);
         assert!(remote.check().is_empty());
         assert!(proxy.frames_forwarded(Direction::ClientToServer) >= 4);
@@ -535,17 +550,17 @@ mod tests {
             remaining: 1,
         });
         let mut out = Vec::new();
-        let mut retries = 0;
+        let mut trace = ProbeTrace::default();
         remote
             .try_corner_query(
                 c,
                 IndexKind::RTree,
                 &CornerQuery::unconstrained(),
                 &mut out,
-                &mut retries,
+                &mut trace,
             )
             .expect("the retry lands on a fresh connection");
-        assert_eq!(retries, 1, "exactly one reconnect-and-retry");
+        assert_eq!(trace.retries, 1, "exactly one reconnect-and-retry");
         assert_eq!(out, vec![0], "the retried answer is correct");
         let stats = remote.pool_stats();
         // The broken socket was re-dialed in place: the pooled client
@@ -661,17 +676,17 @@ mod tests {
             remaining: 1,
         });
         let mut out = Vec::new();
-        let mut retries = 0;
+        let mut trace = ProbeTrace::default();
         remote
             .try_corner_query(
                 c,
                 IndexKind::Scan,
                 &CornerQuery::unconstrained(),
                 &mut out,
-                &mut retries,
+                &mut trace,
             )
             .unwrap();
-        assert_eq!(retries, 1, "the garbled exchange is retried once");
+        assert_eq!(trace.retries, 1, "the garbled exchange is retried once");
         assert_eq!(out, vec![0]);
         server.shutdown();
     }
@@ -705,7 +720,7 @@ mod tests {
                         IndexKind::RTree,
                         &CornerQuery::unconstrained(),
                         &mut out,
-                        &mut 0,
+                        &mut ProbeTrace::default(),
                     )
                     .expect("held query completes after the gate opens");
                 out.sort_unstable();
@@ -725,7 +740,7 @@ mod tests {
                     IndexKind::RTree,
                     &CornerQuery::unconstrained(),
                     &mut out,
-                    &mut 0,
+                    &mut ProbeTrace::default(),
                 )
                 .expect("the overlapping query completes while the first is held");
             out.sort_unstable();
@@ -753,7 +768,7 @@ mod tests {
         remote.insert(c, boxed(10.0, 10.0, 5.0, 5.0)).unwrap();
         proxy.partition();
         let mut out = Vec::new();
-        let mut retries = 0;
+        let mut trace = ProbeTrace::default();
         assert!(
             remote
                 .try_corner_query(
@@ -761,14 +776,14 @@ mod tests {
                     IndexKind::RTree,
                     &CornerQuery::unconstrained(),
                     &mut out,
-                    &mut retries,
+                    &mut trace,
                 )
                 .is_err(),
             "a partitioned shard cannot answer"
         );
         assert!(out.is_empty());
         assert_eq!(
-            retries, 1,
+            trace.retries, 1,
             "the failed probe still accounts for its retry attempt"
         );
         proxy.heal();
@@ -779,7 +794,7 @@ mod tests {
                 IndexKind::RTree,
                 &CornerQuery::unconstrained(),
                 &mut out,
-                &mut 0,
+                &mut ProbeTrace::default(),
             )
             .expect("the healed shard answers the same client");
         assert_eq!(out, vec![0]);

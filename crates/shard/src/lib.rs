@@ -66,12 +66,15 @@ pub mod server;
 pub mod snapshot;
 pub mod wire;
 
-pub use backend::{LocalShard, ShardBackend, ShardError};
+pub use backend::{LocalShard, ProbeTrace, ShardBackend, ShardError};
 pub use cluster::{ClusterError, ClusterSpec, ClusterSpecError, ShardSpec};
 pub use database::{ShardedDatabase, DEFAULT_ROUTER_BITS};
 pub use exec::{execute, execute_fanout};
 pub use fault::{Direction, FaultAction, FaultGate, FaultProxy, FaultRule, FrameMatch};
-pub use remote::{PoolStats, RemoteShard, DEFAULT_POOL_SIZE};
+pub use remote::{
+    BreakerClock, BreakerConfig, BreakerState, PoolStats, RemoteShard, ReplicaHealth,
+    DEFAULT_BREAKER_COOLDOWN_MS, DEFAULT_BREAKER_THRESHOLD, DEFAULT_POOL_SIZE,
+};
 pub use router::ShardRouter;
 pub use server::{serve_shard, ShardServerConfig, ShardServerHandle};
 pub use snapshot::{load_from_dir, reload_from_dir, save_to_dir, ShardSnapshotError};

@@ -1,8 +1,10 @@
 //! The remote shard backend: a wire-protocol client plus a
-//! write-through region mirror.
+//! write-through region mirror, replicated across an ordered set of
+//! shard processes.
 //!
-//! A [`RemoteShard`] stands in for one shard **process**. The split of
-//! responsibilities is the one that keeps the executors fast:
+//! A [`RemoteShard`] stands in for one shard — an **ordered replica
+//! set** of processes, the first of which is the write primary. The
+//! split of responsibilities is the one that keeps the executors fast:
 //!
 //! * the shard process owns the **indexes** — corner queries,
 //!   compaction, snapshot streaming and integrity checks run there;
@@ -32,11 +34,29 @@
 //! pulls the shard's snapshot to seed the mirror, rejecting a shard
 //! whose universe disagrees with the cluster's — deployment
 //! misconfiguration surfaces at connect time, not as wrong answers.
+//!
+//! **Replication.** Mutations go through the **primary only** and are
+//! never auto-retried or redirected — a dead primary is a loud named
+//! error. A mutation the primary acks is then fanned out verbatim to
+//! every other replica (write-through convergence): a replica whose
+//! response disagrees with the primary's is a loud desync, while a
+//! replica the fan-out cannot reach is marked **desynced** — excluded
+//! from reads (its answers would disagree with the mirror) until a
+//! snapshot load re-converges it. Corner-query reads try the primary
+//! first and **fail over** in replica order on transport errors only;
+//! an answer served by a non-primary is flagged stale
+//! ([`crate::backend::ProbeTrace`]). Every address additionally sits
+//! behind a **circuit breaker** ([`BreakerConfig`]): after K
+//! consecutive transport failures the address is skipped for a
+//! cooldown (no dial at all — a fast [`WireError::BreakerOpen`]), then
+//! a half-open probe re-admits or re-trips it. The breaker clock is
+//! injectable ([`RemoteShard::set_clock`]) so fault-injection tests
+//! advance time without sleeping.
 
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::TcpStream;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -153,6 +173,76 @@ impl WireClient {
 /// [`crate::ClusterSpec`]).
 pub const DEFAULT_POOL_SIZE: usize = 4;
 
+/// Consecutive transport failures that trip an address's circuit
+/// breaker when no explicit threshold is configured (the `breaker`
+/// directive of a [`crate::ClusterSpec`]).
+pub const DEFAULT_BREAKER_THRESHOLD: usize = 3;
+
+/// Default breaker cooldown in milliseconds: how long a tripped
+/// address is skipped before a half-open probe re-admits it.
+pub const DEFAULT_BREAKER_COOLDOWN_MS: u64 = 1000;
+
+/// The breaker's time source. Injectable so fault-injection tests
+/// advance "time" by swapping the closure's answer instead of
+/// sleeping through real cooldowns.
+pub type BreakerClock = Arc<dyn Fn() -> Instant + Send + Sync>;
+
+/// Per-address circuit-breaker tuning: `threshold` consecutive
+/// transport failures trip the address into a `cooldown`-long open
+/// state during which every request fast-fails with
+/// [`WireError::BreakerOpen`] instead of dialing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive transport failures before the breaker opens
+    /// (must be at least 1).
+    pub threshold: usize,
+    /// How long an open breaker skips the address before letting one
+    /// half-open probe through.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: DEFAULT_BREAKER_THRESHOLD,
+            cooldown: Duration::from_millis(DEFAULT_BREAKER_COOLDOWN_MS),
+        }
+    }
+}
+
+/// Observable circuit-breaker state for one address.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow, failures are being counted.
+    #[default]
+    Closed,
+    /// Tripped: requests fast-fail without dialing until the cooldown
+    /// elapses.
+    Open,
+    /// Cooldown elapsed: exactly this state lets probes through; the
+    /// first success closes the breaker, the first failure re-trips it.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase token for status lines (`STAT` output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "tripped",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Internal breaker state machine (the open state carries its expiry).
+#[derive(Clone, Copy, Debug)]
+enum Breaker {
+    Closed,
+    Open { until: Instant },
+    HalfOpen,
+}
+
 /// Observable connection-pool counters (diagnostics and tests).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PoolStats {
@@ -165,6 +255,13 @@ pub struct PoolStats {
     pub peak_in_flight: usize,
     /// Connections idle in the pool right now.
     pub idle: usize,
+    /// Circuit-breaker position for this address.
+    pub breaker: BreakerState,
+    /// Times the breaker has ever tripped open (each re-trip counts).
+    pub breaker_trips: usize,
+    /// Transport failures since the last success (resets to 0 on any
+    /// completed exchange).
+    pub consecutive_failures: usize,
 }
 
 struct PoolState {
@@ -173,6 +270,9 @@ struct PoolState {
     created: usize,
     discarded: usize,
     peak_in_flight: usize,
+    breaker: Breaker,
+    consecutive_failures: usize,
+    trips: usize,
 }
 
 /// A bounded pool of [`WireClient`]s to one shard process. Checkout
@@ -183,24 +283,122 @@ struct PoolState {
 struct ConnectionPool {
     addr: String,
     cap: usize,
+    breaker_cfg: BreakerConfig,
+    clock: BreakerClock,
     state: Mutex<PoolState>,
     returned: Condvar,
 }
 
 impl ConnectionPool {
-    fn new(addr: String, cap: usize) -> ConnectionPool {
+    fn new(addr: String, cap: usize, breaker_cfg: BreakerConfig) -> ConnectionPool {
         ConnectionPool {
             addr,
             cap: cap.max(1),
+            breaker_cfg,
+            clock: Arc::new(Instant::now),
             state: Mutex::new(PoolState {
                 idle: Vec::new(),
                 in_flight: 0,
                 created: 0,
                 discarded: 0,
                 peak_in_flight: 0,
+                breaker: Breaker::Closed,
+                consecutive_failures: 0,
+                trips: 0,
             }),
             returned: Condvar::new(),
         }
+    }
+
+    /// Whether the breaker lets a request through right now. An open
+    /// breaker whose cooldown has elapsed transitions to half-open
+    /// here — the caller's request becomes the probe that either
+    /// closes or re-trips it.
+    fn admits(&self) -> bool {
+        let Ok(mut st) = self.state.lock() else {
+            return false;
+        };
+        match st.breaker {
+            Breaker::Closed | Breaker::HalfOpen => true,
+            Breaker::Open { until } => {
+                if (self.clock)() >= until {
+                    st.breaker = Breaker::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Any completed exchange proves the transport works: reset the
+    /// failure streak and close the breaker.
+    fn note_success(&self) {
+        let Ok(mut st) = self.state.lock() else {
+            return;
+        };
+        st.consecutive_failures = 0;
+        st.breaker = Breaker::Closed;
+    }
+
+    /// One transport failure: extend the streak; trip when the streak
+    /// reaches the threshold (or immediately on a failed half-open
+    /// probe — the address had one chance to prove itself).
+    fn note_failure(&self) {
+        let Ok(mut st) = self.state.lock() else {
+            return;
+        };
+        st.consecutive_failures += 1;
+        let trip = match st.breaker {
+            Breaker::HalfOpen => true,
+            Breaker::Closed => st.consecutive_failures >= self.breaker_cfg.threshold,
+            Breaker::Open { .. } => false,
+        };
+        if trip {
+            st.breaker = Breaker::Open {
+                until: (self.clock)() + self.breaker_cfg.cooldown,
+            };
+            st.trips += 1;
+        }
+    }
+
+    /// One pooled request/response exchange behind the breaker: an
+    /// open breaker fast-fails with [`WireError::BreakerOpen`] without
+    /// dialing, and the exchange's outcome feeds the breaker (only
+    /// transport failures count — a server that *answers*, even with
+    /// an error, is reachable).
+    fn request(
+        &self,
+        req: &Request,
+        idempotent: bool,
+        retries: &mut usize,
+    ) -> Result<Response, ShardError> {
+        if !self.admits() {
+            return Err(ShardError::Wire(WireError::BreakerOpen {
+                addr: self.addr.clone(),
+            }));
+        }
+        self.request_unguarded(req, idempotent, retries)
+    }
+
+    /// [`ConnectionPool::request`] without the breaker gate: used by
+    /// diagnostics ([`ShardBackend::check`]) and operator-driven
+    /// resyncs (snapshot save/load), which must reach even a tripped
+    /// address. Outcomes still feed the breaker.
+    fn request_unguarded(
+        &self,
+        req: &Request,
+        idempotent: bool,
+        retries: &mut usize,
+    ) -> Result<Response, ShardError> {
+        let mut client = self.checkout()?;
+        let result = client.request(req, idempotent, retries);
+        self.checkin(client);
+        match &result {
+            Err(e) if e.is_transport() => self.note_failure(),
+            _ => self.note_success(),
+        }
+        result.map_err(ShardError::from)
     }
 
     fn checkout(&self) -> Result<WireClient, ShardError> {
@@ -250,6 +448,13 @@ impl ConnectionPool {
             discarded: st.discarded,
             peak_in_flight: st.peak_in_flight,
             idle: st.idle.len(),
+            breaker: match st.breaker {
+                Breaker::Closed => BreakerState::Closed,
+                Breaker::Open { .. } => BreakerState::Open,
+                Breaker::HalfOpen => BreakerState::HalfOpen,
+            },
+            breaker_trips: st.trips,
+            consecutive_failures: st.consecutive_failures,
         }
     }
 
@@ -264,11 +469,42 @@ impl ConnectionPool {
     }
 }
 
-/// A shard living in another process, reached over the wire protocol.
-pub struct RemoteShard {
+/// One member of a [`RemoteShard`]'s replica set: an address, its
+/// connection pool (with breaker), and whether it is known to have
+/// missed replicated writes.
+struct Replica {
     addr: String,
-    universe: AaBox<2>,
     pool: ConnectionPool,
+    desynced: bool,
+}
+
+/// Observable health of one replica of a [`RemoteShard`] — the
+/// per-address view behind [`ShardBackend::health`].
+#[derive(Clone, Debug)]
+pub struct ReplicaHealth {
+    /// The replica's address.
+    pub addr: String,
+    /// Whether this replica is the write primary (first in the set).
+    pub primary: bool,
+    /// Whether the replica missed a replicated write and is excluded
+    /// from reads until a snapshot load re-converges it.
+    pub desynced: bool,
+    /// Connection-pool and circuit-breaker counters for the address.
+    pub stats: PoolStats,
+}
+
+/// Whether an error is a transport failure (the kind reads may fail
+/// over on and the breaker counts); everything else is a loud answer
+/// from a reachable server.
+fn is_transport(e: &ShardError) -> bool {
+    matches!(e, ShardError::Wire(w) if w.is_transport())
+}
+
+/// A shard living in other processes, reached over the wire protocol:
+/// an ordered replica set whose first address is the write primary.
+pub struct RemoteShard {
+    universe: AaBox<2>,
+    replicas: Vec<Replica>,
     collections: Vec<MirrorCollection>,
     by_name: HashMap<String, usize>,
 }
@@ -280,68 +516,121 @@ impl RemoteShard {
         Self::connect_pooled(addr, universe, wait, DEFAULT_POOL_SIZE)
     }
 
-    /// Connects to a shard process, polling until it is reachable (at
-    /// most `wait`), then handshakes and seeds the mirror from the
-    /// shard's current snapshot. Fails on a wire version mismatch or
-    /// when the shard's universe differs from `universe` — a
-    /// misconfigured deployment must not come up quietly. The shard
-    /// holds at most `pool_size` concurrent wire connections, each
-    /// dialed lazily on first use.
+    /// [`RemoteShard::connect_replicated`] over a single address with
+    /// the default breaker tuning.
     pub fn connect_pooled(
         addr: &str,
         universe: AaBox<2>,
         wait: Duration,
         pool_size: usize,
     ) -> Result<Self, ShardError> {
-        let pool = ConnectionPool::new(addr.to_owned(), pool_size);
-        let mut client = pool.checkout()?;
+        Self::connect_replicated(
+            std::slice::from_ref(&addr.to_owned()),
+            universe,
+            wait,
+            pool_size,
+            BreakerConfig::default(),
+        )
+    }
+
+    /// Connects to an ordered replica set of shard processes (the
+    /// first address is the write primary), polling each until it is
+    /// reachable (sharing one `wait` deadline), then handshakes and
+    /// seeds the mirror from the **primary's** current snapshot.
+    /// Fails on a wire version mismatch or when a shard's universe
+    /// differs from `universe` — a misconfigured deployment must not
+    /// come up quietly — and requires every secondary's collection
+    /// census to agree with the primary's: a replica restarted behind
+    /// an old address (split-brain) is rejected here, loudly, instead
+    /// of silently serving stale answers. Each address holds at most
+    /// `pool_size` concurrent wire connections, dialed lazily.
+    pub fn connect_replicated(
+        addrs: &[String],
+        universe: AaBox<2>,
+        wait: Duration,
+        pool_size: usize,
+        breaker: BreakerConfig,
+    ) -> Result<Self, ShardError> {
+        if addrs.is_empty() {
+            return Err(ShardError::Rejected(
+                "a replica set needs at least one address".into(),
+            ));
+        }
         let deadline = Instant::now() + wait;
-        loop {
-            match client.connect_now() {
-                Ok(()) => break,
-                // Version mismatches and handshake rejections never
-                // heal by waiting; only connection refusals are
-                // readiness.
-                Err(e @ WireError::VersionMismatch { .. }) | Err(e @ WireError::Remote(_)) => {
-                    pool.checkin(client);
-                    return Err(e.into());
-                }
-                Err(e) => {
-                    if Instant::now() >= deadline {
+        let mut replicas = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let pool = ConnectionPool::new(addr.clone(), pool_size, breaker);
+            let mut client = pool.checkout()?;
+            loop {
+                match client.connect_now() {
+                    Ok(()) => break,
+                    // Version mismatches and handshake rejections never
+                    // heal by waiting; only connection refusals are
+                    // readiness.
+                    Err(e @ WireError::VersionMismatch { .. }) | Err(e @ WireError::Remote(_)) => {
                         pool.checkin(client);
-                        return Err(ShardError::Wire(e));
+                        return Err(e.into());
                     }
-                    std::thread::sleep(Duration::from_millis(100));
+                    Err(e) => {
+                        if Instant::now() >= deadline {
+                            pool.checkin(client);
+                            return Err(ShardError::Wire(e));
+                        }
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
                 }
             }
+            pool.checkin(client);
+            replicas.push(Replica {
+                addr: addr.clone(),
+                pool,
+                desynced: false,
+            });
         }
-        pool.checkin(client);
         let mut shard = RemoteShard {
-            addr: addr.to_owned(),
             universe,
-            pool,
+            replicas,
             collections: Vec::new(),
             by_name: HashMap::new(),
         };
         let stream = shard.snapshot_stream()?;
         let decoded = shard.decode_stream(&stream)?;
         shard.commit_mirror(&decoded);
+        for i in 1..shard.replicas.len() {
+            shard.verify_replica_census(i)?;
+        }
         Ok(shard)
     }
 
-    /// The shard process address.
+    /// The write primary's address.
     pub fn addr(&self) -> &str {
-        &self.addr
+        &self.replicas[0].addr
     }
 
-    /// The configured connection-pool size.
+    /// Every replica address, primary first.
+    pub fn replica_addrs(&self) -> Vec<String> {
+        self.replicas.iter().map(|r| r.addr.clone()).collect()
+    }
+
+    /// The configured per-address connection-pool size.
     pub fn pool_size(&self) -> usize {
-        self.pool.cap
+        self.replicas[0].pool.cap
     }
 
-    /// Connection-pool counters (dials, discards, peak concurrency).
+    /// The **primary's** connection-pool counters (dials, discards,
+    /// peak concurrency, breaker). Per-replica counters come from
+    /// [`ShardBackend::health`].
     pub fn pool_stats(&self) -> PoolStats {
-        self.pool.stats()
+        self.replicas[0].pool.stats()
+    }
+
+    /// Replaces the breaker clock on every replica's pool — tests
+    /// advance an injected clock instead of sleeping through
+    /// cooldowns.
+    pub fn set_clock(&mut self, clock: BreakerClock) {
+        for replica in &mut self.replicas {
+            replica.pool.clock = clock.clone();
+        }
     }
 
     /// Whether the shard holds no collections at all (a fresh process;
@@ -351,23 +640,172 @@ impl RemoteShard {
         self.collections.is_empty()
     }
 
-    fn request(&self, req: &Request, idempotent: bool) -> Result<Response, ShardError> {
-        let mut retries = 0;
-        self.request_retrying(req, idempotent, &mut retries)
+    /// Requires replica `i`'s collection census (names, slot counts,
+    /// live counts) to match the mirror just seeded from the primary.
+    /// A replica that disagrees at connect time is split-brain — a
+    /// pristine restart or stale process behind a configured address —
+    /// and must be re-seeded from a snapshot, never served from.
+    fn verify_replica_census(&self, i: usize) -> Result<(), ShardError> {
+        let replica = &self.replicas[i];
+        let rows = match replica
+            .pool
+            .request_unguarded(&Request::Stat, true, &mut 0)?
+        {
+            Response::Stat(rows) => rows,
+            Response::Err(m) => return Err(ShardError::Rejected(m)),
+            other => {
+                return Err(ShardError::Wire(WireError::Unexpected(format!(
+                    "STAT answered {other:?}"
+                ))))
+            }
+        };
+        let agrees = rows.len() == self.collections.len()
+            && rows
+                .iter()
+                .zip(&self.collections)
+                .all(|((name, slots, live), m)| {
+                    name == &m.name
+                        && *slots as usize == m.regions.len()
+                        && *live as usize == m.live_count
+                });
+        if !agrees {
+            return Err(ShardError::Rejected(format!(
+                "replica {} disagrees with the primary's state at connect \
+                 (split-brain): restore every replica from one snapshot \
+                 before serving",
+                replica.addr
+            )));
+        }
+        Ok(())
     }
 
-    /// One pooled request/response exchange, accumulating transport
-    /// retries into `retries` whether the exchange succeeds or not.
-    fn request_retrying(
+    /// Compares one shard process's `STAT` census against the mirror.
+    /// `who` names a secondary replica; `None` is the primary.
+    fn census_drift(&self, rows: &[(String, u64, u64)], who: Option<&str>) -> Vec<String> {
+        let prefix = |s: String| match who {
+            Some(addr) => format!("replica {addr}: {s}"),
+            None => s,
+        };
+        let mut problems = Vec::new();
+        if rows.len() != self.collections.len() {
+            problems.push(prefix(format!(
+                "shard reports {} collections, mirror holds {}",
+                rows.len(),
+                self.collections.len()
+            )));
+            return problems;
+        }
+        for ((name, slots, live), m) in rows.iter().zip(&self.collections) {
+            if name != &m.name
+                || *slots as usize != m.regions.len()
+                || *live as usize != m.live_count
+            {
+                problems.push(prefix(format!(
+                    "mirror drift on {:?}: shard has {slots} slots / {live} live, \
+                     mirror has {} / {}",
+                    m.name,
+                    m.regions.len(),
+                    m.live_count
+                )));
+            }
+        }
+        problems
+    }
+
+    /// An idempotent read against the primary only (diagnostics,
+    /// snapshot pulls) — no failover, no breaker gate: a stale
+    /// secondary's snapshot would be silently wrong data, and an
+    /// operator asking for diagnostics wants an answer even from a
+    /// tripped address.
+    fn primary_request(&self, req: &Request, idempotent: bool) -> Result<Response, ShardError> {
+        self.replicas[0]
+            .pool
+            .request_unguarded(req, idempotent, &mut 0)
+    }
+
+    /// A failure-aware read: replicas are tried in order (primary
+    /// first), skipping desynced ones, and a transport failure —
+    /// including a fast [`WireError::BreakerOpen`] — moves on to the
+    /// next. Every replica skipped or failed before the serving one
+    /// counts as a failover, and an answer served by a non-primary is
+    /// flagged stale in `trace`. Non-transport errors (a server that
+    /// *answers* wrongly) return immediately and loudly.
+    fn read_request(
         &self,
         req: &Request,
-        idempotent: bool,
-        retries: &mut usize,
+        trace: &mut crate::backend::ProbeTrace,
     ) -> Result<Response, ShardError> {
-        let mut client = self.pool.checkout()?;
-        let result = client.request(req, idempotent, retries);
-        self.pool.checkin(client);
-        result.map_err(ShardError::from)
+        let mut last_err: Option<ShardError> = None;
+        let mut skipped_or_failed = 0usize;
+        for (i, replica) in self.replicas.iter().enumerate() {
+            if replica.desynced {
+                skipped_or_failed += 1;
+                continue;
+            }
+            match replica.pool.request(req, true, &mut trace.retries) {
+                Ok(resp) => {
+                    trace.failovers += skipped_or_failed;
+                    trace.stale |= i != 0;
+                    return Ok(resp);
+                }
+                Err(e) if is_transport(&e) => {
+                    skipped_or_failed += 1;
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            ShardError::Wire(WireError::BreakerOpen {
+                addr: self.replicas[0].addr.clone(),
+            })
+        }))
+    }
+
+    /// A mutation: primary only, never auto-retried (a lost ack is
+    /// indistinguishable from a lost request), then fanned out
+    /// verbatim to every secondary for write-through convergence. A
+    /// secondary whose answer differs from the primary's is a loud
+    /// lockstep error; a secondary the fan-out cannot reach is marked
+    /// desynced and excluded from reads — the write itself still
+    /// succeeds. A primary rejection (`Response::Err`) changed no
+    /// state and is returned without fan-out. A primary transport
+    /// failure does **not** desync the secondaries: the mirror was
+    /// not advanced, so they still agree with it — only the primary
+    /// may have drifted ahead, which [`ShardBackend::check`] reports
+    /// as mirror drift.
+    fn mutate(&mut self, req: &Request) -> Result<Response, ShardError> {
+        let resp = self.replicas[0].pool.request(req, false, &mut 0)?;
+        if matches!(resp, Response::Err(_)) {
+            return Ok(resp);
+        }
+        for replica in self.replicas.iter_mut().skip(1) {
+            if replica.desynced {
+                continue;
+            }
+            match replica.pool.request(req, false, &mut 0) {
+                Ok(ref rr) if *rr == resp => {}
+                Ok(Response::Err(m)) => {
+                    return Err(ShardError::Rejected(format!(
+                        "replica {} rejected a mutation the primary accepted: {m}",
+                        replica.addr
+                    )));
+                }
+                Ok(other) => {
+                    return Err(ShardError::Rejected(format!(
+                        "replica {} answered {other:?} where the primary answered \
+                         {resp:?}: replica state is out of lockstep",
+                        replica.addr
+                    )));
+                }
+                Err(e) if is_transport(&e) => {
+                    let _ = e;
+                    replica.desynced = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(resp)
     }
 
     /// Decodes and validates an `SCQS` stream (exactly like a shard
@@ -378,7 +816,7 @@ impl RemoteShard {
         if db.universe() != &self.universe {
             return Err(ShardError::Rejected(format!(
                 "shard {} universe {:?} differs from the cluster universe {:?}",
-                self.addr,
+                self.addr(),
                 db.universe(),
                 self.universe
             )));
@@ -426,7 +864,7 @@ impl RemoteShard {
 
 impl ShardBackend for RemoteShard {
     fn describe(&self) -> String {
-        format!("remote:{}", self.addr)
+        format!("remote:{}", self.addr())
     }
 
     fn universe(&self) -> &AaBox<2> {
@@ -437,12 +875,9 @@ impl ShardBackend for RemoteShard {
         if let Some(&i) = self.by_name.get(name) {
             return Ok(CollectionId(i));
         }
-        let resp = self.request(
-            &Request::Create {
-                name: name.to_owned(),
-            },
-            false,
-        )?;
+        let resp = self.mutate(&Request::Create {
+            name: name.to_owned(),
+        })?;
         let id = match resp {
             Response::Coll(id) => id,
             Response::Err(m) => return Err(ShardError::Rejected(m)),
@@ -458,7 +893,7 @@ impl ShardBackend for RemoteShard {
             return Err(ShardError::Rejected(format!(
                 "shard {} numbered collection {name:?} as {} (expected {}): \
                  shard state is out of lockstep with the router",
-                self.addr,
+                self.addr(),
                 id.0,
                 self.collections.len()
             )));
@@ -496,13 +931,10 @@ impl ShardBackend for RemoteShard {
     }
 
     fn insert(&mut self, coll: CollectionId, region: Region<2>) -> Result<usize, ShardError> {
-        let resp = self.request(
-            &Request::Insert {
-                coll,
-                region: region.clone(),
-            },
-            false,
-        )?;
+        let resp = self.mutate(&Request::Insert {
+            coll,
+            region: region.clone(),
+        })?;
         let local = match resp {
             Response::Slot(local) => local as usize,
             Response::Err(m) => return Err(ShardError::Rejected(m)),
@@ -512,15 +944,15 @@ impl ShardBackend for RemoteShard {
                 ))))
             }
         };
-        let m = &mut self.collections[coll.0];
-        if local != m.regions.len() {
+        let expected = self.collections[coll.0].regions.len();
+        if local != expected {
             return Err(ShardError::Rejected(format!(
-                "shard {} handed out slot {local}, mirror expected {}: \
+                "shard {} handed out slot {local}, mirror expected {expected}: \
                  shard state is out of lockstep with the router",
-                self.addr,
-                m.regions.len()
+                self.addr(),
             )));
         }
+        let m = &mut self.collections[coll.0];
         m.bboxes.push(region.bbox());
         m.regions.push(region);
         m.live.push(true);
@@ -529,23 +961,20 @@ impl ShardBackend for RemoteShard {
     }
 
     fn remove(&mut self, coll: CollectionId, local: usize) -> Result<bool, ShardError> {
-        let resp = self.request(
-            &Request::Remove {
-                coll,
-                local: local as u64,
-            },
-            false,
-        )?;
+        let resp = self.mutate(&Request::Remove {
+            coll,
+            local: local as u64,
+        })?;
         match resp {
             Response::Flag(removed) => {
-                let m = &mut self.collections[coll.0];
-                if removed != m.live[local] {
+                if removed != self.collections[coll.0].live[local] {
                     return Err(ShardError::Rejected(format!(
                         "shard {} liveness for slot {local} disagrees with the mirror",
-                        self.addr
+                        self.addr(),
                     )));
                 }
                 if removed {
+                    let m = &mut self.collections[coll.0];
                     m.live[local] = false;
                     m.live_count -= 1;
                 }
@@ -564,14 +993,11 @@ impl ShardBackend for RemoteShard {
         local: usize,
         region: Region<2>,
     ) -> Result<bool, ShardError> {
-        let resp = self.request(
-            &Request::Update {
-                coll,
-                local: local as u64,
-                region: region.clone(),
-            },
-            false,
-        )?;
+        let resp = self.mutate(&Request::Update {
+            coll,
+            local: local as u64,
+            region: region.clone(),
+        })?;
         match resp {
             Response::Flag(updated) => {
                 if updated {
@@ -594,16 +1020,15 @@ impl ShardBackend for RemoteShard {
         kind: IndexKind,
         q: &CornerQuery<2>,
         out: &mut Vec<u64>,
-        retries: &mut usize,
+        trace: &mut crate::backend::ProbeTrace,
     ) -> Result<(), ShardError> {
-        let resp = self.request_retrying(
+        let resp = self.read_request(
             &Request::Query {
                 coll,
                 kind,
                 query: *q,
             },
-            true,
-            retries,
+            trace,
         )?;
         match resp {
             Response::Ids(ids) => {
@@ -617,8 +1042,21 @@ impl ShardBackend for RemoteShard {
         }
     }
 
+    fn health(&self) -> Vec<ReplicaHealth> {
+        self.replicas
+            .iter()
+            .enumerate()
+            .map(|(i, r)| ReplicaHealth {
+                addr: r.addr.clone(),
+                primary: i == 0,
+                desynced: r.desynced,
+                stats: r.pool.stats(),
+            })
+            .collect()
+    }
+
     fn compact(&mut self) -> Result<CompactReport, ShardError> {
-        let resp = self.request(&Request::Compact, false)?;
+        let resp = self.mutate(&Request::Compact)?;
         let (reclaimed, remap) = match resp {
             Response::Remap { reclaimed, remap } => (reclaimed, remap),
             Response::Err(m) => return Err(ShardError::Rejected(m)),
@@ -628,10 +1066,10 @@ impl ShardBackend for RemoteShard {
                 ))))
             }
         };
+        let addr = self.addr().to_owned();
         if remap.len() != self.collections.len() {
             return Err(ShardError::Rejected(format!(
-                "shard {} compacted {} collections, mirror holds {}",
-                self.addr,
+                "shard {addr} compacted {} collections, mirror holds {}",
                 remap.len(),
                 self.collections.len()
             )));
@@ -641,8 +1079,7 @@ impl ShardBackend for RemoteShard {
         for (m, coll_remap) in self.collections.iter_mut().zip(&remap) {
             if coll_remap.len() != m.regions.len() {
                 return Err(ShardError::Rejected(format!(
-                    "shard {} remap covers {} slots, mirror holds {}",
-                    self.addr,
+                    "shard {addr} remap covers {} slots, mirror holds {}",
                     coll_remap.len(),
                     m.regions.len()
                 )));
@@ -663,8 +1100,7 @@ impl ShardBackend for RemoteShard {
                 let new = new as usize;
                 if new >= survivors || !old_live[old] || assigned[new] {
                     return Err(ShardError::Rejected(format!(
-                        "shard {} remap is not a liveness-respecting bijection",
-                        self.addr
+                        "shard {addr} remap is not a liveness-respecting bijection"
                     )));
                 }
                 assigned[new] = true;
@@ -684,8 +1120,8 @@ impl ShardBackend for RemoteShard {
 
     fn check(&self) -> Vec<String> {
         let mut problems = Vec::new();
-        // The shard's own structural check…
-        match self.request(&Request::Check, true) {
+        // The primary's own structural check…
+        match self.primary_request(&Request::Check, true) {
             Ok(Response::Problems(ps)) => problems.extend(ps),
             Ok(Response::Err(m)) => problems.push(format!("remote check failed: {m}")),
             Ok(other) => problems.push(format!("CHECK answered {other:?}")),
@@ -693,39 +1129,45 @@ impl ShardBackend for RemoteShard {
         }
         // …plus a mirror-vs-shard census: slot and live counts must
         // agree per collection or the mirror has drifted.
-        match self.request(&Request::Stat, true) {
+        match self.primary_request(&Request::Stat, true) {
             Ok(Response::Stat(rows)) => {
-                if rows.len() != self.collections.len() {
-                    problems.push(format!(
-                        "shard reports {} collections, mirror holds {}",
-                        rows.len(),
-                        self.collections.len()
-                    ));
-                } else {
-                    for ((name, slots, live), m) in rows.iter().zip(&self.collections) {
-                        if name != &m.name
-                            || *slots as usize != m.regions.len()
-                            || *live as usize != m.live_count
-                        {
-                            problems.push(format!(
-                                "mirror drift on {:?}: shard has {slots} slots / {live} live, \
-                                 mirror has {} / {}",
-                                m.name,
-                                m.regions.len(),
-                                m.live_count
-                            ));
-                        }
-                    }
-                }
+                problems.extend(self.census_drift(&rows, None));
             }
             Ok(other) => problems.push(format!("STAT answered {other:?}")),
             Err(e) => problems.push(format!("remote stat unreachable: {e}")),
+        }
+        // …plus the same census per secondary: a replica that missed
+        // writes (desynced) or answers a different census must not be
+        // served from until re-seeded.
+        for replica in self.replicas.iter().skip(1) {
+            if replica.desynced {
+                problems.push(format!(
+                    "replica {} is desynced (missed replicated writes); \
+                     restore it with SNAPSHOT LOAD",
+                    replica.addr
+                ));
+                continue;
+            }
+            match replica.pool.request_unguarded(&Request::Stat, true, &mut 0) {
+                Ok(Response::Stat(rows)) => {
+                    problems.extend(self.census_drift(&rows, Some(&replica.addr)));
+                }
+                Ok(Response::Err(m)) => {
+                    problems.push(format!("replica {} stat failed: {m}", replica.addr))
+                }
+                Ok(other) => {
+                    problems.push(format!("replica {} STAT answered {other:?}", replica.addr))
+                }
+                Err(e) => problems.push(format!("replica {} unreachable: {e}", replica.addr)),
+            }
         }
         problems
     }
 
     fn snapshot_stream(&self) -> Result<Bytes, ShardError> {
-        match self.request(&Request::SnapshotSave, true)? {
+        // Primary only, no failover: a desynced or stale secondary's
+        // snapshot would persist silently wrong data.
+        match self.primary_request(&Request::SnapshotSave, true)? {
             Response::Bytes(bytes) => Ok(bytes.into()),
             Response::Err(m) => Err(ShardError::Rejected(m)),
             other => Err(ShardError::Wire(WireError::Unexpected(format!(
@@ -736,32 +1178,58 @@ impl ShardBackend for RemoteShard {
 
     fn load_snapshot(&mut self, stream: &[u8]) -> Result<(), ShardError> {
         // Validate locally first (a stream the mirror cannot decode
-        // must not reach the shard process at all), then ship it, and
-        // only commit the mirror once the shard has accepted — a
-        // shard-side failure must leave mirror and shard agreeing on
-        // the OLD data, not silently describing different worlds.
+        // must not reach any shard process at all), then ship it to
+        // the primary, and only commit the mirror once the primary
+        // has accepted — a shard-side failure must leave mirror and
+        // shard agreeing on the OLD data, not silently describing
+        // different worlds.
         let decoded = self.decode_stream(stream)?;
-        match self.request(
-            &Request::SnapshotLoad {
-                stream: stream.to_vec(),
-            },
-            false,
-        )? {
-            Response::Ok => {
-                self.commit_mirror(&decoded);
-                Ok(())
+        let req = Request::SnapshotLoad {
+            stream: stream.to_vec(),
+        };
+        match self.replicas[0].pool.request_unguarded(&req, false, &mut 0)? {
+            Response::Ok => {}
+            Response::Err(m) => return Err(ShardError::Rejected(m)),
+            other => {
+                return Err(ShardError::Wire(WireError::Unexpected(format!(
+                    "SNAPSHOT LOAD answered {other:?}"
+                ))))
             }
-            Response::Err(m) => Err(ShardError::Rejected(m)),
-            other => Err(ShardError::Wire(WireError::Unexpected(format!(
-                "SNAPSHOT LOAD answered {other:?}"
-            )))),
         }
+        self.commit_mirror(&decoded);
+        // Fan the same snapshot out to every secondary: this is the
+        // re-sync path, so it is attempted even on desynced replicas
+        // (clearing the flag on success) and bypasses the breaker
+        // gate; an unreachable secondary stays/becomes desynced.
+        for replica in self.replicas.iter_mut().skip(1) {
+            match replica.pool.request_unguarded(&req, false, &mut 0) {
+                Ok(Response::Ok) => replica.desynced = false,
+                Ok(Response::Err(m)) => {
+                    return Err(ShardError::Rejected(format!(
+                        "replica {} rejected a snapshot the primary accepted: {m}",
+                        replica.addr
+                    )));
+                }
+                Ok(other) => {
+                    return Err(ShardError::Wire(WireError::Unexpected(format!(
+                        "SNAPSHOT LOAD answered {other:?}"
+                    ))));
+                }
+                Err(e) if is_transport(&e) => {
+                    let _ = e;
+                    replica.desynced = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::ProbeTrace;
     use crate::server::{serve_shard, ShardServerConfig};
 
     fn universe() -> AaBox<2> {
@@ -829,14 +1297,16 @@ mod tests {
         let q = CornerQuery::unconstrained().and_overlaps(&Bbox::new([0.0, 0.0], [50.0, 95.0]));
         for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
             let (mut a, mut b) = (Vec::new(), Vec::new());
-            let mut retries = 0;
+            let mut trace = ProbeTrace::default();
             remote
-                .try_corner_query(c_r, kind, &q, &mut a, &mut retries)
+                .try_corner_query(c_r, kind, &q, &mut a, &mut trace)
                 .unwrap();
             local
-                .try_corner_query(c_l, kind, &q, &mut b, &mut retries)
+                .try_corner_query(c_l, kind, &q, &mut b, &mut trace)
                 .unwrap();
-            assert_eq!(retries, 0, "healthy backends never retry");
+            assert_eq!(trace.retries, 0, "healthy backends never retry");
+            assert_eq!(trace.failovers, 0, "healthy backends never fail over");
+            assert!(!trace.stale, "the primary's answers are never stale");
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "{kind:?}");
@@ -896,7 +1366,7 @@ mod tests {
         remote.insert(c, boxed(10.0, 10.0, 5.0, 5.0)).unwrap();
         // Sever every pooled connection in place… the next idempotent
         // request transparently re-dials.
-        remote.pool.break_idle();
+        remote.replicas[0].pool.break_idle();
         let mut out = Vec::new();
         remote
             .try_corner_query(
@@ -904,7 +1374,7 @@ mod tests {
                 IndexKind::RTree,
                 &CornerQuery::unconstrained(),
                 &mut out,
-                &mut 0,
+                &mut ProbeTrace::default(),
             )
             .unwrap();
         assert_eq!(out, vec![0]);
@@ -926,7 +1396,7 @@ mod tests {
                     IndexKind::Scan,
                     &CornerQuery::unconstrained(),
                     &mut out,
-                    &mut 0,
+                    &mut ProbeTrace::default(),
                 )
                 .unwrap();
             assert_eq!(out.len(), i + 1);
@@ -957,7 +1427,7 @@ mod tests {
                 IndexKind::RTree,
                 &CornerQuery::unconstrained(),
                 &mut out,
-                &mut 0,
+                &mut ProbeTrace::default(),
             )
             .is_err());
         let after = remote.pool_stats();
@@ -972,5 +1442,220 @@ mod tests {
         server.shutdown();
         let err = remote.insert(c, boxed(1.0, 1.0, 1.0, 1.0)).err().unwrap();
         assert!(matches!(err, ShardError::Wire(_)), "{err}");
+    }
+
+    fn start_one() -> crate::server::ShardServerHandle {
+        serve_shard(&ShardServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            universe_size: 100.0,
+            ..ShardServerConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn start_replicated(
+        breaker: BreakerConfig,
+    ) -> (
+        crate::server::ShardServerHandle,
+        crate::server::ShardServerHandle,
+        RemoteShard,
+    ) {
+        let a = start_one();
+        let b = start_one();
+        let shard = RemoteShard::connect_replicated(
+            &[a.addr().to_string(), b.addr().to_string()],
+            universe(),
+            Duration::from_secs(5),
+            2,
+            breaker,
+        )
+        .unwrap();
+        (a, b, shard)
+    }
+
+    fn query_all(remote: &RemoteShard, c: CollectionId, trace: &mut ProbeTrace) -> Vec<u64> {
+        let mut out = Vec::new();
+        remote
+            .try_corner_query(
+                c,
+                IndexKind::RTree,
+                &CornerQuery::unconstrained(),
+                &mut out,
+                trace,
+            )
+            .unwrap();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn reads_fail_over_to_the_secondary_when_the_primary_dies() {
+        let breaker = BreakerConfig {
+            threshold: 3,
+            cooldown: Duration::from_secs(3600),
+        };
+        let (a, b, mut remote) = start_replicated(breaker);
+        let c = remote.create_collection("objs").unwrap();
+        for i in 0..5 {
+            remote
+                .insert(c, boxed(i as f64 * 10.0, 5.0, 3.0, 3.0))
+                .unwrap();
+        }
+        // Healthy replica set: primary serves, nothing is stale.
+        let mut trace = ProbeTrace::default();
+        assert_eq!(query_all(&remote, c, &mut trace), vec![0, 1, 2, 3, 4]);
+        assert_eq!((trace.failovers, trace.stale), (0, false));
+
+        a.shutdown();
+        // The same answers now come from the secondary — the fan-out
+        // kept it converged — flagged as one failover and stale.
+        let mut trace = ProbeTrace::default();
+        assert_eq!(query_all(&remote, c, &mut trace), vec![0, 1, 2, 3, 4]);
+        assert_eq!(trace.failovers, 1, "{trace:?}");
+        assert!(trace.stale, "{trace:?}");
+
+        // A dead primary fails writes loudly — never a silent redirect
+        // to the secondary.
+        let err = remote.insert(c, boxed(1.0, 1.0, 1.0, 1.0)).err().unwrap();
+        assert!(matches!(err, ShardError::Wire(_)), "{err}");
+        let mut trace = ProbeTrace::default();
+        assert_eq!(
+            query_all(&remote, c, &mut trace),
+            vec![0, 1, 2, 3, 4],
+            "the failed write must not have reached the secondary"
+        );
+
+        // Two reads + one write = three consecutive transport failures:
+        // the primary's breaker is now open, and further reads skip the
+        // dead address without dialing (still one failover, still
+        // correct).
+        let health = remote.health();
+        assert_eq!(health.len(), 2);
+        assert!(health[0].primary && !health[1].primary);
+        assert_eq!(health[0].stats.breaker, BreakerState::Open, "{health:?}");
+        assert_eq!(health[0].stats.breaker_trips, 1, "{health:?}");
+        assert_eq!(health[1].stats.breaker, BreakerState::Closed, "{health:?}");
+        let mut trace = ProbeTrace::default();
+        assert_eq!(query_all(&remote, c, &mut trace), vec![0, 1, 2, 3, 4]);
+        assert_eq!(trace.failovers, 1, "{trace:?}");
+        assert_eq!(trace.retries, 0, "an open breaker does not dial: {trace:?}");
+        b.shutdown();
+    }
+
+    #[test]
+    fn dead_secondary_desyncs_quietly_and_writes_keep_working() {
+        let (a, b, mut remote) = start_replicated(BreakerConfig::default());
+        let c = remote.create_collection("objs").unwrap();
+        remote.insert(c, boxed(1.0, 1.0, 2.0, 2.0)).unwrap();
+        b.shutdown();
+        // The fan-out cannot reach the secondary: the write succeeds,
+        // the replica is marked desynced, and reads stay primary-only
+        // (non-stale) instead of failing over to known-bad state.
+        remote.insert(c, boxed(11.0, 1.0, 2.0, 2.0)).unwrap();
+        let health = remote.health();
+        assert!(!health[0].desynced && health[1].desynced, "{health:?}");
+        let mut trace = ProbeTrace::default();
+        assert_eq!(query_all(&remote, c, &mut trace), vec![0, 1]);
+        assert_eq!((trace.failovers, trace.stale), (0, false), "{trace:?}");
+        let problems = remote.check();
+        assert!(
+            problems.iter().any(|p| p.contains("desynced")),
+            "{problems:?}"
+        );
+        a.shutdown();
+    }
+
+    #[test]
+    fn split_brain_replica_is_rejected_at_connect() {
+        let a = start_one();
+        // Seed the primary with state through a plain single-replica
+        // client, then try to assemble a replica set with a pristine
+        // process behind the second address.
+        let mut seed = RemoteShard::connect(
+            &a.addr().to_string(),
+            universe(),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        let c = seed.create_collection("objs").unwrap();
+        seed.insert(c, boxed(1.0, 1.0, 2.0, 2.0)).unwrap();
+        drop(seed);
+        let b = start_one();
+        let err = RemoteShard::connect_replicated(
+            &[a.addr().to_string(), b.addr().to_string()],
+            universe(),
+            Duration::from_secs(5),
+            2,
+            BreakerConfig::default(),
+        )
+        .err()
+        .expect("a pristine replica behind a non-pristine primary must be rejected");
+        assert!(err.to_string().contains("split-brain"), "{err}");
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn breaker_trips_after_exactly_k_failures_and_half_open_probe_retrips() {
+        let breaker = BreakerConfig {
+            threshold: 3,
+            cooldown: Duration::from_secs(3600),
+        };
+        let a = start_one();
+        let mut remote = RemoteShard::connect_replicated(
+            &[a.addr().to_string()],
+            universe(),
+            Duration::from_secs(5),
+            2,
+            breaker,
+        )
+        .unwrap();
+        let c = remote.create_collection("objs").unwrap();
+        // Injected clock: the test advances time by hand, never sleeps.
+        let now = Arc::new(Mutex::new(Instant::now()));
+        let tick = now.clone();
+        remote.set_clock(Arc::new(move || *tick.lock().unwrap()));
+        a.shutdown();
+
+        let probe = |remote: &RemoteShard| {
+            let mut out = Vec::new();
+            remote.try_corner_query(
+                c,
+                IndexKind::RTree,
+                &CornerQuery::unconstrained(),
+                &mut out,
+                &mut ProbeTrace::default(),
+            )
+        };
+        // K-1 failures: breaker still closed, every probe really dials.
+        for i in 0..2 {
+            assert!(probe(&remote).is_err());
+            let stats = remote.pool_stats();
+            assert_eq!(stats.breaker, BreakerState::Closed, "probe {i}: {stats:?}");
+            assert_eq!(stats.breaker_trips, 0, "probe {i}: {stats:?}");
+            assert_eq!(stats.consecutive_failures, i + 1, "probe {i}: {stats:?}");
+        }
+        // The K-th failure trips it…
+        assert!(probe(&remote).is_err());
+        let stats = remote.pool_stats();
+        assert_eq!(stats.breaker, BreakerState::Open, "{stats:?}");
+        assert_eq!(stats.breaker_trips, 1, "{stats:?}");
+        // …and while open, requests fast-fail with the named error
+        // without dialing or counting further failures.
+        let err = probe(&remote).err().unwrap();
+        assert!(err.to_string().contains("circuit breaker open"), "{err}");
+        let stats = remote.pool_stats();
+        assert_eq!(stats.consecutive_failures, 3, "{stats:?}");
+        assert_eq!(stats.breaker_trips, 1, "{stats:?}");
+        // Advancing the injected clock past the cooldown lets one
+        // half-open probe through; the address is still dead, so the
+        // probe re-trips the breaker immediately.
+        *now.lock().unwrap() += Duration::from_secs(3601);
+        let err = probe(&remote).err().unwrap();
+        assert!(!err.to_string().contains("circuit breaker open"), "{err}");
+        let stats = remote.pool_stats();
+        assert_eq!(stats.breaker, BreakerState::Open, "{stats:?}");
+        assert_eq!(stats.breaker_trips, 2, "{stats:?}");
     }
 }

@@ -18,10 +18,12 @@
 //! a silently wrong database.
 //!
 //! ```text
-//! manifest: magic "SCQM" | u16 version (=2) | u16 dimension (=2)
+//! manifest: magic "SCQM" | u16 version (=3) | u16 dimension (=2)
 //!           universe (4 f64 LE)
 //!           u32 router bits | u32 shard count
-//!           per shard: u64 z-range lo | u64 z-range hi   (v2 only)
+//!           per shard: u64 z-range lo | u64 z-range hi   (v2+)
+//!           per shard: u32 replica count                  (v3+)
+//!                      per replica: u16 addr length | addr bytes (UTF-8)
 //!           u32 collection count
 //!           per collection:
 //!             u16 name length | name bytes (UTF-8)
@@ -29,10 +31,17 @@
 //!             per slot: u32 shard | u32 local slot | u8 flags (bit 0 = live)
 //! ```
 //!
-//! **Version 2** (current) serializes each shard's z-range explicitly,
-//! so a cluster with a custom [`crate::ClusterSpec`] range assignment
-//! round-trips exactly. **Version 1** manifests (no range table) still
-//! load: their ranges are the balanced pure function of `(bits, shard
+//! **Version 3** (current) additionally records each shard's replica
+//! topology — the ordered address set the cluster was serving from
+//! when the snapshot was taken (empty for in-process shards). The
+//! addresses are informational: a restore may legitimately target a
+//! redeployed cluster at new addresses, so [`reload_from_dir`] checks
+//! ranges/bits/shard-count but not addresses. **Version 2** serializes
+//! each shard's z-range explicitly, so a cluster with a custom
+//! [`crate::ClusterSpec`] range assignment round-trips exactly; v2
+//! manifests (no replica table) still load with empty replica sets.
+//! **Version 1** manifests (no range table either) also still load:
+//! their ranges are the balanced pure function of `(bits, shard
 //! count)` ([`scq_zorder::shard_ranges`]), which is all v1 could
 //! express.
 
@@ -51,8 +60,10 @@ use crate::router::ShardRouter;
 
 const MAGIC: &[u8; 4] = b"SCQM";
 /// Current (written) manifest version.
-const VERSION: u16 = 2;
-/// Oldest still-loadable manifest version.
+const VERSION: u16 = 3;
+/// Still-loadable: explicit ranges, no replica-topology table.
+const V2: u16 = 2;
+/// Oldest still-loadable manifest version (balanced ranges implied).
 const V1: u16 = 1;
 
 /// Errors produced while loading a sharded snapshot.
@@ -66,7 +77,7 @@ pub enum ShardSnapshotError {
     DimensionMismatch(u16),
     /// The manifest ended before its declared content.
     Truncated,
-    /// A collection name was not valid UTF-8.
+    /// A collection name or replica address was not valid UTF-8.
     BadName,
     /// A universe coordinate was not finite.
     BadCoordinate,
@@ -109,7 +120,7 @@ impl std::fmt::Display for ShardSnapshotError {
                 write!(f, "manifest is {d}-dimensional, expected 2")
             }
             ShardSnapshotError::Truncated => write!(f, "manifest truncated"),
-            ShardSnapshotError::BadName => write!(f, "collection name is not UTF-8"),
+            ShardSnapshotError::BadName => write!(f, "collection name or address is not UTF-8"),
             ShardSnapshotError::BadCoordinate => write!(f, "non-finite universe coordinate"),
             ShardSnapshotError::TrailingData { bytes } => {
                 write!(f, "{bytes} trailing bytes after the manifest")
@@ -145,6 +156,20 @@ pub fn save_manifest<B: ShardBackend>(db: &ShardedDatabase<B>) -> Bytes {
     for &(lo, hi) in db.router().ranges() {
         buf.put_u64_le(lo);
         buf.put_u64_le(hi);
+    }
+    // v3: the replica set each shard was serving from (primary first;
+    // empty for in-process shards).
+    for s in 0..db.n_shards() {
+        let replicas = db.backend(s).health();
+        buf.put_u32_le(replicas.len() as u32);
+        for r in &replicas {
+            assert!(
+                r.addr.len() <= u16::MAX as usize,
+                "replica address exceeds the snapshot format's u16 length"
+            );
+            buf.put_u16_le(r.addr.len() as u16);
+            buf.put_slice(r.addr.as_bytes());
+        }
     }
     let collections: Vec<CollectionId> = db.collections().collect();
     buf.put_u32_le(collections.len() as u32);
@@ -206,9 +231,13 @@ pub struct Manifest {
     universe: AaBox<2>,
     bits: u32,
     n_shards: usize,
-    /// The z-range each shard owns (explicit in v2; the balanced
+    /// The z-range each shard owns (explicit in v2+; the balanced
     /// default for v1 manifests).
     ranges: Vec<(u64, u64)>,
+    /// Per shard: the replica addresses it was serving from when the
+    /// snapshot was taken (v3+; empty for older manifests and for
+    /// in-process shards).
+    replicas: Vec<Vec<String>>,
     /// Per collection: name and one [`ManifestSlot`] per global slot.
     collections: Vec<(String, Vec<ManifestSlot>)>,
 }
@@ -223,6 +252,14 @@ impl Manifest {
     pub fn ranges(&self) -> &[(u64, u64)] {
         &self.ranges
     }
+
+    /// Per shard, the replica addresses recorded at snapshot time
+    /// (primary first). Informational: a restore may target a
+    /// redeployed cluster, so nothing enforces these at load time.
+    /// Empty per-shard lists for v1/v2 manifests and local shards.
+    pub fn replica_sets(&self) -> &[Vec<String>] {
+        &self.replicas
+    }
 }
 
 /// Decodes and validates a manifest (no shard data involved).
@@ -235,7 +272,7 @@ pub fn load_manifest(data: &[u8]) -> Result<Manifest, ShardSnapshotError> {
         return Err(ShardSnapshotError::BadMagic);
     }
     let version = buf.get_u16_le();
-    if version != VERSION && version != V1 {
+    if version != VERSION && version != V2 && version != V1 {
         return Err(ShardSnapshotError::BadVersion(version));
     }
     let dim = buf.get_u16_le();
@@ -281,6 +318,33 @@ pub fn load_manifest(data: &[u8]) -> Result<Manifest, ShardSnapshotError> {
     } else {
         scq_zorder::shard_ranges(bits, n_shards)
     };
+    let replicas = if version >= 3 {
+        let mut replicas = Vec::with_capacity(n_shards);
+        for s in 0..n_shards {
+            need(&buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            // A corrupt count must not reserve gigabytes; no sane
+            // deployment runs this many replicas of one shard.
+            if n > 64 {
+                return Err(ShardSnapshotError::BadConfig(format!(
+                    "shard {s} declares {n} replicas"
+                )));
+            }
+            let mut addrs = Vec::with_capacity(n);
+            for _ in 0..n {
+                need(&buf, 2)?;
+                let len = buf.get_u16_le() as usize;
+                need(&buf, len)?;
+                let mut bytes = vec![0u8; len];
+                buf.copy_to_slice(&mut bytes);
+                addrs.push(String::from_utf8(bytes).map_err(|_| ShardSnapshotError::BadName)?);
+            }
+            replicas.push(addrs);
+        }
+        replicas
+    } else {
+        vec![Vec::new(); n_shards]
+    };
     need(&buf, 4)?;
     let n_coll = buf.get_u32_le();
     let mut collections = Vec::new();
@@ -319,6 +383,7 @@ pub fn load_manifest(data: &[u8]) -> Result<Manifest, ShardSnapshotError> {
         bits,
         n_shards,
         ranges,
+        replicas,
         collections,
     })
 }
@@ -710,38 +775,94 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    // ranges sit after magic(4)+version(2)+dim(2)+universe(32)+
+    // bits(4)+count(4) = 48, sixteen bytes per shard
+    const RANGES_AT: usize = 48;
+
+    /// Byte offset of the v3 replica-topology table in a manifest of
+    /// `n` shards.
+    fn replicas_at(n: usize) -> usize {
+        RANGES_AT + n * 16
+    }
+
     #[test]
     fn v1_manifests_still_load_with_balanced_ranges() {
-        // A v1 manifest is a v2 one minus the explicit range table:
-        // rewrite the version field and splice the ranges out. The
-        // loader must fall back to the balanced assignment, which is
-        // all v1 could express.
+        // A v1 manifest is the current one minus the range table and
+        // the replica table: rewrite the version field and splice both
+        // out. The loader must fall back to the balanced assignment,
+        // which is all v1 could express.
         let db = sample();
-        let v2 = save_manifest(&db).to_vec();
-        let mut v1 = v2.clone();
+        let n = db.n_shards();
+        let v3 = save_manifest(&db).to_vec();
+        let mut v1 = v3.clone();
         v1[4..6].copy_from_slice(&1u16.to_le_bytes());
-        // ranges sit after magic(4)+version(2)+dim(2)+universe(32)+
-        // bits(4)+count(4) = 48, sixteen bytes per shard
-        let ranges_at = 48;
-        v1.drain(ranges_at..ranges_at + db.n_shards() * 16);
+        // local shards record empty replica sets: 4 bytes per shard
+        v1.drain(RANGES_AT..RANGES_AT + n * 16 + n * 4);
         let m = load_manifest(&v1).expect("v1 manifest loads");
-        assert_eq!(m.n_shards(), db.n_shards());
-        assert_eq!(
-            m.ranges(),
-            scq_zorder::shard_ranges(DEFAULT_ROUTER_BITS, db.n_shards())
-        );
-        let payloads: Vec<Bytes> = (0..db.n_shards())
-            .map(|s| save_shard(&db, s).unwrap())
-            .collect();
+        assert_eq!(m.n_shards(), n);
+        assert_eq!(m.ranges(), scq_zorder::shard_ranges(DEFAULT_ROUTER_BITS, n));
+        assert!(m.replica_sets().iter().all(|s| s.is_empty()));
+        let payloads: Vec<Bytes> = (0..n).map(|s| save_shard(&db, s).unwrap()).collect();
         let loaded = load(&v1, &payloads).expect("v1 snapshot assembles");
         loaded.check().expect("consistent");
-        // and a v2 manifest declaring non-tiling ranges is rejected
-        let mut bad = v2.clone();
-        bad[ranges_at..ranges_at + 8].copy_from_slice(&7u64.to_le_bytes());
+        // and a current manifest declaring non-tiling ranges is rejected
+        let mut bad = v3.clone();
+        bad[RANGES_AT..RANGES_AT + 8].copy_from_slice(&7u64.to_le_bytes());
         assert!(matches!(
             load_manifest(&bad).err(),
             Some(ShardSnapshotError::BadConfig(_))
         ));
+    }
+
+    #[test]
+    fn v2_manifests_still_load_with_empty_replica_sets() {
+        // A v2 manifest is the current one minus the replica table.
+        let db = sample();
+        let n = db.n_shards();
+        let mut v2 = save_manifest(&db).to_vec();
+        v2[4..6].copy_from_slice(&2u16.to_le_bytes());
+        v2.drain(replicas_at(n)..replicas_at(n) + n * 4);
+        let m = load_manifest(&v2).expect("v2 manifest loads");
+        assert_eq!(m.ranges(), db.router().ranges());
+        assert!(m.replica_sets().iter().all(|s| s.is_empty()));
+        let payloads: Vec<Bytes> = (0..n).map(|s| save_shard(&db, s).unwrap()).collect();
+        let loaded = load(&v2, &payloads).expect("v2 snapshot assembles");
+        loaded.check().expect("consistent");
+    }
+
+    #[test]
+    fn v3_replica_topology_round_trips() {
+        let db = sample();
+        let n = db.n_shards();
+        let manifest = save_manifest(&db).to_vec();
+        // in-process shards record empty replica sets
+        let m = load_manifest(&manifest).expect("loads");
+        assert_eq!(m.replica_sets().len(), n);
+        assert!(m.replica_sets().iter().all(|s| s.is_empty()));
+        // splice a two-address replica set into shard 0's entry — the
+        // shape a remote cluster writes
+        let mut spliced = manifest.clone();
+        let mut entry = Vec::new();
+        entry.extend_from_slice(&2u32.to_le_bytes());
+        for addr in ["127.0.0.1:7001", "127.0.0.1:7002"] {
+            entry.extend_from_slice(&(addr.len() as u16).to_le_bytes());
+            entry.extend_from_slice(addr.as_bytes());
+        }
+        spliced.splice(replicas_at(n)..replicas_at(n) + 4, entry);
+        let m = load_manifest(&spliced).expect("spliced topology parses");
+        assert_eq!(m.replica_sets()[0], ["127.0.0.1:7001", "127.0.0.1:7002"]);
+        assert!(m.replica_sets()[1..].iter().all(|s| s.is_empty()));
+        // an absurd replica count is rejected, not allocated
+        let mut bad = manifest.clone();
+        bad[replicas_at(n)..replicas_at(n) + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            load_manifest(&bad).err(),
+            Some(ShardSnapshotError::BadConfig(_))
+        ));
+        // a non-UTF-8 address is rejected
+        let mut bad = spliced.clone();
+        bad[replicas_at(n) + 6] = 0xff;
+        assert_eq!(load_manifest(&bad).err(), Some(ShardSnapshotError::BadName));
     }
 
     #[test]

@@ -85,6 +85,15 @@ pub enum WireError {
         /// Number of unconsumed bytes.
         bytes: usize,
     },
+    /// The address's circuit breaker is open: the client refused to
+    /// dial at all because the address failed its last K requests and
+    /// is in cooldown. Counts as a transport failure (the address is,
+    /// as far as the client knows, dead) but is its own named variant
+    /// so a fast-failed write is distinguishable from a socket error.
+    BreakerOpen {
+        /// The tripped address.
+        addr: String,
+    },
     /// The peer reported a failure executing the request.
     Remote(String),
     /// The response decoded fine but had the wrong shape for the
@@ -122,6 +131,9 @@ impl std::fmt::Display for WireError {
             WireError::TrailingData { bytes } => {
                 write!(f, "{bytes} trailing bytes after the message body")
             }
+            WireError::BreakerOpen { addr } => {
+                write!(f, "circuit breaker open for {addr}: address in cooldown")
+            }
             WireError::Remote(m) => write!(f, "remote error: {m}"),
             WireError::Unexpected(m) => write!(f, "unexpected response: {m}"),
             WireError::Io(m) => write!(f, "io: {m}"),
@@ -143,7 +155,10 @@ impl WireError {
     pub fn is_transport(&self) -> bool {
         matches!(
             self,
-            WireError::Io(_) | WireError::Truncated | WireError::TruncatedLengthPrefix { .. }
+            WireError::Io(_)
+                | WireError::Truncated
+                | WireError::TruncatedLengthPrefix { .. }
+                | WireError::BreakerOpen { .. }
         )
     }
 }

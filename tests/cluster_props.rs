@@ -36,19 +36,19 @@ struct Cluster {
     db: Option<ShardedDatabase<RemoteShard>>,
 }
 
+fn boot_server(threads: usize) -> ShardServerHandle {
+    scq_shard::serve_shard(&ShardServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads,
+        universe_size: UNIVERSE_SIZE,
+        ..ShardServerConfig::default()
+    })
+    .expect("bind shard server")
+}
+
 impl Cluster {
     fn boot(n_shards: usize) -> Cluster {
-        let servers: Vec<ShardServerHandle> = (0..n_shards)
-            .map(|_| {
-                scq_shard::serve_shard(&ShardServerConfig {
-                    addr: "127.0.0.1:0".into(),
-                    threads: 1,
-                    universe_size: UNIVERSE_SIZE,
-                    ..ShardServerConfig::default()
-                })
-                .expect("bind shard server")
-            })
-            .collect();
+        let servers: Vec<ShardServerHandle> = (0..n_shards).map(|_| boot_server(1)).collect();
         let universe = AaBox::new([0.0, 0.0], [UNIVERSE_SIZE, UNIVERSE_SIZE]);
         let addrs: Vec<String> = servers.iter().map(|s| s.addr().to_string()).collect();
         let spec = ClusterSpec::balanced(universe, scq_shard::DEFAULT_ROUTER_BITS, &addrs);
@@ -195,6 +195,9 @@ struct ProxiedCluster {
     servers: Vec<ShardServerHandle>,
     proxies: Vec<FaultProxy>,
     db: Option<ShardedDatabase<RemoteShard>>,
+    /// The injected breaker clock shared by every backend; tests
+    /// advance it by hand instead of sleeping through cooldowns.
+    now: std::sync::Arc<std::sync::Mutex<std::time::Instant>>,
 }
 
 impl ProxiedCluster {
@@ -217,18 +220,31 @@ impl ProxiedCluster {
         let universe = AaBox::new([0.0, 0.0], [UNIVERSE_SIZE, UNIVERSE_SIZE]);
         let addrs: Vec<String> = proxies.iter().map(|p| p.addr().to_string()).collect();
         let spec = ClusterSpec::balanced(universe, scq_shard::DEFAULT_ROUTER_BITS, &addrs);
-        let db = spec
+        let mut db = spec
             .connect(Duration::from_secs(10))
             .expect("connect cluster through the proxies");
+        let now = std::sync::Arc::new(std::sync::Mutex::new(std::time::Instant::now()));
+        for s in 0..n_shards {
+            let tick = now.clone();
+            db.backend_mut(s)
+                .set_clock(std::sync::Arc::new(move || *tick.lock().unwrap()));
+        }
         ProxiedCluster {
             servers,
             proxies,
             db: Some(db),
+            now,
         }
     }
 
     fn db(&mut self) -> &mut ShardedDatabase<RemoteShard> {
         self.db.as_mut().expect("cluster is up")
+    }
+
+    /// Advances the injected breaker clock — the deterministic stand-in
+    /// for waiting out a cooldown.
+    fn advance(&self, d: Duration) {
+        *self.now.lock().expect("clock lock poisoned") += d;
     }
 }
 
@@ -362,7 +378,11 @@ fn severed_shard_mid_query_degrades_fanout_to_partial_then_rejoins() {
 
     // Heal the partition: the shard rejoins the same router with no
     // restart on either side, and reads are Complete and exact again.
+    // The outage tripped the address's circuit breaker, so rejoining
+    // also means waiting out the cooldown — advance the injected clock
+    // instead of sleeping; the next probe is the half-open re-admit.
     cluster.proxies[victim].heal();
+    cluster.advance(Duration::from_secs(3600));
     let recovered = scq_shard::execute_fanout(
         cluster.db(),
         &q,
@@ -432,6 +452,407 @@ fn failed_migration_keeps_the_object_intact() {
     db.query_collection(coll, IndexKind::RTree, &q, &mut out);
     assert_eq!(out, vec![obj.index as u64]);
     shard_a.shutdown();
+}
+
+/// A replicated cluster: `n_shards` z-ranges × `n_replicas` shard
+/// server threads per range (primary first), each individually
+/// killable mid-test.
+struct ReplicatedCluster {
+    servers: Vec<Vec<Option<ShardServerHandle>>>,
+    db: Option<ShardedDatabase<RemoteShard>>,
+}
+
+impl ReplicatedCluster {
+    fn boot(n_shards: usize, n_replicas: usize, breaker: BreakerConfig) -> ReplicatedCluster {
+        let servers: Vec<Vec<Option<ShardServerHandle>>> = (0..n_shards)
+            .map(|_| (0..n_replicas).map(|_| Some(boot_server(1))).collect())
+            .collect();
+        let universe = AaBox::new([0.0, 0.0], [UNIVERSE_SIZE, UNIVERSE_SIZE]);
+        let sets: Vec<Vec<String>> = servers
+            .iter()
+            .map(|replicas| {
+                replicas
+                    .iter()
+                    .map(|s| s.as_ref().unwrap().addr().to_string())
+                    .collect()
+            })
+            .collect();
+        let mut spec =
+            ClusterSpec::balanced_replicated(universe, scq_shard::DEFAULT_ROUTER_BITS, &sets);
+        spec.breaker = breaker;
+        let db = spec
+            .connect(Duration::from_secs(10))
+            .expect("connect replicated cluster");
+        ReplicatedCluster {
+            servers,
+            db: Some(db),
+        }
+    }
+
+    fn db(&mut self) -> &mut ShardedDatabase<RemoteShard> {
+        self.db.as_mut().expect("cluster is up")
+    }
+
+    /// Kills replica `r` of shard `s`: listener closed, every live
+    /// connection dropped — the thread equivalent of SIGKILL on a
+    /// shard process.
+    fn kill(&mut self, s: usize, r: usize) {
+        self.servers[s][r]
+            .take()
+            .expect("replica already killed")
+            .shutdown();
+    }
+}
+
+impl Drop for ReplicatedCluster {
+    fn drop(&mut self) {
+        self.db.take();
+        for replicas in self.servers.drain(..) {
+            for server in replicas.into_iter().flatten() {
+                server.shutdown();
+            }
+        }
+    }
+}
+
+/// The tentpole acceptance scenario: on a 2-replica spec, one replica
+/// of EVERY range dies mid-churn — the secondary of range 1 first
+/// (writes keep flowing and desync it quietly), then, churn done, the
+/// primary of range 0 (reads must fail over to its converged
+/// secondary) — and `execute_fanout` still answers `Complete` and
+/// oracle-equal, with the failovers and stale answers counted. Writes
+/// routed to the dead primary fail with a named transport error and
+/// are never silently retried against the secondary.
+#[test]
+fn one_dead_replica_per_range_keeps_fanout_complete_and_oracle_equal() {
+    let mut cluster = ReplicatedCluster::boot(2, 2, BreakerConfig::default());
+    let universe = AaBox::new([0.0, 0.0], [UNIVERSE_SIZE, UNIVERSE_SIZE]);
+    let mut plain = SpatialDatabase::new(universe);
+    let coll = cluster.db().try_collection("objs").expect("create");
+    plain.collection("objs");
+    let mut refs = Vec::new();
+    for i in 0..36 {
+        let (x, y) = ((i % 6) as f64 * 16.0 + 2.0, (i / 6) as f64 * 16.0 + 2.0);
+        let r = Region::from_box(AaBox::new([x, y], [x + 5.0, y + 5.0]));
+        refs.push(cluster.db().try_insert(coll, r.clone()).expect("insert"));
+        plain.insert(coll, r);
+    }
+    let churn: Vec<Op> = (0..24u32)
+        .map(|i| match i % 4 {
+            0 => Op::Insert {
+                x: (i * 7 % 80) as f64,
+                y: (i * 13 % 80) as f64,
+                w: 4.0,
+                h: 3.0,
+            },
+            1 => Op::Remove {
+                slot: (i * 31) as u16,
+            },
+            2 => Op::Update {
+                slot: (i * 17) as u16,
+                x: (i * 11 % 85) as f64,
+                y: (i * 5 % 85) as f64,
+                w: 3.0,
+                h: 5.0,
+            },
+            _ => Op::UpdateToEmpty {
+                slot: (i * 13) as u16,
+            },
+        })
+        .collect();
+    for op in &churn[..12] {
+        apply_both(cluster.db(), &mut plain, coll, op);
+    }
+    // Mid-churn: the secondary of range 1 dies. Every further write to
+    // that range succeeds on its primary (and marks the replica
+    // desynced); cross-range migrations included.
+    cluster.kill(1, 1);
+    for op in &churn[12..] {
+        apply_both(cluster.db(), &mut plain, coll, op);
+    }
+    // Churn done: the primary of range 0 dies too. Now every range is
+    // down to one live process — a different one each.
+    cluster.kill(0, 0);
+
+    let sys = parse_system("X <= W").unwrap();
+    let q = Query::new(sys)
+        .known(
+            "W",
+            Region::from_box(AaBox::new([0.0, 0.0], [UNIVERSE_SIZE, UNIVERSE_SIZE])),
+        )
+        .from_collection("X", coll);
+    let mut oracle = naive_execute(&plain, &q).unwrap().solutions;
+    oracle.sort();
+
+    let result = execute_fanout(
+        cluster.db(),
+        &q,
+        IndexKind::RTree,
+        scq_engine::ExecOptions::all(),
+    )
+    .expect("reads survive one dead replica per range");
+    assert_eq!(
+        result.outcome,
+        QueryOutcome::Complete,
+        "failover turns what would be Partial back into Complete"
+    );
+    let mut got = result.solutions;
+    got.sort();
+    assert_eq!(got, oracle, "failover answers equal the unsharded oracle");
+    assert!(result.stats.failovers >= 1, "{:?}", result.stats);
+    assert!(result.stats.stale_answers >= 1, "{:?}", result.stats);
+
+    let h0 = cluster.db.as_ref().unwrap().backend(0).health();
+    let h1 = cluster.db.as_ref().unwrap().backend(1).health();
+    assert!(
+        !h0[1].desynced,
+        "range 0's secondary converged before the primary died: {h0:?}"
+    );
+    assert!(
+        h1[1].desynced && !h1[0].desynced,
+        "range 1's dead secondary is marked, its primary is not: {h1:?}"
+    );
+
+    // A mutation routed to range 0 hits the dead primary: loud named
+    // transport error, never redirected to the secondary.
+    let db = cluster.db.as_ref().unwrap();
+    let on0 = refs
+        .iter()
+        .find(|&&r| db.shard_of(r) == 0 && db.is_live(r))
+        .copied()
+        .expect("range 0 owns live objects");
+    let err = cluster
+        .db()
+        .try_remove(on0)
+        .expect_err("a dead primary fails writes");
+    assert!(matches!(err, scq_shard::ShardError::Wire(_)), "{err}");
+    // The failed remove reached no replica: the same fan-out read is
+    // still Complete and oracle-equal.
+    let again = execute_fanout(
+        cluster.db(),
+        &q,
+        IndexKind::RTree,
+        scq_engine::ExecOptions::all(),
+    )
+    .unwrap();
+    assert_eq!(again.outcome, QueryOutcome::Complete);
+    let mut again_solutions = again.solutions;
+    again_solutions.sort();
+    assert_eq!(again_solutions, oracle, "the failed write changed nothing");
+}
+
+/// The flapping-breaker script, with zero sleeps: K consecutive
+/// transport failures trip the primary address's breaker (at exactly
+/// K, not before), a tripped address is skipped WITHOUT dialing (the
+/// proxy forwards no frames even after the partition heals), and
+/// advancing the injected clock past the cooldown re-admits the
+/// address through a half-open probe that closes the breaker on
+/// success.
+#[test]
+fn breaker_trips_at_exactly_k_skips_without_dialing_and_readmits_after_cooldown() {
+    let primary = boot_server(2);
+    let secondary = boot_server(2);
+    let proxy = FaultProxy::start(&primary.addr().to_string()).expect("bind proxy");
+    let universe = AaBox::new([0.0, 0.0], [UNIVERSE_SIZE, UNIVERSE_SIZE]);
+    let mut spec = ClusterSpec::balanced_replicated(
+        universe,
+        scq_shard::DEFAULT_ROUTER_BITS,
+        &[vec![proxy.addr().to_string(), secondary.addr().to_string()]],
+    );
+    spec.breaker = BreakerConfig {
+        threshold: 3,
+        cooldown: Duration::from_secs(3600),
+    };
+    let mut db = spec.connect(Duration::from_secs(10)).expect("connect");
+    // Deterministic time: the test advances the breaker clock by hand.
+    let now = std::sync::Arc::new(std::sync::Mutex::new(std::time::Instant::now()));
+    let tick = now.clone();
+    db.backend_mut(0)
+        .set_clock(std::sync::Arc::new(move || *tick.lock().unwrap()));
+
+    let coll = db.try_collection("objs").expect("create");
+    for i in 0..4 {
+        let t = i as f64 * 20.0 + 1.0;
+        db.try_insert(coll, Region::from_box(AaBox::new([t, 5.0], [t + 5.0, 11.0])))
+            .expect("insert");
+    }
+    let read = |db: &ShardedDatabase<RemoteShard>| -> ProbeTrace {
+        let mut out = Vec::new();
+        let mut trace = ProbeTrace::default();
+        db.backend(0)
+            .try_corner_query(
+                coll,
+                IndexKind::RTree,
+                &CornerQuery::unconstrained(),
+                &mut out,
+                &mut trace,
+            )
+            .expect("replicated reads never fail while one replica lives");
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        trace
+    };
+    let trace = read(&db);
+    assert_eq!((trace.failovers, trace.stale), (0, false), "{trace:?}");
+
+    // Partition the primary: each read fails over and costs its
+    // address one consecutive failure. Closed through K-1 failures...
+    proxy.partition();
+    for i in 1..=2usize {
+        let trace = read(&db);
+        assert_eq!((trace.failovers, trace.stale), (1, true), "{trace:?}");
+        let h = db.backend(0).health();
+        assert_eq!(h[0].stats.breaker, BreakerState::Closed, "failure {i}: {h:?}");
+        assert_eq!(h[0].stats.consecutive_failures, i, "{h:?}");
+        assert_eq!(h[0].stats.breaker_trips, 0, "{h:?}");
+    }
+    // ...tripped at exactly K.
+    let trace = read(&db);
+    assert_eq!((trace.failovers, trace.stale), (1, true), "{trace:?}");
+    let h = db.backend(0).health();
+    assert_eq!(h[0].stats.breaker, BreakerState::Open, "{h:?}");
+    assert_eq!(h[0].stats.breaker_trips, 1, "{h:?}");
+
+    // Heal the network. The breaker is still open, so the next read
+    // skips the primary without dialing: the healed proxy forwards
+    // nothing.
+    proxy.heal();
+    let frames = proxy.frames_forwarded(Direction::ClientToServer);
+    let trace = read(&db);
+    assert_eq!((trace.failovers, trace.stale), (1, true), "{trace:?}");
+    assert_eq!(trace.retries, 0, "an open breaker never dials: {trace:?}");
+    assert_eq!(
+        proxy.frames_forwarded(Direction::ClientToServer),
+        frames,
+        "a tripped address receives no traffic"
+    );
+
+    // Advance the clock past the cooldown: the half-open probe dials
+    // the healed primary, succeeds, and the breaker closes — reads are
+    // primary-served and fresh again.
+    *now.lock().unwrap() += Duration::from_secs(3601);
+    let trace = read(&db);
+    assert_eq!((trace.failovers, trace.stale), (0, false), "{trace:?}");
+    let h = db.backend(0).health();
+    assert_eq!(h[0].stats.breaker, BreakerState::Closed, "{h:?}");
+    assert_eq!(
+        h[0].stats.breaker_trips, 1,
+        "exactly one trip across the whole flap: {h:?}"
+    );
+    assert!(proxy.frames_forwarded(Direction::ClientToServer) > frames);
+
+    primary.shutdown();
+    secondary.shutdown();
+}
+
+/// The split-brain script: a PRISTINE process restarted behind a dead
+/// secondary's address must never be silently re-adopted. Reads stay
+/// on the healthy primary, the integrity check names the impostor, a
+/// replicated write fails loudly instead of diverging, and the
+/// documented recovery path — restore every replica from one snapshot
+/// — actually heals the cluster.
+#[test]
+fn pristine_restart_behind_a_replica_address_stays_a_loud_desync_until_restored() {
+    let primary = boot_server(2);
+    let secondary = boot_server(2);
+    // The proxy's address is the replica's stable, spec'd address; the
+    // process behind it will change.
+    let proxy = FaultProxy::start(&secondary.addr().to_string()).expect("bind proxy");
+    let universe = AaBox::new([0.0, 0.0], [UNIVERSE_SIZE, UNIVERSE_SIZE]);
+    let spec = ClusterSpec::balanced_replicated(
+        universe,
+        scq_shard::DEFAULT_ROUTER_BITS,
+        &[vec![primary.addr().to_string(), proxy.addr().to_string()]],
+    );
+    let mut db = spec.connect(Duration::from_secs(10)).expect("connect");
+    let coll = db.try_collection("objs").expect("create");
+    for i in 0..5 {
+        let t = i as f64 * 15.0 + 1.0;
+        db.try_insert(coll, Region::from_box(AaBox::new([t, 2.0], [t + 6.0, 9.0])))
+            .expect("insert");
+    }
+    db.check().expect("healthy replicated cluster");
+    let dir = std::env::temp_dir().join(format!("scq_split_brain_{}", std::process::id()));
+    scq_shard::save_to_dir(&db, &dir).expect("snapshot the good state");
+    // The v3 manifest recorded the replica topology the cluster served
+    // from (primary first).
+    let manifest = std::fs::read(dir.join(scq_shard::snapshot::MANIFEST_FILE)).unwrap();
+    let m = scq_shard::snapshot::load_manifest(&manifest).unwrap();
+    assert_eq!(
+        m.replica_sets(),
+        &[vec![primary.addr().to_string(), proxy.addr().to_string()]]
+    );
+
+    // The secondary dies; a pristine process comes up behind its
+    // address.
+    secondary.shutdown();
+    let impostor = boot_server(2);
+    proxy.retarget(&impostor.addr().to_string());
+    proxy.sever_all();
+
+    // Reads never consult the impostor while the primary is healthy.
+    let mut out = Vec::new();
+    let mut trace = ProbeTrace::default();
+    db.backend(0)
+        .try_corner_query(
+            coll,
+            IndexKind::RTree,
+            &CornerQuery::unconstrained(),
+            &mut out,
+            &mut trace,
+        )
+        .expect("primary still serves");
+    assert_eq!(out.len(), 5);
+    assert_eq!((trace.failovers, trace.stale), (0, false), "{trace:?}");
+
+    // The integrity check cross-examines the replica's census and is
+    // loud about the mismatch.
+    let problems = db
+        .check()
+        .expect_err("a pristine impostor fails the integrity check");
+    assert!(
+        problems.iter().any(|p| p.contains("replica")),
+        "{problems:?}"
+    );
+
+    // A replicated write fails loudly — the primary accepted what the
+    // impostor cannot have, and the router refuses to paper over it.
+    let err = db
+        .try_insert(
+            coll,
+            Region::from_box(AaBox::new([80.0, 80.0], [85.0, 85.0])),
+        )
+        .expect_err("split-brain write must fail");
+    assert!(err.to_string().contains("rejected"), "{err}");
+
+    // Recovery is the documented path: restore every replica from one
+    // snapshot. That turns the impostor into a real, converged
+    // replica.
+    scq_shard::reload_from_dir(&mut db, &dir).expect("restore from snapshot");
+    std::fs::remove_dir_all(&dir).ok();
+    db.check().expect("restored cluster is consistent");
+    db.try_insert(
+        coll,
+        Region::from_box(AaBox::new([80.0, 80.0], [85.0, 85.0])),
+    )
+    .expect("writes replicate again");
+    // …and the restored replica really can serve: kill the primary and
+    // read through the failover path.
+    primary.shutdown();
+    let mut out = Vec::new();
+    let mut trace = ProbeTrace::default();
+    db.backend(0)
+        .try_corner_query(
+            coll,
+            IndexKind::RTree,
+            &CornerQuery::unconstrained(),
+            &mut out,
+            &mut trace,
+        )
+        .expect("failover to the restored replica");
+    assert_eq!(out.len(), 6, "snapshot contents plus the new insert");
+    assert_eq!((trace.failovers, trace.stale), (1, true), "{trace:?}");
+    impostor.shutdown();
 }
 
 proptest! {
@@ -607,14 +1028,17 @@ proptest! {
 
     /// The cluster spec text format is a bijection on valid specs:
     /// format → parse → format is a fixpoint, and parse recovers the
-    /// exact spec — arbitrary (non-balanced) range tilings, pool sizes
-    /// and universes included.
+    /// exact spec — arbitrary (non-balanced) range tilings, replica
+    /// counts, breaker tunings, pool sizes and universes included.
     #[test]
     fn cluster_spec_round_trips_format_parse_format(
         bits in 3u32..10,
         raw_cuts in prop::collection::vec(1u64..u64::MAX, 0..7),
         pool in 1usize..33,
         (ux, uy) in (1u16..2000, 1u16..2000),
+        n_replicas in prop::collection::vec(1usize..4, 8),
+        threshold in 1usize..9,
+        cooldown_ms in 1u64..100_000,
     ) {
         let space = scq_zorder::key_space(bits);
         let mut cuts: Vec<u64> = raw_cuts.iter().map(|c| 1 + c % (space - 1)).collect();
@@ -627,7 +1051,10 @@ proptest! {
             .windows(2)
             .enumerate()
             .map(|(i, w)| ShardSpec {
-                addr: format!("10.0.0.{i}:7{i:03}"),
+                name: format!("shard{i}"),
+                addrs: (0..n_replicas[i])
+                    .map(|r| format!("10.0.{r}.{i}:7{i:03}"))
+                    .collect(),
                 range: (w[0], w[1]),
             })
             .collect();
@@ -635,6 +1062,10 @@ proptest! {
             universe: AaBox::new([0.0, 0.0], [ux as f64, uy as f64]),
             bits,
             pool,
+            breaker: BreakerConfig {
+                threshold,
+                cooldown: Duration::from_millis(cooldown_ms),
+            },
             shards,
         };
         spec.validate().expect("generated specs are valid");

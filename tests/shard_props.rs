@@ -258,12 +258,13 @@ proptest! {
         }
     }
 
-    /// SCQM manifest v1→v2 compatibility under arbitrary mutations: a
-    /// database saved with the current (v2) manifest, hand-downgraded
-    /// to a v1 header (version field rewritten, explicit range table
-    /// spliced out — exactly what a v1 writer would have produced for
-    /// a balanced cluster), must reload into a store that answers every
-    /// corner query identically and passes its integrity check.
+    /// SCQM manifest v1→current compatibility under arbitrary
+    /// mutations: a database saved with the current (v3) manifest,
+    /// hand-downgraded to a v1 header (version field rewritten,
+    /// explicit range table and v3 replica table spliced out — exactly
+    /// what a v1 writer would have produced for a balanced cluster),
+    /// must reload into a store that answers every corner query
+    /// identically and passes its integrity check.
     #[test]
     fn manifest_v1_downgrade_reloads_identically(
         ops in prop::collection::vec(op_strategy(), 1..80),
@@ -278,13 +279,15 @@ proptest! {
             apply_both(&mut sharded, &mut plain, coll, op);
         }
         let v2 = scq_shard::snapshot::save_manifest(&sharded).to_vec();
-        // Downgrade by hand: version 2 → 1 at offset 4, then splice
+        // Downgrade by hand: version 3 → 1 at offset 4, then splice
         // out the per-shard range table (16 bytes per shard) that sits
         // after magic(4) + version(2) + dim(2) + universe(32) +
-        // bits(4) + shard count(4) = 48 bytes.
+        // bits(4) + shard count(4) = 48 bytes, plus the v3 replica
+        // table right after it (a zero u32 count per shard — these are
+        // in-process shards with no replica addresses).
         let mut v1 = v2.clone();
         v1[4..6].copy_from_slice(&1u16.to_le_bytes());
-        v1.drain(48..48 + n_shards * 16);
+        v1.drain(48..48 + n_shards * 16 + n_shards * 4);
         let payloads: Vec<_> = (0..sharded.n_shards())
             .map(|s| scq_shard::snapshot::save_shard(&sharded, s).unwrap())
             .collect();
