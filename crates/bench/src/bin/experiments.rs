@@ -667,6 +667,59 @@ fn smoke(path: &str) {
         }),
     ));
 
+    // Durability counters: one in-process WAL write/replay cycle.
+    // `wal_fsync_batches` carries records-per-fsync and is floor-gated
+    // (group commit must keep batching at least as well as the
+    // baseline); torn tails and replay errors are ceilings held at 0 —
+    // a clean log that replays with damage is a recovery bug, not
+    // noise.
+    {
+        let dir = std::env::temp_dir().join(format!("scq_bench_wal_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let universe = AaBox::new([0.0, 0.0], [1000.0, 1000.0]);
+        let mut cfg = scq_shard::WalConfig::new(&dir);
+        cfg.group_commit = std::time::Duration::from_millis(25);
+        let (wal, mut db) = scq_shard::Wal::open(&cfg, universe).expect("open wal");
+        let coll = db.collection("w");
+        wal.append_durable(&scq_shard::wire::Request::Create { name: "w".into() })
+            .expect("log create");
+        let mut last = None;
+        for i in 0..400u32 {
+            let (x, y) = ((i % 90) as f64, ((i * 7) % 90) as f64);
+            let region = Region::from_box(AaBox::new([x, y], [x + 3.0, y + 2.0]));
+            db.insert(coll, region.clone());
+            last = Some(
+                wal.append(&scq_shard::wire::Request::Insert { coll, region })
+                    .expect("append"),
+            );
+        }
+        if let Some(ticket) = last {
+            wal.wait_durable(ticket).expect("group commit lands");
+        }
+        let write_stats = wal.stats();
+        rows.push((
+            "wal_fsync_batches",
+            write_stats.appended as f64 / write_stats.fsync_batches.max(1) as f64,
+        ));
+        let live = db.live_len(coll);
+        drop(wal);
+        let replay_errors = match scq_shard::Wal::open(&cfg, universe) {
+            Ok((replayed_wal, replayed_db)) => {
+                let s = replayed_wal.stats();
+                rows.push(("wal_torn_tails", s.torn_tails as f64));
+                let diverged =
+                    s.replayed != write_stats.appended || replayed_db.live_len(coll) != live;
+                diverged as u64 as f64
+            }
+            Err(_) => {
+                rows.push(("wal_torn_tails", 0.0));
+                1.0
+            }
+        };
+        rows.push(("wal_replay_errors", replay_errors));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     let mut json = String::from("{\n  \"schema\": 1,\n  \"preset\": \"ci\",\n  \"benches\": [\n");
     for (i, (name, ms)) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };

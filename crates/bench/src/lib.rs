@@ -227,11 +227,12 @@ pub fn parse_bench_json(text: &str) -> Result<Vec<BenchRow>, String> {
 /// * count rows (no `_ms` suffix, e.g. shards pruned) regress when the
 ///   current value drops below the baseline — pruning counts must
 ///   never silently decay.
-/// * **ceiling** count rows — names ending in `_retries` or
-///   `_shards_unavailable` — regress when the current value *exceeds*
-///   the baseline: these are failure counters held at 0 on the happy
-///   path, so any growth means connections flapped or shards vanished
-///   during the bench run.
+/// * **ceiling** count rows — names ending in `_retries`,
+///   `_shards_unavailable`, `_failovers`, `_breaker_trips`,
+///   `_torn_tails` or `_replay_errors` — regress when the current
+///   value *exceeds* the baseline: these are failure counters held at
+///   0 on the happy path, so any growth means connections flapped,
+///   shards vanished, or WAL recovery hit damage during the bench run.
 /// * a baseline row missing from the current artifact is a regression
 ///   (a deleted bench would otherwise vanish from the gate unnoticed);
 ///   new rows in the current artifact are fine.
@@ -256,7 +257,9 @@ pub fn gate_benches(
         let is_ceiling = name.ends_with("_retries")
             || name.ends_with("_shards_unavailable")
             || name.ends_with("_failovers")
-            || name.ends_with("_breaker_trips");
+            || name.ends_with("_breaker_trips")
+            || name.ends_with("_torn_tails")
+            || name.ends_with("_replay_errors");
         if name.ends_with("_ms") {
             let limit = base * factor;
             if *cur > limit && cur - base > NOISE_FLOOR_MS {
@@ -357,5 +360,35 @@ mod gate_tests {
         assert!(gate_benches(&rep, &failed_over, 10.0).is_err());
         let tripped = rows(&[("q_failovers", 0.0), ("q_breaker_trips", 1.0)]);
         assert!(gate_benches(&rep, &tripped, 10.0).is_err());
+        // durability counters: torn tails and replay errors are held
+        // at zero, while fsync batching is a floor (group commit must
+        // keep batching at least as well as the baseline).
+        let wal = rows(&[
+            ("wal_torn_tails", 0.0),
+            ("wal_replay_errors", 0.0),
+            ("wal_fsync_batches", 2.0),
+        ]);
+        assert!(gate_benches(&wal, &wal, 10.0).is_ok());
+        let torn = rows(&[
+            ("wal_torn_tails", 1.0),
+            ("wal_replay_errors", 0.0),
+            ("wal_fsync_batches", 2.0),
+        ]);
+        assert!(gate_benches(&wal, &torn, 10.0).is_err());
+        let rejected = rows(&[
+            ("wal_torn_tails", 0.0),
+            ("wal_replay_errors", 1.0),
+            ("wal_fsync_batches", 2.0),
+        ]);
+        assert!(gate_benches(&wal, &rejected, 10.0).is_err());
+        let unbatched = rows(&[
+            ("wal_torn_tails", 0.0),
+            ("wal_replay_errors", 0.0),
+            ("wal_fsync_batches", 1.0),
+        ]);
+        assert!(
+            gate_benches(&wal, &unbatched, 10.0).is_err(),
+            "records-per-fsync decaying below baseline means group commit stopped batching"
+        );
     }
 }

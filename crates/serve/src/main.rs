@@ -27,7 +27,7 @@ use std::path::Path;
 use std::time::Duration;
 
 use scq_serve::{cluster_self_test, self_test, serve, serve_db, ServerConfig};
-use scq_shard::{serve_shard, ClusterSpec, ShardServerConfig};
+use scq_shard::{serve_shard, ClusterSpec, ShardServerConfig, WalConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -72,6 +72,19 @@ fn main() {
         if let Some(m) = flag("--max-conns").and_then(|v| v.parse().ok()) {
             config.max_connections = m;
         }
+        if let Some(dir) = flag("--wal") {
+            let mut wal = WalConfig::new(dir);
+            if let Some(ms) = flag("--wal-group-commit-ms") {
+                match ms.parse::<u64>() {
+                    Ok(ms) if ms > 0 => wal.group_commit = Duration::from_millis(ms),
+                    _ => {
+                        eprintln!("bad --wal-group-commit-ms {ms:?} (want a positive integer)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            config.wal = Some(wal);
+        }
         match serve_shard(&config) {
             Ok(handle) => {
                 println!(
@@ -80,6 +93,12 @@ fn main() {
                     config.universe_size,
                     config.threads
                 );
+                if let Some(stats) = handle.wal_stats() {
+                    println!(
+                        "scq-shard wal: replayed {} records ({} segments, {} bytes)",
+                        stats.replayed, stats.segments, stats.bytes
+                    );
+                }
                 park_forever();
             }
             Err(e) => {
@@ -183,6 +202,7 @@ fn usage() -> &'static str {
      usage:\n\
      \x20 scq-serve [--addr A] [--shards N] [--threads T] [--universe S]\n\
      \x20 scq-serve --shard [--addr A] [--threads T] [--universe S] [--max-conns N]\n\
+     \x20           [--wal <dir>] [--wal-group-commit-ms W]\n\
      \x20 scq-serve --cluster <spec-file> [--addr A] [--threads T]\n\
      \x20 scq-serve --self-test\n\
      \x20 scq-serve --cluster-self-test\n\

@@ -52,7 +52,14 @@ pub struct ServeMetrics {
 }
 
 impl ServeMetrics {
-    fn note(&self, retries: usize, unavailable: usize, partial: bool, failovers: usize, stale: usize) {
+    fn note(
+        &self,
+        retries: usize,
+        unavailable: usize,
+        partial: bool,
+        failovers: usize,
+        stale: usize,
+    ) {
         self.retries.fetch_add(retries, Ordering::Relaxed);
         self.shards_unavailable
             .fetch_add(unavailable, Ordering::Relaxed);
@@ -98,6 +105,21 @@ fn shard_health<B: ShardBackend>(d: &ShardedDatabase<B>) -> String {
         .collect::<Vec<_>>()
         .join(";");
     format!("health={health}")
+}
+
+/// Renders the durability section of a plain `STAT` response: the
+/// WAL counters merged across every shard process, or nothing at all
+/// when no shard runs with a WAL (so the pre-WAL `STAT` shape is
+/// unchanged for in-memory deployments).
+fn wal_rows<B: ShardBackend>(d: &ShardedDatabase<B>) -> String {
+    match d.wal_stats() {
+        Some(s) => format!(
+            " wal_appended={} wal_replayed={} wal_fsync_batches={} \
+             wal_segments={} wal_bytes={} wal_torn_tails={}",
+            s.appended, s.replayed, s.fsync_batches, s.segments, s.bytes, s.torn_tails
+        ),
+        None => String::new(),
+    }
 }
 
 /// Renders the `missing=` field of a `PARTIAL` response.
@@ -287,7 +309,7 @@ fn dispatch<B: ShardBackend>(
                     Ok(format!(
                         "OK shards={} collections={} live={live} backend={} \
                          retries={} shards_unavailable={} partial_answers={} \
-                         failovers={} stale_answers={} {}",
+                         failovers={} stale_answers={}{} {}",
                         d.n_shards(),
                         d.collections().count(),
                         d.backend(0).describe(),
@@ -296,6 +318,7 @@ fn dispatch<B: ShardBackend>(
                         metrics.partial_answers.load(Ordering::Relaxed),
                         metrics.failovers.load(Ordering::Relaxed),
                         metrics.stale_answers.load(Ordering::Relaxed),
+                        wal_rows(&d),
                         shard_health(&d)
                     ))
                 }
@@ -309,6 +332,19 @@ fn dispatch<B: ShardBackend>(
                 }
                 _ => Err("usage: STAT [<coll>]".into()),
             }
+        }
+        "RESYNC" => {
+            // Catch lagging replicas up explicitly. A desynced
+            // secondary is repaired from the primary's WAL when the
+            // primary still holds the complete log, and by a full
+            // snapshot ship otherwise; in-process deployments have
+            // nothing to resync and report zeros.
+            let mut d = db.write().map_err(lock_poisoned)?;
+            let outcome = d.resync_all().map_err(|e| e.to_string())?;
+            Ok(format!(
+                "OK resynced={} via_wal={} via_snapshot={}",
+                outcome.resynced, outcome.via_wal, outcome.via_snapshot
+            ))
         }
         "COMPACT" => {
             let mut d = db.write().map_err(lock_poisoned)?;

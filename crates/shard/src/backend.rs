@@ -175,6 +175,22 @@ pub trait ShardBackend: Send + Sync {
         Vec::new()
     }
 
+    /// WAL counters aggregated across this shard's replicas, when any
+    /// of them keeps a log. Local backends are purely in-memory and
+    /// report `None` (the default).
+    fn wal_stats(&self) -> Option<crate::wal::WalStats> {
+        None
+    }
+
+    /// Brings desynchronized replicas back in sync with the primary —
+    /// by shipping WAL segments when the primary's log still reaches
+    /// genesis, falling back to a full snapshot otherwise. Local
+    /// backends have no replicas and report an empty outcome (the
+    /// default).
+    fn resync(&mut self) -> Result<crate::remote::ResyncOutcome, ShardError> {
+        Ok(crate::remote::ResyncOutcome::default())
+    }
+
     /// The shard's full snapshot stream (the engine's versioned `SCQS`
     /// format) — for a remote backend this is produced by the shard
     /// process, so only one shard's bytes ever cross the wire at once.

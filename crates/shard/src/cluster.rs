@@ -84,6 +84,16 @@ pub struct ClusterSpec {
     pub pool: usize,
     /// Per-address circuit breaker tuning (trip threshold + cooldown).
     pub breaker: BreakerConfig,
+    /// Root directory for per-shard write-ahead logs, when the
+    /// deployment is durable: each shard **process** logs under its
+    /// own subdirectory ([`ClusterSpec::wal_dir_for`]), so two
+    /// replicas never share a log. `None` = in-memory shards (the
+    /// pre-WAL behavior).
+    pub wal_dir: Option<String>,
+    /// Group-commit window in milliseconds for WAL-enabled shard
+    /// processes (`None` = the server default,
+    /// [`crate::wal::DEFAULT_GROUP_COMMIT_MS`]).
+    pub wal_group_commit_ms: Option<u64>,
     /// The shard replica sets, in shard-id order.
     pub shards: Vec<ShardSpec>,
 }
@@ -204,6 +214,8 @@ impl ClusterSpec {
             bits,
             pool: DEFAULT_POOL_SIZE,
             breaker: BreakerConfig::default(),
+            wal_dir: None,
+            wal_group_commit_ms: None,
             shards: replica_sets
                 .iter()
                 .zip(ranges)
@@ -280,6 +292,8 @@ impl ClusterSpec {
         let mut bits = None;
         let mut pool = None;
         let mut breaker = None;
+        let mut wal_dir = None;
+        let mut wal_group_commit_ms = None;
         let mut shards = Vec::new();
         for (i, raw) in text.lines().enumerate() {
             let line = i + 1;
@@ -349,6 +363,22 @@ impl ClusterSpec {
                         cooldown: Duration::from_millis(cooldown_ms),
                     });
                 }
+                "wal" => {
+                    let (dir, ms) = match rest[..] {
+                        [dir] => (dir, None),
+                        [dir, ms] => (dir, Some(ms)),
+                        _ => return Err(parse_err("usage: wal <dir> [group_commit_ms]".into())),
+                    };
+                    wal_dir = Some(dir.to_owned());
+                    wal_group_commit_ms = match ms {
+                        Some(ms) => {
+                            Some(ms.parse::<u64>().ok().filter(|&ms| ms > 0).ok_or_else(|| {
+                                parse_err(format!("bad group-commit window {ms:?}"))
+                            })?)
+                        }
+                        None => None,
+                    };
+                }
                 "shard" => {
                     // Two arities: the replicated form names the shard
                     // and lists its replica set, the legacy three-token
@@ -383,7 +413,8 @@ impl ClusterSpec {
                 }
                 other => {
                     return Err(parse_err(format!(
-                        "unknown directive {other:?} (universe | bits | pool | breaker | shard)"
+                        "unknown directive {other:?} \
+                         (universe | bits | pool | breaker | wal | shard)"
                     )))
                 }
             }
@@ -395,6 +426,8 @@ impl ClusterSpec {
                 .ok_or_else(|| ClusterSpecError::BadConfig("missing bits directive".into()))?,
             pool: pool.unwrap_or(DEFAULT_POOL_SIZE),
             breaker: breaker.unwrap_or_default(),
+            wal_dir,
+            wal_group_commit_ms,
             shards,
         };
         spec.validate()?;
@@ -425,6 +458,12 @@ impl ClusterSpec {
             self.breaker.threshold,
             self.breaker.cooldown.as_millis()
         ));
+        if let Some(dir) = &self.wal_dir {
+            match self.wal_group_commit_ms {
+                Some(ms) => out.push_str(&format!("wal {dir} {ms}\n")),
+                None => out.push_str(&format!("wal {dir}\n")),
+            }
+        }
         for s in &self.shards {
             out.push_str(&format!(
                 "shard {} {} {} {}\n",
@@ -435,6 +474,33 @@ impl ClusterSpec {
             ));
         }
         out
+    }
+
+    /// Maps a shard-process address to its private WAL subdirectory
+    /// under the spec's `wal` directory (`None` when the spec is not
+    /// durable). Addresses are sanitized for the filesystem (`:` and
+    /// `/` become `_`), so `127.0.0.1:9101` logs under
+    /// `<dir>/127.0.0.1_9101/` — two replicas of the same shard get
+    /// disjoint logs, which is what makes per-replica crash recovery
+    /// sound.
+    pub fn wal_dir_for(&self, addr: &str) -> Option<std::path::PathBuf> {
+        let dir = self.wal_dir.as_ref()?;
+        let safe: String = addr
+            .chars()
+            .map(|c| if c == ':' || c == '/' { '_' } else { c })
+            .collect();
+        Some(Path::new(dir).join(safe))
+    }
+
+    /// The full [`crate::wal::WalConfig`] for one shard-process
+    /// address: [`ClusterSpec::wal_dir_for`] plus the spec's
+    /// group-commit window (falling back to the library default).
+    pub fn wal_config_for(&self, addr: &str) -> Option<crate::wal::WalConfig> {
+        let mut cfg = crate::wal::WalConfig::new(self.wal_dir_for(addr)?);
+        if let Some(ms) = self.wal_group_commit_ms {
+            cfg.group_commit = Duration::from_millis(ms);
+        }
+        Some(cfg)
     }
 
     /// Brings the cluster up: connects to every shard process (polling
@@ -570,6 +636,59 @@ mod tests {
         assert_eq!(spec.breaker.cooldown, Duration::from_millis(250));
         let reparsed = ClusterSpec::parse(&spec.to_text()).unwrap();
         assert_eq!(reparsed, spec, "replicated spec survives the round trip");
+    }
+
+    #[test]
+    fn wal_directive_round_trips_and_maps_addresses() {
+        let text = "universe 0 0 100 100\nbits 6\nwal /tmp/scq-wal 12\n\
+                    shard low a:1,a:2 0 2048\nshard high b:1 2048 4096\n";
+        let spec = ClusterSpec::parse(text).unwrap();
+        assert_eq!(spec.wal_dir.as_deref(), Some("/tmp/scq-wal"));
+        assert_eq!(spec.wal_group_commit_ms, Some(12));
+        let reparsed = ClusterSpec::parse(&spec.to_text()).unwrap();
+        assert_eq!(reparsed, spec, "wal directive survives the round trip");
+
+        // per-address subdirectories, filesystem-safe
+        assert_eq!(
+            spec.wal_dir_for("127.0.0.1:9101").unwrap(),
+            Path::new("/tmp/scq-wal").join("127.0.0.1_9101")
+        );
+        assert_ne!(
+            spec.wal_dir_for("a:1"),
+            spec.wal_dir_for("a:2"),
+            "replicas of one shard must not share a log"
+        );
+        let cfg = spec.wal_config_for("a:1").unwrap();
+        assert_eq!(cfg.group_commit, Duration::from_millis(12));
+
+        // window defaults when omitted; zero / junk windows are loud
+        let bare = "universe 0 0 100 100\nbits 6\nwal logs\nshard a:1 0 4096\n";
+        let spec = ClusterSpec::parse(bare).unwrap();
+        assert_eq!(spec.wal_group_commit_ms, None);
+        assert_eq!(
+            spec.wal_config_for("a:1").unwrap().group_commit,
+            Duration::from_millis(crate::wal::DEFAULT_GROUP_COMMIT_MS)
+        );
+        assert_eq!(
+            ClusterSpec::parse(&spec.to_text()).unwrap(),
+            spec,
+            "bare wal directive round-trips too"
+        );
+        let zero = "universe 0 0 100 100\nbits 6\nwal logs 0\nshard a:1 0 4096\n";
+        assert!(ClusterSpec::parse(zero).is_err());
+        let junk = "universe 0 0 100 100\nbits 6\nwal logs soon\nshard a:1 0 4096\n";
+        match ClusterSpec::parse(junk) {
+            Err(ClusterSpecError::Parse { line, message, .. }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("group-commit"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // a spec without the directive is simply not durable
+        let plain = "universe 0 0 100 100\nbits 6\nshard a:1 0 4096\n";
+        let spec = ClusterSpec::parse(plain).unwrap();
+        assert_eq!(spec.wal_dir_for("a:1"), None);
+        assert_eq!(spec.wal_config_for("a:1"), None);
     }
 
     #[test]

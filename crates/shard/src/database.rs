@@ -213,6 +213,34 @@ impl<B: ShardBackend> ShardedDatabase<B> {
         &mut self.shards[s]
     }
 
+    /// WAL counters summed across every shard (and, for replicated
+    /// backends, every replica). `None` when no shard keeps a log.
+    pub fn wal_stats(&self) -> Option<crate::wal::WalStats> {
+        let mut agg: Option<crate::wal::WalStats> = None;
+        for shard in &self.shards {
+            if let Some(stats) = shard.wal_stats() {
+                agg = Some(agg.map_or(stats, |a| a.merge(&stats)));
+            }
+        }
+        agg
+    }
+
+    /// Runs [`crate::ShardBackend::resync`] on every shard, summing
+    /// the outcomes: lagging replicas catch up by WAL shipping when
+    /// the primary's log still reaches genesis, by full snapshot
+    /// otherwise. A shard with no desynced replicas contributes
+    /// nothing. Stops loudly on the first non-transport failure.
+    pub fn resync_all(&mut self) -> Result<crate::remote::ResyncOutcome, ShardError> {
+        let mut total = crate::remote::ResyncOutcome::default();
+        for shard in &mut self.shards {
+            let outcome = shard.resync()?;
+            total.resynced += outcome.resynced;
+            total.via_wal += outcome.via_wal;
+            total.via_snapshot += outcome.via_snapshot;
+        }
+        Ok(total)
+    }
+
     pub(crate) fn backends(&self) -> &[B] {
         &self.shards
     }

@@ -64,6 +64,7 @@ pub mod remote;
 pub mod router;
 pub mod server;
 pub mod snapshot;
+pub mod wal;
 pub mod wire;
 
 pub use backend::{LocalShard, ProbeTrace, ShardBackend, ShardError};
@@ -73,9 +74,10 @@ pub use exec::{execute, execute_fanout};
 pub use fault::{Direction, FaultAction, FaultGate, FaultProxy, FaultRule, FrameMatch};
 pub use remote::{
     BreakerClock, BreakerConfig, BreakerState, PoolStats, RemoteShard, ReplicaHealth,
-    DEFAULT_BREAKER_COOLDOWN_MS, DEFAULT_BREAKER_THRESHOLD, DEFAULT_POOL_SIZE,
+    ResyncOutcome, DEFAULT_BREAKER_COOLDOWN_MS, DEFAULT_BREAKER_THRESHOLD, DEFAULT_POOL_SIZE,
 };
 pub use router::ShardRouter;
 pub use server::{serve_shard, ShardServerConfig, ShardServerHandle};
 pub use snapshot::{load_from_dir, reload_from_dir, save_to_dir, ShardSnapshotError};
+pub use wal::{Wal, WalConfig, WalError, WalExport, WalStats};
 pub use wire::WireError;

@@ -493,6 +493,20 @@ pub struct ReplicaHealth {
     pub stats: PoolStats,
 }
 
+/// Outcome of a [`crate::ShardBackend::resync`] pass over one shard's
+/// replica set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResyncOutcome {
+    /// Desynced replicas brought back in sync.
+    pub resynced: usize,
+    /// …of which caught up by replaying the primary's shipped WAL
+    /// segments.
+    pub via_wal: usize,
+    /// …of which needed a full snapshot (the primary's log no longer
+    /// reaches genesis, or the replica refused the replay).
+    pub via_snapshot: usize,
+}
+
 /// Whether an error is a transport failure (the kind reads may fail
 /// over on and the breaker counts); everything else is a loud answer
 /// from a reachable server.
@@ -593,7 +607,7 @@ impl RemoteShard {
             collections: Vec::new(),
             by_name: HashMap::new(),
         };
-        let stream = shard.snapshot_stream()?;
+        let stream = shard.snapshot_read()?;
         let decoded = shard.decode_stream(&stream)?;
         shard.commit_mirror(&decoded);
         for i in 1..shard.replicas.len() {
@@ -859,6 +873,20 @@ impl RemoteShard {
 
     fn coll(&self, coll: CollectionId) -> &MirrorCollection {
         &self.collections[coll.0]
+    }
+
+    /// Pulls the primary's snapshot **read-only**: same bytes as
+    /// [`ShardBackend::snapshot_stream`], but the shard keeps its WAL
+    /// intact. Mirror bootstrap and resync shipping use this so merely
+    /// reading a shard never seals its log.
+    fn snapshot_read(&self) -> Result<Bytes, ShardError> {
+        match self.primary_request(&Request::SnapshotRead, true)? {
+            Response::Bytes(bytes) => Ok(bytes.into()),
+            Response::Err(m) => Err(ShardError::Rejected(m)),
+            other => Err(ShardError::Wire(WireError::Unexpected(format!(
+                "SNAPSHOT READ answered {other:?}"
+            )))),
+        }
     }
 }
 
@@ -1164,9 +1192,124 @@ impl ShardBackend for RemoteShard {
         problems
     }
 
+    fn wal_stats(&self) -> Option<crate::wal::WalStats> {
+        // Each replica process keeps its own log; the shard's counters
+        // are their sum. Replicas without a WAL (or unreachable ones)
+        // contribute nothing; if none keeps a log there is nothing to
+        // report.
+        let mut agg: Option<crate::wal::WalStats> = None;
+        for replica in &self.replicas {
+            if let Ok(Response::WalStat(stats)) =
+                replica
+                    .pool
+                    .request_unguarded(&Request::WalStat, true, &mut 0)
+            {
+                agg = Some(agg.map_or(stats, |a| a.merge(&stats)));
+            }
+        }
+        agg
+    }
+
+    fn resync(&mut self) -> Result<ResyncOutcome, ShardError> {
+        let mut outcome = ResyncOutcome::default();
+        if !self.replicas.iter().skip(1).any(|r| r.desynced) {
+            return Ok(outcome);
+        }
+        // Preferred transport: the primary's WAL, when it still
+        // reaches genesis (complete). The replica is reset to pristine
+        // with an empty snapshot (a few bytes) and replays the shipped
+        // segments — far less data than a full snapshot on a log that
+        // has not grown past its truncation budget.
+        let export: Option<Vec<Vec<u8>>> = match self.primary_request(&Request::WalExport, true) {
+            Ok(Response::WalSegments {
+                complete: true,
+                segments,
+            }) => Some(segments),
+            _ => None,
+        };
+        let empty = snapshot::save(&SpatialDatabase::new(self.universe)).to_vec();
+        let mut full_stream: Option<Vec<u8>> = None;
+        for i in 1..self.replicas.len() {
+            if !self.replicas[i].desynced {
+                continue;
+            }
+            let mut fixed_via_wal = false;
+            if let Some(segments) = &export {
+                let replica = &self.replicas[i];
+                let reset = replica.pool.request_unguarded(
+                    &Request::SnapshotLoad {
+                        stream: empty.clone(),
+                    },
+                    false,
+                    &mut 0,
+                );
+                if matches!(reset, Ok(Response::Ok)) {
+                    if let Ok(Response::Applied(_)) = replica.pool.request_unguarded(
+                        &Request::WalApply {
+                            segments: segments.clone(),
+                        },
+                        false,
+                        &mut 0,
+                    ) {
+                        fixed_via_wal = true;
+                    }
+                }
+            }
+            if !fixed_via_wal {
+                // Fallback: ship the primary's full snapshot (pulled
+                // once, reused for every lagging replica).
+                let stream = match &full_stream {
+                    Some(s) => s.clone(),
+                    None => {
+                        // Read-only pull: repairing a replica must not
+                        // truncate the primary's log.
+                        let s = self.snapshot_read()?.to_vec();
+                        full_stream = Some(s.clone());
+                        s
+                    }
+                };
+                match self.replicas[i].pool.request_unguarded(
+                    &Request::SnapshotLoad { stream },
+                    false,
+                    &mut 0,
+                ) {
+                    Ok(Response::Ok) => {}
+                    Ok(Response::Err(m)) => {
+                        return Err(ShardError::Rejected(format!(
+                            "replica {} refused the resync snapshot: {m}",
+                            self.replicas[i].addr
+                        )));
+                    }
+                    Ok(other) => {
+                        return Err(ShardError::Wire(WireError::Unexpected(format!(
+                            "SNAPSHOT LOAD answered {other:?}"
+                        ))));
+                    }
+                    // Unreachable: the replica simply stays desynced
+                    // until a later pass can reach it.
+                    Err(e) if is_transport(&e) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            self.replicas[i].desynced = false;
+            // The replica must now agree with the mirror exactly; a
+            // replay or snapshot that converged anywhere else is loud.
+            self.verify_replica_census(i)?;
+            outcome.resynced += 1;
+            if fixed_via_wal {
+                outcome.via_wal += 1;
+            } else {
+                outcome.via_snapshot += 1;
+            }
+        }
+        Ok(outcome)
+    }
+
     fn snapshot_stream(&self) -> Result<Bytes, ShardError> {
         // Primary only, no failover: a desynced or stale secondary's
-        // snapshot would persist silently wrong data.
+        // snapshot would persist silently wrong data. This is the
+        // explicit save path, so the primary also truncates its WAL —
+        // the stream becomes the shard's recovery base.
         match self.primary_request(&Request::SnapshotSave, true)? {
             Response::Bytes(bytes) => Ok(bytes.into()),
             Response::Err(m) => Err(ShardError::Rejected(m)),
@@ -1187,7 +1330,10 @@ impl ShardBackend for RemoteShard {
         let req = Request::SnapshotLoad {
             stream: stream.to_vec(),
         };
-        match self.replicas[0].pool.request_unguarded(&req, false, &mut 0)? {
+        match self.replicas[0]
+            .pool
+            .request_unguarded(&req, false, &mut 0)?
+        {
             Response::Ok => {}
             Response::Err(m) => return Err(ShardError::Rejected(m)),
             other => {
@@ -1572,12 +1718,9 @@ mod tests {
         // Seed the primary with state through a plain single-replica
         // client, then try to assemble a replica set with a pristine
         // process behind the second address.
-        let mut seed = RemoteShard::connect(
-            &a.addr().to_string(),
-            universe(),
-            Duration::from_secs(5),
-        )
-        .unwrap();
+        let mut seed =
+            RemoteShard::connect(&a.addr().to_string(), universe(), Duration::from_secs(5))
+                .unwrap();
         let c = seed.create_collection("objs").unwrap();
         seed.insert(c, boxed(1.0, 1.0, 2.0, 2.0)).unwrap();
         drop(seed);

@@ -34,6 +34,7 @@ use std::thread::JoinHandle;
 use scq_engine::{snapshot, CollectionId, SpatialDatabase};
 use scq_region::AaBox;
 
+use crate::wal::{self, Wal, WalConfig, WalStats};
 use crate::wire::{
     decode_request, encode_response, frame, FrameReader, Request, Response, WIRE_VERSION,
 };
@@ -59,6 +60,12 @@ pub struct ShardServerConfig {
     /// match the router tier's universe or the cluster handshake's
     /// consistency checks will reject the shard.
     pub universe_size: f64,
+    /// Write-ahead log, when the shard should survive crashes: startup
+    /// recovers the directory (newest snapshot + replay) instead of
+    /// starting empty, and every mutation is acknowledged only once
+    /// its log record is fsynced. `None` keeps the shard purely
+    /// in-memory (the pre-WAL behavior).
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for ShardServerConfig {
@@ -68,8 +75,17 @@ impl Default for ShardServerConfig {
             threads: 2,
             max_connections: 64,
             universe_size: 1000.0,
+            wal: None,
         }
     }
+}
+
+/// The shard a server drives: the database plus its optional log.
+/// Mutations append under the database write lock (so log order is
+/// apply order) and wait for durability after releasing it.
+struct ShardState {
+    db: RwLock<SpatialDatabase<2>>,
+    wal: Option<Wal>,
 }
 
 /// A running shard server: bound address, acceptor pool and the live
@@ -79,12 +95,18 @@ pub struct ShardServerHandle {
     stop: Arc<AtomicBool>,
     acceptors: Vec<JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    state: Arc<ShardState>,
 }
 
 impl ShardServerHandle {
     /// The address the server actually bound (resolves `:0`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// WAL counters, when the server keeps a log (`None` otherwise).
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.state.wal.as_ref().map(Wal::stats)
     }
 
     /// Stops accepting, unblocks acceptors and connection handlers,
@@ -113,14 +135,29 @@ pub fn serve_shard(config: &ShardServerConfig) -> std::io::Result<ShardServerHan
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let universe = AaBox::new([0.0, 0.0], [config.universe_size, config.universe_size]);
-    let db = Arc::new(RwLock::new(SpatialDatabase::new(universe)));
+    // With a WAL, startup *is* recovery: the database the connections
+    // see is the newest snapshot plus every durable record past it. A
+    // log that fails recovery refuses to serve — better no shard than
+    // a shard silently missing acknowledged history.
+    let (wal, db) = match &config.wal {
+        Some(wal_config) => {
+            let (wal, db) = Wal::open(wal_config, universe)
+                .map_err(|e| std::io::Error::other(format!("wal recovery failed: {e}")))?;
+            (Some(wal), db)
+        }
+        None => (None, SpatialDatabase::new(universe)),
+    };
+    let state = Arc::new(ShardState {
+        db: RwLock::new(db),
+        wal,
+    });
     let stop = Arc::new(AtomicBool::new(false));
     let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let max_connections = config.max_connections.max(1);
     let mut acceptors = Vec::new();
     for _ in 0..config.threads.max(1) {
         let listener = listener.try_clone()?;
-        let db = Arc::clone(&db);
+        let state = Arc::clone(&state);
         let stop = Arc::clone(&stop);
         let handlers = Arc::clone(&handlers);
         acceptors.push(std::thread::spawn(move || {
@@ -141,10 +178,10 @@ pub fn serve_shard(config: &ShardServerConfig) -> std::io::Result<ShardServerHan
                     drop(stream);
                     continue;
                 }
-                let db = Arc::clone(&db);
+                let state = Arc::clone(&state);
                 let stop = Arc::clone(&stop);
                 registry.push(std::thread::spawn(move || {
-                    serve_connection(stream, &db, &stop)
+                    serve_connection(stream, &state, &stop)
                 }));
             }
         }));
@@ -154,6 +191,7 @@ pub fn serve_shard(config: &ShardServerConfig) -> std::io::Result<ShardServerHan
         stop,
         acceptors,
         handlers,
+        state,
     })
 }
 
@@ -163,7 +201,7 @@ enum After {
     Close,
 }
 
-fn serve_connection(stream: TcpStream, db: &Arc<RwLock<SpatialDatabase<2>>>, stop: &AtomicBool) {
+fn serve_connection(stream: TcpStream, state: &ShardState, stop: &AtomicBool) {
     // The receive timeout is the shutdown heartbeat: an idle or
     // mid-frame connection wakes up periodically, notices the stop
     // flag, and returns. FrameReader keeps partial bytes across
@@ -182,7 +220,7 @@ fn serve_connection(stream: TcpStream, db: &Arc<RwLock<SpatialDatabase<2>>>, sto
             match reader.next_frame() {
                 Ok(Some(payload)) => {
                     let (response, after) = match decode_request(&payload) {
-                        Ok(req) => handle_request(db, req),
+                        Ok(req) => handle_request(state, req),
                         // An undecodable frame means the peer and we
                         // disagree about the protocol; answer once and
                         // hang up rather than guess at resync.
@@ -238,10 +276,50 @@ fn poisoned<T>(_: T) -> Response {
     Response::Err("shard lock poisoned".into())
 }
 
+/// Runs one mutation under the write lock and, when the shard keeps a
+/// WAL, acknowledges it only once its record is durable. The append
+/// happens **while still holding the lock** — log order is exactly
+/// apply order — and the fsync wait happens after releasing it, so a
+/// group-commit window never blocks readers or other writers.
+fn mutate<F>(state: &ShardState, req: &Request, op: F) -> Response
+where
+    F: FnOnce(&mut SpatialDatabase<2>) -> Response,
+{
+    let mut d = match state.db.write() {
+        Ok(d) => d,
+        Err(e) => return poisoned(e),
+    };
+    let resp = op(&mut d);
+    if matches!(resp, Response::Err(_)) {
+        // The mutation was refused: nothing changed, nothing to log.
+        return resp;
+    }
+    let ticket = match &state.wal {
+        Some(wal) => match wal.append(req) {
+            Ok(t) => Some(t),
+            // The mutation applied in memory but could not be logged:
+            // fail the request (the client must not treat it as
+            // committed). The next recovery rebuilds without it.
+            Err(e) => return Response::Err(format!("wal append failed: {e}")),
+        },
+        None => None,
+    };
+    drop(d);
+    if let Some(ticket) = ticket {
+        let wal = state.wal.as_ref().expect("ticket implies wal");
+        if let Err(e) = wal.wait_durable(ticket) {
+            return Response::Err(format!("wal not durable: {e}"));
+        }
+    }
+    resp
+}
+
 /// Executes one decoded request against the shard database.
-fn handle_request(db: &Arc<RwLock<SpatialDatabase<2>>>, req: Request) -> (Response, After) {
-    let resp = match req {
+fn handle_request(state: &ShardState, req: Request) -> (Response, After) {
+    let db = &state.db;
+    let resp = match &req {
         Request::Hello { version } => {
+            let version = *version;
             if version != WIRE_VERSION {
                 // A mismatched peer must not get garbage answers;
                 // reject the handshake and close.
@@ -263,42 +341,32 @@ fn handle_request(db: &Arc<RwLock<SpatialDatabase<2>>>, req: Request) -> (Respon
                     name.len()
                 ))
             } else {
-                match db.write() {
-                    Ok(mut d) => Response::Coll(d.collection(&name)),
-                    Err(e) => poisoned(e),
-                }
+                mutate(state, &req, |d| Response::Coll(d.collection(name)))
             }
         }
-        Request::Insert { coll, region } => match db.write() {
-            Ok(mut d) => match known(&d, coll) {
-                Ok(()) => Response::Slot(d.insert(coll, region).index as u64),
-                Err(e) => e,
-            },
-            Err(e) => poisoned(e),
-        },
-        Request::Remove { coll, local } => match db.write() {
-            Ok(mut d) => match known_slot(&d, coll, local) {
+        Request::Insert { coll, region } => mutate(state, &req, |d| match known(d, *coll) {
+            Ok(()) => Response::Slot(d.insert(*coll, region.clone()).index as u64),
+            Err(e) => e,
+        }),
+        Request::Remove { coll, local } => {
+            mutate(state, &req, |d| match known_slot(d, *coll, *local) {
                 Ok(obj) => Response::Flag(d.remove(obj)),
                 Err(e) => e,
-            },
-            Err(e) => poisoned(e),
-        },
+            })
+        }
         Request::Update {
             coll,
             local,
             region,
-        } => match db.write() {
-            Ok(mut d) => match known_slot(&d, coll, local) {
-                Ok(obj) => Response::Flag(d.update(obj, region)),
-                Err(e) => e,
-            },
-            Err(e) => poisoned(e),
-        },
+        } => mutate(state, &req, |d| match known_slot(d, *coll, *local) {
+            Ok(obj) => Response::Flag(d.update(obj, region.clone())),
+            Err(e) => e,
+        }),
         Request::Query { coll, kind, query } => match db.read() {
-            Ok(d) => match known(&d, coll) {
+            Ok(d) => match known(&d, *coll) {
                 Ok(()) => {
                     let mut ids = Vec::new();
-                    d.query_collection(coll, kind, &query, &mut ids);
+                    d.query_collection(*coll, *kind, query, &mut ids);
                     Response::Ids(ids)
                 }
                 Err(e) => e,
@@ -319,18 +387,49 @@ fn handle_request(db: &Arc<RwLock<SpatialDatabase<2>>>, req: Request) -> (Respon
             ),
             Err(e) => poisoned(e),
         },
-        Request::Compact => match db.write() {
-            Ok(mut d) => Response::from_compact(&d.compact()),
+        // Compaction is a logged mutation: its remap is deterministic
+        // in the state it runs on, so replay reproduces the exact slot
+        // layout the answers after it were built on.
+        Request::Compact => mutate(state, &req, |d| Response::from_compact(&d.compact())),
+        Request::SnapshotSave => match db.read() {
+            Ok(d) => {
+                let bytes = snapshot::save(&d).to_vec();
+                // The read lock excludes writers, so the stream and
+                // the truncation snapshot describe the same state:
+                // SNAPSHOT SAVE *is* the log-truncation point.
+                if let Some(wal) = &state.wal {
+                    if let Err(e) = wal.truncate(&d) {
+                        return (
+                            Response::Err(format!("wal truncation failed: {e}")),
+                            After::KeepOpen,
+                        );
+                    }
+                }
+                Response::Bytes(bytes)
+            }
             Err(e) => poisoned(e),
         },
-        Request::SnapshotSave => match db.read() {
+        // The read-only stream: same bytes, no truncation — reading a
+        // shard's state must never seal its log.
+        Request::SnapshotRead => match db.read() {
             Ok(d) => Response::Bytes(snapshot::save(&d).to_vec()),
             Err(e) => poisoned(e),
         },
-        Request::SnapshotLoad { stream } => match snapshot::load::<2>(&stream) {
+        Request::SnapshotLoad { stream } => match snapshot::load::<2>(stream) {
             Ok(loaded) => match db.write() {
                 Ok(mut d) => {
                     *d = loaded;
+                    // The load rewrote history wholesale; the old log
+                    // no longer describes this state. Truncating seals
+                    // it behind a snapshot of the loaded state.
+                    if let Some(wal) = &state.wal {
+                        if let Err(e) = wal.truncate(&d) {
+                            return (
+                                Response::Err(format!("wal truncation failed: {e}")),
+                                After::KeepOpen,
+                            );
+                        }
+                    }
                     Response::Ok
                 }
                 Err(e) => poisoned(e),
@@ -339,6 +438,57 @@ fn handle_request(db: &Arc<RwLock<SpatialDatabase<2>>>, req: Request) -> (Respon
         },
         Request::Check => match db.read() {
             Ok(d) => Response::Problems(scq_engine::integrity::check(&d).err().unwrap_or_default()),
+            Err(e) => poisoned(e),
+        },
+        Request::WalStat => match &state.wal {
+            Some(wal) => Response::WalStat(wal.stats()),
+            None => Response::Err("wal not enabled on this shard".into()),
+        },
+        Request::WalExport => match &state.wal {
+            // The read lock excludes mutations (and their appends), so
+            // the export is a consistent cut of the log.
+            Some(wal) => match db.read() {
+                Ok(_guard) => match wal.export() {
+                    Ok(export) => Response::WalSegments {
+                        complete: export.complete,
+                        segments: export.segments,
+                    },
+                    Err(e) => Response::Err(format!("wal export failed: {e}")),
+                },
+                Err(e) => poisoned(e),
+            },
+            None => Response::Err("wal not enabled on this shard".into()),
+        },
+        Request::WalApply { segments } => match db.write() {
+            Ok(mut d) => {
+                if d.collections().count() != 0 {
+                    Response::Err("wal apply requires a pristine shard".into())
+                } else {
+                    // Replay into a copy of the pristine state so a
+                    // bad export leaves the shard untouched.
+                    match snapshot::load::<2>(&snapshot::save(&d)) {
+                        Ok(mut scratch) => match wal::replay_export(&mut scratch, segments) {
+                            Ok(applied) => {
+                                *d = scratch;
+                                if let Some(wal) = &state.wal {
+                                    // The applied records were never
+                                    // appended to *our* log; a snapshot
+                                    // truncation makes them durable.
+                                    if let Err(e) = wal.truncate(&d) {
+                                        return (
+                                            Response::Err(format!("wal truncation failed: {e}")),
+                                            After::KeepOpen,
+                                        );
+                                    }
+                                }
+                                Response::Applied(applied)
+                            }
+                            Err(e) => Response::Err(format!("wal apply failed: {e}")),
+                        },
+                        Err(e) => Response::Err(format!("wal apply failed: {e}")),
+                    }
+                }
+            }
             Err(e) => poisoned(e),
         },
         Request::Bye => return (Response::Ok, After::Close),
@@ -558,6 +708,7 @@ mod tests {
             threads: 1,
             max_connections: 1,
             universe_size: 100.0,
+            wal: None,
         })
         .unwrap();
         // The first connection fills the cap…
@@ -641,6 +792,204 @@ mod tests {
         // the connection survived the error
         assert_eq!(roundtrip(&mut s, &Request::Stat), Response::Stat(vec![]));
         server.shutdown();
+    }
+
+    fn wal_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "scq-server-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn wal_config(dir: &std::path::Path) -> ShardServerConfig {
+        ShardServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            universe_size: 100.0,
+            wal: Some(WalConfig {
+                dir: dir.to_path_buf(),
+                group_commit: std::time::Duration::from_millis(1),
+                segment_cap: crate::wal::DEFAULT_SEGMENT_CAP,
+            }),
+            ..ShardServerConfig::default()
+        }
+    }
+
+    fn overlap_all(coll: CollectionId) -> Request {
+        Request::Query {
+            coll,
+            kind: scq_engine::IndexKind::Scan,
+            query: scq_bbox::CornerQuery::unconstrained()
+                .and_overlaps(&scq_bbox::Bbox::new([0.0, 0.0], [100.0, 100.0])),
+        }
+    }
+
+    #[test]
+    fn wal_server_restarts_with_every_acknowledged_mutation() {
+        let dir = wal_dir("restart");
+        let config = wal_config(&dir);
+        let server = serve_shard(&config).unwrap();
+        let mut s = hello(server.addr());
+        let coll = match roundtrip(
+            &mut s,
+            &Request::Create {
+                name: "objs".into(),
+            },
+        ) {
+            Response::Coll(c) => c,
+            other => panic!("{other:?}"),
+        };
+        for i in 0..4u64 {
+            let lo = 10.0 * i as f64;
+            assert_eq!(
+                roundtrip(
+                    &mut s,
+                    &Request::Insert {
+                        coll,
+                        region: Region::from_box(AaBox::new([lo, lo], [lo + 1.0, lo + 1.0])),
+                    }
+                ),
+                Response::Slot(i)
+            );
+        }
+        assert_eq!(
+            roundtrip(&mut s, &Request::Remove { coll, local: 2 }),
+            Response::Flag(true)
+        );
+        let before = match roundtrip(&mut s, &overlap_all(coll)) {
+            Response::Ids(ids) => ids,
+            other => panic!("{other:?}"),
+        };
+        drop(s);
+        server.shutdown();
+
+        // Same directory, fresh process-equivalent: recovery must
+        // rebuild exactly the acknowledged state, and say so in stats.
+        let server = serve_shard(&config).unwrap();
+        assert_eq!(server.wal_stats().expect("wal enabled").replayed, 6);
+        let mut s = hello(server.addr());
+        match roundtrip(&mut s, &overlap_all(coll)) {
+            Response::Ids(ids) => assert_eq!(ids, before),
+            other => panic!("{other:?}"),
+        }
+        match roundtrip(&mut s, &Request::WalStat) {
+            Response::WalStat(stats) => {
+                assert_eq!(stats.replayed, 6);
+                assert_eq!(stats.torn_tails, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_save_truncates_the_log() {
+        let dir = wal_dir("truncpoint");
+        let config = wal_config(&dir);
+        let server = serve_shard(&config).unwrap();
+        let mut s = hello(server.addr());
+        let coll = match roundtrip(
+            &mut s,
+            &Request::Create {
+                name: "objs".into(),
+            },
+        ) {
+            Response::Coll(c) => c,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(
+            roundtrip(
+                &mut s,
+                &Request::Insert {
+                    coll,
+                    region: Region::from_box(AaBox::new([1.0, 1.0], [2.0, 2.0])),
+                }
+            ),
+            Response::Slot(0)
+        );
+        match roundtrip(&mut s, &Request::SnapshotSave) {
+            Response::Bytes(_) => {}
+            other => panic!("{other:?}"),
+        }
+        drop(s);
+        server.shutdown();
+        // Recovery past the truncation point replays nothing — the
+        // snapshot carries the whole state.
+        let server = serve_shard(&config).unwrap();
+        assert_eq!(server.wal_stats().expect("wal enabled").replayed, 0);
+        let mut s = hello(server.addr());
+        match roundtrip(&mut s, &overlap_all(coll)) {
+            Response::Ids(ids) => assert_eq!(ids, vec![0]),
+            other => panic!("{other:?}"),
+        }
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_export_apply_clones_a_shard_over_sockets() {
+        let dir_a = wal_dir("export-a");
+        let dir_b = wal_dir("export-b");
+        let server_a = serve_shard(&wal_config(&dir_a)).unwrap();
+        let server_b = serve_shard(&wal_config(&dir_b)).unwrap();
+        let mut a = hello(server_a.addr());
+        let coll = match roundtrip(
+            &mut a,
+            &Request::Create {
+                name: "objs".into(),
+            },
+        ) {
+            Response::Coll(c) => c,
+            other => panic!("{other:?}"),
+        };
+        for i in 0..3u64 {
+            let lo = 10.0 * i as f64;
+            roundtrip(
+                &mut a,
+                &Request::Insert {
+                    coll,
+                    region: Region::from_box(AaBox::new([lo, lo], [lo + 1.0, lo + 1.0])),
+                },
+            );
+        }
+        let segments = match roundtrip(&mut a, &Request::WalExport) {
+            Response::WalSegments { complete, segments } => {
+                assert!(complete, "never-truncated log exports completely");
+                segments
+            }
+            other => panic!("{other:?}"),
+        };
+        let mut b = hello(server_b.addr());
+        assert_eq!(
+            roundtrip(
+                &mut b,
+                &Request::WalApply {
+                    segments: segments.clone()
+                }
+            ),
+            Response::Applied(4)
+        );
+        // A second apply must be refused: the shard is no longer pristine.
+        match roundtrip(&mut b, &Request::WalApply { segments }) {
+            Response::Err(m) => assert!(m.contains("pristine"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+        let want = match roundtrip(&mut a, &overlap_all(coll)) {
+            Response::Ids(ids) => ids,
+            other => panic!("{other:?}"),
+        };
+        match roundtrip(&mut b, &overlap_all(coll)) {
+            Response::Ids(ids) => assert_eq!(ids, want),
+            other => panic!("{other:?}"),
+        }
+        server_a.shutdown();
+        server_b.shutdown();
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
     }
 
     #[test]

@@ -33,8 +33,10 @@ use scq_region::{AaBox, Region};
 
 /// Handshake magic carried by [`Request::Hello`].
 pub const WIRE_MAGIC: &[u8; 4] = b"SCQW";
-/// Current wire protocol version.
-pub const WIRE_VERSION: u16 = 1;
+/// Current wire protocol version. Version 2 added the WAL operations
+/// ([`Request::WalStat`] / [`Request::WalExport`] /
+/// [`Request::WalApply`]).
+pub const WIRE_VERSION: u16 = 2;
 /// Hard cap on one frame's payload (snapshot streams are the largest
 /// legitimate frames). A length prefix above this is rejected before
 /// any buffer is reserved.
@@ -226,8 +228,15 @@ pub enum Request {
     Stat,
     /// Compact the shard, returning the local remap.
     Compact,
-    /// Stream the shard's full `SCQS` snapshot.
+    /// Stream the shard's full `SCQS` snapshot **and truncate its
+    /// WAL**: the stream is the shard's new recovery base, so the log
+    /// behind it is sealed and deleted. This is the explicit
+    /// `SNAPSHOT SAVE` path.
     SnapshotSave,
+    /// Stream the shard's full `SCQS` snapshot read-only — no WAL
+    /// truncation. Mirror bootstrap and resync use this so merely
+    /// *reading* a shard never seals its log.
+    SnapshotRead,
     /// Replace the shard's contents with an `SCQS` stream.
     SnapshotLoad {
         /// The snapshot bytes.
@@ -235,6 +244,17 @@ pub enum Request {
     },
     /// Run the shard's integrity check.
     Check,
+    /// The shard's write-ahead-log counters, if it keeps one.
+    WalStat,
+    /// Ship the shard's WAL segments (replica resync transport).
+    WalExport,
+    /// Rebuild a **pristine** shard from exported WAL segments, in
+    /// place of a full [`Request::SnapshotLoad`].
+    WalApply {
+        /// Raw segment files, oldest first, as returned by
+        /// [`Response::WalSegments`].
+        segments: Vec<Vec<u8>>,
+    },
     /// Close the connection.
     Bye,
 }
@@ -272,6 +292,19 @@ pub enum Response {
     Ok,
     /// Integrity problems, empty when healthy ([`Request::Check`]).
     Problems(Vec<String>),
+    /// WAL counters ([`Request::WalStat`]).
+    WalStat(crate::wal::WalStats),
+    /// WAL segments for resync ([`Request::WalExport`]). `complete`
+    /// false (with no segments) means the log no longer reaches
+    /// genesis, or is too large to ship — fall back to a snapshot.
+    WalSegments {
+        /// Whether the segments cover the shard's whole history.
+        complete: bool,
+        /// Raw segment files, oldest first.
+        segments: Vec<Vec<u8>>,
+    },
+    /// Records applied from a shipped WAL ([`Request::WalApply`]).
+    Applied(u64),
     /// The request failed on the shard.
     Err(String),
 }
@@ -540,6 +573,39 @@ pub const OP_SNAP_LOAD: u8 = 0x0A;
 pub const OP_CHECK: u8 = 0x0B;
 /// Opcode of [`Request::Bye`].
 pub const OP_BYE: u8 = 0x0C;
+/// Opcode of [`Request::WalStat`].
+pub const OP_WAL_STAT: u8 = 0x0D;
+/// Opcode of [`Request::WalExport`].
+pub const OP_WAL_EXPORT: u8 = 0x0E;
+/// Opcode of [`Request::WalApply`].
+pub const OP_WAL_APPLY: u8 = 0x0F;
+/// Opcode of [`Request::SnapshotRead`].
+pub const OP_SNAP_READ: u8 = 0x10;
+
+/// Encodes a list of raw segment files: count, then per segment a
+/// 64-bit length and the bytes.
+fn put_segments(buf: &mut Vec<u8>, segments: &[Vec<u8>]) {
+    buf.put_u32_le(segments.len() as u32);
+    for seg in segments {
+        buf.put_u64_le(seg.len() as u64);
+        buf.put_slice(seg);
+    }
+}
+
+fn get_segments(buf: &mut &[u8]) -> Result<Vec<Vec<u8>>, WireError> {
+    need(buf, 4)?;
+    let n = buf.get_u32_le() as usize;
+    let mut segments = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        need(buf, 8)?;
+        let len = buf.get_u64_le() as usize;
+        need(buf, len)?;
+        let mut seg = vec![0u8; len];
+        buf.copy_to_slice(&mut seg);
+        segments.push(seg);
+    }
+    Ok(segments)
+}
 
 /// Serializes a request into a frame payload (no length prefix).
 pub fn encode_request(req: &Request) -> Vec<u8> {
@@ -583,11 +649,18 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Stat => buf.put_u8(OP_STAT),
         Request::Compact => buf.put_u8(OP_COMPACT),
         Request::SnapshotSave => buf.put_u8(OP_SNAP_SAVE),
+        Request::SnapshotRead => buf.put_u8(OP_SNAP_READ),
         Request::SnapshotLoad { stream } => {
             buf.put_u8(OP_SNAP_LOAD);
             buf.put_slice(stream);
         }
         Request::Check => buf.put_u8(OP_CHECK),
+        Request::WalStat => buf.put_u8(OP_WAL_STAT),
+        Request::WalExport => buf.put_u8(OP_WAL_EXPORT),
+        Request::WalApply { segments } => {
+            buf.put_u8(OP_WAL_APPLY);
+            put_segments(&mut buf, segments);
+        }
         Request::Bye => buf.put_u8(OP_BYE),
     }
     buf
@@ -651,12 +724,18 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         OP_STAT => Request::Stat,
         OP_COMPACT => Request::Compact,
         OP_SNAP_SAVE => Request::SnapshotSave,
+        OP_SNAP_READ => Request::SnapshotRead,
         OP_SNAP_LOAD => {
             let stream = buf.to_vec();
             buf = &buf[buf.len()..];
             Request::SnapshotLoad { stream }
         }
         OP_CHECK => Request::Check,
+        OP_WAL_STAT => Request::WalStat,
+        OP_WAL_EXPORT => Request::WalExport,
+        OP_WAL_APPLY => Request::WalApply {
+            segments: get_segments(&mut buf)?,
+        },
         OP_BYE => Request::Bye,
         other => return Err(WireError::BadOpcode(other)),
     };
@@ -683,6 +762,9 @@ const RK_REMAP: u8 = 0x07;
 const RK_BYTES: u8 = 0x08;
 const RK_OK: u8 = 0x09;
 const RK_PROBLEMS: u8 = 0x0A;
+const RK_WAL_STAT: u8 = 0x0B;
+const RK_WAL_SEGMENTS: u8 = 0x0C;
+const RK_APPLIED: u8 = 0x0D;
 
 /// Serializes a response into a frame payload (no length prefix).
 pub fn encode_response(resp: &Response) -> Vec<u8> {
@@ -751,6 +833,24 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             for p in problems {
                 put_string(&mut buf, p);
             }
+        }
+        Response::WalStat(stats) => {
+            buf.put_u8(RK_WAL_STAT);
+            buf.put_u64_le(stats.appended);
+            buf.put_u64_le(stats.replayed);
+            buf.put_u64_le(stats.fsync_batches);
+            buf.put_u64_le(stats.segments);
+            buf.put_u64_le(stats.bytes);
+            buf.put_u64_le(stats.torn_tails);
+        }
+        Response::WalSegments { complete, segments } => {
+            buf.put_u8(RK_WAL_SEGMENTS);
+            buf.put_u8(*complete as u8);
+            put_segments(&mut buf, segments);
+        }
+        Response::Applied(n) => {
+            buf.put_u8(RK_APPLIED);
+            buf.put_u64_le(*n);
         }
         Response::Err(_) => unreachable!("handled above"),
     }
@@ -846,6 +946,29 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             }
             Response::Problems(problems)
         }
+        RK_WAL_STAT => {
+            need(&buf, 48)?;
+            Response::WalStat(crate::wal::WalStats {
+                appended: buf.get_u64_le(),
+                replayed: buf.get_u64_le(),
+                fsync_batches: buf.get_u64_le(),
+                segments: buf.get_u64_le(),
+                bytes: buf.get_u64_le(),
+                torn_tails: buf.get_u64_le(),
+            })
+        }
+        RK_WAL_SEGMENTS => {
+            need(&buf, 1)?;
+            let complete = buf.get_u8() & 1 != 0;
+            Response::WalSegments {
+                complete,
+                segments: get_segments(&mut buf)?,
+            }
+        }
+        RK_APPLIED => {
+            need(&buf, 8)?;
+            Response::Applied(buf.get_u64_le())
+        }
         other => return Err(WireError::BadOpcode(other)),
     };
     if buf.has_remaining() {
@@ -905,10 +1028,17 @@ mod tests {
             Request::Stat,
             Request::Compact,
             Request::SnapshotSave,
+            Request::SnapshotRead,
             Request::SnapshotLoad {
                 stream: vec![1, 2, 3, 4, 5],
             },
             Request::Check,
+            Request::WalStat,
+            Request::WalExport,
+            Request::WalApply {
+                segments: vec![vec![1, 2, 3], vec![], vec![42; 9]],
+            },
+            Request::WalApply { segments: vec![] },
             Request::Bye,
         ]
     }
@@ -933,6 +1063,23 @@ mod tests {
             Response::Ok,
             Response::Problems(vec!["shard desync".into()]),
             Response::Problems(vec![]),
+            Response::WalStat(crate::wal::WalStats {
+                appended: 11,
+                replayed: 7,
+                fsync_batches: 3,
+                segments: 2,
+                bytes: 4096,
+                torn_tails: 1,
+            }),
+            Response::WalSegments {
+                complete: true,
+                segments: vec![vec![5, 4, 3], vec![2]],
+            },
+            Response::WalSegments {
+                complete: false,
+                segments: vec![],
+            },
+            Response::Applied(12),
             Response::Err("no such collection".into()),
         ]
     }

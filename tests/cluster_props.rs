@@ -23,7 +23,8 @@ use proptest::prelude::*;
 use scq_engine::CollectionId;
 use scq_integration::prelude::*;
 use scq_shard::{
-    execute, execute_fanout, ClusterSpec, RemoteShard, ShardServerConfig, ShardServerHandle,
+    execute, execute_fanout, ClusterSpec, RemoteShard, ResyncOutcome, ShardServerConfig,
+    ShardServerHandle, WalConfig,
 };
 
 const UNIVERSE_SIZE: f64 = 100.0;
@@ -673,8 +674,11 @@ fn breaker_trips_at_exactly_k_skips_without_dialing_and_readmits_after_cooldown(
     let coll = db.try_collection("objs").expect("create");
     for i in 0..4 {
         let t = i as f64 * 20.0 + 1.0;
-        db.try_insert(coll, Region::from_box(AaBox::new([t, 5.0], [t + 5.0, 11.0])))
-            .expect("insert");
+        db.try_insert(
+            coll,
+            Region::from_box(AaBox::new([t, 5.0], [t + 5.0, 11.0])),
+        )
+        .expect("insert");
     }
     let read = |db: &ShardedDatabase<RemoteShard>| -> ProbeTrace {
         let mut out = Vec::new();
@@ -702,7 +706,11 @@ fn breaker_trips_at_exactly_k_skips_without_dialing_and_readmits_after_cooldown(
         let trace = read(&db);
         assert_eq!((trace.failovers, trace.stale), (1, true), "{trace:?}");
         let h = db.backend(0).health();
-        assert_eq!(h[0].stats.breaker, BreakerState::Closed, "failure {i}: {h:?}");
+        assert_eq!(
+            h[0].stats.breaker,
+            BreakerState::Closed,
+            "failure {i}: {h:?}"
+        );
         assert_eq!(h[0].stats.consecutive_failures, i, "{h:?}");
         assert_eq!(h[0].stats.breaker_trips, 0, "{h:?}");
     }
@@ -853,6 +861,224 @@ fn pristine_restart_behind_a_replica_address_stays_a_loud_desync_until_restored(
     assert_eq!(out.len(), 6, "snapshot contents plus the new insert");
     assert_eq!((trace.failovers, trace.stale), (1, true), "{trace:?}");
     impostor.shutdown();
+}
+
+/// Boots a WAL-enabled shard server logging under `<root>/<tag>` with
+/// a short group-commit window (tests trade batching for latency).
+fn boot_wal_server(root: &std::path::Path, tag: &str) -> ShardServerHandle {
+    let mut wal = WalConfig::new(root.join(tag));
+    wal.group_commit = Duration::from_millis(1);
+    scq_shard::serve_shard(&ShardServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 1,
+        universe_size: UNIVERSE_SIZE,
+        wal: Some(wal),
+        ..ShardServerConfig::default()
+    })
+    .expect("bind wal shard server")
+}
+
+/// The durability acceptance scenario: every shard process of a
+/// WAL-enabled cluster dies mid-churn (listener closed, every live
+/// connection cut — the thread equivalent of SIGKILL; the CI
+/// `crash-recovery` job repeats this with real processes and a real
+/// `kill -9`) and a fresh process restarts behind the same spec'd
+/// address on the same log directory. Recovery must replay the log
+/// back to exactly the acknowledged state — zero acknowledged
+/// mutations lost, every answer oracle-equal — and the cluster must
+/// keep taking writes afterwards.
+#[test]
+fn wal_cluster_killed_mid_churn_replays_every_acknowledged_mutation() {
+    let root = std::env::temp_dir().join(format!("scq_wal_crash_{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let mut servers = vec![boot_wal_server(&root, "s0"), boot_wal_server(&root, "s1")];
+    // The proxies own the stable, spec'd addresses; the processes
+    // behind them change across the crash.
+    let proxies: Vec<FaultProxy> = servers
+        .iter()
+        .map(|s| FaultProxy::start(&s.addr().to_string()).expect("bind proxy"))
+        .collect();
+    let universe = AaBox::new([0.0, 0.0], [UNIVERSE_SIZE, UNIVERSE_SIZE]);
+    let addrs: Vec<String> = proxies.iter().map(|p| p.addr().to_string()).collect();
+    let spec = ClusterSpec::balanced(universe, scq_shard::DEFAULT_ROUTER_BITS, &addrs);
+    let mut db = spec.connect(Duration::from_secs(10)).expect("connect");
+    let mut plain = SpatialDatabase::new(universe);
+    let coll = db.try_collection("objs").expect("create");
+    plain.collection("objs");
+
+    let churn: Vec<Op> = (0..40u32)
+        .map(|i| match i % 4 {
+            0 => Op::Insert {
+                x: (i * 7 % 80) as f64,
+                y: (i * 13 % 80) as f64,
+                w: 4.0,
+                h: 3.0,
+            },
+            1 => Op::Remove {
+                slot: (i * 31) as u16,
+            },
+            2 => Op::Update {
+                slot: (i * 17) as u16,
+                x: (i * 11 % 85) as f64,
+                y: (i * 5 % 85) as f64,
+                w: 3.0,
+                h: 5.0,
+            },
+            _ => Op::UpdateToEmpty {
+                slot: (i * 13) as u16,
+            },
+        })
+        .collect();
+    for op in &churn[..25] {
+        apply_both(&mut db, &mut plain, coll, op);
+    }
+
+    // Every mutation above was acknowledged, so each is already
+    // fsync'd. Kill both shard processes mid-churn…
+    for server in servers.drain(..) {
+        server.shutdown();
+    }
+    // …and restart them on the same WAL directories, behind the same
+    // addresses.
+    servers = vec![boot_wal_server(&root, "s0"), boot_wal_server(&root, "s1")];
+    for (proxy, server) in proxies.iter().zip(&servers) {
+        proxy.retarget(&server.addr().to_string());
+        proxy.sever_all();
+    }
+
+    let stats = db.wal_stats().expect("a wal cluster reports stats");
+    assert!(stats.replayed > 0, "restart replayed the log: {stats:?}");
+    assert_eq!(stats.torn_tails, 0, "clean shutdown left no torn tail");
+    db.check()
+        .expect("replayed cluster passes the integrity check");
+    assert_eq!(db.live_len(coll), plain.live_len(coll));
+    for q in corner_queries() {
+        let mut a = Vec::new();
+        db.query_collection(coll, IndexKind::RTree, &q, &mut a);
+        a.sort_unstable();
+        let mut b = Vec::new();
+        plain.query_collection(coll, IndexKind::RTree, &q, &mut b);
+        b.sort_unstable();
+        assert_eq!(a, b, "replayed answers equal the unsharded oracle");
+    }
+
+    // The revived cluster is fully live: finish the churn and stay
+    // oracle-equal.
+    for op in &churn[25..] {
+        apply_both(&mut db, &mut plain, coll, op);
+    }
+    assert_eq!(db.live_len(coll), plain.live_len(coll));
+    let stats = db.wal_stats().expect("stats");
+    assert!(
+        stats.appended > 0,
+        "post-recovery writes hit the log: {stats:?}"
+    );
+    for server in servers.drain(..) {
+        server.shutdown();
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// PR 6 made a lagging replica a loud desync with one repair path
+/// (restore everything from a snapshot). The WAL adds the cheap one:
+/// `resync` resets the replacement to pristine and ships the
+/// primary's log segments when the primary still holds them back to
+/// genesis — and falls back to the full snapshot ship after
+/// `SNAPSHOT SAVE` truncates that log.
+#[test]
+fn desynced_replica_resyncs_via_wal_then_via_snapshot_after_truncation() {
+    let root = std::env::temp_dir().join(format!("scq_wal_resync_{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let primary = boot_wal_server(&root, "primary");
+    let secondary = boot_server(1);
+    let proxy = FaultProxy::start(&secondary.addr().to_string()).expect("bind proxy");
+    let universe = AaBox::new([0.0, 0.0], [UNIVERSE_SIZE, UNIVERSE_SIZE]);
+    let spec = ClusterSpec::balanced_replicated(
+        universe,
+        scq_shard::DEFAULT_ROUTER_BITS,
+        &[vec![primary.addr().to_string(), proxy.addr().to_string()]],
+    );
+    let mut db = spec.connect(Duration::from_secs(10)).expect("connect");
+    let coll = db.try_collection("objs").expect("create");
+    for i in 0..6 {
+        let t = i as f64 * 14.0 + 1.0;
+        db.try_insert(coll, Region::from_box(AaBox::new([t, 3.0], [t + 6.0, 9.0])))
+            .expect("insert");
+    }
+
+    // The secondary dies; the next write succeeds on the primary and
+    // marks the replica desynced.
+    secondary.shutdown();
+    proxy.sever_all();
+    db.try_insert(
+        coll,
+        Region::from_box(AaBox::new([90.0, 90.0], [95.0, 95.0])),
+    )
+    .expect("writes keep flowing on the primary");
+    assert!(db.backend(0).health()[1].desynced);
+
+    // A pristine process comes back behind the replica's address. The
+    // primary has logged every mutation since genesis, so resync ships
+    // WAL segments, not a snapshot.
+    let replacement = boot_server(1);
+    proxy.retarget(&replacement.addr().to_string());
+    let outcome = db.resync_all().expect("resync");
+    assert_eq!(
+        outcome,
+        ResyncOutcome {
+            resynced: 1,
+            via_wal: 1,
+            via_snapshot: 0
+        },
+        "a complete primary log resyncs by replay"
+    );
+    db.check().expect("wal-resynced cluster is consistent");
+
+    // `SNAPSHOT SAVE` is the log-truncation point: after it, the
+    // primary's log no longer reaches genesis, so the next resync must
+    // take the snapshot path.
+    let snap = root.join("snap");
+    scq_shard::save_to_dir(&db, &snap).expect("snapshot (truncates the primary's log)");
+    replacement.shutdown();
+    proxy.sever_all();
+    db.try_insert(
+        coll,
+        Region::from_box(AaBox::new([80.0, 10.0], [86.0, 16.0])),
+    )
+    .expect("primary still writes");
+    assert!(db.backend(0).health()[1].desynced);
+    let replacement = boot_server(1);
+    proxy.retarget(&replacement.addr().to_string());
+    let outcome = db.resync_all().expect("resync after truncation");
+    assert_eq!(
+        outcome,
+        ResyncOutcome {
+            resynced: 1,
+            via_wal: 0,
+            via_snapshot: 1
+        },
+        "a truncated log falls back to the snapshot ship"
+    );
+    db.check().expect("snapshot-resynced cluster is consistent");
+
+    // The twice-resynced replica really serves: kill the primary and
+    // read the full census through failover.
+    primary.shutdown();
+    let mut out = Vec::new();
+    let mut trace = ProbeTrace::default();
+    db.backend(0)
+        .try_corner_query(
+            coll,
+            IndexKind::RTree,
+            &CornerQuery::unconstrained(),
+            &mut out,
+            &mut trace,
+        )
+        .expect("failover to the resynced replica");
+    assert_eq!(out.len(), 8, "6 seed inserts + 2 desync-window inserts");
+    assert_eq!((trace.failovers, trace.stale), (1, true), "{trace:?}");
+    replacement.shutdown();
+    std::fs::remove_dir_all(&root).ok();
 }
 
 proptest! {
@@ -1039,6 +1265,10 @@ proptest! {
         n_replicas in prop::collection::vec(1usize..4, 8),
         threshold in 1usize..9,
         cooldown_ms in 1u64..100_000,
+        // 0 = no wal directive, 1 = dir only, 2 = dir + window (a
+        // window without a dir is unreachable from the text format).
+        wal_shape in 0u8..3,
+        wal_ms in 1u64..60_000,
     ) {
         let space = scq_zorder::key_space(bits);
         let mut cuts: Vec<u64> = raw_cuts.iter().map(|c| 1 + c % (space - 1)).collect();
@@ -1066,6 +1296,8 @@ proptest! {
                 threshold,
                 cooldown: Duration::from_millis(cooldown_ms),
             },
+            wal_dir: (wal_shape > 0).then(|| format!("/var/scq/wal{wal_shape}")),
+            wal_group_commit_ms: (wal_shape == 2).then_some(wal_ms),
             shards,
         };
         spec.validate().expect("generated specs are valid");
