@@ -630,6 +630,41 @@ fn smoke(path: &str) {
         "sharded_district_shards_pruned",
         district.stats.shards_pruned as f64,
     ));
+    // Tail latency through the observability plane: the district query
+    // repeats into a log2-bucket histogram and the artifact carries the
+    // derived p99 (gated like a latency row — faster never fails).
+    // `slow_queries` counts runs at or past 100 ms and is ceiling-held
+    // at 0: an in-process district query crossing that line means the
+    // executor, not the runner, went sideways.
+    let district_hist = scq_obs::Histogram::new();
+    let mut district_slow = 0u64;
+    for _ in 0..32 {
+        let t0 = std::time::Instant::now();
+        scq_shard::execute(
+            &sharded,
+            &dq,
+            IndexKind::RTree,
+            scq_engine::ExecOptions::all(),
+        )
+        .unwrap();
+        let elapsed = t0.elapsed();
+        district_hist.observe(elapsed);
+        if elapsed.as_millis() >= 100 {
+            district_slow += 1;
+        }
+    }
+    rows.push((
+        "sharded_district_p99_us",
+        district_hist.snapshot().quantile_us(0.99) as f64,
+    ));
+    rows.push(("sharded_district_slow_queries", district_slow as f64));
+    // The router's own probe histogram (every corner query above went
+    // through it) proves the registry path, not just a local stopwatch.
+    let probe = sharded.obs().snapshot();
+    let probe_hist = probe
+        .histogram("shard.probe.latency")
+        .expect("probe latency histogram is always registered");
+    rows.push(("sharded_probe_p99_us", probe_hist.quantile_us(0.99) as f64));
     // Failure counters, ceiling-gated at 0: on an all-local happy-path
     // run nothing may retry and no shard may be unavailable — these
     // rows existing in the artifact is what lets the gate hold the

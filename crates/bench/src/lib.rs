@@ -224,15 +224,20 @@ pub fn parse_bench_json(text: &str) -> Result<Vec<BenchRow>, String> {
 ///   `baseline × factor` **and** the absolute growth exceeds a small
 ///   noise floor (0.25 ms) — sub-millisecond rows on shared CI runners
 ///   jitter by integer factors without meaning anything.
-/// * count rows (no `_ms` suffix, e.g. shards pruned) regress when the
-///   current value drops below the baseline — pruning counts must
-///   never silently decay.
+/// * `*_us` rows (histogram-derived latency quantiles, e.g.
+///   `sharded_district_p99_us`) gate the same way, with the same noise
+///   floor expressed in microseconds — a *faster* p99 must never fail
+///   the gate, so they are latency rows, not count rows.
+/// * count rows (no `_ms`/`_us` suffix, e.g. shards pruned) regress
+///   when the current value drops below the baseline — pruning counts
+///   must never silently decay.
 /// * **ceiling** count rows — names ending in `_retries`,
 ///   `_shards_unavailable`, `_failovers`, `_breaker_trips`,
-///   `_torn_tails` or `_replay_errors` — regress when the current
-///   value *exceeds* the baseline: these are failure counters held at
-///   0 on the happy path, so any growth means connections flapped,
-///   shards vanished, or WAL recovery hit damage during the bench run.
+///   `_torn_tails`, `_replay_errors` or `_slow_queries` — regress when
+///   the current value *exceeds* the baseline: these are failure
+///   counters held at 0 on the happy path, so any growth means
+///   connections flapped, shards vanished, WAL recovery hit damage, or
+///   a query crossed the slow threshold during the bench run.
 /// * a baseline row missing from the current artifact is a regression
 ///   (a deleted bench would otherwise vanish from the gate unnoticed);
 ///   new rows in the current artifact are fine.
@@ -259,7 +264,8 @@ pub fn gate_benches(
             || name.ends_with("_failovers")
             || name.ends_with("_breaker_trips")
             || name.ends_with("_torn_tails")
-            || name.ends_with("_replay_errors");
+            || name.ends_with("_replay_errors")
+            || name.ends_with("_slow_queries");
         if name.ends_with("_ms") {
             let limit = base * factor;
             if *cur > limit && cur - base > NOISE_FLOOR_MS {
@@ -268,6 +274,18 @@ pub fn gate_benches(
                 ));
             } else {
                 report.push(format!("{name}: {cur:.4} ms (baseline {base:.4} ms) ok"));
+            }
+        } else if name.ends_with("_us") {
+            // Histogram-derived latency quantiles: same factor gate as
+            // the `_ms` rows (faster must never fail), same noise
+            // floor in this unit.
+            let limit = base * factor;
+            if *cur > limit && cur - base > NOISE_FLOOR_MS * 1000.0 {
+                violations.push(format!(
+                    "{name}: {cur:.1} us exceeds {factor}x baseline ({base:.1} us)"
+                ));
+            } else {
+                report.push(format!("{name}: {cur:.1} us (baseline {base:.1} us) ok"));
             }
         } else if is_ceiling && cur > base {
             violations.push(format!(

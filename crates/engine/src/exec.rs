@@ -259,6 +259,7 @@ pub(crate) fn note_probe(
     stats.failovers += report.failovers;
     stats.stale_answers += report.stale_shards.len();
     stats.shards_unavailable += report.missing_shards.len();
+    stats.route_us = stats.route_us.saturating_add(report.route_us);
     for s in report.missing_shards {
         if !missing.contains(&s) {
             missing.push(s);
@@ -299,7 +300,11 @@ pub(crate) fn gather_candidates<const K: usize, V: StoreView<K>>(
     match kind {
         Some(k) => {
             if !q.is_unsatisfiable() {
+                let probe_start = std::time::Instant::now();
                 let report = db.query_collection(coll, k, &q, &mut buf.ids);
+                stats.probe_us = stats
+                    .probe_us
+                    .saturating_add(crate::stats::elapsed_us(probe_start));
                 note_probe(report, stats, missing);
             }
             buf.candidates.extend(buf.ids.iter().map(|&id| id as usize));
@@ -345,7 +350,12 @@ pub(crate) fn try_candidate<'e, const K: usize, V: StoreView<K>>(
     assign.bind(var, db.region(obj));
     stats.regions_bound += 1;
     stats.exact_row_checks += 1;
-    if row.exact.check_in(alg, assign)? {
+    let check_start = std::time::Instant::now();
+    let verdict = row.exact.check_in(alg, assign);
+    stats.check_us = stats
+        .check_us
+        .saturating_add(crate::stats::elapsed_us(check_start));
+    if verdict? {
         Ok(Some(bb))
     } else {
         stats.row_rejections += 1;
@@ -437,6 +447,7 @@ pub fn naive_execute_opts<const K: usize, V: StoreView<K>>(
     query: &Query<K>,
     options: ExecOptions,
 ) -> Result<QueryResult, ExecError> {
+    let started = std::time::Instant::now();
     let prep = prepare(db, query)?;
     let mut assign: FlatAssignment<'_, Region<K>> = FlatAssignment::with_capacity(prep.max_var);
     for (v, r) in &prep.knowns {
@@ -453,6 +464,7 @@ pub fn naive_execute_opts<const K: usize, V: StoreView<K>>(
     };
     let mut tuple = BTreeMap::new();
     naive_rec(&mut ctx, query, 0, &mut assign, &mut tuple)?;
+    ctx.stats.total_us = crate::stats::elapsed_us(started);
     Ok(QueryResult {
         solutions: ctx.solutions,
         stats: ctx.stats,
@@ -558,16 +570,20 @@ fn run_optimized<const K: usize, V: StoreView<K>>(
     kind: Option<IndexKind>,
     options: ExecOptions,
 ) -> Result<QueryResult, ExecError> {
+    let started = std::time::Instant::now();
     let prep = prepare(db, query)?;
     let normal = query.system.normalize();
     let tri = triangularize(&normal, &prep.order);
     let plan: BboxPlan<K> = BboxPlan::compile(&tri);
     let alg = db.algebra();
     let mut stats = ExecStats::default();
-    let empty = |stats: ExecStats| QueryResult {
-        solutions: Vec::new(),
-        stats,
-        outcome: QueryOutcome::Complete,
+    let empty = |mut stats: ExecStats| {
+        stats.total_us = crate::stats::elapsed_us(started);
+        QueryResult {
+            solutions: Vec::new(),
+            stats,
+            outcome: QueryOutcome::Complete,
+        }
     };
     if !plan.satisfiable {
         return Ok(empty(stats));
@@ -598,6 +614,7 @@ fn run_optimized<const K: usize, V: StoreView<K>>(
         &mut tuple,
         &mut bufs,
     )?;
+    ctx.stats.total_us = crate::stats::elapsed_us(started);
     Ok(QueryResult {
         solutions: ctx.solutions,
         stats: ctx.stats,

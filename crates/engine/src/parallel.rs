@@ -185,6 +185,7 @@ pub fn bbox_execute_parallel<const K: usize, V: StoreView<K> + Sync>(
     if threads <= 1 {
         return crate::exec::bbox_execute_opts(db, query, kind, options);
     }
+    let started = std::time::Instant::now();
     let prep = prepare(db, query)?;
     if prep.unknowns.is_empty() {
         return crate::exec::bbox_execute_opts(db, query, kind, options);
@@ -235,6 +236,10 @@ pub fn bbox_execute_parallel<const K: usize, V: StoreView<K> + Sync>(
         pending: std::mem::take(&mut seed_buf[0].candidates),
     });
 
+    // Workers run on fresh threads: re-install the caller's request
+    // trace (if any) so shard probes they perform land in the right
+    // span tree instead of vanishing.
+    let trace = scq_obs::current();
     let results: Vec<Result<QueryResult, ExecError>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..threads {
@@ -249,7 +254,11 @@ pub fn bbox_execute_parallel<const K: usize, V: StoreView<K> + Sync>(
             };
             let base_assign = &base_assign;
             let base_boxes = &base_boxes;
-            handles.push(scope.spawn(move || worker(env, base_assign, base_boxes)));
+            let trace = trace.clone();
+            handles.push(scope.spawn(move || {
+                let _trace_guard = trace.as_ref().map(|t| t.install());
+                worker(env, base_assign, base_boxes)
+            }));
         }
         handles
             .into_iter()
@@ -269,6 +278,7 @@ pub fn bbox_execute_parallel<const K: usize, V: StoreView<K> + Sync>(
         merged.solutions.truncate(max);
     }
     merged.stats.solutions = merged.solutions.len();
+    merged.stats.total_us = crate::stats::elapsed_us(started);
     Ok(merged)
 }
 

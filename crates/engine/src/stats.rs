@@ -1,5 +1,11 @@
 //! Execution statistics shared by all executors.
 
+/// Microseconds elapsed since `start`, clamped into `u64` — the unit
+/// every timing field of [`ExecStats`] uses.
+pub fn elapsed_us(start: std::time::Instant) -> u64 {
+    start.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
 /// Counters describing how much work an execution did.
 ///
 /// The interesting comparison across executors (benchmark B1):
@@ -50,6 +56,21 @@ pub struct ExecStats {
     /// Shard probes whose answer was served by a non-primary replica —
     /// complete but **stale-flagged** (see `ProbeReport::stale_shards`).
     pub stale_answers: usize,
+    /// Wall-clock microseconds spent producing candidates (index range
+    /// queries / shard probes / collection enumeration). Summed across
+    /// parallel workers, so it can exceed `total_us`.
+    pub probe_us: u64,
+    /// Wall-clock microseconds spent on exact solved-row checks.
+    /// Summed across parallel workers.
+    pub check_us: u64,
+    /// Wall-clock microseconds the router spent planning shard routes
+    /// (always 0 against an unsharded database).
+    pub route_us: u64,
+    /// End-to-end wall-clock microseconds of the execution that
+    /// produced this block. Merging keeps the **maximum** — merged
+    /// blocks come from concurrent workers or shards, where the
+    /// slowest leg is the elapsed time.
+    pub total_us: u64,
 }
 
 impl ExecStats {
@@ -74,6 +95,10 @@ impl ExecStats {
             retries,
             failovers,
             stale_answers,
+            probe_us,
+            check_us,
+            route_us,
+            total_us,
         } = other;
         self.solutions = self.solutions.saturating_add(*solutions);
         self.partial_tuples = self.partial_tuples.saturating_add(*partial_tuples);
@@ -91,11 +116,28 @@ impl ExecStats {
         self.retries = self.retries.saturating_add(*retries);
         self.failovers = self.failovers.saturating_add(*failovers);
         self.stale_answers = self.stale_answers.saturating_add(*stale_answers);
+        self.probe_us = self.probe_us.saturating_add(*probe_us);
+        self.check_us = self.check_us.saturating_add(*check_us);
+        self.route_us = self.route_us.saturating_add(*route_us);
+        self.total_us = self.total_us.max(*total_us);
     }
 
     /// [`ExecStats::merge`] as a value-returning fold step.
     pub fn merged(mut self, other: &ExecStats) -> ExecStats {
         self.merge(other);
+        self
+    }
+
+    /// This block with the wall-clock timing fields zeroed — the
+    /// deterministic part. Tests comparing two executions for equality
+    /// compare `a.without_timings() == b.without_timings()`; the raw
+    /// blocks differ on every run because timings are measurements,
+    /// not counts.
+    pub fn without_timings(mut self) -> ExecStats {
+        self.probe_us = 0;
+        self.check_us = 0;
+        self.route_us = 0;
+        self.total_us = 0;
         self
     }
 }
@@ -106,7 +148,8 @@ impl std::fmt::Display for ExecStats {
             f,
             "solutions={} partials={} candidates={} row_checks={} row_rejects={} \
              full_checks={} bbox_rejects={} bound={} tombstones={} shards_pruned={} \
-             shards_unavailable={} retries={} failovers={} stale_answers={}",
+             shards_unavailable={} retries={} failovers={} stale_answers={} \
+             probe_us={} check_us={} route_us={} total_us={}",
             self.solutions,
             self.partial_tuples,
             self.index_candidates,
@@ -120,7 +163,11 @@ impl std::fmt::Display for ExecStats {
             self.shards_unavailable,
             self.retries,
             self.failovers,
-            self.stale_answers
+            self.stale_answers,
+            self.probe_us,
+            self.check_us,
+            self.route_us,
+            self.total_us
         )
     }
 }
@@ -224,5 +271,32 @@ mod tests {
         let t = a.to_string();
         assert!(t.contains("failovers=3"));
         assert!(t.contains("stale_answers=3"));
+    }
+
+    #[test]
+    fn timings_sum_except_total_which_takes_the_max() {
+        let mut a = ExecStats {
+            probe_us: 10,
+            check_us: 5,
+            route_us: 1,
+            total_us: 40,
+            ..Default::default()
+        };
+        a.merge(&ExecStats {
+            probe_us: 7,
+            check_us: 2,
+            route_us: 3,
+            total_us: 25,
+            ..Default::default()
+        });
+        assert_eq!(a.probe_us, 17);
+        assert_eq!(a.check_us, 7);
+        assert_eq!(a.route_us, 4);
+        assert_eq!(a.total_us, 40, "merged total is the slowest leg");
+        assert!(a.to_string().contains("probe_us=17"));
+        let stripped = a.without_timings();
+        assert_eq!(stripped.probe_us, 0);
+        assert_eq!(stripped.total_us, 0);
+        assert_eq!(stripped, ExecStats::default());
     }
 }

@@ -59,6 +59,11 @@ pub struct ProbeReport {
     /// served by a stand-in — surfaced so operators can tell "healthy"
     /// from "healthy because the replica caught it".
     pub stale_shards: Vec<usize>,
+    /// Wall-clock microseconds the router spent deciding which shards
+    /// to probe (interval-vs-shard-extent pruning). Always 0 for
+    /// single-store implementations, and excluded from the report's
+    /// `Eq` semantics — see [`ProbeReport::without_timings`].
+    pub route_us: u64,
 }
 
 impl ProbeReport {
@@ -74,6 +79,14 @@ impl ProbeReport {
     /// Whether every probed shard answered.
     pub fn is_complete(&self) -> bool {
         self.missing_shards.is_empty()
+    }
+
+    /// This report with the wall-clock timing zeroed, for equality
+    /// comparisons between runs (timings are measurements, not
+    /// counts).
+    pub fn without_timings(mut self) -> ProbeReport {
+        self.route_us = 0;
+        self
     }
 }
 

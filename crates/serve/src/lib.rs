@@ -30,6 +30,9 @@
 //!                                                   retries=<r> shards_unavailable=<u> partial_answers=<q>
 //!                                                   failovers=<f> stale_answers=<a> health=<per-shard…>
 //! STAT <coll>                                  → OK len=<slots> live=<n>
+//! METRICS [SHARD <i>]                          → OK lines=<n> + n lines of Prometheus-style
+//!                                                   text exposition (serve, router and shard tiers)
+//! TRACE <id>                                   → OK trace=<id> lines=<n> + n span-tree lines
 //! SHARDS                                       → OK n=<s> live=<l0,l1,…> backend=<b>
 //! COMPACT                                      → OK reclaimed=<n>
 //! SNAPSHOT SAVE <dir>                          → OK saved shards=<s>
@@ -64,6 +67,18 @@
 //! * `backend` names where the shards live: `local` (in this process)
 //!   or `remote:<addr>` (a cluster of shard processes; `<addr>` is the
 //!   first range's write primary).
+//! * every command runs under a fresh **trace**; `QUERY`/`SOLVE`
+//!   responses end with ` trace=<id>`, and `TRACE <id>` replays the
+//!   span tree (route → per-shard probes → merge, with failover /
+//!   retry / breaker-skip events) while it is still in the ring.
+//! * `METRICS` merges three tiers into one scrape: the serve tier's
+//!   per-command latency histograms and failure counters
+//!   (`tier="serve"`), the router's routing/probe/transport
+//!   instruments (`tier="router"`), and — in cluster mode — every
+//!   shard process's registry fetched over the wire (`tier="shard"`,
+//!   labelled by shard index). `--slow-ms <t>` adds a slow-query log:
+//!   queries at or above the threshold bump `serve.slow_queries` and
+//!   keep their traces.
 //!
 //! Mutations (`INSERT`, `REMOVE`, `UPDATE`, `COMPACT`, snapshot loads)
 //! never degrade: a shard process that cannot acknowledge one yields a
@@ -92,7 +107,7 @@ use scq_shard::{ClusterSpec, LocalShard, ShardBackend, ShardedDatabase};
 
 mod proto;
 
-pub use proto::{handle_command, ServeMetrics};
+pub use proto::{handle_command, ServeContext, ServeMetrics};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -107,6 +122,11 @@ pub struct ServerConfig {
     /// Universe half-open square side (the database spans
     /// `[0, size]²`).
     pub universe_size: f64,
+    /// Slow-query threshold in milliseconds: a `QUERY`/`SOLVE` at or
+    /// above it is counted (`serve.slow_queries`), logged to stderr
+    /// and keeps its trace replayable via `TRACE <id>`. `None` (the
+    /// default) disables the log.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -116,6 +136,7 @@ impl Default for ServerConfig {
             shards: 4,
             threads: 4,
             universe_size: 1000.0,
+            slow_ms: None,
         }
     }
 }
@@ -167,13 +188,13 @@ pub fn serve_db<B: ShardBackend + 'static>(
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let db = Arc::new(RwLock::new(db));
-    let metrics = Arc::new(ServeMetrics::default());
+    let ctx = Arc::new(ServeContext::new(config.slow_ms));
     let stop = Arc::new(AtomicBool::new(false));
     let mut workers = Vec::new();
     for _ in 0..config.threads.max(1) {
         let listener = listener.try_clone()?;
         let db = Arc::clone(&db);
-        let metrics = Arc::clone(&metrics);
+        let ctx = Arc::clone(&ctx);
         let stop = Arc::clone(&stop);
         workers.push(std::thread::spawn(move || {
             for conn in listener.incoming() {
@@ -181,7 +202,7 @@ pub fn serve_db<B: ShardBackend + 'static>(
                     break;
                 }
                 match conn {
-                    Ok(stream) => serve_connection(stream, &db, &metrics, &stop),
+                    Ok(stream) => serve_connection(stream, &db, &ctx, &stop),
                     Err(_) => continue,
                 }
             }
@@ -197,7 +218,7 @@ pub fn serve_db<B: ShardBackend + 'static>(
 fn serve_connection<B: ShardBackend>(
     stream: TcpStream,
     db: &Arc<RwLock<ShardedDatabase<B>>>,
-    metrics: &ServeMetrics,
+    ctx: &ServeContext,
     stop: &AtomicBool,
 ) {
     // A bounded read timeout keeps shutdown() from hanging on a worker
@@ -230,7 +251,7 @@ fn serve_connection<B: ShardBackend>(
         }
         let cmd = line.trim();
         if !cmd.is_empty() {
-            let (response, quit) = handle_command(db, metrics, cmd);
+            let (response, quit) = handle_command(db, ctx, cmd);
             if writer.write_all(response.as_bytes()).is_err()
                 || writer.write_all(b"\n").is_err()
                 || writer.flush().is_err()
@@ -304,14 +325,30 @@ pub fn smoke_script(snapshot_dir: &str) -> Vec<(String, String)> {
         ("QUERY towns rtree within 0 0 100 100", "OK n=2"),
         ("LOAD map 7 40", "OK towns="),
         ("STAT states", "OK len=8 live=8"),
+        ("METRICS", "OK lines="),
+        ("TRACE 999999", "ERR unknown trace"),
         ("BOGUS", "ERR unknown command"),
         ("QUIT", "OK bye"),
     ]));
     steps
 }
 
+/// The `lines=<n>` field of a multi-line response header (`METRICS`,
+/// `TRACE`), if present: how many body lines follow the header.
+pub fn body_lines(header: &str) -> Option<usize> {
+    if !header.starts_with("OK") {
+        return None;
+    }
+    header
+        .split_whitespace()
+        .find_map(|f| f.strip_prefix("lines="))
+        .and_then(|n| n.parse().ok())
+}
+
 /// Runs a scripted session against `addr`, asserting every response
-/// prefix. Returns the transcript; errors carry the first divergence.
+/// prefix (multi-line responses are consumed whole; the prefix applies
+/// to the header line). Returns the transcript; errors carry the first
+/// divergence.
 pub fn run_script(addr: SocketAddr, script: &[(String, String)]) -> Result<Vec<String>, String> {
     let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
@@ -327,7 +364,18 @@ pub fn run_script(addr: SocketAddr, script: &[(String, String)]) -> Result<Vec<S
             .read_line(&mut response)
             .map_err(|e| format!("read after {cmd:?}: {e}"))?;
         let response = response.trim_end().to_string();
-        transcript.push(format!("> {cmd}\n< {response}"));
+        let mut body = String::new();
+        for _ in 0..body_lines(&response).unwrap_or(0) {
+            reader
+                .read_line(&mut body)
+                .map_err(|e| format!("read body after {cmd:?}: {e}"))?;
+        }
+        let body = body.trim_end();
+        transcript.push(if body.is_empty() {
+            format!("> {cmd}\n< {response}")
+        } else {
+            format!("> {cmd}\n< {response}\n{body}")
+        });
         if !response.starts_with(want_prefix.as_str()) {
             return Err(format!(
                 "command {cmd:?}: expected prefix {want_prefix:?}, got {response:?}\n\
@@ -390,6 +438,9 @@ pub fn cluster_script(snapshot_dir: &str) -> Vec<(String, String)> {
     steps.extend(own(vec![
         ("QUERY objs rtree within 0 0 200 200", "OK n=2 pruned=1"),
         ("STAT", "OK shards=2 collections=1 live=2 backend=remote:"),
+        // both tiers answer the scrape: the serve/router instruments
+        // plus each shard process's registry fetched over the wire
+        ("METRICS", "OK lines="),
         ("QUIT", "OK bye"),
     ]));
     steps
@@ -449,6 +500,7 @@ pub fn self_test() -> Result<Vec<String>, String> {
         shards: 4,
         threads: 2,
         universe_size: 1000.0,
+        ..ServerConfig::default()
     })
     .map_err(|e| format!("bind: {e}"))?;
     let dir = std::env::temp_dir().join(format!("scq_serve_selftest_{}", std::process::id()));
@@ -487,6 +539,7 @@ mod tests {
             shards: 3,
             threads: 3,
             universe_size: 100.0,
+            ..ServerConfig::default()
         })
         .unwrap();
         let addr = handle.addr();
@@ -525,6 +578,78 @@ mod tests {
         handle.shutdown();
     }
 
+    /// A raw session (no script helper): a QUERY's response names its
+    /// trace, `TRACE <id>` replays a span tree that reaches the probe
+    /// layer, and `METRICS` parses as exposition carrying the query's
+    /// latency observation.
+    #[test]
+    fn metrics_and_trace_round_trip_over_the_wire() {
+        let handle = serve(&ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut exchange = |cmd: &str| -> (String, Vec<String>) {
+            writer.write_all(format!("{cmd}\n").as_bytes()).unwrap();
+            writer.flush().unwrap();
+            let mut head = String::new();
+            reader.read_line(&mut head).unwrap();
+            let head = head.trim_end().to_string();
+            let body: Vec<String> = (0..body_lines(&head).unwrap_or(0))
+                .map(|_| {
+                    let mut l = String::new();
+                    reader.read_line(&mut l).unwrap();
+                    l.trim_end().to_string()
+                })
+                .collect();
+            (head, body)
+        };
+        exchange("CREATE objs");
+        exchange("INSERT objs 10 10 20 20");
+        exchange("INSERT objs 700 700 720 720");
+        let (q, _) = exchange("QUERY objs rtree within 0 0 100 100");
+        let trace_id = q
+            .split_whitespace()
+            .find_map(|f| f.strip_prefix("trace="))
+            .expect("QUERY response names its trace")
+            .to_string();
+        let (head, spans) = exchange(&format!("TRACE {trace_id}"));
+        assert!(
+            head.starts_with(&format!("OK trace={trace_id} lines=")),
+            "bad TRACE header: {head:?}"
+        );
+        assert!(
+            spans.iter().any(|l| l.contains("serve.command"))
+                && spans.iter().any(|l| l.trim_start().starts_with("probe ")),
+            "span tree must span serve → probe: {spans:?}"
+        );
+        let (head, body) = exchange("METRICS");
+        assert!(
+            head.starts_with("OK lines="),
+            "bad METRICS header: {head:?}"
+        );
+        let samples = scq_obs::parse_exposition(&body.join("\n")).expect("scrape parses");
+        let count = samples
+            .iter()
+            .find(|s| {
+                s.name == "serve_query_latency_us_count" && s.labels.contains("tier=\"serve\"")
+            })
+            .expect("query latency histogram is in the scrape");
+        assert!(count.value >= 1.0, "the QUERY above must be observed");
+        assert!(
+            samples
+                .iter()
+                .any(|s| s.name == "shard_probe_latency_us_count"
+                    && s.labels.contains("tier=\"router\"")),
+            "router-tier probe histogram is in the scrape"
+        );
+        exchange("QUIT");
+        handle.shutdown();
+    }
+
     #[test]
     fn shutdown_returns_despite_an_idle_connection() {
         // A client that connects and never sends anything must not
@@ -535,6 +660,7 @@ mod tests {
             shards: 2,
             threads: 1,
             universe_size: 100.0,
+            ..ServerConfig::default()
         })
         .unwrap();
         let idle = TcpStream::connect(handle.addr()).unwrap();

@@ -48,7 +48,12 @@ fn main() {
             eprintln!("--client needs an address\n{}", usage());
             std::process::exit(2);
         };
-        std::process::exit(client(addr));
+        // Pretty-printing is for humans; piped output (CI transcripts,
+        // smoke-test greps) keeps the server's raw line shape unless
+        // --pretty asks for it.
+        let pretty = args.iter().any(|a| a == "--pretty")
+            || std::io::IsTerminal::is_terminal(&std::io::stdout());
+        std::process::exit(client(addr, pretty));
     }
 
     let flag = |name: &str| {
@@ -120,6 +125,15 @@ fn main() {
     }
     if let Some(u) = flag("--universe").and_then(|v| v.parse().ok()) {
         config.universe_size = u;
+    }
+    if let Some(ms) = flag("--slow-ms") {
+        match ms.parse::<u64>() {
+            Ok(ms) => config.slow_ms = Some(ms),
+            Err(_) => {
+                eprintln!("bad --slow-ms {ms:?} (want a millisecond count)");
+                std::process::exit(2);
+            }
+        }
     }
 
     if let Some(spec_path) = flag("--cluster") {
@@ -200,7 +214,7 @@ fn usage() -> &'static str {
     "scq-serve — concurrent query server over the sharded spatial database\n\
      \n\
      usage:\n\
-     \x20 scq-serve [--addr A] [--shards N] [--threads T] [--universe S]\n\
+     \x20 scq-serve [--addr A] [--shards N] [--threads T] [--universe S] [--slow-ms W]\n\
      \x20 scq-serve --shard [--addr A] [--threads T] [--universe S] [--max-conns N]\n\
      \x20           [--wal <dir>] [--wal-group-commit-ms W]\n\
      \x20 scq-serve --cluster <spec-file> [--addr A] [--threads T]\n\
@@ -214,8 +228,12 @@ fn usage() -> &'static str {
 }
 
 /// Minimal interactive client: stdin lines to the server, responses to
-/// stdout. Exits when the server closes the connection or stdin ends.
-fn client(addr: &str) -> i32 {
+/// stdout. With `pretty`, `STAT`, `METRICS` and `TRACE` responses are
+/// pretty-printed (one field per line, aligned); multi-line bodies
+/// (`lines=` in the header) are always consumed whole so the session
+/// never desyncs. Exits when the server closes the connection or stdin
+/// ends.
+fn client(addr: &str, pretty: bool) -> i32 {
     let stream = match TcpStream::connect(addr) {
         Ok(s) => s,
         Err(e) => {
@@ -232,19 +250,71 @@ fn client(addr: &str) -> i32 {
     });
     let mut writer = stream;
     let stdin = std::io::stdin();
-    for line in stdin.lock().lines() {
+    'session: for line in stdin.lock().lines() {
         let Ok(line) = line else { break };
         if writer.write_all(format!("{line}\n").as_bytes()).is_err() {
             break;
         }
-        let mut response = String::new();
-        match reader.read_line(&mut response) {
+        let mut head = String::new();
+        match reader.read_line(&mut head) {
             Ok(0) | Err(_) => break,
-            Ok(_) => print!("{response}"),
+            Ok(_) => {}
         }
+        let head = head.trim_end().to_string();
+        let mut body = Vec::new();
+        for _ in 0..scq_serve::body_lines(&head).unwrap_or(0) {
+            let mut l = String::new();
+            match reader.read_line(&mut l) {
+                Ok(0) | Err(_) => break 'session,
+                Ok(_) => body.push(l.trim_end().to_string()),
+            }
+        }
+        print_response(line.trim(), &head, &body, pretty);
         if line.trim() == "QUIT" {
             break;
         }
     }
     0
+}
+
+/// Prints one response. When `pretty`, `STAT`'s single packed line
+/// becomes one aligned `key = value` row per field and `METRICS` /
+/// `TRACE` bodies indent under their header (they are already
+/// line-structured); otherwise everything prints verbatim.
+fn print_response(cmd: &str, head: &str, body: &[String], pretty: bool) {
+    let verb = if pretty {
+        cmd.split_whitespace().next().unwrap_or("")
+    } else {
+        ""
+    };
+    match verb {
+        "STAT" if head.starts_with("OK") => {
+            let fields: Vec<&str> = head.split_whitespace().skip(1).collect();
+            let width = fields
+                .iter()
+                .filter_map(|f| f.split_once('='))
+                .map(|(k, _)| k.len())
+                .max()
+                .unwrap_or(0);
+            println!("OK");
+            for f in fields {
+                match f.split_once('=') {
+                    Some((k, v)) => println!("  {k:<width$} = {v}"),
+                    None => println!("  {f}"),
+                }
+            }
+        }
+        "METRICS" | "TRACE" if head.starts_with("OK") => {
+            println!("{head}");
+            for l in body {
+                println!("  {l}");
+            }
+        }
+        _ => {
+            println!("{head}");
+            for l in body {
+                println!("{l}");
+            }
+        }
+    }
 }

@@ -19,8 +19,9 @@
 //! cumulative failure counters surface through `STAT`.
 
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 use scq_bbox::{Bbox, CornerQuery};
 use scq_core::parse_system;
@@ -32,26 +33,67 @@ use scq_engine::{
 use scq_region::{AaBox, Region};
 use scq_shard::{ShardBackend, ShardedDatabase};
 
-/// Cumulative degraded-read counters of one serving process, shared by
-/// every worker and reported by `STAT`. The CI smoke and the bench
-/// gate hold `retries`, `shards_unavailable` and `failovers` at 0 on
-/// the happy path — any drift there means connections are flapping or
-/// a replica is standing in for its primary.
-#[derive(Debug, Default)]
+/// Cumulative failure counters of one serving process, shared by every
+/// worker, reported by `STAT` and scraped through `METRICS`. The CI
+/// smoke and the bench gate hold `retries`, `shards_unavailable` and
+/// `failovers` at 0 on the happy path — any drift there means
+/// connections are flapping or a replica is standing in for its
+/// primary.
+///
+/// All instruments live in one [`scq_obs::Registry`], and every
+/// multi-counter update goes through [`scq_obs::Registry::batch`], so a
+/// concurrent scrape sees either none or all of a command's bumps. The
+/// old free-running relaxed atomics could expose
+/// `partial_answers > queries` to a reader that landed between the two
+/// increments of the same command — [`Self::snapshot`] cannot.
 pub struct ServeMetrics {
-    /// Transport reconnect-and-retry events across all commands.
-    pub retries: AtomicUsize,
-    /// Shard probes that found a shard process unavailable.
-    pub shards_unavailable: AtomicUsize,
-    /// `QUERY`/`SOLVE` responses that were partial.
-    pub partial_answers: AtomicUsize,
-    /// Replica failovers performed while answering reads.
-    pub failovers: AtomicUsize,
-    /// Shard probes answered by a non-primary replica (stale-flagged).
-    pub stale_answers: AtomicUsize,
+    registry: scq_obs::Registry,
+    /// `serve.queries`: `QUERY`/`SOLVE` commands answered.
+    queries: scq_obs::Counter,
+    /// `serve.retries`: transport reconnect-and-retry events.
+    retries: scq_obs::Counter,
+    /// `serve.shards_unavailable`: probes that found a shard down.
+    shards_unavailable: scq_obs::Counter,
+    /// `serve.partial_answers`: degraded `QUERY`/`SOLVE` responses.
+    partial_answers: scq_obs::Counter,
+    /// `serve.failovers`: replica failovers while answering reads.
+    failovers: scq_obs::Counter,
+    /// `serve.stale_answers`: probes answered by a non-primary replica.
+    stale_answers: scq_obs::Counter,
+    /// `serve.slow_queries`: queries at or above the slow threshold.
+    slow_queries: scq_obs::Counter,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        let registry = scq_obs::Registry::new();
+        ServeMetrics {
+            queries: registry.counter("serve.queries"),
+            retries: registry.counter("serve.retries"),
+            shards_unavailable: registry.counter("serve.shards_unavailable"),
+            partial_answers: registry.counter("serve.partial_answers"),
+            failovers: registry.counter("serve.failovers"),
+            stale_answers: registry.counter("serve.stale_answers"),
+            slow_queries: registry.counter("serve.slow_queries"),
+            registry,
+        }
+    }
 }
 
 impl ServeMetrics {
+    /// A coherent snapshot of every serve-tier instrument: in-flight
+    /// [`Self::note`] batches are excluded wholesale, so derived
+    /// invariants (`partial_answers <= queries`) hold in every scrape.
+    pub fn snapshot(&self) -> scq_obs::Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// The per-command latency histogram (`serve.<verb>.latency`).
+    fn command_latency(&self, verb: &str) -> scq_obs::Histogram {
+        self.registry
+            .histogram(&format!("serve.{}.latency", verb.to_ascii_lowercase()))
+    }
+
     fn note(
         &self,
         retries: usize,
@@ -60,14 +102,54 @@ impl ServeMetrics {
         failovers: usize,
         stale: usize,
     ) {
-        self.retries.fetch_add(retries, Ordering::Relaxed);
-        self.shards_unavailable
-            .fetch_add(unavailable, Ordering::Relaxed);
-        if partial {
-            self.partial_answers.fetch_add(1, Ordering::Relaxed);
+        // One batch per answered query: a scrape never sees the
+        // partial_answers bump without the matching queries bump.
+        self.registry.batch(|| {
+            self.queries.inc();
+            self.retries.add(retries as u64);
+            self.shards_unavailable.add(unavailable as u64);
+            if partial {
+                self.partial_answers.inc();
+            }
+            self.failovers.add(failovers as u64);
+            self.stale_answers.add(stale as u64);
+        });
+    }
+}
+
+/// Per-server observability state shared by every worker: the metrics
+/// registry, the ring of recent command traces replayed by `TRACE`,
+/// the trace-id allocator and the slow-query threshold.
+pub struct ServeContext {
+    /// The serve tier's instruments.
+    pub metrics: ServeMetrics,
+    traces: scq_obs::TraceRing,
+    next_trace_id: AtomicU64,
+    slow_ms: Option<u64>,
+}
+
+impl Default for ServeContext {
+    fn default() -> Self {
+        ServeContext::new(None)
+    }
+}
+
+impl ServeContext {
+    /// A fresh context; queries at or above `slow_ms` milliseconds are
+    /// counted and logged with their trace retained (`None` disables
+    /// the slow-query log).
+    pub fn new(slow_ms: Option<u64>) -> ServeContext {
+        ServeContext {
+            metrics: ServeMetrics::default(),
+            traces: scq_obs::TraceRing::new(256),
+            next_trace_id: AtomicU64::new(1),
+            slow_ms,
         }
-        self.failovers.fetch_add(failovers, Ordering::Relaxed);
-        self.stale_answers.fetch_add(stale, Ordering::Relaxed);
+    }
+
+    /// The recorded trace with id `id`, if it is still in the ring.
+    pub fn trace(&self, id: u64) -> Option<Arc<scq_obs::TraceState>> {
+        self.traces.get(id)
     }
 }
 
@@ -122,6 +204,19 @@ fn wal_rows<B: ShardBackend>(d: &ShardedDatabase<B>) -> String {
     }
 }
 
+/// Frames a multi-line body behind an `OK lines=<n>` header so a
+/// client reading one line per command knows exactly how many more
+/// lines to consume.
+fn multiline(body: &str) -> String {
+    let lines: Vec<&str> = body.lines().collect();
+    let mut out = format!("OK lines={}", lines.len());
+    for l in &lines {
+        out.push('\n');
+        out.push_str(l);
+    }
+    out
+}
+
 /// Renders the `missing=` field of a `PARTIAL` response.
 fn missing_list(missing: &[usize]) -> String {
     missing
@@ -131,20 +226,62 @@ fn missing_list(missing: &[usize]) -> String {
         .join(",")
 }
 
-/// Parses and runs one command line. Returns the response line (no
-/// trailing newline) and whether the connection should close. Lines
-/// start `OK`, `PARTIAL` (a degraded read — correct but possibly
-/// incomplete answers, with the missing shards named) or `ERR`.
+/// Parses and runs one command line. Returns the response (no trailing
+/// newline; `METRICS` and `TRACE` responses are multi-line, with the
+/// body line count in the header's `lines=` field) and whether the
+/// connection should close. Responses start `OK`, `PARTIAL` (a
+/// degraded read — correct but possibly incomplete answers, with the
+/// missing shards named) or `ERR`.
+///
+/// Every command runs under a fresh trace (ids from a per-server
+/// counter); `QUERY` and `SOLVE` responses carry theirs as a trailing
+/// ` trace=<id>` field so a client can replay the span tree with
+/// `TRACE <id>` while it is still in the ring.
 pub fn handle_command<B: ShardBackend>(
     db: &Arc<RwLock<ShardedDatabase<B>>>,
-    metrics: &ServeMetrics,
+    ctx: &ServeContext,
     line: &str,
 ) -> (String, bool) {
     if line.trim() == "QUIT" {
         return ("OK bye".into(), true);
     }
-    match dispatch(db, metrics, line) {
-        Ok(r) => (r, false),
+    let verb = line.split_whitespace().next().unwrap_or("");
+    let trace_id = ctx.next_trace_id.fetch_add(1, Ordering::Relaxed);
+    let trace = scq_obs::TraceState::new(trace_id);
+    let started = Instant::now();
+    let outcome = {
+        let _install = trace.install();
+        let _span = scq_obs::span("serve.command", format!("cmd={verb}"));
+        dispatch(db, ctx, line)
+    };
+    let elapsed = started.elapsed();
+    if !verb.is_empty() {
+        ctx.metrics.command_latency(verb).observe(elapsed);
+    }
+    ctx.traces.push(trace);
+    let is_query = matches!(verb, "QUERY" | "SOLVE");
+    if is_query {
+        if let Some(slow_ms) = ctx.slow_ms {
+            if elapsed.as_millis() as u64 >= slow_ms {
+                ctx.metrics.slow_queries.inc();
+                eprintln!(
+                    "slow query trace={trace_id} ms={} cmd={}",
+                    elapsed.as_millis(),
+                    line.trim()
+                );
+            }
+        }
+    }
+    match outcome {
+        // Only single-line query responses carry the trace id; the
+        // multi-line METRICS/TRACE bodies must stay exactly `lines=`
+        // long.
+        Ok(mut r) => {
+            if is_query {
+                r.push_str(&format!(" trace={trace_id}"));
+            }
+            (r, false)
+        }
         Err(e) => (format!("ERR {e}"), false),
     }
 }
@@ -159,7 +296,7 @@ const MAX_LISTED: usize = 16;
 
 fn dispatch<B: ShardBackend>(
     db: &Arc<RwLock<ShardedDatabase<B>>>,
-    metrics: &ServeMetrics,
+    ctx: &ServeContext,
     line: &str,
 ) -> Result<String, String> {
     let mut parts = line.split_whitespace();
@@ -245,7 +382,7 @@ fn dispatch<B: ShardBackend>(
             let mut ids = Vec::new();
             let report: ProbeReport =
                 contain_backend_panic(|| d.query_collection(coll, kind, &q, &mut ids))?;
-            metrics.note(
+            ctx.metrics.note(
                 report.retries,
                 report.missing_shards.len(),
                 !report.is_complete(),
@@ -283,7 +420,7 @@ fn dispatch<B: ShardBackend>(
                 )
             })
         }
-        "SOLVE" => solve(db, metrics, &rest),
+        "SOLVE" => solve(db, ctx, &rest),
         "SHARDS" => {
             let d = db.read().map_err(lock_poisoned)?;
             let live: Vec<String> = (0..d.n_shards())
@@ -306,6 +443,11 @@ fn dispatch<B: ShardBackend>(
             match rest[..] {
                 [] => {
                     let live: usize = d.collections().map(|c| d.live_len(c)).sum();
+                    // One coherent snapshot for the whole line: the
+                    // counters are mutually consistent, not five
+                    // independent racing loads.
+                    let snap = ctx.metrics.snapshot();
+                    let counter = |name: &str| snap.counter(name).unwrap_or(0);
                     Ok(format!(
                         "OK shards={} collections={} live={live} backend={} \
                          retries={} shards_unavailable={} partial_answers={} \
@@ -313,11 +455,11 @@ fn dispatch<B: ShardBackend>(
                         d.n_shards(),
                         d.collections().count(),
                         d.backend(0).describe(),
-                        metrics.retries.load(Ordering::Relaxed),
-                        metrics.shards_unavailable.load(Ordering::Relaxed),
-                        metrics.partial_answers.load(Ordering::Relaxed),
-                        metrics.failovers.load(Ordering::Relaxed),
-                        metrics.stale_answers.load(Ordering::Relaxed),
+                        counter("serve.retries"),
+                        counter("serve.shards_unavailable"),
+                        counter("serve.partial_answers"),
+                        counter("serve.failovers"),
+                        counter("serve.stale_answers"),
                         wal_rows(&d),
                         shard_health(&d)
                     ))
@@ -332,6 +474,65 @@ fn dispatch<B: ShardBackend>(
                 }
                 _ => Err("usage: STAT [<coll>]".into()),
             }
+        }
+        "METRICS" => {
+            let d = db.read().map_err(lock_poisoned)?;
+            match rest[..] {
+                [] => {
+                    // The full scrape: the serve tier's own
+                    // instruments, the router's routing/probe/transport
+                    // instruments (per-shard client registries merged),
+                    // and — in cluster mode — every shard process's
+                    // registry fetched over the wire, labelled by
+                    // shard. Shards that cannot answer (old wire
+                    // version, in-process backend, dead primary) are
+                    // simply absent from the scrape, never an error.
+                    let mut text = ctx.metrics.snapshot().render(&[("tier", "serve")]);
+                    let mut router = d.obs().snapshot();
+                    for s in 0..d.n_shards() {
+                        if let Some(cm) = d.backend(s).client_metrics() {
+                            router.merge(&cm);
+                        }
+                    }
+                    text.push_str(&router.render(&[("tier", "router")]));
+                    for s in 0..d.n_shards() {
+                        if let Some(m) = d.backend(s).metrics() {
+                            let shard = s.to_string();
+                            text.push_str(&m.render(&[("tier", "shard"), ("shard", &shard)]));
+                        }
+                    }
+                    Ok(multiline(&text))
+                }
+                ["SHARD", s] => {
+                    let s: usize = s.parse().map_err(|_| format!("bad shard index {s:?}"))?;
+                    if s >= d.n_shards() {
+                        return Err(format!("shard {s} out of range ({} shards)", d.n_shards()));
+                    }
+                    let m = d.backend(s).metrics().ok_or_else(|| {
+                        format!("shard {s} has no process metrics (local backend or unreachable)")
+                    })?;
+                    let shard = s.to_string();
+                    Ok(multiline(
+                        &m.render(&[("tier", "shard"), ("shard", &shard)]),
+                    ))
+                }
+                _ => Err("usage: METRICS [SHARD <i>]".into()),
+            }
+        }
+        "TRACE" => {
+            let [id] = rest[..] else {
+                return Err("usage: TRACE <id>".into());
+            };
+            let id: u64 = id.parse().map_err(|_| format!("bad trace id {id:?}"))?;
+            let trace = ctx
+                .trace(id)
+                .ok_or_else(|| format!("unknown trace {id} (never assigned or evicted)"))?;
+            let lines = trace.render();
+            Ok(format!(
+                "OK trace={id} lines={}{}",
+                lines.len(),
+                lines.iter().map(|l| format!("\n{l}")).collect::<String>()
+            ))
         }
         "RESYNC" => {
             // Catch lagging replicas up explicitly. A desynced
@@ -394,7 +595,7 @@ fn dispatch<B: ShardBackend>(
 /// against the sharded database through the engine executor.
 fn solve<B: ShardBackend>(
     db: &Arc<RwLock<ShardedDatabase<B>>>,
-    metrics: &ServeMetrics,
+    ctx: &ServeContext,
     rest: &[&str],
 ) -> Result<String, String> {
     let usage = "usage: SOLVE <rtree|grid|scan> <all|N> \
@@ -431,7 +632,7 @@ fn solve<B: ShardBackend>(
     }
     let result = contain_backend_panic(|| scq_shard::execute(&d, &query, kind, options))?
         .map_err(|e| e.to_string())?;
-    metrics.note(
+    ctx.metrics.note(
         result.stats.retries,
         result.stats.shards_unavailable,
         result.outcome.is_partial(),
@@ -601,4 +802,64 @@ fn exec_options(max: &str) -> Result<ExecOptions, String> {
     Ok(ExecOptions {
         max_solutions: Some(n),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    /// Regression: the old `ServeMetrics` bumped free-running relaxed
+    /// atomics one at a time, so a scraper landing between a command's
+    /// `partial_answers` and `queries` increments could read
+    /// `partial_answers > queries` — an impossible state. Every
+    /// `note()` is now one registry batch, excluded wholesale from
+    /// concurrent snapshots.
+    #[test]
+    fn scrapes_never_tear_a_partial_answer_from_its_query() {
+        let m = Arc::new(ServeMetrics::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let m = Arc::clone(&m);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        // partial=true: bumps queries AND partial_answers.
+                        m.note(1, 1, true, 0, 0);
+                    }
+                });
+            }
+            let reader = Arc::clone(&m);
+            let done = Arc::clone(&stop);
+            scope.spawn(move || {
+                for _ in 0..2_000 {
+                    let s = reader.snapshot();
+                    let q = s.counter("serve.queries").unwrap();
+                    let p = s.counter("serve.partial_answers").unwrap();
+                    assert!(p <= q, "torn scrape: partial_answers={p} > queries={q}");
+                }
+                done.store(true, Ordering::Relaxed);
+            });
+        });
+        let s = m.snapshot();
+        assert_eq!(
+            s.counter("serve.queries"),
+            s.counter("serve.partial_answers")
+        );
+    }
+
+    /// Per-command latency histograms materialize lazily under
+    /// `serve.<verb>.latency` and fold into the same registry scrape.
+    #[test]
+    fn command_latency_histograms_land_in_the_scrape() {
+        let m = ServeMetrics::default();
+        m.command_latency("QUERY").observe_us(120);
+        m.command_latency("query").observe_us(80);
+        let s = m.snapshot();
+        let h = s
+            .histogram("serve.query.latency")
+            .expect("histogram exists");
+        assert_eq!(h.count(), 2, "verb casing folds into one histogram");
+    }
 }

@@ -191,6 +191,23 @@ pub trait ShardBackend: Send + Sync {
         Ok(crate::remote::ResyncOutcome::default())
     }
 
+    /// The shard **process's** own instruments (per-op latency
+    /// histograms, WAL fsync latency), fetched over the wire for a
+    /// remote backend. Local backends run inside the caller's process —
+    /// their work is already observed there — and report `None` (the
+    /// default), as does a remote shard that cannot be reached.
+    fn metrics(&self) -> Option<scq_obs::Snapshot> {
+        None
+    }
+
+    /// Client-side instruments for talking **to** this shard
+    /// (connection-pool checkout wait, breaker trips), merged across
+    /// replicas. Local backends have no client and report `None` (the
+    /// default).
+    fn client_metrics(&self) -> Option<scq_obs::Snapshot> {
+        None
+    }
+
     /// The shard's full snapshot stream (the engine's versioned `SCQS`
     /// format) — for a remote backend this is produced by the shard
     /// process, so only one shard's bytes ever cross the wire at once.

@@ -90,6 +90,39 @@ pub struct ShardedDatabase<B: ShardBackend = LocalShard> {
     shards: Vec<B>,
     collections: Vec<LogicalCollection>,
     by_name: HashMap<String, CollectionId>,
+    obs: DbInstruments,
+}
+
+/// Router-side instruments of one [`ShardedDatabase`]: where the time
+/// goes between a query arriving and its shard answers coming back.
+/// The serve tier merges this registry's snapshot into the
+/// process-wide scrape.
+pub struct DbInstruments {
+    registry: scq_obs::Registry,
+    /// `shard.probe.latency` — wall time of one shard probe (backend
+    /// round trip included), observed per probed shard.
+    probe_latency: scq_obs::Histogram,
+    /// `db.route.latency` — time the z-order router spends choosing
+    /// candidate shards, observed per fan-out.
+    route_latency: scq_obs::Histogram,
+}
+
+impl DbInstruments {
+    fn new() -> DbInstruments {
+        let registry = scq_obs::Registry::new();
+        let probe_latency = registry.histogram("shard.probe.latency");
+        let route_latency = registry.histogram("db.route.latency");
+        DbInstruments {
+            registry,
+            probe_latency,
+            route_latency,
+        }
+    }
+
+    /// A point-in-time snapshot of the router-side instruments.
+    pub fn snapshot(&self) -> scq_obs::Snapshot {
+        self.registry.snapshot()
+    }
 }
 
 /// Default bits per dimension of the routing grid (64×64 cells: fine
@@ -171,7 +204,13 @@ impl<B: ShardBackend> ShardedDatabase<B> {
             shards,
             collections,
             by_name,
+            obs: DbInstruments::new(),
         }
+    }
+
+    /// The router-side instruments (probe and route latency).
+    pub fn obs(&self) -> &DbInstruments {
+        &self.obs
     }
 
     /// Replaces the global mapping layer (snapshot reload plumbing).
@@ -501,6 +540,12 @@ impl<B: ShardBackend> ShardedDatabase<B> {
         report: &mut ProbeReport,
     ) {
         let start = out.len();
+        let started = std::time::Instant::now();
+        // The span names the shard up front (so a probe that panics
+        // still identifies itself) and refines its detail once the
+        // outcome is known. Failover/retry/breaker events recorded by
+        // the backend nest under it.
+        let mut span = scq_obs::span("probe", format!("shard={s}"));
         // Retries and failovers count whether the probe lands or not:
         // a shard that flapped and then died looks different from one
         // that was never reachable.
@@ -517,16 +562,30 @@ impl<B: ShardBackend> ShardedDatabase<B> {
                 for id in &mut out[start..] {
                     *id = globals[*id as usize];
                 }
+                if let Some(sp) = span.as_mut() {
+                    sp.set_detail(format!(
+                        "shard={s} backend={} candidates={}",
+                        self.shards[s].describe(),
+                        out.len() - start
+                    ));
+                }
             }
             Err(ShardError::Wire(e)) if e.is_transport() => {
                 out.truncate(start);
                 report.missing_shards.push(s);
+                if let Some(sp) = span.as_mut() {
+                    sp.set_detail(format!(
+                        "shard={s} backend={} unavailable",
+                        self.shards[s].describe()
+                    ));
+                }
             }
             Err(e) => panic!(
                 "shard {s} ({}) failed a corner query with a non-transport error: {e}",
                 self.shards[s].describe()
             ),
         }
+        self.obs.probe_latency.observe(started.elapsed());
     }
 
     /// Runs a corner query against the chosen index of every shard the
@@ -549,8 +608,14 @@ impl<B: ShardBackend> ShardedDatabase<B> {
     ) -> ProbeReport {
         SHARD_SCRATCH.with(|buf| {
             let mut shards = buf.borrow_mut();
+            let route_started = std::time::Instant::now();
             self.router.candidate_shards(q, &mut shards);
-            let mut report = ProbeReport::default();
+            let route_us = scq_engine::stats::elapsed_us(route_started);
+            self.obs.route_latency.observe_us(route_us);
+            let mut report = ProbeReport {
+                route_us,
+                ..ProbeReport::default()
+            };
             for &s in shards.iter() {
                 self.probe_shard(s, coll, kind, q, out, &mut report);
             }

@@ -66,7 +66,8 @@ use scq_region::{AaBox, Region};
 
 use crate::backend::{ShardBackend, ShardError};
 use crate::wire::{
-    decode_response, encode_request, frame, read_frame, Request, Response, WireError, WIRE_VERSION,
+    decode_response, encode_request, frame, read_frame, Request, Response, WireError,
+    MIN_WIRE_VERSION, WIRE_VERSION,
 };
 
 /// One collection's mirrored slots.
@@ -84,23 +85,42 @@ struct MirrorCollection {
 struct WireClient {
     addr: String,
     stream: Option<TcpStream>,
+    /// The wire version the last successful handshake settled on.
+    /// Requests are only wrapped in trace frames when this reaches
+    /// [`WIRE_VERSION`] — an older peer never sees an opcode it
+    /// cannot decode.
+    version: u16,
 }
 
 impl WireClient {
     fn connect_now(&mut self) -> Result<(), WireError> {
+        match self.handshake(WIRE_VERSION) {
+            // A server from before negotiation rejects any version it
+            // does not speak outright (and closes); one retry at the
+            // floor version keeps old shards reachable.
+            Err(WireError::Remote(m)) if m.contains("version mismatch") => {
+                self.handshake(MIN_WIRE_VERSION)
+            }
+            other => other,
+        }
+    }
+
+    fn handshake(&mut self, ours: u16) -> Result<(), WireError> {
         let stream = TcpStream::connect(&self.addr).map_err(WireError::from)?;
         stream
             .set_read_timeout(Some(Duration::from_secs(30)))
             .map_err(WireError::from)?;
         self.stream = Some(stream);
-        match self.exchange(&Request::Hello {
-            version: WIRE_VERSION,
-        }) {
-            Ok(Response::Hello { version }) if version == WIRE_VERSION => Ok(()),
+        match self.exchange(&Request::Hello { version: ours }) {
+            // The server answers the highest version both sides speak.
+            Ok(Response::Hello { version }) if (MIN_WIRE_VERSION..=ours).contains(&version) => {
+                self.version = version;
+                Ok(())
+            }
             Ok(Response::Hello { version }) => {
                 self.stream = None;
                 Err(WireError::VersionMismatch {
-                    ours: WIRE_VERSION,
+                    ours,
                     theirs: version,
                 })
             }
@@ -151,6 +171,20 @@ impl WireClient {
         if self.stream.is_none() {
             self.connect_now()?;
         }
+        // Stamp the caller's trace onto the frame — but only when the
+        // negotiated protocol can carry it; an old peer keeps getting
+        // the plain request it understands.
+        let traced;
+        let req = match scq_obs::current_id() {
+            Some(trace_id) if self.version >= WIRE_VERSION => {
+                traced = Request::Traced {
+                    trace_id,
+                    inner: Box::new(req.clone()),
+                };
+                &traced
+            }
+            _ => req,
+        };
         match self.exchange(req) {
             Ok(resp) => Ok(resp),
             Err(WireError::VersionMismatch { ours, theirs }) => {
@@ -160,6 +194,7 @@ impl WireClient {
                 // transport died mid-exchange: reconnect, retry once
                 let _ = e;
                 *retries += 1;
+                scq_obs::event("retry", format!("addr={}", self.addr));
                 self.connect_now()?;
                 self.exchange(req)
             }
@@ -287,10 +322,21 @@ struct ConnectionPool {
     clock: BreakerClock,
     state: Mutex<PoolState>,
     returned: Condvar,
+    /// Client-side instruments for this address: `pool.checkout.wait`
+    /// (time callers block waiting for a pooled connection — observed
+    /// on every checkout, so its count doubles as a request count) and
+    /// `breaker.trips`. Snapshotted per replica and merged by
+    /// [`RemoteShard`]'s `client_metrics`.
+    registry: scq_obs::Registry,
+    checkout_wait: scq_obs::Histogram,
+    trips_counter: scq_obs::Counter,
 }
 
 impl ConnectionPool {
     fn new(addr: String, cap: usize, breaker_cfg: BreakerConfig) -> ConnectionPool {
+        let registry = scq_obs::Registry::new();
+        let checkout_wait = registry.histogram("pool.checkout.wait");
+        let trips_counter = registry.counter("breaker.trips");
         ConnectionPool {
             addr,
             cap: cap.max(1),
@@ -307,6 +353,9 @@ impl ConnectionPool {
                 trips: 0,
             }),
             returned: Condvar::new(),
+            registry,
+            checkout_wait,
+            trips_counter,
         }
     }
 
@@ -359,6 +408,7 @@ impl ConnectionPool {
                 until: (self.clock)() + self.breaker_cfg.cooldown,
             };
             st.trips += 1;
+            self.trips_counter.inc();
         }
     }
 
@@ -402,21 +452,25 @@ impl ConnectionPool {
     }
 
     fn checkout(&self) -> Result<WireClient, ShardError> {
+        let started = Instant::now();
         let lock_err = |_| ShardError::Rejected("connection pool lock poisoned".into());
         let mut st = self.state.lock().map_err(lock_err)?;
         loop {
             if let Some(client) = st.idle.pop() {
                 st.in_flight += 1;
                 st.peak_in_flight = st.peak_in_flight.max(st.in_flight);
+                self.checkout_wait.observe(started.elapsed());
                 return Ok(client);
             }
             if st.in_flight < self.cap {
                 st.in_flight += 1;
                 st.created += 1;
                 st.peak_in_flight = st.peak_in_flight.max(st.in_flight);
+                self.checkout_wait.observe(started.elapsed());
                 return Ok(WireClient {
                     addr: self.addr.clone(),
                     stream: None,
+                    version: MIN_WIRE_VERSION,
                 });
             }
             st = self.returned.wait(st).map_err(lock_err)?;
@@ -753,6 +807,7 @@ impl RemoteShard {
         let mut skipped_or_failed = 0usize;
         for (i, replica) in self.replicas.iter().enumerate() {
             if replica.desynced {
+                scq_obs::event("skip-desynced", format!("addr={}", replica.addr));
                 skipped_or_failed += 1;
                 continue;
             }
@@ -763,6 +818,14 @@ impl RemoteShard {
                     return Ok(resp);
                 }
                 Err(e) if is_transport(&e) => {
+                    // Name the address the read is moving past: a fast
+                    // breaker skip reads differently from a dial that
+                    // died, and the trace should show which happened.
+                    if matches!(&e, ShardError::Wire(WireError::BreakerOpen { .. })) {
+                        scq_obs::event("breaker-skip", format!("addr={}", replica.addr));
+                    } else {
+                        scq_obs::event("failover", format!("addr={} error={e}", replica.addr));
+                    }
                     skipped_or_failed += 1;
                     last_err = Some(e);
                 }
@@ -1081,6 +1144,33 @@ impl ShardBackend for RemoteShard {
                 stats: r.pool.stats(),
             })
             .collect()
+    }
+
+    fn metrics(&self) -> Option<scq_obs::Snapshot> {
+        // Primary only: replica processes see the same replicated
+        // writes but their read traffic differs, and a merged answer
+        // would blur which process the latencies belong to.
+        match self.primary_request(&Request::Metrics, true) {
+            Ok(Response::Metrics(snap)) => Some(snap),
+            // An old (v2) shard answers `Response::Err`; a dead one
+            // answers nothing. Either way there is nothing to report.
+            _ => None,
+        }
+    }
+
+    fn client_metrics(&self) -> Option<scq_obs::Snapshot> {
+        let mut merged: Option<scq_obs::Snapshot> = None;
+        for replica in &self.replicas {
+            let snap = replica.pool.registry.snapshot();
+            merged = Some(match merged {
+                Some(mut acc) => {
+                    acc.merge(&snap);
+                    acc
+                }
+                None => snap,
+            });
+        }
+        merged
     }
 
     fn compact(&mut self) -> Result<CompactReport, ShardError> {
@@ -1737,6 +1827,132 @@ mod tests {
         assert!(err.to_string().contains("split-brain"), "{err}");
         a.shutdown();
         b.shutdown();
+    }
+
+    #[test]
+    fn shard_metrics_come_back_over_the_wire() {
+        let (server, mut remote) = start();
+        let c = remote.create_collection("objs").unwrap();
+        remote.insert(c, boxed(1.0, 1.0, 2.0, 2.0)).unwrap();
+        let mut trace = ProbeTrace::default();
+        query_all(&remote, c, &mut trace);
+        let snap = remote.metrics().expect("a v3 shard answers metrics");
+        let h = snap
+            .histogram("shard.query.latency")
+            .expect("the query latency histogram exists");
+        assert!(h.count() >= 1, "the query above was observed");
+        assert!(
+            snap.histogram("shard.insert.latency").is_some(),
+            "mutations are observed too"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_metrics_count_checkouts_and_trips() {
+        let (server, mut remote) = start();
+        let c = remote.create_collection("objs").unwrap();
+        remote.insert(c, boxed(1.0, 1.0, 2.0, 2.0)).unwrap();
+        let snap = remote.client_metrics().expect("pools always have metrics");
+        let wait = snap
+            .histogram("pool.checkout.wait")
+            .expect("checkout wait histogram exists");
+        assert!(wait.count() >= 2, "every request checks a connection out");
+        assert_eq!(snap.counter("breaker.trips"), Some(0), "healthy address");
+        server.shutdown();
+    }
+
+    #[test]
+    fn traced_reads_record_failover_and_retry_events() {
+        let (a, b, mut remote) = start_replicated(BreakerConfig {
+            threshold: 100, // never trips: this test wants real dials
+            cooldown: Duration::from_secs(3600),
+        });
+        let c = remote.create_collection("objs").unwrap();
+        remote.insert(c, boxed(1.0, 1.0, 2.0, 2.0)).unwrap();
+        let primary_addr = a.addr().to_string();
+        a.shutdown();
+        let t = scq_obs::TraceState::new(5);
+        let _g = t.install();
+        let mut trace = ProbeTrace::default();
+        assert_eq!(query_all(&remote, c, &mut trace), vec![0]);
+        assert_eq!(trace.failovers, 1, "{trace:?}");
+        let spans = t.spans();
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.name == "failover" && s.detail.contains(&primary_addr)),
+            "the failover event names the dead primary: {spans:?}"
+        );
+        assert!(
+            spans.iter().any(|s| s.name == "retry"),
+            "the reconnect attempt left a retry event: {spans:?}"
+        );
+        b.shutdown();
+    }
+
+    /// A hand-rolled server that speaks only wire version 2 and rejects
+    /// anything else outright — the pre-negotiation behavior real old
+    /// shards have.
+    fn strict_v2_server() -> std::net::SocketAddr {
+        use crate::wire::{decode_request, encode_response};
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let db = SpatialDatabase::<2>::new(AaBox::new([0.0, 0.0], [100.0, 100.0]));
+            for stream in listener.incoming() {
+                let Ok(mut s) = stream else { break };
+                while let Ok(Some(payload)) = read_frame(&mut s) {
+                    let (resp, close) = match decode_request(&payload) {
+                        Ok(Request::Hello { version: 2 }) => {
+                            (Response::Hello { version: 2 }, false)
+                        }
+                        Ok(Request::Hello { version }) => (
+                            Response::Err(format!(
+                                "wire version mismatch: shard speaks 2, client speaks {version}"
+                            )),
+                            true,
+                        ),
+                        Ok(Request::SnapshotRead | Request::SnapshotSave) => {
+                            (Response::Bytes(snapshot::save(&db).to_vec()), false)
+                        }
+                        Ok(Request::Stat) => (Response::Stat(vec![]), false),
+                        Ok(Request::Check) => (Response::Problems(vec![]), false),
+                        // This build's decoder understands v3 frames; a
+                        // real v2 server would answer "bad request".
+                        // Either way, seeing one here fails the test.
+                        Ok(Request::Traced { .. } | Request::Metrics) => (
+                            Response::Err("bad request: a v2 server saw a v3 frame".into()),
+                            true,
+                        ),
+                        Ok(_) => (Response::Err("unsupported".into()), false),
+                        Err(e) => (Response::Err(format!("bad request: {e}")), true),
+                    };
+                    let _ = s.write_all(&frame(&encode_response(&resp)).unwrap());
+                    if close {
+                        break;
+                    }
+                }
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn strict_v2_servers_negotiate_down_and_never_see_traced_frames() {
+        let addr = strict_v2_server();
+        let remote =
+            RemoteShard::connect(&addr.to_string(), universe(), Duration::from_secs(5)).unwrap();
+        // Even with a trace installed, the negotiated-v2 peer must get
+        // plain frames — a Traced opcode would earn "bad request".
+        let t = scq_obs::TraceState::new(11);
+        let _g = t.install();
+        let problems = remote.check();
+        assert!(problems.is_empty(), "{problems:?}");
+        assert!(
+            remote.metrics().is_none(),
+            "a v2 peer cannot answer metrics"
+        );
     }
 
     #[test]

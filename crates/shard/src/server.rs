@@ -36,7 +36,8 @@ use scq_region::AaBox;
 
 use crate::wal::{self, Wal, WalConfig, WalStats};
 use crate::wire::{
-    decode_request, encode_response, frame, FrameReader, Request, Response, WIRE_VERSION,
+    decode_request, encode_response, frame, FrameReader, Request, Response, MIN_WIRE_VERSION,
+    WIRE_VERSION,
 };
 
 /// Shard server configuration.
@@ -86,6 +87,14 @@ impl Default for ShardServerConfig {
 struct ShardState {
     db: RwLock<SpatialDatabase<2>>,
     wal: Option<Wal>,
+    /// Shard-local instruments (`shard.<op>.latency` histograms plus
+    /// the WAL's `wal.fsync.latency`), answered wholesale over
+    /// [`Request::Metrics`] so the router can merge them into one
+    /// cluster scrape.
+    registry: scq_obs::Registry,
+    /// Traces installed by [`Request::Traced`]: the shard-side span
+    /// record of recently traced requests, for diagnostics.
+    traces: scq_obs::TraceRing,
 }
 
 /// A running shard server: bound address, acceptor pool and the live
@@ -107,6 +116,18 @@ impl ShardServerHandle {
     /// WAL counters, when the server keeps a log (`None` otherwise).
     pub fn wal_stats(&self) -> Option<WalStats> {
         self.state.wal.as_ref().map(Wal::stats)
+    }
+
+    /// A point-in-time snapshot of the shard's instruments — the same
+    /// rows [`Request::Metrics`] answers over the wire.
+    pub fn metrics(&self) -> scq_obs::Snapshot {
+        self.state.registry.snapshot()
+    }
+
+    /// The shard-side trace a [`Request::Traced`] request recorded,
+    /// newest match by ID.
+    pub fn trace(&self, id: u64) -> Option<Arc<scq_obs::TraceState>> {
+        self.state.traces.get(id)
     }
 
     /// Stops accepting, unblocks acceptors and connection handlers,
@@ -147,9 +168,17 @@ pub fn serve_shard(config: &ShardServerConfig) -> std::io::Result<ShardServerHan
         }
         None => (None, SpatialDatabase::new(universe)),
     };
+    let registry = scq_obs::Registry::new();
+    if let Some(wal) = &wal {
+        // The histogram handle shares cells with the live log: every
+        // group-commit fsync lands in scrapes with no polling.
+        registry.register_histogram("wal.fsync.latency", wal.fsync_latency());
+    }
     let state = Arc::new(ShardState {
         db: RwLock::new(db),
         wal,
+        registry,
+        traces: scq_obs::TraceRing::new(64),
     });
     let stop = Arc::new(AtomicBool::new(false));
     let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -220,7 +249,16 @@ fn serve_connection(stream: TcpStream, state: &ShardState, stop: &AtomicBool) {
             match reader.next_frame() {
                 Ok(Some(payload)) => {
                     let (response, after) = match decode_request(&payload) {
-                        Ok(req) => handle_request(state, req),
+                        Ok(req) => {
+                            let op = op_name(&req);
+                            let started = std::time::Instant::now();
+                            let out = handle_request(state, req);
+                            state
+                                .registry
+                                .histogram(&format!("shard.{op}.latency"))
+                                .observe(started.elapsed());
+                            out
+                        }
                         // An undecodable frame means the peer and we
                         // disagree about the protocol; answer once and
                         // hang up rather than guess at resync.
@@ -314,25 +352,65 @@ where
     resp
 }
 
+/// The request's flat name, for per-op latency instruments. A traced
+/// request reports as its inner op — the wrapper is plumbing, not work.
+fn op_name(req: &Request) -> &'static str {
+    match req {
+        Request::Hello { .. } => "hello",
+        Request::Create { .. } => "create",
+        Request::Insert { .. } => "insert",
+        Request::Remove { .. } => "remove",
+        Request::Update { .. } => "update",
+        Request::Query { .. } => "query",
+        Request::Stat => "stat",
+        Request::Compact => "compact",
+        Request::SnapshotSave => "snapshot_save",
+        Request::SnapshotRead => "snapshot_read",
+        Request::SnapshotLoad { .. } => "snapshot_load",
+        Request::Check => "check",
+        Request::WalStat => "wal_stat",
+        Request::WalExport => "wal_export",
+        Request::WalApply { .. } => "wal_apply",
+        Request::Metrics => "metrics",
+        Request::Traced { inner, .. } => op_name(inner),
+        Request::Bye => "bye",
+    }
+}
+
 /// Executes one decoded request against the shard database.
 fn handle_request(state: &ShardState, req: Request) -> (Response, After) {
+    // Unwrap tracing before the main dispatch so the inner request is
+    // handled — and WAL-logged — as itself. The router's trace ID rides
+    // the frame header; installing a shard-side trace under it means
+    // spans recorded here land in the shard's ring under the same ID
+    // the client saw.
+    if let Request::Traced { trace_id, inner } = req {
+        let trace = scq_obs::TraceState::new(trace_id);
+        let out = {
+            let _guard = trace.install();
+            let _span = scq_obs::span("shard.handle", format!("op={}", op_name(&inner)));
+            handle_request(state, *inner)
+        };
+        state.traces.push(trace);
+        return out;
+    }
     let db = &state.db;
     let resp = match &req {
         Request::Hello { version } => {
             let version = *version;
-            if version != WIRE_VERSION {
-                // A mismatched peer must not get garbage answers;
-                // reject the handshake and close.
+            if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
+                // A peer outside the window we can speak must not get
+                // garbage answers; reject the handshake and close.
                 return (
                     Response::Err(format!(
-                        "wire version mismatch: shard speaks {WIRE_VERSION}, client speaks {version}"
+                        "wire version mismatch: shard speaks {MIN_WIRE_VERSION}..={WIRE_VERSION}, client speaks {version}"
                     )),
                     After::Close,
                 );
             }
-            Response::Hello {
-                version: WIRE_VERSION,
-            }
+            // Answer the client's version: it is the highest both
+            // sides speak, so an old client keeps its old protocol.
+            Response::Hello { version }
         }
         Request::Create { name } => {
             if name.len() > 255 {
@@ -491,6 +569,9 @@ fn handle_request(state: &ShardState, req: Request) -> (Response, After) {
             }
             Err(e) => poisoned(e),
         },
+        Request::Metrics => Response::Metrics(state.registry.snapshot()),
+        // Handled above, before the dispatch; decode rejects nesting.
+        Request::Traced { .. } => Response::Err("nested Traced request".into()),
         Request::Bye => return (Response::Ok, After::Close),
     };
     (resp, After::KeepOpen)
@@ -632,6 +713,84 @@ mod tests {
         }
         // the server hung up: the next read sees a clean close
         assert_eq!(read_frame(&mut s).unwrap(), None);
+        server.shutdown();
+    }
+
+    #[test]
+    fn older_supported_version_negotiates_down() {
+        let server = start();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        // A v2 peer (the previous release) must be answered at v2, not
+        // rejected and not upgraded past what it speaks.
+        let resp = roundtrip(
+            &mut s,
+            &Request::Hello {
+                version: MIN_WIRE_VERSION,
+            },
+        );
+        assert_eq!(
+            resp,
+            Response::Hello {
+                version: MIN_WIRE_VERSION
+            }
+        );
+        // The connection stays serviceable after the downgrade.
+        assert_eq!(roundtrip(&mut s, &Request::Stat), Response::Stat(vec![]));
+        server.shutdown();
+    }
+
+    #[test]
+    fn versions_below_the_window_are_rejected() {
+        let server = start();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        let resp = roundtrip(&mut s, &Request::Hello { version: 1 });
+        match resp {
+            Response::Err(m) => assert!(m.contains("version mismatch"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(read_frame(&mut s).unwrap(), None);
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_reports_per_op_latency_histograms() {
+        let server = start();
+        let mut s = hello(server.addr());
+        assert_eq!(roundtrip(&mut s, &Request::Stat), Response::Stat(vec![]));
+        let snap = match roundtrip(&mut s, &Request::Metrics) {
+            Response::Metrics(snap) => snap,
+            other => panic!("{other:?}"),
+        };
+        // The hello and stat already served must have landed in their
+        // per-op histograms; the metrics request itself is observed
+        // only after its response is built, so it may not appear yet.
+        for op in ["hello", "stat"] {
+            let h = snap
+                .histogram(&format!("shard.{op}.latency"))
+                .unwrap_or_else(|| panic!("missing shard.{op}.latency"));
+            assert_eq!(h.count(), 1, "one {op} was served");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn traced_requests_answer_as_the_inner_op_and_record_a_span() {
+        let server = start();
+        let mut s = hello(server.addr());
+        let resp = roundtrip(
+            &mut s,
+            &Request::Traced {
+                trace_id: 42,
+                inner: Box::new(Request::Stat),
+            },
+        );
+        assert_eq!(resp, Response::Stat(vec![]));
+        let trace = server.trace(42).expect("shard kept the trace");
+        let spans = trace.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "shard.handle");
+        assert_eq!(spans[0].detail, "op=stat");
+        assert!(server.trace(7).is_none(), "unknown ids stay unknown");
         server.shutdown();
     }
 

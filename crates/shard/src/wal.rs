@@ -52,6 +52,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use scq_engine::{snapshot, ObjectRef, SpatialDatabase};
+use scq_obs::Histogram;
 use scq_region::AaBox;
 
 use crate::wire::{decode_request, encode_request, Request, MAX_FRAME};
@@ -732,6 +733,11 @@ struct Shared {
     segment_cap: u64,
     state: Mutex<WalState>,
     cv: Condvar,
+    /// Latency of every data fsync (group-commit batches, rotation
+    /// seals, truncation and export flushes). Shared out via
+    /// [`Wal::fsync_latency`] so the shard server can register it as
+    /// `wal.fsync.latency` without a stats-plumbing detour.
+    fsync_latency: Histogram,
 }
 
 /// A shard's open write-ahead log: appends, the group-commit flusher,
@@ -824,6 +830,7 @@ impl Wal {
                 shutdown: false,
             }),
             cv: Condvar::new(),
+            fsync_latency: Histogram::new(),
         });
         let group_commit = config.group_commit.max(Duration::from_millis(1));
         let flusher = {
@@ -895,15 +902,24 @@ impl Wal {
         Ok(Ticket(st.appended))
     }
 
-    /// Seals the current segment (flushing what it holds) and opens
-    /// the next one. Caller holds the state lock.
-    fn rotate(&self, st: &mut WalState) -> Result<(), WalError> {
+    /// Flushes any unacknowledged records in the open segment,
+    /// recording the fsync latency. Caller holds the state lock.
+    fn sync_pending(&self, st: &mut WalState) -> Result<(), WalError> {
         if st.durable < st.appended {
+            let started = std::time::Instant::now();
             st.file.sync_data()?;
+            self.shared.fsync_latency.observe(started.elapsed());
             st.durable = st.appended;
             st.fsync_batches += 1;
             self.shared.cv.notify_all();
         }
+        Ok(())
+    }
+
+    /// Seals the current segment (flushing what it holds) and opens
+    /// the next one. Caller holds the state lock.
+    fn rotate(&self, st: &mut WalState) -> Result<(), WalError> {
+        self.sync_pending(st)?;
         let next = st.seq + 1;
         st.file = create_segment(&self.shared.dir, self.shared.salt, next)?;
         st.seq = next;
@@ -949,12 +965,7 @@ impl Wal {
         }
         // Everything appended so far must be on disk before the
         // snapshot claims to supersede it.
-        if st.durable < st.appended {
-            st.file.sync_data()?;
-            st.durable = st.appended;
-            st.fsync_batches += 1;
-            self.shared.cv.notify_all();
-        }
+        self.sync_pending(&mut st)?;
         let next = st.seq + 1;
         let tmp = self.shared.dir.join(format!("snap-{next:08}.tmp"));
         let stream = snapshot::save(db);
@@ -988,12 +999,7 @@ impl Wal {
     /// lands mid-read.
     pub fn export(&self) -> Result<WalExport, WalError> {
         let mut st = self.shared.state.lock().expect("wal state");
-        if st.durable < st.appended {
-            st.file.sync_data()?;
-            st.durable = st.appended;
-            st.fsync_batches += 1;
-            self.shared.cv.notify_all();
-        }
+        self.sync_pending(&mut st)?;
         drop(st);
         let (segs, _) = list_dir(&self.shared.dir)?;
         let complete = segs.keys().next() == Some(&0);
@@ -1020,6 +1026,14 @@ impl Wal {
             complete: true,
             segments,
         })
+    }
+
+    /// The log's fsync-latency histogram. The handle shares cells with
+    /// the live log, so registering it once
+    /// (`registry.register_histogram("wal.fsync.latency", …)`) keeps
+    /// scrapes current with no polling.
+    pub fn fsync_latency(&self) -> Histogram {
+        self.shared.fsync_latency.clone()
     }
 
     /// Live counters (see [`WalStats`]).
@@ -1062,8 +1076,10 @@ fn flusher_loop(shared: &Shared, window: Duration) {
     let mut st = shared.state.lock().expect("wal state");
     loop {
         if st.broken.is_none() && st.appended > st.durable {
+            let started = std::time::Instant::now();
             match st.file.sync_data() {
                 Ok(()) => {
+                    shared.fsync_latency.observe(started.elapsed());
                     st.durable = st.appended;
                     st.fsync_batches += 1;
                 }

@@ -35,8 +35,14 @@ use scq_region::{AaBox, Region};
 pub const WIRE_MAGIC: &[u8; 4] = b"SCQW";
 /// Current wire protocol version. Version 2 added the WAL operations
 /// ([`Request::WalStat`] / [`Request::WalExport`] /
-/// [`Request::WalApply`]).
-pub const WIRE_VERSION: u16 = 2;
+/// [`Request::WalApply`]); version 3 added request tracing
+/// ([`Request::Traced`]) and the metrics scrape ([`Request::Metrics`]).
+pub const WIRE_VERSION: u16 = 3;
+/// Oldest protocol version this build still interoperates with. The
+/// handshake negotiates `min(client, server)` down to this floor: a v3
+/// client talks plain v2 (no trace headers, no metrics opcode) to a v2
+/// server, and a v3 server accepts v2 clients unchanged.
+pub const MIN_WIRE_VERSION: u16 = 2;
 /// Hard cap on one frame's payload (snapshot streams are the largest
 /// legitimate frames). A length prefix above this is rejected before
 /// any buffer is reserved.
@@ -257,6 +263,19 @@ pub enum Request {
     },
     /// Close the connection.
     Bye,
+    /// A version-3 envelope attributing its inner request to a client
+    /// trace: the server executes `inner` with the trace installed so
+    /// shard-side spans and events join the request's tree. Nesting
+    /// `Traced` inside `Traced` is a codec error.
+    Traced {
+        /// The originating request's trace ID.
+        trace_id: u64,
+        /// The request to execute under that trace.
+        inner: Box<Request>,
+    },
+    /// A coherent snapshot of the shard's metric instruments
+    /// (version 3).
+    Metrics,
 }
 
 /// One response from a shard process. `Err` is the failure envelope for
@@ -305,6 +324,8 @@ pub enum Response {
     },
     /// Records applied from a shipped WAL ([`Request::WalApply`]).
     Applied(u64),
+    /// The shard's metric snapshot ([`Request::Metrics`]).
+    Metrics(scq_obs::Snapshot),
     /// The request failed on the shard.
     Err(String),
 }
@@ -581,6 +602,10 @@ pub const OP_WAL_EXPORT: u8 = 0x0E;
 pub const OP_WAL_APPLY: u8 = 0x0F;
 /// Opcode of [`Request::SnapshotRead`].
 pub const OP_SNAP_READ: u8 = 0x10;
+/// Opcode of [`Request::Traced`] (version 3).
+pub const OP_TRACED: u8 = 0x11;
+/// Opcode of [`Request::Metrics`] (version 3).
+pub const OP_METRICS: u8 = 0x12;
 
 /// Encodes a list of raw segment files: count, then per segment a
 /// 64-bit length and the bytes.
@@ -662,6 +687,17 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_segments(&mut buf, segments);
         }
         Request::Bye => buf.put_u8(OP_BYE),
+        Request::Traced { trace_id, inner } => {
+            buf.put_u8(OP_TRACED);
+            buf.put_u64_le(*trace_id);
+            // Length-framed inner payload: truncating anywhere inside
+            // stays a named decode error (the raw-tail shapes like
+            // SnapshotLoad would otherwise make a shorter cut "valid").
+            let inner = encode_request(inner);
+            buf.put_u32_le(inner.len() as u32);
+            buf.put_slice(&inner);
+        }
+        Request::Metrics => buf.put_u8(OP_METRICS),
     }
     buf
 }
@@ -737,6 +773,23 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             segments: get_segments(&mut buf)?,
         },
         OP_BYE => Request::Bye,
+        OP_TRACED => {
+            need(&buf, 12)?;
+            let trace_id = buf.get_u64_le();
+            let len = buf.get_u32_le() as usize;
+            need(&buf, len)?;
+            let inner_payload = &buf[..len];
+            buf = &buf[len..];
+            let inner = decode_request(inner_payload)?;
+            if matches!(inner, Request::Traced { .. }) {
+                return Err(WireError::Unexpected("nested Traced request".into()));
+            }
+            Request::Traced {
+                trace_id,
+                inner: Box::new(inner),
+            }
+        }
+        OP_METRICS => Request::Metrics,
         other => return Err(WireError::BadOpcode(other)),
     };
     if buf.has_remaining() {
@@ -765,6 +818,70 @@ const RK_PROBLEMS: u8 = 0x0A;
 const RK_WAL_STAT: u8 = 0x0B;
 const RK_WAL_SEGMENTS: u8 = 0x0C;
 const RK_APPLIED: u8 = 0x0D;
+const RK_METRICS: u8 = 0x0E;
+
+// Instrument kind bytes inside a [`Response::Metrics`] snapshot row.
+const MK_COUNTER: u8 = 0;
+const MK_GAUGE: u8 = 1;
+const MK_HISTOGRAM: u8 = 2;
+
+fn put_snapshot(buf: &mut Vec<u8>, snap: &scq_obs::Snapshot) {
+    buf.put_u32_le(snap.rows.len() as u32);
+    for (name, value) in &snap.rows {
+        put_string(buf, name);
+        match value {
+            scq_obs::Value::Counter(v) => {
+                buf.put_u8(MK_COUNTER);
+                buf.put_u64_le(*v);
+            }
+            scq_obs::Value::Gauge(v) => {
+                buf.put_u8(MK_GAUGE);
+                // Two's-complement through u64: the vendored bytes stub
+                // has no signed putters.
+                buf.put_u64_le(*v as u64);
+            }
+            scq_obs::Value::Histogram(h) => {
+                buf.put_u8(MK_HISTOGRAM);
+                for b in &h.buckets {
+                    buf.put_u64_le(*b);
+                }
+                buf.put_u64_le(h.sum_us);
+            }
+        }
+    }
+}
+
+fn get_snapshot(buf: &mut &[u8]) -> Result<scq_obs::Snapshot, WireError> {
+    need(buf, 4)?;
+    let n = buf.get_u32_le() as usize;
+    let mut rows = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = get_string(buf)?;
+        need(buf, 1)?;
+        let value = match buf.get_u8() {
+            MK_COUNTER => {
+                need(buf, 8)?;
+                scq_obs::Value::Counter(buf.get_u64_le())
+            }
+            MK_GAUGE => {
+                need(buf, 8)?;
+                scq_obs::Value::Gauge(buf.get_u64_le() as i64)
+            }
+            MK_HISTOGRAM => {
+                need(buf, (scq_obs::N_BUCKETS + 1) * 8)?;
+                let mut h = scq_obs::HistogramSnapshot::default();
+                for b in &mut h.buckets {
+                    *b = buf.get_u64_le();
+                }
+                h.sum_us = buf.get_u64_le();
+                scq_obs::Value::Histogram(h)
+            }
+            other => return Err(WireError::BadOpcode(other)),
+        };
+        rows.push((name, value));
+    }
+    Ok(scq_obs::Snapshot { rows })
+}
 
 /// Serializes a response into a frame payload (no length prefix).
 pub fn encode_response(resp: &Response) -> Vec<u8> {
@@ -851,6 +968,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Applied(n) => {
             buf.put_u8(RK_APPLIED);
             buf.put_u64_le(*n);
+        }
+        Response::Metrics(snap) => {
+            buf.put_u8(RK_METRICS);
+            put_snapshot(&mut buf, snap);
         }
         Response::Err(_) => unreachable!("handled above"),
     }
@@ -969,6 +1090,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             need(&buf, 8)?;
             Response::Applied(buf.get_u64_le())
         }
+        RK_METRICS => Response::Metrics(get_snapshot(&mut buf)?),
         other => return Err(WireError::BadOpcode(other)),
     };
     if buf.has_remaining() {
@@ -1040,6 +1162,20 @@ mod tests {
             },
             Request::WalApply { segments: vec![] },
             Request::Bye,
+            Request::Traced {
+                trace_id: 0xDEAD_BEEF_CAFE,
+                inner: Box::new(Request::Query {
+                    coll: CollectionId(4),
+                    kind: IndexKind::RTree,
+                    query: CornerQuery::unconstrained()
+                        .and_overlaps(&Bbox::new([0.0, 0.0], [2.0, 2.0])),
+                }),
+            },
+            Request::Traced {
+                trace_id: 1,
+                inner: Box::new(Request::Stat),
+            },
+            Request::Metrics,
         ]
     }
 
@@ -1080,6 +1216,20 @@ mod tests {
                 segments: vec![],
             },
             Response::Applied(12),
+            Response::Metrics(scq_obs::Snapshot { rows: vec![] }),
+            Response::Metrics(scq_obs::Snapshot {
+                rows: vec![
+                    (
+                        "shard.op.latency".into(),
+                        scq_obs::Value::Histogram(scq_obs::HistogramSnapshot {
+                            buckets: std::array::from_fn(|i| (i as u64) % 5),
+                            sum_us: 12_345,
+                        }),
+                    ),
+                    ("shard.ops".into(), scq_obs::Value::Counter(42)),
+                    ("shard.queue.depth".into(), scq_obs::Value::Gauge(-3)),
+                ],
+            }),
             Response::Err("no such collection".into()),
         ]
     }
@@ -1142,6 +1292,42 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn nested_traced_requests_are_rejected() {
+        let payload = encode_request(&Request::Traced {
+            trace_id: 9,
+            inner: Box::new(Request::Stat),
+        });
+        // Hand-build Traced(Traced(Stat)): the decoder must name the
+        // nesting, not recurse forever or accept it.
+        let mut outer = Vec::new();
+        outer.put_u8(OP_TRACED);
+        outer.put_u64_le(8);
+        outer.put_u32_le(payload.len() as u32);
+        outer.put_slice(&payload);
+        assert!(matches!(
+            decode_request(&outer).err(),
+            Some(WireError::Unexpected(_))
+        ));
+    }
+
+    #[test]
+    fn traced_round_trips_the_inner_request_exactly() {
+        for inner in [
+            Request::Stat,
+            Request::Metrics,
+            Request::Create { name: "t".into() },
+        ] {
+            let req = Request::Traced {
+                trace_id: u64::MAX,
+                inner: Box::new(inner),
+            };
+            let payload = encode_request(&req);
+            assert_eq!(payload[0], OP_TRACED);
+            assert_eq!(decode_request(&payload).unwrap(), req);
         }
     }
 

@@ -85,6 +85,7 @@ fn main() {
         shards: 4,
         threads: 2,
         universe_size: 1000.0,
+        ..Default::default()
     })
     .unwrap();
     println!("\nscq-serve listening on {}", handle.addr());

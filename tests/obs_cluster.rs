@@ -1,0 +1,193 @@
+//! End-to-end observability acceptance: a router tier fronting two
+//! shard server processes answers `METRICS` with Prometheus-style
+//! exposition carrying per-command latency histograms from **both**
+//! tiers, and `TRACE <id>` for a cross-shard query replays a span tree
+//! naming each probed shard with per-span durations. A [`FaultProxy`]
+//! partition in front of shard 0's primary forces one deterministic
+//! replica failover, which must surface as an event in the query's
+//! trace.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use scq_region::AaBox;
+use scq_serve::{body_lines, serve_db, ServerConfig};
+use scq_shard::{BreakerConfig, ClusterSpec, FaultProxy, ShardServerConfig, ShardServerHandle};
+
+const UNIVERSE_SIZE: f64 = 100.0;
+
+fn boot_server() -> ShardServerHandle {
+    scq_shard::serve_shard(&ShardServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        universe_size: UNIVERSE_SIZE,
+        ..ShardServerConfig::default()
+    })
+    .expect("bind shard server")
+}
+
+/// One line-protocol exchange; multi-line responses (`lines=` in the
+/// header) are consumed whole.
+fn exchange(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    cmd: &str,
+) -> (String, Vec<String>) {
+    writer
+        .write_all(format!("{cmd}\n").as_bytes())
+        .expect("send");
+    writer.flush().expect("flush");
+    let mut head = String::new();
+    reader.read_line(&mut head).expect("read header");
+    let head = head.trim_end().to_string();
+    let body = (0..body_lines(&head).unwrap_or(0))
+        .map(|_| {
+            let mut l = String::new();
+            reader.read_line(&mut l).expect("read body line");
+            l.trim_end().to_string()
+        })
+        .collect();
+    (head, body)
+}
+
+fn trace_id_of(response: &str) -> u64 {
+    response
+        .split_whitespace()
+        .find_map(|f| f.strip_prefix("trace="))
+        .unwrap_or_else(|| panic!("no trace id in {response:?}"))
+        .parse()
+        .expect("numeric trace id")
+}
+
+#[test]
+fn cluster_metrics_and_traces_cover_both_tiers_and_record_a_forced_failover() {
+    // Topology: shard 0 = [fault proxy → primary, plain secondary],
+    // shard 1 = single replica. The proxy is the only reach to shard
+    // 0's primary, so a partition forces the failover deterministically.
+    let primary0 = boot_server();
+    let secondary0 = boot_server();
+    let shard1 = boot_server();
+    let proxy = FaultProxy::start(&primary0.addr().to_string()).expect("bind proxy");
+    let universe = AaBox::new([0.0, 0.0], [UNIVERSE_SIZE, UNIVERSE_SIZE]);
+    let mut spec = ClusterSpec::balanced_replicated(
+        universe,
+        scq_shard::DEFAULT_ROUTER_BITS,
+        &[
+            vec![proxy.addr().to_string(), secondary0.addr().to_string()],
+            vec![shard1.addr().to_string()],
+        ],
+    );
+    // One partition must mean one failover, never a tripped breaker.
+    spec.breaker = BreakerConfig {
+        threshold: 100,
+        cooldown: Duration::from_secs(3600),
+    };
+    let db = spec.connect(Duration::from_secs(10)).expect("connect");
+    let router = serve_db(
+        &ServerConfig {
+            threads: 2,
+            universe_size: UNIVERSE_SIZE,
+            ..ServerConfig::default()
+        },
+        db,
+    )
+    .expect("bind router");
+
+    let stream = TcpStream::connect(router.addr()).expect("connect router");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut run = |cmd: &str| exchange(&mut reader, &mut writer, cmd);
+
+    run("CREATE objs");
+    // Low corner → shard 0, high corner → shard 1: a broad query must
+    // probe both processes.
+    run("INSERT objs 5 5 10 10");
+    run("INSERT objs 90 90 95 95");
+    run("INSERT objs 8 80 12 85");
+
+    // ── healthy cross-shard query: span tree names every shard ──────
+    let (q, _) = run("QUERY objs rtree overlaps 0 0 100 100");
+    assert!(q.starts_with("OK n=3"), "healthy query: {q:?}");
+    let (head, spans) = run(&format!("TRACE {}", trace_id_of(&q)));
+    assert!(head.starts_with("OK trace="), "trace header: {head:?}");
+    for shard in ["shard=0", "shard=1"] {
+        assert!(
+            spans
+                .iter()
+                .any(|l| l.trim_start().starts_with("probe ") && l.contains(shard)),
+            "span tree must name {shard}: {spans:?}"
+        );
+    }
+    assert!(
+        spans.iter().all(|l| l.contains("dur=")),
+        "every span carries its duration: {spans:?}"
+    );
+
+    // ── METRICS: per-command latency histograms from both tiers ─────
+    let (head, body) = run("METRICS");
+    assert!(head.starts_with("OK lines="), "metrics header: {head:?}");
+    let samples = scq_obs::parse_exposition(&body.join("\n")).expect("scrape parses");
+    let latency_count = |pred: &dyn Fn(&scq_obs::Sample) -> bool| -> f64 {
+        samples
+            .iter()
+            .filter(|s| s.name.ends_with("_latency_us_count") && pred(s))
+            .map(|s| s.value)
+            .sum()
+    };
+    assert!(
+        latency_count(
+            &|s| s.name == "serve_query_latency_us_count" && s.labels.contains("tier=\"serve\"")
+        ) >= 1.0,
+        "serve tier must expose the QUERY latency histogram"
+    );
+    for shard in ["shard=\"0\"", "shard=\"1\""] {
+        assert!(
+            latency_count(&|s| s.labels.contains("tier=\"shard\"") && s.labels.contains(shard))
+                >= 1.0,
+            "shard tier ({shard}) must expose per-op latency histograms"
+        );
+    }
+    // The happy path must scrape clean: no failovers, no retries, no
+    // slow queries yet.
+    for counter in ["serve_failovers", "serve_retries", "serve_slow_queries"] {
+        let v = samples
+            .iter()
+            .find(|s| s.name == counter && s.labels.contains("tier=\"serve\""))
+            .unwrap_or_else(|| panic!("{counter} missing from the scrape"))
+            .value;
+        assert_eq!(v, 0.0, "{counter} must be 0 before the partition");
+    }
+
+    // ── partition the primary: the failover lands in the trace ──────
+    proxy.partition();
+    let (q, _) = run("QUERY objs rtree overlaps 0 0 100 100");
+    assert!(
+        q.starts_with("OK n=3"),
+        "the secondary keeps the answer complete: {q:?}"
+    );
+    let (_, spans) = run(&format!("TRACE {}", trace_id_of(&q)));
+    let failover = spans
+        .iter()
+        .find(|l| l.trim_start().starts_with("failover"))
+        .unwrap_or_else(|| panic!("no failover event in {spans:?}"));
+    assert!(
+        failover.contains(&proxy.addr().to_string()),
+        "the failover event names the dead primary: {failover:?}"
+    );
+
+    let (_, body) = run("METRICS");
+    let samples = scq_obs::parse_exposition(&body.join("\n")).expect("scrape parses");
+    let failovers = samples
+        .iter()
+        .find(|s| s.name == "serve_failovers")
+        .expect("failover counter")
+        .value;
+    assert!(failovers >= 1.0, "the forced failover must be counted");
+
+    run("QUIT");
+    router.shutdown();
+    primary0.shutdown();
+    secondary0.shutdown();
+    shard1.shutdown();
+}
