@@ -755,6 +755,228 @@ fn smoke(path: &str) {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    // Multiplexed wire-protocol rows, measured over real sockets.
+    // `mux_inflight_depth` is deterministic, not statistical: a
+    // FaultProxy gate parks 8 query frames at once, so the row proves
+    // 8 requests were simultaneously in flight on ONE multiplexed
+    // connection (floor-gated — the depth must never decay).
+    // `stream_chunks` counts the MUX_CHUNK frames of a multi-megabyte
+    // snapshot answer on a raw v4 session (floor-gated — the server
+    // must keep streaming chunked answers, not regress to
+    // buffer-and-send). `mux_district_p99_us` is the district tail
+    // latency through a real 2-shard remote cluster — the same query
+    // as `sharded_district_p99_us`, but over the multiplexed wire.
+    {
+        use scq_shard::wire;
+        use scq_shard::{
+            serve_shard, ClusterSpec, Direction, FaultAction, FaultGate, FaultProxy, FaultRule,
+            FrameMatch, ProbeTrace, RemoteShard, ShardBackend, ShardServerConfig,
+        };
+        use std::io::Write;
+        use std::time::Duration;
+
+        let universe = AaBox::new([0.0, 0.0], [1000.0, 1000.0]);
+        let server = serve_shard(&ShardServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            universe_size: 1000.0,
+            ..ShardServerConfig::default()
+        })
+        .expect("bind shard server");
+        let proxy = FaultProxy::start(&server.addr().to_string()).expect("bind proxy");
+        let mut remote =
+            RemoteShard::connect(&proxy.addr().to_string(), universe, Duration::from_secs(5))
+                .expect("connect through the proxy");
+        let c = remote.create_collection("objs").expect("create");
+        remote
+            .insert(c, Region::from_box(AaBox::new([10.0, 10.0], [15.0, 15.0])))
+            .expect("insert");
+
+        let gate = FaultGate::new();
+        proxy.inject(FaultRule {
+            direction: Direction::ClientToServer,
+            matches: FrameMatch::Opcode(wire::OP_QUERY),
+            action: FaultAction::Hold(gate.clone()),
+            remaining: 8,
+            skip: 0,
+        });
+        {
+            let remote = &remote;
+            std::thread::scope(|scope| {
+                let waiters: Vec<_> = (0..8)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            remote
+                                .try_corner_query(
+                                    c,
+                                    IndexKind::RTree,
+                                    &scq_bbox::CornerQuery::unconstrained(),
+                                    &mut out,
+                                    &mut ProbeTrace::default(),
+                                )
+                                .expect("held query completes once the gate opens");
+                            out.len()
+                        })
+                    })
+                    .collect();
+                assert!(
+                    gate.wait_for_holding(8, Duration::from_secs(30)),
+                    "8 concurrent queries must park at the gate (holding = {})",
+                    gate.holding()
+                );
+                gate.open();
+                for w in waiters {
+                    assert_eq!(w.join().expect("no panic"), 1);
+                }
+            });
+        }
+        let stats = remote.pool_stats();
+        assert_eq!(
+            stats.created, 1,
+            "one connection must carry the whole depth: {stats:?}"
+        );
+        rows.push(("mux_inflight_depth", stats.peak_in_flight as f64));
+
+        // Push the snapshot past several chunks with fat (64-box)
+        // regions, then count the stream frames on a raw socket.
+        for i in 0..2000u64 {
+            let x = (i % 40) as f64 * 2.0;
+            let y = (i / 40) as f64 * 2.0;
+            let cells = (0..64u64).map(|j| {
+                let fx = x + (j % 8) as f64 * 0.2;
+                let fy = y + (j / 8) as f64 * 0.2;
+                AaBox::new([fx, fy], [fx + 0.1, fy + 0.1])
+            });
+            remote
+                .insert(c, Region::from_boxes(cells))
+                .expect("insert fat region");
+        }
+        let mut sock = std::net::TcpStream::connect(server.addr()).expect("raw connect");
+        sock.write_all(
+            &wire::frame(&wire::encode_request(&wire::Request::Hello {
+                version: wire::WIRE_VERSION,
+            }))
+            .expect("frame hello"),
+        )
+        .expect("send hello");
+        let hello = wire::read_frame(&mut sock)
+            .expect("read hello")
+            .expect("hello reply");
+        match wire::decode_response(&hello).expect("decode hello") {
+            wire::Response::Hello { version } => assert!(version >= wire::MUX_MIN_VERSION),
+            other => panic!("unexpected handshake reply: {other:?}"),
+        }
+        sock.write_all(
+            &wire::frame(&wire::encode_mux(
+                wire::MUX_REQ,
+                1,
+                &wire::encode_request(&wire::Request::SnapshotRead),
+            ))
+            .expect("frame snapshot request"),
+        )
+        .expect("send snapshot request");
+        let mut chunks = 0u64;
+        let mut streamed = 0usize;
+        loop {
+            let payload = wire::read_frame(&mut sock)
+                .expect("read stream frame")
+                .expect("stream must end with MUX_END, not EOF");
+            let f = wire::decode_mux(&payload).expect("mux frame");
+            assert_eq!(f.id, 1, "stream frames carry the request id");
+            match f.kind {
+                wire::MUX_CHUNK => {
+                    chunks += 1;
+                    streamed += f.body.len();
+                }
+                wire::MUX_END => break,
+                wire::MUX_RESP => {
+                    panic!("a multi-megabyte answer must stream, got one MUX_RESP")
+                }
+                k => panic!("unexpected mux kind 0x{k:02X}"),
+            }
+        }
+        assert!(
+            chunks >= 2,
+            "snapshot must span chunks (got {chunks} chunks, {streamed} bytes)"
+        );
+        rows.push(("stream_chunks", chunks as f64));
+        drop(sock);
+        drop(remote);
+        drop(proxy);
+        server.shutdown();
+
+        // District tail latency over the wire: a 2-shard remote
+        // cluster on multiplexed connections, same workload and query
+        // shape as the in-process district rows.
+        let servers: Vec<_> = (0..2)
+            .map(|_| {
+                serve_shard(&ShardServerConfig {
+                    addr: "127.0.0.1:0".into(),
+                    threads: 2,
+                    universe_size: 1000.0,
+                    ..ShardServerConfig::default()
+                })
+                .expect("bind cluster shard")
+            })
+            .collect();
+        let addrs: Vec<String> = servers.iter().map(|s| s.addr().to_string()).collect();
+        let spec = ClusterSpec::balanced(universe, 6, &addrs);
+        let mut rdb = spec
+            .connect(Duration::from_secs(15))
+            .expect("connect cluster");
+        let mut plain = scq_engine::SpatialDatabase::new(universe);
+        let w = scq_engine::workload::map_workload(
+            &mut plain,
+            1120,
+            &scq_engine::workload::MapParams {
+                n_states: 8,
+                n_towns: 30,
+                n_roads: 120,
+                useful_road_fraction: 0.05,
+            },
+        );
+        for coll in plain.collections() {
+            let dst = rdb.collection(plain.collection_name(coll));
+            assert_eq!(dst, coll, "collection ids stay aligned");
+            for index in plain.object_indices(coll) {
+                let obj = scq_engine::ObjectRef {
+                    collection: coll,
+                    index,
+                };
+                rdb.insert(dst, plain.region(obj).clone());
+            }
+        }
+        let district_sys = scq_core::parse_system("T <= W; R & T != 0").expect("parses");
+        let rdq = scq_engine::Query::new(district_sys)
+            .known(
+                "W",
+                Region::from_box(AaBox::new([100.0, 100.0], [360.0, 360.0])),
+            )
+            .from_collection("T", w.towns)
+            .from_collection("R", w.roads);
+        let hist = scq_obs::Histogram::new();
+        for _ in 0..32 {
+            let t0 = std::time::Instant::now();
+            let res =
+                scq_shard::execute(&rdb, &rdq, IndexKind::RTree, scq_engine::ExecOptions::all())
+                    .expect("remote district query");
+            assert!(
+                !res.outcome.is_partial(),
+                "remote district query must be complete"
+            );
+            hist.observe(t0.elapsed());
+        }
+        rows.push((
+            "mux_district_p99_us",
+            hist.snapshot().quantile_us(0.99) as f64,
+        ));
+        drop(rdb);
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
     let mut json = String::from("{\n  \"schema\": 1,\n  \"preset\": \"ci\",\n  \"benches\": [\n");
     for (i, (name, ms)) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
@@ -778,21 +1000,291 @@ fn gate(baseline_path: &str, current_path: &str, factor: f64) {
             .unwrap_or_else(|e| panic!("read bench artifact {path}: {e}"));
         scq_bench::parse_bench_json(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
     };
-    match scq_bench::gate_benches(&read(baseline_path), &read(current_path), factor) {
-        Ok(report) => {
-            for line in report {
-                println!("{line}");
-            }
-            println!("bench gate passed ({factor}x tolerance vs {baseline_path})");
-        }
-        Err(violations) => {
-            for line in violations {
-                eprintln!("REGRESSION: {line}");
-            }
-            eprintln!("bench gate FAILED ({factor}x tolerance vs {baseline_path})");
-            std::process::exit(1);
+    let gate_rows = scq_bench::gate_rows(&read(baseline_path), &read(current_path), factor);
+    let failed = gate_rows.iter().filter(|r| !r.passed).count();
+    for r in &gate_rows {
+        if r.passed {
+            println!("{}", r.detail);
+        } else {
+            eprintln!("REGRESSION: {}", r.detail);
         }
     }
+    step_summary(&gate_rows, baseline_path, factor, failed);
+    if failed > 0 {
+        eprintln!("bench gate FAILED ({factor}x tolerance vs {baseline_path})");
+        std::process::exit(1);
+    }
+    println!("bench gate passed ({factor}x tolerance vs {baseline_path})");
+}
+
+/// Appends the gate's per-row pass/fail table to the file named by
+/// `$GITHUB_STEP_SUMMARY` when set, so a CI run shows the verdicts on
+/// the workflow summary page without digging through logs. A missing
+/// or unwritable summary file never fails the gate — the gate's
+/// verdict is the exit code, the table is a courtesy.
+fn step_summary(rows: &[scq_bench::GateRow], baseline_path: &str, factor: f64, failed: usize) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut md = format!(
+        "### Bench gate ({factor}x tolerance vs `{baseline_path}`)\n\n\
+         | row | status | detail |\n|---|---|---|\n"
+    );
+    for r in rows {
+        let status = if r.passed { "✅ pass" } else { "❌ FAIL" };
+        let prefix = format!("{}: ", r.name);
+        let detail = r.detail.strip_prefix(&prefix).unwrap_or(&r.detail);
+        md.push_str(&format!("| `{}` | {status} | {detail} |\n", r.name));
+    }
+    md.push_str(&format!(
+        "\n**{}** rows checked, **{failed}** failing.\n\n",
+        rows.len()
+    ));
+    use std::io::Write;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        Ok(mut f) => {
+            if let Err(e) = f.write_all(md.as_bytes()) {
+                eprintln!("write step summary {path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("open step summary {path}: {e}"),
+    }
+}
+
+/// Open file descriptors of this process, via `/proc` (Linux-only, the
+/// only platform CI runs on). 0 when `/proc` is unavailable, which
+/// disables the leak assertion rather than failing it spuriously.
+fn count_fds() -> usize {
+    std::fs::read_dir("/proc/self/fd")
+        .map(|d| d.count())
+        .unwrap_or(0)
+}
+
+/// Live threads of this process, from `/proc/self/status`.
+fn count_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// `--soak [seconds]`: the CI soak driver. Boots a 2-shard WAL-backed
+/// cluster behind FaultProxies, runs 64 concurrent query clients over
+/// multiplexed connections while the proxies garble and sever streamed
+/// response frames, and then proves the damage stayed contained:
+/// healed answers equal the pre-fault oracle, every shard's integrity
+/// check is clean, at least one connection carried ≥8 requests in
+/// flight, no file descriptors or threads leaked, and both WALs reopen
+/// with zero torn tails. Panics (nonzero exit) on any violation.
+fn soak(budget_secs: u64) {
+    use scq_shard::{
+        serve_shard, ClusterSpec, Direction, FaultAction, FaultProxy, FaultRule, FrameMatch,
+        ShardBackend, ShardServerConfig, Wal, WalConfig,
+    };
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    let t_start = Instant::now();
+    let universe = AaBox::new([0.0, 0.0], [1000.0, 1000.0]);
+    let base = std::env::temp_dir().join(format!("scq_soak_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let mut servers = Vec::new();
+    let mut proxies = Vec::new();
+    for i in 0..2 {
+        let mut wal = WalConfig::new(base.join(format!("wal{i}")));
+        wal.group_commit = Duration::from_millis(25);
+        let server = serve_shard(&ShardServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            universe_size: 1000.0,
+            wal: Some(wal),
+            ..ShardServerConfig::default()
+        })
+        .expect("bind soak shard");
+        proxies.push(FaultProxy::start(&server.addr().to_string()).expect("bind soak proxy"));
+        servers.push(server);
+    }
+    let addrs: Vec<String> = proxies.iter().map(|p| p.addr().to_string()).collect();
+    let spec = ClusterSpec::balanced(universe, 6, &addrs);
+    let mut db = spec
+        .connect(Duration::from_secs(15))
+        .expect("connect soak cluster");
+
+    // Clean mutation phase: a deterministic fixture, no faults. The
+    // fault phase below is read-only — reads retry transparently,
+    // mutations never do, so corrupting a mutation's reply would turn
+    // a transport fault into a (correct but noisy) client error.
+    let towns = db.collection("towns");
+    let roads = db.collection("roads");
+    for i in 0..400u64 {
+        let x = (i % 20) as f64 * 48.0 + 4.0;
+        let y = (i / 20) as f64 * 48.0 + 4.0;
+        db.insert(
+            towns,
+            Region::from_box(AaBox::new([x, y], [x + 6.0, y + 6.0])),
+        );
+        db.insert(
+            roads,
+            Region::from_box(AaBox::new([x - 2.0, y + 1.0], [x + 10.0, y + 2.5])),
+        );
+    }
+    let sys = scq_core::parse_system("T <= W; R & T != 0").expect("parses");
+    let dq = scq_engine::Query::new(sys)
+        .known(
+            "W",
+            Region::from_box(AaBox::new([100.0, 100.0], [360.0, 360.0])),
+        )
+        .from_collection("T", towns)
+        .from_collection("R", roads);
+    let run = |db: &scq_shard::ShardedDatabase<scq_shard::RemoteShard>| {
+        scq_shard::execute(db, &dq, IndexKind::RTree, scq_engine::ExecOptions::all())
+    };
+    let oracle = run(&db).expect("clean oracle query");
+    assert!(!oracle.outcome.is_partial(), "oracle must be complete");
+    let oracle_solutions = oracle.solutions.len();
+    assert!(oracle_solutions > 0, "the soak query must select something");
+    for s in 0..db.n_shards() {
+        for h in ShardBackend::health(db.backend(s)) {
+            assert_eq!(
+                h.stats.created, 1,
+                "the clean phase must multiplex on one connection per shard: {h:?}"
+            );
+            assert!(h.stats.wire_version >= 4, "soak speaks v4: {h:?}");
+        }
+    }
+
+    // Leak baseline: everything long-lived (servers, proxies, one mux
+    // connection per shard with its reader thread) already exists.
+    let fd_baseline = count_fds();
+    let thread_baseline = count_threads();
+
+    let queries_done = AtomicUsize::new(0);
+    let mut rounds = 0u64;
+    let budget = Duration::from_secs(budget_secs);
+    while rounds == 0 || t_start.elapsed() < budget {
+        rounds += 1;
+        for p in &proxies {
+            // Transport faults only: a mid-frame close (Truncate) and
+            // outright severs. Both surface as transport errors, which
+            // the degraded-read path retries or reports as Partial.
+            // Garble is deliberately absent here — a corrupted-but-
+            // complete frame is a *protocol* error, which the router
+            // treats as a bug (panic), not as weather; it has its own
+            // scoped unit tests.
+            p.inject(FaultRule {
+                direction: Direction::ServerToClient,
+                matches: FrameMatch::Any,
+                action: FaultAction::Truncate { keep: 100 },
+                remaining: 2,
+                skip: 3,
+            });
+            p.inject(FaultRule {
+                direction: Direction::ServerToClient,
+                matches: FrameMatch::Any,
+                action: FaultAction::Sever,
+                remaining: 2,
+                skip: 40,
+            });
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..64 {
+                let db = &db;
+                let queries_done = &queries_done;
+                let run = &run;
+                scope.spawn(move || {
+                    for _ in 0..4 {
+                        // Degraded (partial or failed) reads are
+                        // expected mid-fault; what matters is the
+                        // post-heal convergence check below.
+                        let _ = run(db);
+                        queries_done.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        for p in &proxies {
+            p.clear_rules();
+            p.heal();
+        }
+        let verdict = run(&db).expect("query after faults heal");
+        assert!(
+            !verdict.outcome.is_partial(),
+            "healed cluster must answer completely (round {rounds})"
+        );
+        assert_eq!(
+            verdict.solutions.len(),
+            oracle_solutions,
+            "faults must never change answers (round {rounds})"
+        );
+    }
+
+    // Zero desyncs: every shard's integrity check stays clean.
+    for s in 0..db.n_shards() {
+        let complaints = db.backend(s).check();
+        assert!(complaints.is_empty(), "shard {s} integrity: {complaints:?}");
+    }
+    let peak = (0..db.n_shards())
+        .flat_map(|s| ShardBackend::health(db.backend(s)))
+        .map(|h| h.stats.peak_in_flight)
+        .max()
+        .unwrap_or(0);
+    assert!(
+        peak >= 8,
+        "64 clients over 2 shards must drive ≥8 concurrent in-flight requests (peak {peak})"
+    );
+
+    // Leak check: severed connections' reader and proxy pump threads
+    // must exit and their sockets close. Poll briefly — thread exit is
+    // asynchronous — then fail hard.
+    let mut settled = false;
+    for _ in 0..100 {
+        if count_fds() <= fd_baseline && count_threads() <= thread_baseline {
+            settled = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert!(
+        settled,
+        "leaked fds or threads: fds {} (baseline {fd_baseline}), threads {} (baseline {thread_baseline})",
+        count_fds(),
+        count_threads()
+    );
+
+    drop(db);
+    drop(proxies);
+    for s in servers {
+        s.shutdown();
+    }
+    // Durability: both WALs reopen with zero torn tails after the
+    // whole fault schedule.
+    for i in 0..2 {
+        let cfg = WalConfig::new(base.join(format!("wal{i}")));
+        let (wal, _db) = Wal::open(&cfg, universe).expect("reopen soak wal");
+        let stats = wal.stats();
+        assert_eq!(
+            stats.torn_tails, 0,
+            "soak wal {i} must reopen with zero torn tails: {stats:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    println!(
+        "soak passed: {rounds} fault rounds, {} queries, peak in-flight {peak}, \
+         fds/threads back to baseline ({fd_baseline}/{thread_baseline}), zero torn tails",
+        queries_done.load(Ordering::Relaxed)
+    );
 }
 
 fn main() {
@@ -804,6 +1296,11 @@ fn main() {
         };
         let factor = args.get(i + 3).and_then(|f| f.parse().ok()).unwrap_or(10.0);
         gate(baseline, current, factor);
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--soak") {
+        let budget = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(90);
+        soak(budget);
         return;
     }
     if let Some(i) = args.iter().position(|a| a == "--smoke") {

@@ -249,14 +249,52 @@ pub fn gate_benches(
     current: &[BenchRow],
     factor: f64,
 ) -> Result<Vec<String>, Vec<String>> {
+    let rows = gate_rows(baseline, current, factor);
+    let failed: Vec<String> = rows
+        .iter()
+        .filter(|r| !r.passed)
+        .map(|r| r.detail.clone())
+        .collect();
+    if failed.is_empty() {
+        Ok(rows.into_iter().map(|r| r.detail).collect())
+    } else {
+        Err(failed)
+    }
+}
+
+/// One baseline row's gate verdict: the row name, a human-readable
+/// detail line, and whether it passed. This is the structured form
+/// behind [`gate_benches`], kept separate so callers can render a
+/// per-row pass/fail table (the CI step summary) without re-parsing
+/// the report strings.
+pub struct GateRow {
+    /// The bench row's name.
+    pub name: String,
+    /// The rendered comparison (`name: value vs baseline …`).
+    pub detail: String,
+    /// Whether the row is within its gate.
+    pub passed: bool,
+}
+
+/// Evaluates every baseline row against the current artifact. See
+/// [`gate_benches`] for the row classification rules.
+pub fn gate_rows(baseline: &[BenchRow], current: &[BenchRow], factor: f64) -> Vec<GateRow> {
     const NOISE_FLOOR_MS: f64 = 0.25;
-    let mut report = Vec::new();
-    let mut violations = Vec::new();
+    let mut rows = Vec::new();
+    let mut push = |name: &str, detail: String, passed: bool| {
+        rows.push(GateRow {
+            name: name.to_string(),
+            detail,
+            passed,
+        });
+    };
     for (name, base) in baseline {
         let Some((_, cur)) = current.iter().find(|(n, _)| n == name) else {
-            violations.push(format!(
-                "{name}: present in the baseline, missing from the run"
-            ));
+            push(
+                name,
+                format!("{name}: present in the baseline, missing from the run"),
+                false,
+            );
             continue;
         };
         let is_ceiling = name.ends_with("_retries")
@@ -269,11 +307,17 @@ pub fn gate_benches(
         if name.ends_with("_ms") {
             let limit = base * factor;
             if *cur > limit && cur - base > NOISE_FLOOR_MS {
-                violations.push(format!(
-                    "{name}: {cur:.4} ms exceeds {factor}x baseline ({base:.4} ms)"
-                ));
+                push(
+                    name,
+                    format!("{name}: {cur:.4} ms exceeds {factor}x baseline ({base:.4} ms)"),
+                    false,
+                );
             } else {
-                report.push(format!("{name}: {cur:.4} ms (baseline {base:.4} ms) ok"));
+                push(
+                    name,
+                    format!("{name}: {cur:.4} ms (baseline {base:.4} ms) ok"),
+                    true,
+                );
             }
         } else if name.ends_with("_us") {
             // Histogram-derived latency quantiles: same factor gate as
@@ -281,30 +325,41 @@ pub fn gate_benches(
             // floor in this unit.
             let limit = base * factor;
             if *cur > limit && cur - base > NOISE_FLOOR_MS * 1000.0 {
-                violations.push(format!(
-                    "{name}: {cur:.1} us exceeds {factor}x baseline ({base:.1} us)"
-                ));
+                push(
+                    name,
+                    format!("{name}: {cur:.1} us exceeds {factor}x baseline ({base:.1} us)"),
+                    false,
+                );
             } else {
-                report.push(format!("{name}: {cur:.1} us (baseline {base:.1} us) ok"));
+                push(
+                    name,
+                    format!("{name}: {cur:.1} us (baseline {base:.1} us) ok"),
+                    true,
+                );
             }
         } else if is_ceiling && cur > base {
-            violations.push(format!(
-                "{name}: {cur} exceeds the baseline {base} (a failure counter must stay at its \
-                 happy-path value)"
-            ));
+            push(
+                name,
+                format!(
+                    "{name}: {cur} exceeds the baseline {base} (a failure counter must stay at \
+                     its happy-path value)"
+                ),
+                false,
+            );
         } else if !is_ceiling && cur < base {
-            violations.push(format!(
-                "{name}: {cur} fell below the baseline {base} (a pruning/count row must not decay)"
-            ));
+            push(
+                name,
+                format!(
+                    "{name}: {cur} fell below the baseline {base} (a pruning/count row must not \
+                     decay)"
+                ),
+                false,
+            );
         } else {
-            report.push(format!("{name}: {cur} (baseline {base}) ok"));
+            push(name, format!("{name}: {cur} (baseline {base}) ok"), true);
         }
     }
-    if violations.is_empty() {
-        Ok(report)
-    } else {
-        Err(violations)
-    }
+    rows
 }
 
 #[cfg(test)]

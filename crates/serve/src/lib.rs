@@ -6,11 +6,21 @@
 //! The server speaks a **line-oriented text protocol** over TCP
 //! (`std::net` only — no async runtime, no framing library): one
 //! command per line in, one response line out, every response starting
-//! with `OK` or `ERR`. A fixed pool of worker threads shares one
-//! listener; each worker serves one connection at a time. The database
-//! sits behind an `RwLock`, so queries run concurrently across
-//! connections while mutations serialize — the classic
-//! read-mostly serving posture.
+//! with `OK` or `ERR`. Connection handling is a **readiness-driven
+//! event loop** (the same shape as the shard server's): one loop
+//! thread owns the nonblocking listener and every connection socket
+//! through an epoll instance, assembles lines, and hands complete
+//! commands to a worker pool ([`ServerConfig::threads`]) — commands
+//! must not run on the loop thread, because in cluster mode they do
+//! network I/O to the shard tier. Workers push finished response
+//! lines to a completion queue and wake the loop through a self-pipe;
+//! the loop writes them out, parking partial writes behind `EPOLLOUT`.
+//! Idle connections therefore cost a file descriptor each, not a
+//! thread each. Each connection runs one command at a time (pipelined
+//! lines queue), preserving the protocol's strict request/response
+//! order. The database sits behind an `RwLock`, so queries run
+//! concurrently across connections while mutations serialize — the
+//! classic read-mostly serving posture.
 //!
 //! # Protocol
 //!
@@ -95,13 +105,16 @@
 //! protocol server (`scq-serve --shard`). The command table is
 //! identical either way.
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use epoll::{Epoll, Event, WakePipe, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use scq_region::AaBox;
 use scq_shard::{ClusterSpec, LocalShard, ShardBackend, ShardedDatabase};
 
@@ -141,10 +154,12 @@ impl Default for ServerConfig {
     }
 }
 
-/// A running server: the bound address plus the worker pool.
+/// A running server: the bound address, the event-loop thread and its
+/// command worker pool.
 pub struct ServerHandle {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    shared: Arc<Shared>,
+    event_loop: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -154,17 +169,52 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops accepting, unblocks the workers and joins them.
+    /// Stops the event loop (closing every connection) and the worker
+    /// pool, and joins them all. The loop notices the stop flag at its
+    /// next wakeup — forced immediately through the wake pipe.
     pub fn shutdown(self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Poke the listener once per worker so blocked accepts return.
-        for _ in &self.workers {
-            let _ = TcpStream::connect(self.addr);
-        }
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.wake.wake();
+        self.shared.work.ready.notify_all();
+        let _ = self.event_loop.join();
         for w in self.workers {
             let _ = w.join();
         }
     }
+}
+
+/// State shared between the event loop and the worker pool. The
+/// database itself is NOT here: workers capture it directly, so the
+/// queue plumbing stays non-generic.
+struct Shared {
+    work: WorkQueue,
+    /// Finished response lines awaiting delivery by the loop thread.
+    done: Mutex<Vec<Completion>>,
+    wake: Arc<WakePipe>,
+    stop: AtomicBool,
+}
+
+struct WorkQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+}
+
+/// One complete command line's worth of work for the pool.
+struct Job {
+    /// The connection the response line goes back to.
+    token: u64,
+    /// The command, already stripped of its newline.
+    line: String,
+}
+
+/// A finished response on its way back through the loop thread.
+struct Completion {
+    token: u64,
+    /// The response, newline included (possibly multi-line: `METRICS`
+    /// and `TRACE` carry a body).
+    bytes: Vec<u8>,
+    /// Close the connection once these bytes flush (`QUIT`).
+    close: bool,
 }
 
 /// Starts the server over the classic in-process sharded store: binds,
@@ -186,83 +236,338 @@ pub fn serve_db<B: ShardBackend + 'static>(
     db: ShardedDatabase<B>,
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let db = Arc::new(RwLock::new(db));
     let ctx = Arc::new(ServeContext::new(config.slow_ms));
-    let stop = Arc::new(AtomicBool::new(false));
+    let epoll = Epoll::new()?;
+    let wake = Arc::new(WakePipe::new()?);
+    epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+    epoll.add(wake.read_fd(), EPOLLIN, TOKEN_WAKE)?;
+    let shared = Arc::new(Shared {
+        work: WorkQueue {
+            jobs: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        },
+        done: Mutex::new(Vec::new()),
+        wake,
+        stop: AtomicBool::new(false),
+    });
     let mut workers = Vec::new();
     for _ in 0..config.threads.max(1) {
-        let listener = listener.try_clone()?;
+        let shared = Arc::clone(&shared);
         let db = Arc::clone(&db);
         let ctx = Arc::clone(&ctx);
-        let stop = Arc::clone(&stop);
-        workers.push(std::thread::spawn(move || {
-            for conn in listener.incoming() {
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                match conn {
-                    Ok(stream) => serve_connection(stream, &db, &ctx, &stop),
-                    Err(_) => continue,
-                }
-            }
-        }));
+        workers.push(std::thread::spawn(move || worker_loop(&shared, &db, &ctx)));
     }
+    let loop_shared = Arc::clone(&shared);
+    let event_loop = std::thread::spawn(move || event_loop(listener, epoll, &loop_shared));
     Ok(ServerHandle {
         addr,
-        stop,
+        shared,
+        event_loop,
         workers,
     })
 }
 
-fn serve_connection<B: ShardBackend>(
+// ── the event loop ──────────────────────────────────────────────────────
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// A command line longer than this earns an error and a closed
+/// connection — the alternative is an unbounded input buffer.
+const MAX_LINE: usize = 1 << 20;
+
+/// Outbound bytes with a write cursor, so partially-flushed responses
+/// never shift their remaining bytes.
+#[derive(Default)]
+struct OutBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl OutBuf {
+    fn push(&mut self, bytes: &[u8]) {
+        if self.pos >= self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn unwritten(&self) -> &[u8] {
+        &self.buf[self.pos.min(self.buf.len())..]
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.pos += n;
+        if self.pos >= self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+    }
+}
+
+/// One connection's loop-side state.
+struct Conn {
     stream: TcpStream,
-    db: &Arc<RwLock<ShardedDatabase<B>>>,
-    ctx: &ServeContext,
-    stop: &AtomicBool,
-) {
-    // A bounded read timeout keeps shutdown() from hanging on a worker
-    // parked in read_line under an idle connection: the read wakes up
-    // periodically, notices the stop flag and closes.
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let mut writer = stream;
-    let mut line = String::new();
+    /// Raw inbound bytes not yet terminated by a newline.
+    inbuf: Vec<u8>,
+    out: OutBuf,
+    /// A command is executing; later complete lines wait in `pending`
+    /// so one-command-one-response ordering holds exactly.
+    busy: bool,
+    pending: VecDeque<String>,
+    /// Close once `out` drains; stop consuming inbound lines.
+    closing: bool,
+    /// `EPOLLOUT` currently registered.
+    wants_out: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            out: OutBuf::default(),
+            busy: false,
+            pending: VecDeque::new(),
+            closing: false,
+            wants_out: false,
+        }
+    }
+}
+
+fn event_loop(listener: TcpListener, epoll: Epoll, shared: &Shared) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = FIRST_CONN_TOKEN;
+    let mut events = [Event::new(0, 0); 64];
     loop {
-        if stop.load(Ordering::SeqCst) {
+        // The timeout is the shutdown heartbeat; the wake pipe makes
+        // completions (and shutdown itself) immediate, not 100ms late.
+        let n = epoll.wait(100, &mut events).unwrap_or(0);
+        if shared.stop.load(Ordering::SeqCst) {
+            // Dropping the map closes every socket.
             return;
         }
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client hung up
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // Idle tick: re-check the stop flag. `line` keeps any
-                // partial bytes already read, so a slow sender's
-                // command survives the timeout.
-                continue;
+        for ev in &events[..n] {
+            match ev.token() {
+                TOKEN_LISTENER => accept_ready(&listener, &epoll, &mut conns, &mut next_token),
+                TOKEN_WAKE => shared.wake.drain(),
+                token => {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue; // already closed earlier in this batch
+                    };
+                    if ev.events() & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0
+                        && !read_ready(conn, token, shared)
+                    {
+                        conns.remove(&token);
+                    }
+                    // EPOLLOUT needs no per-event work: the flush pass
+                    // below writes every connection with queued bytes.
+                }
             }
+        }
+        for done in std::mem::take(&mut *shared.done.lock().expect("completion queue")) {
+            deliver(&mut conns, shared, done);
+        }
+        // Flush pass: write what the sockets will take, keep EPOLLOUT
+        // registered exactly while bytes are queued, reap dead conns.
+        conns.retain(|&token, conn| {
+            if !flush(conn) {
+                return false;
+            }
+            let want = !conn.out.is_empty();
+            if want != conn.wants_out {
+                let interest = EPOLLIN | EPOLLRDHUP | (if want { EPOLLOUT } else { 0 });
+                if epoll
+                    .modify(conn.stream.as_raw_fd(), interest, token)
+                    .is_err()
+                {
+                    return false;
+                }
+                conn.wants_out = want;
+            }
+            true
+        });
+    }
+}
+
+fn accept_ready(
+    listener: &TcpListener,
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let token = *next_token;
+                *next_token += 1;
+                if epoll
+                    .add(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
+                    .is_err()
+                {
+                    continue;
+                }
+                conns.insert(token, Conn::new(stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => return,
-            Ok(_) => {}
         }
-        let cmd = line.trim();
-        if !cmd.is_empty() {
-            let (response, quit) = handle_command(db, ctx, cmd);
-            if writer.write_all(response.as_bytes()).is_err()
-                || writer.write_all(b"\n").is_err()
-                || writer.flush().is_err()
-            {
-                return;
-            }
-            if quit {
-                return;
-            }
+    }
+}
+
+/// Reads everything the socket has, assembling and dispatching complete
+/// lines. Returns `false` when the connection is dead and must be
+/// dropped.
+fn read_ready(conn: &mut Conn, token: u64, shared: &Shared) -> bool {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if conn.closing {
+            // Answered QUIT or a fatal error; ignore further input.
+            return true;
         }
-        line.clear();
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                // Peer hung up. A command already executing still
+                // finishes, but its answer has nowhere to go.
+                return false;
+            }
+            Ok(n) => {
+                conn.inbuf.extend_from_slice(&chunk[..n]);
+                dispatch_lines(conn, token, shared);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Splits every complete line out of the input buffer and dispatches
+/// it: straight to the pool when the connection is idle, queued behind
+/// the executing command otherwise.
+fn dispatch_lines(conn: &mut Conn, token: u64, shared: &Shared) {
+    while !conn.closing {
+        let Some(nl) = conn.inbuf.iter().position(|&b| b == b'\n') else {
+            if conn.inbuf.len() > MAX_LINE {
+                conn.out.push(b"ERR line too long\n");
+                conn.closing = true;
+            }
+            break;
+        };
+        let line = String::from_utf8_lossy(&conn.inbuf[..nl])
+            .trim()
+            .to_string();
+        conn.inbuf.drain(..=nl);
+        if line.is_empty() {
+            continue; // blank lines get no response, as before
+        }
+        if conn.busy {
+            conn.pending.push_back(line);
+        } else {
+            conn.busy = true;
+            enqueue(shared, Job { token, line });
+        }
+    }
+}
+
+fn enqueue(shared: &Shared, job: Job) {
+    shared.work.jobs.lock().expect("work queue").push_back(job);
+    shared.work.ready.notify_one();
+}
+
+/// Hands one finished response to its connection and releases the next
+/// queued line to the pool.
+fn deliver(conns: &mut HashMap<u64, Conn>, shared: &Shared, done: Completion) {
+    let Some(conn) = conns.get_mut(&done.token) else {
+        return; // connection died while the command ran
+    };
+    conn.out.push(&done.bytes);
+    if done.close {
+        conn.closing = true;
+        conn.pending.clear();
+    } else {
+        conn.busy = false;
+        if let Some(next) = conn.pending.pop_front() {
+            conn.busy = true;
+            enqueue(
+                shared,
+                Job {
+                    token: done.token,
+                    line: next,
+                },
+            );
+        }
+    }
+}
+
+/// Writes what the socket will take. Returns `false` when the
+/// connection is finished (dead socket, or `closing` fully flushed).
+fn flush(conn: &mut Conn) -> bool {
+    while !conn.out.is_empty() {
+        match conn.stream.write(conn.out.unwritten()) {
+            Ok(0) => return false,
+            Ok(n) => conn.out.consume(n),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    !(conn.closing && conn.out.is_empty())
+}
+
+// ── the worker pool ─────────────────────────────────────────────────────
+
+fn worker_loop<B: ShardBackend>(
+    shared: &Shared,
+    db: &Arc<RwLock<ShardedDatabase<B>>>,
+    ctx: &ServeContext,
+) {
+    loop {
+        let job = {
+            let mut jobs = shared.work.jobs.lock().expect("work queue");
+            loop {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                // The timeout is a belt-and-braces stop check; the
+                // shutdown notify_all makes exit immediate.
+                let (guard, _) = shared
+                    .work
+                    .ready
+                    .wait_timeout(jobs, Duration::from_millis(100))
+                    .expect("work queue");
+                jobs = guard;
+            }
+        };
+        let (response, quit) = handle_command(db, ctx, &job.line);
+        let mut bytes = response.into_bytes();
+        bytes.push(b'\n');
+        shared
+            .done
+            .lock()
+            .expect("completion queue")
+            .push(Completion {
+                token: job.token,
+                bytes,
+                close: quit,
+            });
+        shared.wake.wake();
     }
 }
 

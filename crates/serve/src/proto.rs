@@ -156,8 +156,12 @@ impl ServeContext {
 /// Renders the per-shard health section of a plain `STAT` response:
 /// one `shard<i>[…]` entry per shard so a single sick replica is
 /// visible from the front end. For remote backends each replica is
-/// listed as `addr,role,breaker,trips=<t>,conns=<created>/<discarded>/<idle>,sync`;
-/// local (in-process) shards have no transport and report `local`.
+/// listed as
+/// `addr,role,breaker,trips=<t>,conns=<created>/<discarded>/<idle>,sync,wire=v<n>`
+/// — the trailing token is the replica's **negotiated** protocol
+/// version (`v0` = never connected), how the conformance matrix proves
+/// a v4 router really talked v2 to an old shard; local (in-process)
+/// shards have no transport and report `local`.
 fn shard_health<B: ShardBackend>(d: &ShardedDatabase<B>) -> String {
     let health = (0..d.n_shards())
         .map(|s| {
@@ -169,7 +173,7 @@ fn shard_health<B: ShardBackend>(d: &ShardedDatabase<B>) -> String {
                 .iter()
                 .map(|r| {
                     format!(
-                        "{},{},{},trips={},conns={}/{}/{},{}",
+                        "{},{},{},trips={},conns={}/{}/{},{},wire=v{}",
                         r.addr,
                         if r.primary { "primary" } else { "replica" },
                         r.stats.breaker.as_str(),
@@ -177,7 +181,8 @@ fn shard_health<B: ShardBackend>(d: &ShardedDatabase<B>) -> String {
                         r.stats.created,
                         r.stats.discarded,
                         r.stats.idle,
-                        if r.desynced { "desynced" } else { "in-sync" }
+                        if r.desynced { "desynced" } else { "in-sync" },
+                        r.stats.wire_version
                     )
                 })
                 .collect::<Vec<_>>()

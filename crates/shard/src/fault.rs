@@ -31,7 +31,7 @@
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -48,23 +48,40 @@ pub enum Direction {
 }
 
 /// What a [`FaultRule`] matches a frame on.
+///
+/// Multiplexed (v4) frames move the interesting coordinates: many
+/// requests interleave on one connection, so "the nth frame" of a
+/// socket no longer identifies a request, and the opcode sits after
+/// the 9-byte mux header. The matcher follows: on a mux frame,
+/// [`FrameMatch::Nth`] keys on the **request id** (ids count up from
+/// 1 per connection) and [`FrameMatch::Opcode`] reads the byte after
+/// the header. Plain (v2/v3) frames keep the original meaning.
 #[derive(Clone, Copy, Debug)]
 pub enum FrameMatch {
     /// Every frame in the rule's direction.
     Any,
-    /// The nth frame (0-based) of a connection in the rule's direction.
+    /// Plain framing: the nth frame (0-based) of a connection in the
+    /// rule's direction. Mux framing: frames carrying request id `n`.
     Nth(usize),
-    /// Frames whose first payload byte equals the given opcode
-    /// (request frames start with their [`crate::wire`] opcode).
+    /// Frames whose opcode byte equals the given opcode — the first
+    /// payload byte on plain frames, the byte after the mux header on
+    /// multiplexed ones.
     Opcode(u8),
 }
 
 impl FrameMatch {
     fn matches(&self, frame_idx: usize, payload: &[u8]) -> bool {
+        let (ordinal, op) =
+            if crate::wire::is_mux(payload) && payload.len() >= crate::wire::MUX_HEADER {
+                let id = u64::from_le_bytes(payload[1..9].try_into().expect("8 id bytes"));
+                (id as usize, payload.get(crate::wire::MUX_HEADER).copied())
+            } else {
+                (frame_idx, payload.first().copied())
+            };
         match *self {
             FrameMatch::Any => true,
-            FrameMatch::Nth(n) => frame_idx == n,
-            FrameMatch::Opcode(op) => payload.first() == Some(&op),
+            FrameMatch::Nth(n) => ordinal == n,
+            FrameMatch::Opcode(wanted) => op == Some(wanted),
         }
     }
 }
@@ -94,7 +111,9 @@ pub enum FaultAction {
 }
 
 /// One scripted trigger: direction + matcher + action, armed for
-/// `remaining` matches (each match consumes one).
+/// `remaining` matches (each match consumes one). The first `skip`
+/// matches pass untouched before the rule arms — how a test lets the
+/// opening chunks of a streamed response through and severs mid-stream.
 #[derive(Clone)]
 pub struct FaultRule {
     /// Which traffic direction the rule watches.
@@ -105,6 +124,9 @@ pub struct FaultRule {
     pub action: FaultAction,
     /// How many matches the rule is armed for (`usize::MAX` ≈ forever).
     pub remaining: usize,
+    /// Matches to forward untouched before the rule starts acting
+    /// (0 = act on the first match).
+    pub skip: usize,
 }
 
 #[derive(Default)]
@@ -148,9 +170,17 @@ impl FaultGate {
     /// Blocks until a frame is parked at the gate (or `timeout` runs
     /// out). Returns whether a frame is held.
     pub fn wait_for_hold(&self, timeout: Duration) -> bool {
+        self.wait_for_holding(1, timeout)
+    }
+
+    /// Blocks until at least `n` frames are parked at the gate (or
+    /// `timeout` runs out). Returns whether `n` frames are held. This
+    /// is the deterministic in-flight-depth probe: park `n` requests,
+    /// prove the connection carried all of them concurrently, open.
+    pub fn wait_for_holding(&self, n: usize, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         let mut st = self.0.state.lock().expect("gate lock poisoned");
-        while st.holding == 0 && !st.open {
+        while st.holding < n && !st.open {
             let now = Instant::now();
             if now >= deadline {
                 return false;
@@ -162,23 +192,26 @@ impl FaultGate {
                 .expect("gate lock poisoned");
             st = guard;
         }
-        st.holding > 0
+        st.holding >= n
     }
 
-    /// Called by a proxy pump thread: parks until the gate opens (or
-    /// the proxy shuts down).
-    fn hold(&self, stop: &AtomicBool) {
+    /// Whether [`FaultGate::open`] has been called.
+    fn is_open(&self) -> bool {
+        self.0.state.lock().expect("gate lock poisoned").open
+    }
+
+    /// A pump thread parked one frame here (non-blocking: the pump
+    /// keeps forwarding other traffic while the frame waits).
+    fn park(&self) {
         let mut st = self.0.state.lock().expect("gate lock poisoned");
         st.holding += 1;
         self.0.cv.notify_all();
-        while !st.open && !stop.load(Ordering::SeqCst) {
-            let (guard, _) = self
-                .0
-                .cv
-                .wait_timeout(st, Duration::from_millis(100))
-                .expect("gate lock poisoned");
-            st = guard;
-        }
+    }
+
+    /// A parked frame left the gate (forwarded after `open`, or
+    /// dropped at pump shutdown).
+    fn unpark(&self) {
+        let mut st = self.0.state.lock().expect("gate lock poisoned");
         st.holding -= 1;
         self.0.cv.notify_all();
     }
@@ -193,15 +226,20 @@ struct ProxyShared {
     rules: Mutex<Vec<FaultRule>>,
     refuse_new: AtomicBool,
     stop: AtomicBool,
-    /// Stream clones of every live connection (both sides), so
-    /// [`FaultProxy::sever_all`] can kill them from outside.
-    conns: Mutex<Vec<TcpStream>>,
+    /// Stream clones of every live pump's read side, keyed by pump id,
+    /// so [`FaultProxy::sever_all`] can kill them from outside. Each
+    /// pump removes its own entry on exit — a long soak must not
+    /// accumulate dead sockets (file descriptors) here.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    next_pump: AtomicU64,
     severed: AtomicUsize,
     forwarded: [AtomicUsize; 2],
 }
 
 impl ProxyShared {
-    /// Finds and consumes the first armed rule matching this frame.
+    /// Finds and consumes the first armed rule matching this frame. A
+    /// rule still skipping lets the frame through untouched (and no
+    /// later rule sees it — the frame was claimed).
     fn match_rule(&self, dir: Direction, frame_idx: usize, payload: &[u8]) -> Option<FaultAction> {
         let mut rules = self.rules.lock().expect("rules lock poisoned");
         for rule in rules.iter_mut() {
@@ -209,6 +247,10 @@ impl ProxyShared {
                 && rule.direction == dir
                 && rule.matches.matches(frame_idx, payload)
             {
+                if rule.skip > 0 {
+                    rule.skip -= 1;
+                    return None;
+                }
                 rule.remaining -= 1;
                 return Some(rule.action.clone());
             }
@@ -238,6 +280,7 @@ impl FaultProxy {
             refuse_new: AtomicBool::new(false),
             stop: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
+            next_pump: AtomicU64::new(0),
             severed: AtomicUsize::new(0),
             forwarded: [AtomicUsize::new(0), AtomicUsize::new(0)],
         });
@@ -287,7 +330,7 @@ impl FaultProxy {
     /// Severs every live proxied connection right now.
     pub fn sever_all(&self) {
         let conns = self.shared.conns.lock().expect("conns lock poisoned");
-        for stream in conns.iter() {
+        for (_, stream) in conns.iter() {
             let _ = stream.shutdown(Shutdown::Both);
         }
     }
@@ -372,32 +415,72 @@ fn accept_loop(
         let (Ok(c2), Ok(s2)) = (client.try_clone(), server.try_clone()) else {
             continue;
         };
+        // Each pump registers its read side under its own id and
+        // deregisters on exit: sever_all() can always reach both
+        // directions of a live connection, and dead connections leave
+        // nothing behind.
+        let c2s = shared.next_pump.fetch_add(1, Ordering::SeqCst);
+        let s2c = shared.next_pump.fetch_add(1, Ordering::SeqCst);
         {
             let mut conns = shared.conns.lock().expect("conns lock poisoned");
             if let (Ok(c), Ok(s)) = (client.try_clone(), server.try_clone()) {
-                conns.push(c);
-                conns.push(s);
+                conns.push((c2s, c));
+                conns.push((s2c, s));
             }
         }
         let mut handles = pumps.lock().expect("pumps lock poisoned");
+        // Finished pump threads have nothing left to join; dropping
+        // their handles detaches nothing live and keeps this vec (and
+        // its thread bookkeeping) bounded across a long soak.
+        handles.retain(|h| !h.is_finished());
         {
             let shared = Arc::clone(shared);
             handles.push(std::thread::spawn(move || {
-                pump(client, server, Direction::ClientToServer, &shared)
+                run_pump(client, server, Direction::ClientToServer, &shared, c2s)
             }));
         }
         {
             let shared = Arc::clone(shared);
             handles.push(std::thread::spawn(move || {
-                pump(s2, c2, Direction::ServerToClient, &shared)
+                run_pump(s2, c2, Direction::ServerToClient, &shared, s2c)
             }));
         }
     }
 }
 
+/// Runs [`pump`], then deregisters the pump's stream clone and
+/// guarantees any gates still parked at exit are released, so a
+/// severed connection never leaves a test waiting on a `holding` count
+/// that can no longer drop.
+fn run_pump(src: TcpStream, dst: TcpStream, dir: Direction, shared: &ProxyShared, pump_id: u64) {
+    let mut parked = Vec::new();
+    pump(src, dst, dir, shared, &mut parked);
+    shared
+        .conns
+        .lock()
+        .expect("conns lock poisoned")
+        .retain(|(id, _)| *id != pump_id);
+    for (gate, _dropped_frame) in parked {
+        gate.unpark();
+    }
+}
+
 /// Forwards complete frames from `src` to `dst`, applying matched
-/// rules. Runs until a close, a sever, or proxy shutdown.
-fn pump(mut src: TcpStream, mut dst: TcpStream, dir: Direction, shared: &ProxyShared) {
+/// rules. Runs until a close, a sever, or proxy shutdown. Held frames
+/// park in `parked` **without blocking the pump** — later frames keep
+/// flowing past them (multiplexed connections carry many requests, and
+/// holding one must not convoy the rest) — and are flushed in arrival
+/// order once their gate opens. Frames still parked when the pump
+/// exits are dropped (severed with the connection); the caller unparks
+/// them.
+fn pump(
+    src: TcpStream,
+    mut dst: TcpStream,
+    dir: Direction,
+    shared: &ProxyShared,
+    parked: &mut Vec<(FaultGate, Vec<u8>)>,
+) {
+    let mut src = src;
     let _ = src.set_read_timeout(Some(Duration::from_millis(100)));
     let sever = |src: &TcpStream, dst: &TcpStream| {
         let _ = src.shutdown(Shutdown::Both);
@@ -432,10 +515,9 @@ fn pump(mut src: TcpStream, mut dst: TcpStream, dir: Direction, shared: &ProxySh
                     }
                 }
                 Some(FaultAction::Hold(gate)) => {
-                    gate.hold(&shared.stop);
-                    if shared.stop.load(Ordering::SeqCst) {
-                        return sever(&src, &dst);
-                    }
+                    gate.park();
+                    parked.push((gate, frame_bytes(&payload)));
+                    continue; // later frames flow past the held one
                 }
                 None => {}
             }
@@ -444,6 +526,20 @@ fn pump(mut src: TcpStream, mut dst: TcpStream, dir: Direction, shared: &ProxySh
             }
             shared.forwarded[dir_index(dir)].fetch_add(1, Ordering::SeqCst);
         }
+        // Flush parked frames whose gate has opened, in arrival order.
+        let mut still_parked = Vec::new();
+        for (gate, bytes) in parked.drain(..) {
+            if gate.is_open() {
+                gate.unpark();
+                if dst.write_all(&bytes).is_err() || dst.flush().is_err() {
+                    return sever(&src, &dst);
+                }
+                shared.forwarded[dir_index(dir)].fetch_add(1, Ordering::SeqCst);
+            } else {
+                still_parked.push((gate, bytes));
+            }
+        }
+        *parked = still_parked;
         if shared.stop.load(Ordering::SeqCst) {
             return sever(&src, &dst);
         }
@@ -548,6 +644,7 @@ mod tests {
             matches: FrameMatch::Opcode(OP_QUERY),
             action: FaultAction::Sever,
             remaining: 1,
+            skip: 0,
         });
         let mut out = Vec::new();
         let mut trace = ProbeTrace::default();
@@ -582,6 +679,7 @@ mod tests {
             matches: FrameMatch::Opcode(OP_INSERT),
             action: FaultAction::Sever,
             remaining: 1,
+            skip: 0,
         });
         let err = remote.insert(c, boxed(5.0, 5.0, 2.0, 2.0)).unwrap_err();
         assert!(matches!(err, ShardError::Wire(_)), "{err}");
@@ -609,6 +707,7 @@ mod tests {
             matches: FrameMatch::Any,
             action: FaultAction::Sever,
             remaining: 1,
+            skip: 0,
         });
         let err = remote.remove(c, 0).unwrap_err();
         assert!(matches!(err, ShardError::Wire(_)), "{err}");
@@ -633,6 +732,7 @@ mod tests {
             matches: FrameMatch::Any,
             action: FaultAction::Truncate { keep: 2 },
             remaining: 1,
+            skip: 0,
         });
         let err = remote.insert(c, boxed(1.0, 1.0, 2.0, 2.0)).unwrap_err();
         assert_eq!(
@@ -652,6 +752,7 @@ mod tests {
             matches: FrameMatch::Any,
             action: FaultAction::Truncate { keep: 5 },
             remaining: 1,
+            skip: 0,
         });
         let err = remote.insert(c, boxed(1.0, 1.0, 2.0, 2.0)).unwrap_err();
         assert_eq!(err, ShardError::Wire(WireError::Truncated), "{err}");
@@ -663,17 +764,20 @@ mod tests {
         let (server, proxy, mut remote) = start();
         let c = remote.create_collection("objs").unwrap();
         remote.insert(c, boxed(10.0, 10.0, 5.0, 5.0)).unwrap();
-        // Corrupt the response-kind byte of the next response: the
-        // decode fails loudly, the connection is dropped, and the
-        // idempotent query transparently retries on a fresh one.
+        // Corrupt the response-kind byte of the next response — the
+        // first body byte AFTER the 9-byte mux header (corrupting the
+        // header itself would orphan the response instead). The decode
+        // fails loudly, that one request errors, and the idempotent
+        // query transparently retries.
         proxy.inject(FaultRule {
             direction: Direction::ServerToClient,
             matches: FrameMatch::Any,
             action: FaultAction::Garble {
-                offset: 1,
+                offset: crate::wire::MUX_HEADER,
                 xor: 0x77,
             },
             remaining: 1,
+            skip: 0,
         });
         let mut out = Vec::new();
         let mut trace = ProbeTrace::default();
@@ -692,13 +796,14 @@ mod tests {
     }
 
     /// The tentpole concurrency proof: two corner queries on ONE
-    /// `RemoteShard` are in flight at the same time over distinct
-    /// pooled connections. The first query's request frame is parked at
-    /// a gate; while it is provably held, the second query runs to
-    /// completion on another connection; then the gate opens and the
-    /// first completes too. No sleeps, no racing clocks.
+    /// `RemoteShard` are in flight at the same time over ONE
+    /// multiplexed connection. The first query's request frame is
+    /// parked at a gate; while it is provably held, the second query
+    /// runs to completion over the same socket (its frames flow past
+    /// the parked one); then the gate opens and the first completes
+    /// too. No sleeps, no racing clocks.
     #[test]
-    fn concurrent_queries_overlap_on_distinct_pooled_connections() {
+    fn concurrent_queries_overlap_on_one_multiplexed_connection() {
         let (server, proxy, mut remote) = start();
         let c = remote.create_collection("objs").unwrap();
         remote.insert(c, boxed(10.0, 10.0, 5.0, 5.0)).unwrap();
@@ -709,6 +814,7 @@ mod tests {
             matches: FrameMatch::Opcode(OP_QUERY),
             action: FaultAction::Hold(gate.clone()),
             remaining: 1,
+            skip: 0,
         });
         let remote = &remote;
         std::thread::scope(|scope| {
@@ -731,8 +837,8 @@ mod tests {
                 "the first query must reach the gate"
             );
             // First query provably in flight. A second on the SAME
-            // RemoteShard completes — impossible over one serialized
-            // socket.
+            // RemoteShard completes over the same socket — impossible
+            // on a serialized request/response protocol.
             let mut out = Vec::new();
             remote
                 .try_corner_query(
@@ -755,9 +861,120 @@ mod tests {
         let stats = remote.pool_stats();
         assert!(
             stats.peak_in_flight >= 2,
-            "both queries must have held connections at once: {stats:?}"
+            "both queries must have been in flight at once: {stats:?}"
         );
-        assert!(stats.created >= 2, "{stats:?}");
+        assert_eq!(
+            stats.created, 1,
+            "everything multiplexed over ONE connection: {stats:?}"
+        );
+        server.shutdown();
+    }
+
+    /// Depth, not just overlap: EIGHT requests in flight on ONE
+    /// connection, each provably parked at the proxy's gate at the
+    /// same instant. This is the acceptance proof for the mux pool
+    /// collapse — no sleeps, the gate count is the evidence.
+    #[test]
+    fn eight_requests_in_flight_on_one_multiplexed_connection() {
+        let (server, proxy, mut remote) = start();
+        let c = remote.create_collection("objs").unwrap();
+        remote.insert(c, boxed(10.0, 10.0, 5.0, 5.0)).unwrap();
+        let gate = FaultGate::new();
+        proxy.inject(FaultRule {
+            direction: Direction::ClientToServer,
+            matches: FrameMatch::Opcode(OP_QUERY),
+            action: FaultAction::Hold(gate.clone()),
+            remaining: 8,
+            skip: 0,
+        });
+        let remote = &remote;
+        std::thread::scope(|scope| {
+            let waiters: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        remote
+                            .try_corner_query(
+                                c,
+                                IndexKind::RTree,
+                                &CornerQuery::unconstrained(),
+                                &mut out,
+                                &mut ProbeTrace::default(),
+                            )
+                            .expect("held query completes after the gate opens");
+                        out
+                    })
+                })
+                .collect();
+            assert!(
+                gate.wait_for_holding(8, Duration::from_secs(10)),
+                "all 8 queries must be parked at the gate simultaneously \
+                 (holding = {})",
+                gate.holding()
+            );
+            let stats = remote.pool_stats();
+            assert_eq!(stats.created, 1, "one connection carries all 8: {stats:?}");
+            assert!(stats.peak_in_flight >= 8, "{stats:?}");
+            gate.open();
+            for waiter in waiters {
+                assert_eq!(waiter.join().expect("no panic"), vec![0]);
+            }
+        });
+        server.shutdown();
+    }
+
+    /// A connection severed in the middle of a chunked response stream
+    /// must surface as a *named* transport error on the waiting
+    /// request — never a hang — and the client must recover once the
+    /// fault clears.
+    #[test]
+    fn mid_stream_sever_is_a_named_error_then_recovers() {
+        let (server, proxy, mut remote) = start();
+        let c = remote.create_collection("objs").unwrap();
+        // Fat objects (64 disjoint boxes each) push the snapshot past
+        // one chunk (1 MiB) cheaply: the response streams as
+        // MUX_CHUNK frames with a terminal MUX_END.
+        for i in 0..900u64 {
+            let x = (i % 40) as f64;
+            let y = (i / 40) as f64;
+            let cells = (0..64u64).map(|j| {
+                let fx = x + (j % 8) as f64 * 0.125;
+                let fy = y + (j / 8) as f64 * 0.125;
+                AaBox::new([fx, fy], [fx + 0.06, fy + 0.06])
+            });
+            remote.insert(c, Region::from_boxes(cells)).unwrap();
+        }
+        // Let the first response chunk through, then sever mid-stream.
+        // remaining = 2 so the automatic idempotent retry hits the
+        // same fault and the error genuinely surfaces.
+        proxy.inject(FaultRule {
+            direction: Direction::ServerToClient,
+            matches: FrameMatch::Any,
+            action: FaultAction::Sever,
+            remaining: 2,
+            skip: 1,
+        });
+        let err = remote
+            .snapshot_stream()
+            .expect_err("a severed stream must error, not hang");
+        match err {
+            ShardError::Wire(e) => assert!(
+                e.is_transport(),
+                "mid-stream sever must be a named transport error: {e:?}"
+            ),
+            other => panic!("expected a wire transport error, got {other:?}"),
+        }
+        // Fault spent; a fresh attempt streams the whole snapshot.
+        let bytes = remote
+            .snapshot_stream()
+            .expect("the healed connection streams the snapshot");
+        assert!(
+            bytes.len() > crate::wire::STREAM_CHUNK,
+            "the snapshot must span multiple chunks to prove mid-stream \
+             recovery ({} bytes)",
+            bytes.len()
+        );
+        assert!(remote.check().is_empty(), "{:?}", remote.check());
         server.shutdown();
     }
 

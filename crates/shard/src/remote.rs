@@ -15,15 +15,19 @@
 //!   wire. Executors bind `&Region` out of the mirror exactly as they
 //!   would out of a local database.
 //!
-//! Transport is a **connection pool**: up to [`RemoteShard::pool_size`]
-//! lazily-dialed [`std::net::TcpStream`]s, each checked out for exactly
-//! one request/response exchange, so concurrent executor threads and
-//! `execute_fanout` workers probe the same shard **in parallel**
-//! instead of convoying behind one socket (the single-mutex design
-//! this replaced). A connection that breaks mid-use is discarded at
-//! check-in and its successor re-dials; when every connection is
-//! checked out, further requests wait for one to return rather than
-//! dialing without bound. Idempotent reads (queries, stats, snapshot
+//! Transport depends on what the peer negotiates. A shard speaking
+//! wire **v4 or later** gets a single **multiplexed connection**: every
+//! concurrent request rides one socket under its own request id, the
+//! responses come back in whatever order the shard finishes them
+//! (large ones as chunked streams), and a reader thread matches each
+//! to its waiter — concurrency without a socket per request. An older
+//! peer falls back to the **connection pool**: up to
+//! [`RemoteShard::pool_size`] lazily-dialed [`std::net::TcpStream`]s,
+//! each checked out for exactly one request/response exchange, so
+//! concurrent executor threads and `execute_fanout` workers still
+//! probe the same shard **in parallel** instead of convoying behind
+//! one socket. A connection that breaks mid-use is discarded and its
+//! successor re-dials. Idempotent reads (queries, stats, snapshot
 //! pulls, checks) transparently reconnect and retry **once** after a
 //! connection failure — the retry count surfaces through
 //! [`crate::ShardBackend::try_corner_query`] into
@@ -56,6 +60,7 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -66,8 +71,9 @@ use scq_region::{AaBox, Region};
 
 use crate::backend::{ShardBackend, ShardError};
 use crate::wire::{
-    decode_response, encode_request, frame, read_frame, Request, Response, WireError,
-    MIN_WIRE_VERSION, WIRE_VERSION,
+    decode_mux, decode_response, encode_mux, encode_request, frame, is_mux, read_frame,
+    MuxReassembly, Request, Response, WireError, MIN_WIRE_VERSION, MUX_CANCEL, MUX_MIN_VERSION,
+    MUX_REQ, TRACED_MIN_VERSION, WIRE_VERSION,
 };
 
 /// One collection's mirrored slots.
@@ -87,19 +93,32 @@ struct WireClient {
     stream: Option<TcpStream>,
     /// The wire version the last successful handshake settled on.
     /// Requests are only wrapped in trace frames when this reaches
-    /// [`WIRE_VERSION`] — an older peer never sees an opcode it
+    /// [`TRACED_MIN_VERSION`] — an older peer never sees an opcode it
     /// cannot decode.
     version: u16,
+}
+
+/// Parses the version ceiling a server named in its handshake
+/// rejection ("shard speaks 2..=3, client speaks 4" → 3). A server
+/// from before windowed negotiation names one bare version — no
+/// "..=" — and gets `None`; the caller falls back to the floor.
+fn server_ceiling(message: &str) -> Option<u16> {
+    let rest = message.split("..=").nth(1)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 impl WireClient {
     fn connect_now(&mut self) -> Result<(), WireError> {
         match self.handshake(WIRE_VERSION) {
-            // A server from before negotiation rejects any version it
-            // does not speak outright (and closes); one retry at the
-            // floor version keeps old shards reachable.
+            // The server names what it speaks in the rejection; retry
+            // at its ceiling. A server from before windowed rejections
+            // names one bare version — the floor keeps those reachable.
             Err(WireError::Remote(m)) if m.contains("version mismatch") => {
-                self.handshake(MIN_WIRE_VERSION)
+                let theirs = server_ceiling(&m).unwrap_or(MIN_WIRE_VERSION);
+                self.handshake(theirs.clamp(MIN_WIRE_VERSION, WIRE_VERSION))
             }
             other => other,
         }
@@ -176,7 +195,7 @@ impl WireClient {
         // the plain request it understands.
         let traced;
         let req = match scq_obs::current_id() {
-            Some(trace_id) if self.version >= WIRE_VERSION => {
+            Some(trace_id) if self.version >= TRACED_MIN_VERSION => {
                 traced = Request::Traced {
                     trace_id,
                     inner: Box::new(req.clone()),
@@ -199,6 +218,230 @@ impl WireClient {
                 self.exchange(req)
             }
             Err(e) => Err(e),
+        }
+    }
+}
+
+/// How long a multiplexed request waits for its response before the
+/// client cancels it. Generous: large snapshot streams take real time.
+const MUX_REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One multiplexed wire connection: a single socket carrying many
+/// logical requests at once, each tagged with a request id. The write
+/// half serializes request frames under a mutex; a reader thread owns
+/// the receive side, reassembles chunked responses per id, and
+/// completes whichever pending request each response names —
+/// out-of-order by design. Death (socket error, EOF, protocol
+/// violation) fails every pending request with a transport error; the
+/// pool discards the corpse and dials a successor.
+struct MuxConn {
+    addr: String,
+    version: u16,
+    writer: Mutex<Option<TcpStream>>,
+    /// Pending requests by id: `None` while in flight, `Some(result)`
+    /// once the reader (or death) resolves them. A waiter that gave up
+    /// removes its slot, so a late answer finds nothing and is dropped.
+    slots: Mutex<HashMap<u64, Option<Result<Response, WireError>>>>,
+    completed: Condvar,
+    next_id: AtomicU64,
+    dead: AtomicBool,
+}
+
+impl MuxConn {
+    /// Wraps a freshly-handshaken stream and starts the reader thread.
+    fn spawn(stream: TcpStream, version: u16, addr: String) -> Result<Arc<MuxConn>, WireError> {
+        // The reader blocks until the server has something to say;
+        // liveness is enforced per request ([`MUX_REQUEST_TIMEOUT`]),
+        // not by a socket-wide read timeout that would kill idle
+        // connections.
+        stream.set_read_timeout(None).map_err(WireError::from)?;
+        let read_half = stream.try_clone().map_err(WireError::from)?;
+        let conn = Arc::new(MuxConn {
+            addr,
+            version,
+            writer: Mutex::new(Some(stream)),
+            slots: Mutex::new(HashMap::new()),
+            completed: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            dead: AtomicBool::new(false),
+        });
+        let reader = Arc::clone(&conn);
+        std::thread::Builder::new()
+            .name("scq-mux-reader".into())
+            .spawn(move || reader.read_loop(read_half))
+            .map_err(WireError::from)?;
+        Ok(conn)
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    fn death(&self) -> WireError {
+        WireError::Io(format!("multiplexed connection to {} died", self.addr))
+    }
+
+    /// Reader thread: reassembles response streams per request id and
+    /// completes whichever pending exchange each one names.
+    fn read_loop(&self, mut stream: TcpStream) {
+        let mut reasm = MuxReassembly::new();
+        let fatal = loop {
+            let payload = match read_frame(&mut stream) {
+                Ok(Some(payload)) => payload,
+                // Clean EOF: the connection is simply gone.
+                Ok(None) => break self.death(),
+                // Mid-frame truncation, garbled length prefix, socket
+                // error — keep the *named* transport error so every
+                // stranded waiter learns what actually happened.
+                Err(e) => break e,
+            };
+            // A negotiated-v4 server only sends mux frames; a peer
+            // that sends anything else has lost framing.
+            if !is_mux(&payload) {
+                break WireError::Unexpected("non-mux frame on multiplexed connection".into());
+            }
+            let frame = match decode_mux(&payload) {
+                Ok(f) => f,
+                Err(e) => break e,
+            };
+            match reasm.accept(frame) {
+                // A response that fails to decode is an answer to ONE
+                // request, not a transport death: the framing is
+                // intact, every other request keeps flowing.
+                Ok(Some((id, bytes))) => self.complete(id, decode_response(&bytes)),
+                Ok(None) => {}
+                Err(e) => break e,
+            }
+        };
+        self.die_with(fatal);
+    }
+
+    /// Hands one request's result to its waiter.
+    fn complete(&self, id: u64, result: Result<Response, WireError>) {
+        let Ok(mut slots) = self.slots.lock() else {
+            return;
+        };
+        if let Some(slot) = slots.get_mut(&id) {
+            *slot = Some(result);
+            drop(slots);
+            self.completed.notify_all();
+        }
+    }
+
+    /// Marks the connection dead and fails every pending request — a
+    /// response that will never arrive must not strand its waiter.
+    fn die(&self) {
+        let cause = self.death();
+        self.die_with(cause);
+    }
+
+    /// [`MuxConn::die`], but pending requests fail with the specific
+    /// transport error that killed the connection (a truncated frame
+    /// surfaces as [`WireError::Truncated`], not a generic death).
+    fn die_with(&self, cause: WireError) {
+        self.dead.store(true, Ordering::Release);
+        if let Ok(mut writer) = self.writer.lock() {
+            *writer = None; // closes the socket; the reader unblocks
+        }
+        if let Ok(mut slots) = self.slots.lock() {
+            for slot in slots.values_mut() {
+                if slot.is_none() {
+                    *slot = Some(Err(cause.clone()));
+                }
+            }
+        }
+        self.completed.notify_all();
+    }
+
+    /// Severs the socket in place (tests): the reader sees EOF and the
+    /// connection dies exactly as on a real transport failure.
+    #[cfg(test)]
+    fn sever(&self) {
+        if let Ok(writer) = self.writer.lock() {
+            if let Some(stream) = writer.as_ref() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    fn write_frame(&self, bytes: &[u8]) -> Result<(), WireError> {
+        let mut writer = self
+            .writer
+            .lock()
+            .map_err(|_| WireError::Io("mux writer lock poisoned".into()))?;
+        let Some(stream) = writer.as_mut() else {
+            return Err(self.death());
+        };
+        let sent = stream.write_all(bytes).and_then(|()| stream.flush());
+        drop(writer);
+        if let Err(e) = sent {
+            self.die();
+            return Err(WireError::from(e));
+        }
+        Ok(())
+    }
+
+    /// One logical request/response exchange: registers a fresh id,
+    /// writes the request frame, and blocks until the reader completes
+    /// that id — responses interleave freely across ids in between. A
+    /// request the server has not answered within
+    /// [`MUX_REQUEST_TIMEOUT`] is cancelled best-effort and fails as a
+    /// transport timeout.
+    fn exchange(&self, req: &Request) -> Result<Response, WireError> {
+        if self.is_dead() {
+            return Err(self.death());
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // Stamp the caller's trace onto the request exactly like the
+        // legacy client does (every mux-capable peer decodes it).
+        let traced;
+        let req = match scq_obs::current_id() {
+            Some(trace_id) if self.version >= TRACED_MIN_VERSION => {
+                traced = Request::Traced {
+                    trace_id,
+                    inner: Box::new(req.clone()),
+                };
+                &traced
+            }
+            _ => req,
+        };
+        let bytes = frame(&encode_mux(MUX_REQ, id, &encode_request(req)))?;
+        let lock_err = |_| WireError::Io("mux slot lock poisoned".into());
+        self.slots.lock().map_err(lock_err)?.insert(id, None);
+        if let Err(e) = self.write_frame(&bytes) {
+            if let Ok(mut slots) = self.slots.lock() {
+                slots.remove(&id);
+            }
+            return Err(e);
+        }
+        let deadline = Instant::now() + MUX_REQUEST_TIMEOUT;
+        let mut slots = self.slots.lock().map_err(lock_err)?;
+        loop {
+            if slots.get(&id).is_some_and(|slot| slot.is_some()) {
+                return slots
+                    .remove(&id)
+                    .flatten()
+                    .expect("slot was checked complete");
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                slots.remove(&id);
+                drop(slots);
+                // Tell the server to stop working on it; the answer
+                // would be dropped at `complete` anyway.
+                if let Ok(cancel) = frame(&encode_mux(MUX_CANCEL, id, &[])) {
+                    let _ = self.write_frame(&cancel);
+                }
+                return Err(WireError::Io(format!(
+                    "request {id} to {} timed out after {:?}",
+                    self.addr, MUX_REQUEST_TIMEOUT
+                )));
+            }
+            slots = self
+                .completed
+                .wait_timeout(slots, deadline - now)
+                .map_err(|_| WireError::Io("mux slot lock poisoned".into()))?
+                .0;
         }
     }
 }
@@ -297,9 +540,32 @@ pub struct PoolStats {
     /// Transport failures since the last success (resets to 0 on any
     /// completed exchange).
     pub consecutive_failures: usize,
+    /// The wire version the last successful handshake settled on
+    /// (0 = never connected).
+    pub wire_version: u16,
+}
+
+/// How the pool reaches its address — decided by the first successful
+/// handshake and re-decided whenever the transport dies.
+enum PoolMode {
+    /// No handshake has succeeded yet.
+    Unknown,
+    /// The peer negotiated below v4: per-exchange pooled connections.
+    Legacy,
+    /// The peer speaks v4+: one multiplexed connection carries every
+    /// concurrent request.
+    Mux(Arc<MuxConn>),
+}
+
+/// The transport `route` resolved for one request.
+enum Route {
+    Mux(Arc<MuxConn>),
+    Legacy(WireClient),
 }
 
 struct PoolState {
+    mode: PoolMode,
+    wire_version: u16,
     idle: Vec<WireClient>,
     in_flight: usize,
     created: usize,
@@ -321,6 +587,9 @@ struct ConnectionPool {
     breaker_cfg: BreakerConfig,
     clock: BreakerClock,
     state: Mutex<PoolState>,
+    /// Serializes mode-establishing dials: a burst of first requests
+    /// opens ONE connection, not a stampede.
+    dialing: Mutex<()>,
     returned: Condvar,
     /// Client-side instruments for this address: `pool.checkout.wait`
     /// (time callers block waiting for a pooled connection — observed
@@ -343,6 +612,8 @@ impl ConnectionPool {
             breaker_cfg,
             clock: Arc::new(Instant::now),
             state: Mutex::new(PoolState {
+                mode: PoolMode::Unknown,
+                wire_version: 0,
                 idle: Vec::new(),
                 in_flight: 0,
                 created: 0,
@@ -352,6 +623,7 @@ impl ConnectionPool {
                 consecutive_failures: 0,
                 trips: 0,
             }),
+            dialing: Mutex::new(()),
             returned: Condvar::new(),
             registry,
             checkout_wait,
@@ -441,14 +713,177 @@ impl ConnectionPool {
         idempotent: bool,
         retries: &mut usize,
     ) -> Result<Response, ShardError> {
-        let mut client = self.checkout()?;
-        let result = client.request(req, idempotent, retries);
-        self.checkin(client);
+        // Whether a multiplexed connection existed when this request
+        // started. If it did and has died, the re-dial below mirrors
+        // the legacy client's "connection died mid-use" path, which
+        // retries idempotent requests once (leaving a retry event); a
+        // first-ever dial that fails does not retry.
+        let had_conn = self
+            .state
+            .lock()
+            .map(|st| matches!(st.mode, PoolMode::Mux(_)))
+            .unwrap_or(false);
+        let result = match self.route() {
+            Ok(Route::Mux(conn)) => self.mux_request(&conn, req, idempotent, retries),
+            Ok(Route::Legacy(mut client)) => {
+                let r = client
+                    .request(req, idempotent, retries)
+                    .map_err(ShardError::from);
+                self.checkin(client);
+                r
+            }
+            Err(e) if idempotent && had_conn && is_transport(&e) => {
+                let _ = e;
+                *retries += 1;
+                scq_obs::event("retry", format!("addr={}", self.addr));
+                self.route().and_then(|route| match route {
+                    Route::Mux(conn) => self.mux_exchange(&conn, req).map_err(ShardError::from),
+                    Route::Legacy(mut client) => {
+                        let r = client
+                            .request(req, false, retries)
+                            .map_err(ShardError::from);
+                        self.checkin(client);
+                        r
+                    }
+                })
+            }
+            Err(e) => Err(e),
+        };
         match &result {
-            Err(e) if e.is_transport() => self.note_failure(),
+            Err(e) if is_transport(e) => self.note_failure(),
             _ => self.note_success(),
         }
-        result.map_err(ShardError::from)
+        result
+    }
+
+    /// Resolves the transport for one request: the live multiplexed
+    /// connection, a checked-out legacy client, or — when neither
+    /// exists yet — a fresh dial whose negotiated version decides the
+    /// pool's mode. A dead mux connection is discarded (exactly once)
+    /// and replaced the same way.
+    fn route(&self) -> Result<Route, ShardError> {
+        let lock_err = |_| ShardError::Rejected("connection pool lock poisoned".into());
+        loop {
+            {
+                let mut st = self.state.lock().map_err(lock_err)?;
+                match &st.mode {
+                    PoolMode::Legacy => {
+                        drop(st);
+                        return Ok(Route::Legacy(self.checkout()?));
+                    }
+                    PoolMode::Mux(conn) if !conn.is_dead() => {
+                        return Ok(Route::Mux(Arc::clone(conn)));
+                    }
+                    PoolMode::Mux(_) => {
+                        st.discarded += 1;
+                        st.mode = PoolMode::Unknown;
+                    }
+                    PoolMode::Unknown => {}
+                }
+            }
+            let dial_guard = self
+                .dialing
+                .lock()
+                .map_err(|_| ShardError::Rejected("connection pool lock poisoned".into()))?;
+            // Someone may have established the mode while this thread
+            // waited for the dial lock; re-check before dialing.
+            {
+                let st = self.state.lock().map_err(lock_err)?;
+                if !matches!(st.mode, PoolMode::Unknown) {
+                    continue;
+                }
+            }
+            let started = Instant::now();
+            let mut client = WireClient {
+                addr: self.addr.clone(),
+                stream: None,
+                version: MIN_WIRE_VERSION,
+            };
+            client.connect_now().map_err(ShardError::from)?;
+            let version = client.version;
+            let mut st = self.state.lock().map_err(lock_err)?;
+            st.created += 1;
+            st.wire_version = version;
+            if version >= MUX_MIN_VERSION {
+                let stream = client.stream.take().expect("handshake left a stream");
+                let conn =
+                    MuxConn::spawn(stream, version, self.addr.clone()).map_err(ShardError::from)?;
+                st.mode = PoolMode::Mux(Arc::clone(&conn));
+                drop(dial_guard);
+                return Ok(Route::Mux(conn));
+            }
+            // Below v4: the connected client becomes the first pooled
+            // legacy connection, checked out to the caller.
+            st.mode = PoolMode::Legacy;
+            st.in_flight += 1;
+            st.peak_in_flight = st.peak_in_flight.max(st.in_flight);
+            self.checkout_wait.observe(started.elapsed());
+            return Ok(Route::Legacy(client));
+        }
+    }
+
+    /// One exchange over the multiplexed connection, mirroring the
+    /// legacy retry policy: an idempotent request that failed gets one
+    /// more attempt on a freshly-routed transport (`route` discards
+    /// the dead connection and dials a successor).
+    fn mux_request(
+        &self,
+        conn: &Arc<MuxConn>,
+        req: &Request,
+        idempotent: bool,
+        retries: &mut usize,
+    ) -> Result<Response, ShardError> {
+        match self.mux_exchange(conn, req) {
+            Err(e) if idempotent => {
+                let _ = e;
+                *retries += 1;
+                scq_obs::event("retry", format!("addr={}", self.addr));
+                match self.route()? {
+                    Route::Mux(fresh) => self.mux_exchange(&fresh, req).map_err(ShardError::from),
+                    // A restarted server may have negotiated down.
+                    Route::Legacy(mut client) => {
+                        let r = client
+                            .request(req, false, retries)
+                            .map_err(ShardError::from);
+                        self.checkin(client);
+                        r
+                    }
+                }
+            }
+            other => other.map_err(ShardError::from),
+        }
+    }
+
+    /// The accounting wrapper around [`MuxConn::exchange`]: logical
+    /// in-flight depth and checkout wait feed the same pool counters
+    /// the legacy transport uses, so diagnostics read identically
+    /// across modes.
+    fn mux_exchange(&self, conn: &MuxConn, req: &Request) -> Result<Response, WireError> {
+        let started = Instant::now();
+        if let Ok(mut st) = self.state.lock() {
+            st.in_flight += 1;
+            st.peak_in_flight = st.peak_in_flight.max(st.in_flight);
+        }
+        self.checkout_wait.observe(started.elapsed());
+        let result = conn.exchange(req);
+        if let Ok(mut st) = self.state.lock() {
+            st.in_flight -= 1;
+        }
+        result
+    }
+
+    /// Establishes (or re-establishes) the pool's transport without
+    /// sending a request: one dial, whose negotiated version decides
+    /// the mode. Connect-time readiness polling calls this until the
+    /// address answers.
+    fn ensure_connected(&self) -> Result<(), ShardError> {
+        match self.route()? {
+            Route::Mux(_) => Ok(()),
+            Route::Legacy(client) => {
+                self.checkin(client);
+                Ok(())
+            }
+        }
     }
 
     fn checkout(&self) -> Result<WireClient, ShardError> {
@@ -501,7 +936,14 @@ impl ConnectionPool {
             created: st.created,
             discarded: st.discarded,
             peak_in_flight: st.peak_in_flight,
-            idle: st.idle.len(),
+            // In mux mode the one connection is "idle" whenever it is
+            // alive: it is always ready for another request.
+            idle: match &st.mode {
+                PoolMode::Mux(conn) if !conn.is_dead() => 1,
+                PoolMode::Mux(_) => 0,
+                _ => st.idle.len(),
+            },
+            wire_version: st.wire_version,
             breaker: match st.breaker {
                 Breaker::Closed => BreakerState::Closed,
                 Breaker::Open { .. } => BreakerState::Open,
@@ -512,11 +954,15 @@ impl ConnectionPool {
         }
     }
 
-    /// Severs every idle pooled connection in place (tests: the next
-    /// users must transparently re-dial).
+    /// Severs every idle pooled connection in place — and the
+    /// multiplexed connection, when that is the transport — (tests:
+    /// the next users must transparently re-dial).
     #[cfg(test)]
     fn break_idle(&self) {
         let mut st = self.state.lock().expect("pool lock poisoned");
+        if let PoolMode::Mux(conn) = &st.mode {
+            conn.sever();
+        }
         for client in &mut st.idle {
             client.stream = None;
         }
@@ -628,27 +1074,27 @@ impl RemoteShard {
         let mut replicas = Vec::with_capacity(addrs.len());
         for addr in addrs {
             let pool = ConnectionPool::new(addr.clone(), pool_size, breaker);
-            let mut client = pool.checkout()?;
             loop {
-                match client.connect_now() {
+                match pool.ensure_connected() {
                     Ok(()) => break,
                     // Version mismatches and handshake rejections never
                     // heal by waiting; only connection refusals are
                     // readiness.
-                    Err(e @ WireError::VersionMismatch { .. }) | Err(e @ WireError::Remote(_)) => {
-                        pool.checkin(client);
-                        return Err(e.into());
+                    Err(
+                        e @ ShardError::Wire(
+                            WireError::VersionMismatch { .. } | WireError::Remote(_),
+                        ),
+                    ) => {
+                        return Err(e);
                     }
                     Err(e) => {
                         if Instant::now() >= deadline {
-                            pool.checkin(client);
-                            return Err(ShardError::Wire(e));
+                            return Err(e);
                         }
                         std::thread::sleep(Duration::from_millis(100));
                     }
                 }
             }
-            pool.checkin(client);
             replicas.push(Replica {
                 addr: addr.clone(),
                 pool,

@@ -8,36 +8,57 @@
 //! router connection and any number of diagnostic connections can work
 //! concurrently.
 //!
-//! Connection handling is **thread-per-connection** behind a small
-//! acceptor pool: router tiers keep a *pool* of long-lived connections
-//! per shard (so their concurrent probes overlap on the wire), and a
-//! fixed serve-to-completion worker pool would cap that concurrency at
-//! the worker count — the connection past the cap would hang in the
-//! accept backlog until its peer times out. Acceptors hand each
-//! connection its own handler thread instead; connection count is
-//! bounded in practice by the clients' pool sizes. Each connection
-//! reads frames through a short receive timeout so
-//! [`ShardServerHandle::shutdown`] never hangs on an idle peer, and
-//! every decoded request gets exactly one response frame.
-//! Framing-level poison — an oversized length prefix, a frame
-//! that fails to decode — earns an error response and a closed
-//! connection (the stream cannot be resynchronized); shard-level
-//! failures (unknown collection, bad snapshot payload) are ordinary
-//! [`Response::Err`]s and the connection lives on.
+//! Connection handling is a **readiness-driven event loop**: one loop
+//! thread owns the (nonblocking) listener and every connection socket
+//! through an epoll instance, assembles frames, and hands decoded-frame
+//! work to a small worker pool ([`ShardServerConfig::threads`]) that
+//! executes requests against the database. Workers push finished,
+//! already-framed responses to a completion queue and wake the loop
+//! through a self-pipe; the loop writes them out, parking partial
+//! writes behind `EPOLLOUT`. Thousands of idle connections therefore
+//! cost a file descriptor each, not a thread each.
+//!
+//! The handshake decides the connection's framing. Up to protocol v3 a
+//! connection is strictly one-in-flight: one request frame, one
+//! response frame, in order (the loop queues any pipelined frames and
+//! releases them one at a time, so the old contract holds exactly). A
+//! v4 handshake switches the connection to **mux framing**
+//! ([`crate::wire::MUX_REQ`] and friends): every frame carries a
+//! request id, any number of requests run concurrently across the
+//! worker pool, responses complete out of order, and a response bigger
+//! than [`STREAM_CHUNK`] streams back as `MUX_CHUNK…MUX_END` — the
+//! 64 MiB frame cap stops being a cap on answers. `MUX_CANCEL` drops a
+//! pending answer before it is written.
+//!
+//! Hello frames are handled inline on the loop thread: they are cheap,
+//! and mux mode must flip before any later buffered frame is parsed.
+//! Framing-level poison — an oversized length prefix, a frame that
+//! fails to decode — earns an error response and a closed connection
+//! (the stream cannot be resynchronized). On a mux connection a request
+//! *body* that fails to decode is answered with an error under its id
+//! and the connection lives on: the framing layer is intact and other
+//! in-flight requests are unaffected. Shard-level failures (unknown
+//! collection, bad snapshot payload) are ordinary [`Response::Err`]s
+//! either way.
 
-use std::io::Write;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
+use epoll::{Epoll, Event, WakePipe, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use scq_engine::{snapshot, CollectionId, SpatialDatabase};
 use scq_region::AaBox;
 
 use crate::wal::{self, Wal, WalConfig, WalStats};
 use crate::wire::{
-    decode_request, encode_response, frame, FrameReader, Request, Response, MIN_WIRE_VERSION,
-    WIRE_VERSION,
+    decode_mux, decode_request, encode_response, frame, split_response, FrameReader, Request,
+    Response, MIN_WIRE_VERSION, MUX_CANCEL, MUX_MIN_VERSION, MUX_REQ, OP_HELLO, OP_METRICS,
+    OP_TRACED, STREAM_CHUNK, WIRE_VERSION,
 };
 
 /// Shard server configuration.
@@ -45,17 +66,18 @@ use crate::wire::{
 pub struct ShardServerConfig {
     /// Listen address (`127.0.0.1:0` for an ephemeral port).
     pub addr: String,
-    /// Acceptor threads sharing the listener. Each accepted connection
-    /// gets its own handler thread, so this bounds accept throughput,
-    /// not connection concurrency (see
-    /// [`ShardServerConfig::max_connections`]).
+    /// Worker threads executing requests. The event loop handles all
+    /// socket readiness on its own thread; this bounds how many
+    /// requests *run* concurrently (and how many WAL group-commit
+    /// waits can overlap), not how many connections are open or how
+    /// many requests are in flight.
     pub threads: usize,
-    /// Hard cap on concurrently served connections: a connection
-    /// accepted while this many handlers are live is closed
-    /// immediately (its peer sees a transport failure, which router
-    /// tiers degrade or retry). Bounds the thread-per-connection
-    /// model against misbehaving or malicious peers; size it to the
-    /// sum of your router tiers' pool sizes plus diagnostic headroom.
+    /// Hard cap on concurrently open connections: a connection
+    /// accepted while this many are live is closed immediately (its
+    /// peer sees a transport failure, which router tiers degrade or
+    /// retry). With multiplexing a router needs only a couple of
+    /// connections per shard, so this bounds misbehaving or
+    /// prehistoric peers, not legitimate concurrency.
     pub max_connections: usize,
     /// The universe square side: the shard spans `[0, size]²`. Must
     /// match the router tier's universe or the cluster handshake's
@@ -67,6 +89,18 @@ pub struct ShardServerConfig {
     /// its log record is fsynced. `None` keeps the shard purely
     /// in-memory (the pre-WAL behavior).
     pub wal: Option<WalConfig>,
+    /// Highest protocol version this server negotiates (clamped to
+    /// [`MIN_WIRE_VERSION`]..=[`WIRE_VERSION`]). Defaults to
+    /// [`WIRE_VERSION`]; set lower to rehearse a rolling upgrade — a
+    /// v4 build answering at v3/v2 exactly as the old release did.
+    pub wire_version: u16,
+    /// Strict single-version mode: accept a handshake only at exactly
+    /// [`ShardServerConfig::wire_version`] (no negotiation window, and
+    /// the mismatch error names one version, not a range) and reject
+    /// opcodes newer than it the way a real old release would —
+    /// `strict` + `wire_version: 2` is a faithful v2 server for the
+    /// protocol-conformance matrix.
+    pub strict: bool,
 }
 
 impl Default for ShardServerConfig {
@@ -77,6 +111,8 @@ impl Default for ShardServerConfig {
             max_connections: 64,
             universe_size: 1000.0,
             wal: None,
+            wire_version: WIRE_VERSION,
+            strict: false,
         }
     }
 }
@@ -97,13 +133,13 @@ struct ShardState {
     traces: scq_obs::TraceRing,
 }
 
-/// A running shard server: bound address, acceptor pool and the live
-/// connection handler threads.
+/// A running shard server: bound address, the event-loop thread and
+/// its request worker pool.
 pub struct ShardServerHandle {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    acceptors: Vec<JoinHandle<()>>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shared: Arc<Shared>,
+    event_loop: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
     state: Arc<ShardState>,
 }
 
@@ -130,30 +166,65 @@ impl ShardServerHandle {
         self.state.traces.get(id)
     }
 
-    /// Stops accepting, unblocks acceptors and connection handlers,
-    /// and joins them all (handlers notice the stop flag at their next
-    /// receive timeout).
+    /// Stops the event loop (closing every connection) and the worker
+    /// pool, and joins them all. The loop notices the stop flag at its
+    /// next wakeup — forced immediately through the wake pipe.
     pub fn shutdown(self) {
-        self.stop.store(true, Ordering::SeqCst);
-        for _ in &self.acceptors {
-            let _ = TcpStream::connect(self.addr);
-        }
-        for a in self.acceptors {
-            let _ = a.join();
-        }
-        let handlers = std::mem::take(&mut *self.handlers.lock().expect("handler registry"));
-        for h in handlers {
-            let _ = h.join();
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.wake.wake();
+        self.shared.work.ready.notify_all();
+        let _ = self.event_loop.join();
+        for w in self.workers {
+            let _ = w.join();
         }
     }
 }
 
-/// Starts a shard server: binds, spawns the acceptor pool, returns
-/// immediately. Every accepted connection is served on its own thread
-/// — a router tier's whole connection pool can be in flight against
-/// this shard at once.
+/// State shared between the event loop and the worker pool.
+struct Shared {
+    state: Arc<ShardState>,
+    work: WorkQueue,
+    /// Finished responses, already framed, awaiting delivery by the
+    /// loop thread.
+    done: Mutex<Vec<Completion>>,
+    wake: Arc<WakePipe>,
+    stop: Arc<AtomicBool>,
+    /// Negotiation ceiling (see [`ShardServerConfig::wire_version`]).
+    wire_version: u16,
+    strict: bool,
+}
+
+struct WorkQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+}
+
+/// One decoded frame's worth of work for the pool.
+struct Job {
+    /// The connection the answer goes back to.
+    token: u64,
+    /// Encoded request bytes (the mux body on a mux connection).
+    payload: Vec<u8>,
+    /// The request id on a mux connection; `None` on a legacy one.
+    mux_id: Option<u64>,
+}
+
+/// A finished response on its way back through the loop thread.
+struct Completion {
+    token: u64,
+    mux_id: Option<u64>,
+    /// Framed bytes ready for the socket (possibly several frames: a
+    /// chunked stream).
+    bytes: Vec<u8>,
+    /// Close the connection once these bytes flush.
+    close: bool,
+}
+
+/// Starts a shard server: binds, spawns the event loop and worker
+/// pool, returns immediately.
 pub fn serve_shard(config: &ShardServerConfig) -> std::io::Result<ShardServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let universe = AaBox::new([0.0, 0.0], [config.universe_size, config.universe_size]);
     // With a WAL, startup *is* recovery: the database the connections
@@ -180,46 +251,36 @@ pub fn serve_shard(config: &ShardServerConfig) -> std::io::Result<ShardServerHan
         registry,
         traces: scq_obs::TraceRing::new(64),
     });
-    let stop = Arc::new(AtomicBool::new(false));
-    let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-    let max_connections = config.max_connections.max(1);
-    let mut acceptors = Vec::new();
+    let epoll = Epoll::new()?;
+    let wake = Arc::new(WakePipe::new()?);
+    epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+    epoll.add(wake.read_fd(), EPOLLIN, TOKEN_WAKE)?;
+    let shared = Arc::new(Shared {
+        state: Arc::clone(&state),
+        work: WorkQueue {
+            jobs: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        },
+        done: Mutex::new(Vec::new()),
+        wake,
+        stop: Arc::new(AtomicBool::new(false)),
+        wire_version: config.wire_version.clamp(MIN_WIRE_VERSION, WIRE_VERSION),
+        strict: config.strict,
+    });
+    let mut workers = Vec::new();
     for _ in 0..config.threads.max(1) {
-        let listener = listener.try_clone()?;
-        let state = Arc::clone(&state);
-        let stop = Arc::clone(&stop);
-        let handlers = Arc::clone(&handlers);
-        acceptors.push(std::thread::spawn(move || {
-            for conn in listener.incoming() {
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = conn else { continue };
-                let mut registry = handlers.lock().expect("handler registry");
-                // Reap finished handlers here so the registry tracks
-                // *live* connections, not every connection ever
-                // accepted — both for the cap below and so a
-                // long-lived server's memory stays bounded.
-                registry.retain(|h| !h.is_finished());
-                if registry.len() >= max_connections {
-                    // Over the cap: close immediately. The peer sees a
-                    // transport failure and degrades or retries.
-                    drop(stream);
-                    continue;
-                }
-                let state = Arc::clone(&state);
-                let stop = Arc::clone(&stop);
-                registry.push(std::thread::spawn(move || {
-                    serve_connection(stream, &state, &stop)
-                }));
-            }
-        }));
+        let shared = Arc::clone(&shared);
+        workers.push(std::thread::spawn(move || worker_loop(&shared)));
     }
+    let max_connections = config.max_connections.max(1);
+    let loop_shared = Arc::clone(&shared);
+    let event_loop =
+        std::thread::spawn(move || event_loop(listener, epoll, loop_shared, max_connections));
     Ok(ShardServerHandle {
         addr,
-        stop,
-        acceptors,
-        handlers,
+        shared,
+        event_loop,
+        workers,
         state,
     })
 }
@@ -230,84 +291,494 @@ enum After {
     Close,
 }
 
-fn serve_connection(stream: TcpStream, state: &ShardState, stop: &AtomicBool) {
-    // The receive timeout is the shutdown heartbeat: an idle or
-    // mid-frame connection wakes up periodically, notices the stop
-    // flag, and returns. FrameReader keeps partial bytes across
-    // timeouts, so a slow sender's frame is never corrupted.
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
-    let mut reader = FrameReader::new();
-    let mut writer = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut stream = stream;
-    let mut chunk = [0u8; 16 * 1024];
-    loop {
-        // Drain every complete frame before reading more bytes.
-        loop {
-            match reader.next_frame() {
-                Ok(Some(payload)) => {
-                    let (response, after) = match decode_request(&payload) {
-                        Ok(req) => {
-                            let op = op_name(&req);
-                            let started = std::time::Instant::now();
-                            let out = handle_request(state, req);
-                            state
-                                .registry
-                                .histogram(&format!("shard.{op}.latency"))
-                                .observe(started.elapsed());
-                            out
-                        }
-                        // An undecodable frame means the peer and we
-                        // disagree about the protocol; answer once and
-                        // hang up rather than guess at resync.
-                        Err(e) => (Response::Err(format!("bad request: {e}")), After::Close),
-                    };
-                    if write_response(&mut writer, &response).is_err() {
-                        return;
-                    }
-                    if matches!(after, After::Close) {
-                        return;
-                    }
-                }
-                Ok(None) => break,
-                Err(e) => {
-                    // Framing poison (oversized prefix): report, close.
-                    let _ = write_response(&mut writer, &Response::Err(format!("bad frame: {e}")));
-                    return;
-                }
-            }
+// ── the event loop ──────────────────────────────────────────────────────
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Outbound bytes with a write cursor, so partially-flushed buffers
+/// never shift their remaining bytes (a chunked stream can be tens of
+/// megabytes deep while the socket drains at its own pace).
+#[derive(Default)]
+struct OutBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl OutBuf {
+    fn push(&mut self, bytes: &[u8]) {
+        if self.pos >= self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
         }
-        if stop.load(Ordering::SeqCst) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn unwritten(&self) -> &[u8] {
+        &self.buf[self.pos.min(self.buf.len())..]
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.pos += n;
+        if self.pos >= self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+    }
+}
+
+/// One connection's loop-side state.
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    out: OutBuf,
+    /// Negotiated version; 0 until a Hello lands (legacy framing).
+    version: u16,
+    /// Mux framing active (negotiated ≥ [`MUX_MIN_VERSION`]).
+    mux: bool,
+    /// Legacy: a request is executing; later frames wait in `pending`
+    /// so one-request-one-response ordering holds exactly.
+    busy: bool,
+    pending: VecDeque<Vec<u8>>,
+    /// Mux: ids queued or executing.
+    in_flight: HashSet<u64>,
+    /// Mux: in-flight ids whose answers must be discarded (cancelled).
+    cancelled: HashSet<u64>,
+    /// Close once `out` drains; stop consuming inbound frames.
+    closing: bool,
+    /// `EPOLLOUT` currently registered.
+    wants_out: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            reader: FrameReader::new(),
+            out: OutBuf::default(),
+            version: 0,
+            mux: false,
+            busy: false,
+            pending: VecDeque::new(),
+            in_flight: HashSet::new(),
+            cancelled: HashSet::new(),
+            closing: false,
+            wants_out: false,
+        }
+    }
+}
+
+fn event_loop(listener: TcpListener, epoll: Epoll, shared: Arc<Shared>, max_connections: usize) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = FIRST_CONN_TOKEN;
+    let mut events = [Event::new(0, 0); 64];
+    loop {
+        // The timeout is the shutdown heartbeat; the wake pipe makes
+        // completions (and shutdown itself) immediate, not 100ms late.
+        let n = epoll.wait(100, &mut events).unwrap_or(0);
+        if shared.stop.load(Ordering::SeqCst) {
+            // Dropping the map closes every socket.
             return;
         }
-        match std::io::Read::read(&mut stream, &mut chunk) {
-            Ok(0) => return, // peer hung up (mid-frame or not, nothing to answer)
-            Ok(n) => reader.push(&chunk[..n]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
+        for ev in &events[..n] {
+            match ev.token() {
+                TOKEN_LISTENER => accept_ready(
+                    &listener,
+                    &epoll,
+                    &mut conns,
+                    &mut next_token,
+                    max_connections,
+                ),
+                TOKEN_WAKE => shared.wake.drain(),
+                token => {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue; // already closed earlier in this batch
+                    };
+                    if ev.events() & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0
+                        && !read_ready(conn, token, &shared)
+                    {
+                        conns.remove(&token);
+                    }
+                    // EPOLLOUT needs no per-event work: the flush pass
+                    // below writes every connection with queued bytes.
+                }
             }
+        }
+        for done in std::mem::take(&mut *shared.done.lock().expect("completion queue")) {
+            deliver(&mut conns, &shared, done);
+        }
+        // Flush pass: write what the sockets will take, keep EPOLLOUT
+        // registered exactly while bytes are queued, reap dead conns.
+        conns.retain(|&token, conn| {
+            if !flush(conn) {
+                return false;
+            }
+            let want = !conn.out.is_empty();
+            if want != conn.wants_out {
+                let interest = EPOLLIN | EPOLLRDHUP | (if want { EPOLLOUT } else { 0 });
+                if epoll
+                    .modify(conn.stream.as_raw_fd(), interest, token)
+                    .is_err()
+                {
+                    return false;
+                }
+                conn.wants_out = want;
+            }
+            true
+        });
+    }
+}
+
+fn accept_ready(
+    listener: &TcpListener,
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    max_connections: usize,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if conns.len() >= max_connections {
+                    // Over the cap: close immediately. The peer sees a
+                    // transport failure and degrades or retries.
+                    drop(stream);
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let token = *next_token;
+                *next_token += 1;
+                if epoll
+                    .add(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
+                    .is_err()
+                {
+                    continue;
+                }
+                conns.insert(token, Conn::new(stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => return,
         }
     }
 }
 
-fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
-    let framed = match frame(&encode_response(response)) {
+/// Reads everything the socket has, assembling and dispatching frames.
+/// Returns `false` when the connection is dead and must be dropped.
+fn read_ready(conn: &mut Conn, token: u64, shared: &Shared) -> bool {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if conn.closing {
+            // Answered a fatal error; ignore further input, just flush.
+            return true;
+        }
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return false, // peer hung up; nothing to answer
+            Ok(n) => {
+                conn.reader.push(&chunk[..n]);
+                if !dispatch_frames(conn, token, shared) {
+                    return false;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+}
+
+fn dispatch_frames(conn: &mut Conn, token: u64, shared: &Shared) -> bool {
+    while !conn.closing {
+        match conn.reader.next_frame() {
+            Ok(Some(payload)) => dispatch_payload(conn, token, shared, payload),
+            Ok(None) => break,
+            Err(e) => {
+                // Framing poison (oversized prefix): report, close.
+                conn.out
+                    .push(&frame_legacy(&Response::Err(format!("bad frame: {e}"))));
+                conn.closing = true;
+            }
+        }
+    }
+    true
+}
+
+fn dispatch_payload(conn: &mut Conn, token: u64, shared: &Shared, payload: Vec<u8>) {
+    if conn.mux {
+        match decode_mux(&payload) {
+            Ok(f) if f.kind == MUX_REQ => {
+                conn.in_flight.insert(f.id);
+                enqueue(
+                    shared,
+                    Job {
+                        token,
+                        payload: f.body,
+                        mux_id: Some(f.id),
+                    },
+                );
+            }
+            Ok(f) if f.kind == MUX_CANCEL => {
+                // Only ids actually pending can be cancelled; anything
+                // else already completed (or never existed) and the
+                // cancel is a no-op, not state to keep forever.
+                if conn.in_flight.contains(&f.id) {
+                    conn.cancelled.insert(f.id);
+                }
+            }
+            Ok(f) => {
+                // A response-direction kind from a client: desync.
+                conn.out.push(&frame_legacy(&Response::Err(format!(
+                    "bad request: unexpected mux kind {:#04x} from a client",
+                    f.kind
+                ))));
+                conn.closing = true;
+            }
+            Err(e) => {
+                // Un-muxed bytes on a muxed connection cannot be
+                // resynchronized; answer once and hang up.
+                conn.out
+                    .push(&frame_legacy(&Response::Err(format!("bad request: {e}"))));
+                conn.closing = true;
+            }
+        }
+    } else if conn.busy {
+        conn.pending.push_back(payload);
+    } else {
+        start_legacy(conn, token, shared, payload);
+    }
+}
+
+/// Starts one legacy (one-in-flight) payload: Hello and strict-mode
+/// refusals inline on the loop thread, everything else to the pool.
+fn start_legacy(conn: &mut Conn, token: u64, shared: &Shared, payload: Vec<u8>) {
+    if payload.first() == Some(&OP_HELLO) {
+        handle_hello(conn, shared, &payload);
+        return;
+    }
+    if shared.strict
+        && shared.wire_version < crate::wire::TRACED_MIN_VERSION
+        && matches!(payload.first(), Some(&(OP_TRACED | OP_METRICS)))
+    {
+        // A real v2 release has no decoder for these opcodes: it
+        // answers "bad request" and hangs up. Emulate it exactly.
+        let op = payload[0];
+        conn.out.push(&frame_legacy(&Response::Err(format!(
+            "bad request: unknown opcode {op:#04x}"
+        ))));
+        conn.closing = true;
+        return;
+    }
+    conn.busy = true;
+    enqueue(
+        shared,
+        Job {
+            token,
+            payload,
+            mux_id: None,
+        },
+    );
+}
+
+/// The handshake, inline on the loop thread: cheap, and the connection
+/// must flip to mux framing before any later buffered frame is parsed.
+fn handle_hello(conn: &mut Conn, shared: &Shared, payload: &[u8]) {
+    let started = std::time::Instant::now();
+    let cap = shared.wire_version;
+    let resp = match decode_request(payload) {
+        Ok(Request::Hello { version }) => {
+            let ok = if shared.strict {
+                version == cap
+            } else {
+                (MIN_WIRE_VERSION..=cap).contains(&version)
+            };
+            if ok {
+                // Answer the client's version: it is the highest both
+                // sides speak, so an old client keeps its old protocol.
+                conn.version = version;
+                conn.mux = version >= MUX_MIN_VERSION;
+                Response::Hello { version }
+            } else {
+                // A peer outside the window we can speak must not get
+                // garbage answers; reject the handshake and close. A
+                // strict server names its one version (no window — old
+                // releases had no negotiation range to advertise).
+                conn.closing = true;
+                if shared.strict {
+                    Response::Err(format!(
+                        "wire version mismatch: shard speaks {cap}, client speaks {version}"
+                    ))
+                } else {
+                    Response::Err(format!(
+                        "wire version mismatch: shard speaks {MIN_WIRE_VERSION}..={cap}, client speaks {version}"
+                    ))
+                }
+            }
+        }
+        Ok(_) | Err(_) => {
+            conn.closing = true;
+            Response::Err("bad request: malformed handshake".into())
+        }
+    };
+    shared
+        .state
+        .registry
+        .histogram("shard.hello.latency")
+        .observe(started.elapsed());
+    conn.out.push(&frame_legacy(&resp));
+}
+
+fn enqueue(shared: &Shared, job: Job) {
+    shared.work.jobs.lock().expect("work queue").push_back(job);
+    shared.work.ready.notify_one();
+}
+
+/// Hands one finished response to its connection and, on a legacy
+/// connection, releases the next queued frame to the pool.
+fn deliver(conns: &mut HashMap<u64, Conn>, shared: &Shared, done: Completion) {
+    let Some(conn) = conns.get_mut(&done.token) else {
+        return; // connection died while the request ran
+    };
+    match done.mux_id {
+        Some(id) => {
+            conn.in_flight.remove(&id);
+            if !conn.cancelled.remove(&id) {
+                conn.out.push(&done.bytes);
+            }
+            if done.close {
+                conn.closing = true;
+            }
+        }
+        None => {
+            conn.out.push(&done.bytes);
+            if done.close {
+                conn.closing = true;
+                conn.pending.clear();
+            } else {
+                conn.busy = false;
+                while !conn.busy && !conn.closing {
+                    let Some(next) = conn.pending.pop_front() else {
+                        break;
+                    };
+                    start_legacy(conn, done.token, shared, next);
+                }
+            }
+        }
+    }
+}
+
+/// Writes what the socket will take. Returns `false` when the
+/// connection is finished (dead socket, or `closing` fully flushed).
+fn flush(conn: &mut Conn) -> bool {
+    while !conn.out.is_empty() {
+        match conn.stream.write(conn.out.unwritten()) {
+            Ok(0) => return false,
+            Ok(n) => conn.out.consume(n),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    !(conn.closing && conn.out.is_empty())
+}
+
+// ── the worker pool ─────────────────────────────────────────────────────
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut jobs = shared.work.jobs.lock().expect("work queue");
+            loop {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                // The timeout is a belt-and-braces stop check; the
+                // shutdown notify_all makes exit immediate.
+                let (guard, _) = shared
+                    .work
+                    .ready
+                    .wait_timeout(jobs, Duration::from_millis(100))
+                    .expect("work queue");
+                jobs = guard;
+            }
+        };
+        let done = execute(&shared.state, job);
+        shared.done.lock().expect("completion queue").push(done);
+        shared.wake.wake();
+    }
+}
+
+/// Decodes, executes and frames one request on a worker thread.
+fn execute(state: &ShardState, job: Job) -> Completion {
+    let (response, after) = match decode_request(&job.payload) {
+        Ok(req) => {
+            let op = op_name(&req);
+            let started = std::time::Instant::now();
+            let out = handle_request(state, req);
+            state
+                .registry
+                .histogram(&format!("shard.{op}.latency"))
+                .observe(started.elapsed());
+            out
+        }
+        // An undecodable legacy frame means the peer and we disagree
+        // about the protocol; answer once and hang up rather than
+        // guess at resync. On a mux connection the *framing* is intact
+        // — only this request's body is garbage — so the error answers
+        // under its id and every other in-flight request proceeds.
+        Err(e) => (
+            Response::Err(format!("bad request: {e}")),
+            if job.mux_id.is_some() {
+                After::KeepOpen
+            } else {
+                After::Close
+            },
+        ),
+    };
+    let bytes = match job.mux_id {
+        None => frame_legacy(&response),
+        Some(id) => frame_mux(id, &response),
+    };
+    Completion {
+        token: job.token,
+        mux_id: job.mux_id,
+        bytes,
+        close: matches!(after, After::Close),
+    }
+}
+
+/// Frames a legacy (un-muxed) response. The only oversize response is
+/// a snapshot stream; a legacy peer gets a (small) error frame instead
+/// of a poisoned connection — streaming needs a v4 handshake.
+fn frame_legacy(response: &Response) -> Vec<u8> {
+    match frame(&encode_response(response)) {
         Ok(framed) => framed,
-        // The only oversize response is a snapshot stream; refuse it
-        // with a (small) error frame instead of poisoning the peer.
         Err(e) => frame(&encode_response(&Response::Err(format!(
             "response exceeds the frame cap: {e}"
         ))))
         .expect("the error frame is small"),
-    };
-    writer.write_all(&framed)?;
-    writer.flush()
+    }
+}
+
+/// Frames a mux response: one `MUX_RESP` frame, or a `MUX_CHUNK…END`
+/// stream when the response outgrows [`STREAM_CHUNK`] — this is where
+/// the old 64 MiB answer cap dies.
+fn frame_mux(id: u64, response: &Response) -> Vec<u8> {
+    let encoded = encode_response(response);
+    let mut out = Vec::with_capacity(encoded.len() + 64);
+    for payload in split_response(id, &encoded, STREAM_CHUNK) {
+        out.extend_from_slice(&frame(&payload).expect("chunks fit under the frame cap"));
+    }
+    out
 }
 
 fn poisoned<T>(_: T) -> Response {
@@ -629,18 +1100,22 @@ mod tests {
         crate::wire::decode_response(&payload).unwrap()
     }
 
+    /// Handshakes at v3: the newest **legacy** (one-in-flight, plain
+    /// frames) protocol, which is what `roundtrip` speaks. A v4
+    /// handshake flips the connection to mux framing — covered by the
+    /// dedicated mux tests below.
     fn hello(addr: SocketAddr) -> TcpStream {
         let mut s = TcpStream::connect(addr).unwrap();
         let resp = roundtrip(
             &mut s,
             &Request::Hello {
-                version: WIRE_VERSION,
+                version: crate::wire::TRACED_MIN_VERSION,
             },
         );
         assert_eq!(
             resp,
             Response::Hello {
-                version: WIRE_VERSION
+                version: crate::wire::TRACED_MIN_VERSION
             }
         );
         s
@@ -867,7 +1342,7 @@ mod tests {
             threads: 1,
             max_connections: 1,
             universe_size: 100.0,
-            wal: None,
+            ..ShardServerConfig::default()
         })
         .unwrap();
         // The first connection fills the cap…
@@ -1149,6 +1624,316 @@ mod tests {
         server_b.shutdown();
         let _ = std::fs::remove_dir_all(&dir_a);
         let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    // ── mux framing (v4) ────────────────────────────────────────────
+
+    use crate::wire::{
+        decode_mux, encode_mux, MuxReassembly, MAX_FRAME as CAP, MUX_CANCEL, MUX_CHUNK, MUX_REQ,
+    };
+
+    /// Handshakes at v4, flipping the connection to mux framing.
+    fn hello_mux(addr: SocketAddr) -> TcpStream {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let resp = roundtrip(
+            &mut s,
+            &Request::Hello {
+                version: WIRE_VERSION,
+            },
+        );
+        assert_eq!(
+            resp,
+            Response::Hello {
+                version: WIRE_VERSION
+            }
+        );
+        s
+    }
+
+    fn mux_send(s: &mut TcpStream, id: u64, req: &Request) {
+        s.write_all(&frame(&encode_mux(MUX_REQ, id, &encode_request(req))).unwrap())
+            .unwrap();
+    }
+
+    /// Reads server frames until one response completes; counts the
+    /// chunk frames it took.
+    fn mux_read(
+        s: &mut TcpStream,
+        reasm: &mut MuxReassembly,
+        chunks: &mut usize,
+    ) -> (u64, Response) {
+        loop {
+            let payload = read_frame(s).unwrap().expect("mux frame");
+            let f = decode_mux(&payload).unwrap();
+            if f.kind == MUX_CHUNK {
+                *chunks += 1;
+            }
+            if let Some((id, bytes)) = reasm.accept(f).unwrap() {
+                return (id, crate::wire::decode_response(&bytes).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn mux_session_pipelines_many_requests_on_one_connection() {
+        let server = start();
+        let mut s = hello_mux(server.addr());
+        mux_send(
+            &mut s,
+            1,
+            &Request::Create {
+                name: "objs".into(),
+            },
+        );
+        let mut reasm = MuxReassembly::new();
+        let mut chunks = 0;
+        let (id, resp) = mux_read(&mut s, &mut reasm, &mut chunks);
+        assert_eq!(id, 1);
+        let coll = match resp {
+            Response::Coll(c) => c,
+            other => panic!("{other:?}"),
+        };
+        // Pipeline a burst of requests before reading any answer: the
+        // whole point of mux framing. Responses may complete in any
+        // order; ids pair every answer with its question.
+        for i in 0..8u64 {
+            let lo = 2.0 * i as f64;
+            mux_send(
+                &mut s,
+                100 + i,
+                &Request::Insert {
+                    coll,
+                    region: Region::from_box(AaBox::new([lo, lo], [lo + 1.0, lo + 1.0])),
+                },
+            );
+        }
+        let mut slots = std::collections::HashMap::new();
+        for _ in 0..8 {
+            let (id, resp) = mux_read(&mut s, &mut reasm, &mut chunks);
+            match resp {
+                Response::Slot(n) => assert!(slots.insert(id, n).is_none()),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(slots.len(), 8, "every id answered exactly once");
+        let mut seen: Vec<u64> = slots.into_values().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+        // A bad request *body* errors under its id and the connection
+        // survives — the framing layer is intact.
+        s.write_all(&frame(&encode_mux(MUX_REQ, 999, &[0xEE, 1, 2])).unwrap())
+            .unwrap();
+        let (id, resp) = mux_read(&mut s, &mut reasm, &mut chunks);
+        assert_eq!(id, 999);
+        match resp {
+            Response::Err(m) => assert!(m.contains("bad request"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+        mux_send(&mut s, 1000, &Request::Stat);
+        let (id, resp) = mux_read(&mut s, &mut reasm, &mut chunks);
+        assert_eq!(id, 1000);
+        assert_eq!(resp, Response::Stat(vec![("objs".into(), 8, 8)]));
+        server.shutdown();
+    }
+
+    #[test]
+    fn cancelled_requests_are_never_answered() {
+        // One worker: request A occupies it while B waits in the
+        // queue, so the cancel (dispatched by the loop thread the
+        // moment it reads the frame, microseconds after B is queued)
+        // deterministically lands while B is still pending.
+        let server = serve_shard(&ShardServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            universe_size: 100.0,
+            ..ShardServerConfig::default()
+        })
+        .unwrap();
+        {
+            let mut d = server.state.db.write().unwrap();
+            let coll = d.collection("bulk");
+            for i in 0..50_000u64 {
+                let x = (i % 90) as f64;
+                let y = ((i / 90) % 90) as f64;
+                d.insert(
+                    coll,
+                    Region::from_box(AaBox::new([x, y], [x + 0.5, y + 0.5])),
+                );
+            }
+        }
+        let mut s = hello_mux(server.addr());
+        // A (slow: a multi-megabyte snapshot), B, cancel-B, C — written
+        // back-to-back so the loop dispatches them in one batch.
+        let mut burst = Vec::new();
+        burst.extend_from_slice(
+            &frame(&encode_mux(
+                MUX_REQ,
+                1,
+                &encode_request(&Request::SnapshotRead),
+            ))
+            .unwrap(),
+        );
+        burst.extend_from_slice(
+            &frame(&encode_mux(MUX_REQ, 2, &encode_request(&Request::Stat))).unwrap(),
+        );
+        burst.extend_from_slice(&frame(&encode_mux(MUX_CANCEL, 2, &[])).unwrap());
+        burst.extend_from_slice(
+            &frame(&encode_mux(MUX_REQ, 3, &encode_request(&Request::Check))).unwrap(),
+        );
+        s.write_all(&burst).unwrap();
+        let mut reasm = MuxReassembly::new();
+        let mut chunks = 0;
+        let mut answered = Vec::new();
+        for _ in 0..2 {
+            let (id, _) = mux_read(&mut s, &mut reasm, &mut chunks);
+            answered.push(id);
+        }
+        answered.sort_unstable();
+        assert_eq!(answered, vec![1, 3], "id 2 was cancelled, never answered");
+        server.shutdown();
+    }
+
+    #[test]
+    fn answers_past_the_frame_cap_stream_as_chunked_frames() {
+        let server = start();
+        // Populate directly — in-process, not via 1.7M wire inserts —
+        // until the snapshot stream is provably bigger than one frame.
+        // Calibrate bytes-per-object from a probe batch so the test
+        // tracks the snapshot codec instead of hard-coding its size.
+        {
+            let mut d = server.state.db.write().unwrap();
+            let coll = d.collection("bulk");
+            // Fat regions (64 fragment boxes each) reach the byte
+            // target with ~50× fewer index inserts than singletons —
+            // the snapshot stores every fragment, the indexes only the
+            // bounding box.
+            let insert = |d: &mut SpatialDatabase<2>, i: u64| {
+                let x = (i % 80) as f64;
+                let y = ((i / 80) % 80) as f64;
+                let cells = (0..64u64).map(|j| {
+                    let fx = x + (j % 8) as f64 * 0.125;
+                    let fy = y + (j / 8) as f64 * 0.125;
+                    AaBox::new([fx, fy], [fx + 0.06, fy + 0.06])
+                });
+                d.insert(coll, Region::from_boxes(cells));
+            };
+            let probe = 256u64;
+            for i in 0..probe {
+                insert(&mut d, i);
+            }
+            let per_object = (snapshot::save(&d).len() / probe as usize).max(1);
+            let target = CAP + CAP / 16; // comfortably past the cap
+            let total = (target / per_object) as u64 + probe;
+            for i in probe..total {
+                insert(&mut d, i);
+            }
+        }
+        // A legacy connection still gets the old refusal…
+        let mut legacy = hello(server.addr());
+        match roundtrip(&mut legacy, &Request::SnapshotRead) {
+            Response::Err(m) => assert!(m.contains("exceeds the frame cap"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+        // …while a v4 connection streams the whole answer as chunks.
+        let mut s = hello_mux(server.addr());
+        mux_send(&mut s, 7, &Request::SnapshotRead);
+        let mut reasm = MuxReassembly::new();
+        let mut chunks = 0;
+        let (id, resp) = mux_read(&mut s, &mut reasm, &mut chunks);
+        assert_eq!(id, 7);
+        let stream = match resp {
+            Response::Bytes(b) => b,
+            other => panic!("{other:?}"),
+        };
+        assert!(
+            stream.len() > CAP,
+            "the reassembled answer ({} bytes) must beat the {CAP}-byte cap",
+            stream.len()
+        );
+        assert!(chunks >= 2, "a >cap answer takes multiple chunks");
+        let loaded = snapshot::load::<2>(&stream).expect("streamed snapshot decodes");
+        let d = server.state.db.read().unwrap();
+        assert_eq!(
+            loaded.collection_len(CollectionId(0)),
+            d.collection_len(CollectionId(0))
+        );
+        drop(d);
+        server.shutdown();
+    }
+
+    #[test]
+    fn wire_version_cap_rehearses_a_rolling_upgrade() {
+        // A v4 build capped at v3 behaves exactly like the old release:
+        // v4 clients are told the window and negotiate down; v3 and v2
+        // clients proceed untouched.
+        let server = serve_shard(&ShardServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            universe_size: 100.0,
+            wire_version: 3,
+            ..ShardServerConfig::default()
+        })
+        .unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        match roundtrip(
+            &mut s,
+            &Request::Hello {
+                version: WIRE_VERSION,
+            },
+        ) {
+            Response::Err(m) => {
+                assert!(m.contains("shard speaks 2..=3"), "{m}");
+                assert!(m.contains("client speaks 4"), "{m}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(read_frame(&mut s).unwrap(), None, "mismatch closes");
+        let mut s = hello(server.addr()); // v3 handshake succeeds
+        assert_eq!(roundtrip(&mut s, &Request::Stat), Response::Stat(vec![]));
+        server.shutdown();
+    }
+
+    #[test]
+    fn strict_mode_is_a_faithful_v2_server() {
+        let server = serve_shard(&ShardServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            universe_size: 100.0,
+            wire_version: 2,
+            strict: true,
+            ..ShardServerConfig::default()
+        })
+        .unwrap();
+        // The mismatch names ONE version — a pre-negotiation release
+        // had no window to advertise.
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        match roundtrip(
+            &mut s,
+            &Request::Hello {
+                version: WIRE_VERSION,
+            },
+        ) {
+            Response::Err(m) => {
+                assert!(m.contains("shard speaks 2,"), "{m}");
+                assert!(!m.contains("..="), "strict mode advertises no window: {m}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(read_frame(&mut s).unwrap(), None);
+        // At exactly v2 the full op surface works…
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        assert_eq!(
+            roundtrip(&mut s, &Request::Hello { version: 2 }),
+            Response::Hello { version: 2 }
+        );
+        assert_eq!(roundtrip(&mut s, &Request::Stat), Response::Stat(vec![]));
+        // …but the v3 opcodes are as unknown as they were in 2022.
+        match roundtrip(&mut s, &Request::Metrics) {
+            Response::Err(m) => assert!(m.contains("bad request"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(read_frame(&mut s).unwrap(), None, "a real v2 hangs up");
+        server.shutdown();
     }
 
     #[test]

@@ -11,8 +11,14 @@
 //! A connection opens with a handshake — the client sends
 //! [`Request::Hello`] carrying the `SCQW` magic and its protocol
 //! version, the server answers with its own version or rejects a
-//! mismatch and closes. After that the client sends one request frame
-//! at a time and reads exactly one response frame per request.
+//! mismatch and closes. On a v3-or-older connection the client then
+//! sends one request frame at a time and reads exactly one response
+//! frame per request. When both ends negotiate version 4 or newer the
+//! connection switches to **multiplexed** framing: every payload after
+//! the handshake carries a mux header (`u8 kind | u64 LE request id`),
+//! many requests may be in flight at once, responses may arrive out of
+//! order, and oversized answers stream as a chunk sequence closed by an
+//! explicit end-of-stream frame (see the *mux framing* section).
 //!
 //! Decoding is defensive in the snapshot codecs' named-error style: a
 //! frame longer than [`MAX_FRAME`] is rejected **before** any
@@ -36,17 +42,36 @@ pub const WIRE_MAGIC: &[u8; 4] = b"SCQW";
 /// Current wire protocol version. Version 2 added the WAL operations
 /// ([`Request::WalStat`] / [`Request::WalExport`] /
 /// [`Request::WalApply`]); version 3 added request tracing
-/// ([`Request::Traced`]) and the metrics scrape ([`Request::Metrics`]).
-pub const WIRE_VERSION: u16 = 3;
+/// ([`Request::Traced`]) and the metrics scrape ([`Request::Metrics`]);
+/// version 4 added request-id multiplexing and chunked response
+/// streaming ([`MUX_REQ`] and friends) — many requests in flight per
+/// connection, out-of-order completion, and answers bigger than one
+/// frame.
+pub const WIRE_VERSION: u16 = 4;
 /// Oldest protocol version this build still interoperates with. The
-/// handshake negotiates `min(client, server)` down to this floor: a v3
-/// client talks plain v2 (no trace headers, no metrics opcode) to a v2
-/// server, and a v3 server accepts v2 clients unchanged.
+/// handshake negotiates `min(client, server)` down to this floor: a v4
+/// client talks plain v2 (no trace headers, no metrics opcode, no mux
+/// framing) to a v2 server, and a v4 server accepts v2/v3 clients
+/// unchanged.
 pub const MIN_WIRE_VERSION: u16 = 2;
-/// Hard cap on one frame's payload (snapshot streams are the largest
-/// legitimate frames). A length prefix above this is rejected before
-/// any buffer is reserved.
+/// First protocol version that understands [`Request::Traced`] and
+/// [`Request::Metrics`]. Clients must not send either to a peer that
+/// negotiated below this.
+pub const TRACED_MIN_VERSION: u16 = 3;
+/// First protocol version that speaks mux framing (request ids, chunked
+/// streams). Below this a connection is strictly one-in-flight.
+pub const MUX_MIN_VERSION: u16 = 4;
+/// Hard cap on **one frame's** payload (snapshot streams are the
+/// largest legitimate single frames). A length prefix above this is
+/// rejected before any buffer is reserved. Since v4 this is no longer a
+/// cap on an *answer*: a response larger than one frame streams as a
+/// [`MUX_CHUNK`] sequence, each chunk individually under the cap, with
+/// no bound on the reassembled total.
 pub const MAX_FRAME: usize = 64 << 20;
+/// Chunk size a v4 server slices oversized responses into. Deliberately
+/// far below [`MAX_FRAME`] so a streaming answer never monopolizes the
+/// connection: other responses interleave between chunks.
+pub const STREAM_CHUNK: usize = 1 << 20;
 
 /// Errors produced while encoding, framing or decoding wire messages.
 #[derive(Clone, Debug, PartialEq)]
@@ -350,7 +375,8 @@ impl Response {
 /// same [`MAX_FRAME`] cap the receiver does: an oversized payload (a
 /// giant snapshot stream) is a named error here, before any bytes hit
 /// the socket — not a poisoned connection on the other end. (Past the
-/// cap, streaming in chunks is the answer; see ROADMAP.)
+/// cap, a v4 connection streams the answer as [`MUX_CHUNK`] frames,
+/// each individually under the cap.)
 pub fn frame(payload: &[u8]) -> Result<Vec<u8>, WireError> {
     if payload.len() > MAX_FRAME {
         return Err(WireError::Oversized {
@@ -1101,6 +1127,187 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
     Ok(resp)
 }
 
+// ── mux framing (v4) ────────────────────────────────────────────────────
+//
+// After a handshake that lands on version 4 or newer, every payload on
+// the connection (both directions) carries a 9-byte mux header in front
+// of the v3 message bytes:
+//
+// ```text
+// payload := u8 mux-kind | u64 LE request id | body
+// ```
+//
+// The outer `u32 LE length | payload` framing is unchanged, so
+// `FrameReader`, `read_frame` and every frame-level tool (the fault
+// proxy included) work on mux traffic untouched. The kind bytes live in
+// 0xF1..=0xF5 — disjoint from every request opcode (0x01..=0x12) and
+// response status byte (0x00/0x01), so a plain v3 payload can never be
+// mistaken for a mux one (`is_mux`). Hello frames are exchanged before
+// the version is known and therefore always travel un-muxed.
+//
+// Responses complete in one of two shapes: a single [`MUX_RESP`] frame
+// carrying the whole encoded response, or — when the response exceeds
+// the server's chunk threshold — a run of [`MUX_CHUNK`] frames closed
+// by a [`MUX_END`] frame, all sharing the request id. Chunks of
+// *different* ids may interleave freely; [`MuxReassembly`] keeps the
+// per-id partial buffers apart and never mixes them.
+
+/// Mux kind: client→server, `body` is an encoded [`Request`].
+pub const MUX_REQ: u8 = 0xF1;
+/// Mux kind: server→client, `body` is a complete encoded [`Response`].
+pub const MUX_RESP: u8 = 0xF2;
+/// Mux kind: server→client, one non-final slice of an oversized
+/// response. The reassembled concatenation of every chunk body plus the
+/// [`MUX_END`] body is the encoded [`Response`].
+pub const MUX_CHUNK: u8 = 0xF3;
+/// Mux kind: server→client, the final slice of a chunked response —
+/// the explicit end-of-stream marker.
+pub const MUX_END: u8 = 0xF4;
+/// Mux kind: client→server, empty body. The client no longer wants the
+/// answer for this id; the server drops any undelivered frames for it.
+/// Best-effort — a response already in flight may still arrive and is
+/// discarded client-side.
+pub const MUX_CANCEL: u8 = 0xF5;
+
+/// Byte length of the mux header (`u8` kind + `u64` request id).
+pub const MUX_HEADER: usize = 9;
+
+/// Whether a decoded frame payload is mux-framed (first byte is a mux
+/// kind). Kind bytes are disjoint from opcodes and status bytes, so
+/// this is unambiguous on any well-formed payload.
+pub fn is_mux(payload: &[u8]) -> bool {
+    matches!(payload.first(), Some(&k) if (MUX_REQ..=MUX_CANCEL).contains(&k))
+}
+
+/// One decoded mux frame: kind byte, request id, and the body bytes
+/// (an encoded request, an encoded response, or a response slice).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MuxFrame {
+    /// One of [`MUX_REQ`]..=[`MUX_CANCEL`].
+    pub kind: u8,
+    /// The request id this frame belongs to.
+    pub id: u64,
+    /// Frame body (may be empty, e.g. [`MUX_CANCEL`]).
+    pub body: Vec<u8>,
+}
+
+/// Prepends the mux header to a body, producing a frame payload ready
+/// for [`frame`].
+pub fn encode_mux(kind: u8, id: u64, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MUX_HEADER + body.len());
+    out.put_u8(kind);
+    out.put_u64_le(id);
+    out.put_slice(body);
+    out
+}
+
+/// Splits a mux header off a frame payload. A payload shorter than the
+/// header is [`WireError::Truncated`]; an unknown kind byte is
+/// [`WireError::BadOpcode`] — named errors in the codec's usual style,
+/// never a panic.
+pub fn decode_mux(payload: &[u8]) -> Result<MuxFrame, WireError> {
+    if payload.len() < MUX_HEADER {
+        return Err(WireError::Truncated);
+    }
+    let kind = payload[0];
+    if !(MUX_REQ..=MUX_CANCEL).contains(&kind) {
+        return Err(WireError::BadOpcode(kind));
+    }
+    let id = u64::from_le_bytes(payload[1..MUX_HEADER].try_into().unwrap());
+    Ok(MuxFrame {
+        kind,
+        id,
+        body: payload[MUX_HEADER..].to_vec(),
+    })
+}
+
+/// Splits one encoded response into the mux payloads that deliver it
+/// for request `id`: a single [`MUX_RESP`] when it fits in `chunk`
+/// bytes, otherwise [`MUX_CHUNK`] slices closed by a [`MUX_END`]
+/// carrying the final slice. Servers pass [`STREAM_CHUNK`]; tests pass
+/// tiny chunk sizes to exercise many-chunk streams cheaply.
+pub fn split_response(id: u64, response: &[u8], chunk: usize) -> Vec<Vec<u8>> {
+    let chunk = chunk.max(1);
+    if response.len() <= chunk {
+        return vec![encode_mux(MUX_RESP, id, response)];
+    }
+    let mut out = Vec::with_capacity(response.len() / chunk + 1);
+    let mut slices = response.chunks(chunk).peekable();
+    while let Some(s) = slices.next() {
+        let kind = if slices.peek().is_some() {
+            MUX_CHUNK
+        } else {
+            MUX_END
+        };
+        out.push(encode_mux(kind, id, s));
+    }
+    out
+}
+
+/// Client-side reassembly of interleaved mux response streams: partial
+/// chunk buffers keyed by request id, so chunks of different requests
+/// can interleave arbitrarily and still reassemble into the right
+/// answers. Feed every inbound server frame to [`MuxReassembly::accept`];
+/// it yields `(id, response bytes)` exactly when a response completes.
+#[derive(Debug, Default)]
+pub struct MuxReassembly {
+    partial: std::collections::HashMap<u64, Vec<u8>>,
+}
+
+impl MuxReassembly {
+    /// Empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accepts one server→client mux frame. Returns the completed
+    /// `(id, response bytes)` when this frame finishes a response
+    /// ([`MUX_RESP`], or [`MUX_END`] closing a chunk run), `None` while
+    /// a stream is still open. Client-side kinds ([`MUX_REQ`],
+    /// [`MUX_CANCEL`]) and a [`MUX_RESP`] colliding with an open chunk
+    /// stream for the same id are [`WireError::Unexpected`] — a
+    /// desynchronized peer, kept loud.
+    pub fn accept(&mut self, frame: MuxFrame) -> Result<Option<(u64, Vec<u8>)>, WireError> {
+        match frame.kind {
+            MUX_RESP => {
+                if self.partial.contains_key(&frame.id) {
+                    return Err(WireError::Unexpected(format!(
+                        "unchunked response for request {} with a chunk stream open",
+                        frame.id
+                    )));
+                }
+                Ok(Some((frame.id, frame.body)))
+            }
+            MUX_CHUNK => {
+                self.partial
+                    .entry(frame.id)
+                    .or_default()
+                    .extend_from_slice(&frame.body);
+                Ok(None)
+            }
+            MUX_END => {
+                let mut buf = self.partial.remove(&frame.id).unwrap_or_default();
+                buf.extend_from_slice(&frame.body);
+                Ok(Some((frame.id, buf)))
+            }
+            other => Err(WireError::Unexpected(format!(
+                "client received mux kind {other:#04x} (request-direction frame)"
+            ))),
+        }
+    }
+
+    /// Drops any partial stream for `id` (a cancelled or timed-out
+    /// request). Returns whether a partial stream existed.
+    pub fn abort(&mut self, id: u64) -> bool {
+        self.partial.remove(&id).is_some()
+    }
+
+    /// Number of ids with a chunk stream currently open.
+    pub fn in_progress(&self) -> usize {
+        self.partial.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1494,6 +1701,230 @@ mod tests {
             // the un-truncated frame still reads back whole
             let mut r: &[u8] = &framed;
             assert!(read_frame(&mut r).unwrap().is_some());
+        }
+    }
+
+    // ── mux framing (v4) ────────────────────────────────────────────
+
+    #[test]
+    fn mux_frames_round_trip() {
+        let body = encode_request(&Request::Stat);
+        for (kind, id, body) in [
+            (MUX_REQ, 1u64, body.clone()),
+            (MUX_RESP, u64::MAX, encode_response(&Response::Ok)),
+            (MUX_CHUNK, 7, vec![0xAB; 100]),
+            (MUX_END, 7, vec![]),
+            (MUX_CANCEL, 42, vec![]),
+        ] {
+            let payload = encode_mux(kind, id, &body);
+            assert!(is_mux(&payload));
+            let frame = decode_mux(&payload).unwrap();
+            assert_eq!(frame, MuxFrame { kind, id, body });
+        }
+    }
+
+    #[test]
+    fn mux_kinds_are_disjoint_from_plain_payloads() {
+        // No v3 request or response payload can be mistaken for a mux
+        // frame: kind bytes live above every opcode and status byte.
+        for req in sample_requests() {
+            assert!(!is_mux(&encode_request(&req)), "{req:?}");
+        }
+        for resp in sample_responses() {
+            assert!(!is_mux(&encode_response(&resp)), "{resp:?}");
+        }
+        assert!(!is_mux(&[]));
+        assert_eq!(
+            decode_mux(&encode_mux(0xF6, 1, &[])).err(),
+            Some(WireError::BadOpcode(0xF6))
+        );
+    }
+
+    #[test]
+    fn split_response_streams_and_reassembles_exactly() {
+        let resp = Response::Ids((0..1000).collect());
+        let encoded = encode_response(&resp);
+        // Fits: one MUX_RESP.
+        let whole = split_response(3, &encoded, encoded.len());
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0][0], MUX_RESP);
+        // Oversized: CHUNK… + END, every slice under the chunk size,
+        // reassembling byte-exact.
+        let parts = split_response(3, &encoded, 100);
+        assert!(parts.len() >= 2);
+        let mut reasm = MuxReassembly::new();
+        let mut done = None;
+        for (i, p) in parts.iter().enumerate() {
+            let f = decode_mux(p).unwrap();
+            assert!(f.body.len() <= 100);
+            assert_eq!(f.id, 3);
+            let expected_kind = if i + 1 == parts.len() {
+                MUX_END
+            } else {
+                MUX_CHUNK
+            };
+            assert_eq!(f.kind, expected_kind, "slice {i}");
+            if let Some(full) = reasm.accept(f).unwrap() {
+                assert_eq!(i + 1, parts.len(), "completed before the END frame");
+                done = Some(full);
+            }
+        }
+        let (id, bytes) = done.expect("stream never completed");
+        assert_eq!(id, 3);
+        assert_eq!(bytes, encoded);
+        assert_eq!(decode_response(&bytes).unwrap(), resp);
+        assert_eq!(reasm.in_progress(), 0);
+    }
+
+    #[test]
+    fn mux_reassembly_rejects_request_direction_and_colliding_frames() {
+        let mut reasm = MuxReassembly::new();
+        for kind in [MUX_REQ, MUX_CANCEL] {
+            assert!(matches!(
+                reasm.accept(MuxFrame {
+                    kind,
+                    id: 1,
+                    body: vec![]
+                }),
+                Err(WireError::Unexpected(_))
+            ));
+        }
+        // A whole response colliding with an open chunk stream for the
+        // same id is a desynchronized server, not silently resolved.
+        reasm
+            .accept(MuxFrame {
+                kind: MUX_CHUNK,
+                id: 9,
+                body: vec![1, 2],
+            })
+            .unwrap();
+        assert!(matches!(
+            reasm.accept(MuxFrame {
+                kind: MUX_RESP,
+                id: 9,
+                body: vec![]
+            }),
+            Err(WireError::Unexpected(_))
+        ));
+        // Aborting a cancelled id drops its partial bytes.
+        assert!(reasm.abort(9));
+        assert!(!reasm.abort(9));
+        assert_eq!(reasm.in_progress(), 0);
+    }
+
+    /// The v4 mirror of [`every_framing_truncation_offset_is_a_named_error`]:
+    /// cut a framed mux message (request, whole response, chunk,
+    /// end-of-stream, cancel) at every byte offset. The frame layer
+    /// yields the same named errors as v3 (the outer framing is
+    /// unchanged), and a payload cut inside the 9-byte mux header is
+    /// [`WireError::Truncated`] from `decode_mux`.
+    #[test]
+    fn every_mux_truncation_offset_is_a_named_error() {
+        let req_body = encode_request(&Request::Query {
+            coll: CollectionId(0),
+            kind: IndexKind::RTree,
+            query: CornerQuery::unconstrained(),
+        });
+        let resp_body = encode_response(&Response::Ids(vec![1, 2, 3]));
+        let payloads = vec![
+            encode_mux(MUX_REQ, 1, &req_body),
+            encode_mux(MUX_RESP, 2, &resp_body),
+            encode_mux(MUX_CHUNK, 3, &resp_body[..5]),
+            encode_mux(MUX_END, 3, &resp_body[5..]),
+            encode_mux(MUX_CANCEL, 4, &[]),
+        ];
+        for payload in payloads {
+            // Frame layer: identical behavior to v3 framing.
+            let framed = frame(&payload).unwrap();
+            for cut in 0..framed.len() {
+                let mut r: &[u8] = &framed[..cut];
+                match read_frame(&mut r) {
+                    Ok(None) => assert_eq!(cut, 0),
+                    Err(WireError::TruncatedLengthPrefix { got }) => {
+                        assert!((1..4).contains(&cut));
+                        assert_eq!(got, cut);
+                    }
+                    Err(WireError::Truncated) => assert!(cut >= 4),
+                    other => panic!("offset {cut}: unexpected {other:?}"),
+                }
+            }
+            // Mux header layer: a cut inside the header is named; past
+            // the header the frame decodes (the body is opaque here)
+            // and the *inner* codec is the one that rejects short
+            // bodies — covered by truncated_payloads_error_never_panic.
+            for cut in 0..payload.len() {
+                let res = decode_mux(&payload[..cut]);
+                if cut < MUX_HEADER {
+                    assert_eq!(res.err(), Some(WireError::Truncated), "cut {cut}");
+                } else {
+                    assert_eq!(res.unwrap().body, payload[MUX_HEADER..cut].to_vec());
+                }
+            }
+            // An un-truncated payload round-trips whole.
+            assert!(is_mux(&payload));
+            assert!(decode_mux(&payload).is_ok());
+        }
+    }
+}
+
+#[cfg(test)]
+mod mux_interleaving_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Responses split into chunk streams and interleaved out of
+        /// order across many request ids always reassemble byte-exact
+        /// per id — reassembly never mixes bytes across ids, whatever
+        /// the arrival order.
+        #[test]
+        fn out_of_order_interleaving_never_crosses_ids(
+            sizes in proptest::collection::vec(0usize..400, 1..6),
+            chunk in 1usize..64,
+            picks in proptest::collection::vec(0usize..64, 0..512),
+        ) {
+            // One response per id: distinct, recognizable bodies.
+            let responses: Vec<(u64, Vec<u8>)> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| {
+                    let id = i as u64 + 1;
+                    let ids = (0..n as u64).map(|v| v * 1000 + id).collect();
+                    (id, encode_response(&Response::Ids(ids)))
+                })
+                .collect();
+            let mut queues: Vec<std::collections::VecDeque<Vec<u8>>> = responses
+                .iter()
+                .map(|(id, enc)| split_response(*id, enc, chunk).into())
+                .collect();
+            // Interleave: each pick selects among the still-non-empty
+            // streams; leftovers drain round-robin so every stream
+            // always finishes.
+            let mut arrival = Vec::new();
+            let mut picks = picks.into_iter();
+            loop {
+                let live: Vec<usize> = (0..queues.len())
+                    .filter(|&q| !queues[q].is_empty())
+                    .collect();
+                if live.is_empty() {
+                    break;
+                }
+                let q = live[picks.next().unwrap_or(0) % live.len()];
+                arrival.push(queues[q].pop_front().unwrap());
+            }
+            let mut reasm = MuxReassembly::new();
+            let mut completed = std::collections::HashMap::new();
+            for payload in arrival {
+                let frame = decode_mux(&payload).unwrap();
+                if let Some((id, bytes)) = reasm.accept(frame).unwrap() {
+                    prop_assert!(completed.insert(id, bytes).is_none(), "id completed twice");
+                }
+            }
+            prop_assert_eq!(reasm.in_progress(), 0);
+            prop_assert_eq!(completed.len(), responses.len());
+            for (id, enc) in &responses {
+                prop_assert_eq!(completed.get(id), Some(enc));
+            }
         }
     }
 }

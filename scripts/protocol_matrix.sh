@@ -1,0 +1,213 @@
+#!/usr/bin/env bash
+# Protocol-conformance matrix: one v4 router against shard processes
+# speaking every supported wire generation — v4 (current), v3, v2, and
+# a *strict* v2 that rejects any other version outright (emulating a
+# release from before negotiation windows). For every cell the router
+# must (a) produce byte-identical answers to the v4/v4 run and (b)
+# report the negotiated version in its STAT replica health
+# (`wire=vN`), proving it really spoke the old dialect rather than
+# silently failing up to the new one.
+#
+# The final scenario severs the only shard mid-session (SIGKILL while
+# a snapshot response may be streaming) and asserts the router answers
+# with named degraded/error lines under a hard timeout — a severed
+# stream is a *named* transport error, never a hang.
+#
+# Process hygiene: every PID lands in CLEANUP_PIDS and the EXIT trap
+# kills them whatever happens.
+set -euo pipefail
+
+BIN="${SCQ_SERVE_BIN:-./target/release/scq-serve}"
+WORK="$(mktemp -d)"
+CLEANUP_PIDS=()
+
+cleanup() {
+    local status=$?
+    if [ "$status" -ne 0 ]; then
+        echo "--- protocol matrix FAILED (exit $status); process logs follow ---"
+        for log in "$WORK"/*.log; do
+            [ -f "$log" ] || continue
+            echo "::group::$(basename "$log")"
+            cat "$log"
+            echo "::endgroup::"
+        done
+        if [ -n "${SMOKE_KEEP_DIR:-}" ]; then
+            mkdir -p "$SMOKE_KEEP_DIR"
+            cp -r "$WORK"/. "$SMOKE_KEEP_DIR"/ 2>/dev/null || true
+        fi
+    fi
+    if [ "${#CLEANUP_PIDS[@]}" -gt 0 ]; then
+        kill "${CLEANUP_PIDS[@]}" 2>/dev/null || true
+        wait "${CLEANUP_PIDS[@]}" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+    exit "$status"
+}
+trap cleanup EXIT
+
+# Starts a detached server ($2...) logging to $WORK/$1.log, records its
+# PID for cleanup, and polls the log until the server prints its bound
+# address. The address lands in $ADDR, the PID in $SERVER_PID.
+start_server() {
+    local name="$1"
+    shift
+    "$@" >"$WORK/$name.log" 2>&1 &
+    SERVER_PID=$!
+    CLEANUP_PIDS+=("$SERVER_PID")
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$WORK/$name.log" | head -n 1)"
+        [ -n "$ADDR" ] && return 0
+        if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+            echo "$name exited before becoming ready" >&2
+            return 1
+        fi
+        sleep 0.1
+    done
+    echo "$name did not become ready within 10s" >&2
+    return 1
+}
+
+# The scripted session every matrix cell runs. Only commands that
+# exist in every supported wire generation: no METRICS (v3+) — the
+# point is identical *answers*, so the transcript must not depend on
+# the negotiated version.
+session() {
+    timeout 60 "$BIN" --client "$1" <<'EOF'
+PING
+CREATE objs
+INSERT objs 50 50 60 60
+INSERT objs 900 900 920 920
+INSERT objs 100 80 140 120
+SHARDS
+QUERY objs rtree within 0 0 200 200
+UPDATE objs 1 20 20 40 40
+QUERY objs rtree within 0 0 200 200
+SOLVE rtree all A=coll:objs,C=box:0:0:200:200 A <= C
+REMOVE objs 2
+COMPACT
+QUERY objs rtree within 0 0 1000 1000
+QUIT
+EOF
+}
+
+# run_mode <name> <expected-wire> [shard flags...] — boots one shard
+# process + a fresh router, runs the session, captures an
+# address-normalized transcript and the router's STAT line.
+run_mode() {
+    local mode="$1" expect_wire="$2"
+    shift 2
+    start_server "shard_$mode" "$BIN" --shard --addr 127.0.0.1:0 --threads 2 --universe 1000 "$@"
+    local shard="$ADDR"
+    cat >"$WORK/$mode.spec" <<EOF
+universe 0 0 1000 1000
+bits 6
+shard $shard 0 4096
+EOF
+    start_server "router_$mode" "$BIN" --cluster "$WORK/$mode.spec" --addr 127.0.0.1:0 --threads 2
+    local router="$ADDR"
+    session "$router" >"$WORK/$mode.transcript.txt"
+    # Ephemeral ports differ per cell; everything else must not.
+    sed -E 's/remote:[0-9.]+:[0-9]+/remote:ADDR/g' \
+        "$WORK/$mode.transcript.txt" >"$WORK/$mode.normalized.txt"
+    timeout 60 "$BIN" --client "$router" >"$WORK/$mode.stat.txt" <<'EOF'
+STAT
+QUIT
+EOF
+    if ! grep -qF ",wire=v$expect_wire]" "$WORK/$mode.stat.txt"; then
+        echo "mode $mode: STAT health does not report the negotiated wire=v$expect_wire" >&2
+        cat "$WORK/$mode.stat.txt" >&2
+        exit 1
+    fi
+    echo "mode $mode: negotiated wire=v$expect_wire"
+}
+
+echo "=== matrix: v4 router x {v4, v3, v2, strict-v2} shard ==="
+run_mode v4 4
+run_mode v3 3 --wire-version 3
+run_mode v2 2 --wire-version 2
+run_mode strict2 2 --wire-version 2 --strict-wire
+
+echo "=== identical answers across every cell ==="
+for mode in v3 v2 strict2; do
+    if ! diff -u "$WORK/v4.normalized.txt" "$WORK/$mode.normalized.txt"; then
+        echo "mode $mode answered differently from the v4/v4 reference" >&2
+        exit 1
+    fi
+done
+echo "all transcripts identical"
+cat "$WORK/v4.transcript.txt"
+
+echo "=== mid-stream sever: SIGKILL the shard under an in-flight snapshot ==="
+start_server shard_sever "$BIN" --shard --addr 127.0.0.1:0 --threads 2 --universe 1000
+SEVER_SHARD="$ADDR"
+SEVER_PID="$SERVER_PID"
+cat >"$WORK/sever.spec" <<EOF
+universe 0 0 1000 1000
+bits 6
+shard $SEVER_SHARD 0 4096
+EOF
+start_server router_sever "$BIN" --cluster "$WORK/sever.spec" --addr 127.0.0.1:0 --threads 2
+SEVER_ROUTER="$ADDR"
+
+# Enough objects that the shard's snapshot answer streams for a while.
+{
+    echo "CREATE objs"
+    for i in $(seq 0 399); do
+        x=$(( (i % 20) * 48 + 4 ))
+        y=$(( (i / 20) * 48 + 4 ))
+        echo "INSERT objs $x $y $((x + 6)) $((y + 6))"
+    done
+    echo "QUIT"
+} | timeout 120 "$BIN" --client "$SEVER_ROUTER" >"$WORK/sever_seed.txt"
+grep -cF 'OK ref=' "$WORK/sever_seed.txt" | grep -qx 400 || {
+    echo "seeding the sever shard failed" >&2
+    exit 1
+}
+
+# Race a snapshot pull against the kill: whichever wins, the client
+# must exit promptly with either a complete OK or a named ERR — a
+# severed response stream must never wedge the router.
+timeout 60 "$BIN" --client "$SEVER_ROUTER" >"$WORK/sever_snapshot.txt" <<EOF &
+SNAPSHOT SAVE $WORK/sever_snap
+QUIT
+EOF
+CLIENT_PID=$!
+sleep 0.2
+kill -9 "$SEVER_PID"
+wait "$SEVER_PID" 2>/dev/null || true
+if ! wait "$CLIENT_PID"; then
+    echo "snapshot client hung or died abnormally after the sever" >&2
+    exit 1
+fi
+grep -qE '^(OK saved|ERR )' "$WORK/sever_snapshot.txt" || {
+    echo "severed snapshot neither completed nor failed with a named error:" >&2
+    cat "$WORK/sever_snapshot.txt" >&2
+    exit 1
+}
+cat "$WORK/sever_snapshot.txt"
+
+# With the shard dead, reads degrade to named PARTIAL lines and
+# mutations to named ERR lines — still no hang.
+timeout 60 "$BIN" --client "$SEVER_ROUTER" >"$WORK/sever_after.txt" <<'EOF'
+QUERY objs rtree within 0 0 1000 1000
+INSERT objs 10 10 20 20
+STAT
+QUIT
+EOF
+cat "$WORK/sever_after.txt"
+# `missing=` names the missing shard ids; the only shard is id 0.
+grep -qF 'PARTIAL missing=0' "$WORK/sever_after.txt" || {
+    echo "dead shard did not degrade reads to a named PARTIAL" >&2
+    exit 1
+}
+grep -qF 'ERR ' "$WORK/sever_after.txt" || {
+    echo "dead shard did not fail mutations with a named ERR" >&2
+    exit 1
+}
+if grep -qF 'shards_unavailable=0' "$WORK/sever_after.txt"; then
+    echo "STAT failed to count the severed shard" >&2
+    exit 1
+fi
+
+echo "protocol matrix passed"

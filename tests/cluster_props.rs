@@ -318,6 +318,7 @@ fn severed_shard_mid_query_degrades_fanout_to_partial_then_rejoins() {
         matches: FrameMatch::Opcode(scq_shard::wire::OP_QUERY),
         action: FaultAction::Sever,
         remaining: usize::MAX,
+        skip: 0,
     });
     let degraded = scq_shard::execute_fanout(
         cluster.db(),

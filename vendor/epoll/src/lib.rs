@@ -1,0 +1,290 @@
+//! Offline stand-in for the `epoll` crate.
+//!
+//! The build environment has no network access, so this workspace
+//! vendors the small readiness-notification subset its event loops
+//! actually use: an [`Epoll`] instance with add/modify/delete/wait over
+//! raw file descriptors, plus a self-[`WakePipe`] so threads outside
+//! the loop can interrupt a blocking wait. The bindings go straight to
+//! the glibc symbols (`epoll_create1`, `epoll_ctl`, `epoll_wait`,
+//! `pipe2`) that every Linux target this workspace supports links
+//! anyway through `std` — no registry dependency, no feature flags.
+//!
+//! Level-triggered only. Edge-triggered mode, `epoll_pwait`, and
+//! timerfd integration are non-goals: the shard and front-end servers
+//! drain their buffers fully on every readiness signal, which is
+//! exactly the discipline level-triggering rewards.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+// ── raw glibc surface ───────────────────────────────────────────────────
+
+/// Readiness: the fd has bytes to read (or a pending accept).
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: the fd can accept more written bytes.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition on the fd (always reported, need not be requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up on the fd (always reported, need not be requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its writing half; reading will hit EOF.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const O_CLOEXEC: i32 = 0o2000000;
+const O_NONBLOCK: i32 = 0o4000;
+const EINTR: i32 = 4;
+
+/// The kernel's `struct epoll_event`: an interest/readiness mask plus
+/// the caller's 64-bit token. Packed on x86-64, where glibc declares it
+/// `__attribute__((packed))` — getting this wrong corrupts the token of
+/// every second event in a `wait` batch.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct Event {
+    /// Interest mask on registration; readiness mask on return.
+    pub events: u32,
+    /// Caller-chosen token identifying the fd (not the fd itself).
+    pub token: u64,
+}
+
+impl Event {
+    /// An event with the given interest mask and token.
+    pub fn new(events: u32, token: u64) -> Self {
+        Event { events, token }
+    }
+
+    /// The readiness mask (reads through the packed field safely).
+    pub fn events(&self) -> u32 {
+        let e = *self;
+        e.events
+    }
+
+    /// The registration token (reads through the packed field safely).
+    pub fn token(&self) -> u64 {
+        let e = *self;
+        e.token
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut Event) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut Event, maxevents: i32, timeout: i32) -> i32;
+    fn pipe2(fds: *mut i32, flags: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+fn last_errno() -> i32 {
+    io::Error::last_os_error().raw_os_error().unwrap_or(0)
+}
+
+// ── safe wrappers ───────────────────────────────────────────────────────
+
+/// An epoll instance: registered fds with interest masks, and a `wait`
+/// that blocks until at least one is ready (or a timeout passes).
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Epoll> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, event: Option<Event>) -> io::Result<()> {
+        let mut ev = event.unwrap_or(Event {
+            events: 0,
+            token: 0,
+        });
+        let ptr = if event.is_some() {
+            &mut ev as *mut Event
+        } else {
+            std::ptr::null_mut()
+        };
+        if unsafe { epoll_ctl(self.fd, op, fd, ptr) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` with an interest mask and caller token.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, Some(Event::new(events, token)))
+    }
+
+    /// Replaces the interest mask (and token) of a registered fd.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, Some(Event::new(events, token)))
+    }
+
+    /// Deregisters a fd. Deregistering an already-closed or never-added
+    /// fd is an error from the kernel, surfaced as such.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, None)
+    }
+
+    /// Blocks until readiness or `timeout_ms` (−1 = forever), filling
+    /// `out` and returning how many entries are valid. `EINTR` is
+    /// treated as a zero-event wakeup, not an error — callers loop
+    /// anyway.
+    pub fn wait(&self, timeout_ms: i32, out: &mut [Event]) -> io::Result<usize> {
+        let n = unsafe {
+            epoll_wait(
+                self.fd,
+                out.as_mut_ptr(),
+                out.len().min(i32::MAX as usize) as i32,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            if last_errno() == EINTR {
+                return Ok(0);
+            }
+            return Err(io::Error::last_os_error());
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// A nonblocking self-pipe: any thread calls [`WakePipe::wake`] to make
+/// the read end readable, interrupting an [`Epoll::wait`] that has the
+/// read end registered. The loop thread calls [`WakePipe::drain`] after
+/// waking so the next wait blocks again.
+#[derive(Debug)]
+pub struct WakePipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl WakePipe {
+    /// Creates the pipe pair, both ends nonblocking and close-on-exec.
+    pub fn new() -> io::Result<WakePipe> {
+        let mut fds = [0i32; 2];
+        if unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(WakePipe {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        })
+    }
+
+    /// The fd to register with [`Epoll::add`] under [`EPOLLIN`].
+    pub fn read_fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// Makes the read end readable. A full pipe (`EAGAIN`) already
+    /// guarantees a pending wakeup, so the result is ignored: either
+    /// the byte landed or a wakeup is already queued.
+    pub fn wake(&self) {
+        let byte = [1u8];
+        let _ = unsafe { write(self.write_fd, byte.as_ptr(), 1) };
+    }
+
+    /// Empties the pipe so the next `wait` blocks until the next wake.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.read_fd);
+            close(self.write_fd);
+        }
+    }
+}
+
+// `wake` is called from arbitrary threads while the loop thread reads.
+unsafe impl Send for WakePipe {}
+unsafe impl Sync for WakePipe {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn wake_pipe_interrupts_a_blocking_wait_and_drains() {
+        let ep = Epoll::new().unwrap();
+        let pipe = WakePipe::new().unwrap();
+        ep.add(pipe.read_fd(), EPOLLIN, 1).unwrap();
+        // Nothing pending: a short wait times out empty.
+        let mut out = [Event::new(0, 0); 8];
+        assert_eq!(ep.wait(10, &mut out).unwrap(), 0);
+        pipe.wake();
+        pipe.wake(); // coalesces, never blocks
+        let n = ep.wait(1000, &mut out).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(out[0].token(), 1);
+        assert!(out[0].events() & EPOLLIN != 0);
+        pipe.drain();
+        assert_eq!(ep.wait(10, &mut out).unwrap(), 0, "drained pipe is quiet");
+    }
+
+    #[test]
+    fn socket_readiness_reports_the_registered_token() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let ep = Epoll::new().unwrap();
+        ep.add(server.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 42)
+            .unwrap();
+        let mut out = [Event::new(0, 0); 8];
+        assert_eq!(ep.wait(10, &mut out).unwrap(), 0, "idle socket is quiet");
+
+        client.write_all(b"ping").unwrap();
+        let n = ep.wait(1000, &mut out).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(out[0].token(), 42);
+        assert!(out[0].events() & EPOLLIN != 0);
+
+        let mut buf = [0u8; 8];
+        assert_eq!(server.read(&mut buf).unwrap(), 4);
+        // Peer hang-up surfaces as readiness too (EOF read).
+        drop(client);
+        let n = ep.wait(1000, &mut out).unwrap();
+        assert_eq!(n, 1);
+        assert!(out[0].events() & (EPOLLRDHUP | EPOLLIN | EPOLLHUP) != 0);
+
+        // modify and delete round-trip.
+        ep.modify(server.as_raw_fd(), EPOLLIN | EPOLLOUT, 43)
+            .unwrap();
+        ep.delete(server.as_raw_fd()).unwrap();
+        assert!(
+            ep.delete(server.as_raw_fd()).is_err(),
+            "double delete is loud"
+        );
+    }
+}
