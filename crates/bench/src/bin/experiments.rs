@@ -691,6 +691,77 @@ fn smoke(path: &str) {
         })
         .sum();
     rows.push(("sharded_district_breaker_trips", breaker_trips as f64));
+    // Cost-based planning rows. `planned_district_row_checks` is a
+    // ceiling (the `_row_checks` suffix): the selectivity-planned
+    // district execution is held to its baseline enumeration work, so
+    // a planner change that picks a worse order — more exact row
+    // checks for the same answer — trips the gate even if wall-clock
+    // noise hides it.
+    let planned_dq = scq_engine::with_selectivity_order(&sharded, &dq, IndexKind::RTree)
+        .expect("selectivity planner runs over the sharded view");
+    let planned = scq_shard::execute(
+        &sharded,
+        &planned_dq,
+        IndexKind::RTree,
+        scq_engine::ExecOptions::all(),
+    )
+    .unwrap();
+    assert_eq!(
+        planned.solutions.len(),
+        district.solutions.len(),
+        "selectivity planning must not change the district answer"
+    );
+    rows.push((
+        "planned_district_row_checks",
+        planned.stats.exact_row_checks as f64,
+    ));
+    rows.push((
+        "planned_district_query_rtree_8shards_ms",
+        median_ms(5, || {
+            let q = scq_engine::with_selectivity_order(&sharded, &dq, IndexKind::RTree).unwrap();
+            scq_shard::execute(
+                &sharded,
+                &q,
+                IndexKind::RTree,
+                scq_engine::ExecOptions::all(),
+            )
+            .unwrap();
+        }),
+    ));
+    // Sibling corner-query cache: in the box join `T <= W; R <= W`
+    // the R level's corner query references only the known window, so
+    // every town candidate after the first reuses the cached roads
+    // probe. Floor-gated: these hits vanishing means the cache broke.
+    let towns = sharded
+        .collection_id("towns")
+        .expect("smuggler map has towns");
+    let roads = sharded
+        .collection_id("roads")
+        .expect("smuggler map has roads");
+    let boxq_sys = parse_system("T <= W; R <= W").expect("parses");
+    let boxq = scq_engine::Query::new(boxq_sys)
+        .known(
+            "W",
+            Region::from_box(AaBox::new([100.0, 100.0], [360.0, 360.0])),
+        )
+        .from_collection("T", towns)
+        .from_collection("R", roads);
+    let boxq_result = scq_shard::execute(
+        &sharded,
+        &boxq,
+        IndexKind::RTree,
+        scq_engine::ExecOptions::all(),
+    )
+    .unwrap();
+    assert!(
+        boxq_result.stats.corner_cache_hits > 0,
+        "semi-join-free box join must hit the sibling corner cache: {}",
+        boxq_result.stats
+    );
+    rows.push((
+        "sharded_boxjoin_corner_cache_hits",
+        boxq_result.stats.corner_cache_hits as f64,
+    ));
     rows.push((
         "sharded_snapshot_roundtrip_8shards_ms",
         median_ms(5, || {

@@ -233,11 +233,14 @@ pub fn parse_bench_json(text: &str) -> Result<Vec<BenchRow>, String> {
 ///   must never silently decay.
 /// * **ceiling** count rows — names ending in `_retries`,
 ///   `_shards_unavailable`, `_failovers`, `_breaker_trips`,
-///   `_torn_tails`, `_replay_errors` or `_slow_queries` — regress when
-///   the current value *exceeds* the baseline: these are failure
-///   counters held at 0 on the happy path, so any growth means
-///   connections flapped, shards vanished, WAL recovery hit damage, or
-///   a query crossed the slow threshold during the bench run.
+///   `_torn_tails`, `_replay_errors`, `_slow_queries` or
+///   `_row_checks` — regress when the current value *exceeds* the
+///   baseline: the first seven are failure counters held at 0 on the
+///   happy path (growth means connections flapped, shards vanished,
+///   WAL recovery hit damage, or a query crossed the slow threshold),
+///   while `_row_checks` rows bound the executor's enumeration work —
+///   a cost-based plan that starts checking *more* rows than the
+///   baseline has silently lost its selectivity advantage.
 /// * a baseline row missing from the current artifact is a regression
 ///   (a deleted bench would otherwise vanish from the gate unnoticed);
 ///   new rows in the current artifact are fine.
@@ -303,7 +306,8 @@ pub fn gate_rows(baseline: &[BenchRow], current: &[BenchRow], factor: f64) -> Ve
             || name.ends_with("_breaker_trips")
             || name.ends_with("_torn_tails")
             || name.ends_with("_replay_errors")
-            || name.ends_with("_slow_queries");
+            || name.ends_with("_slow_queries")
+            || name.ends_with("_row_checks");
         if name.ends_with("_ms") {
             let limit = base * factor;
             if *cur > limit && cur - base > NOISE_FLOOR_MS {
@@ -341,8 +345,8 @@ pub fn gate_rows(baseline: &[BenchRow], current: &[BenchRow], factor: f64) -> Ve
             push(
                 name,
                 format!(
-                    "{name}: {cur} exceeds the baseline {base} (a failure counter must stay at \
-                     its happy-path value)"
+                    "{name}: {cur} exceeds the baseline {base} (a ceiling row — failure counter \
+                     or planner work bound — must stay at its baseline value)"
                 ),
                 false,
             );
@@ -462,6 +466,30 @@ mod gate_tests {
         assert!(
             gate_benches(&wal, &unbatched, 10.0).is_err(),
             "records-per-fsync decaying below baseline means group commit stopped batching"
+        );
+        // planner work rows: `_row_checks` is a ceiling (a cost-based
+        // plan must not start enumerating more rows than the
+        // baseline), while plain counts like cache hits stay floors.
+        let planner = rows(&[
+            ("planned_district_row_checks", 40.0),
+            ("district_corner_cache_hits", 12.0),
+        ]);
+        assert!(gate_benches(&planner, &planner, 10.0).is_ok());
+        let wasteful = rows(&[
+            ("planned_district_row_checks", 41.0),
+            ("district_corner_cache_hits", 12.0),
+        ]);
+        assert!(
+            gate_benches(&planner, &wasteful, 10.0).is_err(),
+            "more row checks than baseline means the plan lost selectivity"
+        );
+        let cold = rows(&[
+            ("planned_district_row_checks", 40.0),
+            ("district_corner_cache_hits", 11.0),
+        ]);
+        assert!(
+            gate_benches(&planner, &cold, 10.0).is_err(),
+            "corner-cache hits are a floor like any other count row"
         );
     }
 }

@@ -59,6 +59,10 @@ struct Collection<const K: usize> {
     /// corner queries cannot return them, so executors re-add them as
     /// candidates to stay exact.
     empty_objects: Vec<usize>,
+    /// Mutation epoch: bumped on every effective mutation (insert,
+    /// effective remove/update, compact). Caches key on it to validate
+    /// entries without re-reading contents.
+    epoch: u64,
 }
 
 /// A spatial database over `K`-dimensional regions inside a universe
@@ -113,6 +117,7 @@ impl<const K: usize> SpatialDatabase<K> {
             grid: GridFile::new(32),
             scan: ScanIndex::new(),
             empty_objects: Vec::new(),
+            epoch: 0,
         });
         self.by_name.insert(name.to_owned(), id);
         id
@@ -144,6 +149,14 @@ impl<const K: usize> SpatialDatabase<K> {
         self.collections[obj.collection.0].live[obj.index]
     }
 
+    /// The collection's mutation epoch: bumped on every effective
+    /// mutation (insert, effective remove/update, compact). Ineffective
+    /// mutations — removing a tombstone, updating a dead slot — leave
+    /// it unchanged, so equal epochs mean identical contents.
+    pub fn epoch(&self, coll: CollectionId) -> u64 {
+        self.collections[coll.0].epoch
+    }
+
     /// All collection ids.
     pub fn collections(&self) -> impl Iterator<Item = CollectionId> {
         (0..self.collections.len()).map(CollectionId)
@@ -164,6 +177,7 @@ impl<const K: usize> SpatialDatabase<K> {
         c.objects.push(region);
         c.live.push(true);
         c.live_count += 1;
+        c.epoch += 1;
         ObjectRef {
             collection: coll,
             index,
@@ -189,6 +203,7 @@ impl<const K: usize> SpatialDatabase<K> {
         }
         c.live[obj.index] = false;
         c.live_count -= 1;
+        c.epoch += 1;
         true
     }
 
@@ -214,6 +229,7 @@ impl<const K: usize> SpatialDatabase<K> {
         }
         c.bboxes[obj.index] = new;
         c.objects[obj.index] = region;
+        c.epoch += 1;
         true
     }
 
@@ -332,6 +348,7 @@ impl<const K: usize> SpatialDatabase<K> {
             c.scan = ScanIndex::new();
             c.empty_objects.clear();
             c.live_count = 0;
+            c.epoch += 1;
             for ((region, bbox), alive) in objects.into_iter().zip(bboxes).zip(live) {
                 if !alive {
                     remap.push(None);
@@ -395,6 +412,10 @@ impl<const K: usize> StoreView<K> for SpatialDatabase<K> {
 
     fn live_len(&self, coll: CollectionId) -> usize {
         SpatialDatabase::live_len(self, coll)
+    }
+
+    fn epoch(&self, coll: CollectionId) -> u64 {
+        SpatialDatabase::epoch(self, coll)
     }
 
     fn is_live(&self, obj: ObjectRef) -> bool {
@@ -621,6 +642,32 @@ mod tests {
             "b's survivor shifts to slot 0"
         );
         crate::integrity::check(&d).expect("consistent after compaction");
+    }
+
+    #[test]
+    fn epoch_tracks_effective_mutations_only() {
+        let mut d = db();
+        let c = d.collection("boxes");
+        assert_eq!(d.epoch(c), 0);
+        let a = d.insert(c, Region::from_box(AaBox::new([0.0, 0.0], [1.0, 1.0])));
+        assert_eq!(d.epoch(c), 1);
+        assert!(d.update(a, Region::from_box(AaBox::new([2.0, 2.0], [3.0, 3.0]))));
+        assert_eq!(d.epoch(c), 2);
+        assert!(d.remove(a));
+        assert_eq!(d.epoch(c), 3);
+        // ineffective mutations leave the epoch unchanged
+        assert!(!d.remove(a));
+        assert!(!d.update(a, Region::empty()));
+        assert_eq!(d.epoch(c), 3);
+        // compaction rewrites slots, so it always bumps
+        d.compact();
+        assert_eq!(d.epoch(c), 4);
+        // epochs are per collection
+        let other = d.collection("other");
+        assert_eq!(d.epoch(other), 0);
+        d.insert(other, Region::empty());
+        assert_eq!(d.epoch(other), 1);
+        assert_eq!(d.epoch(c), 4, "a mutation elsewhere leaves c alone");
     }
 
     #[test]

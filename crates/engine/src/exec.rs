@@ -228,19 +228,28 @@ pub(crate) fn prepare<const K: usize, V: StoreView<K>>(
 /// Reusable per-level candidate buffers: the backtracking search at
 /// level `i` always and only uses `LevelBufs[i]`, so one pool amortizes
 /// every candidate allocation across the whole search.
-pub(crate) struct LevelBuf {
+pub(crate) struct LevelBuf<const K: usize> {
     /// Raw ids from the index range query.
     ids: Vec<u64>,
     /// Candidate object indices for the level (ids + empty objects, or
     /// the whole collection).
     pub candidates: Vec<usize>,
+    /// Sibling corner-query cache tag: the `(corner query, collection
+    /// mutation epoch)` whose **complete** probe answer `ids` currently
+    /// holds. When the next gather at this level computes an equal
+    /// query against an unchanged epoch — the prefix boxes feeding
+    /// `row.corner_query` did not move since the previous sibling — the
+    /// range query is skipped and `ids` reused; candidates are rebuilt
+    /// identically either way, so only the probe is saved.
+    cached: Option<(CornerQuery<K>, u64)>,
 }
 
-pub(crate) fn level_bufs(n: usize) -> Vec<LevelBuf> {
+pub(crate) fn level_bufs<const K: usize>(n: usize) -> Vec<LevelBuf<K>> {
     (0..n)
         .map(|_| LevelBuf {
             ids: Vec::new(),
             candidates: Vec::new(),
+            cached: None,
         })
         .collect()
 }
@@ -260,9 +269,13 @@ pub(crate) fn note_probe(
     stats.stale_answers += report.stale_shards.len();
     stats.shards_unavailable += report.missing_shards.len();
     stats.route_us = stats.route_us.saturating_add(report.route_us);
+    // `missing` is kept sorted and deduplicated (it only ever grows
+    // through this function), so the union is a binary-search insert
+    // per element instead of a quadratic `contains` scan — wide
+    // fan-outs with many failed shards stay linear-ish.
     for s in report.missing_shards {
-        if !missing.contains(&s) {
-            missing.push(s);
+        if let Err(pos) = missing.binary_search(&s) {
+            missing.insert(pos, s);
         }
     }
 }
@@ -282,6 +295,14 @@ pub(crate) fn note_probe(
 /// A shard that fails to answer the probe costs its candidates, not the
 /// query: the failure is recorded (`stats.shards_unavailable`,
 /// `missing`) and the search continues over what arrived.
+///
+/// Consecutive gathers at the same level whose corner query is equal
+/// (the prefix boxes it reads were unchanged since the previous
+/// sibling) and whose collection epoch has not moved skip the range
+/// query and reuse the buffered ids — the **sibling corner-query
+/// cache** (`ExecStats::{corner_cache_hits, corner_cache_misses}`).
+/// Only *complete* probe answers are cached; a degraded probe is
+/// re-issued every time so a recovering shard is seen immediately.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn gather_candidates<const K: usize, V: StoreView<K>>(
     db: &V,
@@ -289,28 +310,41 @@ pub(crate) fn gather_candidates<const K: usize, V: StoreView<K>>(
     kind: Option<IndexKind>,
     row: &CompiledRow<K>,
     boxes: &[Bbox<K>],
-    buf: &mut LevelBuf,
+    buf: &mut LevelBuf<K>,
     stats: &mut ExecStats,
     missing: &mut Vec<usize>,
 ) -> CornerQuery<K> {
     let lookup = |i: usize| boxes.get(i).copied().unwrap_or(Bbox::Empty);
     let q = row.corner_query(lookup);
-    buf.ids.clear();
     buf.candidates.clear();
     match kind {
         Some(k) => {
-            if !q.is_unsatisfiable() {
+            if q.is_unsatisfiable() {
+                // No probe to reuse: an unsatisfiable query has no ids.
+                buf.ids.clear();
+                buf.cached = None;
+            } else if buf.cached.as_ref() == Some(&(q, db.epoch(coll))) {
+                stats.corner_cache_hits += 1;
+            } else {
+                stats.corner_cache_misses += 1;
+                buf.ids.clear();
+                buf.cached = None;
                 let probe_start = std::time::Instant::now();
                 let report = db.query_collection(coll, k, &q, &mut buf.ids);
                 stats.probe_us = stats
                     .probe_us
                     .saturating_add(crate::stats::elapsed_us(probe_start));
+                if report.is_complete() {
+                    buf.cached = Some((q, db.epoch(coll)));
+                }
                 note_probe(report, stats, missing);
             }
             buf.candidates.extend(buf.ids.iter().map(|&id| id as usize));
             buf.candidates.extend_from_slice(db.empty_objects(coll));
         }
         None => {
+            buf.ids.clear();
+            buf.cached = None;
             db.live_indices_into(coll, &mut buf.candidates);
             stats.tombstones_skipped += db.collection_len(coll) - buf.candidates.len();
         }
@@ -631,7 +665,7 @@ fn opt_rec<'e, const K: usize, V: StoreView<K>>(
     assign: &mut FlatAssignment<'e, Region<K>>,
     boxes: &mut [Bbox<K>],
     tuple: &mut Solution,
-    bufs: &mut [LevelBuf],
+    bufs: &mut [LevelBuf<K>],
 ) -> Result<(), ExecError> {
     if level == ctx.unknowns.len() {
         ctx.stats.solutions += 1;
@@ -1044,6 +1078,99 @@ mod tests {
         assert_eq!(
             solution_names(&db, &q, &before),
             solution_names(&db, &q, &restored)
+        );
+    }
+
+    #[test]
+    fn note_probe_dedups_missing_shards_sorted() {
+        use crate::view::ProbeReport;
+        let mut stats = ExecStats::default();
+        let mut missing: Vec<usize> = Vec::new();
+        note_probe(
+            ProbeReport {
+                missing_shards: vec![3, 1, 3],
+                ..Default::default()
+            },
+            &mut stats,
+            &mut missing,
+        );
+        assert_eq!(missing, vec![1, 3]);
+        note_probe(
+            ProbeReport {
+                missing_shards: vec![2, 1, 7, 2],
+                ..Default::default()
+            },
+            &mut stats,
+            &mut missing,
+        );
+        assert_eq!(
+            missing,
+            vec![1, 2, 3, 7],
+            "union stays sorted and deduplicated across reports"
+        );
+        assert_eq!(
+            stats.shards_unavailable, 7,
+            "every reported failure counts, duplicates included"
+        );
+    }
+
+    #[test]
+    fn sibling_corner_cache_skips_repeat_probes() {
+        let mut db = SpatialDatabase::new(AaBox::new([0.0, 0.0], [100.0, 100.0]));
+        let xs = db.collection("xs");
+        let ys = db.collection("ys");
+        for i in 0..6 {
+            let t = i as f64 * 10.0;
+            db.insert(xs, Region::from_box(AaBox::new([t, 0.0], [t + 8.0, 8.0])));
+            db.insert(ys, Region::from_box(AaBox::new([t, 20.0], [t + 8.0, 28.0])));
+        }
+        // Y's solved row references only the known W, so the Y-level
+        // corner query is identical for every accepted X sibling: all
+        // but the first gather at that level hit the sibling cache.
+        let sys = parse_system("X <= W; Y <= W").unwrap();
+        let q = Query::new(sys)
+            .known(
+                "W",
+                Region::from_box(AaBox::new([0.0, 0.0], [100.0, 100.0])),
+            )
+            .from_collection("X", xs)
+            .from_collection("Y", ys)
+            .with_order(&["X", "Y"]);
+        let naive = naive_execute(&db, &q).unwrap();
+        assert_eq!(naive.solutions.len(), 36);
+        for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+            let r = bbox_execute(&db, &q, kind).unwrap();
+            assert_eq!(
+                solution_names(&db, &q, &naive),
+                solution_names(&db, &q, &r),
+                "{kind:?}: cache must not change answers"
+            );
+            assert_eq!(
+                r.stats.corner_cache_hits, 5,
+                "{kind:?}: 6 X siblings → 5 repeat gathers at the Y level"
+            );
+            assert_eq!(
+                r.stats.corner_cache_misses, 2,
+                "{kind:?}: one real probe per level"
+            );
+        }
+    }
+
+    #[test]
+    fn sibling_corner_cache_misses_when_prefix_boxes_move() {
+        // In the smuggler scenario the R and B rows reference the
+        // previously bound unknowns, so their corner queries change per
+        // sibling: the cache must observe that and re-probe.
+        let (db, q) = smuggler_db();
+        let r = bbox_execute(&db, &q, IndexKind::RTree).unwrap();
+        assert!(
+            r.stats.corner_cache_misses > 0,
+            "joined levels re-probe when the prefix boxes change"
+        );
+        let gathers = r.stats.corner_cache_hits + r.stats.corner_cache_misses;
+        assert!(
+            gathers >= r.stats.corner_cache_misses,
+            "counters stay consistent"
         );
     }
 

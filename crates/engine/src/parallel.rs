@@ -377,7 +377,7 @@ fn process_level<'e, const K: usize, V: StoreView<K>>(
     boxes: &mut [Bbox<K>],
     tuple: &mut Solution,
     path: &mut Vec<usize>,
-    below: &mut [LevelBuf],
+    below: &mut [LevelBuf<K>],
     local: &mut QueryResult,
     missing: &mut Vec<usize>,
 ) -> Result<(), ExecError> {
@@ -440,7 +440,7 @@ fn descend<'e, const K: usize, V: StoreView<K>>(
     boxes: &mut [Bbox<K>],
     tuple: &mut Solution,
     path: &mut Vec<usize>,
-    bufs: &mut [LevelBuf],
+    bufs: &mut [LevelBuf<K>],
     local: &mut QueryResult,
     missing: &mut Vec<usize>,
 ) -> Result<(), ExecError> {

@@ -10,16 +10,25 @@
 //!   compiled range query against its collection index as if it were
 //!   retrieved first, and order by ascending candidate count. This uses
 //!   only information available at compile time (the known variables'
-//!   bounding boxes) plus one index probe per unknown.
+//!   bounding boxes) plus **at most one index probe per unknown**.
+//!
+//! The planner is generic over [`StoreView`], so the same cost model
+//! serves the unsharded database, the sharded router, and remote
+//! clusters — whatever the executors can run against, the planner can
+//! plan against. Estimates are **execution-parity** numbers: for each
+//! unknown, the estimate equals exactly what `gather_candidates` would
+//! enumerate if that unknown were retrieved first (clamped known boxes,
+//! empty-region objects included, zero for unsatisfiable plans).
 
 use scq_bbox::Bbox;
 use scq_boolean::Var;
 use scq_core::plan::BboxPlan;
 use scq_core::triangularize;
 
-use crate::database::SpatialDatabase;
 use crate::exec::ExecError;
 use crate::query::{IndexKind, Query};
+use crate::stats::ExecStats;
+use crate::view::StoreView;
 
 /// Estimated candidate counts per unknown variable, as computed by
 /// [`order_by_selectivity`].
@@ -27,21 +36,43 @@ use crate::query::{IndexKind, Query};
 pub struct SelectivityEstimate {
     /// The unknown variable.
     pub var: Var,
-    /// Candidates surviving its first-position range query.
+    /// Candidates the executors would enumerate if this unknown were
+    /// retrieved first: range-query matches plus the collection's
+    /// empty-region objects (or zero when the plan is unsatisfiable).
     pub candidates: usize,
+}
+
+/// The planner's full answer: the chosen order, the per-unknown
+/// estimates behind it (in [`Query::unknown_vars`] order), and what the
+/// planning itself cost.
+#[derive(Clone, Debug)]
+pub struct SelectivityPlan {
+    /// Unknowns ordered by ascending estimated candidates (ties broken
+    /// by variable index, so plans are deterministic).
+    pub order: Vec<Var>,
+    /// The estimates the order was derived from.
+    pub estimates: Vec<SelectivityEstimate>,
+    /// The planner's own cost, in executor terms: each index probe is
+    /// recorded as a `corner_cache_misses` (a probe no cache served) —
+    /// at most one per unknown — with `index_candidates`, shard
+    /// accounting and timings filled in like any execution.
+    pub stats: ExecStats,
 }
 
 /// Orders the unknown variables by ascending first-position range-query
 /// candidate count. Returns the estimates alongside the order so callers
-/// can inspect the planner's reasoning.
-pub fn order_by_selectivity<const K: usize>(
-    db: &SpatialDatabase<K>,
+/// (tests, `EXPLAIN`) can inspect the planner's reasoning.
+pub fn order_by_selectivity<const K: usize, V: StoreView<K>>(
+    db: &V,
     query: &Query<K>,
     kind: IndexKind,
-) -> Result<(Vec<Var>, Vec<SelectivityEstimate>), ExecError> {
+) -> Result<SelectivityPlan, ExecError> {
     query.validate().map_err(ExecError::InvalidQuery)?;
+    let alg = db.algebra();
     let knowns = query.known_vars();
     let unknowns = query.unknown_vars();
+    // Shared work, hoisted out of the per-unknown loop: one
+    // normalization, one known-box table, one reusable id buffer.
     let normal = query.system.normalize();
 
     let max_var = query
@@ -52,54 +83,84 @@ pub fn order_by_selectivity<const K: usize>(
         .max()
         .map(|m| m + 1)
         .unwrap_or(0);
+    // Known boxes are clamped to the universe exactly like `prepare`
+    // clamps known regions before binding, so the planner's corner
+    // queries are the ones the execution would issue.
     let mut known_boxes: Vec<Bbox<K>> = vec![Bbox::Empty; max_var];
     for (v, r) in &knowns {
-        known_boxes[v.index()] = r.bbox();
+        known_boxes[v.index()] = alg.clamp(r).bbox();
     }
 
+    let base_order: Vec<Var> = knowns.iter().map(|&(kv, _)| kv).collect();
+    let mut order_buf: Vec<Var> = Vec::with_capacity(base_order.len() + unknowns.len());
+    let mut ids: Vec<u64> = Vec::new();
+    let mut stats = ExecStats::default();
+    let mut missing: Vec<usize> = Vec::new();
     let mut estimates = Vec::with_capacity(unknowns.len());
     for &(v, coll) in &unknowns {
         // Hypothetical order: knowns, then v, then the rest.
-        let mut order: Vec<Var> = knowns.iter().map(|&(kv, _)| kv).collect();
-        order.push(v);
-        order.extend(unknowns.iter().map(|&(u, _)| u).filter(|&u| u != v));
-        let tri = triangularize(&normal, &order);
+        order_buf.clear();
+        order_buf.extend_from_slice(&base_order);
+        order_buf.push(v);
+        order_buf.extend(unknowns.iter().map(|&(u, _)| u).filter(|&u| u != v));
+        let tri = triangularize(&normal, &order_buf);
         let plan: BboxPlan<K> = BboxPlan::compile(&tri);
         let candidates = if plan.satisfiable {
             let row = plan.row_for(v).expect("row per variable");
             let q = row.corner_query(|i| known_boxes.get(i).copied().unwrap_or(Bbox::Empty));
-            let mut ids = Vec::new();
+            ids.clear();
             if !q.is_unsatisfiable() {
-                db.query_collection(coll, kind, &q, &mut ids);
+                stats.corner_cache_misses += 1;
+                let probe_start = std::time::Instant::now();
+                let report = db.query_collection(coll, kind, &q, &mut ids);
+                stats.probe_us = stats
+                    .probe_us
+                    .saturating_add(crate::stats::elapsed_us(probe_start));
+                crate::exec::note_probe(report, &mut stats, &mut missing);
             }
+            // Empty-region objects are enumerated by the executors
+            // whether or not the probe runs (no corner query can return
+            // them), so they count here too — including for an
+            // unsatisfiable first-position query, which executes as
+            // "no probe, empties only".
             ids.len() + db.empty_objects(coll).len()
         } else {
+            // The executors return before a single gather when the
+            // whole plan is unsatisfiable: nothing gets enumerated.
             0
         };
+        stats.index_candidates += candidates;
         estimates.push(SelectivityEstimate { var: v, candidates });
     }
 
-    let mut order: Vec<SelectivityEstimate> = estimates.clone();
-    order.sort_by_key(|e| (e.candidates, e.var));
-    Ok((order.into_iter().map(|e| e.var).collect(), estimates))
+    // Sort an index vector, not a clone of the estimates.
+    let mut by_cost: Vec<usize> = (0..estimates.len()).collect();
+    by_cost.sort_by_key(|&i| (estimates[i].candidates, estimates[i].var));
+    let order = by_cost.into_iter().map(|i| estimates[i].var).collect();
+    Ok(SelectivityPlan {
+        order,
+        estimates,
+        stats,
+    })
 }
 
 /// Applies [`order_by_selectivity`] to the query, returning a copy with
 /// the computed order installed.
-pub fn with_selectivity_order<const K: usize>(
-    db: &SpatialDatabase<K>,
+pub fn with_selectivity_order<const K: usize, V: StoreView<K>>(
+    db: &V,
     query: &Query<K>,
     kind: IndexKind,
 ) -> Result<Query<K>, ExecError> {
-    let (order, _) = order_by_selectivity(db, query, kind)?;
+    let plan = order_by_selectivity(db, query, kind)?;
     let mut q = query.clone();
-    q.order = Some(order);
+    q.order = Some(plan.order);
     Ok(q)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::database::SpatialDatabase;
     use crate::exec::{bbox_execute, naive_execute};
     use scq_core::parse_system;
     use scq_region::{AaBox, Region};
@@ -140,13 +201,23 @@ mod tests {
     #[test]
     fn selectivity_beats_size_ordering() {
         let (db, q) = tricky_db();
-        let (order, estimates) = order_by_selectivity(&db, &q, IndexKind::RTree).unwrap();
+        let plan = order_by_selectivity(&db, &q, IndexKind::RTree).unwrap();
         let x = q.system.table.get("X").unwrap();
         let y = q.system.table.get("Y").unwrap();
         // X (big but selective) must come first.
-        assert_eq!(order, vec![x, y]);
-        let ex = estimates.iter().find(|e| e.var == x).unwrap().candidates;
-        let ey = estimates.iter().find(|e| e.var == y).unwrap().candidates;
+        assert_eq!(plan.order, vec![x, y]);
+        let ex = plan
+            .estimates
+            .iter()
+            .find(|e| e.var == x)
+            .unwrap()
+            .candidates;
+        let ey = plan
+            .estimates
+            .iter()
+            .find(|e| e.var == y)
+            .unwrap()
+            .candidates;
         assert!(ex < ey, "estimates: X={ex} Y={ey}");
 
         // and it actually reduces work relative to the size-based default
@@ -166,6 +237,22 @@ mod tests {
     }
 
     #[test]
+    fn planner_issues_at_most_one_probe_per_unknown() {
+        let (db, q) = tricky_db();
+        for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+            let plan = order_by_selectivity(&db, &q, kind).unwrap();
+            let n = q.unknown_vars().len();
+            assert!(
+                plan.stats.corner_cache_misses <= n,
+                "{kind:?}: {} probes for {} unknowns",
+                plan.stats.corner_cache_misses,
+                n
+            );
+            assert_eq!(plan.stats.corner_cache_hits, 0, "the planner has no cache");
+        }
+    }
+
+    #[test]
     fn unsat_plans_estimate_zero() {
         let (db, mut q) = tricky_db();
         // contradictory extra constraint
@@ -175,8 +262,55 @@ mod tests {
             .known("K", Region::from_box(AaBox::new([0.0, 0.0], [15.0, 15.0])));
         let big = db.collection_id("big").unwrap();
         q2 = q2.from_collection("X", big);
-        let (order, estimates) = order_by_selectivity(&db, &q2, IndexKind::Scan).unwrap();
-        assert_eq!(order.len(), 1);
-        assert_eq!(estimates[0].candidates, 0);
+        let plan = order_by_selectivity(&db, &q2, IndexKind::Scan).unwrap();
+        assert_eq!(plan.order.len(), 1);
+        assert_eq!(plan.estimates[0].candidates, 0);
+        assert_eq!(
+            plan.stats.corner_cache_misses, 0,
+            "an unsatisfiable plan costs no probe"
+        );
+    }
+
+    /// The estimate for an unknown equals exactly what executing it in
+    /// first position enumerates — empty-region objects, unsatisfiable
+    /// corner queries, and out-of-universe knowns (clamping) included.
+    #[test]
+    fn estimates_match_execution_enumeration() {
+        let mut db = SpatialDatabase::new(AaBox::new([0.0, 0.0], [10.0, 10.0]));
+        let xs = db.collection("xs");
+        db.insert(xs, Region::empty()); // only an empty object can satisfy X <= 0-area K
+        db.insert(xs, Region::from_box(AaBox::new([1.0, 1.0], [2.0, 2.0])));
+        db.insert(xs, Region::from_box(AaBox::new([8.0, 8.0], [9.0, 9.0])));
+
+        // Known region extends OUTSIDE the universe: the execution
+        // clamps it before deriving boxes, so the planner must too.
+        let clamped_sys = parse_system("X <= A").unwrap();
+        let q = Query::new(clamped_sys)
+            .known("A", Region::from_box(AaBox::new([0.0, 0.0], [3.0, 30.0])))
+            .from_collection("X", xs);
+        for kind in [IndexKind::RTree, IndexKind::GridFile, IndexKind::Scan] {
+            let plan = order_by_selectivity(&db, &q, kind).unwrap();
+            let run = bbox_execute(&db, &q, kind).unwrap();
+            assert_eq!(
+                plan.estimates[0].candidates, run.stats.index_candidates,
+                "{kind:?}: single-unknown estimate must equal enumerated candidates"
+            );
+        }
+
+        // Unsatisfiable first-position corner query (contained in an
+        // empty known): execution enumerates the empty objects only.
+        let empty_sys = parse_system("X <= A").unwrap();
+        let q_empty = Query::new(empty_sys)
+            .known("A", Region::empty())
+            .from_collection("X", xs);
+        let plan = order_by_selectivity(&db, &q_empty, IndexKind::RTree).unwrap();
+        let run = bbox_execute(&db, &q_empty, IndexKind::RTree).unwrap();
+        assert_eq!(plan.estimates[0].candidates, run.stats.index_candidates);
+        assert_eq!(
+            plan.estimates[0].candidates,
+            db.empty_objects(xs).len(),
+            "unsatisfiable query enumerates exactly the empty objects"
+        );
+        assert_eq!(run.stats.solutions, 1, "the empty region satisfies X <= 0");
     }
 }

@@ -39,6 +39,15 @@ pub struct ExecStats {
     /// Shards the router proved disjoint from a range query and never
     /// probed (always 0 against an unsharded database).
     pub shards_pruned: usize,
+    /// Levels where the backtracking search reused the previous
+    /// sibling's corner-query answer: the prefix boxes feeding the
+    /// level's `corner_query` were unchanged (and the collection's
+    /// mutation epoch too), so the range query was not re-issued.
+    pub corner_cache_hits: usize,
+    /// Levels where the sibling corner-query cache could not help —
+    /// the level's corner query changed since the previous sibling (or
+    /// there was no previous sibling), so the index was probed.
+    pub corner_cache_misses: usize,
     /// Shard probes that found the shard unavailable (process dead or
     /// unreachable after the transport's one reconnect attempt). Each
     /// such probe lost that shard's candidates — the query result is
@@ -91,6 +100,8 @@ impl ExecStats {
             regions_bound,
             tombstones_skipped,
             shards_pruned,
+            corner_cache_hits,
+            corner_cache_misses,
             shards_unavailable,
             retries,
             failovers,
@@ -112,6 +123,10 @@ impl ExecStats {
         self.regions_bound = self.regions_bound.saturating_add(*regions_bound);
         self.tombstones_skipped = self.tombstones_skipped.saturating_add(*tombstones_skipped);
         self.shards_pruned = self.shards_pruned.saturating_add(*shards_pruned);
+        self.corner_cache_hits = self.corner_cache_hits.saturating_add(*corner_cache_hits);
+        self.corner_cache_misses = self
+            .corner_cache_misses
+            .saturating_add(*corner_cache_misses);
         self.shards_unavailable = self.shards_unavailable.saturating_add(*shards_unavailable);
         self.retries = self.retries.saturating_add(*retries);
         self.failovers = self.failovers.saturating_add(*failovers);
@@ -148,6 +163,7 @@ impl std::fmt::Display for ExecStats {
             f,
             "solutions={} partials={} candidates={} row_checks={} row_rejects={} \
              full_checks={} bbox_rejects={} bound={} tombstones={} shards_pruned={} \
+             corner_cache_hits={} corner_cache_misses={} \
              shards_unavailable={} retries={} failovers={} stale_answers={} \
              probe_us={} check_us={} route_us={} total_us={}",
             self.solutions,
@@ -160,6 +176,8 @@ impl std::fmt::Display for ExecStats {
             self.regions_bound,
             self.tombstones_skipped,
             self.shards_pruned,
+            self.corner_cache_hits,
+            self.corner_cache_misses,
             self.shards_unavailable,
             self.retries,
             self.failovers,
@@ -236,6 +254,25 @@ mod tests {
         assert!(t.contains("shards_pruned=0"));
         assert!(t.contains("shards_unavailable=0"));
         assert!(t.contains("retries=0"));
+    }
+
+    #[test]
+    fn corner_cache_counters_merge_and_display() {
+        let mut a = ExecStats {
+            corner_cache_hits: 2,
+            corner_cache_misses: 5,
+            ..Default::default()
+        };
+        a.merge(&ExecStats {
+            corner_cache_hits: 3,
+            corner_cache_misses: 1,
+            ..Default::default()
+        });
+        assert_eq!(a.corner_cache_hits, 5);
+        assert_eq!(a.corner_cache_misses, 6);
+        let t = a.to_string();
+        assert!(t.contains("corner_cache_hits=5"));
+        assert!(t.contains("corner_cache_misses=6"));
     }
 
     #[test]

@@ -113,6 +113,17 @@ pub trait StoreView<const K: usize> {
     /// Number of live (non-tombstoned) objects in a collection.
     fn live_len(&self, coll: CollectionId) -> usize;
 
+    /// The collection's **mutation epoch**: a counter bumped on every
+    /// effective mutation (insert, effective remove/update, compact).
+    /// Two reads of the same collection observing the same epoch are
+    /// guaranteed to see identical contents, which is what lets caches
+    /// at every layer — the executors' sibling corner-query cache, the
+    /// serve tier's cross-query candidate cache — validate entries
+    /// without re-reading the data. Partitioned stores keep one logical
+    /// epoch per collection (not per shard), bumped on the routing
+    /// tier so remote mirrors stay in lockstep.
+    fn epoch(&self, coll: CollectionId) -> u64;
+
     /// Whether the object's slot is live (not tombstoned).
     fn is_live(&self, obj: ObjectRef) -> bool;
 

@@ -36,6 +36,10 @@
 //!                                              | PARTIAL missing=<s,…> n=<n> pruned=<p> ids=<…>
 //! SOLVE <index> <max> <bindings> <system>      → OK n=<n> pruned=<p> tuples=<…>
 //!                                              | PARTIAL missing=<s,…> n=<n> pruned=<p> tuples=<…>
+//! EXPLAIN <index> <bindings> <system>          → OK lines=<n> + the planner's per-unknown
+//!                                                   selectivity estimates, the retrieval order the
+//!                                                   server's --plan mode would execute, and the
+//!                                                   compiled per-level range-query plan
 //! STAT                                         → OK shards=<s> collections=<c> live=<n> backend=<b>
 //!                                                   retries=<r> shards_unavailable=<u> partial_answers=<q>
 //!                                                   failovers=<f> stale_answers=<a> health=<per-shard…>
@@ -89,6 +93,16 @@
 //!   labelled by shard index). `--slow-ms <t>` adds a slow-query log:
 //!   queries at or above the threshold bump `serve.slow_queries` and
 //!   keep their traces.
+//! * `--plan selectivity|size|given` picks how `SOLVE` orders its
+//!   retrieval levels ([`PlanMode`]); `EXPLAIN` shows the decision
+//!   without executing. In `selectivity` mode the computed orders are
+//!   cached and invalidated by the bound collections' mutation epochs
+//!   (`plan_cache_hits`/`plan_cache_misses` in `STAT`).
+//! * repeated `QUERY`s are answered from a cross-query **candidate
+//!   cache** keyed by `(collection, index, mode, box, epoch)`; any
+//!   effective write to the collection bumps its epoch and retires the
+//!   entries (`candidate_cache_hits`/`candidate_cache_misses` in
+//!   `STAT`). Only complete, primary-fresh answers are ever cached.
 //!
 //! Mutations (`INSERT`, `REMOVE`, `UPDATE`, `COMPACT`, snapshot loads)
 //! never degrade: a shard process that cannot acknowledge one yields a
@@ -120,7 +134,7 @@ use scq_shard::{ClusterSpec, LocalShard, ShardBackend, ShardedDatabase};
 
 mod proto;
 
-pub use proto::{handle_command, ServeContext, ServeMetrics};
+pub use proto::{handle_command, PlanMode, ServeContext, ServeMetrics};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -140,6 +154,10 @@ pub struct ServerConfig {
     /// and keeps its trace replayable via `TRACE <id>`. `None` (the
     /// default) disables the log.
     pub slow_ms: Option<u64>,
+    /// How `SOLVE` orders its retrieval levels (`--plan`). The default
+    /// is [`PlanMode::Size`] — the executor's classic
+    /// smallest-collection-first order, no planning probes.
+    pub plan: PlanMode,
 }
 
 impl Default for ServerConfig {
@@ -150,6 +168,7 @@ impl Default for ServerConfig {
             threads: 4,
             universe_size: 1000.0,
             slow_ms: None,
+            plan: PlanMode::Size,
         }
     }
 }
@@ -239,7 +258,7 @@ pub fn serve_db<B: ShardBackend + 'static>(
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let db = Arc::new(RwLock::new(db));
-    let ctx = Arc::new(ServeContext::new(config.slow_ms));
+    let ctx = Arc::new(ServeContext::new(config.slow_ms).with_plan(config.plan));
     let epoll = Epoll::new()?;
     let wake = Arc::new(WakePipe::new()?);
     epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
@@ -611,6 +630,12 @@ pub fn smoke_script(snapshot_dir: &str) -> Vec<(String, String)> {
             "SOLVE rtree all T=coll:towns,R=coll:roads,C=box:0:0:100:100 T <= C; R & T != 0",
             "OK n=3",
         ),
+        // Verbatim repeat at the same epochs: in selectivity mode the
+        // planned order comes from the plan cache, no fresh probes.
+        (
+            "SOLVE rtree all T=coll:towns,R=coll:roads,C=box:0:0:100:100 T <= C; R & T != 0",
+            "OK n=3",
+        ),
         (
             "SOLVE grid all T=coll:towns,R=coll:roads,C=box:0:0:50:50 T <= C; R & T != 0",
             "OK n=2",
@@ -628,14 +653,69 @@ pub fn smoke_script(snapshot_dir: &str) -> Vec<(String, String)> {
     steps.extend(own(vec![
         ("STAT towns", "OK len=3 live=3"),
         ("QUERY towns rtree within 0 0 100 100", "OK n=2"),
+        (
+            "EXPLAIN rtree T=coll:towns,R=coll:roads,C=box:0:0:100:100 T <= C; R & T != 0",
+            "OK lines=",
+        ),
+        // Candidate cache: a verbatim repeat at the same epoch is a
+        // hit; the INSERT bumps towns' mutation epoch and the same
+        // probe misses again with the fresh answer.
+        ("QUERY towns grid within 0 0 100 100", "OK n=2"),
+        ("QUERY towns grid within 0 0 100 100", "OK n=2"),
+        ("INSERT towns 30 30 34 34", "OK ref=3"),
+        ("QUERY towns grid within 0 0 100 100", "OK n=3"),
         ("LOAD map 7 40", "OK towns="),
         ("STAT states", "OK len=8 live=8"),
+        // Full STAT again so the transcript carries the final cache
+        // counters (self_test parses them).
+        ("STAT", "OK shards=4 collections="),
         ("METRICS", "OK lines="),
         ("TRACE 999999", "ERR unknown trace"),
         ("BOGUS", "ERR unknown command"),
         ("QUIT", "OK bye"),
     ]));
     steps
+}
+
+/// Parses the cumulative cache counters out of a scripted transcript's
+/// last full `STAT` response and asserts the epoch-keyed caches did
+/// real work during the session: the scripts repeat a `QUERY` verbatim
+/// (must hit), issue fresh probes (must miss), and mutate between
+/// repeats (the post-mutation repeat must miss again — epoch
+/// invalidation). With `want_plan_hit`, a verbatim `SOLVE` repeat in
+/// selectivity mode must have reused its cached retrieval order.
+pub fn verify_cache_counters(transcript: &[String], want_plan_hit: bool) -> Result<(), String> {
+    let stat = transcript
+        .iter()
+        .rev()
+        .find(|t| t.contains("candidate_cache_hits="))
+        .ok_or("no STAT response with cache counters in transcript")?;
+    let field = |name: &str| -> Result<u64, String> {
+        stat.split_whitespace()
+            .find_map(|f| f.strip_prefix(name))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("missing {name} in {stat:?}"))
+    };
+    let hits = field("candidate_cache_hits=")?;
+    let misses = field("candidate_cache_misses=")?;
+    if hits == 0 {
+        return Err(format!(
+            "candidate cache never hit despite a repeated QUERY: {stat:?}"
+        ));
+    }
+    if misses < 2 {
+        return Err(format!(
+            "expected >= 2 candidate cache misses (first probe + \
+             post-mutation epoch invalidation), got {misses}: {stat:?}"
+        ));
+    }
+    if want_plan_hit && field("plan_cache_hits=")? == 0 {
+        return Err(format!(
+            "plan cache never hit despite a repeated SOLVE in \
+             selectivity mode: {stat:?}"
+        ));
+    }
+    Ok(())
 }
 
 /// The `lines=<n>` field of a multi-line response header (`METRICS`,
@@ -742,7 +822,29 @@ pub fn cluster_script(snapshot_dir: &str) -> Vec<(String, String)> {
     ));
     steps.extend(own(vec![
         ("QUERY objs rtree within 0 0 200 200", "OK n=2 pruned=1"),
-        ("STAT", "OK shards=2 collections=1 live=2 backend=remote:"),
+        // Planner over live shard processes: estimates come from real
+        // wire probes.
+        (
+            "EXPLAIN rtree A=coll:objs,C=box:0:0:200:200 A <= C",
+            "OK lines=",
+        ),
+        // Candidate cache against remote shards: verbatim repeat hits;
+        // the INSERT write-through bumps the logical epoch and the
+        // same probe misses with the fresh (n=3) answer.
+        ("QUERY objs rtree within 0 0 200 200", "OK n=2 pruned=1"),
+        ("INSERT objs 70 70 80 80", "OK ref="),
+        ("QUERY objs rtree within 0 0 200 200", "OK n=3 pruned=1"),
+        // Verbatim SOLVE repeat: selectivity mode reuses the cached
+        // retrieval order.
+        (
+            "SOLVE rtree all A=coll:objs,C=box:0:0:200:200 A <= C",
+            "OK n=3",
+        ),
+        (
+            "SOLVE rtree all A=coll:objs,C=box:0:0:200:200 A <= C",
+            "OK n=3",
+        ),
+        ("STAT", "OK shards=2 collections=1 live=3 backend=remote:"),
         // both tiers answer the scrape: the serve/router instruments
         // plus each shard process's registry fetched over the wire
         ("METRICS", "OK lines="),
@@ -779,6 +881,9 @@ pub fn cluster_self_test() -> Result<Vec<String>, String> {
             &ServerConfig {
                 addr: "127.0.0.1:0".into(),
                 threads: 2,
+                // The cluster smoke proves cost-based planning works
+                // against live shard processes end to end.
+                plan: PlanMode::Selectivity,
                 ..ServerConfig::default()
             },
             db,
@@ -786,7 +891,8 @@ pub fn cluster_self_test() -> Result<Vec<String>, String> {
         .map_err(|e| format!("router bind: {e}"))?;
         let dir = std::env::temp_dir().join(format!("scq_cluster_selftest_{}", std::process::id()));
         let script = cluster_script(&dir.display().to_string());
-        let result = run_script(handle.addr(), &script);
+        let result = run_script(handle.addr(), &script)
+            .and_then(|t| verify_cache_counters(&t, true).map(|()| t));
         handle.shutdown();
         std::fs::remove_dir_all(&dir).ok();
         result
@@ -805,12 +911,16 @@ pub fn self_test() -> Result<Vec<String>, String> {
         shards: 4,
         threads: 2,
         universe_size: 1000.0,
+        // Selectivity mode so the smoke exercises the planner and the
+        // plan cache alongside the candidate cache.
+        plan: PlanMode::Selectivity,
         ..ServerConfig::default()
     })
     .map_err(|e| format!("bind: {e}"))?;
     let dir = std::env::temp_dir().join(format!("scq_serve_selftest_{}", std::process::id()));
     let script = smoke_script(&dir.display().to_string());
-    let result = run_script(handle.addr(), &script);
+    let result = run_script(handle.addr(), &script)
+        .and_then(|t| verify_cache_counters(&t, true).map(|()| t));
     handle.shutdown();
     std::fs::remove_dir_all(&dir).ok();
     result

@@ -26,7 +26,7 @@ use std::net::TcpStream;
 use std::path::Path;
 use std::time::Duration;
 
-use scq_serve::{cluster_self_test, self_test, serve, serve_db, ServerConfig};
+use scq_serve::{cluster_self_test, self_test, serve, serve_db, PlanMode, ServerConfig};
 use scq_shard::{serve_shard, ClusterSpec, ShardServerConfig, WalConfig};
 
 fn main() {
@@ -153,6 +153,15 @@ fn main() {
             }
         }
     }
+    if let Some(p) = flag("--plan") {
+        match PlanMode::parse(&p) {
+            Ok(p) => config.plan = p,
+            Err(e) => {
+                eprintln!("bad --plan: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     if let Some(spec_path) = flag("--cluster") {
         // Router-tier mode: shards are separate processes named by the
@@ -233,10 +242,12 @@ fn usage() -> &'static str {
      \n\
      usage:\n\
      \x20 scq-serve [--addr A] [--shards N] [--threads T] [--universe S] [--slow-ms W]\n\
+     \x20           [--plan selectivity|size|given]\n\
      \x20 scq-serve --shard [--addr A] [--threads T] [--universe S] [--max-conns N]\n\
      \x20           [--wal <dir>] [--wal-group-commit-ms W]\n\
      \x20           [--wire-version V] [--strict-wire]\n\
      \x20 scq-serve --cluster <spec-file> [--addr A] [--threads T]\n\
+     \x20           [--plan selectivity|size|given]\n\
      \x20 scq-serve --self-test\n\
      \x20 scq-serve --cluster-self-test\n\
      \x20 scq-serve --client <addr>\n\

@@ -18,17 +18,18 @@
 //! a client can tell an empty answer from a half-blind one. The
 //! cumulative failure counters surface through `STAT`.
 
+use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use scq_bbox::{Bbox, CornerQuery};
-use scq_core::parse_system;
+use scq_core::{parse_system, BboxPlan};
 use scq_engine::workload::{map_workload, MapParams};
 use scq_engine::{
-    CollectionId, ExecOptions, IndexKind, ObjectRef, ProbeReport, Query, QueryOutcome,
-    SpatialDatabase, VarBinding,
+    compile_triangular, order_by_selectivity, CollectionId, ExecOptions, IndexKind, ObjectRef,
+    ProbeReport, Query, QueryOutcome, SpatialDatabase, VarBinding,
 };
 use scq_region::{AaBox, Region};
 use scq_shard::{ShardBackend, ShardedDatabase};
@@ -62,6 +63,18 @@ pub struct ServeMetrics {
     stale_answers: scq_obs::Counter,
     /// `serve.slow_queries`: queries at or above the slow threshold.
     slow_queries: scq_obs::Counter,
+    /// `serve.candidate_cache_hits`: `QUERY` answers served from the
+    /// epoch-keyed candidate cache without touching a shard.
+    candidate_cache_hits: scq_obs::Counter,
+    /// `serve.candidate_cache_misses`: `QUERY` probes that had to run
+    /// because no current-epoch entry existed.
+    candidate_cache_misses: scq_obs::Counter,
+    /// `serve.plan_cache_hits`: `SOLVE` retrieval orders reused from
+    /// the epoch-keyed plan cache (selectivity mode only).
+    plan_cache_hits: scq_obs::Counter,
+    /// `serve.plan_cache_misses`: `SOLVE` commands that ran the
+    /// selectivity planner's probe round.
+    plan_cache_misses: scq_obs::Counter,
 }
 
 impl Default for ServeMetrics {
@@ -75,6 +88,10 @@ impl Default for ServeMetrics {
             failovers: registry.counter("serve.failovers"),
             stale_answers: registry.counter("serve.stale_answers"),
             slow_queries: registry.counter("serve.slow_queries"),
+            candidate_cache_hits: registry.counter("serve.candidate_cache_hits"),
+            candidate_cache_misses: registry.counter("serve.candidate_cache_misses"),
+            plan_cache_hits: registry.counter("serve.plan_cache_hits"),
+            plan_cache_misses: registry.counter("serve.plan_cache_misses"),
             registry,
         }
     }
@@ -117,15 +134,93 @@ impl ServeMetrics {
     }
 }
 
+/// How the serve tier orders `SOLVE` retrieval levels.
+///
+/// * `Selectivity` — probe each unknown's first-position corner query
+///   once ([`order_by_selectivity`]) and retrieve the most selective
+///   level first. Computed orders are cached per command text and
+///   invalidated by the bound collections' mutation epochs.
+/// * `Size` — the executor default: unknowns ascend by live collection
+///   size, no planning probes.
+/// * `Given` — trust the order the query arrived with. Wire queries
+///   carry no explicit order today, so `given` currently behaves like
+///   `size`; the mode exists so a client-supplied order keeps its
+///   meaning when the protocol grows one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanMode {
+    /// Probe-based selectivity ordering with the epoch-keyed plan cache.
+    Selectivity,
+    /// Ascending live collection size (the executor default).
+    Size,
+    /// Whatever order the query carries (today: same as `Size`).
+    Given,
+}
+
+impl PlanMode {
+    /// Parses a `--plan` flag value.
+    pub fn parse(s: &str) -> Result<PlanMode, String> {
+        match s {
+            "selectivity" => Ok(PlanMode::Selectivity),
+            "size" => Ok(PlanMode::Size),
+            "given" => Ok(PlanMode::Given),
+            other => Err(format!(
+                "unknown plan mode {other:?} (selectivity|size|given)"
+            )),
+        }
+    }
+
+    /// The flag spelling, as echoed by `EXPLAIN`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlanMode::Selectivity => "selectivity",
+            PlanMode::Size => "size",
+            PlanMode::Given => "given",
+        }
+    }
+}
+
+/// Capacity bounds for the epoch-keyed caches. Entries under a
+/// superseded epoch can never be addressed again (epochs only grow),
+/// so hitting the cap clears the map wholesale: that only costs warm
+/// entries, never correctness.
+const CANDIDATE_CACHE_CAP: usize = 1024;
+const PLAN_CACHE_CAP: usize = 256;
+
+/// Key of one cached `QUERY` answer: collection, index kind, probe
+/// mode, the probe box's exact bit pattern, and the collection's
+/// mutation epoch when the answer was computed. Every effective write
+/// — local or through the remote write-through mirror — bumps the
+/// epoch, so stale entries simply stop being addressable.
+type CandidateKey = (usize, u8, u8, [u64; 4], u64);
+
+/// Key of one cached `SOLVE` retrieval order: index kind, the
+/// command's binding and system text verbatim, and the mutation epoch
+/// of every bound collection in binding order.
+type PlanKey = (u8, String, String, Vec<u64>);
+
+/// The serve tier's epoch-invalidated caches above the executors.
+#[derive(Default)]
+struct QueryCaches {
+    /// Complete, primary-fresh `QUERY` answers: sorted ids plus the
+    /// router's prune count for that probe.
+    candidates: Mutex<HashMap<CandidateKey, (Vec<u64>, usize)>>,
+    /// Planned retrieval orders, stored by variable *name* so a hit
+    /// re-resolves against the freshly parsed system.
+    plans: Mutex<HashMap<PlanKey, Vec<String>>>,
+}
+
 /// Per-server observability state shared by every worker: the metrics
 /// registry, the ring of recent command traces replayed by `TRACE`,
-/// the trace-id allocator and the slow-query threshold.
+/// the trace-id allocator, the slow-query threshold, the plan mode and
+/// the epoch-invalidated query caches.
 pub struct ServeContext {
     /// The serve tier's instruments.
     pub metrics: ServeMetrics,
     traces: scq_obs::TraceRing,
     next_trace_id: AtomicU64,
     slow_ms: Option<u64>,
+    plan: PlanMode,
+    caches: QueryCaches,
 }
 
 impl Default for ServeContext {
@@ -144,7 +239,15 @@ impl ServeContext {
             traces: scq_obs::TraceRing::new(256),
             next_trace_id: AtomicU64::new(1),
             slow_ms,
+            plan: PlanMode::Size,
+            caches: QueryCaches::default(),
         }
+    }
+
+    /// Replaces the plan mode (builder-style, used at server start).
+    pub fn with_plan(mut self, plan: PlanMode) -> ServeContext {
+        self.plan = plan;
+        self
     }
 
     /// The recorded trace with id `id`, if it is still in the ring.
@@ -372,18 +475,51 @@ fn dispatch<B: ShardBackend>(
                 );
             };
             let kind = parse_kind(kind)?;
-            let probe = Bbox::new(
-                [parse_f64(x0)?, parse_f64(y0)?],
-                [parse_f64(x1)?, parse_f64(y1)?],
+            let (x0, y0, x1, y1) = (
+                parse_f64(x0)?,
+                parse_f64(y0)?,
+                parse_f64(x1)?,
+                parse_f64(y1)?,
             );
-            let q = match mode {
-                "overlaps" => CornerQuery::unconstrained().and_overlaps(&probe),
-                "within" => CornerQuery::unconstrained().and_contained_in(&probe),
-                "contains" => CornerQuery::unconstrained().and_contains(&probe),
+            let probe = Bbox::new([x0, y0], [x1, y1]);
+            let (q, mode_tag) = match mode {
+                "overlaps" => (CornerQuery::unconstrained().and_overlaps(&probe), 0u8),
+                "within" => (CornerQuery::unconstrained().and_contained_in(&probe), 1u8),
+                "contains" => (CornerQuery::unconstrained().and_contains(&probe), 2u8),
                 other => return Err(format!("unknown mode {other:?}")),
             };
             let d = db.read().map_err(lock_poisoned)?;
             let coll = lookup(&d, name)?;
+            // Cross-query candidate cache: the key carries the
+            // collection's mutation epoch, so any effective write —
+            // local or through the remote write-through mirror —
+            // retires every entry for the collection without a scan.
+            let key: CandidateKey = (
+                coll.0,
+                kind_tag(kind),
+                mode_tag,
+                [x0.to_bits(), y0.to_bits(), x1.to_bits(), y1.to_bits()],
+                d.epoch(coll),
+            );
+            if let Some((ids, pruned)) = ctx
+                .caches
+                .candidates
+                .lock()
+                .ok()
+                .and_then(|c| c.get(&key).cloned())
+            {
+                // A hit is still an answered query — it just cost no
+                // shard probe. Only complete, primary-fresh answers
+                // are ever cached, so no PARTIAL/stale rendering here.
+                ctx.metrics.note(0, 0, false, 0, 0);
+                ctx.metrics.candidate_cache_hits.inc();
+                return Ok(format!(
+                    "OK n={} pruned={pruned} ids={}",
+                    ids.len(),
+                    list_ids(&ids)
+                ));
+            }
+            ctx.metrics.candidate_cache_misses.inc();
             let mut ids = Vec::new();
             let report: ProbeReport =
                 contain_backend_panic(|| d.query_collection(coll, kind, &q, &mut ids))?;
@@ -395,19 +531,22 @@ fn dispatch<B: ShardBackend>(
                 report.stale_shards.len(),
             );
             ids.sort_unstable();
+            let pruned = report.shards_pruned;
+            // Only complete answers with every shard's primary heard
+            // from are cached: a degraded or stale answer must not
+            // outlive the outage that produced it.
+            if report.is_complete() && report.stale_shards.is_empty() {
+                if let Ok(mut c) = ctx.caches.candidates.lock() {
+                    if c.len() >= CANDIDATE_CACHE_CAP {
+                        c.clear();
+                    }
+                    c.insert(key, (ids.clone(), pruned));
+                }
+            }
             // `n=` carries the true count; the listing is capped so a
             // broad query cannot blow the response line up to megabytes
             // (same shape as SOLVE's tuple cap).
-            let shown = ids.len().min(MAX_LISTED);
-            let mut id_list = ids[..shown]
-                .iter()
-                .map(|i| i.to_string())
-                .collect::<Vec<_>>()
-                .join(",");
-            if ids.len() > shown {
-                id_list.push_str(",+more");
-            }
-            let pruned = report.shards_pruned;
+            let id_list = list_ids(&ids);
             // Answers that came from a non-primary replica are flagged
             // (only when any did, so healthy-path expectations hold).
             let stale = if report.stale_shards.is_empty() {
@@ -426,6 +565,7 @@ fn dispatch<B: ShardBackend>(
             })
         }
         "SOLVE" => solve(db, ctx, &rest),
+        "EXPLAIN" => explain(db, ctx, &rest),
         "SHARDS" => {
             let d = db.read().map_err(lock_poisoned)?;
             let live: Vec<String> = (0..d.n_shards())
@@ -456,7 +596,9 @@ fn dispatch<B: ShardBackend>(
                     Ok(format!(
                         "OK shards={} collections={} live={live} backend={} \
                          retries={} shards_unavailable={} partial_answers={} \
-                         failovers={} stale_answers={}{} {}",
+                         failovers={} stale_answers={} candidate_cache_hits={} \
+                         candidate_cache_misses={} plan_cache_hits={} \
+                         plan_cache_misses={}{} {}",
                         d.n_shards(),
                         d.collections().count(),
                         d.backend(0).describe(),
@@ -465,6 +607,10 @@ fn dispatch<B: ShardBackend>(
                         counter("serve.partial_answers"),
                         counter("serve.failovers"),
                         counter("serve.stale_answers"),
+                        counter("serve.candidate_cache_hits"),
+                        counter("serve.candidate_cache_misses"),
+                        counter("serve.plan_cache_hits"),
+                        counter("serve.plan_cache_misses"),
                         wal_rows(&d),
                         shard_health(&d)
                     ))
@@ -615,25 +761,9 @@ fn solve<B: ShardBackend>(
     let sys = parse_system(&system_src).map_err(|e| e.to_string())?;
     let d = db.read().map_err(lock_poisoned)?;
     let mut query = Query::new(sys);
-    for b in bindings_src.split(',') {
-        let (var_name, spec) = b
-            .split_once('=')
-            .ok_or_else(|| format!("bad binding {b:?}"))?;
-        let var = query
-            .system
-            .table
-            .get(var_name)
-            .ok_or_else(|| format!("variable {var_name:?} is not in the system"))?;
-        if let Some(name) = spec.strip_prefix("coll:") {
-            let coll = lookup(&d, name)?;
-            query.bindings.insert(var, VarBinding::Collection(coll));
-        } else if let Some(coords) = spec.strip_prefix("box:") {
-            let cs: Vec<&str> = coords.split(':').collect();
-            let region = parse_region(&cs)?;
-            query.bindings.insert(var, VarBinding::Known(region));
-        } else {
-            return Err(format!("bad binding spec {spec:?} (coll:… or box:…)"));
-        }
+    let colls = bind_query(&d, &mut query, bindings_src)?;
+    if ctx.plan == PlanMode::Selectivity {
+        apply_selectivity_plan(&d, ctx, &mut query, kind, bindings_src, &system_src, &colls)?;
     }
     let result = contain_backend_panic(|| scq_shard::execute(&d, &query, kind, options))?
         .map_err(|e| e.to_string())?;
@@ -680,6 +810,197 @@ fn solve<B: ShardBackend>(
             result.stats.shards_pruned
         ),
     })
+}
+
+/// Parses `VAR=coll:<name>,VAR=box:<x0>:<y0>:<x1>:<y1>,…` bindings
+/// into `query`, returning the bound collections in binding order (the
+/// epoch-key ingredient for the plan cache).
+fn bind_query<B: ShardBackend>(
+    d: &ShardedDatabase<B>,
+    query: &mut Query<2>,
+    bindings_src: &str,
+) -> Result<Vec<CollectionId>, String> {
+    let mut colls = Vec::new();
+    for b in bindings_src.split(',') {
+        let (var_name, spec) = b
+            .split_once('=')
+            .ok_or_else(|| format!("bad binding {b:?}"))?;
+        let var = query
+            .system
+            .table
+            .get(var_name)
+            .ok_or_else(|| format!("variable {var_name:?} is not in the system"))?;
+        if let Some(name) = spec.strip_prefix("coll:") {
+            let coll = lookup(d, name)?;
+            query.bindings.insert(var, VarBinding::Collection(coll));
+            colls.push(coll);
+        } else if let Some(coords) = spec.strip_prefix("box:") {
+            let cs: Vec<&str> = coords.split(':').collect();
+            let region = parse_region(&cs)?;
+            query.bindings.insert(var, VarBinding::Known(region));
+        } else {
+            return Err(format!("bad binding spec {spec:?} (coll:… or box:…)"));
+        }
+    }
+    Ok(colls)
+}
+
+/// Installs the selectivity order on `query`, consulting the plan
+/// cache first. The key carries the bound collections' mutation
+/// epochs: equal epochs guarantee identical contents, so a cached
+/// order is exactly what a fresh probe round would pick — and any
+/// effective write silently retires it.
+fn apply_selectivity_plan<B: ShardBackend>(
+    d: &ShardedDatabase<B>,
+    ctx: &ServeContext,
+    query: &mut Query<2>,
+    kind: IndexKind,
+    bindings_src: &str,
+    system_src: &str,
+    colls: &[CollectionId],
+) -> Result<(), String> {
+    let epochs: Vec<u64> = colls.iter().map(|&c| d.epoch(c)).collect();
+    let key: PlanKey = (
+        kind_tag(kind),
+        bindings_src.to_string(),
+        system_src.to_string(),
+        epochs,
+    );
+    if let Some(names) = ctx
+        .caches
+        .plans
+        .lock()
+        .ok()
+        .and_then(|p| p.get(&key).cloned())
+    {
+        // Names re-resolve against the freshly parsed system; the
+        // command text is part of the key, so they always exist.
+        let order: Vec<_> = names
+            .iter()
+            .filter_map(|n| query.system.table.get(n))
+            .collect();
+        if order.len() == names.len() {
+            query.order = Some(order);
+            ctx.metrics.plan_cache_hits.inc();
+            return Ok(());
+        }
+    }
+    ctx.metrics.plan_cache_misses.inc();
+    let plan = contain_backend_panic(|| order_by_selectivity(d, query, kind))?
+        .map_err(|e| e.to_string())?;
+    let names: Vec<String> = plan
+        .order
+        .iter()
+        .map(|&v| query.system.table.display(v))
+        .collect();
+    query.order = Some(plan.order);
+    if let Ok(mut p) = ctx.caches.plans.lock() {
+        if p.len() >= PLAN_CACHE_CAP {
+            p.clear();
+        }
+        p.insert(key, names);
+    }
+    Ok(())
+}
+
+/// `EXPLAIN <kind> <bindings> <system…>`: report the selectivity
+/// planner's per-unknown estimates, the retrieval order the server's
+/// plan mode would actually execute, and the compiled per-level range
+/// query plan — without running the query. The body is framed behind
+/// `OK lines=<n>` like `METRICS`.
+fn explain<B: ShardBackend>(
+    db: &Arc<RwLock<ShardedDatabase<B>>>,
+    ctx: &ServeContext,
+    rest: &[&str],
+) -> Result<String, String> {
+    let usage = "usage: EXPLAIN <rtree|grid|scan> \
+                 VAR=coll:<name>,VAR=box:<x0>:<y0>:<x1>:<y1>,… <system>";
+    if rest.len() < 3 {
+        return Err(usage.into());
+    }
+    let kind = parse_kind(rest[0])?;
+    let bindings_src = rest[1];
+    let system_src = rest[2..].join(" ");
+    let sys = parse_system(&system_src).map_err(|e| e.to_string())?;
+    let d = db.read().map_err(lock_poisoned)?;
+    let mut query = Query::new(sys);
+    bind_query(&d, &mut query, bindings_src)?;
+    // The planner always runs (EXPLAIN exists to show its reasoning),
+    // but the executed order below honors the server's plan mode.
+    let plan = contain_backend_panic(|| order_by_selectivity(&*d, &query, kind))?
+        .map_err(|e| e.to_string())?;
+    let mut body = format!("plan={} index={}", ctx.plan.as_str(), rest[0]);
+    for est in &plan.estimates {
+        body.push_str(&format!(
+            "\nestimate {}: candidates={}",
+            query.system.table.display(est.var),
+            est.candidates
+        ));
+    }
+    if ctx.plan == PlanMode::Selectivity {
+        query.order = Some(plan.order);
+    }
+    let order = query.retrieval_order(&*d);
+    body.push_str(&format!(
+        "\norder: {}",
+        order
+            .iter()
+            .map(|&v| query.system.table.display(v))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    ));
+    // Per-level view: knowns bind for free; each unknown names the
+    // index its corner query will probe.
+    for (level, &v) in order.iter().enumerate() {
+        let name = query.system.table.display(v);
+        match query.bindings.get(&v) {
+            Some(VarBinding::Known(_)) => {
+                body.push_str(&format!("\nlevel {level}: {name} known (no retrieval)"));
+            }
+            _ => {
+                let est = plan
+                    .estimates
+                    .iter()
+                    .find(|e| e.var == v)
+                    .map(|e| e.candidates);
+                body.push_str(&format!(
+                    "\nlevel {level}: {name} index={} estimated_candidates={}",
+                    rest[0],
+                    est.map_or("?".to_string(), |c| c.to_string())
+                ));
+            }
+        }
+    }
+    // The compiled range-query plan (Algorithm 2's triangular rows)
+    // for the order that would actually execute.
+    let tri = compile_triangular(&*d, &query).map_err(|e| e.to_string())?;
+    let bbox_plan: BboxPlan<2> = BboxPlan::compile(&tri);
+    body.push('\n');
+    body.push_str(bbox_plan.explain(&query.system.table).trim_end());
+    Ok(multiline(&body))
+}
+
+/// The cache-key byte for an index kind.
+fn kind_tag(kind: IndexKind) -> u8 {
+    match kind {
+        IndexKind::RTree => 0,
+        IndexKind::GridFile => 1,
+        IndexKind::Scan => 2,
+    }
+}
+
+/// Renders a capped id listing (the `ids=` field of a `QUERY` answer).
+fn list_ids(ids: &[u64]) -> String {
+    let shown = ids.len().min(MAX_LISTED);
+    let mut listing = ids[..shown]
+        .iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    if ids.len() > shown {
+        listing.push_str(",+more");
+    }
+    listing
 }
 
 /// `LOAD map`: generate the GIS workload into a scratch single-store
@@ -852,6 +1173,78 @@ mod tests {
             s.counter("serve.queries"),
             s.counter("serve.partial_answers")
         );
+    }
+
+    #[test]
+    fn plan_mode_parses_exactly_the_flag_values() {
+        assert_eq!(PlanMode::parse("selectivity"), Ok(PlanMode::Selectivity));
+        assert_eq!(PlanMode::parse("size"), Ok(PlanMode::Size));
+        assert_eq!(PlanMode::parse("given"), Ok(PlanMode::Given));
+        assert!(PlanMode::parse("cost").is_err());
+        assert_eq!(PlanMode::Selectivity.as_str(), "selectivity");
+    }
+
+    /// `EXPLAIN` surfaces the planner's reasoning (estimates, chosen
+    /// order, compiled per-level plan) without executing, and the
+    /// candidate cache serves verbatim `QUERY` repeats until an
+    /// effective write bumps the collection's mutation epoch.
+    #[test]
+    fn explain_and_candidate_cache_follow_the_mutation_epoch() {
+        let universe = AaBox::new([0.0, 0.0], [100.0, 100.0]);
+        let db = Arc::new(RwLock::new(ShardedDatabase::<scq_shard::LocalShard>::new(
+            universe, 2,
+        )));
+        let ctx = ServeContext::new(None).with_plan(PlanMode::Selectivity);
+        let run = |line: &str| handle_command(&db, &ctx, line).0;
+        assert!(run("CREATE towns").starts_with("OK"));
+        assert!(run("CREATE roads").starts_with("OK"));
+        run("INSERT towns 10 10 20 20");
+        run("INSERT roads 5 5 50 50");
+        run("INSERT roads 60 60 70 70");
+        let explain =
+            run("EXPLAIN rtree T=coll:towns,R=coll:roads,C=box:0:0:40:40 T <= C; R & T != 0");
+        assert!(explain.starts_with("OK lines="), "{explain}");
+        assert!(
+            explain.contains("plan=selectivity index=rtree"),
+            "{explain}"
+        );
+        assert!(explain.contains("estimate T: candidates="), "{explain}");
+        assert!(explain.contains("estimate R: candidates="), "{explain}");
+        assert!(explain.contains("order: C"), "knowns bind first: {explain}");
+        assert!(
+            explain.contains("retrieve"),
+            "compiled plan body: {explain}"
+        );
+
+        // Identical probes at the same epoch: first misses, second is
+        // served from the cache (identical answer, no shard probe).
+        let q = "QUERY towns rtree within 0 0 40 40";
+        let strip_trace = |r: String| r.split(" trace=").next().unwrap().to_string();
+        let first = strip_trace(run(q));
+        assert!(first.starts_with("OK n=1"), "{first}");
+        assert_eq!(strip_trace(run(q)), first);
+        let snap = ctx.metrics.snapshot();
+        assert_eq!(snap.counter("serve.candidate_cache_hits"), Some(1));
+        assert_eq!(snap.counter("serve.candidate_cache_misses"), Some(1));
+
+        // An effective write bumps towns' epoch: the same probe misses
+        // and answers fresh.
+        run("INSERT towns 12 12 14 14");
+        assert!(strip_trace(run(q)).starts_with("OK n=2"));
+        let snap = ctx.metrics.snapshot();
+        assert_eq!(snap.counter("serve.candidate_cache_hits"), Some(1));
+        assert_eq!(snap.counter("serve.candidate_cache_misses"), Some(2));
+
+        // SOLVE in selectivity mode: a verbatim repeat reuses the
+        // cached plan; the write above already retired nothing (first
+        // SOLVE plans fresh), so hits lag misses by exactly one.
+        let s = "SOLVE rtree all T=coll:towns,R=coll:roads,C=box:0:0:40:40 T <= C; R & T != 0";
+        let a = strip_trace(run(s));
+        let b = strip_trace(run(s));
+        assert_eq!(a, b, "cached plan yields the identical answer");
+        let snap = ctx.metrics.snapshot();
+        assert_eq!(snap.counter("serve.plan_cache_misses"), Some(1));
+        assert_eq!(snap.counter("serve.plan_cache_hits"), Some(1));
     }
 
     /// Per-command latency histograms materialize lazily under

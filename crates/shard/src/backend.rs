@@ -113,6 +113,14 @@ pub trait ShardBackend: Send + Sync {
     /// Number of live local objects.
     fn live_len(&self, coll: CollectionId) -> usize;
 
+    /// The shard's per-collection **mutation epoch** (see
+    /// `scq_engine::StoreView::epoch`): bumped on every effective
+    /// mutation of this shard's slice of the collection. A remote
+    /// backend answers from its write-through mirror, which stays in
+    /// lockstep with the shard process — [`ShardBackend::check`]
+    /// verifies the two agree.
+    fn epoch(&self, coll: CollectionId) -> u64;
+
     /// Whether a local slot is live.
     fn is_live(&self, coll: CollectionId, local: usize) -> bool;
 
@@ -263,6 +271,10 @@ impl ShardBackend for LocalShard {
 
     fn live_len(&self, coll: CollectionId) -> usize {
         self.0.live_len(coll)
+    }
+
+    fn epoch(&self, coll: CollectionId) -> u64 {
+        self.0.epoch(coll)
     }
 
     fn is_live(&self, coll: CollectionId, local: usize) -> bool {

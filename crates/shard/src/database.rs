@@ -73,6 +73,11 @@ pub(crate) struct LogicalCollection {
     pub empty_objects: Vec<usize>,
     /// One side table per shard.
     pub per_shard: Vec<ShardSide>,
+    /// Logical mutation epoch (see `StoreView::epoch`): one counter per
+    /// **logical** collection, bumped on the routing tier for every
+    /// effective insert/remove/update/compact regardless of which shard
+    /// absorbed it.
+    pub epoch: u64,
 }
 
 /// A spatial database partitioned across `n_shards` z-order range
@@ -214,7 +219,16 @@ impl<B: ShardBackend> ShardedDatabase<B> {
     }
 
     /// Replaces the global mapping layer (snapshot reload plumbing).
-    pub(crate) fn set_collections(&mut self, collections: Vec<LogicalCollection>) {
+    pub(crate) fn set_collections(&mut self, mut collections: Vec<LogicalCollection>) {
+        // A reload is itself a mutation: whatever epoch the outgoing
+        // mapping had reached, a same-named reloaded collection gets a
+        // strictly larger one, so epoch-validated caches can never
+        // serve pre-reload answers against post-reload contents.
+        for c in &mut collections {
+            if let Some(&old) = self.by_name.get(&c.name) {
+                c.epoch = c.epoch.max(self.collections[old.0].epoch + 1);
+            }
+        }
         self.by_name = collections
             .iter()
             .enumerate()
@@ -323,6 +337,7 @@ impl<B: ShardBackend> ShardedDatabase<B> {
             per_shard: (0..self.shards.len())
                 .map(|_| ShardSide::default())
                 .collect(),
+            epoch: 0,
         });
         self.by_name.insert(name.to_owned(), id);
         Ok(id)
@@ -375,6 +390,7 @@ impl<B: ShardBackend> ShardedDatabase<B> {
         });
         c.live.push(true);
         c.live_count += 1;
+        c.epoch += 1;
         if bbox.is_empty() {
             c.empty_objects.push(index);
         }
@@ -408,6 +424,7 @@ impl<B: ShardBackend> ShardedDatabase<B> {
         }
         c.live[obj.index] = false;
         c.live_count -= 1;
+        c.epoch += 1;
         c.empty_objects.retain(|&i| i != obj.index);
         Ok(true)
     }
@@ -478,6 +495,7 @@ impl<B: ShardBackend> ShardedDatabase<B> {
             (true, false) => c.empty_objects.retain(|&i| i != obj.index),
             _ => {}
         }
+        c.epoch += 1;
         Ok(true)
     }
 
@@ -495,6 +513,14 @@ impl<B: ShardBackend> ShardedDatabase<B> {
     /// Number of live objects.
     pub fn live_len(&self, coll: CollectionId) -> usize {
         self.collections[coll.0].live_count
+    }
+
+    /// The collection's logical mutation epoch (see
+    /// `StoreView::epoch`): bumped on the routing tier for every
+    /// effective insert/remove/update/compact, so one counter covers
+    /// the whole partitioned collection.
+    pub fn epoch(&self, coll: CollectionId) -> u64 {
+        self.collections[coll.0].epoch
     }
 
     /// Whether the object's global slot is live.
@@ -794,6 +820,7 @@ impl<B: ShardBackend> ShardedDatabase<B> {
                 .all(|side| side.globals.iter().all(|&g| g != u64::MAX)));
             c.live = vec![true; c.slots.len()];
             c.live_count = c.slots.len();
+            c.epoch += 1;
             report.remap.push(remap);
         }
         Ok(report)
@@ -818,6 +845,10 @@ impl<B: ShardBackend> StoreView<2> for ShardedDatabase<B> {
 
     fn live_len(&self, coll: CollectionId) -> usize {
         ShardedDatabase::live_len(self, coll)
+    }
+
+    fn epoch(&self, coll: CollectionId) -> u64 {
+        ShardedDatabase::epoch(self, coll)
     }
 
     fn is_live(&self, obj: ObjectRef) -> bool {
@@ -991,6 +1022,37 @@ mod tests {
         for s in 0..d.n_shards() {
             assert_eq!(d.shard(s).collection_len(c), d.shard(s).live_len(c));
         }
+    }
+
+    #[test]
+    fn logical_epoch_tracks_effective_mutations() {
+        let mut d = db(3);
+        let c = d.collection("objs");
+        assert_eq!(StoreView::epoch(&d, c), 0);
+        let a = d.insert(c, boxed(5.0, 5.0, 2.0, 2.0));
+        let b = d.insert(c, boxed(90.0, 90.0, 2.0, 2.0));
+        assert_eq!(StoreView::epoch(&d, c), 2);
+        // A migrating update bumps the LOGICAL epoch once, even though
+        // two shards mutated underneath.
+        assert!(d.update(b, boxed(2.0, 2.0, 2.0, 2.0)));
+        assert_eq!(StoreView::epoch(&d, c), 3);
+        assert!(d.remove(a));
+        assert_eq!(StoreView::epoch(&d, c), 4);
+        // Ineffective mutations leave the epoch alone.
+        assert!(!d.remove(a));
+        assert!(!d.update(a, boxed(1.0, 1.0, 1.0, 1.0)));
+        assert_eq!(StoreView::epoch(&d, c), 4);
+        d.compact();
+        assert_eq!(StoreView::epoch(&d, c), 5);
+        // Unrelated collections are isolated.
+        let other = d.collection("other");
+        d.insert(other, boxed(1.0, 1.0, 1.0, 1.0));
+        assert_eq!(StoreView::epoch(&d, other), 1);
+        assert_eq!(
+            StoreView::epoch(&d, c),
+            5,
+            "a mutation elsewhere leaves c alone"
+        );
     }
 
     #[test]

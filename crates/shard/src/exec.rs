@@ -91,6 +91,13 @@ impl<B: ShardBackend> StoreView<2> for ShardSlice<'_, B> {
         self.inner.live_len(coll)
     }
 
+    // The logical epoch likewise comes from the routing tier: every
+    // slice of the same database reports the same epoch, so cache
+    // entries taken through one slice stay valid for all of them.
+    fn epoch(&self, coll: CollectionId) -> u64 {
+        self.inner.epoch(coll)
+    }
+
     fn is_live(&self, obj: ObjectRef) -> bool {
         self.inner.is_live(obj)
     }

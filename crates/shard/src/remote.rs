@@ -72,8 +72,8 @@ use scq_region::{AaBox, Region};
 use crate::backend::{ShardBackend, ShardError};
 use crate::wire::{
     decode_mux, decode_response, encode_mux, encode_request, frame, is_mux, read_frame,
-    MuxReassembly, Request, Response, WireError, MIN_WIRE_VERSION, MUX_CANCEL, MUX_MIN_VERSION,
-    MUX_REQ, TRACED_MIN_VERSION, WIRE_VERSION,
+    MuxReassembly, Request, Response, WireError, EPOCHS_MIN_VERSION, MIN_WIRE_VERSION, MUX_CANCEL,
+    MUX_MIN_VERSION, MUX_REQ, TRACED_MIN_VERSION, WIRE_VERSION,
 };
 
 /// One collection's mirrored slots.
@@ -84,6 +84,10 @@ struct MirrorCollection {
     bboxes: Vec<Bbox<2>>,
     live: Vec<bool>,
     live_count: usize,
+    /// The mirror's copy of the shard's per-collection mutation epoch,
+    /// bumped on every effective write-through so it stays in lockstep
+    /// with the shard process ([`ShardBackend::check`] verifies).
+    epoch: u64,
 }
 
 /// The wire connection: lazily (re)established, dropped on any I/O
@@ -1347,18 +1351,50 @@ impl RemoteShard {
         Ok(db)
     }
 
+    /// The shard process's per-collection mutation epochs, in
+    /// collection-id order — `None` when the negotiated protocol
+    /// predates [`Request::Epochs`] or the shard is unreachable.
+    fn shard_epochs(&self) -> Option<Vec<u64>> {
+        if self.replicas[0].pool.stats().wire_version < EPOCHS_MIN_VERSION {
+            return None;
+        }
+        match self.primary_request(&Request::Epochs, true) {
+            Ok(Response::Ids(epochs)) => Some(epochs),
+            _ => None,
+        }
+    }
+
     /// Replaces the mirror with the contents of a decoded stream.
     fn commit_mirror(&mut self, db: &SpatialDatabase<2>) {
+        // Epoch seeding: adopt the shard process's own epochs (the
+        // stream was already applied there, so this reflects the
+        // post-load state) and the lockstep check holds from the first
+        // mutation on. An older peer cannot be asked; its mirror
+        // epochs instead advance strictly past the previous mirror
+        // generation (old + 1, matched by name) so any epoch-keyed
+        // cache entry taken before the reload is invalidated.
+        let fetched = self.shard_epochs();
+        let old_epochs: HashMap<String, u64> = self
+            .collections
+            .iter()
+            .map(|c| (c.name.clone(), c.epoch))
+            .collect();
         self.collections = db
             .collections()
             .map(|coll| {
                 let n = db.collection_len(coll);
+                let name = db.collection_name(coll).to_owned();
+                let epoch = match &fetched {
+                    Some(epochs) => epochs.get(coll.0).copied().unwrap_or(0),
+                    None => old_epochs.get(&name).map_or(0, |&e| e + 1),
+                };
                 let mut m = MirrorCollection {
-                    name: db.collection_name(coll).to_owned(),
+                    name,
                     regions: Vec::with_capacity(n),
                     bboxes: Vec::with_capacity(n),
                     live: Vec::with_capacity(n),
                     live_count: db.live_len(coll),
+                    epoch,
                 };
                 for index in db.object_indices(coll) {
                     let obj = scq_engine::ObjectRef {
@@ -1455,6 +1491,10 @@ impl ShardBackend for RemoteShard {
         self.coll(coll).live_count
     }
 
+    fn epoch(&self, coll: CollectionId) -> u64 {
+        self.coll(coll).epoch
+    }
+
     fn is_live(&self, coll: CollectionId, local: usize) -> bool {
         self.coll(coll).live[local]
     }
@@ -1494,6 +1534,7 @@ impl ShardBackend for RemoteShard {
         m.regions.push(region);
         m.live.push(true);
         m.live_count += 1;
+        m.epoch += 1;
         Ok(local)
     }
 
@@ -1514,6 +1555,7 @@ impl ShardBackend for RemoteShard {
                     let m = &mut self.collections[coll.0];
                     m.live[local] = false;
                     m.live_count -= 1;
+                    m.epoch += 1;
                 }
                 Ok(removed)
             }
@@ -1541,6 +1583,7 @@ impl ShardBackend for RemoteShard {
                     let m = &mut self.collections[coll.0];
                     m.bboxes[local] = region.bbox();
                     m.regions[local] = region;
+                    m.epoch += 1;
                 }
                 Ok(updated)
             }
@@ -1672,6 +1715,9 @@ impl ShardBackend for RemoteShard {
                 m.bboxes[new] = old_bboxes[old];
             }
             m.live_count = survivors;
+            // Compaction renumbers slots, so it advances the epoch of
+            // every collection — exactly as the shard process does.
+            m.epoch += 1;
         }
         Ok(CompactReport {
             remap: remap
@@ -1699,6 +1745,29 @@ impl ShardBackend for RemoteShard {
             }
             Ok(other) => problems.push(format!("STAT answered {other:?}")),
             Err(e) => problems.push(format!("remote stat unreachable: {e}")),
+        }
+        // …plus epoch lockstep, when the peer can answer: the mirror's
+        // per-collection mutation epochs must equal the shard's, or
+        // epoch-keyed caches above this backend may serve stale
+        // answers. (Older peers are skipped — their mirrors seed
+        // epochs monotonically on their own.)
+        if self.replicas[0].pool.stats().wire_version >= EPOCHS_MIN_VERSION {
+            match self.primary_request(&Request::Epochs, true) {
+                Ok(Response::Ids(epochs)) => {
+                    for (i, m) in self.collections.iter().enumerate() {
+                        let shard = epochs.get(i).copied();
+                        if shard != Some(m.epoch) {
+                            problems.push(format!(
+                                "mirror epoch for {:?} is {}, shard reports {:?}: \
+                                 epoch lockstep broken",
+                                m.name, m.epoch, shard
+                            ));
+                        }
+                    }
+                }
+                Ok(other) => problems.push(format!("EPOCHS answered {other:?}")),
+                Err(e) => problems.push(format!("remote epochs unreachable: {e}")),
+            }
         }
         // …plus the same census per secondary: a replica that missed
         // writes (desynced) or answers a different census must not be

@@ -843,6 +843,7 @@ fn op_name(req: &Request) -> &'static str {
         Request::WalExport => "wal_export",
         Request::WalApply { .. } => "wal_apply",
         Request::Metrics => "metrics",
+        Request::Epochs => "epochs",
         Request::Traced { inner, .. } => op_name(inner),
         Request::Bye => "bye",
     }
@@ -934,6 +935,12 @@ fn handle_request(state: &ShardState, req: Request) -> (Response, After) {
                     })
                     .collect(),
             ),
+            Err(e) => poisoned(e),
+        },
+        // Epochs answer in collection-id order so the mirror can match
+        // them positionally against its own collection table.
+        Request::Epochs => match db.read() {
+            Ok(d) => Response::Ids(d.collections().map(|c| d.epoch(c)).collect()),
             Err(e) => poisoned(e),
         },
         // Compaction is a logged mutation: its remap is deterministic
@@ -1245,6 +1252,52 @@ mod tests {
                 .unwrap_or_else(|| panic!("missing shard.{op}.latency"));
             assert_eq!(h.count(), 1, "one {op} was served");
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn epochs_answer_in_collection_id_order_and_track_mutations() {
+        let server = start();
+        let mut s = hello(server.addr());
+        assert_eq!(roundtrip(&mut s, &Request::Epochs), Response::Ids(vec![]));
+        let towns = match roundtrip(
+            &mut s,
+            &Request::Create {
+                name: "towns".into(),
+            },
+        ) {
+            Response::Coll(id) => id,
+            other => panic!("{other:?}"),
+        };
+        match roundtrip(
+            &mut s,
+            &Request::Create {
+                name: "roads".into(),
+            },
+        ) {
+            Response::Coll(_) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            roundtrip(&mut s, &Request::Epochs),
+            Response::Ids(vec![0, 0])
+        );
+        let region = Region::from_box(scq_region::AaBox::new([1.0, 1.0], [2.0, 2.0]));
+        match roundtrip(
+            &mut s,
+            &Request::Insert {
+                coll: towns,
+                region,
+            },
+        ) {
+            Response::Slot(_) => {}
+            other => panic!("{other:?}"),
+        }
+        // Only the mutated collection's epoch advanced.
+        assert_eq!(
+            roundtrip(&mut s, &Request::Epochs),
+            Response::Ids(vec![1, 0])
+        );
         server.shutdown();
     }
 

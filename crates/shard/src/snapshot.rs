@@ -476,6 +476,10 @@ fn build_collections<B: ShardBackend>(
             live_count,
             empty_objects,
             per_shard,
+            // Fresh assemblies start at epoch 0; an in-place reload
+            // advances past the outgoing mapping's epoch inside
+            // `set_collections`.
+            epoch: 0,
         });
     }
     Ok(collections)

@@ -46,7 +46,7 @@ pub const WIRE_MAGIC: &[u8; 4] = b"SCQW";
 /// version 4 added request-id multiplexing and chunked response
 /// streaming ([`MUX_REQ`] and friends) — many requests in flight per
 /// connection, out-of-order completion, and answers bigger than one
-/// frame.
+/// frame — plus the per-collection epoch probe ([`Request::Epochs`]).
 pub const WIRE_VERSION: u16 = 4;
 /// Oldest protocol version this build still interoperates with. The
 /// handshake negotiates `min(client, server)` down to this floor: a v4
@@ -61,6 +61,10 @@ pub const TRACED_MIN_VERSION: u16 = 3;
 /// First protocol version that speaks mux framing (request ids, chunked
 /// streams). Below this a connection is strictly one-in-flight.
 pub const MUX_MIN_VERSION: u16 = 4;
+/// First protocol version that understands [`Request::Epochs`]. Below
+/// this a mirror cannot ask the shard for its mutation epochs and must
+/// seed them monotonically on its own.
+pub const EPOCHS_MIN_VERSION: u16 = 4;
 /// Hard cap on **one frame's** payload (snapshot streams are the
 /// largest legitimate single frames). A length prefix above this is
 /// rejected before any buffer is reserved. Since v4 this is no longer a
@@ -301,6 +305,11 @@ pub enum Request {
     /// A coherent snapshot of the shard's metric instruments
     /// (version 3).
     Metrics,
+    /// Per-collection mutation epochs, in collection-id order,
+    /// answered as [`Response::Ids`] (version 4). The routing tier's
+    /// write-through mirror uses this to verify its epochs stay in
+    /// lockstep with the shard process.
+    Epochs,
 }
 
 /// One response from a shard process. `Err` is the failure envelope for
@@ -632,6 +641,8 @@ pub const OP_SNAP_READ: u8 = 0x10;
 pub const OP_TRACED: u8 = 0x11;
 /// Opcode of [`Request::Metrics`] (version 3).
 pub const OP_METRICS: u8 = 0x12;
+/// Opcode of [`Request::Epochs`] (version 4).
+pub const OP_EPOCHS: u8 = 0x13;
 
 /// Encodes a list of raw segment files: count, then per segment a
 /// 64-bit length and the bytes.
@@ -724,6 +735,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             buf.put_slice(&inner);
         }
         Request::Metrics => buf.put_u8(OP_METRICS),
+        Request::Epochs => buf.put_u8(OP_EPOCHS),
     }
     buf
 }
@@ -816,6 +828,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             }
         }
         OP_METRICS => Request::Metrics,
+        OP_EPOCHS => Request::Epochs,
         other => return Err(WireError::BadOpcode(other)),
     };
     if buf.has_remaining() {
@@ -1383,6 +1396,7 @@ mod tests {
                 inner: Box::new(Request::Stat),
             },
             Request::Metrics,
+            Request::Epochs,
         ]
     }
 

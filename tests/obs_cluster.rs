@@ -160,10 +160,16 @@ fn cluster_metrics_and_traces_cover_both_tiers_and_record_a_forced_failover() {
     }
 
     // ── partition the primary: the failover lands in the trace ──────
+    // The write first: it bumps the collection's mutation epoch, so
+    // the repeated query below misses the serve tier's candidate
+    // cache and really probes the shards (a verbatim repeat at the
+    // same epoch would be answered from cache — no probe, no
+    // failover to observe).
+    run("INSERT objs 20 20 25 25");
     proxy.partition();
     let (q, _) = run("QUERY objs rtree overlaps 0 0 100 100");
     assert!(
-        q.starts_with("OK n=3"),
+        q.starts_with("OK n=4"),
         "the secondary keeps the answer complete: {q:?}"
     );
     let (_, spans) = run(&format!("TRACE {}", trace_id_of(&q)));

@@ -64,11 +64,14 @@ fn snapshot_preserves_planner_decisions() {
     let reloaded: SpatialDatabase<2> = load(&save(&db)).expect("round trip");
     let q1 = smuggler_query(&db);
     let q2 = smuggler_query(&reloaded);
-    let (o1, e1) = order_by_selectivity(&db, &q1, IndexKind::RTree).unwrap();
-    let (o2, e2) = order_by_selectivity(&reloaded, &q2, IndexKind::RTree).unwrap();
-    assert_eq!(o1, o2, "planner order must be identical after reload");
-    let c1: Vec<usize> = e1.iter().map(|e| e.candidates).collect();
-    let c2: Vec<usize> = e2.iter().map(|e| e.candidates).collect();
+    let p1 = order_by_selectivity(&db, &q1, IndexKind::RTree).unwrap();
+    let p2 = order_by_selectivity(&reloaded, &q2, IndexKind::RTree).unwrap();
+    assert_eq!(
+        p1.order, p2.order,
+        "planner order must be identical after reload"
+    );
+    let c1: Vec<usize> = p1.estimates.iter().map(|e| e.candidates).collect();
+    let c2: Vec<usize> = p2.estimates.iter().map(|e| e.candidates).collect();
     assert_eq!(c1, c2);
 }
 
